@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments Fusecu_loopnest Fusecu_util List Option Printf Speed Sys

@@ -1,0 +1,598 @@
+(* Reproduction drivers: one function per table / figure of the paper.
+   Each prints an ASCII table with the measured numbers and, where the
+   paper quotes headline values, the paper-vs-measured comparison. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_dse
+open Fusecu_workloads
+open Fusecu_arch
+open Fusecu_util
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let f3 x = Printf.sprintf "%.3f" x
+
+(* ------------------------------------------------------------------ *)
+(* Table I: optimizer feature summary                                  *)
+
+let table1 () =
+  section "Table I: dataflow optimizer summary";
+  let t = Table.create Summary.header in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (r : Summary.row) ->
+           [ r.optimizer; (if r.full_space then "yes" else "no");
+             r.tiling_scheme; r.mapping_scheme; r.fusion_medium ])
+         Summary.rows)
+  in
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table II: transformer model parameters                              *)
+
+let table2 () =
+  section "Table II: transformer model parameters (batch 16)";
+  let t =
+    Table.create
+      [ "Model"; "Heads"; "Seq. length"; "Hidden"; "Head dim"; "Layer MACs" ]
+  in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (m : Model.t) ->
+           [ m.name; string_of_int m.heads; string_of_int m.seq;
+             string_of_int m.hidden;
+             string_of_int (Model.head_dim m);
+             Units.pp_count (Workload.total_macs (Workload.of_model m)) ])
+         Zoo.all)
+  in
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table III: platform attributes                                      *)
+
+let table3 () =
+  section "Table III: spatial architecture attributes";
+  let t = Table.create Platform.attribute_header in
+  Table.print (Table.add_rows t (Platform.attribute_rows ()))
+
+(* ------------------------------------------------------------------ *)
+(* Sec. III-A worked example                                           *)
+
+let example () =
+  section "Worked example (Sec. III-A): BERT 1024x768x768, 512 KB buffer";
+  let op = Matmul.make ~name:"bert" ~m:1024 ~k:768 ~l:768 () in
+  let buf = Buffer.of_kib 512 in
+  let th = Regime.thresholds op in
+  Printf.printf "thresholds: Dmin^2/4 = %d, Dmin^2/2 = %d, Tensor_min = %d\n"
+    th.tiny_max th.small_max th.medium_max;
+  Printf.printf "buffer: %d elements -> regime %s\n" (Buffer.elements buf)
+    (Regime.to_string (Regime.classify op buf));
+  let plan = Intra.optimize_exn ~mode:Mode.Divisors op buf in
+  Format.printf "%a@." Intra.pp_plan plan;
+  Printf.printf "paper: Two-NRA, untiled K, T_M = 512, T_L = 1, MA(B) = 2KL = %d\n"
+    (2 * 768 * 768);
+  Printf.printf "measured: %s, T_M = %d, T_L = %d, MA(B) = %d\n"
+    (Nra.dataflow_to_string plan.dataflow)
+    (Tiling.get plan.schedule.tiling Dim.M)
+    (Tiling.get plan.schedule.tiling Dim.L)
+    plan.cost.b.traffic
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: principle-optimized MA vs the search-based (DAT-proxy)      *)
+(* optimizer across buffer sizes                                       *)
+
+let buffer_sweep = List.map Units.kib [ 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 ]
+
+(* DAT stand-in: GA per operator; GA over the joint fused space per
+   chain, falling back to the unfused GA when fusion does not help. *)
+let dat_traffic workload buf =
+  let intra op =
+    match Genetic.search op buf with
+    | Some r -> r.cost.Cost.total
+    | None -> max_int / 4
+  in
+  Arith.sum
+    (List.map
+       (function
+         | Workload.Single_op { op; count } -> count * intra op
+         | Workload.Fusable { chain; count } -> (
+           match Chain.ops chain with
+           | [ op1; op2 ] ->
+             let pair = Fused.make_pair_exn op1 op2 in
+             let unfused = intra op1 + intra op2 in
+             let fused =
+               match Fused_search.genetic pair buf with
+               | Some r -> r.traffic
+               | None -> max_int / 4
+             in
+             count * min fused unfused
+           | ops -> count * Arith.sum (List.map intra ops)))
+       (Workload.items workload))
+
+let principle_traffic workload buf =
+  Arith.sum
+    (List.map
+       (function
+         | Workload.Single_op { op; count } ->
+           count * Intra.ma (Intra.optimize_exn ~mode:Mode.Divisors op buf)
+         | Workload.Fusable { chain; count } -> (
+           match Planner.plan_chain ~mode:Mode.Divisors chain buf with
+           | Ok plan -> count * plan.Planner.traffic
+           | Error e -> failwith e))
+       (Workload.items workload))
+
+let ideal_traffic workload =
+  Arith.sum
+    (List.map
+       (fun (op, count) -> count * Matmul.ideal_ma op)
+       (Workload.all_ops workload))
+
+let fig9 ?(models = [ Zoo.bert; Zoo.blenderbot; Zoo.xlm ]) () =
+  section
+    "Fig. 9: normalized memory access, principles (ours) vs searched (DAT proxy)";
+  List.iter
+    (fun model ->
+      let w = Workload.of_model model in
+      let ideal = float_of_int (ideal_traffic w) in
+      Printf.printf "%s (normalized to the unfused intra lower bound):\n"
+        w.Workload.name;
+      let t = Table.create [ "Buffer"; "Ours"; "DAT proxy"; "Ours/DAT" ] in
+      let t =
+        Table.add_rows t
+          (List.map
+             (fun bytes ->
+               let buf = Buffer.make bytes in
+               let ours = float_of_int (principle_traffic w buf) /. ideal in
+               let dat = float_of_int (dat_traffic w buf) /. ideal in
+               [ Units.pp_bytes bytes; f3 ours; f3 dat; f3 (ours /. dat) ])
+             buffer_sweep)
+      in
+      Table.print t;
+      print_newline ())
+    models
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: memory access and utilization across platforms             *)
+
+let default_buffer = Buffer.of_kib 512
+
+let eval_all ?(buf = default_buffer) model =
+  let w = Workload.of_model model in
+  List.map
+    (fun p ->
+      match Perf.eval_workload p buf w with
+      | Ok e -> (p, e)
+      | Error e -> failwith e)
+    Platform.all
+
+let fig10 ?(buf = default_buffer) () =
+  section
+    (Printf.sprintf
+       "Fig. 10: normalized memory access (bars) and utilization (lines), %s buffer"
+       (Units.pp_bytes buf.Buffer.bytes));
+  let header =
+    "Model" :: List.map (fun (p : Platform.t) -> p.name) Platform.all
+  in
+  let ma_table = ref (Table.create header) in
+  let util_table = ref (Table.create header) in
+  let ratios = Hashtbl.create 8 in
+  let speeds = Hashtbl.create 8 in
+  List.iter
+    (fun model ->
+      let evals = eval_all ~buf model in
+      let tpu = List.assoc Platform.tpu_v4i evals in
+      let fusecu = List.assoc Platform.fusecu evals in
+      ma_table :=
+        Table.add_row !ma_table
+          (model.Model.name
+          :: List.map (fun (_, e) -> f3 (Perf.ma_ratio e tpu)) evals);
+      util_table :=
+        Table.add_row !util_table
+          (model.Model.name
+          :: List.map (fun (_, e) -> Units.pp_pct e.Perf.utilization) evals);
+      List.iter
+        (fun ((p : Platform.t), e) ->
+          Hashtbl.replace ratios p.name
+            (Perf.ma_ratio fusecu e :: Option.value ~default:[] (Hashtbl.find_opt ratios p.name));
+          Hashtbl.replace speeds p.name
+            (Perf.speedup fusecu e :: Option.value ~default:[] (Hashtbl.find_opt speeds p.name)))
+        evals)
+    Zoo.all;
+  Printf.printf "memory access normalized to TPUv4i:\n";
+  Table.print !ma_table;
+  Printf.printf "\nachieved utilization (performance / peak FLOPs):\n";
+  Table.print !util_table;
+  print_newline ();
+  let summary =
+    Table.create
+      [ "FuseCU vs"; "MA saving (measured)"; "MA saving (paper)";
+        "speedup (measured)"; "speedup (paper)" ]
+  in
+  let paper = [ ("TPUv4i", (0.636, 1.33)); ("Gemmini", (0.624, 1.25)); ("Planaria", (0.387, 1.14)) ] in
+  let summary =
+    Table.add_rows summary
+      (List.map
+         (fun (name, (ma_p, sp_p)) ->
+           let saving = 1. -. Stats.geomean (Hashtbl.find ratios name) in
+           let speed = Stats.geomean (Hashtbl.find speeds name) in
+           [ name; Units.pp_pct saving; Units.pp_pct ma_p; Units.pp_ratio speed;
+             Units.pp_ratio sp_p ])
+         paper)
+  in
+  Table.print summary
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11: LLaMA2 sequence-length sensitivity                         *)
+
+let fig11 ?(buf = default_buffer) () =
+  section "Fig. 11: LLaMA2 across sequence lengths (256 - 16K)";
+  let header =
+    "Seq"
+    :: (List.map (fun (p : Platform.t) -> p.name ^ " MA") Platform.all
+       @ [ "FuseCU util"; "TPUv4i util" ])
+  in
+  let t = ref (Table.create header) in
+  List.iter
+    (fun seq ->
+      let evals = eval_all ~buf (Sweep.llama2_at seq) in
+      let tpu = List.assoc Platform.tpu_v4i evals in
+      let fusecu = List.assoc Platform.fusecu evals in
+      t :=
+        Table.add_row !t
+          (string_of_int seq
+          :: (List.map (fun (_, e) -> f3 (Perf.ma_ratio e tpu)) evals
+             @ [ Units.pp_pct fusecu.Perf.utilization;
+                 Units.pp_pct tpu.Perf.utilization ])))
+    Sweep.seq_lengths;
+  Printf.printf "memory access normalized to TPUv4i at the same length:\n";
+  Table.print !t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12: area breakdown                                             *)
+
+let fig12 () =
+  section "Fig. 12: FuseCU area breakdown and overheads (28 nm model)";
+  let b = Area.fusecu_breakdown () in
+  let t = Table.create [ "Component"; "Area (mm^2)"; "Overhead?" ] in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (c : Area.component) ->
+           [ c.name; f3 (c.area_um2 /. 1e6); (if c.overhead then "yes" else "") ])
+         b.components)
+  in
+  Table.print t;
+  Printf.printf "\npaper: 12.0%% overhead vs TPUv4i; interconnect+control < 0.1%%\n";
+  Printf.printf "measured: %s overhead; interconnect+control %s\n"
+    (Units.pp_pct b.overhead_pct)
+    (Printf.sprintf "%.3f%%" (100. *. b.interconnect_pct))
+
+(* ------------------------------------------------------------------ *)
+(* Headline summary                                                    *)
+
+let headline ?(buf = default_buffer) () =
+  section "Headline results (paper vs this reproduction)";
+  fig10 ~buf ();
+  fig12 ();
+  Printf.printf
+    "\nNote: absolute magnitudes depend on the analytical substrate (see\n\
+     DESIGN.md); the comparisons above reproduce the paper's ordering and\n\
+     approximate factors, recorded in EXPERIMENTS.md.\n"
+
+let run_fig9_quick () = fig9 ~models:[ Zoo.bert ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Extension: energy (the paper's motivating metric)                   *)
+
+let energy ?(buf = default_buffer) () =
+  section "Extension: energy per layer (28 nm access-cost model)";
+  let header =
+    "Model"
+    :: (List.map (fun (p : Platform.t) -> p.name ^ " (uJ)") Platform.all
+       @ [ "FuseCU saving" ])
+  in
+  let t = ref (Table.create header) in
+  List.iter
+    (fun model ->
+      let evals = eval_all ~buf model in
+      let energies = List.map (fun (p, e) -> (p, Energy.of_eval e)) evals in
+      let fusecu = List.assoc Platform.fusecu energies in
+      let tpu = List.assoc Platform.tpu_v4i energies in
+      t :=
+        Table.add_row !t
+          (model.Model.name
+          :: (List.map
+                (fun (_, (en : Energy.t)) ->
+                  Printf.sprintf "%.1f" (en.total_nj /. 1e3))
+                energies
+             @ [ Units.pp_pct (Energy.saving fusecu tpu) ])))
+    Zoo.all;
+  Table.print !t;
+  Printf.printf
+    "\nTraffic reduction converts to energy up to the MAC/static floor;\n\
+     the DRAM term dominates wherever the layer is memory-bound.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: feature ablation ladder                                  *)
+
+let ablation ?(buf = default_buffer) () =
+  section "Extension: FuseCU feature ablation (all seven models)";
+  match Ablation.run ~buf Zoo.all with
+  | Error e -> print_endline ("ablation failed: " ^ e)
+  | Ok steps ->
+    let t =
+      Table.create
+        [ "Step"; "Enables"; "Traffic"; "MA saving vs base"; "Speedup vs base" ]
+    in
+    let t =
+      Table.add_rows t
+        (List.map
+           (fun (s : Ablation.step) ->
+             [ s.name; s.adds; Units.pp_count s.traffic;
+               Units.pp_pct s.ma_saving_vs_base;
+               Units.pp_ratio s.speedup_vs_base ])
+           steps)
+    in
+    Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extension: softmax-aware accounting                                 *)
+
+let softmax ?(buf = default_buffer) () =
+  section "Extension: attention savings with standalone softmax accounted";
+  let t =
+    Table.create
+      [ "Model"; "Softmax traffic"; "share of unfused bound";
+        "FuseCU/TPUv4i (matmuls)"; "FuseCU/TPUv4i (+softmax)" ]
+  in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (m : Model.t) ->
+           let evals = eval_all ~buf m in
+           let fusecu = List.assoc Platform.fusecu evals in
+           let tpu = List.assoc Platform.tpu_v4i evals in
+           let extra = Softmax.extra_unfused_traffic m in
+           let adjusted =
+             float_of_int fusecu.Perf.traffic
+             /. float_of_int (tpu.Perf.traffic + extra)
+           in
+           [ m.Model.name; Units.pp_count extra;
+             Units.pp_pct (Softmax.relative_weight m);
+             f3 (Perf.ma_ratio fusecu tpu); f3 adjusted ])
+         Zoo.all)
+  in
+  Table.print t;
+  Printf.printf
+    "\nPlatforms without an in-array softmax pay an extra read+write of the\n\
+     seq x seq score matrix per head; FuseCU's fused attention avoids it.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: two-level hierarchy and the 2N derivation (Sec. IV-B)    *)
+
+let hierarchy () =
+  section "Extension: two-level dataflow (buffer + registers) and the 2N bound";
+  let stack = Fusecu_hierarchy.Stack.tpu_like () in
+  let ops =
+    [ Matmul.make ~name:"bert.proj" ~m:16384 ~k:768 ~l:768 ();
+      Matmul.make ~name:"bert.qk" ~m:1024 ~k:64 ~l:1024 ();
+      Matmul.make ~name:"llama2.qk" ~m:4096 ~k:128 ~l:4096 () ]
+  in
+  List.iter
+    (fun op ->
+      match Fusecu_hierarchy.Stack.optimize stack op with
+      | Ok plan -> Format.printf "%a@.@." Fusecu_hierarchy.Stack.pp_plan plan
+      | Error e -> Printf.printf "%s: %s\n" op.Matmul.name e)
+    ops;
+  Printf.printf
+    "Sec. IV-B: with register capacity N^2, untiling is register-optimal only\n\
+     when Dmin < 2N, so the adaptive array (up to 2N) covers every case:\n\n";
+  let t =
+    Table.create
+      [ "Model"; "attention Dmin"; "2N bound"; "untiling optimal?"; "covered?" ]
+  in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (m : Model.t) ->
+           let dh = Model.head_dim m in
+           let qk = Matmul.make ~m:m.seq ~k:dh ~l:m.seq () in
+           let profitable =
+             Register_level.untiling_profitable ~pe_dim:128 qk
+           in
+           [ m.name; string_of_int dh;
+             string_of_int (Register_level.max_useful_untiled_dim ~pe_dim:128);
+             (if profitable then "yes" else "no");
+             (if Register_level.supported_by_fusecu ~pe_dim:128 qk then "yes"
+              else "NO") ])
+         Zoo.all)
+  in
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* CSV export of the headline figures                                  *)
+
+let export_csv ?(buf = default_buffer) ~dir () =
+  let path name = Filename.concat dir name in
+  (* Fig. 10 data *)
+  let fig10_doc =
+    ref
+      (Csv.create
+         ("model"
+         :: List.concat_map
+              (fun (p : Platform.t) ->
+                [ p.name ^ "_ma_ratio"; p.name ^ "_utilization" ])
+              Platform.all))
+  in
+  List.iter
+    (fun model ->
+      let evals = eval_all ~buf model in
+      let tpu = List.assoc Platform.tpu_v4i evals in
+      fig10_doc :=
+        Csv.add_row !fig10_doc
+          (model.Model.name
+          :: List.concat_map
+               (fun (_, e) ->
+                 [ Printf.sprintf "%.4f" (Perf.ma_ratio e tpu);
+                   Printf.sprintf "%.4f" e.Perf.utilization ])
+               evals))
+    Zoo.all;
+  Csv.write ~path:(path "fig10.csv") !fig10_doc;
+  (* Fig. 11 data *)
+  let fig11_doc =
+    ref
+      (Csv.create
+         ("seq" :: List.map (fun (p : Platform.t) -> p.name ^ "_ma_ratio") Platform.all))
+  in
+  List.iter
+    (fun seq ->
+      let evals = eval_all ~buf (Sweep.llama2_at seq) in
+      let tpu = List.assoc Platform.tpu_v4i evals in
+      fig11_doc :=
+        Csv.add_row !fig11_doc
+          (string_of_int seq
+          :: List.map (fun (_, e) -> Printf.sprintf "%.4f" (Perf.ma_ratio e tpu)) evals))
+    Sweep.seq_lengths;
+  Csv.write ~path:(path "fig11.csv") !fig11_doc;
+  Printf.printf "wrote %s and %s\n" (path "fig10.csv") (path "fig11.csv")
+
+(* ------------------------------------------------------------------ *)
+(* Extension: discrete-event contention vs the closed-form roofline    *)
+
+let contention ?(buf = default_buffer) () =
+  section
+    "Extension: discrete-event CU scheduling (shared-port contention) vs roofline";
+  let t =
+    Table.create
+      [ "Model"; "Platform"; "Roofline cycles"; "Simulated makespan";
+        "sim/roofline"; "CU busy fraction" ]
+  in
+  let t = ref t in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun platform ->
+          let w = Workload.of_model model in
+          match Perf.eval_workload platform buf w with
+          | Error e -> failwith e
+          | Ok e ->
+            let sim = Schedule_sim.simulate_eval e in
+            (* the roofline charges the whole machine per segment; the
+               simulator schedules instances on individual CUs *)
+            t :=
+              Table.add_row !t
+                [ model.Model.name; platform.Platform.name;
+                  Units.pp_count e.Perf.cycles;
+                  Units.pp_count (int_of_float sim.Schedule_sim.makespan);
+                  Printf.sprintf "%.2f"
+                    (sim.Schedule_sim.makespan /. float_of_int e.Perf.cycles);
+                  Units.pp_pct sim.Schedule_sim.utilization ])
+        [ Platform.tpu_v4i; Platform.fusecu ])
+    [ Zoo.bert; Zoo.llama2 ];
+  Table.print !t;
+  Printf.printf
+    "\nThe simulator exposes load imbalance and port contention the\n\
+     closed-form model averages away; orderings are preserved.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: grouped-query attention                                  *)
+
+let gqa ?(buf = default_buffer) () =
+  section "Extension: grouped-query attention (GQA) variant";
+  let t =
+    Table.create
+      [ "Model"; "Q/KV heads"; "TPUv4i traffic"; "FuseCU traffic"; "saving" ]
+  in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (m : Model.t) ->
+           let w = Workload.of_model m in
+           let eval p =
+             match Perf.eval_workload p buf w with
+             | Ok e -> e
+             | Error e -> failwith e
+           in
+           let tpu = eval Platform.tpu_v4i and fusecu = eval Platform.fusecu in
+           [ m.name; Printf.sprintf "%d/%d" m.heads m.kv_heads;
+             Units.pp_count tpu.Perf.traffic;
+             Units.pp_count fusecu.Perf.traffic;
+             Units.pp_pct (1. -. Perf.ma_ratio fusecu tpu) ])
+         [ Zoo.llama2; Zoo.llama2_70b_gqa ])
+  in
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extension: whole-chain fusion vs pairwise                           *)
+
+let chains ?(buf = default_buffer) () =
+  section "Extension: whole-chain (3-op) fusion vs pairwise planning";
+  let cases =
+    [ ("attention+proj head", Chain.of_dims ~name:"attn3" ~m:256 [ 64; 256; 64; 64 ]);
+      ("mlp stack", Chain.of_dims ~name:"mlp3" ~m:512 [ 64; 128; 64; 32 ]) ]
+  in
+  let t =
+    Table.create
+      [ "Chain"; "Solo"; "Pairwise fusion"; "Whole-chain fusion"; "Fused bound" ]
+  in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (label, chain) ->
+           let solo =
+             match Planner.plan_ops (Chain.ops chain) buf with
+             | Ok p -> p.Planner.traffic
+             | Error e -> failwith e
+           in
+           let pairwise =
+             match Planner.plan_chain chain buf with
+             | Ok p -> p.Planner.traffic
+             | Error e -> failwith e
+           in
+           let full =
+             match Multi_fusion.plan chain buf with
+             | Ok d -> Multi_fusion.traffic_of_decision d
+             | Error e -> failwith e
+           in
+           [ label; Units.pp_count solo; Units.pp_count pairwise;
+             Units.pp_count full;
+             Units.pp_count (Chain.ideal_ma_fused chain) ])
+         cases)
+  in
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: the fusable-dataflow catalog                                *)
+
+let fig4 () =
+  section "Fig. 4: fusable dataflow patterns (green = profitable)";
+  let t =
+    Table.create
+      [ "Producer"; "via"; "Consumer"; "via"; "Profitable"; "Mapping (Fig. 5)" ]
+  in
+  let t =
+    Table.add_rows t
+      (List.map
+         (fun (a : Catalog.arrow) ->
+           [ Nra.to_string a.producer_class;
+             Catalog.method_name a.producer_method;
+             Nra.to_string a.consumer_class;
+             Catalog.method_name a.consumer_method;
+             (if a.profitable then "green" else "red");
+             (match Catalog.mapping_for a with
+             | Some `Tile_fusion -> "tile fusion"
+             | Some `Column_fusion -> "column fusion"
+             | None -> "-") ])
+         Catalog.arrows)
+  in
+  Table.print t;
+  Printf.printf "\n%d fusable combinations, %d profitable (Principle 4)\n"
+    (List.length Catalog.arrows)
+    (List.length Catalog.green)

@@ -1,0 +1,81 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --only fig10 -- one experiment
+     dune exec bench/main.exe -- --buffer 2MB -- override the Fig.10/11 buffer
+     dune exec bench/main.exe -- --quick      -- trim the slow sweeps
+
+   Experiments: table1 table2 table3 example fig9 fig10 fig11 fig12
+   energy ablation softmax hierarchy contention gqa chains speed;
+   --csv DIR exports figure data *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--only \
+     table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
+     <size>] [--quick]";
+  exit 1
+
+type options = {
+  only : string option;
+  buffer : Fusecu_loopnest.Buffer.t;
+  quick : bool;
+  csv_dir : string option;
+}
+
+let parse_args () =
+  let only = ref None and buffer = ref Experiments.default_buffer in
+  let quick = ref false and csv_dir = ref None in
+  let rec loop = function
+    | [] -> ()
+    | "--only" :: tag :: rest ->
+      only := Some tag;
+      loop rest
+    | "--buffer" :: size :: rest ->
+      (match Fusecu_util.Units.parse_bytes size with
+      | Ok bytes -> buffer := Fusecu_loopnest.Buffer.make bytes
+      | Error e ->
+        prerr_endline e;
+        usage ());
+      loop rest
+    | "--quick" :: rest ->
+      quick := true;
+      loop rest
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      loop rest
+    | "--help" :: _ | "-h" :: _ -> usage ()
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      usage ()
+  in
+  loop (List.tl (Array.to_list Sys.argv));
+  { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir }
+
+let () =
+  let { only; buffer; quick; csv_dir } = parse_args () in
+  let run tag f =
+    match only with
+    | Some t when t <> tag -> ()
+    | _ -> f ()
+  in
+  run "table1" Experiments.table1;
+  run "table2" Experiments.table2;
+  run "table3" Experiments.table3;
+  run "example" Experiments.example;
+  run "fig4" Experiments.fig4;
+  run "fig9" (fun () ->
+      if quick then Experiments.run_fig9_quick () else Experiments.fig9 ());
+  run "fig10" (fun () -> Experiments.fig10 ~buf:buffer ());
+  run "fig11" (fun () -> Experiments.fig11 ~buf:buffer ());
+  run "fig12" Experiments.fig12;
+  run "energy" (fun () -> Experiments.energy ~buf:buffer ());
+  run "ablation" (fun () -> Experiments.ablation ~buf:buffer ());
+  run "softmax" (fun () -> Experiments.softmax ~buf:buffer ());
+  run "hierarchy" Experiments.hierarchy;
+  run "contention" (fun () -> Experiments.contention ~buf:buffer ());
+  run "gqa" (fun () -> Experiments.gqa ~buf:buffer ());
+  run "chains" (fun () -> Experiments.chains ~buf:buffer ());
+  run "speed" (fun () -> if not quick then Speed.run ());
+  Option.iter (fun dir -> Experiments.export_csv ~buf:buffer ~dir ()) csv_dir

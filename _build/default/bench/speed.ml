@@ -1,0 +1,86 @@
+(* Optimizer wall-clock comparison (the paper's motivating claim:
+   search-based DSE is time-consuming, the principles are one-shot).
+   One Bechamel benchmark per optimization task. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_dse
+open Bechamel
+open Toolkit
+
+let bert = Matmul.make ~name:"bert-proj" ~m:1024 ~k:768 ~l:768 ()
+
+let buf = Buffer.of_kib 512
+
+let attention_pair =
+  Fused.make_pair_exn
+    (Matmul.make ~name:"qk" ~m:1024 ~k:64 ~l:1024 ())
+    (Matmul.make ~name:"sv" ~m:1024 ~k:1024 ~l:64 ())
+
+let tests =
+  Test.make_grouped ~name:"optimizers"
+    [ Test.make ~name:"intra/principles (one-shot)"
+        (Staged.stage (fun () -> ignore (Intra.optimize bert buf : _ result)));
+      Test.make ~name:"intra/exhaustive-DSE (divisors)"
+        (Staged.stage (fun () ->
+             ignore (Exhaustive.search bert buf : Exhaustive.result option)));
+      Test.make ~name:"intra/genetic-DSE (DAT proxy)"
+        (Staged.stage (fun () ->
+             ignore (Genetic.search bert buf : Exhaustive.result option)));
+      Test.make ~name:"fusion/principles (one-shot)"
+        (Staged.stage (fun () ->
+             ignore (Fusion.plan_pair attention_pair buf : _ result)));
+      Test.make ~name:"fusion/genetic-DSE (DAT proxy)"
+        (Staged.stage (fun () ->
+             ignore
+               (Fused_search.genetic attention_pair buf
+                 : Fused_search.result option)));
+      Test.make ~name:"arch/FuseCU workload eval (BERT layer)"
+        (Staged.stage (fun () ->
+             ignore
+               (Fusecu_arch.Perf.eval_workload Fusecu_arch.Platform.fusecu buf
+                  (Fusecu_workloads.Workload.of_model Fusecu_workloads.Zoo.bert)
+                 : _ result))) ]
+
+let run () =
+  Printf.printf "\n=== Optimizer timing (Bechamel) ===\n\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !rows in
+  let t = Fusecu_util.Table.create [ "Optimizer"; "time/run"; "vs fastest" ] in
+  let fastest = match sorted with (_, ns) :: _ -> ns | [] -> 1. in
+  let pp_time ns =
+    if ns < 1e3 then Printf.sprintf "%.0fns" ns
+    else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+    else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+    else Printf.sprintf "%.2fs" (ns /. 1e9)
+  in
+  let t =
+    Fusecu_util.Table.add_rows t
+      (List.map
+         (fun (name, ns) ->
+           [ name; pp_time ns; Printf.sprintf "%.0fx" (ns /. fastest) ])
+         sorted)
+  in
+  Fusecu_util.Table.print t;
+  Printf.printf
+    "\nThe principle-based optimizer is one-shot; the searched baselines\n\
+     evaluate thousands of schedules (the paper's motivation).\n"

@@ -1,0 +1,493 @@
+(* fusecu_opt: command-line front end to the principle-based dataflow
+   optimizer and the FuseCU architecture model.
+
+   Subcommands:
+     intra    - optimal dataflow for one matmul under a buffer
+     fuse     - fusion decision for a producer/consumer pair
+     regime   - buffer-regime table for an operator
+     search   - compare the principles against exhaustive / genetic DSE
+     eval     - evaluate a Table-II model on every platform
+     explain  - prose derivation of a dataflow choice
+     trace    - tile fetch/compute trace of a dataflow
+     hierarchy- two-level (buffer + register) planning
+     chain    - whole-chain fusion planning
+     area     - FuseCU area breakdown
+     simulate - run a fused matmul chain on the structural array model *)
+
+open Cmdliner
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let dim_arg name doc =
+  Arg.(required & opt (some int) None & info [ name ] ~docv:"N" ~doc)
+
+let buffer_arg =
+  let parse s =
+    match Fusecu_util.Units.parse_bytes s with
+    | Ok bytes when bytes >= 1 -> Ok (Buffer.make bytes)
+    | Ok _ -> Error (`Msg "buffer must be at least one byte")
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt (b : Buffer.t) =
+    Format.pp_print_string fmt (Fusecu_util.Units.pp_bytes b.bytes)
+  in
+  let buffer_conv = Arg.conv ~docv:"SIZE" (parse, print) in
+  Arg.(
+    value
+    & opt buffer_conv (Buffer.of_kib 512)
+    & info [ "b"; "buffer" ] ~docv:"SIZE" ~doc:"On-chip buffer size (e.g. 512KB, 32MB).")
+
+let mode_arg =
+  let modes =
+    [ ("exact", Mode.Exact); ("divisors", Mode.Divisors); ("pow2", Mode.Pow2) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Mode.Divisors
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Tile lattice: exact, divisors or pow2.")
+
+let mkl ?(prefix = "") () =
+  let p n = prefix ^ n in
+  Term.(
+    const (fun m k l -> Matmul.make ~m ~k ~l ())
+    $ dim_arg (p "m") "Rows of A (and C)."
+    $ dim_arg (p "k") "Columns of A / rows of B (reduction dim)."
+    $ dim_arg (p "l") "Columns of B (and C).")
+
+(* ------------------------------------------------------------------ *)
+(* intra                                                               *)
+
+let intra_cmd =
+  let run op buf mode =
+    match Intra.optimize ~mode op buf with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok plan ->
+      Format.printf "%a@." Intra.pp_plan plan;
+      Format.printf "redundancy over the unbounded lower bound: %.3f@."
+        (Intra.redundancy plan)
+  in
+  let term = Term.(const run $ mkl () $ buffer_arg $ mode_arg) in
+  Cmd.v
+    (Cmd.info "intra" ~doc:"Principle-based intra-operator dataflow for one matmul.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* fuse                                                                *)
+
+let fuse_cmd =
+  let run op1 l2 buf mode =
+    let op2 =
+      Matmul.make ~name:"consumer" ~m:op1.Matmul.m ~k:op1.Matmul.l ~l:l2 ()
+    in
+    let pair = Fused.make_pair_exn op1 op2 in
+    match Fusion.plan_pair ~mode pair buf with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok decision ->
+      Format.printf "pair: %a | %a@." Matmul.pp op1 Matmul.pp op2;
+      Format.printf "%a@." Fusion.pp_decision decision
+  in
+  let l2 =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "l2" ] ~docv:"N" ~doc:"Columns of the consumer's weight matrix D.")
+  in
+  let term = Term.(const run $ mkl () $ l2 $ buffer_arg $ mode_arg) in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:"Fusion decision for A(M,K) x B(K,L) = C followed by C x D(L,L2) = E.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* regime                                                              *)
+
+let regime_cmd =
+  let run op =
+    let th = Regime.thresholds op in
+    Format.printf "%a@." Matmul.pp op;
+    let t =
+      Fusecu_util.Table.create [ "Regime"; "Buffer range (elements)"; "Dataflow" ]
+    in
+    let pp_classes regime =
+      String.concat " or "
+        (List.map Nra.to_string (Regime.expected_classes regime))
+    in
+    let rows =
+      [ [ "tiny"; Printf.sprintf "<= %d" th.tiny_max; pp_classes Regime.Tiny ];
+        [ "small"; Printf.sprintf "%d - %d" (th.tiny_max + 1) th.small_max;
+          pp_classes Regime.Small ];
+        [ "medium"; Printf.sprintf "%d - %d" (th.small_max + 1) th.medium_max;
+          pp_classes Regime.Medium ];
+        [ "large"; Printf.sprintf "> %d" th.medium_max; pp_classes Regime.Large ] ]
+    in
+    Fusecu_util.Table.print (Fusecu_util.Table.add_rows t rows)
+  in
+  let term = Term.(const run $ mkl ()) in
+  Cmd.v
+    (Cmd.info "regime" ~doc:"Buffer-size regimes and predicted NRA classes.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* search                                                              *)
+
+let search_cmd =
+  let run op buf =
+    let principle = Intra.optimize_exn op buf in
+    Format.printf "principles: MA=%s %a@."
+      (Fusecu_util.Units.pp_count (Intra.ma principle))
+      Schedule.pp principle.schedule;
+    (match Fusecu_dse.Exhaustive.search op buf with
+    | Some r ->
+      Format.printf "exhaustive: MA=%s %a (%d schedules)@."
+        (Fusecu_util.Units.pp_count r.cost.Cost.total)
+        Schedule.pp r.schedule r.explored
+    | None -> print_endline "exhaustive: infeasible");
+    match Fusecu_dse.Genetic.search op buf with
+    | Some r ->
+      Format.printf "genetic:    MA=%s %a (%d evaluations)@."
+        (Fusecu_util.Units.pp_count r.cost.Cost.total)
+        Schedule.pp r.schedule r.explored
+    | None -> print_endline "genetic: infeasible"
+  in
+  let term = Term.(const run $ mkl () $ buffer_arg) in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Compare the principles against searched baselines.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+
+let eval_cmd =
+  let run model_name buf =
+    match Fusecu_workloads.Zoo.find model_name with
+    | None ->
+      Printf.eprintf "unknown model %S (try: %s)\n" model_name
+        (String.concat ", "
+           (List.map
+              (fun (m : Fusecu_workloads.Model.t) -> m.name)
+              Fusecu_workloads.Zoo.all));
+      exit 1
+    | Some model ->
+      let w = Fusecu_workloads.Workload.of_model model in
+      let t =
+        Fusecu_util.Table.create
+          [ "Platform"; "Traffic"; "Cycles"; "Utilization" ]
+      in
+      let rows =
+        List.map
+          (fun p ->
+            match Fusecu_arch.Perf.eval_workload p buf w with
+            | Ok e ->
+              [ p.Fusecu_arch.Platform.name;
+                Fusecu_util.Units.pp_count e.traffic;
+                Fusecu_util.Units.pp_count e.cycles;
+                Fusecu_util.Units.pp_pct e.utilization ]
+            | Error e -> [ p.Fusecu_arch.Platform.name; "error: " ^ e ])
+          Fusecu_arch.Platform.all
+      in
+      Fusecu_util.Table.print (Fusecu_util.Table.add_rows t rows)
+  in
+  let model =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Model name from Table II (e.g. Bert, LLaMA2).")
+  in
+  let term = Term.(const run $ model $ buffer_arg) in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a transformer layer on every platform.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run op l2 buf mode =
+    match l2 with
+    | None -> (
+      match Explain.intra ~mode op buf with
+      | Ok text -> print_string text
+      | Error e ->
+        prerr_endline e;
+        exit 1)
+    | Some l2 -> (
+      let op2 =
+        Matmul.make ~name:"consumer" ~m:op.Matmul.m ~k:op.Matmul.l ~l:l2 ()
+      in
+      let pair = Fused.make_pair_exn op op2 in
+      match Explain.fusion ~mode pair buf with
+      | Ok text -> print_string text
+      | Error e ->
+        prerr_endline e;
+        exit 1)
+  in
+  let l2 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "l2" ]
+          ~docv:"N"
+          ~doc:"Explain the fusion with a consumer C x D(L,L2) instead of the \
+                intra dataflow.")
+  in
+  let term = Term.(const run $ mkl () $ l2 $ buffer_arg $ mode_arg) in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Derive, in prose, why the principles choose a dataflow.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace_cmd =
+  let run op buf mode max_events =
+    match Intra.optimize ~mode op buf with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok plan ->
+      Format.printf "schedule: %a@." Schedule.pp plan.schedule;
+      print_string (Trace.render ~max_events op plan.schedule)
+  in
+  let max_events =
+    Arg.(
+      value & opt int 48
+      & info [ "max-events" ] ~docv:"N" ~doc:"Events to print before truncating.")
+  in
+  let term = Term.(const run $ mkl () $ buffer_arg $ mode_arg $ max_events) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the tile fetch/compute trace of the optimized dataflow.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* hierarchy                                                           *)
+
+let hierarchy_cmd =
+  let run op buf pe_dim =
+    let stack =
+      Fusecu_hierarchy.Stack.tpu_like ~pe_dim ~buffer_bytes:buf.Buffer.bytes ()
+    in
+    match Fusecu_hierarchy.Stack.optimize stack op with
+    | Ok plan -> Format.printf "%a@." Fusecu_hierarchy.Stack.pp_plan plan
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  let pe_dim =
+    Arg.(
+      value & opt int 128
+      & info [ "pe-dim" ] ~docv:"N" ~doc:"Compute-unit dimension (register level N^2).")
+  in
+  let term = Term.(const run $ mkl () $ buffer_arg $ pe_dim) in
+  Cmd.v
+    (Cmd.info "hierarchy"
+       ~doc:"Apply the principles through the buffer and register levels.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* chain                                                               *)
+
+let chain_cmd =
+  let run m ks buf =
+    let chain = Chain.of_dims ~name:"chain" ~m ks in
+    match Multi_fusion.plan chain buf with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok decision ->
+      Format.printf "chain: %a@." Chain.pp chain;
+      (match decision with
+      | Multi_fusion.Full_fusion { traffic; _ } ->
+        Format.printf "whole-chain fusion: traffic %s (fused bound %s)@."
+          (Fusecu_util.Units.pp_count traffic)
+          (Fusecu_util.Units.pp_count (Chain.ideal_ma_fused chain))
+      | Multi_fusion.Fallback plan ->
+        Format.printf "pairwise plan: traffic %s@."
+          (Fusecu_util.Units.pp_count plan.Planner.traffic))
+  in
+  let m_arg =
+    Arg.(required & opt (some int) None & info [ "m" ] ~docv:"N" ~doc:"Shared row dimension.")
+  in
+  let ks =
+    Arg.(
+      non_empty
+      & pos_all int []
+      & info [] ~docv:"K0 K1 ..." ~doc:"Chain dims: (m,K0,K1), (m,K1,K2), ...")
+  in
+  let term = Term.(const run $ m_arg $ ks $ buffer_arg) in
+  Cmd.v
+    (Cmd.info "chain"
+       ~doc:"Plan a multi-operator chain (whole-chain fusion vs pairwise).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let sweep_cmd =
+  let run op from_b to_b =
+    let points =
+      Buffer_sweep.run op
+        ~bytes:
+          (Buffer_sweep.geometric ~from_bytes:from_b.Buffer.bytes
+             ~to_bytes:to_b.Buffer.bytes ~steps_per_octave:2 ())
+    in
+    let t =
+      Fusecu_util.Table.create [ "Buffer"; "MA"; "Class"; "vs bound" ]
+    in
+    let rows =
+      List.map
+        (fun (p : Buffer_sweep.point) ->
+          [ Fusecu_util.Units.pp_bytes p.bytes;
+            Fusecu_util.Units.pp_count p.ma;
+            Nra.to_string p.nra;
+            Printf.sprintf "%.2fx" p.redundancy ])
+        points
+    in
+    Fusecu_util.Table.print (Fusecu_util.Table.add_rows t rows);
+    List.iter
+      (fun (bytes, before, after) ->
+        Printf.printf "transition at %s: %s -> %s\n"
+          (Fusecu_util.Units.pp_bytes bytes)
+          (Nra.to_string before) (Nra.to_string after))
+      (Buffer_sweep.transitions points)
+  in
+  let size_opt name default doc =
+    let parse s =
+      match Fusecu_util.Units.parse_bytes s with
+      | Ok bytes when bytes >= 1 -> Ok (Buffer.make bytes)
+      | Ok _ -> Error (`Msg "size must be positive")
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt (b : Buffer.t) =
+      Format.pp_print_string fmt (Fusecu_util.Units.pp_bytes b.bytes)
+    in
+    Arg.(
+      value
+      & opt (conv ~docv:"SIZE" (parse, print)) (Buffer.make default)
+      & info [ name ] ~docv:"SIZE" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ mkl ()
+      $ size_opt "from" 1024 "Smallest buffer in the sweep."
+      $ size_opt "to" (32 * 1024 * 1024) "Largest buffer in the sweep.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep buffer sizes and report the chosen dataflow class at each.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                               *)
+
+let graph_cmd =
+  let run model_name layers dot =
+    match Fusecu_workloads.Zoo.find model_name with
+    | None ->
+      Printf.eprintf "unknown model %S\n" model_name;
+      exit 1
+    | Some model ->
+      let g = Fusecu_workloads.Graph.of_model model in
+      let g =
+        if layers > 1 then Fusecu_workloads.Graph.stack g ~layers else g
+      in
+      if dot then print_string (Fusecu_workloads.Graph.to_dot g)
+      else begin
+        Format.printf "%a@." Fusecu_workloads.Graph.pp g;
+        Printf.printf "critical path (unit cost): %d; sequential: %d\n"
+          (Fusecu_workloads.Graph.critical_path g ~cost:(fun _ -> 1))
+          (Fusecu_workloads.Graph.sequential g ~cost:(fun _ -> 1))
+      end
+  in
+  let model =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Model name from Table II.")
+  in
+  let layers =
+    Arg.(value & opt int 1 & info [ "layers" ] ~docv:"N" ~doc:"Stack N layers.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let term = Term.(const run $ model $ layers $ dot) in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print a model's operator dependency graph.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* area                                                                *)
+
+let area_cmd =
+  let run () = Format.printf "%a@." Fusecu_arch.Area.pp (Fusecu_arch.Area.fusecu_breakdown ()) in
+  Cmd.v (Cmd.info "area" ~doc:"FuseCU 28 nm area breakdown.") Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let run m k l1 l2 n seed column =
+    let open Fusecu_rtl in
+    let cluster = Fusecu_sim.create ~n () in
+    let a = Matrix.random ~seed ~rows:m ~cols:k () in
+    let b = Matrix.random ~seed:(seed + 1) ~rows:k ~cols:l1 () in
+    let d = Matrix.random ~seed:(seed + 2) ~rows:l1 ~cols:l2 () in
+    let reference = Matrix.mul (Matrix.mul a b) d in
+    let result =
+      if column then
+        Fusecu_sim.run_column_fused cluster Fusecu_sim.Square ~a ~b ~d
+      else Fusecu_sim.run_tile_fused cluster Fusecu_sim.Square ~a ~b ~d
+    in
+    match result with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok (e, cycles) ->
+      Printf.printf "fused (%s) (%dx%d x %dx%d) x %dx%d on a %dx%d CU: %d cycles\n"
+        (if column then "column" else "tile")
+        m k k l1 l1 l2 n n cycles;
+      if Matrix.equal e reference then
+        print_endline "result matches the reference product"
+      else begin
+        print_endline "MISMATCH against the reference product";
+        exit 1
+      end
+  in
+  let int_opt name default doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const run
+      $ int_opt "m" 8 "Rows of A."
+      $ int_opt "k" 8 "Columns of A."
+      $ int_opt "l1" 8 "Columns of B (intermediate width)."
+      $ int_opt "l2" 8 "Columns of D."
+      $ int_opt "n" 16 "Compute-unit dimension."
+      $ int_opt "seed" 7 "Random data seed."
+      $ Arg.(value & flag & info [ "column" ] ~doc:"Use column fusion instead of tile fusion."))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a fused matmul chain on the cycle-level FuseCU array model.")
+    term
+
+let () =
+  let doc = "principle-based dataflow optimization for operator-fused tensor accelerators" in
+  let info = Cmd.info "fusecu_opt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ intra_cmd; fuse_cmd; regime_cmd; search_cmd; eval_cmd; explain_cmd;
+            trace_cmd; hierarchy_cmd; chain_cmd; sweep_cmd; graph_cmd; area_cmd;
+            simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/attention_fusion.ml: Buffer Chain Format Fusecu_core Fusecu_loopnest Fusecu_tensor Fusecu_util Fused Fusion Intra List Lower_bound Matmul Nra Schedule

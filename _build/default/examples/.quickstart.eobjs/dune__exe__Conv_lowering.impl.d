@@ -1,0 +1,1 @@
+examples/conv_lowering.ml: Buffer Conv Format Fusecu_core Fusecu_loopnest Fusecu_tensor Fusecu_util Intra Matmul Nra

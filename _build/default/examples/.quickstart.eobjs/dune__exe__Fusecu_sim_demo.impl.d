@@ -1,0 +1,1 @@
+examples/fusecu_sim_demo.ml: Format Fusecu_rtl Fusecu_sim List Matrix

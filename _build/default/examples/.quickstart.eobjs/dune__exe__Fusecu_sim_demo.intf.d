@@ -1,0 +1,1 @@
+examples/fusecu_sim_demo.mli:

@@ -1,0 +1,1 @@
+examples/hierarchy_demo.ml: Format Fusecu_core Fusecu_hierarchy Fusecu_tensor Level List Matmul Printf Register_level Stack

@@ -1,0 +1,1 @@
+examples/llama_sweep.ml: Buffer Fusecu_arch Fusecu_loopnest Fusecu_util Fusecu_workloads List Perf Platform Sweep Table Units Workload

@@ -1,0 +1,1 @@
+examples/llama_sweep.mli:

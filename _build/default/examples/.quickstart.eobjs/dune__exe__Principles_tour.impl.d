@@ -1,0 +1,1 @@
+examples/principles_tour.ml: Buffer Format Fusecu_core Fusecu_loopnest Fusecu_tensor Fusecu_util Fused Fusion Intra List Matmul Nra Printf Regime Schedule Table Units

@@ -1,0 +1,1 @@
+examples/principles_tour.mli:

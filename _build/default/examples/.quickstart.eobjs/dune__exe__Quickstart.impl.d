@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer Cost Format Fusecu_core Fusecu_dse Fusecu_loopnest Fusecu_tensor Fusecu_util Intra List Lower_bound Matmul Mode Nra Regime Schedule String

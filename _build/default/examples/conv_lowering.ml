@@ -1,0 +1,38 @@
+(* Extending the principles to convolution via im2col.
+
+   Run with:  dune exec examples/conv_lowering.exe
+
+   The paper notes the principles generalize to any operator expressible
+   as nested for-loops. The standard route for 2-D convolution is the
+   im2col lowering to a matmul; this example lowers a ResNet-style layer
+   and an attention-era pointwise convolution, optimizes both, and
+   reports the inflation the lowering costs on the input tensor. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+
+let describe conv =
+  let mm = Conv.to_matmul conv in
+  Format.printf "%a@." Conv.pp conv;
+  Format.printf "  lowered: %a@." Matmul.pp mm;
+  Format.printf "  im2col inflation of the input: %.2fx@."
+    (Conv.im2col_inflation conv);
+  let buffer = Buffer.of_kib 512 in
+  match Intra.optimize mm buffer with
+  | Error e -> Format.printf "  %s@." e
+  | Ok plan ->
+    Format.printf "  dataflow: %a, MA %s (%.2fx of the lower bound)@.@."
+      Nra.pp_dataflow plan.dataflow
+      (Fusecu_util.Units.pp_count (Intra.ma plan))
+      (Intra.redundancy plan)
+
+let () =
+  describe
+    (Conv.make ~name:"resnet-stem" ~n:8 ~c:3 ~h:224 ~w:224 ~k:64 ~r:7 ~s:7
+       ~stride:2 ~padding:3 ());
+  describe
+    (Conv.make ~name:"resnet-3x3" ~n:8 ~c:128 ~h:28 ~w:28 ~k:128 ~r:3 ~s:3
+       ~padding:1 ());
+  describe
+    (Conv.make ~name:"pointwise" ~n:8 ~c:256 ~h:14 ~w:14 ~k:1024 ~r:1 ~s:1 ())

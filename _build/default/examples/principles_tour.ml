@@ -1,0 +1,62 @@
+(* A tour of the four principles on one operator.
+
+   Run with:  dune exec examples/principles_tour.exe
+
+   Sweeps the buffer from tiny to large for a single matmul and shows
+   the dataflow the principles choose at each point, the memory access
+   it costs, and how the choice tracks the regime table of
+   Sec. III-A4. Then demonstrates Principle 4 on a same-class and a
+   cross-class fusion site. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_util
+
+let op = Matmul.make ~name:"demo" ~m:512 ~k:256 ~l:384 ()
+
+let () =
+  Format.printf "operator: %a@." Matmul.pp op;
+  let th = Regime.thresholds op in
+  Printf.printf
+    "regime thresholds: tiny <= %d < small <= %d < medium <= %d < large\n\n"
+    th.tiny_max th.small_max th.medium_max;
+
+  let t =
+    Table.create
+      [ "Buffer"; "Regime"; "Chosen dataflow"; "Schedule"; "MA"; "vs bound" ]
+  in
+  let rows =
+    List.map
+      (fun bytes ->
+        let buf = Buffer.make bytes in
+        let plan = Intra.optimize_exn op buf in
+        [ Units.pp_bytes bytes;
+          Regime.to_string plan.regime;
+          Nra.dataflow_to_string plan.dataflow;
+          Schedule.to_string plan.schedule;
+          Units.pp_count (Intra.ma plan);
+          Printf.sprintf "%.2fx" (Intra.redundancy plan) ])
+      [ 1024; 4096; 16384; 40000; 90000; 160000; 600000 ]
+  in
+  Table.print (Table.add_rows t rows);
+
+  print_newline ();
+  print_endline "Principle 4 on fusion sites:";
+  let same_class =
+    Fused.make_pair_exn
+      (Matmul.make ~name:"mm1" ~m:256 ~k:32 ~l:256 ())
+      (Matmul.make ~name:"mm2" ~m:256 ~k:256 ~l:32 ())
+  in
+  let show pair buf =
+    match Fusion.plan_pair pair buf with
+    | Ok d -> Format.printf "  %a@." Fusion.pp_decision d
+    | Error e -> Format.printf "  error: %s@." e
+  in
+  show same_class (Buffer.of_kib 32);
+  let cross_class =
+    Fused.make_pair_exn
+      (Matmul.make ~name:"mm1" ~m:4096 ~k:2048 ~l:64 ())
+      (Matmul.make ~name:"mm2" ~m:4096 ~k:64 ~l:32 ())
+  in
+  show cross_class (Buffer.of_kib 64)

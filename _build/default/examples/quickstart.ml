@@ -1,0 +1,48 @@
+(* Quickstart: optimize the dataflow of one matrix multiplication.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The scenario is the paper's own worked example (Sec. III-A): a BERT
+   projection matmul A(1024,768) x B(768,768) = C(1024,768) against a
+   512 KB on-chip buffer. The principles classify the buffer regime,
+   pick the Two-NRA dataflow analytically, and the resulting memory
+   access matches the design-space-searched optimum. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+
+let () =
+  (* 1. describe the operator and the hardware buffer *)
+  let op = Matmul.make ~name:"bert-projection" ~m:1024 ~k:768 ~l:768 () in
+  let buffer = Buffer.of_kib 512 in
+  Format.printf "operator: %a@." Matmul.pp op;
+  Format.printf "buffer:   %a@." Buffer.pp buffer;
+
+  (* 2. which buffer regime are we in? (Sec. III-A4) *)
+  let regime = Regime.classify op buffer in
+  Format.printf "regime:   %a -> expect %s@." Regime.pp regime
+    (String.concat " or "
+       (List.map Nra.to_string (Regime.expected_classes regime)));
+
+  (* 3. one-shot optimization via the principles *)
+  let plan = Intra.optimize_exn ~mode:Mode.Divisors op buffer in
+  Format.printf "@[<v>chosen dataflow: %a@ schedule: %a@ cost: %a@]@."
+    Nra.pp_dataflow plan.dataflow Schedule.pp plan.schedule Cost.pp plan.cost;
+
+  (* 4. sanity-check against exhaustive design-space exploration *)
+  (match Fusecu_dse.Exhaustive.search op buffer with
+  | Some searched ->
+    Format.printf "searched optimum: %s (over %d schedules) -> %s@."
+      (Fusecu_util.Units.pp_count searched.cost.Cost.total)
+      searched.explored
+      (if searched.cost.Cost.total = Intra.ma plan then
+         "the principles found it in one shot"
+       else "principles differ from the searched optimum")
+  | None -> print_endline "search infeasible");
+
+  (* 5. how close are we to the unbounded-buffer lower bound? *)
+  Format.printf "communication lower bound (unbounded buffer): %s; achieved %s (%.2fx)@."
+    (Fusecu_util.Units.pp_count (Lower_bound.intra op))
+    (Fusecu_util.Units.pp_count (Intra.ma plan))
+    (Intra.redundancy plan)

@@ -1,0 +1,1 @@
+lib/arch/ablation.ml: Fusecu_loopnest Fusecu_workloads List Perf Platform

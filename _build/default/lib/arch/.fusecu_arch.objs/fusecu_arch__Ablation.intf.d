@@ -1,0 +1,1 @@
+lib/arch/ablation.mli: Fusecu_loopnest Fusecu_workloads Platform

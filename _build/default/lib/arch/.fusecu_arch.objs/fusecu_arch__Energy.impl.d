@@ -1,0 +1,1 @@
+lib/arch/energy.ml: Format Perf Platform

@@ -1,0 +1,1 @@
+lib/arch/energy.mli: Format Perf

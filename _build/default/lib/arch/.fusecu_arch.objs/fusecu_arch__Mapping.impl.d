@@ -1,0 +1,1 @@
+lib/arch/mapping.ml: Arith Cost Dim Float Fusecu_core Fusecu_loopnest Fusecu_tensor Fusecu_util Fused List Matmul Nra Operand Platform Principles Schedule Shape Tiling

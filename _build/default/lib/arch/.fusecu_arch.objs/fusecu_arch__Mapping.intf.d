@@ -1,0 +1,1 @@
+lib/arch/mapping.mli: Buffer Fusecu_core Fusecu_loopnest Fusecu_tensor Fused Matmul Nra Operand Platform Principles Schedule

@@ -1,0 +1,1 @@
+lib/arch/noc.ml: Dim Fusecu_loopnest Fusecu_tensor Fusecu_util Fused Mapping Platform Schedule Tiling

@@ -1,0 +1,1 @@
+lib/arch/noc.mli: Fusecu_loopnest Fused Platform

@@ -1,0 +1,1 @@
+lib/arch/perf.mli: Buffer Format Fusecu_core Fusecu_loopnest Fusecu_tensor Fusecu_workloads Intra Matmul Mode Platform Workload

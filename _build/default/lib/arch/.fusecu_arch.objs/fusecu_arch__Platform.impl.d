@@ -1,0 +1,1 @@
+lib/arch/platform.ml: Fusecu_core Fusecu_tensor List Nra Operand Shape String

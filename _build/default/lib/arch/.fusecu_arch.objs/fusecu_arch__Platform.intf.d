@@ -1,0 +1,1 @@
+lib/arch/platform.mli: Fusecu_core Fusecu_tensor Nra Operand Shape

@@ -1,0 +1,1 @@
+lib/arch/schedule_sim.ml: Array Float List Perf Platform

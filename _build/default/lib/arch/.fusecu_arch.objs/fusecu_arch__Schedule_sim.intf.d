@@ -1,0 +1,1 @@
+lib/arch/schedule_sim.mli: Perf Platform

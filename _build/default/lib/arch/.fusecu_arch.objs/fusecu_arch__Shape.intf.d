@@ -1,0 +1,1 @@
+lib/arch/shape.mli: Format

@@ -1,0 +1,57 @@
+
+type variant = { platform : Platform.t; adds : string }
+
+(* Step 2 keeps the rigid 128x128 arrays but allows any stationary
+   operand; step 3 additionally unlocks the untiled-dimension classes
+   and the CU shape set; step 4 is FuseCU itself. *)
+let ladder =
+  [ { platform = Platform.tpu_v4i; adds = "" };
+    { platform = Platform.gemmini; adds = "flexible stationary (XS PE)" };
+    { platform = Platform.unfcu; adds = "adaptive tiling (CU resize)" };
+    { platform = Platform.fusecu; adds = "tensor fusion (FuseCU)" } ]
+
+type step = {
+  name : string;
+  adds : string;
+  traffic : int;
+  cycles : int;
+  ma_saving_vs_base : float;
+  speedup_vs_base : float;
+}
+
+let run ?(buf = Fusecu_loopnest.Buffer.of_kib 512) models =
+  let evaluate (p : Platform.t) =
+    List.fold_left
+      (fun acc model ->
+        match acc with
+        | Error _ as e -> e
+        | Ok (traffic, cycles) -> (
+          let w = Fusecu_workloads.Workload.of_model model in
+          match Perf.eval_workload p buf w with
+          | Ok e -> Ok (traffic + e.Perf.traffic, cycles + e.Perf.cycles)
+          | Error e -> Error e))
+      (Ok (0, 0)) models
+  in
+  match evaluate (List.hd ladder).platform with
+  | Error e -> Error e
+  | Ok (base_traffic, base_cycles) ->
+    let rec steps acc = function
+      | [] -> Ok (List.rev acc)
+      | { platform; adds } :: rest -> (
+        match evaluate platform with
+        | Error e -> Error e
+        | Ok (traffic, cycles) ->
+          let step =
+            { name = platform.Platform.name;
+              adds;
+              traffic;
+              cycles;
+              ma_saving_vs_base =
+                1. -. (float_of_int traffic /. float_of_int base_traffic);
+              speedup_vs_base =
+                float_of_int base_cycles /. float_of_int cycles }
+          in
+          steps (step :: acc) rest)
+    in
+    steps [] ladder
+

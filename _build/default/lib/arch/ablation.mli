@@ -1,0 +1,34 @@
+(** Feature ablation of the FuseCU design.
+
+    DESIGN.md calls out three design choices behind FuseCU's results:
+    flexible stationarity (the XS PE), adaptive tiling (CU resize), and
+    compute-unit fusion. This module builds the lattice of platform
+    variants between the rigid baseline and full FuseCU, so benchmarks
+    can attribute the measured savings to individual features — the
+    paper's UnfCU is one point of this lattice (everything but
+    fusion). *)
+
+type variant = {
+  platform : Platform.t;
+  adds : string;  (** the feature this step enables, "" for the base *)
+}
+
+val ladder : variant list
+(** Rigid baseline → +flexible stationary → +adaptive tiling →
+    +fusion (= FuseCU). Each step enables exactly one Table III
+    attribute. *)
+
+type step = {
+  name : string;
+  adds : string;
+  traffic : int;
+  cycles : int;
+  ma_saving_vs_base : float;
+  speedup_vs_base : float;
+}
+
+val run : ?buf:Fusecu_loopnest.Buffer.t -> Fusecu_workloads.Model.t list
+  -> (step list, string) result
+(** Evaluate every ladder step on the given models (summing traffic and
+    cycles across them) and report each step's cumulative gain over the
+    rigid baseline. *)

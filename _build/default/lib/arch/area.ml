@@ -1,0 +1,71 @@
+type component = { name : string; area_um2 : float; overhead : bool }
+
+type breakdown = {
+  components : component list;
+  base_um2 : float;
+  overhead_um2 : float;
+  overhead_pct : float;
+  interconnect_pct : float;
+}
+
+(* 28 nm standard-cell estimates, per instance (um^2). Register bits at
+   ~6 um^2/bit, 2:1 muxes at ~1.2 um^2/bit; int8 multiplier plus 32-bit
+   accumulate adder from synthesis folklore for this node. *)
+let mac_int8 = 295.
+let accumulator_reg32 = 192.
+let io_regs = 96. (* two 8-bit operand registers *)
+let pe_control = 18.
+let mux2_bit = 1.2
+
+(* The XS PE (Fig. 6) adds muxes on the stationary-register input
+   (8 bits), the accumulate path (32 bits) and the activation output
+   (8 bits), plus a small mode-config register. *)
+let xs_mux_bits = 48.
+let xs_config_regs = 16.
+
+let fusecu_breakdown ?(pe_dim = 128) ?(num_cus = 4) () =
+  let pes = float_of_int (pe_dim * pe_dim * num_cus) in
+  let per_cu_edge_pes = float_of_int (2 * pe_dim) in
+  let cus = float_of_int num_cus in
+  let components =
+    [ { name = "multipliers (int8)"; area_um2 = mac_int8 *. pes; overhead = false };
+      { name = "accumulators"; area_um2 = accumulator_reg32 *. pes; overhead = false };
+      { name = "base PE registers"; area_um2 = io_regs *. pes; overhead = false };
+      { name = "base PE control"; area_um2 = pe_control *. pes; overhead = false };
+      { name = "softmax unit"; area_um2 = 1.875e3 *. float_of_int pe_dim;
+        overhead = false };
+      { name = "array control"; area_um2 = 1.25e3 *. float_of_int pe_dim *. cus;
+        overhead = false };
+      { name = "XS PE muxes"; area_um2 = mux2_bit *. xs_mux_bits *. pes;
+        overhead = true };
+      { name = "XS config registers"; area_um2 = xs_config_regs *. pes;
+        overhead = true };
+      { name = "FuseCU resize interconnect";
+        area_um2 = mux2_bit *. 16. *. per_cu_edge_pes *. cus;
+        overhead = true };
+      { name = "fusion control units"; area_um2 = 1.2e3 *. cus; overhead = true } ]
+  in
+  let sum f =
+    List.fold_left (fun acc c -> if f c then acc +. c.area_um2 else acc) 0. components
+  in
+  let base_um2 = sum (fun c -> not c.overhead) in
+  let overhead_um2 = sum (fun c -> c.overhead) in
+  let interconnect =
+    sum (fun c ->
+        c.overhead
+        && (c.name = "FuseCU resize interconnect" || c.name = "fusion control units"))
+  in
+  { components; base_um2; overhead_um2;
+    overhead_pct = overhead_um2 /. base_um2;
+    interconnect_pct = interconnect /. base_um2 }
+
+let pp fmt b =
+  let mm2 x = x /. 1e6 in
+  Format.fprintf fmt "@[<v>FuseCU area breakdown (28 nm):@ %a@ %s@ %s@]"
+    (Format.pp_print_list (fun fmt c ->
+         Format.fprintf fmt "%-28s %8.3f mm2%s" c.name (mm2 c.area_um2)
+           (if c.overhead then "  [overhead]" else "")))
+    b.components
+    (Printf.sprintf "total overhead: %.1f%% of the baseline array"
+       (100. *. b.overhead_pct))
+    (Printf.sprintf "interconnect+control: %.3f%%" (100. *. b.interconnect_pct))

@@ -1,0 +1,29 @@
+(** Parts-based area model for FuseCU at 28 nm (paper Fig. 12).
+
+    The paper synthesizes Chisel RTL with Design Compiler; we cannot, so
+    each component gets a per-instance area constant of the right order
+    for 28 nm standard-cell implementations (int8 MAC, registers, 2:1
+    muxes). The claims under test are structural and survive constant
+    wiggle: (a) the XS PE muxing is the dominant overhead, around 12% of
+    the PE array; (b) the inter-CU interconnect and fusion control are
+    negligible (< 0.1%), far below Planaria's reported 12.6%
+    interconnect cost. *)
+
+type component = {
+  name : string;
+  area_um2 : float;  (** total area of this component class *)
+  overhead : bool;  (** introduced by FuseCU (vs. a standard array)? *)
+}
+
+type breakdown = {
+  components : component list;
+  base_um2 : float;  (** standard systolic-array area (non-overhead) *)
+  overhead_um2 : float;
+  overhead_pct : float;  (** overhead relative to the baseline array *)
+  interconnect_pct : float;  (** FuseCU interconnect + fusion control only *)
+}
+
+val fusecu_breakdown : ?pe_dim:int -> ?num_cus:int -> unit -> breakdown
+(** Defaults: 128x128 PEs per CU, 4 CUs (the TPUv4i-based FuseCU). *)
+
+val pp : Format.formatter -> breakdown -> unit

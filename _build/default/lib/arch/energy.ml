@@ -1,0 +1,38 @@
+type costs = {
+  dram_pj : float;
+  buffer_pj : float;
+  mac_pj : float;
+  static_pj_per_cycle : float;
+}
+
+let default_costs =
+  { dram_pj = 160.; buffer_pj = 6.; mac_pj = 0.4; static_pj_per_cycle = 50. }
+
+type t = {
+  dram_nj : float;
+  buffer_nj : float;
+  compute_nj : float;
+  static_nj : float;
+  total_nj : float;
+}
+
+let of_eval ?(costs = default_costs) (e : Perf.eval) =
+  let macs = float_of_int e.macs in
+  let pes = float_of_int (Platform.total_pes e.platform) in
+  (* each operand element fetched from the buffer feeds a systolic wave
+     that reuses it across one array dimension *)
+  let buffer_accesses = 2. *. macs /. sqrt pes in
+  let dram_nj = float_of_int e.traffic_bytes *. costs.dram_pj /. 1e3 in
+  let buffer_nj = buffer_accesses *. costs.buffer_pj /. 1e3 in
+  let compute_nj = macs *. costs.mac_pj /. 1e3 in
+  let static_nj = float_of_int e.cycles *. costs.static_pj_per_cycle /. 1e3 in
+  { dram_nj; buffer_nj; compute_nj; static_nj;
+    total_nj = dram_nj +. buffer_nj +. compute_nj +. static_nj }
+
+let saving a b = 1. -. (a.total_nj /. b.total_nj)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "energy %.2f uJ (dram %.2f, buffer %.2f, compute %.2f, static %.2f)"
+    (t.total_nj /. 1e3) (t.dram_nj /. 1e3) (t.buffer_nj /. 1e3)
+    (t.compute_nj /. 1e3) (t.static_nj /. 1e3)

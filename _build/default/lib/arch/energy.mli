@@ -1,0 +1,42 @@
+(** Energy model for workload execution.
+
+    The paper motivates dataflow optimization by memory access being "a
+    key factor in the energy consumption of tensor applications"; this
+    module turns the traffic and MAC counts of a {!Perf.eval} into
+    energy, using per-access costs of the usual 28/32 nm order
+    (Horowitz, ISSCC'14 scaled to int8; DRAM access dominates on-chip
+    access by ~2 orders of magnitude, buffer dominates register by ~1).
+
+    Constants are a calibration surface, not a contribution: the claims
+    that survive constant wiggle are (a) traffic reduction translates
+    almost one-for-one into energy reduction for memory-bound layers and
+    (b) the MAC energy floor bounds the achievable saving. *)
+
+type costs = {
+  dram_pj : float;  (** per element moved between DRAM and buffer *)
+  buffer_pj : float;  (** per element moved between buffer and PEs *)
+  mac_pj : float;  (** per multiply-accumulate *)
+  static_pj_per_cycle : float;  (** leakage + clock tree, whole chip *)
+}
+
+val default_costs : costs
+(** 160 pJ DRAM, 6 pJ buffer, 0.4 pJ int8 MAC, 50 pJ/cycle static. *)
+
+type t = {
+  dram_nj : float;
+  buffer_nj : float;
+  compute_nj : float;
+  static_nj : float;
+  total_nj : float;
+}
+
+val of_eval : ?costs:costs -> Perf.eval -> t
+(** Energy of an evaluated workload. Buffer-to-PE traffic is
+    approximated as one buffer access per MAC operand pair reused
+    spatially: [macs / sqrt(PEs)] per the standard systolic reuse
+    argument. *)
+
+val saving : t -> t -> float
+(** [saving a b] is the fraction of [b]'s energy that [a] avoids. *)
+
+val pp : Format.formatter -> t -> unit

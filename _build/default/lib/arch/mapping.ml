@@ -1,0 +1,137 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_util
+
+let intent_anchor = function
+  | Nra.Single_nra { stationary } -> stationary
+  | Nra.Two_nra { untiled; redundant } -> (
+    match
+      List.filter
+        (fun x -> not (Operand.equal x redundant))
+        (Operand.with_dim untiled)
+    with
+    | [ x ] -> x
+    | _ -> assert false)
+  | Nra.Three_nra { resident } -> resident
+
+let schedule_anchor op (s : Schedule.t) =
+  let score x =
+    let tile = Tiling.operand_tile s.tiling x in
+    let nra = if Cost.is_nra op s x then 1 else 0 in
+    (tile, nra)
+  in
+  List.fold_left
+    (fun best x -> if score x > score best then x else best)
+    Operand.A [ Operand.B; Operand.C ]
+
+let anchor_cap (p : Platform.t) =
+  match p.flex with
+  | Platform.Low -> Some (2 * p.pe_dim)
+  | Platform.Mid | Platform.High -> None
+
+(* Snap one anchor-tile dimension to the platform grain/cap. *)
+let snap_dim (p : Platform.t) ~dim ~tile =
+  let tile =
+    match anchor_cap p with Some cap -> min tile cap | None -> tile
+  in
+  let tile = min tile dim in
+  if tile >= dim then dim
+  else if dim <= p.ma_grain then min tile dim
+  else max p.ma_grain (tile / p.ma_grain * p.ma_grain)
+
+let admit (p : Platform.t) op buf (c : Principles.candidate) =
+  let anchor = intent_anchor c.intent in
+  if not (List.mem anchor p.anchors) then None
+  else if not (List.mem (Nra.class_of c.intent) p.classes) then None
+  else begin
+    let d1, d2 = Operand.dims anchor in
+    let s = c.schedule in
+    let snap d tiling =
+      let tile = snap_dim p ~dim:(Matmul.dim op d) ~tile:(Tiling.get tiling d) in
+      Tiling.with_dim op tiling d tile
+    in
+    let tiling = snap d2 (snap d1 s.tiling) in
+    let schedule = Schedule.make tiling s.order in
+    if Schedule.fits schedule buf then Some { c with schedule } else None
+  end
+
+let shapes_of (p : Platform.t) ~rows ~cols =
+  match p.shaping with
+  | Platform.Fixed_shapes shapes -> shapes
+  | Platform.Grain g ->
+    (* Fission composes an array matched to the (quantized) tile, within
+       the total PE budget. *)
+    let budget = Platform.total_pes p in
+    let quant x = Arith.ceil_div x g * g in
+    let r = min (quant rows) budget in
+    let c = min (quant cols) (max g (budget / r)) in
+    [ Shape.make ~rows:r ~cols:c ]
+
+let chunk_efficiency ~rows ~cols (shape : Shape.t) =
+  let slots r len = Arith.ceil_div len r * r in
+  float_of_int (rows * cols)
+  /. float_of_int (slots shape.rows rows * slots shape.cols cols)
+
+let spatial_util p ~rows ~cols =
+  let candidates = shapes_of p ~rows ~cols in
+  List.fold_left
+    (fun acc shape -> Float.max acc (chunk_efficiency ~rows ~cols shape))
+    0. candidates
+
+let best_shape p ~rows ~cols =
+  let candidates = shapes_of p ~rows ~cols in
+  List.fold_left
+    (fun best shape ->
+      if chunk_efficiency ~rows ~cols shape > chunk_efficiency ~rows ~cols best
+      then shape
+      else best)
+    (List.hd candidates) candidates
+
+let temporal_eff p ~rows ~cols ~stream =
+  let shape = best_shape p ~rows ~cols in
+  let r = min rows shape.Shape.rows and c = min cols shape.Shape.cols in
+  float_of_int stream /. float_of_int (stream + r + c - 2)
+
+let anchor_tile_dims (s : Schedule.t) anchor =
+  let d1, d2 = Operand.dims anchor in
+  (Tiling.get s.tiling d1, Tiling.get s.tiling d2, Operand.free_dim anchor)
+
+let solo_util p op (s : Schedule.t) =
+  let anchor = schedule_anchor op s in
+  let rows, cols, free = anchor_tile_dims s anchor in
+  let stream = Matmul.dim op free in
+  spatial_util p ~rows ~cols *. temporal_eff p ~rows ~cols ~stream
+
+type fusion_mapping = Tile_fusion | Column_fusion
+
+let intermediate_tile (f : Fused.t) =
+  (Tiling.get f.producer.tiling Dim.M, Tiling.get f.producer.tiling Dim.L)
+
+let fusion_mapping_of f =
+  let tm, tl = intermediate_tile f in
+  if tm = 1 || tl = 1 then Column_fusion else Tile_fusion
+
+let fused_util p (pair : Fused.pair) (f : Fused.t) =
+  match fusion_mapping_of f with
+  | Tile_fusion ->
+    (* The intermediate tile is the stationary tile for both phases;
+       phase 1 streams the reduction dim K1, phase 2 the output dim L2,
+       with a single fill/drain. *)
+    let rows, cols = intermediate_tile f in
+    let stream = pair.Fused.op1.k + pair.Fused.op2.l in
+    spatial_util p ~rows ~cols *. temporal_eff p ~rows ~cols ~stream
+  | Column_fusion ->
+    (* The array splits in two parts sharing its rows (Fig. 5(b)): the
+       producer part holds its stationary operand across K1 columns,
+       the consumer part accumulates the output across L2 columns, and
+       intermediate columns stream between them. The two small operators
+       pack side by side into one combined [rows x (K1 + L2)] footprint
+       — the paper's "consolidating small MMs into larger
+       computations". *)
+    let tm, tl = intermediate_tile f in
+    let shared_rows = if tm = 1 then tl else tm in
+    let combined_cols = pair.Fused.op1.k + pair.Fused.op2.l in
+    let columns = if tl = 1 then pair.Fused.op1.l else pair.Fused.op1.m in
+    spatial_util p ~rows:shared_rows ~cols:combined_cols
+    *. temporal_eff p ~rows:shared_rows ~cols:combined_cols ~stream:columns

@@ -1,0 +1,69 @@
+(** PE-level mapping: which buffer-level schedules a platform can
+    execute, how buffer tiles are quantized to the array, and the
+    utilization of a mapped dataflow.
+
+    The {e anchor} of a schedule is the operand kept locally by the PE
+    array (the operand with the largest buffer tile; Sec. IV-A's
+    "stationary tile"). Platform restrictions:
+
+    - the anchor operand must be in [platform.anchors];
+    - the intended NRA class must be in [platform.classes];
+    - on low-flexibility machines the anchor tile is additionally capped
+      at the joint array footprint (2N per dim): their rigid dataflow
+      streams directly against array-resident data and cannot re-block
+      the stationary tensor in the buffer;
+    - anchor tile dims snap down to the platform grain (128 / 64 / 16)
+      unless the dimension itself is smaller.
+
+    Utilization = spatial (how well the stationary tile fills the
+    configurable array shapes) x temporal (systolic fill/drain overhead
+    for the streamed dimension). *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+
+val intent_anchor : Nra.dataflow -> Operand.t
+(** The operand a dataflow shape keeps locally: the stationary tensor
+    (Single), the non-redundant tensor indexed by the untiled dim (Two),
+    or the resident tensor (Three). *)
+
+val schedule_anchor : Matmul.t -> Schedule.t -> Operand.t
+(** Anchor recovered from an arbitrary schedule: the operand with the
+    largest tile (ties broken towards non-redundant operands, then
+    [A < B < C]). *)
+
+val anchor_cap : Platform.t -> int option
+(** Per-dimension cap on the anchor tile ([Some (2N)] for
+    low-flexibility platforms, [None] otherwise). *)
+
+val admit : Platform.t -> Matmul.t -> Buffer.t -> Principles.candidate
+  -> Principles.candidate option
+(** Apply the restrictions above to a principle candidate: check anchor
+    and class, snap/cap the anchor tile dims, and re-check buffer fit.
+    [None] when the candidate is not executable on the platform. *)
+
+val spatial_util : Platform.t -> rows:int -> cols:int -> float
+(** Fraction of PE slots doing useful work when a [rows x cols]
+    stationary tile is mapped (chunked) onto the platform's array
+    shapes; in (0, 1]. *)
+
+val temporal_eff : Platform.t -> rows:int -> cols:int -> stream:int -> float
+(** Systolic pipeline efficiency [s / (s + r + c - 2)] for streaming
+    [stream] vectors through the best array shape for the tile. *)
+
+val solo_util : Platform.t -> Matmul.t -> Schedule.t -> float
+(** Combined mapping utilization of an intra-operator schedule. *)
+
+(** How a fused pair maps onto FuseCU (Sec. IV-A). *)
+type fusion_mapping =
+  | Tile_fusion  (** tile-like intermediate held as stationary tile *)
+  | Column_fusion  (** column-like intermediate streamed between two
+                       array halves *)
+
+val fusion_mapping_of : Fused.t -> fusion_mapping
+(** Tile fusion when the intermediate tile is 2-D, column fusion when
+    one of its dims is 1. *)
+
+val fused_util : Platform.t -> Fused.pair -> Fused.t -> float
+(** Combined mapping utilization of a fused execution. *)

@@ -1,0 +1,44 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type transfer = {
+  columns : int;
+  column_height : int;
+  link_width : int;
+  cycles_per_column : int;
+  stall_cycles : int;
+}
+
+let column_fusion_transfer (p : Platform.t) (pair : Fused.pair) (f : Fused.t) =
+  match Mapping.fusion_mapping_of f with
+  | Mapping.Tile_fusion -> None
+  | Mapping.Column_fusion ->
+    let tm = Tiling.get f.producer.tiling Dim.M in
+    let tl = Tiling.get f.producer.tiling Dim.L in
+    (* the moving tile is the unit-width side; the resident side is the
+       column height *)
+    let column_height, columns_per_tile =
+      if tl = 1 then (tm, pair.Fused.op1.l) else (tl, pair.Fused.op1.m)
+    in
+    let tile_instances =
+      let trips d s = Schedule.trips pair.Fused.op1 s d in
+      let all = trips Dim.M f.producer * trips Dim.K f.producer * trips Dim.L f.producer in
+      (* columns stream once per tile pass over the moving dimension *)
+      max 1 (all / max 1 (if tl = 1 then trips Dim.L f.producer else trips Dim.M f.producer))
+    in
+    let columns = columns_per_tile * tile_instances in
+    let link_width = p.Platform.pe_dim in
+    let cycles_per_column = Fusecu_util.Arith.ceil_div column_height link_width in
+    Some
+      { columns;
+        column_height;
+        link_width;
+        cycles_per_column;
+        stall_cycles = (cycles_per_column - 1) * columns }
+
+let total_elements t = t.columns * t.column_height
+
+let occupancy t =
+  let used = float_of_int (total_elements t) in
+  let available = float_of_int (t.columns * t.cycles_per_column * t.link_width) in
+  used /. available

@@ -1,0 +1,33 @@
+(** Inter-CU link model for fused executions.
+
+    Column fusion streams intermediate columns from the producer half of
+    the cluster into the consumer half through the edge muxes of
+    Fig. 7. A link carries one element per edge PE per cycle, so a
+    column of height [h] needs [ceil(h / link_width)] cycles; the
+    producer emits one column per cycle in steady state, so fusion
+    stalls whenever a column is taller than the link is wide. This
+    module quantifies the link occupancy and stall cycles — the paper's
+    implicit claim is that FuseCU's configurations keep the link
+    exactly matched (no stall), which tests verify for the profitable
+    patterns. *)
+
+open Fusecu_loopnest
+
+type transfer = {
+  columns : int;  (** intermediate columns streamed *)
+  column_height : int;  (** elements per column *)
+  link_width : int;  (** elements the inter-CU link moves per cycle *)
+  cycles_per_column : int;
+  stall_cycles : int;  (** extra cycles beyond one column per cycle *)
+}
+
+val column_fusion_transfer : Platform.t -> Fused.pair -> Fused.t -> transfer option
+(** The transfer a fused dataflow induces on the inter-CU link; [None]
+    for tile fusion (the intermediate never crosses a link). The link
+    width is the producer half's edge: [pe_dim] elements per cycle. *)
+
+val total_elements : transfer -> int
+
+val occupancy : transfer -> float
+(** Fraction of link cycles doing useful work: 1.0 when columns and
+    link are exactly matched. *)

@@ -1,0 +1,209 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_workloads
+
+(* Fraction of the shorter phase that cannot hide behind the longer
+   one: 0 = perfect double-buffered overlap, 1 = fully serialized
+   load/compute. Spatial accelerators with a single shared buffer port
+   overlap imperfectly; 0.5 is the calibrated default (see DESIGN.md). *)
+let serialization = ref 0.5
+
+let roofline (p : Platform.t) ~elt_bytes ~macs ~traffic ~util_map =
+  let peak = float_of_int (Platform.peak_macs_per_cycle p) in
+  let compute = ceil (float_of_int macs /. (peak *. Float.max 1e-9 util_map)) in
+  let memory =
+    ceil (float_of_int (traffic * elt_bytes) /. float_of_int p.bw_bytes_per_cycle)
+  in
+  int_of_float
+    (Float.max compute memory +. (!serialization *. Float.min compute memory))
+
+(* Candidates are ranked by roofline cycles first, then traffic: when a
+   segment is compute-bound, an array-friendly tiling with marginally
+   more traffic beats a ragged traffic-optimal one; when memory-bound,
+   traffic decides the cycles anyway. elt_bytes = 1 here matches the
+   eval default; cycle ordering is insensitive to it in practice. *)
+let rank_key (p : Platform.t) op (schedule : Schedule.t) =
+  let cost = Cost.eval op schedule in
+  let util_map = Mapping.solo_util p op schedule in
+  let cycles =
+    roofline p ~elt_bytes:1 ~macs:(Matmul.macs op) ~traffic:cost.Cost.total
+      ~util_map
+  in
+  (cycles, cost.Cost.total, Schedule.footprint schedule)
+
+let plan_op ?(mode = Mode.Exact) (p : Platform.t) buf op =
+  let admit = Mapping.admit p op buf in
+  let candidates =
+    List.filter_map admit (Intra.candidates ~mode op buf)
+    @ List.filter_map admit (Intra.candidates ~mode:Mode.Divisors op buf)
+  in
+  match candidates with
+  | [] ->
+    Error
+      (Format.asprintf "%s cannot execute %a within %a" p.name Matmul.pp op
+         Buffer.pp buf)
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best (c : Principles.candidate) ->
+          if rank_key p op c.schedule < rank_key p op best.Principles.schedule then
+            c
+          else best)
+        first rest
+    in
+    let schedule = best.Principles.schedule in
+    Ok
+      { Intra.op; schedule;
+        cost = Cost.eval op schedule;
+        dataflow = Nra.classify op schedule;
+        regime = Regime.classify op buf }
+
+type segment = {
+  label : string;
+  count : int;
+  macs : int;
+  traffic : int;
+  util_map : float;
+  cycles : int;
+}
+
+type eval = {
+  platform : Platform.t;
+  workload : Workload.t;
+  segments : segment list;
+  traffic : int;
+  traffic_bytes : int;
+  macs : int;
+  cycles : int;
+  utilization : float;
+}
+
+let solo_segment (p : Platform.t) ~elt_bytes ~count (plan : Intra.plan) =
+  let macs = Matmul.macs plan.op in
+  let traffic = Intra.ma plan in
+  let util_map = Mapping.solo_util p plan.op plan.schedule in
+  { label = plan.op.name; count; macs; traffic; util_map;
+    cycles = roofline p ~elt_bytes ~macs ~traffic ~util_map }
+
+let fused_segment (p : Platform.t) ~elt_bytes ~count (pair : Fused.pair) fused
+    traffic =
+  let macs = Matmul.macs pair.op1 + Matmul.macs pair.op2 in
+  let util_map = Mapping.fused_util p pair fused in
+  { label = Printf.sprintf "%s+%s" pair.op1.name pair.op2.name;
+    count; macs; traffic; util_map;
+    cycles = roofline p ~elt_bytes ~macs ~traffic ~util_map }
+
+(* A fusable pair on a fusion-capable platform: compare the best fused
+   dataflow against the two solo plans, both under the roofline, and
+   keep whichever finishes sooner (ties to less traffic) — "the best
+   dataflow within the supported space". Principle 4 gates which pairs
+   are considered at all. *)
+let plan_pair_segments ?mode (p : Platform.t) buf ~elt_bytes ~count pair =
+  let solo () =
+    match (plan_op ?mode p buf pair.Fused.op1, plan_op ?mode p buf pair.Fused.op2)
+    with
+    | Ok p1, Ok p2 ->
+      Ok [ solo_segment p ~elt_bytes ~count p1; solo_segment p ~elt_bytes ~count p2 ]
+    | Error e, _ | _, Error e -> Error e
+  in
+  if not p.fusion then solo ()
+  else begin
+    let profitable =
+      match
+        (Intra.optimize ?mode pair.Fused.op1 buf,
+         Intra.optimize ?mode pair.Fused.op2 buf)
+      with
+      | Ok p1, Ok p2 ->
+        Fusion.profitable (Nra.class_of p1.dataflow) (Nra.class_of p2.dataflow)
+      | _ -> false
+    in
+    if not profitable then solo ()
+    else begin
+      let fused_candidates =
+        List.map
+          (fun (_, fused, traffic) ->
+            fused_segment p ~elt_bytes ~count pair fused traffic)
+          (Fusion.candidates ?mode pair buf)
+      in
+      let best_fused =
+        List.fold_left
+          (fun acc (s : segment) ->
+            match acc with
+            | Some (b : segment) when (b.cycles, b.traffic) <= (s.cycles, s.traffic)
+              -> acc
+            | _ -> Some s)
+          None fused_candidates
+      in
+      match (best_fused, solo ()) with
+      | None, solo_result -> solo_result
+      | Some fused, Error _ -> Ok [ fused ]
+      | Some fused, Ok solo_segments ->
+        let total f = Fusecu_util.Arith.sum (List.map f solo_segments) in
+        let solo_cycles = total (fun s -> s.cycles) in
+        let solo_traffic = total (fun s -> s.traffic) in
+        if (fused.cycles, fused.traffic) <= (solo_cycles, solo_traffic) then
+          Ok [ fused ]
+        else Ok solo_segments
+    end
+  end
+
+let plan_chain_segments ?mode (p : Platform.t) buf ~elt_bytes ~count chain =
+  match Chain.ops chain with
+  | [ op1; op2 ] ->
+    plan_pair_segments ?mode p buf ~elt_bytes ~count (Fused.make_pair_exn op1 op2)
+  | ops ->
+    (* longer chains: greedy pairwise left-to-right *)
+    let rec loop acc = function
+      | op1 :: op2 :: rest -> (
+        match
+          plan_pair_segments ?mode p buf ~elt_bytes ~count
+            (Fused.make_pair_exn op1 op2)
+        with
+        | Ok segs -> loop (List.rev_append segs acc) rest
+        | Error e -> Error e)
+      | [ op ] -> (
+        match plan_op ?mode p buf op with
+        | Ok plan -> Ok (List.rev (solo_segment p ~elt_bytes ~count plan :: acc))
+        | Error e -> Error e)
+      | [] -> Ok (List.rev acc)
+    in
+    loop [] ops
+
+let eval_workload ?mode ?(elt_bytes = 1) (p : Platform.t) buf workload =
+  let rec eval_items acc = function
+    | [] -> Ok (List.rev acc)
+    | Workload.Single_op { op; count } :: rest -> (
+      match plan_op ?mode p buf op with
+      | Ok plan -> eval_items (solo_segment p ~elt_bytes ~count plan :: acc) rest
+      | Error e -> Error e)
+    | Workload.Fusable { chain; count } :: rest -> (
+      match plan_chain_segments ?mode p buf ~elt_bytes ~count chain with
+      | Ok segments -> eval_items (List.rev_append segments acc) rest
+      | Error e -> Error e)
+  in
+  match eval_items [] (Workload.items workload) with
+  | Error e -> Error e
+  | Ok segments ->
+    let total f = Fusecu_util.Arith.sum (List.map f segments) in
+    let traffic = total (fun s -> s.traffic * s.count) in
+    let macs = total (fun s -> s.macs * s.count) in
+    let cycles = total (fun s -> s.cycles * s.count) in
+    let peak = float_of_int (Platform.peak_macs_per_cycle p) in
+    Ok
+      { platform = p; workload; segments; traffic;
+        traffic_bytes = traffic * elt_bytes; macs; cycles;
+        utilization = float_of_int macs /. (peak *. float_of_int (max 1 cycles)) }
+
+let ma_ratio a b = float_of_int a.traffic /. float_of_int b.traffic
+
+let speedup a b = float_of_int b.cycles /. float_of_int a.cycles
+
+let pp fmt e =
+  Format.fprintf fmt
+    "@[<v>%s on %s: traffic=%s macs=%s cycles=%s utilization=%s@]"
+    e.workload.Workload.name e.platform.Platform.name
+    (Fusecu_util.Units.pp_count e.traffic)
+    (Fusecu_util.Units.pp_count e.macs)
+    (Fusecu_util.Units.pp_count e.cycles)
+    (Fusecu_util.Units.pp_pct e.utilization)

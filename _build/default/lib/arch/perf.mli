@@ -1,0 +1,59 @@
+(** Platform-level performance model.
+
+    Every platform runs the same principle-based optimizer over its own
+    restricted dataflow space ({!Mapping.admit}); the resulting traffic
+    and mapping utilization feed a roofline: a segment's cycle count is
+    the maximum of its compute time (peak MACs x mapping utilization)
+    and its memory time (traffic / on-chip bandwidth). *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_workloads
+
+val serialization : float ref
+(** Fraction of the shorter roofline phase (compute vs memory) that
+    cannot hide behind the longer one: 0 = perfect double-buffered
+    overlap, 1 = fully serialized. Default 0.5 (calibrated; see
+    DESIGN.md). *)
+
+val plan_op : ?mode:Mode.t -> Platform.t -> Buffer.t -> Matmul.t
+  -> (Intra.plan, string) result
+(** Best intra-operator plan within the platform's space (ranked by
+    roofline cycles, then traffic). *)
+
+(** One scheduled piece of work. *)
+type segment = {
+  label : string;
+  count : int;  (** identical instances *)
+  macs : int;  (** per instance *)
+  traffic : int;  (** elements per instance *)
+  util_map : float;  (** mapping utilization (spatial x temporal) *)
+  cycles : int;  (** per instance, after the roofline *)
+}
+
+type eval = {
+  platform : Platform.t;
+  workload : Workload.t;
+  segments : segment list;
+  traffic : int;  (** total elements *)
+  traffic_bytes : int;
+  macs : int;
+  cycles : int;
+  utilization : float;  (** achieved MACs / (peak x cycles) *)
+}
+
+val eval_workload : ?mode:Mode.t -> ?elt_bytes:int -> Platform.t -> Buffer.t
+  -> Workload.t -> (eval, string) result
+(** Plan and cost a full workload: standalone operators through
+    {!plan_op}; fusable chains through the fusion planner when the
+    platform supports fusion, and operator-by-operator otherwise. *)
+
+val ma_ratio : eval -> eval -> float
+(** [ma_ratio a b] is [a.traffic / b.traffic] — memory access of [a]
+    normalized to [b]. *)
+
+val speedup : eval -> eval -> float
+(** [speedup a b] is [b.cycles / a.cycles] — how much faster [a] is. *)
+
+val pp : Format.formatter -> eval -> unit

@@ -1,0 +1,80 @@
+open Fusecu_tensor
+open Fusecu_core
+
+type flex = Low | Mid | High
+
+type shaping = Fixed_shapes of Shape.t list | Grain of int
+
+type t = {
+  name : string;
+  anchors : Operand.t list;
+  classes : Nra.t list;
+  ma_grain : int;
+  shaping : shaping;
+  flex : flex;
+  fusion : bool;
+  pe_dim : int;
+  num_cus : int;
+  bw_bytes_per_cycle : int;
+}
+
+let n = 128
+
+let square = Shape.make ~rows:n ~cols:n
+
+(* FuseCU / UnfCU CU compositions (Fig. 7): square, narrow and wide. *)
+let cu_shapes =
+  [ square;
+    Shape.make ~rows:(2 * n) ~cols:n;
+    Shape.make ~rows:n ~cols:(2 * n);
+    Shape.make ~rows:(2 * n) ~cols:(2 * n);
+    Shape.make ~rows:(4 * n) ~cols:n;
+    Shape.make ~rows:n ~cols:(4 * n) ]
+
+let base ~name ~anchors ~classes ~ma_grain ~shaping ~flex ~fusion =
+  { name; anchors; classes; ma_grain; shaping; flex; fusion; pe_dim = n;
+    num_cus = 4; bw_bytes_per_cycle = 1024 }
+
+let tpu_v4i =
+  base ~name:"TPUv4i" ~anchors:[ Operand.B ] ~classes:[ Nra.Single ] ~ma_grain:128
+    ~shaping:(Fixed_shapes [ square ]) ~flex:Low ~fusion:false
+
+let gemmini =
+  base ~name:"Gemmini" ~anchors:Operand.all ~classes:[ Nra.Single ] ~ma_grain:128
+    ~shaping:(Fixed_shapes [ square ]) ~flex:Low ~fusion:false
+
+let planaria =
+  base ~name:"Planaria" ~anchors:[ Operand.B ] ~classes:Nra.all ~ma_grain:16
+    ~shaping:(Grain 16) ~flex:High ~fusion:false
+
+let unfcu =
+  base ~name:"UnfCU" ~anchors:Operand.all ~classes:Nra.all ~ma_grain:64
+    ~shaping:(Fixed_shapes cu_shapes) ~flex:Mid ~fusion:false
+
+let fusecu =
+  base ~name:"FuseCU" ~anchors:Operand.all ~classes:Nra.all ~ma_grain:64
+    ~shaping:(Fixed_shapes cu_shapes) ~flex:Mid ~fusion:true
+
+let all = [ tpu_v4i; gemmini; planaria; unfcu; fusecu ]
+
+let total_pes t = t.pe_dim * t.pe_dim * t.num_cus
+
+let peak_macs_per_cycle = total_pes
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = target) all
+
+let flex_name = function Low -> "low" | Mid -> "middle" | High -> "high"
+
+let attribute_header =
+  [ "Platform"; "Stationary Flex."; "Tiling Flex."; "Tensor Fusion" ]
+
+let attribute_rows () =
+  List.map
+    (fun p ->
+      [ p.name;
+        (if List.length p.anchors > 1 then "yes" else "no");
+        flex_name p.flex;
+        (if p.fusion then "yes" else "no") ])
+    all

@@ -1,0 +1,68 @@
+(** Spatial-accelerator platform models (the paper's Table III).
+
+    Each platform restricts the buffer-level dataflow space the
+    optimizer may use, following the paper's attribute matrix:
+
+    - {b stationary flexibility} — which operand the PE array can keep
+      locally (the {e anchor}: the operand given the largest buffer
+      tile). WS-only machines (TPUv4i, Planaria) anchor only the weight
+      tensor [B]; XS machines anchor any operand.
+    - {b tiling flexibility} — [Low]: the array's fixed stationary tile
+      cannot realize untiled-dimension dataflows, so only Single-NRA
+      shapes are executable (an anchor tensor that happens to fit
+      entirely still degenerates to Three-NRA), and anchor tile dims are
+      quantized to the 128-PE grain. [High] (Planaria fission): all NRA
+      classes, 16-PE grain, arbitrary array shapes. [Mid] (FuseCU CU
+      composition): all NRA classes, 64-PE grain, the Fig. 7 shape set.
+    - {b fusion} — whether operator chains may keep intermediates
+      on-chip (FuseCU only).
+
+    These restrictions feed {!Perf}, which runs the same principle-based
+    optimizer over each platform's space ("All designs undergo our
+    optimization process to select the best dataflow within their
+    supported spaces"). *)
+
+open Fusecu_tensor
+open Fusecu_core
+
+type flex = Low | Mid | High
+
+type shaping =
+  | Fixed_shapes of Shape.t list
+      (** the array only forms these logical shapes *)
+  | Grain of int
+      (** fission at this granularity into arbitrary shapes (Planaria) *)
+
+type t = {
+  name : string;
+  anchors : Operand.t list;  (** operands the PEs can keep stationary *)
+  classes : Nra.t list;  (** NRA classes the array can execute *)
+  ma_grain : int;  (** anchor-tile quantization for buffer-level tiling *)
+  shaping : shaping;
+  flex : flex;
+  fusion : bool;
+  pe_dim : int;  (** N: each CU is N x N *)
+  num_cus : int;
+  bw_bytes_per_cycle : int;  (** on-chip bandwidth (1 TB/s at ~1 GHz) *)
+}
+
+val tpu_v4i : t
+val gemmini : t
+val planaria : t
+val unfcu : t
+val fusecu : t
+
+val all : t list
+(** Comparison order of the paper's Fig. 10: TPUv4i, Gemmini, Planaria,
+    UnfCU, FuseCU. *)
+
+val total_pes : t -> int
+
+val peak_macs_per_cycle : t -> int
+
+val find : string -> t option
+
+(** Rows of Table III. *)
+val attribute_rows : unit -> string list list
+
+val attribute_header : string list

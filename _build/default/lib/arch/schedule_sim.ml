@@ -1,0 +1,127 @@
+type job = { label : string; compute_cycles : float; bytes : float }
+
+let max_jobs = 4096
+
+let jobs_of_eval (e : Perf.eval) =
+  let per_cu_peak =
+    float_of_int (Platform.peak_macs_per_cycle e.platform)
+    /. float_of_int e.platform.Platform.num_cus
+  in
+  let cus = e.platform.Platform.num_cus in
+  let expanded =
+    List.concat_map
+      (fun (s : Perf.segment) ->
+        let compute_cycles =
+          float_of_int s.macs /. (per_cu_peak *. Float.max 1e-9 s.util_map)
+        in
+        let job = { label = s.label; compute_cycles; bytes = float_of_int s.traffic } in
+        if s.count <= max_jobs / 8 then begin
+          (* a wide operator with few instances is data-parallel along
+             its rows: slice it so the CUs can share it *)
+          let slices = if s.count < cus then cus * 4 / s.count else 1 in
+          let slice =
+            { job with
+              compute_cycles = job.compute_cycles /. float_of_int slices;
+              bytes = job.bytes /. float_of_int slices }
+          in
+          List.init (s.count * slices) (fun _ -> slice)
+        end
+        else begin
+          (* merge instances so the expansion stays tractable *)
+          let groups = max_jobs / 8 in
+          let per_group = float_of_int s.count /. float_of_int groups in
+          List.init groups (fun _ ->
+              { job with
+                compute_cycles = job.compute_cycles *. per_group;
+                bytes = job.bytes *. per_group })
+        end)
+      e.segments
+  in
+  expanded
+
+type running = {
+  mutable compute_left : float;
+  mutable bytes_left : float;
+  mutable cu : int;
+}
+
+type result = {
+  makespan : float;
+  busy : float array;
+  compute_bound : float;
+  bandwidth_bound : float;
+  utilization : float;
+}
+
+let run (p : Platform.t) jobs =
+  let cus = p.Platform.num_cus in
+  let bandwidth = float_of_int p.Platform.bw_bytes_per_cycle in
+  let queue =
+    (* longest (by standalone roofline length) first *)
+    List.sort
+      (fun a b ->
+        compare
+          (Float.max b.compute_cycles (b.bytes /. bandwidth))
+          (Float.max a.compute_cycles (a.bytes /. bandwidth)))
+      jobs
+    |> ref
+  in
+  let running : running option array = Array.make cus None in
+  let busy = Array.make cus 0. in
+  let now = ref 0. in
+  let total_compute = List.fold_left (fun acc j -> acc +. j.compute_cycles) 0. jobs in
+  let total_bytes = List.fold_left (fun acc j -> acc +. j.bytes) 0. jobs in
+  let dispatch () =
+    Array.iteri
+      (fun cu slot ->
+        match (slot, !queue) with
+        | None, job :: rest ->
+          queue := rest;
+          running.(cu) <-
+            Some { compute_left = job.compute_cycles; bytes_left = job.bytes; cu }
+        | _ -> ())
+      running
+  in
+  let active () =
+    Array.to_list running |> List.filter_map (fun slot -> slot)
+  in
+  dispatch ();
+  let rec step () =
+    match active () with
+    | [] -> ()
+    | jobs_now ->
+      let share = bandwidth /. float_of_int (List.length jobs_now) in
+      (* a job's remaining duration under the current shares: compute
+         and transfer overlap, so it is the max of the two phases *)
+      let duration (r : running) =
+        Float.max r.compute_left (r.bytes_left /. share)
+      in
+      let dt =
+        List.fold_left (fun acc r -> Float.min acc (duration r)) Float.infinity
+          jobs_now
+      in
+      let dt = Float.max dt 1e-9 in
+      now := !now +. dt;
+      List.iter
+        (fun r ->
+          busy.(r.cu) <- busy.(r.cu) +. dt;
+          r.compute_left <- Float.max 0. (r.compute_left -. dt);
+          r.bytes_left <- Float.max 0. (r.bytes_left -. (share *. dt));
+          if r.compute_left <= 1e-6 && r.bytes_left <= 1e-6 then
+            running.(r.cu) <- None)
+        jobs_now;
+      dispatch ();
+      step ()
+  in
+  step ();
+  let makespan = !now in
+  { makespan;
+    busy;
+    compute_bound = total_compute /. float_of_int cus;
+    bandwidth_bound = total_bytes /. bandwidth;
+    utilization =
+      (if makespan <= 0. then 0.
+       else
+         Array.fold_left ( +. ) 0. busy /. (float_of_int cus *. makespan)) }
+
+let simulate_eval (e : Perf.eval) = run e.platform (jobs_of_eval e)

@@ -1,0 +1,41 @@
+(** Discrete-event execution of a planned workload on the compute-unit
+    cluster.
+
+    {!Perf} charges each segment a roofline cycle count and sums them —
+    implicitly a perfectly-balanced machine. This simulator schedules
+    the actual segment instances onto the [num_cus] compute units
+    (greedy, longest job first) with a {e shared} memory port: at any
+    instant, running jobs split the bandwidth equally, and a job
+    finishes when both its compute work (at its own mapping
+    utilization, on one CU) and its traffic are done. Completions are
+    processed event by event with rates recomputed at each event.
+
+    The simulated makespan is never below either bound (aggregate
+    compute, aggregate bandwidth) and exposes load imbalance and
+    bandwidth contention that the closed-form model hides. *)
+
+type job = {
+  label : string;
+  compute_cycles : float;  (** on one CU, at the job's utilization *)
+  bytes : float;  (** traffic through the shared port *)
+}
+
+val jobs_of_eval : Perf.eval -> job list
+(** Expand an evaluated workload into per-instance jobs (instances of a
+    segment become separate jobs, capped at 4096 jobs by merging the
+    smallest ones to keep simulation affordable). *)
+
+type result = {
+  makespan : float;  (** cycles until the last job completes *)
+  busy : float array;  (** per-CU busy time *)
+  compute_bound : float;  (** aggregate compute work / number of CUs *)
+  bandwidth_bound : float;  (** aggregate bytes / port bandwidth *)
+  utilization : float;  (** mean busy fraction across CUs *)
+}
+
+val run : Platform.t -> job list -> result
+(** Simulate on the platform's CU count and bandwidth. Empty job lists
+    yield a zero makespan. *)
+
+val simulate_eval : Perf.eval -> result
+(** Convenience: [run] on the eval's own platform. *)

@@ -1,0 +1,11 @@
+type t = { rows : int; cols : int }
+
+let make ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Shape.make: dims must be >= 1";
+  { rows; cols }
+
+let area t = t.rows * t.cols
+
+let transpose t = { rows = t.cols; cols = t.rows }
+
+let pp fmt t = Format.fprintf fmt "%dx%d" t.rows t.cols

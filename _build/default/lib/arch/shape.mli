@@ -1,0 +1,13 @@
+(** Logical PE-array shapes. FuseCU composes its four 128x128 compute
+    units into square, narrow and wide configurations (paper Fig. 7). *)
+
+type t = { rows : int; cols : int }
+
+val make : rows:int -> cols:int -> t
+
+val area : t -> int
+(** Number of PEs, [rows * cols]. *)
+
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit

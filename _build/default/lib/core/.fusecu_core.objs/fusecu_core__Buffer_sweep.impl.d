@@ -1,0 +1,1 @@
+lib/core/buffer_sweep.ml: Buffer Fusecu_loopnest Fusecu_util Intra List Mode Nra Regime

@@ -1,0 +1,1 @@
+lib/core/buffer_sweep.mli: Fusecu_tensor Matmul Mode Nra

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Format List Nra

@@ -1,0 +1,1 @@
+lib/core/equations.ml: Fusecu_tensor Matmul

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Cost Fusecu_loopnest Fusecu_tensor Fusecu_util Fused Fusion Hashtbl Intra List Matmul Mode Movement Nra Operand Principles Printf Regime Schedule Stdlib String

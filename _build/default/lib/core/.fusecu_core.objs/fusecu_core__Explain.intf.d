@@ -1,0 +1,1 @@
+lib/core/explain.mli: Buffer Fusecu_loopnest Fusecu_tensor Fused Matmul Mode

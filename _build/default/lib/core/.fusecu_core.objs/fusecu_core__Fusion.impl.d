@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Arith Buffer Dim Format Fusecu_loopnest Fusecu_tensor Fusecu_util Fused Intra List Mode Nra Order Schedule Tiling Units

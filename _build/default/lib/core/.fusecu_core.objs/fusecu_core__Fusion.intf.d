@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Buffer Format Fusecu_loopnest Fused Intra Mode Nra

@@ -1,0 +1,1 @@
+lib/core/intra.ml: Buffer Cost Format Fusecu_loopnest Fusecu_tensor List Matmul Mode Nra Principles Regime Schedule

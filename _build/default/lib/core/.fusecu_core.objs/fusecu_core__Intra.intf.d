@@ -1,0 +1,1 @@
+lib/core/intra.mli: Buffer Cost Format Fusecu_loopnest Fusecu_tensor Matmul Mode Nra Principles Regime Schedule

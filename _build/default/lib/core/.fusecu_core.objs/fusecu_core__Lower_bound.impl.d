@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Chain Fusecu_tensor Intra Matmul

@@ -1,0 +1,1 @@
+lib/core/lower_bound.mli: Buffer Chain Fusecu_loopnest Fusecu_tensor Matmul Mode

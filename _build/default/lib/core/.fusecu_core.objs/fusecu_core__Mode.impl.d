@@ -1,0 +1,1 @@
+lib/core/mode.ml: Arith Format Fusecu_tensor Fusecu_util List Matmul

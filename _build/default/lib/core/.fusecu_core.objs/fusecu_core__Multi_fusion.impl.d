@@ -1,0 +1,1 @@
+lib/core/multi_fusion.ml: Arith Buffer Chain Cost Dim Format Fusecu_loopnest Fusecu_tensor Fusecu_util Fused List Matmul Mode Operand Order Planner Printf Schedule Tiling

@@ -1,0 +1,1 @@
+lib/core/multi_fusion.mli: Buffer Chain Fusecu_loopnest Fusecu_tensor Mode Planner Schedule

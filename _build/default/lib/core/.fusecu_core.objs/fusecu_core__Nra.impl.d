@@ -1,0 +1,1 @@
+lib/core/nra.ml: Cost Dim Format Fusecu_loopnest Fusecu_tensor List Matmul Operand Schedule Tiling

@@ -1,0 +1,1 @@
+lib/core/nra.mli: Dim Format Fusecu_loopnest Fusecu_tensor Matmul Operand Schedule

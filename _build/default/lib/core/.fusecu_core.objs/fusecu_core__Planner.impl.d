@@ -1,0 +1,1 @@
+lib/core/planner.ml: Chain Format Fusecu_loopnest Fusecu_tensor Fusecu_util Fused Fusion Intra List Matmul Mode

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Buffer Chain Format Fusecu_loopnest Fusecu_tensor Fused Fusion Intra Matmul Mode

@@ -1,0 +1,1 @@
+lib/core/principles.ml: Arith Buffer Dim Fusecu_loopnest Fusecu_tensor Fusecu_util List Matmul Mode Nra Operand Order Schedule Tiling

@@ -1,0 +1,1 @@
+lib/core/principles.mli: Buffer Dim Fusecu_loopnest Fusecu_tensor Matmul Mode Nra Operand Schedule

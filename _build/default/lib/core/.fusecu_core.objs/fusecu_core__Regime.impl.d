@@ -1,0 +1,1 @@
+lib/core/regime.ml: Buffer Format Fusecu_loopnest Fusecu_tensor Matmul Nra

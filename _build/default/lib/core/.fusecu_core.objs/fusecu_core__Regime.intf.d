@@ -1,0 +1,1 @@
+lib/core/regime.mli: Buffer Format Fusecu_loopnest Fusecu_tensor Matmul Nra

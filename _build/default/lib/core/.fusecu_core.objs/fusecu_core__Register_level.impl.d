@@ -1,0 +1,1 @@
+lib/core/register_level.ml: Buffer Fusecu_loopnest Fusecu_tensor Matmul Regime

@@ -1,0 +1,60 @@
+open Fusecu_loopnest
+
+type point = { bytes : int; ma : int; nra : Nra.t; redundancy : float }
+
+let run ?(mode = Mode.Exact) op ~bytes =
+  let sorted = Fusecu_util.Arith.dedup_sorted bytes in
+  List.filter_map
+    (fun b ->
+      match Intra.optimize ~mode op (Buffer.make b) with
+      | Error _ -> None
+      | Ok plan ->
+        Some
+          { bytes = b;
+            ma = Intra.ma plan;
+            nra = Nra.class_of plan.dataflow;
+            redundancy = Intra.redundancy plan })
+    sorted
+
+let geometric ?(from_bytes = 1024) ?(to_bytes = 32 * 1024 * 1024)
+    ?(steps_per_octave = 1) () =
+  if from_bytes < 1 || to_bytes < from_bytes || steps_per_octave < 1 then
+    invalid_arg "Buffer_sweep.geometric: bad range";
+  let ratio = 2. ** (1. /. float_of_int steps_per_octave) in
+  let rec build acc value =
+    if value > float_of_int to_bytes then List.rev acc
+    else build (int_of_float value :: acc) (value *. ratio)
+  in
+  Fusecu_util.Arith.dedup_sorted (build [] (float_of_int from_bytes))
+
+let rec transitions = function
+  | a :: (b :: _ as rest) ->
+    if Nra.equal a.nra b.nra then transitions rest
+    else (b.bytes, a.nra, b.nra) :: transitions rest
+  | [ _ ] | [] -> []
+
+let check_paper_bands op points =
+  let th = Regime.thresholds op in
+  let previous_sample bytes =
+    List.fold_left
+      (fun acc p -> if p.bytes < bytes then max acc p.bytes else acc)
+      0 points
+  in
+  (* The paper's shift points come from continuous analysis; with
+     integer (ceil) trip counts the crossover drifts upward, up to about
+     a factor of two past Dmin^2/2 for small Dmin. The sound invariants
+     are therefore: never shift to Two below Dmin^2/4, the last Single
+     sample within twice the band's upper edge, and never shift to Three
+     before the smallest tensor fits. *)
+  List.for_all
+    (fun (bytes, before, after) ->
+      match (before, after) with
+      | Nra.Single, Nra.Two ->
+        bytes > th.tiny_max && previous_sample bytes <= 2 * th.small_max
+      | Nra.Two, Nra.Single ->
+        (* inside the band either class can win ("for small buffers,
+           both Single-NRA and Two-NRA dataflow can be used") *)
+        bytes <= 2 * th.small_max
+      | (Nra.Single | Nra.Two), Nra.Three -> bytes > th.medium_max
+      | _ -> false)
+    (transitions points)

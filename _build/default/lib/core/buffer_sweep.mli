@@ -1,0 +1,39 @@
+(** Buffer-size sweeps of the principle-based optimizer — the analysis
+    behind Fig. 9's x-axis and the regime table's empirical validation.
+
+    A sweep runs the one-shot optimizer at a series of buffer sizes and
+    reports, per point, the memory access and the NRA class actually
+    chosen; {!transitions} extracts where the class changes, which the
+    paper predicts near [Dmin^2/4 .. Dmin^2/2] (Single to Two; integer trip
+    counts drift the crossover upward by up to ~2x at small Dmin) and
+    at the smallest tensor's size (Two to Three). *)
+
+open Fusecu_tensor
+
+type point = {
+  bytes : int;
+  ma : int;
+  nra : Nra.t;
+  redundancy : float;  (** MA over the unbounded lower bound *)
+}
+
+val run : ?mode:Mode.t -> Matmul.t -> bytes:int list -> point list
+(** Optimize at each buffer size (infeasible points are skipped);
+    points are returned in increasing buffer order. *)
+
+val geometric : ?from_bytes:int -> ?to_bytes:int -> ?steps_per_octave:int ->
+  unit -> int list
+(** A geometric ladder of buffer sizes, default 1 KiB to 32 MiB doubling
+    each step ([steps_per_octave = 1]). *)
+
+val transitions : point list -> (int * Nra.t * Nra.t) list
+(** Buffer sizes at which the chosen class changes, with the classes on
+    either side. *)
+
+val check_paper_bands : Matmul.t -> point list -> bool
+(** Whether every observed transition is consistent with the paper's
+    regime table: a Single-to-Two shift inside (or adjacent to)
+    [\[Dmin^2/4, Dmin^2/2\]] sampling gaps, and the shift into Three-NRA
+    no earlier than the smallest tensor fits. Within the Single/Two
+    band either class may win (and they may alternate — the paper's
+    "small buffer" case); sampling granularity is respected. *)

@@ -1,0 +1,23 @@
+open Fusecu_tensor
+
+let eq1_ma (op : Matmul.t) ~t =
+  if t < 1 || op.m mod t <> 0 || op.l mod t <> 0 then
+    invalid_arg "Equations.eq1_ma: t must divide M and L";
+  (Matmul.macs op * 2 / t) + (op.m * op.l)
+
+let eq2_constraint ~t_m ~t_k ~t_l ~capacity =
+  (t_m * t_k) + (t_k * t_l) + (t_m * t_l) <= capacity
+
+let eq3_ma (op : Matmul.t) ~t_m =
+  if t_m < 1 || op.m mod t_m <> 0 then
+    invalid_arg "Equations.eq3_ma: t_m must divide M";
+  (Matmul.macs op / t_m) + (op.m * op.k) + (op.m * op.l)
+
+let eq4_max_t_m (op : Matmul.t) ~capacity =
+  max 0 ((capacity - op.k) / (op.k + 1))
+
+let single_two_shift_band op =
+  let _, dmin = Matmul.min_dim op in
+  (dmin * dmin / 4, dmin * dmin / 2)
+
+let three_threshold op = snd (Matmul.min_operand op)

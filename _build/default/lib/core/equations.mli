@@ -1,0 +1,37 @@
+(** The paper's closed-form memory-access equations, as executable
+    definitions.
+
+    These are the formulas of Sec. III-A (Eq. 1–4) under their stated
+    assumptions (tile sizes dividing their dimensions). The general
+    cost model {!Fusecu_loopnest.Cost} subsumes them; keeping them as
+    first-class functions documents the derivation and lets tests
+    assert the general model reduces to the paper's algebra exactly on
+    the assumptions' domain. *)
+
+open Fusecu_tensor
+
+val eq1_ma : Matmul.t -> t:int -> int
+(** Eq. 1 — Single-NRA, output-stationary with [T_M = T_L = t],
+    [T_K = 1]: [MA = MKL (1/t + 1/t) + ML]. Requires [t] to divide both
+    [M] and [L] (raises [Invalid_argument] otherwise). *)
+
+val eq2_constraint : t_m:int -> t_k:int -> t_l:int -> capacity:int -> bool
+(** Eq. 2 — the buffer inequality
+    [T_M T_K + T_K T_L + T_M T_L <= BS]. *)
+
+val eq3_ma : Matmul.t -> t_m:int -> int
+(** Eq. 3 — Two-NRA with [K] untiled and [T_L = 1]:
+    [MA = MKL / T_M + MK + ML]. Requires [t_m] to divide [M]. *)
+
+val eq4_max_t_m : Matmul.t -> capacity:int -> int
+(** Eq. 4 solved for the largest [T_M]:
+    [T_M (K + 1) + K <= BS  =>  T_M = (BS - K) / (K + 1)] (0 when
+    infeasible). *)
+
+val single_two_shift_band : Matmul.t -> int * int
+(** The Single-to-Two crossover band of Sec. III-A4:
+    [(Dmin^2 / 4, Dmin^2 / 2)]. *)
+
+val three_threshold : Matmul.t -> int
+(** Buffer size beyond which Three-NRA is preferred: the smallest
+    tensor's size. *)

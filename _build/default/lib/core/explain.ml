@@ -1,0 +1,93 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+let bprintf = Printf.bprintf
+
+let principle_for = function
+  | Nra.Single -> "Principle 1: maximize the stationary tensor's tile dims"
+  | Nra.Two -> "Principle 2: untile the smallest dimension"
+  | Nra.Three -> "Principle 3: keep the smallest tensor resident"
+
+let intra ?(mode = Mode.Exact) op buf =
+  match Intra.optimize ~mode op buf with
+  | Error e -> Error e
+  | Ok plan ->
+    let b = Stdlib.Buffer.create 512 in
+    let th = Regime.thresholds op in
+    bprintf b "operator %s\n" (Matmul.to_string op);
+    let _, dmin = Matmul.min_dim op in
+    let min_op, tensor_min = Matmul.min_operand op in
+    bprintf b "smallest dimension Dmin = %d; smallest tensor %s = %d elements\n"
+      dmin (Operand.to_string min_op) tensor_min;
+    bprintf b
+      "regime thresholds: Dmin^2/4 = %d | Dmin^2/2 = %d | Tensor_min = %d\n"
+      th.tiny_max th.small_max th.medium_max;
+    bprintf b "buffer holds %d elements -> %s regime -> %s expected\n"
+      (Buffer.elements buf)
+      (Regime.to_string plan.regime)
+      (String.concat " or "
+         (List.map Nra.to_string (Regime.expected_classes plan.regime)));
+    bprintf b "%s\n" (principle_for (Nra.class_of plan.dataflow));
+    bprintf b "chosen: %s with schedule %s\n"
+      (Nra.dataflow_to_string plan.dataflow)
+      (Schedule.to_string plan.schedule);
+    bprintf b "memory access %s (lower bound %s, redundancy %.2fx)\n"
+      (Fusecu_util.Units.pp_count (Intra.ma plan))
+      (Fusecu_util.Units.pp_count (Matmul.ideal_ma op))
+      (Intra.redundancy plan);
+    bprintf b "%s" (Movement.describe op plan.schedule);
+    (* best candidate of each family for contrast *)
+    let families = Hashtbl.create 4 in
+    List.iter
+      (fun (c : Principles.candidate) ->
+        (* group by what the schedule actually does (an intent can
+           degenerate, e.g. Single with a full tile behaves as Three) *)
+        let cls = Nra.class_of (Nra.classify op c.schedule) in
+        let total = (Cost.eval op c.schedule).Cost.total in
+        match Hashtbl.find_opt families cls with
+        | Some (best, _) when best <= total -> ()
+        | _ -> Hashtbl.replace families cls (total, c.schedule))
+      (Intra.candidates ~mode op buf);
+    bprintf b "family comparison:\n";
+    List.iter
+      (fun cls ->
+        match Hashtbl.find_opt families cls with
+        | None -> bprintf b "  %-10s infeasible in this buffer\n" (Nra.to_string cls)
+        | Some (total, schedule) ->
+          bprintf b "  %-10s MA %-10s %s\n" (Nra.to_string cls)
+            (Fusecu_util.Units.pp_count total)
+            (Schedule.to_string schedule))
+      Nra.all;
+    Ok (Stdlib.Buffer.contents b)
+
+let fusion ?(mode = Mode.Exact) (pair : Fused.pair) buf =
+  match
+    (Intra.optimize ~mode pair.op1 buf, Intra.optimize ~mode pair.op2 buf)
+  with
+  | Error e, _ | _, Error e -> Error e
+  | Ok p1, Ok p2 -> (
+    let b = Stdlib.Buffer.create 512 in
+    let c1 = Nra.class_of p1.dataflow and c2 = Nra.class_of p2.dataflow in
+    bprintf b "producer %s runs %s; consumer %s runs %s\n"
+      pair.op1.Matmul.name (Nra.to_string c1) pair.op2.Matmul.name
+      (Nra.to_string c2);
+    bprintf b "Principle 4: fusion is %s (classes %s)\n"
+      (if Fusion.profitable c1 c2 then "profitable" else "not profitable")
+      (if Nra.equal c1 c2 then "match" else "differ");
+    match Fusion.plan_pair ~mode pair buf with
+    | Error e -> Error e
+    | Ok (Fusion.No_fuse { traffic; why; _ }) ->
+      bprintf b "decision: run unfused (%s), total traffic %s\n" why
+        (Fusecu_util.Units.pp_count traffic);
+      Ok (Stdlib.Buffer.contents b)
+    | Ok (Fusion.Fuse { pattern; traffic; fused }) ->
+      let unfused = Intra.ma p1 + Intra.ma p2 in
+      bprintf b "decision: fuse with pattern %s\n" (Fusion.pattern_name pattern);
+      bprintf b "  producer schedule %s\n" (Schedule.to_string fused.Fused.producer);
+      bprintf b "  consumer schedule %s\n" (Schedule.to_string fused.Fused.consumer);
+      bprintf b "  traffic %s vs %s unfused (%s saved)\n"
+        (Fusecu_util.Units.pp_count traffic)
+        (Fusecu_util.Units.pp_count unfused)
+        (Fusecu_util.Units.pp_pct
+           (1. -. (float_of_int traffic /. float_of_int unfused)));
+      Ok (Stdlib.Buffer.contents b))

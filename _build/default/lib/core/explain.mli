@@ -1,0 +1,19 @@
+(** Human-readable derivations: why the principles chose a dataflow.
+
+    The paper's selling point over black-box DSE is architectural
+    insight; this module renders the insight — the regime arithmetic,
+    the applicable principle, the tile-size reasoning, and the
+    runner-up candidates — as text for the CLI and examples. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+val intra : ?mode:Mode.t -> Matmul.t -> Buffer.t -> (string, string) result
+(** A multi-line derivation for one operator: thresholds, regime,
+    chosen principle, resulting schedule, and the cost of every
+    dataflow family that was considered. *)
+
+val fusion : ?mode:Mode.t -> Fused.pair -> Buffer.t -> (string, string) result
+(** The Principle-4 reasoning for a fusion site: the two operators'
+    classes, whether fusion is profitable, and (when fusing) the
+    pattern chosen with its traffic against the unfused plan. *)

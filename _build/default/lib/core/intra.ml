@@ -1,0 +1,53 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type plan = {
+  op : Matmul.t;
+  schedule : Schedule.t;
+  cost : Cost.t;
+  dataflow : Nra.dataflow;
+  regime : Regime.t;
+}
+
+let candidates ?(mode = Mode.Exact) op buf = Principles.all mode op buf
+
+let optimize ?(mode = Mode.Exact) ?(filter = fun _ -> true) op buf =
+  let cands = List.filter filter (candidates ~mode op buf) in
+  let scored =
+    List.map
+      (fun (c : Principles.candidate) -> (Cost.eval op c.schedule, c.schedule))
+      cands
+  in
+  let better (ca, sa) (cb, sb) =
+    let open Cost in
+    if ca.total <> cb.total then ca.total < cb.total
+    else Schedule.footprint sa < Schedule.footprint sb
+  in
+  match scored with
+  | [] ->
+    Error
+      (Format.asprintf "no feasible dataflow for %a within %a" Matmul.pp op
+         Buffer.pp buf)
+  | first :: rest ->
+    let cost, schedule =
+      List.fold_left (fun best x -> if better x best then x else best) first rest
+    in
+    Ok
+      { op; schedule; cost;
+        dataflow = Nra.classify op schedule;
+        regime = Regime.classify op buf }
+
+let optimize_exn ?mode ?filter op buf =
+  match optimize ?mode ?filter op buf with
+  | Ok p -> p
+  | Error e -> invalid_arg e
+
+let ma plan = plan.cost.Cost.total
+
+let redundancy plan =
+  float_of_int (ma plan) /. float_of_int (Matmul.ideal_ma plan.op)
+
+let pp_plan fmt p =
+  Format.fprintf fmt "@[<v>%a@ regime=%a dataflow=%a@ schedule=%a@ %a@]" Matmul.pp
+    p.op Regime.pp p.regime Nra.pp_dataflow p.dataflow Schedule.pp p.schedule
+    Cost.pp p.cost

@@ -1,0 +1,39 @@
+(** One-shot intra-operator dataflow optimization (Principles 1–3 plus
+    the regime-based dataflow choice of Sec. III-A4).
+
+    [optimize] evaluates the constant-size principle candidate set and
+    returns the best schedule — no design-space search. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type plan = {
+  op : Matmul.t;
+  schedule : Schedule.t;
+  cost : Cost.t;
+  dataflow : Nra.dataflow;  (** classified from the actual schedule *)
+  regime : Regime.t;
+}
+
+val candidates : ?mode:Mode.t -> Matmul.t -> Buffer.t -> Principles.candidate list
+(** The full principle candidate set ({!Principles.all}); [mode]
+    defaults to [Exact]. *)
+
+val optimize : ?mode:Mode.t -> ?filter:(Principles.candidate -> bool) ->
+  Matmul.t -> Buffer.t -> (plan, string) result
+(** Pick the candidate with the least memory traffic (ties broken by
+    smaller buffer footprint). [filter] restricts the candidate set —
+    platform models use it to express hardware limitations. [Error] when
+    no candidate fits the buffer (capacity below 3 elements). *)
+
+val optimize_exn : ?mode:Mode.t -> ?filter:(Principles.candidate -> bool) ->
+  Matmul.t -> Buffer.t -> plan
+
+val ma : plan -> int
+(** Total element traffic of a plan. *)
+
+val redundancy : plan -> float
+(** Ratio of achieved traffic to the unbounded-buffer lower bound
+    [ideal_ma]; 1.0 means the communication lower bound is met. *)
+
+val pp_plan : Format.formatter -> plan -> unit

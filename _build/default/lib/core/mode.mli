@@ -1,0 +1,17 @@
+(** Tile-size lattices. The principles give continuous-optimum tile
+    sizes; real dataflows snap them to a lattice. *)
+
+open Fusecu_tensor
+
+type t =
+  | Exact  (** any integer tile size; ragged edges are costed exactly *)
+  | Divisors  (** tile sizes divide their dimension (the paper's worked
+                  example: T_M = 512 for M = 1024) *)
+  | Pow2  (** power-of-two tile sizes (or the full dimension) *)
+
+val quantize : t -> Matmul.t -> Dim.t -> int -> int
+(** [quantize mode op d target] is the largest lattice point [<= target]
+    for dimension [d], clamped into [\[1, dim d\]]. A target at or above
+    the dimension size always yields the full dimension (untiled). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type segment =
+  | Solo of Intra.plan
+  | Fused_pair of {
+      pair : Fused.pair;
+      pattern : Fusion.pattern;
+      fused : Fused.t;
+      traffic : int;
+    }
+
+type plan = { segments : segment list; traffic : int }
+
+let segment_traffic = function
+  | Solo p -> Intra.ma p
+  | Fused_pair { traffic; _ } -> traffic
+
+let of_segments segments =
+  { segments;
+    traffic = Fusecu_util.Arith.sum (List.map segment_traffic segments) }
+
+let plan_chain ?(mode = Mode.Exact) ?(strategy = Fusion.By_principle) chain buf =
+  let rec plan_ops_list acc = function
+    | [] -> Ok (List.rev acc)
+    | [ last ] -> (
+      match Intra.optimize ~mode last buf with
+      | Ok p -> Ok (List.rev (Solo p :: acc))
+      | Error e -> Error e)
+    | op1 :: (op2 :: rest as tail) -> (
+      match Fused.make_pair op1 op2 with
+      | Error e -> Error e
+      | Ok pair -> (
+        match Fusion.plan_pair ~mode ~strategy pair buf with
+        | Error e -> Error e
+        | Ok (Fusion.Fuse { pattern; fused; traffic }) ->
+          plan_ops_list (Fused_pair { pair; pattern; fused; traffic } :: acc) rest
+        | Ok (Fusion.No_fuse { plan1; _ }) -> plan_ops_list (Solo plan1 :: acc) tail))
+  in
+  match plan_ops_list [] (Chain.ops chain) with
+  | Ok segments -> Ok (of_segments segments)
+  | Error e -> Error e
+
+let plan_ops ?(mode = Mode.Exact) ops buf =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | op :: rest -> (
+      match Intra.optimize ~mode op buf with
+      | Ok p -> loop (Solo p :: acc) rest
+      | Error e -> Error e)
+  in
+  match loop [] ops with
+  | Ok segments -> Ok (of_segments segments)
+  | Error e -> Error e
+
+let pp fmt t =
+  let pp_segment fmt = function
+    | Solo p -> Format.fprintf fmt "solo: %a" Intra.pp_plan p
+    | Fused_pair { pair; pattern; traffic; _ } ->
+      Format.fprintf fmt "fused [%a] %a + %a: %s" Fusion.pp_pattern pattern
+        Matmul.pp pair.Fused.op1 Matmul.pp pair.Fused.op2
+        (Fusecu_util.Units.pp_count traffic)
+  in
+  Format.fprintf fmt "@[<v>plan traffic=%s@ %a@]"
+    (Fusecu_util.Units.pp_count t.traffic)
+    (Format.pp_print_list pp_segment)
+    t.segments

@@ -1,0 +1,32 @@
+(** Whole-chain planning: apply Principle 4 to every pair of connected
+    operators in a matmul chain and lay out fused / solo segments.
+
+    Fusion is pairwise (as on the FuseCU array, which joins two compute
+    phases); a fused pair consumes two chain positions. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type segment =
+  | Solo of Intra.plan
+  | Fused_pair of {
+      pair : Fused.pair;
+      pattern : Fusion.pattern;
+      fused : Fused.t;
+      traffic : int;
+    }
+
+type plan = { segments : segment list; traffic : int }
+
+val segment_traffic : segment -> int
+
+val plan_chain : ?mode:Mode.t -> ?strategy:Fusion.strategy -> Chain.t -> Buffer.t
+  -> (plan, string) result
+(** Greedy left-to-right planning: each still-unplanned pair is fused
+    when {!Fusion.plan_pair} says so, otherwise the left operator runs
+    solo. *)
+
+val plan_ops : ?mode:Mode.t -> Matmul.t list -> Buffer.t -> (plan, string) result
+(** Plan a bag of independent operators (no fusion opportunities). *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,39 @@
+(** One-shot schedule constructors, one per principle (paper Sec. III-A).
+
+    Each builder turns a closed-form tile-size solution (plus a small
+    integer-lattice neighbourhood, since the closed forms are derived
+    over the reals) into concrete candidate schedules. The builders do
+    {e not} search: the candidate count is a small constant.
+
+    - {!single} — Principle 1: tile of the stationary tensor's dims
+      maximized ([T^2 + 2T <= BS] at the symmetric point), free dim
+      minimized to 1, stationary tensor's free dim innermost.
+    - {!two} — Principle 2: one dimension untiled; the tile of the dim
+      absent from the redundant tensor maximized
+      ([T <= (BS - D)/(D + 1)]), the remaining dim minimized.
+    - {!three} — Principle 3: both dims of the resident tensor untiled;
+      remaining tile size is a don't-care (1 gives the smallest
+      footprint). *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type candidate = { intent : Nra.dataflow; schedule : Schedule.t }
+(** A proposed schedule tagged with the dataflow shape it implements. *)
+
+val single : Mode.t -> Matmul.t -> Buffer.t -> stationary:Operand.t -> candidate list
+(** Single-NRA candidates for a choice of stationary tensor. Empty when
+    even the unit tiling does not fit. *)
+
+val two : Mode.t -> Matmul.t -> Buffer.t -> untiled:Dim.t -> redundant:Operand.t
+  -> candidate list
+(** Two-NRA candidates. [redundant] must be indexed by [untiled]
+    (raises [Invalid_argument] otherwise). Empty when infeasible. *)
+
+val three : Mode.t -> Matmul.t -> Buffer.t -> resident:Operand.t -> candidate list
+(** Three-NRA candidates keeping [resident] entirely on-chip. Empty when
+    the tensor does not fit alongside working tiles. *)
+
+val all : Mode.t -> Matmul.t -> Buffer.t -> candidate list
+(** Every candidate from every builder variant: 3 stationary choices,
+    6 (untiled, redundant) choices, 3 resident choices. *)

@@ -1,0 +1,35 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type t = Tiny | Small | Medium | Large
+
+let to_string = function
+  | Tiny -> "tiny"
+  | Small -> "small"
+  | Medium -> "medium"
+  | Large -> "large"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) b = a = b
+
+type thresholds = { tiny_max : int; small_max : int; medium_max : int }
+
+let thresholds op =
+  let _, dmin = Matmul.min_dim op in
+  let _, tensor_min = Matmul.min_operand op in
+  { tiny_max = dmin * dmin / 4; small_max = dmin * dmin / 2; medium_max = tensor_min }
+
+let classify op buf =
+  let bs = Buffer.elements buf in
+  let t = thresholds op in
+  if bs <= t.tiny_max then Tiny
+  else if bs <= t.small_max then Small
+  else if bs <= t.medium_max then Medium
+  else Large
+
+let expected_classes = function
+  | Tiny -> [ Nra.Single ]
+  | Small -> [ Nra.Single; Nra.Two ]
+  | Medium -> [ Nra.Two ]
+  | Large -> [ Nra.Three ]

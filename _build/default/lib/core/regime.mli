@@ -1,0 +1,36 @@
+(** Buffer-size regimes (paper Sec. III-A4): which NRA class is optimal
+    follows directly from the buffer capacity relative to the operator's
+    dimension sizes.
+
+    {v
+    Tiny:    BS <= Dmin^2/4                  -> Single-NRA
+    Small:   Dmin^2/4 < BS <= Dmin^2/2       -> Single- or Two-NRA
+    Medium:  Dmin^2/2 < BS <= Tensor_min     -> Two-NRA
+    Large:   BS > Tensor_min                 -> Three-NRA
+    v} *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type t = Tiny | Small | Medium | Large
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+type thresholds = {
+  tiny_max : int;  (** [Dmin^2 / 4] elements *)
+  small_max : int;  (** [Dmin^2 / 2] elements *)
+  medium_max : int;  (** size of the smallest tensor, elements *)
+}
+
+val thresholds : Matmul.t -> thresholds
+
+val classify : Matmul.t -> Buffer.t -> t
+(** Which regime a buffer falls into for an operator. *)
+
+val expected_classes : t -> Nra.t list
+(** The NRA classes the paper predicts to be optimal in a regime (two
+    candidates in the [Small] regime, one elsewhere). *)

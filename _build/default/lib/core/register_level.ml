@@ -1,0 +1,27 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+let register_capacity ~pe_dim = pe_dim * pe_dim
+
+let max_useful_untiled_dim ~pe_dim = 2 * pe_dim
+
+let register_buffer ~pe_dim = Buffer.make (register_capacity ~pe_dim)
+
+let register_regime ~pe_dim op = Regime.classify op (register_buffer ~pe_dim)
+
+let untiling_profitable ~pe_dim op =
+  (* Two-/Three-NRA appear from the Small regime upwards, i.e. when
+     BS > Dmin^2/4. *)
+  match register_regime ~pe_dim op with
+  | Regime.Tiny -> false
+  | Regime.Small | Regime.Medium | Regime.Large -> true
+
+let supported_by_fusecu ~pe_dim op =
+  if not (untiling_profitable ~pe_dim op) then true
+  else begin
+    (* BS > Dmin^2/4 with BS = N^2 gives Dmin < 2N: the dimension the
+       principles untile (the smallest one, Principle 2) fits the
+       adaptive array. *)
+    let _, dmin = Matmul.min_dim op in
+    dmin <= max_useful_untiled_dim ~pe_dim
+  end

@@ -1,0 +1,38 @@
+(** The principles applied at the register level (paper Sec. IV-B).
+
+    Inside the PE array the "buffer" is the register file: one element
+    per PE, so BS = N*N for an N x N array. The paper's derivation:
+    untiled-dimension dataflows (Two-/Three-NRA) are only optimal when
+    BS > Dmin^2 / 4, i.e. N^2 > Dmin^2 / 4, i.e. Dmin < 2N — so an
+    array that supports untiled dimensions up to 2N (via the narrow /
+    wide compositions of Fig. 7) covers {e every} case where untiling
+    is the right choice. This module makes that argument executable. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+val register_capacity : pe_dim:int -> int
+(** Register-level "buffer size" of one [pe_dim x pe_dim] compute
+    unit. *)
+
+val max_useful_untiled_dim : pe_dim:int -> int
+(** The bound [2N]: the largest dimension size for which an
+    untiled-dimension dataflow can be register-level optimal. *)
+
+val untiling_profitable : pe_dim:int -> Matmul.t -> bool
+(** Whether an untiled-dimension dataflow is within the optimal set at
+    the register level for this operator (the regime of the [N^2]
+    register file is beyond Tiny). *)
+
+val register_regime : pe_dim:int -> Matmul.t -> Regime.t
+(** The buffer regime of the register file itself. *)
+
+val supported_by_fusecu : pe_dim:int -> Matmul.t -> bool
+(** The architecture-design conclusion: either untiling is not optimal
+    for this operator (so square arrays suffice), or the dimension that
+    the principles would untile fits within [2N] — FuseCU's adaptive
+    array covers it. The paper's claim is that this predicate holds for
+    {e every} operator; a property test verifies it. *)
+
+val register_buffer : pe_dim:int -> Buffer.t
+(** The register file viewed as a buffer ([N^2] one-byte elements). *)

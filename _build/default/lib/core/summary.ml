@@ -1,0 +1,25 @@
+type row = {
+  optimizer : string;
+  full_space : bool;
+  tiling_scheme : string;
+  mapping_scheme : string;
+  fusion_medium : string;
+}
+
+let rows =
+  [ { optimizer = "Intra-operator [1,3,6,7]"; full_space = false;
+      tiling_scheme = "searching"; mapping_scheme = "searching (fixed patterns)";
+      fusion_medium = "none" };
+    { optimizer = "Chimera"; full_space = false; tiling_scheme = "searching";
+      mapping_scheme = "replaceable micro kernels"; fusion_medium = "memory" };
+    { optimizer = "SET"; full_space = false; tiling_scheme = "searching";
+      mapping_scheme = "not discussed"; fusion_medium = "memory" };
+    { optimizer = "FLAT"; full_space = false; tiling_scheme = "searching";
+      mapping_scheme = "not discussed"; fusion_medium = "memory" };
+    { optimizer = "DAT"; full_space = true; tiling_scheme = "searching";
+      mapping_scheme = "not discussed"; fusion_medium = "memory" };
+    { optimizer = "This work"; full_space = true; tiling_scheme = "principle";
+      mapping_scheme = "principle"; fusion_medium = "compute unit" } ]
+
+let header =
+  [ "Optimizer"; "Full space"; "Tiling/scheduling"; "Mapping"; "Fusion medium" ]

@@ -1,0 +1,15 @@
+(** Static data behind Table I of the paper: feature comparison of
+    dataflow optimizers. Rendered by the benchmark harness. *)
+
+type row = {
+  optimizer : string;
+  full_space : bool;  (** full tiling & scheduling optimization space *)
+  tiling_scheme : string;
+  mapping_scheme : string;
+  fusion_medium : string;
+}
+
+val rows : row list
+(** One row per column of the paper's Table I, ending with this work. *)
+
+val header : string list

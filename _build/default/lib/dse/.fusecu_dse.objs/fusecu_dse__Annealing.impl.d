@@ -1,0 +1,1 @@
+lib/dse/annealing.ml: Array Buffer Cost Exhaustive Float Fusecu_loopnest Fusecu_tensor Fusecu_util Matmul Option Order Random Schedule Space Tiling

@@ -1,0 +1,1 @@
+lib/dse/annealing.mli: Buffer Exhaustive Fusecu_loopnest Fusecu_tensor Matmul Space

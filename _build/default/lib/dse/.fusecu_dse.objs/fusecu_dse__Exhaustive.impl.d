@@ -1,0 +1,1 @@
+lib/dse/exhaustive.ml: Cost Fusecu_core Fusecu_loopnest Hashtbl List Nra Option Schedule Space

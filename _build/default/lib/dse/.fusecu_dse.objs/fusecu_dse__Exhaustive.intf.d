@@ -1,0 +1,1 @@
+lib/dse/exhaustive.mli: Buffer Cost Fusecu_core Fusecu_loopnest Fusecu_tensor Matmul Nra Schedule Space

@@ -1,0 +1,1 @@
+lib/dse/fused_search.ml: Array Buffer Cost Dim Exhaustive Float Fusecu_loopnest Fusecu_tensor Fusecu_util Fused Genetic List Operand Option Order Random Schedule Space Tiling

@@ -1,0 +1,1 @@
+lib/dse/fused_search.mli: Buffer Fusecu_loopnest Fused Genetic Space

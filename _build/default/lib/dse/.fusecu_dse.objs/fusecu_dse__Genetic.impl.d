@@ -1,0 +1,1 @@
+lib/dse/genetic.ml: Array Buffer Cost Exhaustive Fusecu_loopnest Fusecu_tensor Fusecu_util Matmul Option Order Random Schedule Space Tiling

@@ -1,0 +1,1 @@
+lib/dse/genetic.mli: Buffer Exhaustive Fusecu_loopnest Fusecu_tensor Matmul Space

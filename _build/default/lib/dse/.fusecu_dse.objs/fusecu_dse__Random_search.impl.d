@@ -1,0 +1,1 @@
+lib/dse/random_search.ml: Array Buffer Cost Exhaustive Fusecu_loopnest Fusecu_tensor Matmul Option Order Random Schedule Space Tiling

@@ -1,0 +1,1 @@
+lib/dse/random_search.mli: Buffer Exhaustive Fusecu_loopnest Fusecu_tensor Matmul Space

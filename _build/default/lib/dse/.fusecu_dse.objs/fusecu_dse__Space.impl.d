@@ -1,0 +1,1 @@
+lib/dse/space.ml: Arith Buffer Fusecu_loopnest Fusecu_tensor Fusecu_util List Matmul Order Schedule Tiling

@@ -1,0 +1,1 @@
+lib/dse/space.mli: Buffer Fusecu_loopnest Fusecu_tensor Matmul Schedule Tiling

@@ -1,0 +1,90 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int;
+}
+
+let default_params =
+  { iterations = 4000; initial_temperature = 0.5; cooling = 0.9985; seed = 42 }
+
+type state = { im : int; ik : int; il : int; iorder : int }
+
+let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
+    buf =
+  let ms = Array.of_list (Space.tile_candidates lattice op.m) in
+  let ks = Array.of_list (Space.tile_candidates lattice op.k) in
+  let ls = Array.of_list (Space.tile_candidates lattice op.l) in
+  let orders = Array.of_list Order.all in
+  let rng = Random.State.make [| params.seed; op.m; op.k; op.l; 17 |] in
+  let capacity = Buffer.elements buf in
+  let schedule_of s =
+    Schedule.make (Tiling.make op ~m:ms.(s.im) ~k:ks.(s.ik) ~l:ls.(s.il))
+      orders.(s.iorder)
+  in
+  let evaluations = ref 0 in
+  (* objective in units of the ideal lower bound; infeasible states get
+     a capacity-overshoot penalty so the walk can cross narrow ridges *)
+  let ideal = float_of_int (Matmul.ideal_ma op) in
+  let objective s =
+    incr evaluations;
+    let sched = schedule_of s in
+    let over = Schedule.footprint sched - capacity in
+    if over > 0 then 1e6 +. float_of_int over
+    else float_of_int (Cost.eval op sched).Cost.total /. ideal
+  in
+  let neighbour s =
+    let bump len i =
+      if len = 1 then i
+      else if Random.State.bool rng then
+        Fusecu_util.Arith.clamp ~lo:0 ~hi:(len - 1)
+          (i + (if Random.State.bool rng then 1 else -1))
+      else Random.State.int rng len
+    in
+    match Random.State.int rng 4 with
+    | 0 -> { s with im = bump (Array.length ms) s.im }
+    | 1 -> { s with ik = bump (Array.length ks) s.ik }
+    | 2 -> { s with il = bump (Array.length ls) s.il }
+    | _ -> { s with iorder = Random.State.int rng (Array.length orders) }
+  in
+  let current =
+    ref
+      { im = Random.State.int rng (Array.length ms);
+        ik = Random.State.int rng (Array.length ks);
+        il = Random.State.int rng (Array.length ls);
+        iorder = Random.State.int rng (Array.length orders) }
+  in
+  let current_cost = ref (objective !current) in
+  let best = ref None in
+  let consider s cost =
+    if cost < 1e6 then begin
+      match !best with
+      | Some (_, bc) when bc <= cost -> ()
+      | _ -> best := Some (s, cost)
+    end
+  in
+  consider !current !current_cost;
+  let temperature = ref params.initial_temperature in
+  for _ = 1 to params.iterations do
+    let candidate = neighbour !current in
+    let cost = objective candidate in
+    let accept =
+      cost <= !current_cost
+      || Random.State.float rng 1.0
+         < exp ((!current_cost -. cost) /. Float.max 1e-9 !temperature)
+    in
+    if accept then begin
+      current := candidate;
+      current_cost := cost
+    end;
+    consider candidate cost;
+    temperature := !temperature *. params.cooling
+  done;
+  Option.map
+    (fun (s, _) ->
+      let schedule = schedule_of s in
+      { Exhaustive.schedule; cost = Cost.eval op schedule; explored = !evaluations })
+    !best

@@ -1,0 +1,23 @@
+(** Simulated-annealing intra-operator optimizer — a second stochastic
+    search baseline alongside {!Genetic}, representative of the
+    annealing-based mappers in the DSE literature. Deterministic given
+    the seed. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type params = {
+  iterations : int;
+  initial_temperature : float;  (** in units of relative traffic *)
+  cooling : float;  (** geometric factor per iteration, in (0, 1) *)
+  seed : int;
+}
+
+val default_params : params
+(** 4000 iterations, T0 = 0.5, cooling 0.9985, seed 42. *)
+
+val search : ?params:params -> ?lattice:Space.lattice -> Matmul.t -> Buffer.t
+  -> Exhaustive.result option
+(** Best schedule found; [None] when no feasible schedule exists.
+    [explored] counts cost evaluations. [lattice] defaults to
+    [Divisors]. *)

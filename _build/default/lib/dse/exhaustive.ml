@@ -1,0 +1,42 @@
+open Fusecu_loopnest
+open Fusecu_core
+
+type result = { schedule : Schedule.t; cost : Cost.t; explored : int }
+
+let fold_space ?(lattice = Space.Divisors) op buf f init =
+  List.fold_left
+    (fun acc s -> f acc s (Cost.eval op s))
+    init
+    (Space.schedules lattice op buf)
+
+let search ?lattice op buf =
+  let best =
+    fold_space ?lattice op buf
+      (fun (best, n) schedule cost ->
+        let n = n + 1 in
+        match best with
+        | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> (best, n)
+        | _ -> (Some (schedule, cost), n))
+      (None, 0)
+  in
+  match best with
+  | Some (schedule, cost), explored -> Some { schedule; cost; explored }
+  | None, _ -> None
+
+let best_per_class ?lattice op buf =
+  let table = Hashtbl.create 3 in
+  let explored = ref 0 in
+  fold_space ?lattice op buf
+    (fun () schedule cost ->
+      incr explored;
+      let cls = Nra.class_of (Nra.classify op schedule) in
+      match Hashtbl.find_opt table cls with
+      | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> ()
+      | _ -> Hashtbl.replace table cls (schedule, cost))
+    ();
+  List.filter_map
+    (fun cls ->
+      Option.map
+        (fun (schedule, cost) -> (cls, { schedule; cost; explored = !explored }))
+        (Hashtbl.find_opt table cls))
+    Nra.all

@@ -1,0 +1,22 @@
+(** Exhaustive intra-operator design-space exploration. Ground truth for
+    validating the principles: on spaces small enough to enumerate, the
+    principle-built schedule must match the searched optimum. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+
+type result = {
+  schedule : Schedule.t;
+  cost : Cost.t;
+  explored : int;  (** schedules evaluated *)
+}
+
+val search : ?lattice:Space.lattice -> Matmul.t -> Buffer.t -> result option
+(** Best (minimum-traffic) schedule in the space; [None] when nothing
+    fits the buffer. [lattice] defaults to [Divisors]. *)
+
+val best_per_class : ?lattice:Space.lattice -> Matmul.t -> Buffer.t
+  -> (Nra.t * result) list
+(** Best schedule within each NRA class present in the space — used to
+    verify the buffer-regime table of Sec. III-A4. *)

@@ -1,0 +1,173 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type result = { fused : Fused.t; traffic : int; explored : int }
+
+let consumer_candidates lattice (pair : Fused.pair) (producer : Schedule.t) buf =
+  let { Fused.op2; _ } = pair in
+  let tm = Tiling.get producer.tiling Dim.M in
+  let tk = Tiling.get producer.tiling Dim.L in
+  List.concat_map
+    (fun tl ->
+      let tiling = Tiling.make op2 ~m:tm ~k:tk ~l:tl in
+      if Tiling.footprint tiling > Buffer.elements buf then []
+      else List.map (Schedule.make tiling) Order.all)
+    (Space.tile_candidates lattice op2.l)
+
+let exhaustive ?(lattice = Space.Divisors) (pair : Fused.pair) buf =
+  let { Fused.op1; _ } = pair in
+  let explored = ref 0 in
+  let best = ref None in
+  let consider fused =
+    incr explored;
+    match Fused.eval pair fused buf with
+    | Error _ -> ()
+    | Ok traffic -> (
+      match !best with
+      | Some (_, bt) when bt <= traffic -> ()
+      | _ -> best := Some (fused, traffic))
+  in
+  List.iter
+    (fun tiling ->
+      List.iter
+        (fun o1 ->
+          let producer = Schedule.make tiling o1 in
+          if Cost.is_nra op1 producer Operand.C then
+            List.iter
+              (fun consumer -> consider { Fused.producer; consumer })
+              (consumer_candidates lattice pair producer buf))
+        Order.all)
+    (Space.tilings lattice op1 buf);
+  Option.map (fun (fused, traffic) -> { fused; traffic; explored = !explored }) !best
+
+type genome = {
+  im : int;
+  ik : int;
+  il : int;
+  io1 : int;
+  il2 : int;
+  io2 : int;
+}
+
+let genetic ?(params = Genetic.default_params) ?(lattice = Space.Divisors)
+    (pair : Fused.pair) buf =
+  let { Fused.op1; op2 } = pair in
+  let ms = Array.of_list (Space.tile_candidates lattice op1.m) in
+  let ks = Array.of_list (Space.tile_candidates lattice op1.k) in
+  let ls = Array.of_list (Space.tile_candidates lattice op1.l) in
+  let l2s = Array.of_list (Space.tile_candidates lattice op2.l) in
+  let orders = Array.of_list Order.all in
+  let rng = Random.State.make [| params.seed; op1.m; op1.k; op1.l; op2.l |] in
+  let random_genome () =
+    { im = Random.State.int rng (Array.length ms);
+      ik = Random.State.int rng (Array.length ks);
+      il = Random.State.int rng (Array.length ls);
+      io1 = Random.State.int rng (Array.length orders);
+      il2 = Random.State.int rng (Array.length l2s);
+      io2 = Random.State.int rng (Array.length orders) }
+  in
+  let fused_of g =
+    let producer =
+      Schedule.make (Tiling.make op1 ~m:ms.(g.im) ~k:ks.(g.ik) ~l:ls.(g.il))
+        orders.(g.io1)
+    in
+    let consumer =
+      Schedule.make
+        (Tiling.make op2 ~m:ms.(g.im) ~k:ls.(g.il) ~l:l2s.(g.il2))
+        orders.(g.io2)
+    in
+    { Fused.producer; consumer }
+  in
+  let evaluations = ref 0 in
+  let best = ref None in
+  let fitness g =
+    incr evaluations;
+    let fused = fused_of g in
+    match Fused.eval pair fused buf with
+    | Error _ -> Float.max_float
+    | Ok traffic ->
+      (match !best with
+      | Some (_, bt) when bt <= traffic -> ()
+      | _ -> best := Some (fused, traffic));
+      float_of_int traffic
+  in
+  let pop = Array.init params.population (fun _ -> random_genome ()) in
+  let scores = Array.map fitness pop in
+  let tournament () =
+    let pick () = Random.State.int rng params.population in
+    let rec loop bi n =
+      if n = 0 then bi
+      else begin
+        let c = pick () in
+        loop (if scores.(c) < scores.(bi) then c else bi) (n - 1)
+      end
+    in
+    pop.(loop (pick ()) (params.tournament - 1))
+  in
+  let crossover a b =
+    let take x y = if Random.State.bool rng then x else y in
+    { im = take a.im b.im; ik = take a.ik b.ik; il = take a.il b.il;
+      io1 = take a.io1 b.io1; il2 = take a.il2 b.il2; io2 = take a.io2 b.io2 }
+  in
+  let mutate g =
+    let jiggle len i =
+      if Random.State.float rng 1.0 < params.mutation_rate then
+        if Random.State.bool rng then
+          Fusecu_util.Arith.clamp ~lo:0 ~hi:(len - 1)
+            (i + (if Random.State.bool rng then 1 else -1))
+        else Random.State.int rng len
+      else i
+    in
+    { im = jiggle (Array.length ms) g.im;
+      ik = jiggle (Array.length ks) g.ik;
+      il = jiggle (Array.length ls) g.il;
+      io1 = jiggle (Array.length orders) g.io1;
+      il2 = jiggle (Array.length l2s) g.il2;
+      io2 = jiggle (Array.length orders) g.io2 }
+  in
+  for _gen = 1 to params.generations do
+    let next =
+      Array.init params.population (fun i ->
+          if i = 0 then begin
+            let bi = ref 0 in
+            Array.iteri (fun j _ -> if scores.(j) < scores.(!bi) then bi := j) pop;
+            pop.(!bi)
+          end
+          else mutate (crossover (tournament ()) (tournament ())))
+    in
+    Array.blit next 0 pop 0 params.population;
+    Array.iteri (fun i g -> scores.(i) <- fitness g) pop
+  done;
+  Option.map (fun (fused, traffic) -> { fused; traffic; explored = !evaluations }) !best
+
+type verdict = {
+  fused_best : result option;
+  unfused_traffic : int option;
+  best_traffic : int option;
+  fusion_wins : bool;
+}
+
+let decide ?(lattice = Space.Divisors) (pair : Fused.pair) buf =
+  let fused_best = exhaustive ~lattice pair buf in
+  let unfused_traffic =
+    match
+      (Exhaustive.search ~lattice pair.Fused.op1 buf,
+       Exhaustive.search ~lattice pair.Fused.op2 buf)
+    with
+    | Some r1, Some r2 -> Some (r1.cost.Cost.total + r2.cost.Cost.total)
+    | _ -> None
+  in
+  let best_traffic =
+    match (fused_best, unfused_traffic) with
+    | Some f, Some u -> Some (min f.traffic u)
+    | Some f, None -> Some f.traffic
+    | None, Some u -> Some u
+    | None, None -> None
+  in
+  let fusion_wins =
+    match (fused_best, unfused_traffic) with
+    | Some f, Some u -> f.traffic < u
+    | Some _, None -> true
+    | _ -> false
+  in
+  { fused_best; unfused_traffic; best_traffic; fusion_wins }

@@ -1,0 +1,34 @@
+(** Search-based inter-operator (fusion) optimization — the fusion half
+    of the DAT baseline. Searches the joint space of producer/consumer
+    schedules subject to the fusibility constraints of
+    {!Fusecu_loopnest.Fused}. *)
+
+open Fusecu_loopnest
+
+type result = {
+  fused : Fused.t;
+  traffic : int;
+  explored : int;  (** candidate combinations evaluated *)
+}
+
+val exhaustive : ?lattice:Space.lattice -> Fused.pair -> Buffer.t -> result option
+(** Best valid fused dataflow by full enumeration of producer schedules
+    (with a non-redundant intermediate) joined with every compatible
+    consumer completion. [None] when no valid fused dataflow exists.
+    [lattice] defaults to [Divisors]. *)
+
+val genetic : ?params:Genetic.params -> ?lattice:Space.lattice -> Fused.pair
+  -> Buffer.t -> result option
+(** GA over the joint genome (producer tiling and order, consumer
+    remaining tile and order). *)
+
+type verdict = {
+  fused_best : result option;
+  unfused_traffic : int option;  (** sum of per-operator searched optima *)
+  best_traffic : int option;  (** min of fused and unfused *)
+  fusion_wins : bool;
+}
+
+val decide : ?lattice:Space.lattice -> Fused.pair -> Buffer.t -> verdict
+(** Exhaustive comparison of fusing vs not fusing — the oracle used to
+    validate Principle 4. *)

@@ -1,0 +1,117 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_rate : float;
+  tournament : int;
+  seed : int;
+}
+
+let default_params =
+  { population = 48; generations = 60; mutation_rate = 0.25; tournament = 3;
+    seed = 42 }
+
+(* A genome indexes into per-dimension tile lattices plus the loop-order
+   list; infeasible individuals (footprint over capacity) are penalized
+   rather than repaired. *)
+type genome = { im : int; ik : int; il : int; iorder : int }
+
+let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
+    buf =
+  let ms = Array.of_list (Space.tile_candidates lattice op.m) in
+  let ks = Array.of_list (Space.tile_candidates lattice op.k) in
+  let ls = Array.of_list (Space.tile_candidates lattice op.l) in
+  let orders = Array.of_list Order.all in
+  let rng = Random.State.make [| params.seed; op.m; op.k; op.l |] in
+  let random_genome () =
+    { im = Random.State.int rng (Array.length ms);
+      ik = Random.State.int rng (Array.length ks);
+      il = Random.State.int rng (Array.length ls);
+      iorder = Random.State.int rng (Array.length orders) }
+  in
+  let schedule_of g =
+    Schedule.make (Tiling.make op ~m:ms.(g.im) ~k:ks.(g.ik) ~l:ls.(g.il))
+      orders.(g.iorder)
+  in
+  let evaluations = ref 0 in
+  let capacity = Buffer.elements buf in
+  (* Lower is better; infeasible genomes are ranked by how far over
+     capacity they are, always worse than any feasible genome. *)
+  let fitness g =
+    incr evaluations;
+    let s = schedule_of g in
+    let fp = Schedule.footprint s in
+    if fp > capacity then (float_of_int (fp - capacity) *. 1e12, s, None)
+    else begin
+      let cost = Cost.eval op s in
+      (float_of_int cost.Cost.total, s, Some cost)
+    end
+  in
+  let pop = Array.init params.population (fun _ -> random_genome ()) in
+  let scores = Array.map fitness pop in
+  let best = ref None in
+  let consider i =
+    match scores.(i) with
+    | _, s, Some cost -> (
+      match !best with
+      | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> ()
+      | _ -> best := Some (s, cost))
+    | _, _, None -> ()
+  in
+  Array.iteri (fun i _ -> consider i) pop;
+  let tournament () =
+    let pick () = Random.State.int rng params.population in
+    let rec loop best n =
+      if n = 0 then best
+      else begin
+        let c = pick () in
+        let fb, _, _ = scores.(best) and fc, _, _ = scores.(c) in
+        loop (if fc < fb then c else best) (n - 1)
+      end
+    in
+    pop.(loop (pick ()) (params.tournament - 1))
+  in
+  let crossover a b =
+    let take x y = if Random.State.bool rng then x else y in
+    { im = take a.im b.im; ik = take a.ik b.ik; il = take a.il b.il;
+      iorder = take a.iorder b.iorder }
+  in
+  let mutate g =
+    let jiggle len i =
+      if Random.State.float rng 1.0 < params.mutation_rate then
+        (* local move or random restart, half/half *)
+        if Random.State.bool rng then
+          Fusecu_util.Arith.clamp ~lo:0 ~hi:(len - 1)
+            (i + (if Random.State.bool rng then 1 else -1))
+        else Random.State.int rng len
+      else i
+    in
+    { im = jiggle (Array.length ms) g.im;
+      ik = jiggle (Array.length ks) g.ik;
+      il = jiggle (Array.length ls) g.il;
+      iorder = jiggle (Array.length orders) g.iorder }
+  in
+  for _gen = 1 to params.generations do
+    let next =
+      Array.init params.population (fun i ->
+          if i = 0 then begin
+            (* elitism: keep the best feasible genome seen in the pop *)
+            let besti = ref 0 in
+            Array.iteri
+              (fun j _ ->
+                let fj, _, _ = scores.(j) and fb, _, _ = scores.(!besti) in
+                if fj < fb then besti := j)
+              pop;
+            pop.(!besti)
+          end
+          else mutate (crossover (tournament ()) (tournament ())))
+    in
+    Array.blit next 0 pop 0 params.population;
+    Array.iteri (fun i g -> scores.(i) <- fitness g) pop;
+    Array.iteri (fun i _ -> consider i) pop
+  done;
+  Option.map
+    (fun (schedule, cost) -> { Exhaustive.schedule; cost; explored = !evaluations })
+    !best

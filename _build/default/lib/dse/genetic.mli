@@ -1,0 +1,28 @@
+(** Genetic-algorithm intra-operator optimizer — models the GA half of
+    DAT [15] (which combines mixed-integer programming with a GA and,
+    as the paper notes in Fig. 9, "does not guarantee global
+    optimization").
+
+    Deterministic given the seed. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_rate : float;
+  tournament : int;
+  seed : int;
+}
+
+val default_params : params
+(** population 48, generations 60, mutation 0.25, tournament 3,
+    seed 42. *)
+
+val search : ?params:params -> ?lattice:Space.lattice -> Matmul.t -> Buffer.t
+  -> Exhaustive.result option
+(** Best schedule found by the GA ([explored] counts fitness
+    evaluations); [None] when no feasible individual was ever seen
+    (buffer below the unit-tiling footprint). [lattice] defaults to
+    [Divisors]. *)

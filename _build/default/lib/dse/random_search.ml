@@ -1,0 +1,32 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+let search ?(samples = 2000) ?(seed = 42) ?(lattice = Space.Divisors)
+    (op : Matmul.t) buf =
+  let ms = Array.of_list (Space.tile_candidates lattice op.m) in
+  let ks = Array.of_list (Space.tile_candidates lattice op.k) in
+  let ls = Array.of_list (Space.tile_candidates lattice op.l) in
+  let orders = Array.of_list Order.all in
+  let rng = Random.State.make [| seed; op.m; op.k; op.l; 23 |] in
+  let capacity = Buffer.elements buf in
+  let best = ref None in
+  for _ = 1 to samples do
+    let tiling =
+      Tiling.make op
+        ~m:ms.(Random.State.int rng (Array.length ms))
+        ~k:ks.(Random.State.int rng (Array.length ks))
+        ~l:ls.(Random.State.int rng (Array.length ls))
+    in
+    if Tiling.footprint tiling <= capacity then begin
+      let schedule =
+        Schedule.make tiling orders.(Random.State.int rng (Array.length orders))
+      in
+      let cost = Cost.eval op schedule in
+      match !best with
+      | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> ()
+      | _ -> best := Some (schedule, cost)
+    end
+  done;
+  Option.map
+    (fun (schedule, cost) -> { Exhaustive.schedule; cost; explored = samples })
+    !best

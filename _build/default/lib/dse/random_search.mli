@@ -1,0 +1,12 @@
+(** Uniform random sampling over the schedule space — the weakest
+    baseline in the DSE family, useful for quantifying how much
+    structure the guided searches (and the principles) exploit.
+    Deterministic given the seed. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+val search : ?samples:int -> ?seed:int -> ?lattice:Space.lattice -> Matmul.t
+  -> Buffer.t -> Exhaustive.result option
+(** Draw [samples] (default 2000) random schedules from the lattice,
+    keep the best feasible one. [None] when no sampled schedule fits. *)

@@ -1,0 +1,35 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_util
+
+type lattice = All | Divisors | Pow2
+
+let tile_candidates lattice size =
+  match lattice with
+  | All -> Arith.range 1 size
+  | Divisors -> Arith.divisors size
+  | Pow2 -> Arith.dedup_sorted (size :: Arith.pow2s_upto size)
+
+let tilings lattice (op : Matmul.t) buf =
+  let capacity = Buffer.elements buf in
+  let ms = tile_candidates lattice op.m in
+  let ks = tile_candidates lattice op.k in
+  let ls = tile_candidates lattice op.l in
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun k ->
+          List.filter_map
+            (fun l ->
+              let t = Tiling.make op ~m ~k ~l in
+              if Tiling.footprint t <= capacity then Some t else None)
+            ls)
+        ks)
+    ms
+
+let schedules lattice op buf =
+  List.concat_map
+    (fun t -> List.map (Schedule.make t) Order.all)
+    (tilings lattice op buf)
+
+let size lattice op buf = 6 * List.length (tilings lattice op buf)

@@ -1,0 +1,25 @@
+(** Design-space definition for the search-based baseline optimizer (the
+    DAT [15] stand-in): which tile sizes and loop orders a search may
+    visit. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type lattice =
+  | All  (** every integer tile size in [\[1, dim\]] — exact but only
+             tractable for small operators *)
+  | Divisors  (** divisors of the dimension *)
+  | Pow2  (** powers of two plus the full dimension *)
+
+val tile_candidates : lattice -> int -> int list
+(** Candidate tile sizes for a dimension of the given size, increasing,
+    always containing 1 and the dimension itself. *)
+
+val tilings : lattice -> Matmul.t -> Buffer.t -> Tiling.t list
+(** Every candidate tiling whose footprint fits the buffer. *)
+
+val schedules : lattice -> Matmul.t -> Buffer.t -> Schedule.t list
+(** The full search space: feasible tilings x all six loop orders. *)
+
+val size : lattice -> Matmul.t -> Buffer.t -> int
+(** Number of schedules {!schedules} would enumerate. *)

@@ -1,0 +1,1 @@
+lib/hierarchy/level.ml: Format Fusecu_loopnest

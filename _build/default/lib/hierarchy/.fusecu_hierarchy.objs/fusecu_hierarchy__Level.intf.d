@@ -1,0 +1,1 @@
+lib/hierarchy/level.mli: Format Fusecu_loopnest

@@ -1,0 +1,1 @@
+lib/hierarchy/stack.ml: Buffer Dim Format Fusecu_core Fusecu_loopnest Fusecu_tensor Fusecu_util Intra Level List Matmul Mode Printf Schedule Tiling

@@ -1,0 +1,1 @@
+lib/hierarchy/stack.mli: Format Fusecu_core Fusecu_tensor Intra Level Matmul Mode

@@ -1,0 +1,22 @@
+type t = {
+  name : string;
+  buffer : Fusecu_loopnest.Buffer.t;
+  energy_pj_per_element : float;
+}
+
+let make ?(energy_pj_per_element = 1.0) ~name buffer =
+  if energy_pj_per_element < 0. then
+    invalid_arg "Level.make: energy must be non-negative";
+  { name; buffer; energy_pj_per_element }
+
+let registers ?(pe_dim = 128) () =
+  make ~name:"registers" ~energy_pj_per_element:1.0
+    (Fusecu_loopnest.Buffer.make (pe_dim * pe_dim))
+
+let on_chip ?(bytes = 512 * 1024) () =
+  make ~name:"buffer" ~energy_pj_per_element:6.0
+    (Fusecu_loopnest.Buffer.make bytes)
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%a, %.1f pJ/elt)" t.name Fusecu_loopnest.Buffer.pp
+    t.buffer t.energy_pj_per_element

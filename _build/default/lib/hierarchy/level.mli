@@ -1,0 +1,29 @@
+(** One level of an accelerator's memory hierarchy.
+
+    The paper applies its principles at two levels — the on-chip buffer
+    (Sec. III) and the PE register file (Sec. IV-B, where BS = N^2 and
+    the 2N untiled-dimension bound falls out). This library generalizes
+    to any stack of levels, MAESTRO/Timeloop style. Levels are listed
+    from the {e outermost} storage inwards; each level's capacity holds
+    the tiles that the next-inner level streams from. *)
+
+type t = {
+  name : string;
+  buffer : Fusecu_loopnest.Buffer.t;
+  energy_pj_per_element : float;
+      (** cost of moving one element across this level's upper interface
+          (from the enclosing storage into this level) *)
+}
+
+val make : ?energy_pj_per_element:float -> name:string -> Fusecu_loopnest.Buffer.t
+  -> t
+(** [energy_pj_per_element] defaults to 1.0 (relative units). *)
+
+val registers : ?pe_dim:int -> unit -> t
+(** The PE register level: [N^2] one-byte elements (default N = 128),
+    cheap accesses. *)
+
+val on_chip : ?bytes:int -> unit -> t
+(** A default on-chip buffer level (512 KB). *)
+
+val pp : Format.formatter -> t -> unit

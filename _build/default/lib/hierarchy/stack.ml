@@ -1,0 +1,87 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+
+type t = Level.t list
+
+let make levels =
+  match levels with
+  | [] -> Error "hierarchy: no levels"
+  | _ ->
+    let rec check = function
+      | (a : Level.t) :: (b :: _ as rest) ->
+        if Buffer.elements b.buffer >= Buffer.elements a.buffer then
+          Error
+            (Printf.sprintf "hierarchy: level %s (%d) not smaller than %s (%d)"
+               b.name
+               (Buffer.elements b.buffer)
+               a.name
+               (Buffer.elements a.buffer))
+        else check rest
+      | [ _ ] | [] -> Ok levels
+    in
+    check levels
+
+let make_exn levels =
+  match make levels with Ok t -> t | Error e -> invalid_arg e
+
+let levels t = t
+
+let tpu_like ?(pe_dim = 128) ?(buffer_bytes = 512 * 1024) () =
+  make_exn [ Level.on_chip ~bytes:buffer_bytes (); Level.registers ~pe_dim () ]
+
+type plan = {
+  op : Matmul.t;
+  per_level : (Level.t * Intra.plan) list;
+  interface_traffic : (Level.t * int) list;
+  energy_pj : float;
+}
+
+let sub_operator (outer : Matmul.t) (tiling : Tiling.t) =
+  Matmul.make
+    ~name:(outer.name ^ ".tile")
+    ~m:(Tiling.get tiling Dim.M)
+    ~k:(Tiling.get tiling Dim.K)
+    ~l:(Tiling.get tiling Dim.L) ()
+
+let optimize ?(mode = Mode.Exact) t op =
+  let rec walk current_op outer_iterations acc = function
+    | [] -> Ok (List.rev acc)
+    | (level : Level.t) :: rest -> (
+      match Intra.optimize ~mode current_op level.buffer with
+      | Error e -> Error (Printf.sprintf "%s: %s" level.name e)
+      | Ok plan ->
+        let traffic = outer_iterations * Intra.ma plan in
+        let next_op = sub_operator current_op plan.schedule.tiling in
+        let next_iterations =
+          outer_iterations * Schedule.total_tile_iterations current_op plan.schedule
+        in
+        walk next_op next_iterations ((level, plan, traffic) :: acc) rest)
+  in
+  match walk op 1 [] (levels t) with
+  | Error e -> Error e
+  | Ok results ->
+    let per_level = List.map (fun (l, p, _) -> (l, p)) results in
+    let interface_traffic = List.map (fun (l, _, traffic) -> (l, traffic)) results in
+    let energy_pj =
+      List.fold_left
+        (fun acc ((l : Level.t), traffic) ->
+          acc +. (float_of_int traffic *. l.energy_pj_per_element))
+        0. interface_traffic
+    in
+    Ok { op; per_level; interface_traffic; energy_pj }
+
+let top_traffic plan =
+  match plan.interface_traffic with
+  | (_, traffic) :: _ -> traffic
+  | [] -> 0
+
+let pp_plan fmt plan =
+  Format.fprintf fmt "@[<v>multi-level plan for %a:@ " Matmul.pp plan.op;
+  List.iter2
+    (fun ((level : Level.t), (p : Intra.plan)) (_, traffic) ->
+      Format.fprintf fmt "%-10s %a -> %s across its interface@ " level.name
+        Schedule.pp p.schedule
+        (Fusecu_util.Units.pp_count traffic))
+    plan.per_level plan.interface_traffic;
+  Format.fprintf fmt "energy %.2f nJ@]" (plan.energy_pj /. 1e3)

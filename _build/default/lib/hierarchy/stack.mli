@@ -1,0 +1,50 @@
+(** A memory hierarchy and multi-level dataflows over it.
+
+    A multi-level dataflow assigns each level a schedule for the
+    sub-operator it sees: level 1 tiles the full operator against its
+    capacity; level 2 tiles {e one level-1 tile} against its own
+    capacity; and so on. Traffic across level [i]'s upper interface is
+    the cost of level [i]'s schedule on its sub-operator, replayed once
+    per tile iteration of every outer level (the standard conservative
+    assumption: no reuse survives an outer tile change).
+
+    The principle-based optimizer applies {!Fusecu_core.Intra} at each
+    level in turn — the paper's own move when it re-derives the 2N bound
+    by setting BS = N^2 at the register level. *)
+
+open Fusecu_tensor
+open Fusecu_core
+
+type t = private Level.t list
+(** Outermost level first; non-empty; capacities must shrink strictly
+    inward. *)
+
+val make : Level.t list -> (t, string) result
+
+val make_exn : Level.t list -> t
+
+val levels : t -> Level.t list
+
+val tpu_like : ?pe_dim:int -> ?buffer_bytes:int -> unit -> t
+(** The paper's two-level stack: on-chip buffer over the PE register
+    file. *)
+
+(** A fully-planned multi-level dataflow. *)
+type plan = {
+  op : Matmul.t;
+  per_level : (Level.t * Intra.plan) list;
+      (** each level's plan over the sub-operator it sees *)
+  interface_traffic : (Level.t * int) list;
+      (** elements crossing each level's upper interface *)
+  energy_pj : float;  (** sum of traffic x per-level energy *)
+}
+
+val optimize : ?mode:Mode.t -> t -> Matmul.t -> (plan, string) result
+(** Apply the principles level by level. Fails when some level cannot
+    fit even a unit tile of its sub-operator. *)
+
+val top_traffic : plan -> int
+(** Traffic across the outermost interface (e.g. DRAM) — what the
+    single-level model reports. *)
+
+val pp_plan : Format.formatter -> plan -> unit

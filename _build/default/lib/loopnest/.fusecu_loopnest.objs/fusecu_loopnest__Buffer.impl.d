@@ -1,0 +1,1 @@
+lib/loopnest/buffer.ml: Format Fusecu_util

@@ -1,0 +1,1 @@
+lib/loopnest/buffer.mli: Format

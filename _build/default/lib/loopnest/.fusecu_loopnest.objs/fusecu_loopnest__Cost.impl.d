@@ -1,0 +1,1 @@
+lib/loopnest/cost.ml: Format Fusecu_tensor Fusecu_util List Matmul Operand Order Schedule

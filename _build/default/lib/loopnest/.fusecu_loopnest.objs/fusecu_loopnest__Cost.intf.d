@@ -1,0 +1,1 @@
+lib/loopnest/cost.mli: Format Fusecu_tensor Matmul Operand Schedule

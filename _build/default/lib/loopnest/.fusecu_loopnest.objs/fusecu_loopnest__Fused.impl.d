@@ -1,0 +1,1 @@
+lib/loopnest/fused.ml: Buffer Cost Dim Format Fusecu_tensor Matmul Operand Order Printf Schedule Tiling

@@ -1,0 +1,1 @@
+lib/loopnest/fused.mli: Buffer Format Fusecu_tensor Matmul Schedule

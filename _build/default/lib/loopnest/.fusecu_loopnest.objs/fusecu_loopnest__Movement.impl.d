@@ -1,0 +1,1 @@
+lib/loopnest/movement.ml: Cost Dim Fusecu_tensor List Operand Order Printf Schedule Stdlib String Tiling

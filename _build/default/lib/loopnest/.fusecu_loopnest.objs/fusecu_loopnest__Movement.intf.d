@@ -1,0 +1,1 @@
+lib/loopnest/movement.mli: Dim Fusecu_tensor Matmul Operand Schedule

@@ -1,0 +1,1 @@
+lib/loopnest/order.ml: Dim Format Fusecu_tensor List Operand Printf

@@ -1,0 +1,1 @@
+lib/loopnest/order.mli: Dim Format Fusecu_tensor Operand

@@ -1,0 +1,1 @@
+lib/loopnest/schedule.ml: Dim Format Fusecu_tensor Order Tiling

@@ -1,0 +1,1 @@
+lib/loopnest/schedule.mli: Buffer Dim Format Fusecu_tensor Matmul Order Tiling

@@ -1,0 +1,1 @@
+lib/loopnest/sim.ml: Cost Dim Fusecu_tensor Hashtbl List Matmul Operand Option Order Schedule Tiling

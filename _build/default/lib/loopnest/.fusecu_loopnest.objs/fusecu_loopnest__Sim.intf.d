@@ -1,0 +1,1 @@
+lib/loopnest/sim.mli: Cost Fusecu_tensor Matmul Schedule

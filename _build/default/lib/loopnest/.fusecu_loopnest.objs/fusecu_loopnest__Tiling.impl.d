@@ -1,0 +1,1 @@
+lib/loopnest/tiling.ml: Buffer Dim Format Fusecu_tensor Fusecu_util Matmul Operand

@@ -1,0 +1,1 @@
+lib/loopnest/tiling.mli: Buffer Dim Format Fusecu_tensor Matmul Operand

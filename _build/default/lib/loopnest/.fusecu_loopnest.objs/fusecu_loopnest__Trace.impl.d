@@ -1,0 +1,1 @@
+lib/loopnest/trace.ml: Dim Fusecu_tensor Fusecu_util Hashtbl List Matmul Operand Order Printf Schedule Stdlib Tiling

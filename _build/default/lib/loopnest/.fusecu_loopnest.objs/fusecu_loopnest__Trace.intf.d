@@ -1,0 +1,1 @@
+lib/loopnest/trace.mli: Fusecu_tensor Matmul Operand Schedule

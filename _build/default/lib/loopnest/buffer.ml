@@ -1,0 +1,17 @@
+type t = { bytes : int; elt_bytes : int }
+
+let make ?(elt_bytes = 1) bytes =
+  if bytes < 1 then invalid_arg "Buffer.make: bytes must be >= 1";
+  if elt_bytes < 1 then invalid_arg "Buffer.make: elt_bytes must be >= 1";
+  { bytes; elt_bytes }
+
+let of_kib ?elt_bytes n = make ?elt_bytes (Fusecu_util.Units.kib n)
+
+let of_mib ?elt_bytes n = make ?elt_bytes (Fusecu_util.Units.mib n)
+
+let elements t = t.bytes / t.elt_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%d-byte elements)"
+    (Fusecu_util.Units.pp_bytes t.bytes)
+    t.elt_bytes

@@ -1,0 +1,22 @@
+(** The on-chip buffer between memory and the PE array.
+
+    Capacity is stored in bytes; the cost model works in elements, so the
+    element width (default 1 byte, int8, as in TPUv4i-class inference
+    accelerators) converts between the two. With 1-byte elements the
+    paper's worked example (512 KB buffer vs thresholds counted in
+    elements) is reproduced exactly. *)
+
+type t = private { bytes : int; elt_bytes : int }
+
+val make : ?elt_bytes:int -> int -> t
+(** [make bytes] builds a buffer. [bytes >= 1], [elt_bytes >= 1]. *)
+
+val of_kib : ?elt_bytes:int -> int -> t
+(** [of_kib n] is a buffer of [n] KiB. *)
+
+val of_mib : ?elt_bytes:int -> int -> t
+
+val elements : t -> int
+(** Usable capacity in elements: [bytes / elt_bytes]. *)
+
+val pp : Format.formatter -> t -> unit

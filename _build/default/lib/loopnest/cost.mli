@@ -1,0 +1,59 @@
+(** Exact memory-access model for a tiled matmul loop nest.
+
+    Model (matches the paper's Sec. III-A): the buffer holds exactly one
+    tile per operand; a tile is (re)fetched whenever the tile indices of
+    its operand change between consecutive tile iterations. An operand
+    whose tile is fetched exactly once per distinct tile — i.e. never
+    refetched — has {e non-redundant access} (NRA).
+
+    Closed form. Let [n_d] be the trip count of dimension [d] and let an
+    operand [X] have index dims [S] and free dim [f]. Define [p] as the
+    loop position (1 = outermost) of the {e innermost} loop in [S] with
+    [n > 1]. Then the number of times each tile region of [X] is fetched
+    is
+
+    [revisit X = if n_f > 1 && position f < p then n_f else 1]
+
+    and the element traffic is [revisit X * size X] — exact even for
+    ragged (non-dividing) tile sizes, because every fetch sweep touches
+    each element of [X] exactly once. This reproduces the paper's Eq. 1
+    and Eq. 3 and is validated against the mechanical simulator in
+    {!Sim}. *)
+
+open Fusecu_tensor
+
+type per_operand = {
+  fetches : int;  (** number of tile-fetch events *)
+  traffic : int;  (** elements moved between memory and buffer *)
+  revisit : int;  (** times each tile region is fetched; 1 = NRA *)
+}
+
+type t = {
+  a : per_operand;
+  b : per_operand;
+  c : per_operand;
+  total : int;  (** total element traffic *)
+}
+
+val eval : ?partial_sum_penalty:bool -> Matmul.t -> Schedule.t -> t
+(** Evaluate a schedule. With [partial_sum_penalty] (default [false],
+    the paper's symmetric accounting), a revisited output tile costs a
+    read {e and} a write per revisit: traffic
+    [size_C * (2*revisit - 1)]. *)
+
+val operand : t -> Operand.t -> per_operand
+
+val revisit : Matmul.t -> Schedule.t -> Operand.t -> int
+(** Just the revisit factor of one operand. *)
+
+val is_nra : Matmul.t -> Schedule.t -> Operand.t -> bool
+(** Whether the operand has non-redundant access under the schedule. *)
+
+val nra_operands : Matmul.t -> Schedule.t -> Operand.t list
+(** Operands accessed without redundancy, in [A < B < C] order. At least
+    one operand is always NRA. *)
+
+val nra_count : Matmul.t -> Schedule.t -> int
+(** [1], [2] or [3] — the paper's Single-/Two-/Three-NRA classes. *)
+
+val pp : Format.formatter -> t -> unit

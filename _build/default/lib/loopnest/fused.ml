@@ -1,0 +1,84 @@
+open Fusecu_tensor
+
+type pair = { op1 : Matmul.t; op2 : Matmul.t }
+
+let make_pair (op1 : Matmul.t) (op2 : Matmul.t) =
+  if op2.m <> op1.m then
+    Error (Printf.sprintf "fused pair: op2.M = %d <> op1.M = %d" op2.m op1.m)
+  else if op2.k <> op1.l then
+    Error (Printf.sprintf "fused pair: op2.K = %d <> op1.L = %d" op2.k op1.l)
+  else Ok { op1; op2 }
+
+let make_pair_exn op1 op2 =
+  match make_pair op1 op2 with Ok p -> p | Error e -> invalid_arg e
+
+type t = { producer : Schedule.t; consumer : Schedule.t }
+
+type invalid =
+  | Intermediate_redundant of [ `Producer | `Consumer ]
+  | Tile_mismatch
+  | Order_mismatch
+
+let pp_invalid fmt = function
+  | Intermediate_redundant `Producer ->
+    Format.pp_print_string fmt "intermediate tensor refetched by producer"
+  | Intermediate_redundant `Consumer ->
+    Format.pp_print_string fmt "intermediate tensor refetched by consumer"
+  | Tile_mismatch ->
+    Format.pp_print_string fmt "intermediate tile sizes differ between operators"
+  | Order_mismatch ->
+    Format.pp_print_string fmt "intermediate production and consumption orders differ"
+
+(* C is fully resident on a side when both of its dims are untiled there. *)
+let c_resident_producer pair (s : Schedule.t) =
+  Tiling.untiled pair.op1 s.tiling Dim.M && Tiling.untiled pair.op1 s.tiling Dim.L
+
+let c_resident_consumer pair (s : Schedule.t) =
+  Tiling.untiled pair.op2 s.tiling Dim.M && Tiling.untiled pair.op2 s.tiling Dim.K
+
+let validate pair t =
+  let p = t.producer and c = t.consumer in
+  if not (Cost.is_nra pair.op1 p Operand.C) then
+    Error (Intermediate_redundant `Producer)
+  else if not (Cost.is_nra pair.op2 c Operand.A) then
+    Error (Intermediate_redundant `Consumer)
+  else if
+    Tiling.get p.tiling Dim.M <> Tiling.get c.tiling Dim.M
+    || Tiling.get p.tiling Dim.L <> Tiling.get c.tiling Dim.K
+  then Error Tile_mismatch
+  else if c_resident_producer pair p && c_resident_consumer pair c then Ok ()
+  else begin
+    (* The stream of C tiles leaves op1 in (M, L)-loop order and must
+       enter op2 in the identical (M, K)-loop order. *)
+    let m_major_producer =
+      Order.position p.order Dim.M < Order.position p.order Dim.L
+    in
+    let m_major_consumer =
+      Order.position c.order Dim.M < Order.position c.order Dim.K
+    in
+    if m_major_producer = m_major_consumer then Ok () else Error Order_mismatch
+  end
+
+let footprint t =
+  let shared_c_tile = Tiling.operand_tile t.producer.tiling Operand.C in
+  Schedule.footprint t.producer + Schedule.footprint t.consumer - shared_c_tile
+
+let fits t buf = footprint t <= Buffer.elements buf
+
+let traffic pair t =
+  let prod = Cost.eval pair.op1 t.producer in
+  let cons = Cost.eval pair.op2 t.consumer in
+  prod.a.traffic + prod.b.traffic + cons.b.traffic + cons.c.traffic
+
+let eval pair t buf =
+  match validate pair t with
+  | Error e -> Error (Format.asprintf "%a" pp_invalid e)
+  | Ok () ->
+    if not (fits t buf) then
+      Error
+        (Printf.sprintf "fused footprint %d exceeds buffer capacity %d"
+           (footprint t) (Buffer.elements buf))
+    else Ok (traffic pair t)
+
+let unfused_traffic pair s1 s2 =
+  (Cost.eval pair.op1 s1).total + (Cost.eval pair.op2 s2).total

@@ -1,0 +1,67 @@
+(** Memory-access model for a fused pair of matmuls
+    [A x B = C] then [C x D = E] (the paper's Sec. III-B).
+
+    A fused execution never spills the intermediate [C] to memory, which
+    is only possible when (paper, "Fusiability"):
+
+    - [C] has non-redundant access in {e both} operators' schedules
+      (each [C] tile is produced exactly once and consumed exactly
+      once);
+    - the two schedules agree on [C]'s tile size
+      ([Tm1 = Tm2] and [Tl1 = Tk2]);
+    - the production order of [C] tiles matches the consumption order
+      (relative order of the [M] and [L] loops in op1 = relative order
+      of the [M] and [K] loops in op2), unless [C] is held entirely
+      on-chip by both sides, in which case order does not matter;
+    - one tile of each live operand fits in the buffer simultaneously
+      ([C]'s tile is shared between the two nests).
+
+    The fused traffic is then the traffic of [A], [B] (producer side)
+    plus [D], [E] (consumer side); [C] contributes nothing. *)
+
+open Fusecu_tensor
+
+type pair = { op1 : Matmul.t; op2 : Matmul.t }
+
+val make_pair : Matmul.t -> Matmul.t -> (pair, string) result
+(** Checks the chaining constraints [op2.m = op1.m], [op2.k = op1.l]. *)
+
+val make_pair_exn : Matmul.t -> Matmul.t -> pair
+
+type t = {
+  producer : Schedule.t;  (** schedule of [A x B = C] *)
+  consumer : Schedule.t;  (** schedule of [C x D = E] *)
+}
+
+type invalid =
+  | Intermediate_redundant of [ `Producer | `Consumer ]
+      (** [C] would be refetched on the named side. *)
+  | Tile_mismatch  (** the two schedules disagree on [C]'s tile size *)
+  | Order_mismatch  (** production order differs from consumption order *)
+
+val validate : pair -> t -> (unit, invalid) result
+(** Check the fusibility conditions above (excluding buffer capacity,
+    which {!footprint} exposes separately). *)
+
+val footprint : t -> int
+(** Buffer elements needed by the fused execution: both nests' tiles
+    with [C]'s tile counted once. *)
+
+val fits : t -> Buffer.t -> bool
+
+val traffic : pair -> t -> int
+(** Memory traffic of a valid fused execution (elements). The caller is
+    expected to have validated first; traffic of an invalid combination
+    is still computed (it is what the fused machine would move) but
+    meaningless. *)
+
+val eval : pair -> t -> Buffer.t -> (int, string) result
+(** Validate (including buffer capacity) and return the traffic. *)
+
+val unfused_traffic : pair -> Schedule.t -> Schedule.t -> int
+(** Traffic when the two operators run separately with the given
+    schedules: the intermediate is written to memory once by op1 and
+    read at least once by op2 (its producer-side cost is op1's [C]
+    traffic, its consumer-side cost op2's [A] traffic). *)
+
+val pp_invalid : Format.formatter -> invalid -> unit

@@ -1,0 +1,52 @@
+open Fusecu_tensor
+
+type operand_motion = Stationary | Swept of Dim.t list
+
+let motion op (s : Schedule.t) operand =
+  let cost = Cost.eval op s in
+  let per = Cost.operand cost operand in
+  if per.fetches = 1 then Stationary
+  else begin
+    (* a loop sweeps the operand's tile if stepping it changes the tile:
+       its own index loops always do; the free loop does when it causes
+       revisits *)
+    let d1, d2 = Operand.dims operand in
+    let free = Operand.free_dim operand in
+    let active d = Schedule.trips op s d > 1 in
+    let own = List.filter active [ d1; d2 ] in
+    let revisiting = if per.revisit > 1 && active free then [ free ] else [] in
+    let by_depth =
+      List.sort
+        (fun a b -> compare (Order.position s.order b) (Order.position s.order a))
+        (own @ revisiting)
+    in
+    Swept by_depth
+  end
+
+let describe op (s : Schedule.t) =
+  let b = Stdlib.Buffer.create 256 in
+  let trips d = Schedule.trips op s d in
+  Printf.bprintf b "loop nest (outer to inner):\n";
+  List.iter
+    (fun d ->
+      Printf.bprintf b "  for %s in %d tiles of %d\n" (Dim.to_string d) (trips d)
+        (Tiling.get s.tiling d))
+    (Order.dims s.order);
+  let cost = Cost.eval op s in
+  List.iter
+    (fun operand ->
+      let per = Cost.operand cost operand in
+      match motion op s operand with
+      | Stationary ->
+        Printf.bprintf b "%s stationary in the buffer (1 fetch)\n"
+          (Operand.to_string operand)
+      | Swept dims ->
+        Printf.bprintf b "%s swept by %s (%d fetches%s)\n"
+          (Operand.to_string operand)
+          (String.concat ", " (List.map Dim.to_string dims))
+          per.fetches
+          (if per.revisit > 1 then
+             Printf.sprintf ", each tile refetched x%d" per.revisit
+           else ""))
+    Operand.all;
+  Stdlib.Buffer.contents b

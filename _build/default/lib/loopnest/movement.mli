@@ -1,0 +1,25 @@
+(** Tile-movement description of a schedule — the textual equivalent of
+    the paper's Fig. 2/3 arrows.
+
+    For each operand, says whether its tile is stationary across the
+    whole nest, re-fetched along exactly one loop, or re-fetched on
+    (combinations of) its own index loops; and for each loop level,
+    which operands' tiles advance when it steps. *)
+
+open Fusecu_tensor
+
+type operand_motion =
+  | Stationary  (** fetched once, never replaced *)
+  | Swept of Dim.t list
+      (** replaced whenever one of these loops advances (innermost
+          first) *)
+
+val motion : Matmul.t -> Schedule.t -> Operand.t -> operand_motion
+(** How an operand's tile moves under the schedule. Loops with a single
+    trip never appear. *)
+
+val describe : Matmul.t -> Schedule.t -> string
+(** A multi-line rendering: the loop nest with trip counts, then one
+    line per operand, e.g.
+    {v C stationary in the buffer (1 fetch)
+       A swept by L (32 fetches)        v} *)

@@ -1,0 +1,37 @@
+open Fusecu_tensor
+
+type t = { outer : Dim.t; mid : Dim.t; inner : Dim.t }
+
+let make ~outer ~mid ~inner =
+  if Dim.equal outer mid || Dim.equal mid inner || Dim.equal outer inner then
+    invalid_arg "Order.make: dimensions must be distinct";
+  { outer; mid; inner }
+
+let all =
+  let open Dim in
+  [ { outer = M; mid = K; inner = L };
+    { outer = M; mid = L; inner = K };
+    { outer = K; mid = M; inner = L };
+    { outer = K; mid = L; inner = M };
+    { outer = L; mid = M; inner = K };
+    { outer = L; mid = K; inner = M } ]
+
+let position t d =
+  if Dim.equal d t.outer then 1
+  else if Dim.equal d t.mid then 2
+  else 3
+
+let dims t = [ t.outer; t.mid; t.inner ]
+
+let stationary_for operand =
+  let free = Operand.free_dim operand in
+  List.filter (fun t -> Dim.equal t.inner free) all
+
+let equal a b =
+  Dim.equal a.outer b.outer && Dim.equal a.mid b.mid && Dim.equal a.inner b.inner
+
+let to_string t =
+  Printf.sprintf "%s>%s>%s" (Dim.to_string t.outer) (Dim.to_string t.mid)
+    (Dim.to_string t.inner)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,20 @@
+open Fusecu_tensor
+
+type t = { tiling : Tiling.t; order : Order.t }
+
+let make tiling order = { tiling; order }
+
+let footprint t = Tiling.footprint t.tiling
+
+let fits t buf = Tiling.fits t.tiling buf
+
+let trips op t d = Tiling.trips op t.tiling d
+
+let total_tile_iterations op t =
+  trips op t Dim.M * trips op t Dim.K * trips op t Dim.L
+
+let equal a b = Tiling.equal a.tiling b.tiling && Order.equal a.order b.order
+
+let pp fmt t = Format.fprintf fmt "%a %a" Order.pp t.order Tiling.pp t.tiling
+
+let to_string t = Format.asprintf "%a" pp t

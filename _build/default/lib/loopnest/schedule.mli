@@ -1,0 +1,27 @@
+(** A schedule is a complete memory-level dataflow for one operator:
+    tiling plus loop order. The cost model ({!Cost}) assigns each
+    schedule an exact memory-access count. *)
+
+open Fusecu_tensor
+
+type t = { tiling : Tiling.t; order : Order.t }
+
+val make : Tiling.t -> Order.t -> t
+
+val footprint : t -> int
+(** Buffer elements occupied by one tile of each operand. *)
+
+val fits : t -> Buffer.t -> bool
+
+val trips : Matmul.t -> t -> Dim.t -> int
+(** Tile-loop trip count along a dimension. *)
+
+val total_tile_iterations : Matmul.t -> t -> int
+(** Product of the three trip counts: how many tile computations the
+    schedule performs. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

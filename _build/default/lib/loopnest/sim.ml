@@ -1,0 +1,66 @@
+open Fusecu_tensor
+
+type resident = { mutable key : (int * int) option }
+
+let extent op tiling d idx =
+  let tile = Tiling.get tiling d and size = Matmul.dim op d in
+  min tile (size - (idx * tile))
+
+let iter_nest op (s : Schedule.t) f =
+  let dims = Order.dims s.order in
+  match List.map (fun d -> (d, Schedule.trips op s d)) dims with
+  | [ (d1, n1); (d2, n2); (_d3, n3) ] ->
+    for i1 = 0 to n1 - 1 do
+      for i2 = 0 to n2 - 1 do
+        for i3 = 0 to n3 - 1 do
+          let coord d =
+            if Dim.equal d d1 then i1 else if Dim.equal d d2 then i2 else i3
+          in
+          f coord
+        done
+      done
+    done
+  | _ -> assert false
+
+let eval op (s : Schedule.t) =
+  let state = List.map (fun x -> (x, { key = None })) Operand.all in
+  let fetches = Hashtbl.create 16 in
+  let stats =
+    List.map (fun x -> (x, (ref 0, ref 0))) Operand.all
+    (* fetch count, traffic *)
+  in
+  iter_nest op s (fun coord ->
+      List.iter
+        (fun operand ->
+          let d1, d2 = Operand.dims operand in
+          let key = (coord d1, coord d2) in
+          let res = List.assoc operand state in
+          if res.key <> Some key then begin
+            res.key <- Some key;
+            let count, traffic = List.assoc operand stats in
+            incr count;
+            traffic :=
+              !traffic + (extent op s.tiling d1 (fst key) * extent op s.tiling d2 (snd key));
+            let hkey = (operand, key) in
+            Hashtbl.replace fetches hkey
+              (1 + Option.value ~default:0 (Hashtbl.find_opt fetches hkey))
+          end)
+        Operand.all);
+  let per operand =
+    let count, traffic = List.assoc operand stats in
+    let revisit =
+      Hashtbl.fold
+        (fun (o, _) n acc -> if Operand.equal o operand then max acc n else acc)
+        fetches 0
+    in
+    { Cost.fetches = !count; traffic = !traffic; revisit }
+  in
+  let a = per Operand.A and b = per Operand.B and c = per Operand.C in
+  { Cost.a; b; c; total = a.traffic + b.traffic + c.traffic }
+
+let macs op (s : Schedule.t) =
+  let total = ref 0 in
+  iter_nest op s (fun coord ->
+      let ext d = extent op s.tiling d (coord d) in
+      total := !total + (ext Dim.M * ext Dim.K * ext Dim.L));
+  !total

@@ -1,0 +1,18 @@
+(** Mechanical tile-level simulator: walks the flattened tile loop nest,
+    keeping one resident tile per operand and counting actual fetch
+    events and element traffic (with exact ragged-edge tile extents).
+
+    This is the ground truth the closed-form model in {!Cost} is
+    validated against in the test suite. Run time is proportional to the
+    number of tile iterations, so use it on small operators only. *)
+
+open Fusecu_tensor
+
+val eval : Matmul.t -> Schedule.t -> Cost.t
+(** Simulate the schedule and report the same structure as {!Cost.eval}
+    (symmetric accounting; [revisit] is reported as the maximum number of
+    times any single tile region of the operand was fetched). *)
+
+val macs : Matmul.t -> Schedule.t -> int
+(** Total multiply-accumulates executed by the simulated nest; always
+    equals [Matmul.macs] — a sanity invariant used in tests. *)

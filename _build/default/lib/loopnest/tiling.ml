@@ -1,0 +1,35 @@
+open Fusecu_tensor
+
+type t = { m : int; k : int; l : int }
+
+let make (op : Matmul.t) ~m ~k ~l =
+  if m < 1 || k < 1 || l < 1 then invalid_arg "Tiling.make: tile sizes must be >= 1";
+  { m = min m op.m; k = min k op.k; l = min l op.l }
+
+let full (op : Matmul.t) = { m = op.m; k = op.k; l = op.l }
+
+let unit = { m = 1; k = 1; l = 1 }
+
+let get t = function Dim.M -> t.m | Dim.K -> t.k | Dim.L -> t.l
+
+let with_dim op t d size =
+  match d with
+  | Dim.M -> make op ~m:size ~k:t.k ~l:t.l
+  | Dim.K -> make op ~m:t.m ~k:size ~l:t.l
+  | Dim.L -> make op ~m:t.m ~k:t.k ~l:size
+
+let footprint t = (t.m * t.k) + (t.k * t.l) + (t.m * t.l)
+
+let operand_tile t op =
+  let d1, d2 = Operand.dims op in
+  get t d1 * get t d2
+
+let fits t buf = footprint t <= Buffer.elements buf
+
+let untiled op t d = get t d >= Matmul.dim op d
+
+let trips op t d = Fusecu_util.Arith.ceil_div (Matmul.dim op d) (get t d)
+
+let equal a b = a.m = b.m && a.k = b.k && a.l = b.l
+
+let pp fmt t = Format.fprintf fmt "T(m=%d,k=%d,l=%d)" t.m t.k t.l

@@ -1,0 +1,48 @@
+(** A tiling assigns each loop dimension of a matmul a tile size: the
+    extent of that dimension held in the buffer at once (Fig. 2(a) of the
+    paper).
+
+    Tile sizes are normalized against the operator at construction: a
+    requested tile larger than the dimension is clamped to the dimension,
+    so an "untiled" dimension is exactly one whose tile equals its
+    size. *)
+
+open Fusecu_tensor
+
+type t = private { m : int; k : int; l : int }
+
+val make : Matmul.t -> m:int -> k:int -> l:int -> t
+(** Clamps each size into [\[1, dim\]]. Raises [Invalid_argument] when a
+    size is [< 1]. *)
+
+val full : Matmul.t -> t
+(** The tiling that holds every tensor entirely (all dims untiled). *)
+
+val unit : t
+(** The 1x1x1 tiling — the smallest footprint possible. *)
+
+val get : t -> Dim.t -> int
+
+val with_dim : Matmul.t -> t -> Dim.t -> int -> t
+(** Functional update of one dimension's tile size (re-normalized). *)
+
+val footprint : t -> int
+(** Buffer elements needed to hold one tile of each operand:
+    [Tm*Tk + Tk*Tl + Tm*Tl] — Eq. 2 of the paper. *)
+
+val operand_tile : t -> Operand.t -> int
+(** Elements of one tile of an operand. *)
+
+val fits : t -> Buffer.t -> bool
+(** Whether the footprint fits the buffer capacity. *)
+
+val untiled : Matmul.t -> t -> Dim.t -> bool
+(** Whether the given dimension is untiled (tile size = dimension). *)
+
+val trips : Matmul.t -> t -> Dim.t -> int
+(** Iteration count of the tile loop over a dimension:
+    [ceil (dim / tile)]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+open Fusecu_tensor
+
+type event =
+  | Fetch of { operand : Operand.t; tile : int * int }
+  | Compute of { m : int; k : int; l : int }
+
+let events op (s : Schedule.t) =
+  let resident = Hashtbl.create 3 in
+  let acc = ref [] in
+  let dims = Order.dims s.order in
+  let trips d = Schedule.trips op s d in
+  (match List.map (fun d -> (d, trips d)) dims with
+  | [ (d1, n1); (d2, n2); (_d3, n3) ] ->
+    for i1 = 0 to n1 - 1 do
+      for i2 = 0 to n2 - 1 do
+        for i3 = 0 to n3 - 1 do
+          let coord d =
+            if Dim.equal d d1 then i1 else if Dim.equal d d2 then i2 else i3
+          in
+          List.iter
+            (fun operand ->
+              let da, db = Operand.dims operand in
+              let tile = (coord da, coord db) in
+              if Hashtbl.find_opt resident operand <> Some tile then begin
+                Hashtbl.replace resident operand tile;
+                acc := Fetch { operand; tile } :: !acc
+              end)
+            Operand.all;
+          acc := Compute { m = coord Dim.M; k = coord Dim.K; l = coord Dim.L } :: !acc
+        done
+      done
+    done
+  | _ -> assert false);
+  List.rev !acc
+
+let fetch_count events operand =
+  List.length
+    (List.filter
+       (function
+         | Fetch { operand = x; _ } -> Operand.equal x operand
+         | Compute _ -> false)
+       events)
+
+let tile_extent op (s : Schedule.t) d idx =
+  let tile = Tiling.get s.tiling d in
+  min tile (Matmul.dim op d - (idx * tile))
+
+let traffic op s events =
+  List.fold_left
+    (fun acc -> function
+      | Compute _ -> acc
+      | Fetch { operand; tile = (ia, ib) } ->
+        let da, db = Operand.dims operand in
+        acc + (tile_extent op s da ia * tile_extent op s db ib))
+    0 events
+
+let render ?(max_events = 64) op s =
+  let all = events op s in
+  let buffer = Stdlib.Buffer.create 256 in
+  let emit = function
+    | Fetch { operand; tile = (a, b) } ->
+      Printf.bprintf buffer "fetch %s[%d,%d]\n" (Operand.to_string operand) a b
+    | Compute { m; k; l } -> Printf.bprintf buffer "compute (%d,%d,%d)\n" m k l
+  in
+  let rec take n = function
+    | [] -> ()
+    | _ when n = 0 ->
+      Printf.bprintf buffer "... %d more events\n" (List.length all - max_events)
+    | e :: rest ->
+      emit e;
+      take (n - 1) rest
+  in
+  take max_events all;
+  Printf.bprintf buffer "total: %d fetches, %s elements\n"
+    (List.length all - List.length (List.filter (function Compute _ -> true | Fetch _ -> false) all))
+    (Fusecu_util.Units.pp_count (traffic op s all));
+  Stdlib.Buffer.contents buffer

@@ -1,0 +1,1 @@
+lib/rtl/attention_pipeline.ml: Array Float Matrix Printf Requant Softmax_unit Systolic

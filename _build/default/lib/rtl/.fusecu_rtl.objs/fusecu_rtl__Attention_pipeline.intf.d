@@ -1,0 +1,1 @@
+lib/rtl/attention_pipeline.mli: Matrix

@@ -1,0 +1,1 @@
+lib/rtl/controller.ml: List Matrix Printf Systolic Xs_pe

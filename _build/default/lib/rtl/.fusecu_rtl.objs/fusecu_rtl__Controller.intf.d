@@ -1,0 +1,1 @@
+lib/rtl/controller.mli: Matrix Systolic Xs_pe

@@ -1,0 +1,1 @@
+lib/rtl/fusecu_sim.ml: Matrix Printf Systolic

@@ -1,0 +1,1 @@
+lib/rtl/matrix.ml: Array Format Random

@@ -1,0 +1,1 @@
+lib/rtl/matrix.mli: Format

@@ -1,0 +1,1 @@
+lib/rtl/requant.ml: Float Fusecu_util Matrix

@@ -1,0 +1,1 @@
+lib/rtl/requant.mli: Matrix

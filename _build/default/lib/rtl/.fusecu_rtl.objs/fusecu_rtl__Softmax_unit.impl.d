@@ -1,0 +1,1 @@
+lib/rtl/softmax_unit.ml: Array Float Fusecu_util Matrix

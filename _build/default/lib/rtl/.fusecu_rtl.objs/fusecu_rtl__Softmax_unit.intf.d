@@ -1,0 +1,1 @@
+lib/rtl/softmax_unit.mli: Matrix

@@ -1,0 +1,1 @@
+lib/rtl/systolic.ml: Array Matrix Xs_pe

@@ -1,0 +1,1 @@
+lib/rtl/systolic.mli: Matrix

@@ -1,0 +1,1 @@
+lib/rtl/xs_pe.mli:

@@ -1,0 +1,66 @@
+type t = { output : Matrix.t; cycles : int; max_abs_error : int }
+
+(* real value of one score-accumulator unit: int8 x int8 products over
+   dh terms; scaling by 1/(16*dh) keeps random int8 data inside the exp
+   table's useful range (the usual 1/sqrt(dh) temperature absorbed) *)
+let score_scale ~dh = 1. /. (16. *. float_of_int dh)
+
+let float_attention ~unit ~q ~v scores =
+  let seq = Matrix.rows q and dh = Matrix.cols v in
+  let out = Matrix.zeros ~rows:seq ~cols:dh in
+  for i = 0 to seq - 1 do
+    let probs = Softmax_unit.reference_row unit scores.(i) in
+    for j = 0 to dh - 1 do
+      let acc = ref 0. in
+      Array.iteri
+        (fun l p -> acc := !acc +. (p *. float_of_int (Matrix.get v l j)))
+        probs;
+      out.(i).(j) <- int_of_float (Float.round !acc)
+    done
+  done;
+  out
+
+let reference ~q ~k ~v =
+  let dh = Matrix.cols q in
+  let unit = Softmax_unit.create ~input_scale:(score_scale ~dh) () in
+  float_attention ~unit ~q ~v (Matrix.mul q (Matrix.transpose k))
+
+let run ?(n = 32) ~q ~k ~v () =
+  let seq = Matrix.rows q and dh = Matrix.cols q in
+  if Matrix.rows k <> seq || Matrix.cols k <> dh then
+    Error "attention: K must match Q's shape"
+  else if Matrix.rows v <> seq || Matrix.cols v <> dh then
+    Error "attention: V must match Q's shape"
+  else if seq > n then
+    Error (Printf.sprintf "attention: seq %d exceeds the %dx%d compute unit" seq n n)
+  else begin
+    let unit = Softmax_unit.create ~input_scale:(score_scale ~dh) () in
+    let array = Systolic.create ~rows:n ~cols:n in
+    (* phase 1: scores = Q x K^T, output stationary *)
+    let c1 = Systolic.run_os array ~a:q ~b:(Matrix.transpose k) in
+    let scores = Systolic.read_acc array ~rows:seq ~cols:seq in
+    (* phase 2: the softmax unit streams the score rows (one row per
+       cycle once full); probabilities come back as int8 codes *)
+    let probs = Softmax_unit.apply unit scores in
+    let softmax_cycles = seq in
+    (* phase 3: output = probs x V, output stationary again; the
+       int8-coded probabilities put the result in units of 1/127 *)
+    Systolic.clear array;
+    let c2 = Systolic.run_os array ~a:probs ~b:v in
+    let raw = Systolic.read_acc array ~rows:seq ~cols:dh in
+    let output = Requant.apply_matrix (Requant.of_scale (1. /. 127.)) raw in
+    (* accuracy against the rounded floating-point reference *)
+    let expected = float_attention ~unit ~q ~v scores in
+    let max_abs_error = ref 0 in
+    for i = 0 to seq - 1 do
+      for j = 0 to dh - 1 do
+        max_abs_error :=
+          max !max_abs_error
+            (abs (Matrix.get output i j - Matrix.get expected i j))
+      done
+    done;
+    Ok
+      { output;
+        cycles = c1 + softmax_cycles + 1 + c2;
+        max_abs_error = !max_abs_error }
+  end

@@ -1,0 +1,27 @@
+(** End-to-end attention on the structural FuseCU model:
+    [scores = Q x K^T], an on-chip integer softmax, and
+    [output = probs x V], all without the intermediate score matrix
+    leaving the cluster — the workload the paper's fused architecture
+    exists for.
+
+    The matmuls run on {!Systolic} engines, probabilities requantize to
+    int8 activations, and the result is compared against a full
+    floating-point attention reference: agreement is within a small
+    integer tolerance set by the softmax table and requantization
+    granularity (asserted in tests). *)
+
+type t = {
+  output : Matrix.t;  (** int8-domain attention output *)
+  cycles : int;  (** matmul phases plus one softmax pass per row wave *)
+  max_abs_error : int;
+      (** worst deviation from the rounded floating-point reference *)
+}
+
+val run : ?n:int -> q:Matrix.t -> k:Matrix.t -> v:Matrix.t -> unit
+  -> (t, string) result
+(** [q : seq x dh], [k : seq x dh], [v : seq x dh]; the score tile
+    [seq x seq] must fit one [n x n] compute unit (default n = 32). *)
+
+val reference : q:Matrix.t -> k:Matrix.t -> v:Matrix.t -> Matrix.t
+(** Floating-point attention, rounded to the same int8 output
+    domain. *)

@@ -1,0 +1,92 @@
+type command =
+  | Set_mode of Xs_pe.mode
+  | Preload of Matrix.t
+  | Promote
+  | Clear
+  | Run_os of { a : Matrix.t; b : Matrix.t }
+  | Run_os_from_acc of { rows : int; cols : int; b : Matrix.t }
+  | Run_stream of { m : int; d : Matrix.t }
+  | Read_acc of { rows : int; cols : int }
+
+type trace = { commands_run : int; cycles : int; outputs : Matrix.t list }
+
+let execute array program =
+  let step (trace, index) command =
+    let config_flip = 1 in
+    let continue ?output cycles =
+      let outputs =
+        match output with Some m -> m :: trace.outputs | None -> trace.outputs
+      in
+      Ok
+        ({ commands_run = trace.commands_run + 1;
+           cycles = trace.cycles + cycles;
+           outputs },
+         index + 1)
+    in
+    match command with
+    | Set_mode _mode ->
+      (* the XS wires switch every PE in one cycle; the per-PE mode is
+         (re)driven by the next data phase *)
+      continue config_flip
+    | Preload m ->
+      Systolic.preload array m;
+      continue (Matrix.rows m)
+    | Promote ->
+      Systolic.promote array;
+      continue config_flip
+    | Clear ->
+      Systolic.clear array;
+      continue config_flip
+    | Run_os { a; b } -> (
+      match Systolic.run_os array ~a ~b with
+      | cycles -> continue cycles
+      | exception Invalid_argument e ->
+        Error (Printf.sprintf "command %d: %s" index e))
+    | Run_os_from_acc { rows; cols; b } -> (
+      match Systolic.read_acc array ~rows ~cols with
+      | exception Invalid_argument e ->
+        Error (Printf.sprintf "command %d: %s" index e)
+      | intermediate -> (
+        Systolic.clear array;
+        match Systolic.run_os array ~a:intermediate ~b with
+        | cycles ->
+          (* the round trip: drain the tile out and stream it back in *)
+          continue (rows + cycles)
+        | exception Invalid_argument e ->
+          Error (Printf.sprintf "command %d: %s" index e)))
+    | Run_stream { m; d } -> (
+      match Systolic.run_stream array ~m ~d with
+      | product, cycles -> continue ~output:product cycles
+      | exception Invalid_argument e ->
+        Error (Printf.sprintf "command %d: %s" index e))
+    | Read_acc { rows; cols } -> (
+      match Systolic.read_acc array ~rows ~cols with
+      | tile -> continue ~output:tile rows
+      | exception Invalid_argument e ->
+        Error (Printf.sprintf "command %d: %s" index e))
+  in
+  let rec loop acc = function
+    | [] ->
+      let trace, _ = acc in
+      Ok { trace with outputs = List.rev trace.outputs }
+    | command :: rest -> (
+      match step acc command with
+      | Ok next -> loop next rest
+      | Error e -> Error e)
+  in
+  loop ({ commands_run = 0; cycles = 0; outputs = [] }, 0) program
+
+let tile_fused_program ~a ~b ~d =
+  [ Clear;
+    Set_mode Xs_pe.Os;
+    Run_os { a; b };
+    Promote;
+    Set_mode Xs_pe.Stationary;
+    Run_stream { m = Matrix.rows a; d } ]
+
+let unfused_program ~a ~b ~d =
+  [ Clear;
+    Set_mode Xs_pe.Os;
+    Run_os { a; b };
+    Run_os_from_acc { rows = Matrix.rows a; cols = Matrix.cols b; b = d };
+    Read_acc { rows = Matrix.rows a; cols = Matrix.cols d } ]

@@ -1,0 +1,49 @@
+(** Configuration controller for the FuseCU cluster.
+
+    The hardware drives a fused execution as a sequence of
+    micro-commands over the XS and FU configuration wires (paper
+    Fig. 7): set the PE modes, load or promote stationary data, stream
+    operands, flip the inter-CU connections. This module models that
+    control plane as an explicit program of commands interpreted against
+    a {!Systolic} array, so the fused executions of {!Fusecu_sim} can be
+    expressed — and tested — as command sequences rather than ad-hoc
+    function calls.
+
+    Commands own their cycle costs: configuration flips take one cycle,
+    data phases take the engine's cycle count. *)
+
+type command =
+  | Set_mode of Xs_pe.mode  (** drive the XS configuration wires *)
+  | Preload of Matrix.t  (** load a stationary operand *)
+  | Promote  (** accumulators become stationary (tile fusion) *)
+  | Clear
+  | Run_os of { a : Matrix.t; b : Matrix.t }
+      (** stream an output-stationary matmul into the accumulators *)
+  | Run_os_from_acc of { rows : int; cols : int; b : Matrix.t }
+      (** read the accumulated tile back (the off-chip round trip of an
+          unfused execution), clear, and stream it as the next matmul's
+          left operand *)
+  | Run_stream of { m : int; d : Matrix.t }
+      (** stream against the held stationary matrix; the product is
+          appended to the trace outputs *)
+  | Read_acc of { rows : int; cols : int }
+      (** copy the accumulated tile into the trace outputs *)
+
+type trace = {
+  commands_run : int;
+  cycles : int;
+  outputs : Matrix.t list;  (** results of [Run_stream] phases, in order *)
+}
+
+val execute : Systolic.t -> command list -> (trace, string) result
+(** Interpret a program. Errors propagate from the engine (oversized
+    tiles, dimension mismatches) with the failing command's index. *)
+
+val tile_fused_program : a:Matrix.t -> b:Matrix.t -> d:Matrix.t -> command list
+(** The canonical tile-fusion sequence: clear, OS phase, promote,
+    reconfigure, stream phase. *)
+
+val unfused_program : a:Matrix.t -> b:Matrix.t -> d:Matrix.t -> command list
+(** The same chain without fusion: the intermediate makes a round trip
+    through memory ([Run_os_from_acc]) instead of being promoted in
+    place. *)

@@ -1,0 +1,62 @@
+(** Functional/cycle model of the FuseCU compute-unit cluster
+    (paper Fig. 7): four N x N compute units whose edge muxes compose
+    them into square, narrow (tall) and wide logical arrays, executing
+    the two fused-dataflow mappings of Fig. 5.
+
+    - {b Tile fusion}: one logical array runs [A x B = C]
+      output-stationary, {e promotes} the accumulated [C] into the
+      stationary registers (no extra storage — the XS PE trick), then
+      runs [C x D = E] input-stationary.
+    - {b Column fusion}: the cluster splits into a producer half
+      (input-stationary, holds [A]) and a consumer half
+      (output-stationary, accumulates [E]); each column of [C] produced
+      by the first half streams directly into the second as a rank-1
+      update. Columns pipeline: the consumer starts as soon as the first
+      column arrives, so the total latency is the producer fill plus the
+      consumer run.
+
+    Every execution returns the exact product (validated against
+    {!Matrix.mul} in tests) and a cycle count composed from the
+    closed-form phase latencies of {!Systolic}. *)
+
+(** Logical cluster configurations (Fig. 7(c)-(e)). *)
+type config =
+  | Square  (** one N x N CU (the others run other work) *)
+  | Narrow2  (** two CUs stacked: 2N x N *)
+  | Wide2  (** two CUs abreast: N x 2N *)
+  | Narrow4  (** four CUs stacked: 4N x N *)
+  | Wide4  (** four CUs abreast: N x 4N *)
+  | Big_square  (** four CUs as 2N x 2N *)
+
+val all_configs : config list
+
+val config_name : config -> string
+
+type t
+
+val create : ?n:int -> unit -> t
+(** A cluster of four [n x n] CUs ([n] defaults to 128; tests use small
+    [n]). *)
+
+val n : t -> int
+
+val logical_shape : t -> config -> int * int
+(** Rows and columns of the composed array. *)
+
+val cus_used : config -> int
+
+val run_mm : t -> config -> a:Matrix.t -> b:Matrix.t -> (Matrix.t * int, string) result
+(** Plain (unfused) OS matmul on the composed array; [Error] when the
+    output tile exceeds the logical shape. *)
+
+val run_tile_fused : t -> config -> a:Matrix.t -> b:Matrix.t -> d:Matrix.t
+  -> (Matrix.t * int, string) result
+(** [(A x B) x D] with the intermediate promoted in place. The
+    intermediate [(rows a) x (cols b)] must fit the logical shape, and
+    [cols d] must fit its columns. *)
+
+val run_column_fused : t -> config -> a:Matrix.t -> b:Matrix.t -> d:Matrix.t
+  -> (Matrix.t * int, string) result
+(** [(A x B) x D] with [A] resident in the producer half and [E]
+    accumulating in the consumer half; [config] describes each half
+    (e.g. [Wide2] = two CUs per half, using all four). *)

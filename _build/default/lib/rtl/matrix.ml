@@ -1,0 +1,48 @@
+type t = int array array
+
+let make ~rows ~cols f =
+  if rows < 1 || cols < 1 then invalid_arg "Matrix.make: dims must be >= 1";
+  Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let zeros ~rows ~cols = make ~rows ~cols (fun _ _ -> 0)
+
+let rows (m : t) = Array.length m
+
+let cols (m : t) = Array.length m.(0)
+
+let get (m : t) i j = m.(i).(j)
+
+let random ?(seed = 7) ~rows ~cols () =
+  let rng = Random.State.make [| seed; rows; cols |] in
+  make ~rows ~cols (fun _ _ -> Random.State.int rng 256 - 128)
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Matrix.mul: dimension mismatch";
+  let k = cols a in
+  make ~rows:(rows a) ~cols:(cols b) (fun i j ->
+      let acc = ref 0 in
+      for x = 0 to k - 1 do
+        acc := !acc + (a.(i).(x) * b.(x).(j))
+      done;
+      !acc)
+
+let equal (a : t) b =
+  rows a = rows b && cols a = cols b
+  && begin
+       let ok = ref true in
+       for i = 0 to rows a - 1 do
+         for j = 0 to cols a - 1 do
+           if a.(i).(j) <> b.(i).(j) then ok := false
+         done
+       done;
+       !ok
+     end
+
+let transpose m = make ~rows:(cols m) ~cols:(rows m) (fun i j -> m.(j).(i))
+
+let pp fmt m =
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> Format.fprintf fmt "%6d " v) row;
+      Format.pp_print_newline fmt ())
+    m

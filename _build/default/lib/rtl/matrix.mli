@@ -1,0 +1,30 @@
+(** Small integer matrices for the structural simulator and its
+    reference results. Values are kept as native ints; tests drive the
+    simulator with int8-range data, matching the accelerator datapath. *)
+
+type t = int array array
+(** Row-major, rectangular. *)
+
+val make : rows:int -> cols:int -> (int -> int -> int) -> t
+
+val zeros : rows:int -> cols:int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> int
+
+val random : ?seed:int -> rows:int -> cols:int -> unit -> t
+(** Entries uniform in [\[-128, 127\]] (int8 range), deterministic in
+    [seed]. *)
+
+val mul : t -> t -> t
+(** Reference matrix product. Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val equal : t -> t -> bool
+
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit

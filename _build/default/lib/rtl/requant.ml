@@ -1,0 +1,38 @@
+type t = { multiplier : int; shift : int }
+
+let make ~multiplier ~shift =
+  if multiplier < 0 || multiplier >= 32768 then
+    invalid_arg "Requant.make: multiplier out of range";
+  if shift < 0 || shift > 31 then invalid_arg "Requant.make: shift out of range";
+  { multiplier; shift }
+
+let identity = { multiplier = 1; shift = 0 }
+
+let of_scale scale =
+  if scale <= 0. || scale > 1. then
+    invalid_arg "Requant.of_scale: scale must be in (0, 1]";
+  (* normalize the scale into [0.5, 1) x 2^-shift, then fix the
+     mantissa at 15 bits *)
+  let rec normalize scale shift =
+    if shift >= 31 then (scale, 31)
+    else if scale < 0.5 then normalize (scale *. 2.) (shift + 1)
+    else (scale, shift)
+  in
+  let mantissa, extra = normalize scale 0 in
+  let multiplier = int_of_float (Float.round (mantissa *. 16384.)) in
+  make ~multiplier:(min multiplier 32767) ~shift:(extra + 14)
+
+let apply t v =
+  let scaled = v * t.multiplier in
+  let half = if t.shift = 0 then 0 else 1 lsl (t.shift - 1) in
+  let rounded =
+    if scaled >= 0 then (scaled + half) asr t.shift
+    else -((-scaled + half) asr t.shift)
+  in
+  Fusecu_util.Arith.clamp ~lo:(-128) ~hi:127 rounded
+
+let apply_matrix t m =
+  Matrix.make ~rows:(Matrix.rows m) ~cols:(Matrix.cols m) (fun i j ->
+      apply t (Matrix.get m i j))
+
+let effective_scale t = float_of_int t.multiplier /. float_of_int (1 lsl t.shift)

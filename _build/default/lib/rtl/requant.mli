@@ -1,0 +1,33 @@
+(** Requantization of accumulator values back to the int8 activation
+    domain.
+
+    Fig. 6 of the paper shows a mux on the XS PE's activation output
+    "allowing for selection between the input activation and the
+    quantized result": when a fused consumer reads the producer's
+    32-bit accumulations as activations, they first pass through this
+    requantize step. The standard inference scheme is a fixed-point
+    multiply by a scale, a rounding right-shift, and saturation to the
+    int8 range. *)
+
+type t = private { multiplier : int; shift : int }
+(** Fixed-point scale [multiplier / 2^shift] with
+    [0 <= multiplier < 2^15] and [0 <= shift <= 31]. *)
+
+val make : multiplier:int -> shift:int -> t
+
+val identity : t
+(** multiplier 1, shift 0 — pass-through (used by tests and by
+    unquantized datapaths). *)
+
+val of_scale : float -> t
+(** Closest fixed-point representation of a real scale in (0, 1];
+    raises [Invalid_argument] outside that range. *)
+
+val apply : t -> int -> int
+(** Scale, round to nearest (ties away from zero), saturate to
+    [\[-128, 127\]]. *)
+
+val apply_matrix : t -> Matrix.t -> Matrix.t
+
+val effective_scale : t -> float
+(** [multiplier / 2^shift]. *)

@@ -1,0 +1,71 @@
+type t = {
+  table : int array;  (** exp(-x) in Q15, indexed by quantized x *)
+  table_bits : int;
+  input_scale : float;
+  range : float;  (** clamp width of the (non-positive) exponent inputs *)
+}
+
+let create ?(table_bits = 8) ?(input_scale = 1. /. 16.) () =
+  if table_bits < 2 || table_bits > 16 then
+    invalid_arg "Softmax_unit.create: table_bits out of range";
+  if input_scale <= 0. then invalid_arg "Softmax_unit.create: bad input scale";
+  (* below -range the exponential is numerically zero in Q15 *)
+  let range = 11.1 in
+  let entries = 1 lsl table_bits in
+  let table =
+    Array.init entries (fun i ->
+        let x = float_of_int i /. float_of_int (entries - 1) *. range in
+        int_of_float (Float.round (exp (-.x) *. 32768.)))
+  in
+  { table; table_bits; input_scale; range }
+
+let lookup t x =
+  (* x is a non-negative real exponent magnitude *)
+  let clamped = Float.min x t.range in
+  let entries = (1 lsl t.table_bits) - 1 in
+  let index =
+    int_of_float (Float.round (clamped /. t.range *. float_of_int entries))
+  in
+  t.table.(index)
+
+let apply_row t row =
+  let n = Array.length row in
+  if n = 0 then [||]
+  else begin
+    let maximum = Array.fold_left max row.(0) row in
+    let weights =
+      Array.map
+        (fun v -> lookup t (float_of_int (maximum - v) *. t.input_scale))
+        row
+    in
+    let total = Array.fold_left ( + ) 0 weights in
+    Array.map
+      (fun w ->
+        if total = 0 then 0
+        else
+          Fusecu_util.Arith.clamp ~lo:0 ~hi:127 (((w * 127) + (total / 2)) / total))
+      weights
+  end
+
+let apply t m =
+  let rows = Matrix.rows m in
+  let out = Array.init rows (fun i -> apply_row t m.(i)) in
+  Matrix.make ~rows ~cols:(Matrix.cols m) (fun i j -> out.(i).(j))
+
+let reference_row t row =
+  let scaled = Array.map (fun v -> float_of_int v *. t.input_scale) row in
+  let maximum = Array.fold_left Float.max neg_infinity scaled in
+  let exps = Array.map (fun v -> exp (v -. maximum)) scaled in
+  let total = Array.fold_left ( +. ) 0. exps in
+  Array.map (fun e -> e /. total) exps
+
+let max_row_error t row =
+  let hw = apply_row t row in
+  let reference = reference_row t row in
+  let err = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let expected = int_of_float (Float.round (p *. 127.)) in
+      err := max !err (abs (hw.(i) - expected)))
+    reference;
+  !err

@@ -1,0 +1,35 @@
+(** Integer softmax unit.
+
+    The paper's area breakdown lists a softmax unit alongside the PE
+    array (so fused attention never leaves the chip between the score
+    and context matmuls). This models the usual hardware scheme: the
+    row maximum is subtracted (so exponents are non-positive), exp is a
+    table lookup over negated fixed-point inputs, and the row is
+    normalized into unsigned fixed-point probabilities that requantize
+    to int8.
+
+    Accuracy is bounded, not bit-perfect against floating point:
+    {!max_row_error} on random int8 rows stays within a few units in
+    the int8 output domain (asserted in tests). *)
+
+type t
+
+val create : ?table_bits:int -> ?input_scale:float -> unit -> t
+(** [table_bits] sizes the exp lookup (default 8 -> 256 entries over
+    the clamped input range); [input_scale] is the real value of one
+    accumulator unit (default 1/16). *)
+
+val apply_row : t -> int array -> int array
+(** Softmax over one row of accumulator values, producing int8 codes of
+    the probabilities scaled by 127 (so a one-hot row maps to ~127). *)
+
+val apply : t -> Matrix.t -> Matrix.t
+(** Row-wise application. *)
+
+val reference_row : t -> int array -> float array
+(** Floating-point softmax of the same (scaled) inputs, for accuracy
+    comparison. *)
+
+val max_row_error : t -> int array -> int
+(** Largest absolute difference, in int8 output units, between
+    {!apply_row} and the rounded reference on one row. *)

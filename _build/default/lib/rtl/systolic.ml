@@ -1,0 +1,137 @@
+type t = { nrows : int; ncols : int; grid : Xs_pe.t array array }
+
+let create ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Systolic.create: dims must be >= 1";
+  { nrows = rows; ncols = cols;
+    grid = Array.init rows (fun _ -> Array.init cols (fun _ -> Xs_pe.create ())) }
+
+let rows t = t.nrows
+
+let cols t = t.ncols
+
+let iter_pes t f =
+  for i = 0 to t.nrows - 1 do
+    for j = 0 to t.ncols - 1 do
+      f i j t.grid.(i).(j)
+    done
+  done
+
+let clear t = iter_pes t (fun _ _ pe -> Xs_pe.clear pe)
+
+let set_mode t mode = iter_pes t (fun _ _ pe -> Xs_pe.set_mode pe mode)
+
+let os_cycles ~m ~k ~l = k + m + l - 2
+
+let run_os t ~a ~b =
+  let m = Matrix.rows a and k = Matrix.cols a in
+  let l = Matrix.cols b in
+  if Matrix.rows b <> k then invalid_arg "Systolic.run_os: dimension mismatch";
+  if m > t.nrows || l > t.ncols then invalid_arg "Systolic.run_os: tile too large";
+  set_mode t Xs_pe.Os;
+  iter_pes t (fun _ _ pe ->
+      Xs_pe.load_stationary pe 0;
+      Xs_pe.set_mode pe Xs_pe.Os);
+  (* a_wave.(i).(j) / b_wave.(i).(j): stream values present at PE (i,j)
+     this cycle; they shift one hop per cycle. *)
+  let a_wave = Array.make_matrix t.nrows t.ncols 0 in
+  let b_wave = Array.make_matrix t.nrows t.ncols 0 in
+  let cycles = os_cycles ~m ~k ~l in
+  for c = 0 to cycles - 1 do
+    (* shift right / down (reverse order so values move one hop) *)
+    for i = t.nrows - 1 downto 0 do
+      for j = t.ncols - 1 downto 0 do
+        a_wave.(i).(j) <- (if j = 0 then 0 else a_wave.(i).(j - 1));
+        b_wave.(i).(j) <- (if i = 0 then 0 else b_wave.(i - 1).(j))
+      done
+    done;
+    (* inject skewed streams at the edges *)
+    for i = 0 to t.nrows - 1 do
+      let kk = c - i in
+      a_wave.(i).(0) <- (if i < m && kk >= 0 && kk < k then Matrix.get a i kk else 0)
+    done;
+    for j = 0 to t.ncols - 1 do
+      let kk = c - j in
+      b_wave.(0).(j) <- (if j < l && kk >= 0 && kk < k then Matrix.get b kk j else 0)
+    done;
+    iter_pes t (fun i j pe ->
+        ignore
+          (Xs_pe.step pe
+             { Xs_pe.a_in = a_wave.(i).(j); b_in = b_wave.(i).(j); ps_in = 0 }
+            : Xs_pe.out))
+  done;
+  cycles
+
+let read_acc t ~rows ~cols =
+  if rows > t.nrows || cols > t.ncols then
+    invalid_arg "Systolic.read_acc: larger than grid";
+  Matrix.make ~rows ~cols (fun i j -> Xs_pe.acc t.grid.(i).(j))
+
+let preload t s =
+  if Matrix.rows s > t.nrows || Matrix.cols s > t.ncols then
+    invalid_arg "Systolic.preload: matrix larger than grid";
+  iter_pes t (fun i j pe ->
+      let v =
+        if i < Matrix.rows s && j < Matrix.cols s then Matrix.get s i j else 0
+      in
+      Xs_pe.load_stationary pe v)
+
+let promote t = iter_pes t (fun _ _ pe -> Xs_pe.promote_acc pe)
+
+let stream_cycles t ~m ~n = n + m + t.ncols - 2
+
+let run_stream t ~m ~d =
+  let q = Matrix.rows d and n = Matrix.cols d in
+  if q > t.ncols then invalid_arg "Systolic.run_stream: reduction dim too large";
+  if m > t.nrows then invalid_arg "Systolic.run_stream: too many rows";
+  set_mode t Xs_pe.Stationary;
+  let e = Matrix.zeros ~rows:m ~cols:n in
+  let b_wave = Array.make_matrix t.nrows t.ncols 0 in
+  let ps_wave = Array.make_matrix t.nrows t.ncols 0 in
+  (* ps_valid tracks which output column a partial sum belongs to. *)
+  let ps_col = Array.make_matrix t.nrows t.ncols (-1) in
+  let cycles = stream_cycles t ~m ~n in
+  for c = 0 to cycles - 1 do
+    (* shift: the stream moves down, partial sums move right *)
+    for i = t.nrows - 1 downto 0 do
+      for j = t.ncols - 1 downto 0 do
+        b_wave.(i).(j) <- (if i = 0 then 0 else b_wave.(i - 1).(j));
+        ps_wave.(i).(j) <- (if j = 0 then 0 else ps_wave.(i).(j - 1));
+        ps_col.(i).(j) <- (if j = 0 then -1 else ps_col.(i).(j - 1))
+      done
+    done;
+    (* inject stream column values: D(j, t) enters column j at cycle t+j *)
+    for j = 0 to t.ncols - 1 do
+      let tcol = c - j in
+      b_wave.(0).(j) <-
+        (if j < q && tcol >= 0 && tcol < n then Matrix.get d j tcol else 0)
+    done;
+    (* start a fresh partial sum for output column (c - i) in row i *)
+    for i = 0 to t.nrows - 1 do
+      let tcol = c - i in
+      ps_wave.(i).(0) <- 0;
+      ps_col.(i).(0) <- (if i < m && tcol >= 0 && tcol < n then tcol else -1)
+    done;
+    (* compute: ps_out = ps_in + held * b_in, in place *)
+    iter_pes t (fun i j pe ->
+        let out =
+          Xs_pe.step pe
+            { Xs_pe.a_in = 0; b_in = b_wave.(i).(j); ps_in = ps_wave.(i).(j) }
+        in
+        ps_wave.(i).(j) <- out.Xs_pe.ps_out);
+    (* collect finished partial sums at the right edge *)
+    for i = 0 to t.nrows - 1 do
+      let tcol = ps_col.(i).(t.ncols - 1) in
+      if tcol >= 0 then e.(i).(tcol) <- ps_wave.(i).(t.ncols - 1)
+    done
+  done;
+  (e, cycles)
+
+let run_is t ~s ~d =
+  preload t s;
+  run_stream t ~m:(Matrix.rows s) ~d
+
+let run_ws t ~a ~b =
+  (* Hold the weights, stream the activations: C = A x B computed as
+     (B^T x A^T)^T on the same stationary-stream engine. *)
+  let e_t, cycles = run_is t ~s:(Matrix.transpose b) ~d:(Matrix.transpose a) in
+  (Matrix.transpose e_t, cycles)

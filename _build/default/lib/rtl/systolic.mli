@@ -1,0 +1,62 @@
+(** Cycle-accurate systolic-array engine over a grid of {!Xs_pe}s.
+
+    Two execution modes cover the three stationaries of the XS PE:
+
+    - {b OS} ({!run_os}): the result tile accumulates in place.
+      [A (m x k)] streams from the left (row [i] skewed by [i] cycles),
+      [B (k x l)] from the top (column [j] skewed by [j]); after
+      [k + m + l - 2] cycles [acc(i,j) = C(i,j)].
+    - {b stationary-stream} ({!run_stream}): a matrix [S (m x q)] held
+      in the PEs (preloaded, or {e promoted} from the accumulators —
+      the tile-fusion trick) is multiplied by a streamed [D (q x n)]:
+      column [t] of the product exits the right edge after
+      [t + m + cols - 1] cycles. Partial sums travel along rows, the
+      stream travels down columns, both skewed by one hop per PE —
+      input-stationary dataflow. Weight-stationary is the same engine
+      with operands transposed ({!run_ws}), exactly the paper's "swap
+      activations and weights".
+
+    All results are bit-exact against {!Matrix.mul}; cycle counts follow
+    the closed forms above and are asserted in tests. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val clear : t -> unit
+
+val run_os : t -> a:Matrix.t -> b:Matrix.t -> int
+(** Stream an OS matmul; the product is left in the accumulators
+    (read it with {!read_acc}). Returns the cycle count.
+    Requires [rows a <= rows t] and [cols b <= cols t]. *)
+
+val read_acc : t -> rows:int -> cols:int -> Matrix.t
+
+val preload : t -> Matrix.t -> unit
+(** Latch a stationary matrix into the top-left corner of the grid
+    (remaining PEs hold 0). *)
+
+val promote : t -> unit
+(** Accumulators become the stationary values (all PEs); accumulators
+    clear. *)
+
+val run_stream : t -> m:int -> d:Matrix.t -> Matrix.t * int
+(** Multiply the currently-held stationary matrix (logically [m x q],
+    [q = rows d]) by [d]; returns the [m x n] product and the cycle
+    count. *)
+
+val run_is : t -> s:Matrix.t -> d:Matrix.t -> Matrix.t * int
+(** Input-stationary product [s x d] (preload + stream). *)
+
+val run_ws : t -> a:Matrix.t -> b:Matrix.t -> Matrix.t * int
+(** Weight-stationary product [a x b] (holds [b], streams [a]). *)
+
+val os_cycles : m:int -> k:int -> l:int -> int
+(** Closed-form cycle count of {!run_os}. *)
+
+val stream_cycles : t -> m:int -> n:int -> int
+(** Closed-form cycle count of {!run_stream}. *)

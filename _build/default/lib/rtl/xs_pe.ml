@@ -1,0 +1,36 @@
+type mode = Os | Stationary
+
+type t = {
+  mutable mode : mode;
+  mutable held : int;
+  mutable accumulator : int;
+}
+
+let create () = { mode = Os; held = 0; accumulator = 0 }
+
+let set_mode t m = t.mode <- m
+
+let load_stationary t v = t.held <- v
+
+let promote_acc t =
+  t.held <- t.accumulator;
+  t.accumulator <- 0
+
+let acc t = t.accumulator
+
+let stationary t = t.held
+
+let clear t =
+  t.held <- 0;
+  t.accumulator <- 0
+
+type io = { a_in : int; b_in : int; ps_in : int }
+
+type out = { a_out : int; b_out : int; ps_out : int }
+
+let step t { a_in; b_in; ps_in } =
+  match t.mode with
+  | Os ->
+    t.accumulator <- t.accumulator + (a_in * b_in);
+    { a_out = a_in; b_out = b_in; ps_out = 0 }
+  | Stationary -> { a_out = a_in; b_out = b_in; ps_out = ps_in + (t.held * b_in) }

@@ -1,0 +1,57 @@
+(** The X-Stationary processing element (paper Fig. 6).
+
+    A standard MAC PE extended with multiplexers so the same datapath
+    runs output-stationary (accumulate into the local register),
+    input-stationary (multiply the {e held} value by the streamed value,
+    add the partial sum arriving from a neighbour) or weight-stationary
+    (IS with operand roles swapped). A final mux selects whether the
+    forwarded activation is the incoming stream or the held result,
+    which is what lets column fusion feed one PE's output straight into
+    the next compute unit.
+
+    The PE is a pure state machine: [step] consumes the cycle's inputs
+    and produces the outputs that neighbouring PEs latch for the next
+    cycle — exactly the register-transfer behaviour of the Chisel
+    design, minus bit widths. *)
+
+type mode =
+  | Os  (** accumulate [a*b] into the local accumulator *)
+  | Stationary  (** IS/WS: output partial sum [ps_in + held*b_in] *)
+
+type t
+
+val create : unit -> t
+
+val set_mode : t -> mode -> unit
+
+val load_stationary : t -> int -> unit
+(** Latch a value into the stationary register (IS/WS preload). *)
+
+val promote_acc : t -> unit
+(** Move the accumulator into the stationary register and clear it —
+    the tile-fusion trick: the OS result of phase 1 becomes the IS
+    operand of phase 2 with no extra storage. *)
+
+val acc : t -> int
+
+val stationary : t -> int
+
+val clear : t -> unit
+
+type io = {
+  a_in : int;  (** horizontal stream input *)
+  b_in : int;  (** vertical stream input *)
+  ps_in : int;  (** partial-sum input (IS/WS mode) *)
+}
+
+type out = {
+  a_out : int;  (** forwarded horizontal value (next cycle) *)
+  b_out : int;  (** forwarded vertical value (next cycle) *)
+  ps_out : int;  (** partial-sum output (IS/WS mode) *)
+}
+
+val step : t -> io -> out
+(** One clock edge. In [Os] mode [ps_out = 0] and the accumulator
+    gains [a_in * b_in]; in [Stationary] mode
+    [ps_out = ps_in + stationary * b_in] and the accumulator is
+    untouched. Streams are always forwarded one hop. *)

@@ -1,0 +1,1 @@
+lib/tensor/chain.ml: Format Fusecu_util List Matmul Printf

@@ -1,0 +1,1 @@
+lib/tensor/chain.mli: Format Matmul

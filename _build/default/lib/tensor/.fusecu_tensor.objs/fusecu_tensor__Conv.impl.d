@@ -1,0 +1,1 @@
+lib/tensor/conv.ml: Format Matmul

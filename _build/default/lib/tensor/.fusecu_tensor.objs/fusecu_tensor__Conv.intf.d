@@ -1,0 +1,1 @@
+lib/tensor/conv.mli: Format Matmul

@@ -1,0 +1,1 @@
+lib/tensor/dim.ml: Format Stdlib

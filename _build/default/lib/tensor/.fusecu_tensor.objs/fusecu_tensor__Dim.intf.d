@@ -1,0 +1,1 @@
+lib/tensor/dim.mli: Format

@@ -1,0 +1,1 @@
+lib/tensor/matmul.ml: Dim Format List Operand String

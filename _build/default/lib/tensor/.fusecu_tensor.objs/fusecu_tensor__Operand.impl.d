@@ -1,0 +1,1 @@
+lib/tensor/operand.ml: Dim Format List Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/operand.mli: Dim Format

@@ -1,0 +1,66 @@
+type t = Matmul.t list
+
+let validate ops =
+  let rec check = function
+    | (a : Matmul.t) :: (b : Matmul.t) :: rest ->
+      if b.m <> a.m then
+        Error
+          (Printf.sprintf "chain: %s.M = %d but %s.M = %d" a.name a.m b.name b.m)
+      else if b.k <> a.l then
+        Error
+          (Printf.sprintf "chain: %s.L = %d but %s.K = %d" a.name a.l b.name b.k)
+      else check (b :: rest)
+    | [ _ ] | [] -> Ok ()
+  in
+  match ops with
+  | [] -> Error "chain: empty"
+  | _ -> ( match check ops with Ok () -> Ok ops | Error e -> Error e)
+
+let make ops = validate ops
+
+let make_exn ops =
+  match make ops with Ok t -> t | Error e -> invalid_arg e
+
+let of_dims ?(name = "chain") ~m ks =
+  match ks with
+  | k0 :: (_ :: _ as rest) ->
+    let rec build i k = function
+      | [] -> []
+      | l :: rest ->
+        Matmul.make ~name:(Printf.sprintf "%s.%d" name i) ~m ~k ~l ()
+        :: build (i + 1) l rest
+    in
+    make_exn (build 0 k0 rest)
+  | _ -> invalid_arg "Chain.of_dims: need at least two entries in ks"
+
+let ops t = t
+
+let length = List.length
+
+let rec pairs = function
+  | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+  | [ _ ] | [] -> []
+
+let intermediates t =
+  match t with
+  | [] -> []
+  | _ :: rest_ops ->
+    (* C of op i equals A of op i+1; enumerate all but the last output. *)
+    List.map2
+      (fun (prev : Matmul.t) _ -> prev.m * prev.l)
+      (List.filteri (fun i _ -> i < List.length t - 1) t)
+      rest_ops
+
+let total_macs t = Fusecu_util.Arith.sum (List.map Matmul.macs t)
+
+let ideal_ma_unfused t = Fusecu_util.Arith.sum (List.map Matmul.ideal_ma t)
+
+let ideal_ma_fused t =
+  (* Every intermediate is counted twice in the unfused bound (written
+     once, read once); fusion removes both accesses. *)
+  ideal_ma_unfused t - (2 * Fusecu_util.Arith.sum (intermediates t))
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt " ->@ ")
+    Matmul.pp fmt t

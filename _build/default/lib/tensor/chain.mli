@@ -1,0 +1,44 @@
+(** A chain of matrix multiplications in which the output of each
+    operator is the left-hand ([A]) input of the next:
+    [A x B = C], [C x D = E], ... — the structure that operator fusion
+    (Fig. 4/5 of the paper) acts on.
+
+    Attention ([Q.K^T -> .V]) and feed-forward ([x.W1 -> .W2]) blocks
+    both produce chains of this shape. *)
+
+type t = private Matmul.t list
+(** Non-empty; consecutive operators satisfy
+    [next.m = prev.m] and [next.k = prev.l]. *)
+
+val make : Matmul.t list -> (t, string) result
+(** Validate the chaining constraints. *)
+
+val make_exn : Matmul.t list -> t
+(** Like {!make} but raises [Invalid_argument] on bad input. *)
+
+val of_dims : ?name:string -> m:int -> int list -> t
+(** [of_dims ~m [k0; k1; ...; kn]] builds the chain
+    [(m,k0,k1); (m,k1,k2); ...]; [ks] must have at least two
+    elements. *)
+
+val ops : t -> Matmul.t list
+
+val length : t -> int
+
+val pairs : t -> (Matmul.t * Matmul.t) list
+(** Consecutive operator pairs — the candidate fusion sites. *)
+
+val intermediates : t -> int list
+(** Element sizes of the intermediate tensors (the [C] of every operator
+    except the last). *)
+
+val total_macs : t -> int
+
+val ideal_ma_unfused : t -> int
+(** Lower-bound traffic when every operator runs separately: each
+    intermediate is written by one operator and read back by the next. *)
+
+val ideal_ma_fused : t -> int
+(** Lower-bound traffic when all intermediates stay on chip. *)
+
+val pp : Format.formatter -> t -> unit

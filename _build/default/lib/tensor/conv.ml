@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  n : int;
+  c : int;
+  h : int;
+  w : int;
+  k : int;
+  r : int;
+  s : int;
+  stride : int;
+  padding : int;
+}
+
+let make ?(name = "conv") ?(stride = 1) ?(padding = 0) ~n ~c ~h ~w ~k ~r ~s () =
+  if n < 1 || c < 1 || h < 1 || w < 1 || k < 1 || r < 1 || s < 1 then
+    invalid_arg "Conv.make: extents must be >= 1";
+  if stride < 1 then invalid_arg "Conv.make: stride must be >= 1";
+  if padding < 0 then invalid_arg "Conv.make: padding must be >= 0";
+  if r > h + (2 * padding) || s > w + (2 * padding) then
+    invalid_arg "Conv.make: kernel larger than the padded input";
+  { name; n; c; h; w; k; r; s; stride; padding }
+
+let output_height t = ((t.h + (2 * t.padding) - t.r) / t.stride) + 1
+
+let output_width t = ((t.w + (2 * t.padding) - t.s) / t.stride) + 1
+
+let to_matmul t =
+  Matmul.make ~name:(t.name ^ ".im2col")
+    ~m:(t.n * output_height t * output_width t)
+    ~k:(t.c * t.r * t.s)
+    ~l:t.k ()
+
+let macs t = Matmul.macs (to_matmul t)
+
+let input_elements t = t.n * t.c * t.h * t.w
+
+let im2col_inflation t =
+  let lowered = t.n * output_height t * output_width t * (t.c * t.r * t.s) in
+  float_of_int lowered /. float_of_int (input_elements t)
+
+let pp fmt t =
+  Format.fprintf fmt "%s: n=%d c=%d %dx%d -> k=%d %dx%d kernel stride=%d pad=%d"
+    t.name t.n t.c t.h t.w t.k t.r t.s t.stride t.padding

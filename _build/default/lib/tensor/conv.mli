@@ -1,0 +1,52 @@
+(** 2-D convolution as a tensor operator.
+
+    The paper notes that "Principle 1-4 can be extended to other tensor
+    operators, as all tensor operators can be represented as for-loops".
+    The standard route for convolution is the im2col lowering: a
+    convolution with [n] images, [c] input channels, [k] output
+    channels, [r x s] kernels and [p x q] output positions is exactly
+    the matmul
+
+    {v  A(n*p*q, c*r*s) x B(c*r*s, k) = C(n*p*q, k)  v}
+
+    whose memory behaviour the principles then optimize directly. The
+    lowering inflates the input tensor by the kernel overlap factor;
+    {!im2col_inflation} quantifies it so users can account for it when
+    comparing against direct convolution dataflows. *)
+
+type t = private {
+  name : string;
+  n : int;  (** batch *)
+  c : int;  (** input channels *)
+  h : int;  (** input height *)
+  w : int;  (** input width *)
+  k : int;  (** output channels *)
+  r : int;  (** kernel height *)
+  s : int;  (** kernel width *)
+  stride : int;
+  padding : int;
+}
+
+val make : ?name:string -> ?stride:int -> ?padding:int -> n:int -> c:int ->
+  h:int -> w:int -> k:int -> r:int -> s:int -> unit -> t
+(** All extents [>= 1]; [stride >= 1]; [padding >= 0]; the kernel (after
+    padding) must fit inside the input. *)
+
+val output_height : t -> int
+
+val output_width : t -> int
+
+val to_matmul : t -> Matmul.t
+(** The im2col-lowered matmul. *)
+
+val macs : t -> int
+(** MAC count of the convolution — equal to the lowered matmul's. *)
+
+val input_elements : t -> int
+(** Elements of the original (un-inflated) input activation tensor. *)
+
+val im2col_inflation : t -> float
+(** Ratio of the lowered [A] matrix size to the original input tensor
+    size ([>= 1]); 1.0 for 1x1 kernels at stride 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = M | K | L
+
+let all = [ M; K; L ]
+
+let to_string = function M -> "M" | K -> "K" | L -> "L"
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b = Stdlib.compare a b
+
+let other a b =
+  match (a, b) with
+  | (M, K) | (K, M) -> L
+  | (M, L) | (L, M) -> K
+  | (K, L) | (L, K) -> M
+  | (M, M) | (K, K) | (L, L) -> invalid_arg "Dim.other: equal dimensions"
+
+let pairs = [ (M, K); (K, L); (M, L) ]

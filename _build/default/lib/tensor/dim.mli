@@ -1,0 +1,26 @@
+(** The three loop dimensions of a matrix multiplication
+    [A(M,K) x B(K,L) = C(M,L)].
+
+    The paper's principles are phrased over these named dimensions; all
+    tiling, scheduling and mapping structures index by [Dim.t]. *)
+
+type t = M | K | L
+
+val all : t list
+(** [[M; K; L]] in canonical order. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val other : t -> t -> t
+(** [other a b] is the third dimension, distinct from [a] and [b].
+    Requires [a <> b]. *)
+
+val pairs : (t * t) list
+(** The three unordered dimension pairs [(M,K); (K,L); (M,L)], i.e. the
+    index sets of operands A, B and C respectively. *)

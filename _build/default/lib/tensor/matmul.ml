@@ -1,0 +1,39 @@
+type t = { name : string; m : int; k : int; l : int }
+
+let make ?(name = "mm") ~m ~k ~l () =
+  if m < 1 || k < 1 || l < 1 then invalid_arg "Matmul.make: dimensions must be >= 1";
+  { name; m; k; l }
+
+let pp fmt t =
+  Format.fprintf fmt "%s: A(%d,%d) x B(%d,%d) = C(%d,%d)" t.name t.m t.k t.k t.l
+    t.m t.l
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b = a.m = b.m && a.k = b.k && a.l = b.l && String.equal a.name b.name
+
+let dim t = function Dim.M -> t.m | Dim.K -> t.k | Dim.L -> t.l
+
+let dims_sorted t =
+  let with_size = List.map (fun d -> (d, dim t d)) Dim.all in
+  List.stable_sort (fun (_, a) (_, b) -> compare a b) with_size
+
+let min_dim t =
+  match dims_sorted t with d :: _ -> d | [] -> assert false
+
+let operand_size t op =
+  let d1, d2 = Operand.dims op in
+  dim t d1 * dim t d2
+
+let operands_sorted t =
+  let with_size = List.map (fun op -> (op, operand_size t op)) Operand.all in
+  List.stable_sort (fun (_, a) (_, b) -> compare a b) with_size
+
+let min_operand t =
+  match operands_sorted t with op :: _ -> op | [] -> assert false
+
+let macs t = t.m * t.k * t.l
+
+let ideal_ma t = (t.m * t.k) + (t.k * t.l) + (t.m * t.l)
+
+let transpose t = { t with m = t.l; l = t.m }

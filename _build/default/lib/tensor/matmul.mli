@@ -1,0 +1,49 @@
+(** A matrix-multiplication operator [A(M,K) x B(K,L) = C(M,L)].
+
+    This is the tensor operator the paper's principles are derived on.
+    Sizes are in {e elements}; the byte width of an element is a property
+    of the buffer model, not of the operator. *)
+
+type t = private { name : string; m : int; k : int; l : int }
+
+val make : ?name:string -> m:int -> k:int -> l:int -> unit -> t
+(** Build an operator. All dimensions must be [>= 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [bert_qkv: A(1024,768) x B(768,768) = C(1024,768)]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val dim : t -> Dim.t -> int
+(** Size of a dimension. *)
+
+val dims_sorted : t -> (Dim.t * int) list
+(** Dimensions with sizes, smallest size first (ties in [M < K < L]
+    order). *)
+
+val min_dim : t -> Dim.t * int
+(** The smallest dimension — the paper's [D_min]. *)
+
+val operand_size : t -> Operand.t -> int
+(** Number of elements of an operand tensor: [A = M*K], [B = K*L],
+    [C = M*L]. *)
+
+val operands_sorted : t -> (Operand.t * int) list
+(** Operands with sizes, smallest first (ties in [A < B < C] order). *)
+
+val min_operand : t -> Operand.t * int
+(** The smallest operand tensor — the paper's [Tensor_min]. *)
+
+val macs : t -> int
+(** Multiply-accumulate count [M*K*L]. *)
+
+val ideal_ma : t -> int
+(** The communication lower bound with an unbounded buffer: every tensor
+    touched exactly once, [MK + KL + ML] element accesses. *)
+
+val transpose : t -> t
+(** Swap the roles of [A] and [B] (i.e. compute [C^T = B^T x A^T]):
+    exchanges [M] and [L]. Memory behaviour is symmetric under this
+    operation, which tests exploit. *)

@@ -1,0 +1,28 @@
+type t = A | B | C
+
+let all = [ A; B; C ]
+
+let to_string = function A -> "A" | B -> "B" | C -> "C"
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b = Stdlib.compare a b
+
+let dims = function
+  | A -> (Dim.M, Dim.K)
+  | B -> (Dim.K, Dim.L)
+  | C -> (Dim.M, Dim.L)
+
+let free_dim = function A -> Dim.L | B -> Dim.M | C -> Dim.K
+
+let uses_dim op d =
+  let d1, d2 = dims op in
+  Dim.equal d d1 || Dim.equal d d2
+
+let of_free_dim = function Dim.L -> A | Dim.M -> B | Dim.K -> C
+
+let with_dim d = List.filter (fun op -> uses_dim op d) all
+
+let stationary_name = function A -> "IS" | B -> "WS" | C -> "OS"

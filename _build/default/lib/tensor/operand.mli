@@ -1,0 +1,41 @@
+(** The three operand tensors of a matrix multiplication
+    [A(M,K) x B(K,L) = C(M,L)].
+
+    Dataflow terminology from the paper: "output-stationary" keeps [C]
+    resident, "input-stationary" keeps [A], "weight-stationary" keeps
+    [B]. *)
+
+type t = A | B | C
+
+val all : t list
+(** [[A; B; C]]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val dims : t -> Dim.t * Dim.t
+(** The index dimensions of an operand: [A -> (M, K)], [B -> (K, L)],
+    [C -> (M, L)]. *)
+
+val free_dim : t -> Dim.t
+(** The one dimension an operand does {e not} depend on:
+    [A -> L], [B -> M], [C -> K]. A tile of the operand can stay
+    resident while only this dimension's loop advances. *)
+
+val uses_dim : t -> Dim.t -> bool
+(** Whether the operand is indexed by the given dimension. *)
+
+val of_free_dim : Dim.t -> t
+(** Inverse of [free_dim]. *)
+
+val with_dim : Dim.t -> t list
+(** The two operands indexed by a dimension, in [A < B < C] order. *)
+
+val stationary_name : t -> string
+(** Conventional dataflow name when this operand is kept stationary:
+    ["IS"] for [A], ["WS"] for [B], ["OS"] for [C]. *)

@@ -1,0 +1,56 @@
+let ceil_div a b =
+  assert (a >= 0 && b > 0);
+  (a + b - 1) / b
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let isqrt n =
+  assert (n >= 0);
+  if n < 2 then n
+  else begin
+    (* Newton iteration on the float estimate, then fix up the boundary. *)
+    let r = ref (int_of_float (sqrt (float_of_int n))) in
+    while !r * !r > n do decr r done;
+    while (!r + 1) * (!r + 1) <= n do incr r done;
+    !r
+  end
+
+let divisors n =
+  assert (n >= 1);
+  let rec loop d small large =
+    if d * d > n then List.rev_append small large
+    else if n mod d = 0 then
+      let q = n / d in
+      if q = d then loop (d + 1) (d :: small) large
+      else loop (d + 1) (d :: small) (q :: large)
+    else loop (d + 1) small large
+  in
+  loop 1 [] []
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  assert (n >= 1);
+  let rec loop p = if p >= n then p else loop (p * 2) in
+  loop 1
+
+let pow2s_upto n =
+  assert (n >= 1);
+  let rec loop p acc = if p > n then List.rev acc else loop (p * 2) (p :: acc) in
+  loop 1 []
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let range lo hi = List.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
+
+let sum = List.fold_left ( + ) 0
+
+let dedup_sorted xs =
+  let sorted = List.sort compare xs in
+  let rec uniq = function
+    | a :: (b :: _ as rest) -> if a = b then uniq rest else a :: uniq rest
+    | short -> short
+  in
+  uniq sorted

@@ -1,0 +1,42 @@
+(** Small integer arithmetic helpers used throughout the dataflow models.
+
+    All functions operate on non-negative [int]s unless stated otherwise;
+    sizes in this code base (tensor elements, memory accesses, MAC counts)
+    always fit in OCaml's 63-bit native integers. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded towards positive infinity.
+    Requires [a >= 0] and [b > 0]. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] restricts [x] to the inclusive range [\[lo, hi\]].
+    Requires [lo <= hi]. *)
+
+val isqrt : int -> int
+(** [isqrt n] is the largest [r] with [r * r <= n]. Requires [n >= 0]. *)
+
+val divisors : int -> int list
+(** [divisors n] lists all positive divisors of [n] in increasing order.
+    Requires [n >= 1]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a positive power of two. *)
+
+val next_pow2 : int -> int
+(** [next_pow2 n] is the smallest power of two [>= n]. Requires [n >= 1]. *)
+
+val pow2s_upto : int -> int list
+(** [pow2s_upto n] lists the powers of two [<= n] in increasing order,
+    starting at 1. Requires [n >= 1]. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor; [gcd 0 n = n]. Requires non-negative inputs. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is the list [lo; lo+1; ...; hi] ([] when [lo > hi]). *)
+
+val sum : int list -> int
+(** Sum of a list of integers. *)
+
+val dedup_sorted : int list -> int list
+(** Sort a list in increasing order and remove duplicates. *)

@@ -1,0 +1,36 @@
+type t = { header : string list; rows : string list list }
+
+let create header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Csv.add_row: width mismatch";
+  { t with rows = row :: t.rows }
+
+let add_rows t rows = List.fold_left add_row t rows
+
+let escape field =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) field
+  in
+  if not needs_quoting then field
+  else begin
+    let b = Buffer.create (String.length field + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      field;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+let render t =
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (List.map line (t.header :: List.rev t.rows)) ^ "\n"
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))

@@ -1,0 +1,26 @@
+(** Minimal CSV writer for exporting experiment data (plotting the
+    reproduced figures outside the terminal).
+
+    Follows RFC 4180 quoting: fields containing commas, quotes or
+    newlines are wrapped in double quotes with inner quotes doubled. *)
+
+type t
+(** A CSV document under construction. *)
+
+val create : string list -> t
+(** Start a document with the given header. *)
+
+val add_row : t -> string list -> t
+(** Append a row; must match the header width. *)
+
+val add_rows : t -> string list list -> t
+
+val render : t -> string
+(** The document as a string, [\n] line endings, trailing newline. *)
+
+val write : path:string -> t -> unit
+(** Write to a file, creating parent-relative path as-is (no directory
+    creation). *)
+
+val escape : string -> string
+(** Quote a single field per RFC 4180 when needed. *)

@@ -1,0 +1,34 @@
+let check_nonempty = function
+  | [] -> invalid_arg "Stats: empty list"
+  | _ -> ()
+
+let mean xs =
+  check_nonempty xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  check_nonempty xs;
+  List.iter (fun x -> if x <= 0. then invalid_arg "Stats.geomean: non-positive") xs;
+  let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let median xs =
+  check_nonempty xs;
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  if n mod 2 = 1 then List.nth sorted (n / 2)
+  else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let minimum xs =
+  check_nonempty xs;
+  List.fold_left min Float.infinity xs
+
+let maximum xs =
+  check_nonempty xs;
+  List.fold_left max Float.neg_infinity xs
+
+let stddev xs =
+  check_nonempty xs;
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+  sqrt var

@@ -1,0 +1,23 @@
+(** Summary statistics over float series, used for averaging normalized
+    memory-access and utilization numbers across workloads. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Requires a non-empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; all elements must be positive. Requires a non-empty
+    list. This is the standard way to average normalized ratios across
+    benchmarks. *)
+
+val median : float list -> float
+(** Median (average of the two middle elements for even lengths).
+    Requires a non-empty list. *)
+
+val minimum : float list -> float
+(** Smallest element. Requires a non-empty list. *)
+
+val maximum : float list -> float
+(** Largest element. Requires a non-empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. Requires a non-empty list. *)

@@ -1,0 +1,51 @@
+type align = Left | Right
+
+type t = { header : string list; aligns : align list; rows : string list list }
+
+let create ?aligns header =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length header then
+        invalid_arg "Table.create: aligns length mismatch";
+      a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  { header; aligns; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.header in
+  let n = List.length row in
+  if n > ncols then invalid_arg "Table.add_row: too many cells";
+  let row = row @ List.init (ncols - n) (fun _ -> "") in
+  { t with rows = row :: t.rows }
+
+let add_rows t rows = List.fold_left add_row t rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) (List.nth widths i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let lines = render_row t.header :: sep :: List.map render_row rows in
+  String.concat "\n" lines ^ "\n"
+
+let print t = print_string (render t)

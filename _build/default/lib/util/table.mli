@@ -1,0 +1,28 @@
+(** Minimal ASCII table renderer for experiment output.
+
+    The benchmark harness prints every reproduced table and figure as an
+    aligned text table; this module does the layout. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create header] starts a table with the given column names.
+    [aligns] defaults to [Left] for the first column and [Right] for the
+    rest, which suits "label, numbers..." layouts. *)
+
+val add_row : t -> string list -> t
+(** Append a data row. Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_rows : t -> string list list -> t
+(** Append several rows in order. *)
+
+val render : t -> string
+(** Render with a header separator, column padding and a trailing
+    newline. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)

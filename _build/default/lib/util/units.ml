@@ -1,0 +1,52 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let pp_scaled ~unit_names ~base n =
+  let rec pick value names =
+    match names with
+    | [] -> assert false
+    | [ last ] -> (value, last)
+    | name :: rest ->
+      if value < float_of_int base then (value, name)
+      else pick (value /. float_of_int base) rest
+  in
+  let value, name = pick (float_of_int n) unit_names in
+  if Float.is_integer value && value < 10000. then
+    Printf.sprintf "%d%s" (int_of_float value) name
+  else Printf.sprintf "%.2f%s" value name
+
+let pp_bytes n = pp_scaled ~unit_names:[ "B"; "KB"; "MB"; "GB"; "TB" ] ~base:1024 n
+
+let pp_count n = pp_scaled ~unit_names:[ ""; "K"; "M"; "G"; "T" ] ~base:1000 n
+
+let parse_bytes s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let strip_suffix suffix str =
+    let ls = String.length suffix and l = String.length str in
+    if l >= ls && String.sub str (l - ls) ls = suffix then
+      Some (String.sub str 0 (l - ls))
+    else None
+  in
+  let try_unit (suffix, mult) =
+    match strip_suffix suffix s with
+    | Some digits when digits <> "" -> (
+      match int_of_string_opt (String.trim digits) with
+      | Some n when n >= 0 -> Some (Ok (n * mult))
+      | _ -> Some (Error (Printf.sprintf "invalid byte count: %S" s)))
+    | _ -> None
+  in
+  let units =
+    [ ("gib", 1 lsl 30); ("gb", 1 lsl 30); ("g", 1 lsl 30);
+      ("mib", 1 lsl 20); ("mb", 1 lsl 20); ("m", 1 lsl 20);
+      ("kib", 1 lsl 10); ("kb", 1 lsl 10); ("k", 1 lsl 10);
+      ("b", 1); ("", 1) ]
+  in
+  let rec first = function
+    | [] -> Error (Printf.sprintf "invalid byte count: %S" s)
+    | u :: rest -> ( match try_unit u with Some r -> r | None -> first rest)
+  in
+  first units
+
+let pp_pct f = Printf.sprintf "%.1f%%" (100. *. f)
+
+let pp_ratio f = Printf.sprintf "%.2fx" f

@@ -1,0 +1,28 @@
+(** Byte-size and ratio formatting for experiment tables.
+
+    Buffer sizes in the paper are quoted in binary units (512 KB = 2^19
+    bytes: the worked BERT example only matches with KB = 1024 B). *)
+
+val kib : int -> int
+(** [kib n] is [n * 1024] bytes. *)
+
+val mib : int -> int
+(** [mib n] is [n * 1024 * 1024] bytes. *)
+
+val pp_bytes : int -> string
+(** Render a byte count with a binary-unit suffix, e.g. ["512KB"],
+    ["2MB"], ["768B"]. Exact multiples print without decimals. *)
+
+val parse_bytes : string -> (int, string) result
+(** Parse strings like ["512KB"], ["32MB"], ["4096"], ["2GB"]
+    (case-insensitive, optional "B"/"iB" suffix) into a byte count. *)
+
+val pp_count : int -> string
+(** Render a large count with engineering suffixes, e.g. ["1.53M"],
+    ["4.2G"], for memory-access and MAC counts. *)
+
+val pp_pct : float -> string
+(** Render a fraction as a percentage, e.g. [pp_pct 0.636 = "63.6%"]. *)
+
+val pp_ratio : float -> string
+(** Render a speedup-style ratio, e.g. [pp_ratio 1.33 = "1.33x"]. *)

@@ -1,0 +1,1 @@
+lib/workloads/graph.ml: Buffer Chain Format Fusecu_tensor Fusecu_util Hashtbl List Matmul Model Printf String Workload

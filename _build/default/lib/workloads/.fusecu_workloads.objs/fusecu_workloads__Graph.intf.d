@@ -1,0 +1,1 @@
+lib/workloads/graph.mli: Format Fusecu_tensor Model

@@ -1,0 +1,1 @@
+lib/workloads/model.ml: Format Option Printf

@@ -1,0 +1,1 @@
+lib/workloads/softmax.ml: Fusecu_tensor Fusecu_util List Model Workload

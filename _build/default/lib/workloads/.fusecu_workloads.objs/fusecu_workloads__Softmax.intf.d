@@ -1,0 +1,1 @@
+lib/workloads/softmax.mli: Model

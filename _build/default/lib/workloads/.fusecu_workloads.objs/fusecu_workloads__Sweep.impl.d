@@ -1,0 +1,1 @@
+lib/workloads/sweep.ml: List Model Workload Zoo

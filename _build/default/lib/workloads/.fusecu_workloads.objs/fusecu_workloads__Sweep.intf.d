@@ -1,0 +1,1 @@
+lib/workloads/sweep.mli: Model Workload

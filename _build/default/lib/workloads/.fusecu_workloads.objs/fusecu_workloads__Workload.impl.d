@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Chain Format Fusecu_tensor Fusecu_util List Matmul Model

@@ -1,0 +1,1 @@
+lib/workloads/zoo.ml: List Model String

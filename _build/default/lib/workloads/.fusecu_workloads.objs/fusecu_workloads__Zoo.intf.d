@@ -1,0 +1,1 @@
+lib/workloads/zoo.mli: Model

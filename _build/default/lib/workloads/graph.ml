@@ -1,0 +1,141 @@
+open Fusecu_tensor
+
+type node_id = int
+
+type work =
+  | Op of { op : Matmul.t; count : int }
+  | Chain of { chain : Chain.t; count : int }
+
+type node = { id : node_id; name : string; work : work; deps : node_id list }
+
+type t = node list (* topological order *)
+
+let nodes t = t
+
+let find t id =
+  match List.find_opt (fun n -> n.id = id) t with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Graph.find: no node %d" id)
+
+let of_model (m : Model.t) =
+  let w = Workload.of_model m in
+  let items = Workload.items w in
+  let named suffix =
+    List.find_map
+      (function
+        | Workload.Single_op { op; count } when op.Matmul.name = m.name ^ "." ^ suffix
+          ->
+          Some (Op { op; count })
+        | _ -> None)
+      items
+  in
+  let chain_with pred =
+    List.find_map
+      (function
+        | Workload.Fusable { chain; count } when pred chain ->
+          Some (Chain { chain; count })
+        | _ -> None)
+      items
+  in
+  let get what = function
+    | Some work -> work
+    | None -> invalid_arg ("Graph.of_model: missing " ^ what)
+  in
+  let attention_chain =
+    chain_with (fun chain ->
+        List.exists
+          (fun (op : Matmul.t) -> op.name = m.name ^ ".qk")
+          (Chain.ops chain))
+  in
+  let ffn_chain =
+    chain_with (fun chain ->
+        List.exists
+          (fun (op : Matmul.t) -> op.name = m.name ^ ".ff1")
+          (Chain.ops chain))
+  in
+  [ { id = 0; name = "wq"; work = get "wq" (named "wq"); deps = [] };
+    { id = 1; name = "wk"; work = get "wk" (named "wk"); deps = [] };
+    { id = 2; name = "wv"; work = get "wv" (named "wv"); deps = [] };
+    { id = 3; name = "attention"; work = get "attention" attention_chain;
+      deps = [ 0; 1; 2 ] };
+    { id = 4; name = "wo"; work = get "wo" (named "wo"); deps = [ 3 ] };
+    { id = 5; name = "ffn"; work = get "ffn" ffn_chain; deps = [ 4 ] } ]
+
+let stack t ~layers =
+  if layers < 1 then invalid_arg "Graph.stack: layers must be >= 1";
+  let size = List.length t in
+  let last_id = size - 1 in
+  List.concat
+    (List.init layers (fun layer ->
+         let offset = layer * size in
+         List.map
+           (fun n ->
+             let deps =
+               if n.deps = [] && layer > 0 then
+                 [ ((layer - 1) * size) + last_id ]
+               else List.map (fun d -> d + offset) n.deps
+             in
+             { n with
+               id = n.id + offset;
+               name = Printf.sprintf "L%d.%s" layer n.name;
+               deps })
+           t))
+
+let validate t =
+  let seen = Hashtbl.create 16 in
+  let rec check = function
+    | [] -> Ok ()
+    | n :: rest ->
+      if Hashtbl.mem seen n.id then
+        Error (Printf.sprintf "duplicate node id %d" n.id)
+      else if List.exists (fun d -> not (Hashtbl.mem seen d)) n.deps then
+        Error
+          (Printf.sprintf "node %d (%s) depends on a later or missing node" n.id
+             n.name)
+      else begin
+        Hashtbl.add seen n.id ();
+        check rest
+      end
+  in
+  check t
+
+let critical_path t ~cost =
+  let finish = Hashtbl.create 16 in
+  List.fold_left
+    (fun latest n ->
+      let ready =
+        List.fold_left
+          (fun acc d -> max acc (Hashtbl.find finish d))
+          0 n.deps
+      in
+      let done_at = ready + cost n in
+      Hashtbl.replace finish n.id done_at;
+      max latest done_at)
+    0 t
+
+let sequential t ~cost = List.fold_left (fun acc n -> acc + cost n) 0 t
+
+let work_macs = function
+  | Op { op; count } -> count * Matmul.macs op
+  | Chain { chain; count } -> count * Chain.total_macs chain
+
+let total_macs t = List.fold_left (fun acc n -> acc + work_macs n.work) 0 t
+
+let to_dot t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "digraph workload {\n  rankdir=TB;\n";
+  List.iter
+    (fun n ->
+      Printf.bprintf b "  n%d [shape=box,label=\"%s\\n%s MACs\"];\n" n.id n.name
+        (Fusecu_util.Units.pp_count (work_macs n.work));
+      List.iter (fun d -> Printf.bprintf b "  n%d -> n%d;\n" d n.id) n.deps)
+    t;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp fmt t =
+  Format.pp_print_list
+    (fun fmt n ->
+      Format.fprintf fmt "%d:%s deps=[%s]" n.id n.name
+        (String.concat ";" (List.map string_of_int n.deps)))
+    fmt t

@@ -1,0 +1,52 @@
+(** Dependency graph of a transformer layer's operator work.
+
+    {!Workload} is a bag (enough for traffic totals); the graph adds
+    the data dependencies — Q/K/V projections are independent of each
+    other, attention needs all three, the FFN follows the output
+    projection — so latency can be computed as a critical path over a
+    machine that runs independent nodes concurrently, and multi-layer
+    models can be stacked. *)
+
+type node_id = int
+
+type work =
+  | Op of { op : Fusecu_tensor.Matmul.t; count : int }
+  | Chain of { chain : Fusecu_tensor.Chain.t; count : int }
+
+type node = { id : node_id; name : string; work : work; deps : node_id list }
+
+type t
+
+val nodes : t -> node list
+(** In a valid topological order (every dependency precedes its
+    user). *)
+
+val find : t -> node_id -> node
+
+val of_model : Model.t -> t
+(** One encoder layer:
+    [wq, wk, wv] (independent) -> attention chain -> [wo] -> FFN
+    chain. *)
+
+val stack : t -> layers:int -> t
+(** The graph repeated [layers] times, each layer's inputs depending on
+    the previous layer's final node. [layers >= 1]. *)
+
+val validate : t -> (unit, string) result
+(** Checks dependency references and acyclicity (topological
+    consistency). *)
+
+val critical_path : t -> cost:(node -> int) -> int
+(** Longest dependency chain under the given per-node cost; independent
+    nodes overlap fully (an upper bound on achievable parallelism). *)
+
+val sequential : t -> cost:(node -> int) -> int
+(** Sum of all node costs — the no-parallelism bound. *)
+
+val total_macs : t -> int
+
+val to_dot : t -> string
+(** Graphviz rendering of the dependency structure (one box per node,
+    labelled with its MAC count). *)
+
+val pp : Format.formatter -> t -> unit

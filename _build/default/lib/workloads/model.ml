@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  heads : int;
+  kv_heads : int;
+  seq : int;
+  hidden : int;
+  batch : int;
+  ffn_mult : int;
+}
+
+let make ?(batch = 16) ?(ffn_mult = 4) ?kv_heads ~name ~heads ~seq ~hidden () =
+  if heads < 1 || seq < 1 || hidden < 1 || batch < 1 || ffn_mult < 1 then
+    invalid_arg "Model.make: parameters must be >= 1";
+  if hidden mod heads <> 0 then
+    invalid_arg "Model.make: hidden must be divisible by heads";
+  let kv_heads = Option.value ~default:heads kv_heads in
+  if kv_heads < 1 || heads mod kv_heads <> 0 then
+    invalid_arg "Model.make: heads must be divisible by kv_heads";
+  { name; heads; kv_heads; seq; hidden; batch; ffn_mult }
+
+let head_dim t = t.hidden / t.heads
+
+let with_seq t seq = { t with seq; name = Printf.sprintf "%s@%d" t.name seq }
+
+let pp fmt t =
+  Format.fprintf fmt "%s (heads=%d seq=%d hidden=%d batch=%d)" t.name t.heads
+    t.seq t.hidden t.batch

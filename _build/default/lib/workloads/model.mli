@@ -1,0 +1,30 @@
+(** Transformer model parameters (the paper's Table II). Only the
+    quantities that determine matmul shapes are kept: head count,
+    sequence length, hidden size, batch (16 throughout the paper's
+    evaluation) and the FFN expansion factor. *)
+
+type t = private {
+  name : string;
+  heads : int;
+  kv_heads : int;  (** key/value heads; < [heads] under grouped-query
+                       attention (GQA), = [heads] for standard MHA *)
+  seq : int;
+  hidden : int;
+  batch : int;
+  ffn_mult : int;
+}
+
+val make : ?batch:int -> ?ffn_mult:int -> ?kv_heads:int -> name:string ->
+  heads:int -> seq:int -> hidden:int -> unit -> t
+(** [batch] defaults to 16, [ffn_mult] to 4 and [kv_heads] to [heads]
+    (standard multi-head attention). [hidden] must be divisible by
+    [heads], and [heads] by [kv_heads]. *)
+
+val head_dim : t -> int
+(** Per-head feature size [hidden / heads]. *)
+
+val with_seq : t -> int -> t
+(** The same model at a different sequence length (for the LLaMA2
+    sweep). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+let extra_unfused_traffic (m : Model.t) = 2 * m.batch * m.heads * m.seq * m.seq
+
+let fused_traffic (_ : Model.t) = 0
+
+let relative_weight (m : Model.t) =
+  let w = Workload.of_model m in
+  let unfused_bound =
+    Fusecu_util.Arith.sum
+      (List.map
+         (fun (op, count) -> count * Fusecu_tensor.Matmul.ideal_ma op)
+         (Workload.all_ops w))
+  in
+  float_of_int (extra_unfused_traffic m) /. float_of_int unfused_bound

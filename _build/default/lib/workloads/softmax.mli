@@ -1,0 +1,22 @@
+(** Softmax traffic accounting for attention blocks.
+
+    The attention chain is really [Q.K^T -> softmax -> .V]; the default
+    {!Workload} counts only the matmuls (as the paper's operator set
+    does, FuseCU carrying a softmax unit inside the array). This module
+    quantifies what the elementwise softmax adds for architectures that
+    must run it as a separate memory-to-memory pass — strengthening the
+    fusion case exactly the way FLAT [11] argues. *)
+
+val extra_unfused_traffic : Model.t -> int
+(** Elements moved by a standalone softmax over all attention heads of
+    one layer: each seq x seq score matrix is read and written once
+    more ([2 * batch * heads * seq^2]). *)
+
+val fused_traffic : Model.t -> int
+(** Softmax traffic when attention is fused on an array with an inline
+    softmax unit: zero — scores never leave the chip. *)
+
+val relative_weight : Model.t -> float
+(** The standalone-softmax traffic as a fraction of the layer's unfused
+    matmul lower bound: how much the matmul-only accounting understates
+    the fusion benefit. *)

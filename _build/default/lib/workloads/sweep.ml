@@ -1,0 +1,5 @@
+let seq_lengths = [ 256; 512; 1024; 2048; 4096; 8192; 16384 ]
+
+let llama2_at seq = Model.with_seq Zoo.llama2 seq
+
+let workloads () = List.map (fun s -> Workload.of_model (llama2_at s)) seq_lengths

@@ -1,0 +1,11 @@
+(** The LLaMA2 sequence-length sensitivity sweep (paper Fig. 11):
+    256 to 16K. *)
+
+val seq_lengths : int list
+(** [256; 512; 1024; 2048; 4096; 8192; 16384]. *)
+
+val llama2_at : int -> Model.t
+(** LLaMA2 with the given sequence length. *)
+
+val workloads : unit -> Workload.t list
+(** One workload per sweep point. *)

@@ -1,0 +1,70 @@
+open Fusecu_tensor
+
+type item =
+  | Single_op of { op : Matmul.t; count : int }
+  | Fusable of { chain : Chain.t; count : int }
+
+type t = { name : string; model : Model.t; items : item list }
+
+let of_model (m : Model.t) =
+  let bs = m.batch * m.seq in
+  let dh = Model.head_dim m in
+  let proj ?(out = m.hidden) suffix =
+    Single_op
+      { op = Matmul.make ~name:(m.name ^ "." ^ suffix) ~m:bs ~k:m.hidden ~l:out ();
+        count = 1 }
+  in
+  let kv_width = m.kv_heads * dh in
+  let attention =
+    let scores =
+      Matmul.make ~name:(m.name ^ ".qk") ~m:m.seq ~k:dh ~l:m.seq ()
+    in
+    let context =
+      Matmul.make ~name:(m.name ^ ".sv") ~m:m.seq ~k:m.seq ~l:dh ()
+    in
+    Fusable
+      { chain = Chain.make_exn [ scores; context ]; count = m.batch * m.heads }
+  in
+  let ffn =
+    let up =
+      Matmul.make ~name:(m.name ^ ".ff1") ~m:bs ~k:m.hidden
+        ~l:(m.ffn_mult * m.hidden) ()
+    in
+    let down =
+      Matmul.make ~name:(m.name ^ ".ff2") ~m:bs ~k:(m.ffn_mult * m.hidden)
+        ~l:m.hidden ()
+    in
+    Fusable { chain = Chain.make_exn [ up; down ]; count = 1 }
+  in
+  { name = m.name;
+    model = m;
+    items =
+      [ proj "wq"; proj ~out:kv_width "wk"; proj ~out:kv_width "wv"; attention;
+        proj "wo"; ffn ] }
+
+let items t = t.items
+
+let all_ops t =
+  List.concat_map
+    (function
+      | Single_op { op; count } -> [ (op, count) ]
+      | Fusable { chain; count } ->
+        List.map (fun op -> (op, count)) (Chain.ops chain))
+    t.items
+
+let chains t =
+  List.filter_map
+    (function Fusable { chain; count } -> Some (chain, count) | Single_op _ -> None)
+    t.items
+
+let total_macs t =
+  Fusecu_util.Arith.sum (List.map (fun (op, c) -> Matmul.macs op * c) (all_ops t))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>workload %s (%s macs):@ %a@]" t.name
+    (Fusecu_util.Units.pp_count (total_macs t))
+    (Format.pp_print_list (fun fmt -> function
+       | Single_op { op; count } -> Format.fprintf fmt "%dx %a" count Matmul.pp op
+       | Fusable { chain; count } ->
+         Format.fprintf fmt "%dx fusable [%a]" count Chain.pp chain))
+    t.items

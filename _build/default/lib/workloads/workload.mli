@@ -1,0 +1,39 @@
+(** A workload is the bag of matmul work in one transformer encoder
+    layer: standalone projection/FFN operators plus the operator chains
+    that are candidates for fusion (attention score x value, and the
+    two FFN matmuls).
+
+    Per-layer work is representative: total traffic scales linearly with
+    layer count and the paper reports normalized numbers. *)
+
+open Fusecu_tensor
+
+type item =
+  | Single_op of { op : Matmul.t; count : int }
+      (** [count] identical instances (e.g. one per batch x head). *)
+  | Fusable of { chain : Chain.t; count : int }
+      (** A chain whose intermediates may be kept on-chip. *)
+
+type t = { name : string; model : Model.t; items : item list }
+
+val of_model : Model.t -> t
+(** One encoder layer:
+    - Q/K/V projections: 3 x [(batch*seq) x hidden x hidden]
+    - attention per head (count [batch*heads]):
+      [seq x head_dim x seq] (scores) chained with
+      [seq x seq x head_dim] (context) — fusable
+    - output projection: [(batch*seq) x hidden x hidden]
+    - FFN: [(batch*seq) x hidden x (ffn_mult*hidden)] chained with
+      [(batch*seq) x (ffn_mult*hidden) x hidden] — fusable *)
+
+val items : t -> item list
+
+val all_ops : t -> (Matmul.t * int) list
+(** Every operator with its instance count (chains flattened). *)
+
+val chains : t -> (Chain.t * int) list
+(** Just the fusable chains. *)
+
+val total_macs : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+let bert = Model.make ~name:"Bert" ~heads:12 ~seq:1024 ~hidden:768 ()
+
+let gpt2 = Model.make ~name:"GPT-2" ~heads:12 ~seq:2048 ~hidden:768 ()
+
+let blenderbot = Model.make ~name:"Blenderbot" ~heads:16 ~seq:256 ~hidden:1024 ()
+
+let xlm = Model.make ~name:"XLM" ~heads:16 ~seq:1024 ~hidden:2048 ()
+
+let deberta_v2 = Model.make ~name:"DeBERTa-v2" ~heads:24 ~seq:1024 ~hidden:1536 ()
+
+let llama2 = Model.make ~name:"LLaMA2" ~heads:32 ~seq:4096 ~hidden:4096 ()
+
+let albert = Model.make ~name:"ALBERT" ~heads:64 ~seq:1024 ~hidden:4096 ()
+
+let llama2_70b_gqa =
+  Model.make ~name:"LLaMA2-70B" ~heads:64 ~kv_heads:8 ~seq:4096 ~hidden:8192 ()
+
+let all = [ bert; gpt2; blenderbot; xlm; deberta_v2; llama2; albert ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt
+    (fun (m : Model.t) -> String.lowercase_ascii m.name = target)
+    all

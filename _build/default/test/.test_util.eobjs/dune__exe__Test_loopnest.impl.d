@@ -1,0 +1,1 @@
+test/test_loopnest.ml: Alcotest Buffer Cost Dim Fusecu_loopnest Fusecu_tensor Fused List Matmul Movement Operand Order Printf QCheck QCheck_alcotest Random Result Schedule Sim String Tiling

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Chain Conv Dim Fusecu_tensor List Matmul Operand Printf QCheck QCheck_alcotest Random Result

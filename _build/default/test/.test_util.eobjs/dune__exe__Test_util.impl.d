@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Arith Csv Fusecu_util Gen List QCheck QCheck_alcotest Random Result Stats String Table Units

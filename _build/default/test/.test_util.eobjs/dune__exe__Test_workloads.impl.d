@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Chain Fusecu_tensor Fusecu_workloads Graph List Matmul Model Option Result Softmax String Sweep Workload Zoo

@@ -1,0 +1,475 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_arch
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Platform attributes (Table III)                                     *)
+
+let test_platform_roster () =
+  check_int "five platforms" 5 (List.length Platform.all);
+  Alcotest.(check (list string)) "order"
+    [ "TPUv4i"; "Gemmini"; "Planaria"; "UnfCU"; "FuseCU" ]
+    (List.map (fun (p : Platform.t) -> p.name) Platform.all)
+
+let test_table3_attributes () =
+  let get name = Option.get (Platform.find name) in
+  let flexible (p : Platform.t) = List.length p.anchors > 1 in
+  check_bool "tpu stationary fixed" false (flexible (get "TPUv4i"));
+  check_bool "gemmini stationary flexible" true (flexible (get "Gemmini"));
+  check_bool "planaria stationary fixed" false (flexible (get "Planaria"));
+  check_bool "fusecu stationary flexible" true (flexible (get "FuseCU"));
+  check_bool "only fusecu fuses" true
+    (List.for_all
+       (fun (p : Platform.t) -> p.fusion = (p.name = "FuseCU"))
+       Platform.all);
+  check_int "peak PEs" (128 * 128 * 4) (Platform.total_pes (get "TPUv4i"));
+  check_int "table rows" 5 (List.length (Platform.attribute_rows ()))
+
+let tpu = Platform.tpu_v4i
+let gem = Platform.gemmini
+let plan_p = Platform.planaria
+let unf = Platform.unfcu
+let fus = Platform.fusecu
+
+(* ------------------------------------------------------------------ *)
+(* Mapping: anchors                                                    *)
+
+let test_intent_anchor () =
+  let operand_t = Alcotest.testable Operand.pp Operand.equal in
+  Alcotest.check operand_t "single OS" Operand.C
+    (Mapping.intent_anchor (Nra.Single_nra { stationary = Operand.C }));
+  Alcotest.check operand_t "two untiled-K redundant B" Operand.A
+    (Mapping.intent_anchor
+       (Nra.Two_nra { untiled = Dim.K; redundant = Operand.B }));
+  Alcotest.check operand_t "two untiled-K redundant A" Operand.B
+    (Mapping.intent_anchor
+       (Nra.Two_nra { untiled = Dim.K; redundant = Operand.A }));
+  Alcotest.check operand_t "three resident" Operand.B
+    (Mapping.intent_anchor (Nra.Three_nra { resident = Operand.B }))
+
+let test_schedule_anchor_largest_tile () =
+  let op = Matmul.make ~m:64 ~k:64 ~l:64 () in
+  let s =
+    Schedule.make
+      (Tiling.make op ~m:32 ~k:32 ~l:1)
+      (Order.make ~outer:Dim.L ~mid:Dim.M ~inner:Dim.K)
+  in
+  (* A tile = 32x32 = 1024 dominates *)
+  Alcotest.check
+    (Alcotest.testable Operand.pp Operand.equal)
+    "A anchored" Operand.A
+    (Mapping.schedule_anchor op s)
+
+let test_anchor_cap () =
+  Alcotest.(check (option int)) "low flex capped at 2N" (Some 256)
+    (Mapping.anchor_cap tpu);
+  Alcotest.(check (option int)) "mid uncapped" None (Mapping.anchor_cap unf);
+  Alcotest.(check (option int)) "high uncapped" None (Mapping.anchor_cap plan_p)
+
+let test_admit_restricts_anchor_operand () =
+  let op = Matmul.make ~m:512 ~k:512 ~l:512 () in
+  let buf = Buffer.of_kib 256 in
+  let c_stationary =
+    List.find
+      (fun (c : Principles.candidate) ->
+        match c.intent with
+        | Nra.Single_nra { stationary = Operand.C } -> true
+        | _ -> false)
+      (Intra.candidates op buf)
+  in
+  check_bool "tpu rejects OS" true (Mapping.admit tpu op buf c_stationary = None);
+  check_bool "gemmini admits OS" true
+    (Mapping.admit gem op buf c_stationary <> None)
+
+let test_admit_restricts_class () =
+  let op = Matmul.make ~m:512 ~k:64 ~l:512 () in
+  let buf = Buffer.of_kib 256 in
+  let two_b_anchor =
+    List.find_opt
+      (fun (c : Principles.candidate) ->
+        match c.intent with
+        | Nra.Two_nra { untiled = Dim.K; redundant = Operand.A } -> true
+        | _ -> false)
+      (Intra.candidates op buf)
+  in
+  match two_b_anchor with
+  | None -> Alcotest.fail "expected a Two-NRA candidate"
+  | Some c ->
+    check_bool "tpu rejects Two-NRA" true (Mapping.admit tpu op buf c = None);
+    check_bool "planaria admits B-anchored Two-NRA" true
+      (Mapping.admit plan_p op buf c <> None)
+
+let test_admit_caps_low_flex_tiles () =
+  let op = Matmul.make ~m:4096 ~k:768 ~l:768 () in
+  let buf = Buffer.of_mib 8 in
+  List.iter
+    (fun (c : Principles.candidate) ->
+      match Mapping.admit tpu op buf c with
+      | None -> ()
+      | Some admitted ->
+        let anchor = Mapping.intent_anchor admitted.intent in
+        let d1, d2 = Operand.dims anchor in
+        check_bool "anchor dims capped" true
+          (Tiling.get admitted.schedule.tiling d1 <= 256
+          && Tiling.get admitted.schedule.tiling d2 <= 256))
+    (Intra.candidates op buf)
+
+(* ------------------------------------------------------------------ *)
+(* Utilization                                                         *)
+
+let test_spatial_util () =
+  (* a 128x128 tile fills a fixed 128x128 array exactly *)
+  check_float "perfect fill" 1.0 (Mapping.spatial_util tpu ~rows:128 ~cols:128);
+  (* 64 rows on a 128-row fixed array wastes half *)
+  check_float "half fill" 0.5 (Mapping.spatial_util tpu ~rows:64 ~cols:128);
+  (* Planaria's 16-grain fission handles 64 rows exactly *)
+  check_float "planaria fission" 1.0
+    (Mapping.spatial_util plan_p ~rows:64 ~cols:128);
+  (* FuseCU composes 256-wide shapes *)
+  check_float "fusecu wide" 1.0 (Mapping.spatial_util fus ~rows:128 ~cols:256);
+  check_bool "fusecu 64 rows partial" true
+    (Mapping.spatial_util fus ~rows:64 ~cols:128 < 1.0)
+
+let test_temporal_eff () =
+  let short = Mapping.temporal_eff tpu ~rows:128 ~cols:128 ~stream:64 in
+  let long = Mapping.temporal_eff tpu ~rows:128 ~cols:128 ~stream:16384 in
+  check_bool "longer streams amortize fill" true (long > short);
+  check_bool "bounded by 1" true (long < 1.0 && long > 0.97)
+
+let test_solo_util_range () =
+  let op = Matmul.make ~m:1024 ~k:768 ~l:768 () in
+  let buf = Buffer.of_kib 512 in
+  List.iter
+    (fun p ->
+      match Perf.plan_op p buf op with
+      | Error e -> Alcotest.fail e
+      | Ok plan ->
+        let u = Mapping.solo_util p op plan.schedule in
+        check_bool
+          (Printf.sprintf "%s util in (0,1]" p.Platform.name)
+          true
+          (u > 0. && u <= 1.0))
+    Platform.all
+
+(* ------------------------------------------------------------------ *)
+(* Perf: platform-restricted planning                                  *)
+
+let test_plan_op_obeys_platform () =
+  let op = Matmul.make ~m:2048 ~k:768 ~l:768 () in
+  let buf = Buffer.of_kib 512 in
+  (* TPU: anchor must be B; Gemmini: Single class only *)
+  (match Perf.plan_op tpu buf op with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Alcotest.check
+      (Alcotest.testable Operand.pp Operand.equal)
+      "tpu anchors B" Operand.B
+      (Mapping.schedule_anchor op plan.schedule));
+  match Perf.plan_op gem buf op with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ()
+
+let test_restricted_never_beats_free () =
+  let buf = Buffer.of_kib 512 in
+  let ops =
+    [ Matmul.make ~m:1024 ~k:768 ~l:768 ();
+      Matmul.make ~m:1024 ~k:64 ~l:1024 ();
+      Matmul.make ~m:16384 ~k:768 ~l:3072 () ]
+  in
+  List.iter
+    (fun op ->
+      let free = Intra.ma (Intra.optimize_exn op buf) in
+      List.iter
+        (fun p ->
+          match Perf.plan_op p buf op with
+          | Error e -> Alcotest.fail e
+          | Ok plan ->
+            check_bool
+              (Printf.sprintf "%s >= unrestricted on %s" p.Platform.name
+                 op.Matmul.name)
+              true
+              (Intra.ma plan >= free))
+        Platform.all)
+    ops
+
+let test_ma_ordering_on_attention () =
+  (* attention scores op: the flexible platforms reach the lower bound,
+     the rigid ones cannot *)
+  let op = Matmul.make ~name:"qk" ~m:4096 ~k:128 ~l:4096 () in
+  let buf = Buffer.of_kib 512 in
+  let ma p =
+    match Perf.plan_op p buf op with
+    | Ok plan -> Intra.ma plan
+    | Error e -> Alcotest.fail e
+  in
+  let tpu_ma = ma tpu and plan_ma = ma plan_p and unf_ma = ma unf in
+  check_bool "planaria <= tpu" true (plan_ma <= tpu_ma);
+  check_bool "unfcu <= planaria" true (unf_ma <= plan_ma);
+  check_bool "tpu strictly worse here" true (tpu_ma > unf_ma)
+
+(* ------------------------------------------------------------------ *)
+(* Perf: workload evaluation                                           *)
+
+let bert_workload = Fusecu_workloads.Workload.of_model Fusecu_workloads.Zoo.bert
+
+let evals =
+  lazy
+    (let buf = Buffer.of_kib 512 in
+     List.map
+       (fun p ->
+         match Perf.eval_workload p buf bert_workload with
+         | Ok e -> (p.Platform.name, e)
+         | Error e -> Alcotest.fail e)
+       Platform.all)
+
+let test_eval_totals_consistent () =
+  List.iter
+    (fun (_, (e : Perf.eval)) ->
+      check_int "traffic = segment sum"
+        (List.fold_left (fun acc (s : Perf.segment) -> acc + (s.traffic * s.count)) 0
+           e.segments)
+        e.traffic;
+      check_int "macs = workload macs"
+        (Fusecu_workloads.Workload.total_macs bert_workload)
+        e.macs;
+      check_bool "utilization in (0,1]" true
+        (e.utilization > 0. && e.utilization <= 1.0))
+    (Lazy.force evals)
+
+let test_fig10_ordering () =
+  let traffic name = (List.assoc name (Lazy.force evals)).Perf.traffic in
+  (* the paper's Fig. 10 ordering: FuseCU < UnfCU <= Planaria < Gemmini
+     <= TPUv4i on memory access *)
+  check_bool "fusecu < unfcu" true (traffic "FuseCU" < traffic "UnfCU");
+  check_bool "unfcu <= planaria" true (traffic "UnfCU" <= traffic "Planaria");
+  check_bool "planaria < gemmini" true (traffic "Planaria" < traffic "Gemmini");
+  check_bool "gemmini <= tpu" true (traffic "Gemmini" <= traffic "TPUv4i")
+
+let test_fig10_speedup () =
+  let cycles name = (List.assoc name (Lazy.force evals)).Perf.cycles in
+  check_bool "fusecu fastest" true
+    (List.for_all
+       (fun (name, _) -> cycles "FuseCU" <= cycles name)
+       (Lazy.force evals))
+
+let test_ratios () =
+  let e = Lazy.force evals in
+  let fusecu = List.assoc "FuseCU" e and tpu_e = List.assoc "TPUv4i" e in
+  let r = Perf.ma_ratio fusecu tpu_e in
+  check_bool "saving substantial" true (r < 0.7);
+  check_bool "speedup >= 1" true (Perf.speedup fusecu tpu_e >= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Area (Fig. 12)                                                      *)
+
+let test_area_breakdown () =
+  let b = Area.fusecu_breakdown () in
+  check_bool "overhead near 12%" true
+    (b.overhead_pct > 0.08 && b.overhead_pct < 0.16);
+  check_bool "interconnect+control < 0.1%" true (b.interconnect_pct < 0.001);
+  check_bool "base dominated by MACs" true (b.base_um2 > b.overhead_um2 *. 5.);
+  let total_overhead =
+    List.fold_left
+      (fun acc (c : Area.component) -> if c.overhead then acc +. c.area_um2 else acc)
+      0. b.components
+  in
+  check_float "overhead sums" b.overhead_um2 total_overhead
+
+let test_area_scales_with_pes () =
+  let small = Area.fusecu_breakdown ~pe_dim:16 () in
+  let big = Area.fusecu_breakdown ~pe_dim:128 () in
+  check_bool "area grows" true (big.base_um2 > small.base_um2);
+  (* overhead percentage is roughly PE-count independent *)
+  check_bool "overhead pct stable" true
+    (Float.abs (big.overhead_pct -. small.overhead_pct) < 0.02)
+
+
+(* ------------------------------------------------------------------ *)
+(* Energy                                                              *)
+
+let test_energy_components () =
+  let e = List.assoc "TPUv4i" (Lazy.force evals) in
+  let energy = Energy.of_eval e in
+  Alcotest.(check (float 1e-6)) "components sum"
+    energy.Energy.total_nj
+    (energy.dram_nj +. energy.buffer_nj +. energy.compute_nj +. energy.static_nj);
+  check_bool "all positive" true
+    (energy.dram_nj > 0. && energy.buffer_nj > 0. && energy.compute_nj > 0.)
+
+let test_energy_follows_traffic () =
+  let e = Lazy.force evals in
+  let energy name = Energy.of_eval (List.assoc name e) in
+  let fusecu = energy "FuseCU" and tpu_e = energy "TPUv4i" in
+  check_bool "fusecu saves energy" true (Energy.saving fusecu tpu_e > 0.);
+  (* the MAC floor bounds the saving: both run the same MACs *)
+  Alcotest.(check (float 1e-6)) "same compute energy"
+    fusecu.Energy.compute_nj tpu_e.Energy.compute_nj;
+  check_bool "saving below the traffic saving" true
+    (Energy.saving fusecu tpu_e
+    < 1. -. Perf.ma_ratio (List.assoc "FuseCU" e) (List.assoc "TPUv4i" e) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation ladder                                                     *)
+
+let test_ablation_ladder () =
+  check_int "four steps" 4 (List.length Ablation.ladder);
+  match Ablation.run [ Fusecu_workloads.Zoo.bert; Fusecu_workloads.Zoo.xlm ] with
+  | Error e -> Alcotest.fail e
+  | Ok steps ->
+    check_int "four results" 4 (List.length steps);
+    let base = List.hd steps in
+    Alcotest.(check (float 1e-9)) "base saves nothing" 0. base.Ablation.ma_saving_vs_base;
+    (* traffic is non-increasing along the ladder *)
+    let rec non_increasing = function
+      | (a : Ablation.step) :: (b :: _ as rest) ->
+        check_bool
+          (Printf.sprintf "%s <= %s traffic" b.name a.name)
+          true
+          (b.traffic <= a.traffic);
+        non_increasing rest
+      | _ -> ()
+    in
+    non_increasing steps;
+    let final = List.nth steps 3 in
+    check_bool "fusion step contributes" true
+      (final.traffic < (List.nth steps 2).Ablation.traffic);
+    check_bool "full design fastest" true (final.speedup_vs_base >= 1.0)
+
+
+(* ------------------------------------------------------------------ *)
+(* Discrete-event CU scheduler                                         *)
+
+let test_sim_single_job () =
+  let job = { Schedule_sim.label = "j"; compute_cycles = 1000.; bytes = 2048. } in
+  let r = Schedule_sim.run tpu [ job ] in
+  (* one job alone gets the full port: finishes at max(compute, bytes/bw) *)
+  Alcotest.(check (float 1.)) "roofline" (Float.max 1000. (2048. /. 1024.)) r.makespan;
+  check_bool "one CU busy" true (r.busy.(0) > 0.)
+
+let test_sim_parallel_speedup () =
+  let job = { Schedule_sim.label = "j"; compute_cycles = 1000.; bytes = 0. } in
+  let r = Schedule_sim.run tpu (List.init 4 (fun _ -> job)) in
+  Alcotest.(check (float 1.)) "four compute-bound jobs run in parallel" 1000.
+    r.makespan;
+  Alcotest.(check (float 1e-6)) "full utilization" 1.0 r.utilization
+
+let test_sim_bandwidth_contention () =
+  (* four memory-only jobs share the port: aggregate transfer time *)
+  let job = { Schedule_sim.label = "j"; compute_cycles = 0.; bytes = 1024. *. 100. } in
+  let r = Schedule_sim.run tpu (List.init 4 (fun _ -> job)) in
+  Alcotest.(check (float 1.)) "serialized by the port" 400. r.makespan
+
+let test_sim_bounds_hold () =
+  let e = List.assoc "FuseCU" (Lazy.force evals) in
+  let r = Schedule_sim.simulate_eval e in
+  check_bool "above compute bound" true (r.makespan >= r.compute_bound -. 1e-6);
+  check_bool "above bandwidth bound" true
+    (r.makespan >= r.bandwidth_bound -. 1e-6);
+  check_bool "utilization in (0,1]" true (r.utilization > 0. && r.utilization <= 1.0)
+
+let test_sim_orders_platforms_like_perf () =
+  let e = Lazy.force evals in
+  let span name = (Schedule_sim.simulate_eval (List.assoc name e)).makespan in
+  check_bool "fusecu fastest under contention too" true
+    (span "FuseCU" <= span "TPUv4i" && span "FuseCU" <= span "Planaria")
+
+
+(* ------------------------------------------------------------------ *)
+(* Inter-CU link (NoC)                                                 *)
+
+let test_noc_column_fusion_matched () =
+  (* attention pair: column heights equal the M tile; on FuseCU the
+     link is as wide as a CU, so no stall for tiles <= 128 *)
+  let pair =
+    Fused.make_pair_exn
+      (Matmul.make ~name:"qk" ~m:128 ~k:64 ~l:128 ())
+      (Matmul.make ~name:"sv" ~m:128 ~k:128 ~l:64 ())
+  in
+  match Fusion.plan_pair pair (Buffer.make 65536) with
+  | Ok (Fusion.Fuse { fused; _ }) -> (
+    match Noc.column_fusion_transfer fus pair fused with
+    | None -> () (* tile fusion chosen: nothing crosses the link *)
+    | Some t ->
+      check_int "no stalls at matched width" 0 t.Noc.stall_cycles;
+      Alcotest.(check (float 1e-9)) "full occupancy needs exact match"
+        (float_of_int t.Noc.column_height
+        /. float_of_int (t.Noc.cycles_per_column * t.Noc.link_width))
+        (Noc.occupancy t))
+  | Ok (Fusion.No_fuse { why; _ }) -> Alcotest.fail why
+  | Error e -> Alcotest.fail e
+
+let test_noc_tall_columns_stall () =
+  let pair =
+    Fused.make_pair_exn
+      (Matmul.make ~m:512 ~k:64 ~l:512 ())
+      (Matmul.make ~m:512 ~k:512 ~l:64 ())
+  in
+  match Fusion.plan_pair pair (Buffer.make 262144) with
+  | Ok (Fusion.Fuse { fused; _ }) -> (
+    match Noc.column_fusion_transfer fus pair fused with
+    | None -> ()
+    | Some t ->
+      if t.Noc.column_height > t.Noc.link_width then begin
+        check_bool "tall columns take multiple link cycles" true
+          (t.Noc.cycles_per_column > 1);
+        check_bool "stalls counted" true (t.Noc.stall_cycles > 0)
+      end)
+  | Ok (Fusion.No_fuse _) | Error _ -> ()
+
+let () =
+  Alcotest.run "arch"
+    [ ( "platform",
+        [ Alcotest.test_case "roster" `Quick test_platform_roster;
+          Alcotest.test_case "Table III attributes" `Quick test_table3_attributes ] );
+      ( "mapping",
+        [ Alcotest.test_case "intent anchor" `Quick test_intent_anchor;
+          Alcotest.test_case "schedule anchor" `Quick
+            test_schedule_anchor_largest_tile;
+          Alcotest.test_case "anchor cap" `Quick test_anchor_cap;
+          Alcotest.test_case "admit anchor restriction" `Quick
+            test_admit_restricts_anchor_operand;
+          Alcotest.test_case "admit class restriction" `Quick
+            test_admit_restricts_class;
+          Alcotest.test_case "admit caps low-flex tiles" `Quick
+            test_admit_caps_low_flex_tiles ] );
+      ( "utilization",
+        [ Alcotest.test_case "spatial" `Quick test_spatial_util;
+          Alcotest.test_case "temporal" `Quick test_temporal_eff;
+          Alcotest.test_case "solo util range" `Quick test_solo_util_range ] );
+      ( "perf",
+        [ Alcotest.test_case "platform restrictions honoured" `Quick
+            test_plan_op_obeys_platform;
+          Alcotest.test_case "restricted >= unrestricted MA" `Quick
+            test_restricted_never_beats_free;
+          Alcotest.test_case "attention MA ordering" `Quick
+            test_ma_ordering_on_attention;
+          Alcotest.test_case "eval totals consistent" `Quick
+            test_eval_totals_consistent;
+          Alcotest.test_case "Fig. 10 MA ordering" `Quick test_fig10_ordering;
+          Alcotest.test_case "Fig. 10 speedup" `Quick test_fig10_speedup;
+          Alcotest.test_case "headline ratios" `Quick test_ratios ] );
+      ( "energy",
+        [ Alcotest.test_case "component accounting" `Quick test_energy_components;
+          Alcotest.test_case "follows traffic" `Quick test_energy_follows_traffic ] );
+      ( "ablation",
+        [ Alcotest.test_case "feature ladder" `Quick test_ablation_ladder ] );
+      ( "schedule-sim",
+        [ Alcotest.test_case "single job roofline" `Quick test_sim_single_job;
+          Alcotest.test_case "parallel speedup" `Quick test_sim_parallel_speedup;
+          Alcotest.test_case "bandwidth contention" `Quick
+            test_sim_bandwidth_contention;
+          Alcotest.test_case "bounds hold" `Quick test_sim_bounds_hold;
+          Alcotest.test_case "platform ordering preserved" `Quick
+            test_sim_orders_platforms_like_perf ] );
+      ( "noc",
+        [ Alcotest.test_case "matched link" `Quick test_noc_column_fusion_matched;
+          Alcotest.test_case "tall columns stall" `Quick
+            test_noc_tall_columns_stall ] );
+      ( "area",
+        [ Alcotest.test_case "Fig. 12 breakdown" `Quick test_area_breakdown;
+          Alcotest.test_case "scales with PEs" `Quick test_area_scales_with_pes ] ) ]

@@ -1,0 +1,269 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_dse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Space                                                               *)
+
+let test_tile_candidates () =
+  Alcotest.(check (list int)) "all" [ 1; 2; 3; 4 ] (Space.tile_candidates Space.All 4);
+  Alcotest.(check (list int)) "divisors" [ 1; 2; 3; 6 ]
+    (Space.tile_candidates Space.Divisors 6);
+  Alcotest.(check (list int)) "pow2" [ 1; 2; 4; 6 ]
+    (Space.tile_candidates Space.Pow2 6);
+  List.iter
+    (fun lattice ->
+      List.iter
+        (fun n ->
+          let c = Space.tile_candidates lattice n in
+          check_bool "has 1" true (List.mem 1 c);
+          check_bool "has n" true (List.mem n c))
+        [ 1; 7; 12; 64 ])
+    [ Space.All; Space.Divisors; Space.Pow2 ]
+
+let test_space_respects_buffer () =
+  let op = Matmul.make ~m:8 ~k:8 ~l:8 () in
+  let buf = Buffer.make 50 in
+  List.iter
+    (fun t -> check_bool "fits" true (Tiling.footprint t <= 50))
+    (Space.tilings Space.All op buf);
+  check_int "size = 6 x tilings"
+    (6 * List.length (Space.tilings Space.All op buf))
+    (Space.size Space.All op buf)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive                                                          *)
+
+let test_exhaustive_small () =
+  let op = Matmul.make ~m:4 ~k:4 ~l:4 () in
+  let buf = Buffer.make 48 in
+  match Exhaustive.search ~lattice:Space.All op buf with
+  | None -> Alcotest.fail "expected a result"
+  | Some r ->
+    check_bool "fits" true (Schedule.fits r.schedule buf);
+    check_bool "explored all" true (r.explored = Space.size Space.All op buf);
+    (* everything fits: ideal MA *)
+    check_int "ideal" (Matmul.ideal_ma op) r.cost.Cost.total
+
+let test_exhaustive_infeasible () =
+  let op = Matmul.make ~m:4 ~k:4 ~l:4 () in
+  check_bool "bs=2" true (Exhaustive.search (Matmul.make ~m:4 ~k:4 ~l:4 ()) (Buffer.make 2) = None);
+  ignore op
+
+let test_best_per_class () =
+  let op = Matmul.make ~m:24 ~k:24 ~l:24 () in
+  let buf = Buffer.make 300 in
+  let per_class = Exhaustive.best_per_class ~lattice:Space.All op buf in
+  check_bool "several classes present" true (List.length per_class >= 2);
+  List.iter
+    (fun (cls, (r : Exhaustive.result)) ->
+      check_bool "class matches schedule" true
+        (Nra.equal cls (Nra.class_of (Nra.classify op r.schedule))))
+    per_class;
+  (* the global optimum equals the best class optimum *)
+  match Exhaustive.search ~lattice:Space.All op buf with
+  | None -> Alcotest.fail "no optimum"
+  | Some best ->
+    let min_class =
+      List.fold_left
+        (fun acc (_, (r : Exhaustive.result)) -> min acc r.cost.Cost.total)
+        max_int per_class
+    in
+    check_int "global = min over classes" best.cost.Cost.total min_class
+
+(* ------------------------------------------------------------------ *)
+(* Genetic                                                             *)
+
+let test_genetic_deterministic () =
+  let op = Matmul.make ~m:48 ~k:36 ~l:60 () in
+  let buf = Buffer.make 800 in
+  match (Genetic.search op buf, Genetic.search op buf) with
+  | Some a, Some b ->
+    check_int "same traffic" a.cost.Cost.total b.cost.Cost.total;
+    check_bool "same schedule" true (Schedule.equal a.schedule b.schedule)
+  | _ -> Alcotest.fail "GA found nothing"
+
+let test_genetic_near_optimal () =
+  (* the GA should land within a modest factor of the exhaustive optimum
+     on divisor-rich operators *)
+  let cases =
+    [ (48, 36, 60, 800); (64, 64, 64, 500); (96, 24, 48, 2000); (32, 32, 32, 4000) ]
+  in
+  List.iter
+    (fun (m, k, l, bytes) ->
+      let op = Matmul.make ~m ~k ~l () in
+      let buf = Buffer.make bytes in
+      match (Genetic.search op buf, Exhaustive.search op buf) with
+      | Some ga, Some ex ->
+        let ratio =
+          float_of_int ga.cost.Cost.total /. float_of_int ex.cost.Cost.total
+        in
+        check_bool
+          (Printf.sprintf "GA within 1.25x at %dx%dx%d/%d (got %.3f)" m k l bytes
+             ratio)
+          true (ratio <= 1.25)
+      | _ -> Alcotest.fail "search failed")
+    cases
+
+let test_genetic_infeasible () =
+  let op = Matmul.make ~m:4 ~k:4 ~l:4 () in
+  check_bool "no feasible genome" true (Genetic.search op (Buffer.make 2) = None)
+
+let test_genetic_explores_less_than_exhaustive_on_big_spaces () =
+  let op = Matmul.make ~m:960 ~k:960 ~l:960 () in
+  let buf = Buffer.of_kib 64 in
+  match Genetic.search op buf with
+  | None -> Alcotest.fail "GA found nothing"
+  | Some ga ->
+    check_bool "bounded evaluations" true
+      (ga.explored <= 48 * 61 (* pop x (gens+1) *));
+    check_bool "far smaller than the space" true
+      (ga.explored < Space.size Space.Divisors op buf)
+
+(* ------------------------------------------------------------------ *)
+(* Fused search                                                        *)
+
+let attention_pair ~m ~dh =
+  Fused.make_pair_exn
+    (Matmul.make ~name:"qk" ~m ~k:dh ~l:m ())
+    (Matmul.make ~name:"sv" ~m ~k:m ~l:dh ())
+
+let test_fused_exhaustive_valid () =
+  let pair = attention_pair ~m:24 ~dh:6 in
+  let buf = Buffer.make 1024 in
+  match Fused_search.exhaustive ~lattice:Space.All pair buf with
+  | None -> Alcotest.fail "no fused dataflow found"
+  | Some r -> (
+    match Fused.eval pair r.fused buf with
+    | Ok t -> check_int "traffic consistent" t r.traffic
+    | Error e -> Alcotest.failf "searched fused dataflow invalid: %s" e)
+
+let test_fused_beats_unfused_on_attention () =
+  let pair = attention_pair ~m:24 ~dh:6 in
+  let buf = Buffer.make 1024 in
+  let v = Fused_search.decide ~lattice:Space.All pair buf in
+  check_bool "fusion wins" true v.fusion_wins
+
+let test_fused_search_ga_close_to_exhaustive () =
+  let pair = attention_pair ~m:24 ~dh:6 in
+  let buf = Buffer.make 1024 in
+  match
+    (Fused_search.genetic ~lattice:Space.All pair buf,
+     Fused_search.exhaustive ~lattice:Space.All pair buf)
+  with
+  | Some ga, Some ex ->
+    check_bool "GA within 1.3x of optimum" true
+      (float_of_int ga.traffic /. float_of_int ex.traffic <= 1.3)
+  | _ -> Alcotest.fail "fused search failed"
+
+let test_principle_fusion_close_to_searched () =
+  (* Fig. 9's claim, fusion included: the principle plan is close to the
+     searched one across buffer sizes. *)
+  let pair = attention_pair ~m:32 ~dh:8 in
+  List.iter
+    (fun bytes ->
+      let buf = Buffer.make bytes in
+      match Fusion.plan_pair pair buf with
+      | Error _ -> ()
+      | Ok decision -> (
+        let v = Fused_search.decide ~lattice:Space.All pair buf in
+        match v.best_traffic with
+        | None -> ()
+        | Some best ->
+          let mine = Fusion.traffic_of_decision decision in
+          check_bool
+            (Printf.sprintf "bs=%d: %d vs searched %d" bytes mine best)
+            true
+            (float_of_int mine /. float_of_int best <= 1.25)))
+    [ 80; 200; 600; 1500; 4000 ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Simulated annealing                                                 *)
+
+let test_annealing_deterministic () =
+  let op = Matmul.make ~m:48 ~k:36 ~l:60 () in
+  let buf = Buffer.make 800 in
+  match (Annealing.search op buf, Annealing.search op buf) with
+  | Some a, Some b ->
+    check_int "same traffic" a.cost.Cost.total b.cost.Cost.total
+  | _ -> Alcotest.fail "annealing found nothing"
+
+let test_annealing_near_optimal () =
+  List.iter
+    (fun (m, k, l, bytes) ->
+      let op = Matmul.make ~m ~k ~l () in
+      let buf = Buffer.make bytes in
+      match (Annealing.search op buf, Exhaustive.search op buf) with
+      | Some sa, Some ex ->
+        let ratio =
+          float_of_int sa.cost.Cost.total /. float_of_int ex.cost.Cost.total
+        in
+        check_bool
+          (Printf.sprintf "SA within 1.3x at %dx%dx%d/%d (got %.3f)" m k l bytes
+             ratio)
+          true (ratio <= 1.3)
+      | _ -> Alcotest.fail "search failed")
+    [ (48, 36, 60, 800); (64, 64, 64, 500); (96, 24, 48, 2000) ]
+
+let test_annealing_infeasible () =
+  check_bool "no feasible state" true
+    (Annealing.search (Matmul.make ~m:4 ~k:4 ~l:4 ()) (Buffer.make 2) = None)
+
+
+let test_random_search_bounded_quality () =
+  let op = Matmul.make ~m:64 ~k:64 ~l:64 () in
+  let buf = Buffer.make 2000 in
+  match (Random_search.search op buf, Exhaustive.search op buf) with
+  | Some rand, Some ex ->
+    check_bool "feasible" true (Schedule.fits rand.schedule buf);
+    check_bool "never better than exhaustive" true
+      (rand.cost.Cost.total >= ex.cost.Cost.total);
+    (* with 2000 samples on a small lattice it should land close *)
+    check_bool "within 2x" true
+      (float_of_int rand.cost.Cost.total /. float_of_int ex.cost.Cost.total <= 2.0)
+  | _ -> Alcotest.fail "search failed"
+
+let test_random_search_deterministic () =
+  let op = Matmul.make ~m:48 ~k:36 ~l:60 () in
+  let buf = Buffer.make 800 in
+  match (Random_search.search op buf, Random_search.search op buf) with
+  | Some a, Some b -> check_int "same" a.cost.Cost.total b.cost.Cost.total
+  | _ -> Alcotest.fail "none"
+
+let () =
+  Alcotest.run "dse"
+    [ ( "space",
+        [ Alcotest.test_case "tile candidates" `Quick test_tile_candidates;
+          Alcotest.test_case "buffer pruning" `Quick test_space_respects_buffer ] );
+      ( "exhaustive",
+        [ Alcotest.test_case "small op" `Quick test_exhaustive_small;
+          Alcotest.test_case "infeasible" `Quick test_exhaustive_infeasible;
+          Alcotest.test_case "best per class" `Quick test_best_per_class ] );
+      ( "genetic",
+        [ Alcotest.test_case "deterministic" `Quick test_genetic_deterministic;
+          Alcotest.test_case "near optimal" `Quick test_genetic_near_optimal;
+          Alcotest.test_case "infeasible" `Quick test_genetic_infeasible;
+          Alcotest.test_case "bounded evaluations" `Quick
+            test_genetic_explores_less_than_exhaustive_on_big_spaces ] );
+      ( "annealing",
+        [ Alcotest.test_case "deterministic" `Quick test_annealing_deterministic;
+          Alcotest.test_case "near optimal" `Quick test_annealing_near_optimal;
+          Alcotest.test_case "infeasible" `Quick test_annealing_infeasible ] );
+      ( "random",
+        [ Alcotest.test_case "bounded quality" `Quick
+            test_random_search_bounded_quality;
+          Alcotest.test_case "deterministic" `Quick
+            test_random_search_deterministic ] );
+      ( "fused",
+        [ Alcotest.test_case "exhaustive valid" `Quick test_fused_exhaustive_valid;
+          Alcotest.test_case "fusion wins on attention" `Quick
+            test_fused_beats_unfused_on_attention;
+          Alcotest.test_case "GA close to exhaustive" `Quick
+            test_fused_search_ga_close_to_exhaustive;
+          Alcotest.test_case "principles close to searched (Fig. 9)" `Quick
+            test_principle_fusion_close_to_searched ] ) ]

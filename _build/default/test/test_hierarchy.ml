@@ -1,0 +1,209 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_hierarchy
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Stack construction                                                  *)
+
+let test_stack_validation () =
+  let big = Level.make ~name:"l2" (Buffer.make 1000) in
+  let small = Level.make ~name:"l1" (Buffer.make 100) in
+  check_bool "ordered ok" true (Result.is_ok (Stack.make [ big; small ]));
+  check_bool "inverted rejected" true (Result.is_error (Stack.make [ small; big ]));
+  check_bool "equal rejected" true (Result.is_error (Stack.make [ big; big ]));
+  check_bool "empty rejected" true (Result.is_error (Stack.make []))
+
+let test_tpu_like_stack () =
+  let stack = Stack.tpu_like () in
+  match Stack.levels stack with
+  | [ l2; l1 ] ->
+    check_int "buffer elements" (512 * 1024) (Buffer.elements l2.Level.buffer);
+    check_int "register elements" (128 * 128) (Buffer.elements l1.Level.buffer)
+  | _ -> Alcotest.fail "expected two levels"
+
+(* ------------------------------------------------------------------ *)
+(* Multi-level optimization                                            *)
+
+let op = Matmul.make ~name:"mm" ~m:256 ~k:192 ~l:160 ()
+
+let two_level =
+  Stack.make_exn
+    [ Level.make ~name:"l2" ~energy_pj_per_element:6.0 (Buffer.make 20000);
+      Level.make ~name:"l1" ~energy_pj_per_element:1.0 (Buffer.make 600) ]
+
+let test_optimize_shapes () =
+  match Stack.optimize two_level op with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    check_int "two level plans" 2 (List.length plan.per_level);
+    check_int "two interfaces" 2 (List.length plan.interface_traffic);
+    (* the inner level optimizes the outer level's tile *)
+    (match plan.per_level with
+    | [ (_, outer); (_, inner) ] ->
+      List.iter
+        (fun d ->
+          check_bool "inner op within outer tile" true
+            (Matmul.dim inner.Intra.op d <= Tiling.get outer.Intra.schedule.tiling d
+             + 0))
+        Dim.all;
+      List.iter
+        (fun d ->
+          check_int "inner op = outer tile"
+            (Tiling.get outer.Intra.schedule.tiling d)
+            (Matmul.dim inner.Intra.op d))
+        Dim.all
+    | _ -> Alcotest.fail "expected two plans");
+    check_bool "energy positive" true (plan.energy_pj > 0.)
+
+let test_top_matches_single_level () =
+  (* the outermost interface traffic equals the single-level optimum *)
+  let single = Intra.optimize_exn op (Buffer.make 20000) in
+  match Stack.optimize two_level op with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> check_int "top traffic" (Intra.ma single) (Stack.top_traffic plan)
+
+let test_inner_traffic_amplified () =
+  (* the inner interface moves at least as much data as the outer one:
+     every element entering the buffer must also enter the registers *)
+  match Stack.optimize two_level op with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> (
+    match plan.interface_traffic with
+    | [ (_, outer); (_, inner) ] -> check_bool "inner >= outer" true (inner >= outer)
+    | _ -> Alcotest.fail "expected two interfaces")
+
+let test_infeasible_inner_level () =
+  let stack =
+    Stack.make_exn
+      [ Level.make ~name:"l2" (Buffer.make 20000);
+        Level.make ~name:"l1" (Buffer.make 2) ]
+  in
+  match Stack.optimize stack op with
+  | Error msg -> check_bool "names the level" true (String.length msg > 2)
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_register_level_regimes () =
+  (* the Sec. IV-B connection: for an operator with Dmin < 2N, the
+     register level picks an untiled-dimension dataflow *)
+  let qk = Matmul.make ~name:"qk" ~m:1024 ~k:64 ~l:1024 () in
+  let stack = Stack.tpu_like ~pe_dim:128 () in
+  match Stack.optimize stack qk with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> (
+    match plan.per_level with
+    | [ _; (_, register_plan) ] ->
+      check_bool "register level unties a dimension" true
+        (match Nra.class_of register_plan.Intra.dataflow with
+        | Nra.Two | Nra.Three -> true
+        | Nra.Single -> false)
+    | _ -> Alcotest.fail "expected two levels")
+
+let prop_multilevel_monotone =
+  QCheck.Test.make ~count:100 ~name:"bigger inner level never hurts energy"
+    (QCheck.make
+       ~print:(fun (m, k, l, inner) ->
+         Printf.sprintf "%dx%dx%d inner=%d" m k l inner)
+       QCheck.Gen.(
+         let* m = int_range 4 64 and* k = int_range 4 64 and* l = int_range 4 64 in
+         let* inner = int_range 12 400 in
+         return (m, k, l, inner)))
+    (fun (m, k, l, inner) ->
+      let op = Matmul.make ~m ~k ~l () in
+      let stack bytes =
+        Stack.make_exn
+          [ Level.make ~name:"l2" (Buffer.make 100000);
+            Level.make ~name:"l1" (Buffer.make bytes) ]
+      in
+      match
+        (Stack.optimize (stack inner) op, Stack.optimize (stack (inner + 50)) op)
+      with
+      | Ok a, Ok b -> b.energy_pj <= a.energy_pj +. 1e-6
+      | Error _, _ -> true
+      | Ok _, Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let trace_op = Matmul.make ~m:4 ~k:6 ~l:4 ()
+
+let trace_schedule =
+  Schedule.make
+    (Tiling.make trace_op ~m:2 ~k:2 ~l:2)
+    (Order.make ~outer:Dim.M ~mid:Dim.L ~inner:Dim.K)
+
+let test_trace_consistency () =
+  let events = Trace.events trace_op trace_schedule in
+  let cost = Cost.eval trace_op trace_schedule in
+  check_int "A fetches" cost.a.fetches (Trace.fetch_count events Operand.A);
+  check_int "B fetches" cost.b.fetches (Trace.fetch_count events Operand.B);
+  check_int "C fetches" cost.c.fetches (Trace.fetch_count events Operand.C);
+  check_int "traffic" cost.total (Trace.traffic trace_op trace_schedule events)
+
+let test_trace_computes_cover_space () =
+  let events = Trace.events trace_op trace_schedule in
+  let computes =
+    List.filter (function Trace.Compute _ -> true | Trace.Fetch _ -> false) events
+  in
+  check_int "one compute per tile iteration"
+    (Schedule.total_tile_iterations trace_op trace_schedule)
+    (List.length computes)
+
+let test_trace_render () =
+  let text = Trace.render ~max_events:8 trace_op trace_schedule in
+  check_bool "truncation marker" true
+    (String.length text > 0
+    &&
+    let contains needle =
+      let n = String.length needle and t = String.length text in
+      let rec scan i = i + n <= t && (String.sub text i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    contains "more events" && contains "total:")
+
+let prop_trace_matches_cost =
+  QCheck.Test.make ~count:200 ~name:"trace traffic == closed form"
+    (QCheck.make
+       ~print:(fun (op, s) ->
+         Printf.sprintf "%s %s" (Matmul.to_string op) (Schedule.to_string s))
+       QCheck.Gen.(
+         let dim = int_range 1 6 in
+         let* m = dim and* k = dim and* l = dim in
+         let op = Matmul.make ~m ~k ~l () in
+         let tile d = int_range 1 (Matmul.dim op d) in
+         let* tm = tile Dim.M and* tk = tile Dim.K and* tl = tile Dim.L in
+         let* oi = int_range 0 5 in
+         return (op, Schedule.make (Tiling.make op ~m:tm ~k:tk ~l:tl) (List.nth Order.all oi))))
+    (fun (op, s) ->
+      let events = Trace.events op s in
+      Trace.traffic op s events = (Cost.eval op s).Cost.total)
+
+let qsuite =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
+    [ prop_multilevel_monotone; prop_trace_matches_cost ]
+
+let () =
+  Alcotest.run "hierarchy"
+    [ ( "stack",
+        [ Alcotest.test_case "validation" `Quick test_stack_validation;
+          Alcotest.test_case "tpu-like levels" `Quick test_tpu_like_stack ] );
+      ( "optimize",
+        [ Alcotest.test_case "level plans nest" `Quick test_optimize_shapes;
+          Alcotest.test_case "top = single level" `Quick
+            test_top_matches_single_level;
+          Alcotest.test_case "inner traffic amplified" `Quick
+            test_inner_traffic_amplified;
+          Alcotest.test_case "infeasible level reported" `Quick
+            test_infeasible_inner_level;
+          Alcotest.test_case "register-level untiling (Sec. IV-B)" `Quick
+            test_register_level_regimes ] );
+      ( "trace",
+        [ Alcotest.test_case "matches cost model" `Quick test_trace_consistency;
+          Alcotest.test_case "computes cover the space" `Quick
+            test_trace_computes_cover_space;
+          Alcotest.test_case "render" `Quick test_trace_render ] );
+      ("properties", qsuite) ]

@@ -1,0 +1,161 @@
+(* End-to-end checks that cross library boundaries: the optimizers, the
+   architecture model and the structural simulator telling one
+   consistent story. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_arch
+open Fusecu_rtl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Principle plan -> RTL execution: a fused plan chosen by the
+   optimizer runs correctly on the structural FuseCU model. *)
+
+let test_fused_plan_executes_on_rtl () =
+  (* attention-like pair small enough to map on one CU *)
+  let n = 16 in
+  let m = 16 and dh = 4 in
+  let op1 = Matmul.make ~name:"qk" ~m ~k:dh ~l:m () in
+  let op2 = Matmul.make ~name:"sv" ~m ~k:m ~l:dh () in
+  let pair = Fused.make_pair_exn op1 op2 in
+  let buf = Buffer.make 2048 in
+  match Fusion.plan_pair pair buf with
+  | Error e -> Alcotest.fail e
+  | Ok (Fusion.No_fuse { why; _ }) -> Alcotest.failf "expected fusion: %s" why
+  | Ok (Fusion.Fuse { fused; _ }) ->
+    let cluster = Fusecu_sim.create ~n () in
+    let a = Matrix.random ~seed:1 ~rows:m ~cols:dh () in
+    let b = Matrix.random ~seed:2 ~rows:dh ~cols:m () in
+    let d = Matrix.random ~seed:3 ~rows:m ~cols:dh () in
+    let reference = Matrix.mul (Matrix.mul a b) d in
+    let result =
+      match Mapping.fusion_mapping_of fused with
+      | Mapping.Tile_fusion ->
+        Fusecu_sim.run_tile_fused cluster Fusecu_sim.Square ~a ~b ~d
+      | Mapping.Column_fusion ->
+        Fusecu_sim.run_column_fused cluster Fusecu_sim.Square ~a ~b ~d
+    in
+    (match result with
+    | Ok (e, _) -> check_bool "RTL matches reference" true (Matrix.equal e reference)
+    | Error e -> Alcotest.fail e)
+
+(* ------------------------------------------------------------------ *)
+(* The two fused mappings of Sec. IV-A appear for the expected tile
+   shapes (paper's worked mapping examples). *)
+
+let test_mapping_kind_follows_tile_shape () =
+  (* Single-NRA fused dataflow: tile-like C -> tile fusion *)
+  let pair =
+    Fused.make_pair_exn
+      (Matmul.make ~m:256 ~k:256 ~l:256 ())
+      (Matmul.make ~m:256 ~k:256 ~l:256 ())
+  in
+  let buf = Buffer.make 20000 in
+  (match Fusion.plan_pair pair buf with
+  | Ok (Fusion.Fuse { fused; pattern; _ }) ->
+    if Nra.equal (Fusion.pattern_class pattern) Nra.Single then
+      check_bool "single-NRA fusion maps as tile fusion" true
+        (Mapping.fusion_mapping_of fused = Mapping.Tile_fusion)
+  | Ok (Fusion.No_fuse _) | Error _ -> ());
+  (* Two-NRA fused dataflow: column-like C -> column fusion *)
+  let pair2 =
+    Fused.make_pair_exn
+      (Matmul.make ~m:512 ~k:96 ~l:96 ())
+      (Matmul.make ~m:512 ~k:96 ~l:512 ())
+  in
+  let buf2 = Buffer.make 3000 in
+  match Fusion.plan_pair pair2 buf2 with
+  | Ok (Fusion.Fuse { fused; pattern; _ }) ->
+    if Nra.equal (Fusion.pattern_class pattern) Nra.Two then
+      check_bool "two-NRA fusion maps as column fusion" true
+        (Mapping.fusion_mapping_of fused = Mapping.Column_fusion)
+  | Ok (Fusion.No_fuse _) | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11 shape: FuseCU's advantage over TPUv4i grows with sequence
+   length. *)
+
+let test_seq_length_sensitivity () =
+  let buf = Buffer.of_kib 512 in
+  let ratio seq =
+    let w = Fusecu_workloads.Workload.of_model (Fusecu_workloads.Sweep.llama2_at seq) in
+    match
+      (Perf.eval_workload Platform.fusecu buf w,
+       Perf.eval_workload Platform.tpu_v4i buf w)
+    with
+    | Ok f, Ok t -> Perf.ma_ratio f t
+    | _ -> Alcotest.fail "eval failed"
+  in
+  let short = ratio 256 and long = ratio 2048 in
+  check_bool "both save memory" true (short < 1.0 && long < 1.0);
+  check_bool "longer sequences save more (Fig. 11)" true (long < short)
+
+(* ------------------------------------------------------------------ *)
+(* Headline Fig. 10 averages over the full model zoo keep the paper's
+   ordering of savings: TPUv4i ~ Gemmini >> Planaria. *)
+
+let test_zoo_average_savings_ordering () =
+  let buf = Buffer.of_kib 512 in
+  let models = Fusecu_workloads.Zoo.[ bert; blenderbot; xlm ] in
+  let avg_ratio vs =
+    let ratios =
+      List.map
+        (fun m ->
+          let w = Fusecu_workloads.Workload.of_model m in
+          match
+            (Perf.eval_workload Platform.fusecu buf w, Perf.eval_workload vs buf w)
+          with
+          | Ok f, Ok o -> Perf.ma_ratio f o
+          | _ -> Alcotest.fail "eval failed")
+        models
+    in
+    Fusecu_util.Stats.geomean ratios
+  in
+  let vs_tpu = avg_ratio Platform.tpu_v4i in
+  let vs_gem = avg_ratio Platform.gemmini in
+  let vs_planaria = avg_ratio Platform.planaria in
+  check_bool "saves vs tpu" true (vs_tpu < 1.0);
+  check_bool "saves vs gemmini" true (vs_gem < 1.0);
+  check_bool "saves vs planaria" true (vs_planaria < 1.0);
+  (* Planaria is the strongest baseline in the paper *)
+  check_bool "planaria hardest to beat" true
+    (vs_planaria > vs_tpu && vs_planaria > vs_gem)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer cost consistency: the chain planner's traffic equals the
+   per-segment costs recomputed from scratch. *)
+
+let test_planner_traffic_recomputable () =
+  let chain = Chain.of_dims ~name:"ffn" ~m:128 [ 32; 128; 32 ] in
+  let buf = Buffer.make 8192 in
+  match Planner.plan_chain chain buf with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    let recomputed =
+      List.map
+        (function
+          | Planner.Solo p -> (Cost.eval p.Intra.op p.Intra.schedule).Cost.total
+          | Planner.Fused_pair { pair; fused; _ } -> Fused.traffic pair fused)
+        plan.segments
+    in
+    check_int "traffic recomputable" (Fusecu_util.Arith.sum recomputed) plan.traffic
+
+let () =
+  Alcotest.run "integration"
+    [ ( "plan-to-rtl",
+        [ Alcotest.test_case "fused plan executes on the array" `Quick
+            test_fused_plan_executes_on_rtl;
+          Alcotest.test_case "mapping kind follows tile shape" `Quick
+            test_mapping_kind_follows_tile_shape ] );
+      ( "paper shapes",
+        [ Alcotest.test_case "Fig. 11 sequence sensitivity" `Quick
+            test_seq_length_sensitivity;
+          Alcotest.test_case "Fig. 10 savings ordering" `Quick
+            test_zoo_average_savings_ordering ] );
+      ( "consistency",
+        [ Alcotest.test_case "planner traffic recomputable" `Quick
+            test_planner_traffic_recomputable ] ) ]

@@ -1,0 +1,380 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer                                                              *)
+
+let test_buffer () =
+  let b = Buffer.of_kib 512 in
+  check_int "512KB elements (int8)" 524288 (Buffer.elements b);
+  let b2 = Buffer.make ~elt_bytes:2 1024 in
+  check_int "fp16 elements" 512 (Buffer.elements b2);
+  Alcotest.check_raises "zero" (Invalid_argument "Buffer.make: bytes must be >= 1")
+    (fun () -> ignore (Buffer.make 0))
+
+(* ------------------------------------------------------------------ *)
+(* Tiling                                                              *)
+
+let op = Matmul.make ~m:8 ~k:6 ~l:10 ()
+
+let test_tiling () =
+  let t = Tiling.make op ~m:4 ~k:100 ~l:1 in
+  check_int "clamped k" 6 (Tiling.get t Dim.K);
+  check_int "m kept" 4 (Tiling.get t Dim.M);
+  check_int "footprint" ((4 * 6) + (6 * 1) + (4 * 1)) (Tiling.footprint t);
+  check_bool "untiled k" true (Tiling.untiled op t Dim.K);
+  check_bool "tiled m" false (Tiling.untiled op t Dim.M);
+  check_int "trips m" 2 (Tiling.trips op t Dim.M);
+  check_int "trips ragged" 3 (Tiling.trips op (Tiling.make op ~m:3 ~k:6 ~l:10) Dim.M);
+  check_int "full footprint" ((8 * 6) + (6 * 10) + (8 * 10))
+    (Tiling.footprint (Tiling.full op));
+  check_int "unit" 3 (Tiling.footprint Tiling.unit)
+
+let test_tiling_update () =
+  let t = Tiling.with_dim op (Tiling.full op) Dim.L 3 in
+  check_int "updated" 3 (Tiling.get t Dim.L);
+  check_int "others kept" 8 (Tiling.get t Dim.M)
+
+(* ------------------------------------------------------------------ *)
+(* Order                                                               *)
+
+let test_order () =
+  check_int "six orders" 6 (List.length Order.all);
+  let o = Order.make ~outer:Dim.M ~mid:Dim.L ~inner:Dim.K in
+  check_int "pos outer" 1 (Order.position o Dim.M);
+  check_int "pos inner" 3 (Order.position o Dim.K);
+  Alcotest.(check string) "pp" "M>L>K" (Order.to_string o);
+  Alcotest.check_raises "dup" (Invalid_argument "Order.make: dimensions must be distinct")
+    (fun () -> ignore (Order.make ~outer:Dim.M ~mid:Dim.M ~inner:Dim.K));
+  (* output-stationary orders end on K *)
+  List.iter
+    (fun o -> check_int "OS inner is K" 3 (Order.position o Dim.K))
+    (Order.stationary_for Operand.C);
+  check_int "two OS orders" 2 (List.length (Order.stationary_for Operand.C))
+
+(* ------------------------------------------------------------------ *)
+(* Cost model: paper equations                                         *)
+
+(* Eq. 1: output-stationary, T_M = T_L = t, T_K = 1:
+   MA = MKL(1/t + 1/t) + ML for dividing t. *)
+let test_eq1 () =
+  let op = Matmul.make ~m:64 ~k:48 ~l:32 () in
+  let t = 16 in
+  let tiling = Tiling.make op ~m:t ~k:1 ~l:t in
+  let order = Order.make ~outer:Dim.M ~mid:Dim.L ~inner:Dim.K in
+  let cost = Cost.eval op (Schedule.make tiling order) in
+  let mkl = Matmul.macs op in
+  check_int "A term" (mkl / t) cost.a.traffic;
+  check_int "B term" (mkl / t) cost.b.traffic;
+  check_int "C term" (64 * 32) cost.c.traffic;
+  check_int "total" ((2 * mkl / t) + (64 * 32)) cost.total;
+  check_bool "C is NRA" true (Cost.is_nra op (Schedule.make tiling order) Operand.C);
+  check_int "single-NRA" 1 (Cost.nra_count op (Schedule.make tiling order))
+
+(* Eq. 3: untiled K, T_L = 1: MA = MKL/T_M + MK + ML. *)
+let test_eq3 () =
+  let op = Matmul.make ~m:64 ~k:48 ~l:32 () in
+  let tm = 8 in
+  let tiling = Tiling.make op ~m:tm ~k:48 ~l:1 in
+  let order = Order.make ~outer:Dim.M ~mid:Dim.L ~inner:Dim.K in
+  let s = Schedule.make tiling order in
+  let cost = Cost.eval op s in
+  check_int "B redundant" (Matmul.macs op / tm) cost.b.traffic;
+  check_int "A once" (64 * 48) cost.a.traffic;
+  check_int "C once" (64 * 32) cost.c.traffic;
+  check_int "two-NRA" 2 (Cost.nra_count op s)
+
+let test_everything_fits () =
+  let op = Matmul.make ~m:8 ~k:4 ~l:6 () in
+  let s = Schedule.make (Tiling.full op) (List.hd Order.all) in
+  let cost = Cost.eval op s in
+  check_int "ideal" (Matmul.ideal_ma op) cost.total;
+  check_int "three-NRA" 3 (Cost.nra_count op s)
+
+let test_partial_sum_penalty () =
+  let op = Matmul.make ~m:16 ~k:16 ~l:16 () in
+  (* K outermost with small tiles: C is revisited *)
+  let tiling = Tiling.make op ~m:4 ~k:4 ~l:4 in
+  let order = Order.make ~outer:Dim.K ~mid:Dim.M ~inner:Dim.L in
+  let s = Schedule.make tiling order in
+  let plain = Cost.eval op s in
+  let penal = Cost.eval ~partial_sum_penalty:true op s in
+  check_int "C revisit" 4 plain.c.revisit;
+  check_int "plain C" (4 * 256) plain.c.traffic;
+  check_int "penalized C" (((2 * 4) - 1) * 256) penal.c.traffic;
+  check_int "A,B unchanged" plain.a.traffic penal.a.traffic
+
+let test_at_least_one_nra () =
+  let op = Matmul.make ~m:9 ~k:7 ~l:5 () in
+  List.iter
+    (fun order ->
+      let s = Schedule.make (Tiling.make op ~m:2 ~k:2 ~l:2) order in
+      check_bool "some NRA" true (Cost.nra_count op s >= 1))
+    Order.all
+
+(* ------------------------------------------------------------------ *)
+(* Property: closed form == mechanical simulation                      *)
+
+let gen_case =
+  QCheck.Gen.(
+    let dim = int_range 1 9 in
+    let* m = dim and* k = dim and* l = dim in
+    let op = Matmul.make ~m ~k ~l () in
+    let tile d = int_range 1 (Matmul.dim op d) in
+    let* tm = tile Dim.M and* tk = tile Dim.K and* tl = tile Dim.L in
+    let* oi = int_range 0 5 in
+    let order = List.nth Order.all oi in
+    return (op, Schedule.make (Tiling.make op ~m:tm ~k:tk ~l:tl) order))
+
+let print_case (op, s) =
+  Printf.sprintf "%s under %s" (Matmul.to_string op) (Schedule.to_string s)
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+let prop_cost_matches_sim =
+  QCheck.Test.make ~count:800 ~name:"closed-form traffic == simulated traffic"
+    arb_case (fun (op, s) ->
+      let analytic = Cost.eval op s in
+      let simulated = Sim.eval op s in
+      analytic.a.traffic = simulated.a.traffic
+      && analytic.b.traffic = simulated.b.traffic
+      && analytic.c.traffic = simulated.c.traffic)
+
+let prop_fetches_match_sim =
+  QCheck.Test.make ~count:800 ~name:"closed-form fetches == simulated fetches"
+    arb_case (fun (op, s) ->
+      let analytic = Cost.eval op s in
+      let simulated = Sim.eval op s in
+      analytic.a.fetches = simulated.a.fetches
+      && analytic.b.fetches = simulated.b.fetches
+      && analytic.c.fetches = simulated.c.fetches)
+
+let prop_revisit_matches_sim =
+  QCheck.Test.make ~count:500 ~name:"revisit factor == max simulated refetch"
+    arb_case (fun (op, s) ->
+      let analytic = Cost.eval op s in
+      let simulated = Sim.eval op s in
+      analytic.a.revisit = simulated.a.revisit
+      && analytic.b.revisit = simulated.b.revisit
+      && analytic.c.revisit = simulated.c.revisit)
+
+let prop_sim_macs_exact =
+  QCheck.Test.make ~count:500 ~name:"simulated nest covers all MACs" arb_case
+    (fun (op, s) -> Sim.macs op s = Matmul.macs op)
+
+let prop_traffic_lower_bound =
+  QCheck.Test.make ~count:500 ~name:"traffic >= ideal lower bound" arb_case
+    (fun (op, s) -> (Cost.eval op s).total >= Matmul.ideal_ma op)
+
+(* ------------------------------------------------------------------ *)
+(* Fused pair model                                                    *)
+
+let fused_pair () =
+  let op1 = Matmul.make ~name:"mm1" ~m:16 ~k:8 ~l:12 () in
+  let op2 = Matmul.make ~name:"mm2" ~m:16 ~k:12 ~l:8 () in
+  Fused.make_pair_exn op1 op2
+
+let test_fused_pair_validation () =
+  let op1 = Matmul.make ~m:16 ~k:8 ~l:12 () in
+  check_bool "wrong M" true
+    (Result.is_error (Fused.make_pair op1 (Matmul.make ~m:8 ~k:12 ~l:8 ())));
+  check_bool "wrong K" true
+    (Result.is_error (Fused.make_pair op1 (Matmul.make ~m:16 ~k:9 ~l:8 ())))
+
+let os_is_fused pair =
+  let { Fused.op1; op2 } = pair in
+  let producer =
+    Schedule.make
+      (Tiling.make op1 ~m:4 ~k:1 ~l:4)
+      (Order.make ~outer:Dim.M ~mid:Dim.L ~inner:Dim.K)
+  in
+  let consumer =
+    Schedule.make
+      (Tiling.make op2 ~m:4 ~k:4 ~l:1)
+      (Order.make ~outer:Dim.M ~mid:Dim.K ~inner:Dim.L)
+  in
+  { Fused.producer; consumer }
+
+let test_fused_valid_os_is () =
+  let pair = fused_pair () in
+  let f = os_is_fused pair in
+  (match Fused.validate pair f with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid: %a" Fused.pp_invalid e);
+  (* C tile shared once in the footprint *)
+  check_int "footprint"
+    (Schedule.footprint f.producer + Schedule.footprint f.consumer - (4 * 4))
+    (Fused.footprint f);
+  (* traffic = A + B of producer plus D + E of consumer; C free *)
+  let prod = Cost.eval pair.op1 f.producer in
+  let cons = Cost.eval pair.op2 f.consumer in
+  check_int "traffic"
+    (prod.a.traffic + prod.b.traffic + cons.b.traffic + cons.c.traffic)
+    (Fused.traffic pair f)
+
+let test_fused_rejects_redundant_c () =
+  let pair = fused_pair () in
+  let { Fused.op1; op2 } = pair in
+  (* producer with C revisited: K outermost, tiled *)
+  let producer =
+    Schedule.make
+      (Tiling.make op1 ~m:4 ~k:2 ~l:4)
+      (Order.make ~outer:Dim.K ~mid:Dim.M ~inner:Dim.L)
+  in
+  let consumer = (os_is_fused pair).Fused.consumer in
+  (match Fused.validate pair { Fused.producer; consumer } with
+  | Error (Fused.Intermediate_redundant `Producer) -> ()
+  | Ok () -> Alcotest.fail "expected redundant producer"
+  | Error e -> Alcotest.failf "unexpected: %a" Fused.pp_invalid e);
+  (* consumer with A revisited *)
+  let producer = (os_is_fused pair).Fused.producer in
+  let consumer_bad =
+    Schedule.make
+      (Tiling.make op2 ~m:4 ~k:4 ~l:2)
+      (Order.make ~outer:Dim.L ~mid:Dim.M ~inner:Dim.K)
+  in
+  match Fused.validate pair { Fused.producer; consumer = consumer_bad } with
+  | Error (Fused.Intermediate_redundant `Consumer) -> ()
+  | Ok () -> Alcotest.fail "expected redundant consumer"
+  | Error e -> Alcotest.failf "unexpected: %a" Fused.pp_invalid e
+
+let test_fused_rejects_tile_mismatch () =
+  let pair = fused_pair () in
+  let { Fused.op2; _ } = pair in
+  let f = os_is_fused pair in
+  let consumer =
+    Schedule.make
+      (Tiling.make op2 ~m:8 ~k:4 ~l:1)
+      (Order.make ~outer:Dim.M ~mid:Dim.K ~inner:Dim.L)
+  in
+  match Fused.validate pair { f with Fused.consumer } with
+  | Error Fused.Tile_mismatch -> ()
+  | Ok () -> Alcotest.fail "expected tile mismatch"
+  | Error e -> Alcotest.failf "unexpected: %a" Fused.pp_invalid e
+
+let test_fused_rejects_order_mismatch () =
+  let pair = fused_pair () in
+  let { Fused.op2; _ } = pair in
+  let f = os_is_fused pair in
+  (* consumer walks K-major while producer walks M-major *)
+  let consumer =
+    Schedule.make
+      (Tiling.make op2 ~m:4 ~k:4 ~l:1)
+      (Order.make ~outer:Dim.K ~mid:Dim.M ~inner:Dim.L)
+  in
+  match Fused.validate pair { f with Fused.consumer } with
+  | Error Fused.Order_mismatch -> ()
+  | Ok () -> Alcotest.fail "expected order mismatch"
+  | Error e -> Alcotest.failf "unexpected: %a" Fused.pp_invalid e
+
+let test_fused_resident_ignores_order () =
+  let pair = fused_pair () in
+  let { Fused.op1; op2 } = pair in
+  (* whole C on-chip on both sides; orders deliberately mismatched *)
+  let producer =
+    Schedule.make
+      (Tiling.make op1 ~m:16 ~k:1 ~l:12)
+      (Order.make ~outer:Dim.M ~mid:Dim.L ~inner:Dim.K)
+  in
+  let consumer =
+    Schedule.make
+      (Tiling.make op2 ~m:16 ~k:12 ~l:1)
+      (Order.make ~outer:Dim.K ~mid:Dim.M ~inner:Dim.L)
+  in
+  match Fused.validate pair { Fused.producer; consumer } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "resident C should ignore order: %a" Fused.pp_invalid e
+
+let test_fused_eval_buffer_limit () =
+  let pair = fused_pair () in
+  let f = os_is_fused pair in
+  let tiny = Buffer.make 8 in
+  check_bool "buffer too small" true (Result.is_error (Fused.eval pair f tiny));
+  let big = Buffer.make 4096 in
+  match Fused.eval pair f big with
+  | Ok traffic -> check_int "eval traffic" (Fused.traffic pair f) traffic
+  | Error e -> Alcotest.fail e
+
+let test_fused_beats_unfused_here () =
+  let pair = fused_pair () in
+  let f = os_is_fused pair in
+  let s1 = f.Fused.producer and s2 = f.Fused.consumer in
+  check_bool "fusion saves the intermediate" true
+    (Fused.traffic pair f < Fused.unfused_traffic pair s1 s2)
+
+
+(* ------------------------------------------------------------------ *)
+(* Movement description                                                *)
+
+let test_movement_output_stationary () =
+  let op = Matmul.make ~m:16 ~k:16 ~l:16 () in
+  let s =
+    Schedule.make
+      (Tiling.make op ~m:4 ~k:1 ~l:4)
+      (Order.make ~outer:Dim.M ~mid:Dim.L ~inner:Dim.K)
+  in
+  (* C tile stays while K sweeps A and B *)
+  (match Movement.motion op s Operand.C with
+  | Movement.Swept dims ->
+    check_bool "C only on its own loops" true
+      (not (List.exists (Dim.equal Dim.K) dims))
+  | Movement.Stationary -> Alcotest.fail "C has 16 tiles");
+  (match Movement.motion op s Operand.A with
+  | Movement.Swept dims -> check_bool "A swept by K" true (List.exists (Dim.equal Dim.K) dims)
+  | Movement.Stationary -> Alcotest.fail "A moves");
+  let text = Movement.describe op s in
+  check_bool "mentions loop nest" true (String.length text > 40)
+
+let test_movement_fully_resident () =
+  let op = Matmul.make ~m:4 ~k:4 ~l:4 () in
+  let s = Schedule.make (Tiling.full op) (List.hd Order.all) in
+  List.iter
+    (fun x ->
+      check_bool "all stationary" true (Movement.motion op s x = Movement.Stationary))
+    Operand.all
+
+let qsuite =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
+    [ prop_cost_matches_sim; prop_fetches_match_sim; prop_revisit_matches_sim;
+      prop_sim_macs_exact; prop_traffic_lower_bound ]
+
+let () =
+  Alcotest.run "loopnest"
+    [ ( "buffer", [ Alcotest.test_case "capacity" `Quick test_buffer ] );
+      ( "tiling",
+        [ Alcotest.test_case "basics" `Quick test_tiling;
+          Alcotest.test_case "with_dim" `Quick test_tiling_update ] );
+      ( "order", [ Alcotest.test_case "basics" `Quick test_order ] );
+      ( "cost",
+        [ Alcotest.test_case "paper Eq.1 (output stationary)" `Quick test_eq1;
+          Alcotest.test_case "paper Eq.3 (untiled K)" `Quick test_eq3;
+          Alcotest.test_case "unbounded buffer is ideal" `Quick
+            test_everything_fits;
+          Alcotest.test_case "partial-sum penalty" `Quick
+            test_partial_sum_penalty;
+          Alcotest.test_case "at least one NRA operand" `Quick
+            test_at_least_one_nra ] );
+      ( "fused",
+        [ Alcotest.test_case "pair validation" `Quick test_fused_pair_validation;
+          Alcotest.test_case "valid OS-IS fusion" `Quick test_fused_valid_os_is;
+          Alcotest.test_case "rejects redundant intermediate" `Quick
+            test_fused_rejects_redundant_c;
+          Alcotest.test_case "rejects tile mismatch" `Quick
+            test_fused_rejects_tile_mismatch;
+          Alcotest.test_case "rejects order mismatch" `Quick
+            test_fused_rejects_order_mismatch;
+          Alcotest.test_case "resident C ignores order" `Quick
+            test_fused_resident_ignores_order;
+          Alcotest.test_case "buffer capacity enforced" `Quick
+            test_fused_eval_buffer_limit;
+          Alcotest.test_case "fusion saves intermediate traffic" `Quick
+            test_fused_beats_unfused_here ] );
+      ( "movement",
+        [ Alcotest.test_case "output stationary" `Quick
+            test_movement_output_stationary;
+          Alcotest.test_case "fully resident" `Quick test_movement_fully_resident ] );
+      ("properties", qsuite) ]

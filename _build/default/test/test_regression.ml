@@ -1,0 +1,101 @@
+(* Golden regression tests: lock the reproduced headline numbers so a
+   model change that silently shifts the paper comparison fails CI.
+   Tolerances are deliberately loose (a few percentage points) — these
+   guard the story, not the last digit. *)
+
+open Fusecu_loopnest
+open Fusecu_arch
+open Fusecu_workloads
+open Fusecu_util
+
+let check_bool = Alcotest.(check bool)
+
+let buf = Buffer.of_kib 512
+
+let evals =
+  lazy
+    (List.map
+       (fun model ->
+         ( model,
+           List.map
+             (fun p ->
+               match Perf.eval_workload p buf (Workload.of_model model) with
+               | Ok e -> (p.Platform.name, e)
+               | Error e -> Alcotest.fail e)
+             Platform.all ))
+       Zoo.all)
+
+let geomean_vs baseline =
+  let ratios =
+    List.map
+      (fun (_, evals) ->
+        Perf.ma_ratio (List.assoc "FuseCU" evals) (List.assoc baseline evals))
+      (Lazy.force evals)
+  in
+  Stats.geomean ratios
+
+let speedup_vs baseline =
+  let speeds =
+    List.map
+      (fun (_, evals) ->
+        Perf.speedup (List.assoc "FuseCU" evals) (List.assoc baseline evals))
+      (Lazy.force evals)
+  in
+  Stats.geomean speeds
+
+let within name value lo hi =
+  check_bool
+    (Printf.sprintf "%s = %.3f within [%.3f, %.3f]" name value lo hi)
+    true
+    (value >= lo && value <= hi)
+
+(* Paper: 63.6% / 62.4% / 38.7% MA savings. *)
+let test_ma_savings () =
+  within "saving vs TPUv4i" (1. -. geomean_vs "TPUv4i") 0.58 0.70;
+  within "saving vs Gemmini" (1. -. geomean_vs "Gemmini") 0.58 0.70;
+  within "saving vs Planaria" (1. -. geomean_vs "Planaria") 0.32 0.45
+
+(* Paper: 1.33x / 1.25x / 1.14x speedups. *)
+let test_speedups () =
+  within "speedup vs TPUv4i" (speedup_vs "TPUv4i") 1.15 1.45;
+  within "speedup vs Gemmini" (speedup_vs "Gemmini") 1.15 1.40;
+  within "speedup vs Planaria" (speedup_vs "Planaria") 1.03 1.25
+
+(* Paper: 12.0% area overhead, < 0.1% interconnect. *)
+let test_area () =
+  let b = Area.fusecu_breakdown () in
+  within "area overhead" b.overhead_pct 0.10 0.14;
+  check_bool "interconnect < 0.1%" true (b.interconnect_pct < 0.001)
+
+(* Paper Fig. 11: the advantage grows with sequence length. *)
+let test_fig11_monotone_tail () =
+  let ratio seq =
+    let w = Workload.of_model (Sweep.llama2_at seq) in
+    match
+      (Perf.eval_workload Platform.fusecu buf w,
+       Perf.eval_workload Platform.tpu_v4i buf w)
+    with
+    | Ok f, Ok t -> Perf.ma_ratio f t
+    | _ -> Alcotest.fail "eval failed"
+  in
+  let r1 = ratio 1024 and r4 = ratio 4096 and r16 = ratio 16384 in
+  check_bool "monotone improvement" true (r16 < r4 && r4 < r1);
+  within "16K ratio" r16 0.15 0.40
+
+(* The worked example is exact, not banded. *)
+let test_worked_example_exact () =
+  let open Fusecu_tensor in
+  let open Fusecu_core in
+  let op = Matmul.make ~name:"bert" ~m:1024 ~k:768 ~l:768 () in
+  let plan = Intra.optimize_exn ~mode:Mode.Divisors op (Buffer.of_kib 512) in
+  Alcotest.(check int) "T_M" 512 (Tiling.get plan.schedule.tiling Dim.M);
+  Alcotest.(check int) "MA(B)" (2 * 768 * 768) plan.cost.b.traffic
+
+let () =
+  Alcotest.run "regression"
+    [ ( "headline numbers",
+        [ Alcotest.test_case "Fig. 10 MA savings" `Quick test_ma_savings;
+          Alcotest.test_case "Fig. 10 speedups" `Quick test_speedups;
+          Alcotest.test_case "Fig. 12 area" `Quick test_area;
+          Alcotest.test_case "Fig. 11 tail" `Quick test_fig11_monotone_tail;
+          Alcotest.test_case "worked example" `Quick test_worked_example_exact ] ) ]

@@ -1,0 +1,453 @@
+open Fusecu_rtl
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mat_eq name a b =
+  if not (Matrix.equal a b) then
+    Alcotest.failf "%s: matrices differ:\n%s\nvs\n%s" name
+      (Format.asprintf "%a" Matrix.pp a)
+      (Format.asprintf "%a" Matrix.pp b)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix                                                              *)
+
+let test_matrix_mul () =
+  let a = Matrix.make ~rows:2 ~cols:3 (fun i j -> (i * 3) + j) in
+  let b = Matrix.make ~rows:3 ~cols:2 (fun i j -> (i * 2) + j) in
+  let c = Matrix.mul a b in
+  (* [[0 1 2];[3 4 5]] x [[0 1];[2 3];[4 5]] = [[10 13];[28 40]] *)
+  check_int "c00" 10 (Matrix.get c 0 0);
+  check_int "c01" 13 (Matrix.get c 0 1);
+  check_int "c10" 28 (Matrix.get c 1 0);
+  check_int "c11" 40 (Matrix.get c 1 1);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Matrix.mul: dimension mismatch")
+    (fun () -> ignore (Matrix.mul a a))
+
+let test_matrix_transpose () =
+  let a = Matrix.random ~seed:1 ~rows:4 ~cols:7 () in
+  mat_eq "involutive" a (Matrix.transpose (Matrix.transpose a));
+  check_int "rows" 7 (Matrix.rows (Matrix.transpose a))
+
+let test_matrix_random_deterministic () =
+  let a = Matrix.random ~seed:5 ~rows:3 ~cols:3 () in
+  let b = Matrix.random ~seed:5 ~rows:3 ~cols:3 () in
+  mat_eq "same seed" a b;
+  let c = Matrix.random ~seed:6 ~rows:3 ~cols:3 () in
+  check_bool "different seed differs" false (Matrix.equal a c)
+
+(* ------------------------------------------------------------------ *)
+(* XS PE                                                               *)
+
+let test_pe_os_mode () =
+  let pe = Xs_pe.create () in
+  Xs_pe.set_mode pe Xs_pe.Os;
+  let out = Xs_pe.step pe { Xs_pe.a_in = 3; b_in = 4; ps_in = 99 } in
+  check_int "acc" 12 (Xs_pe.acc pe);
+  check_int "a forwarded" 3 out.Xs_pe.a_out;
+  check_int "b forwarded" 4 out.Xs_pe.b_out;
+  check_int "no ps in OS" 0 out.Xs_pe.ps_out;
+  ignore (Xs_pe.step pe { Xs_pe.a_in = 2; b_in = 5; ps_in = 0 });
+  check_int "accumulates" 22 (Xs_pe.acc pe)
+
+let test_pe_stationary_mode () =
+  let pe = Xs_pe.create () in
+  Xs_pe.set_mode pe Xs_pe.Stationary;
+  Xs_pe.load_stationary pe 7;
+  let out = Xs_pe.step pe { Xs_pe.a_in = 0; b_in = 3; ps_in = 10 } in
+  check_int "ps = ps_in + held*b" 31 out.Xs_pe.ps_out;
+  check_int "acc untouched" 0 (Xs_pe.acc pe)
+
+let test_pe_promote () =
+  let pe = Xs_pe.create () in
+  Xs_pe.set_mode pe Xs_pe.Os;
+  ignore (Xs_pe.step pe { Xs_pe.a_in = 6; b_in = 7; ps_in = 0 });
+  Xs_pe.promote_acc pe;
+  check_int "held = old acc" 42 (Xs_pe.stationary pe);
+  check_int "acc cleared" 0 (Xs_pe.acc pe)
+
+(* ------------------------------------------------------------------ *)
+(* Systolic engines vs reference                                       *)
+
+let test_os_exact () =
+  let array = Systolic.create ~rows:6 ~cols:5 in
+  let a = Matrix.random ~seed:11 ~rows:4 ~cols:7 () in
+  let b = Matrix.random ~seed:12 ~rows:7 ~cols:5 () in
+  let cycles = Systolic.run_os array ~a ~b in
+  check_int "cycle formula" (Systolic.os_cycles ~m:4 ~k:7 ~l:5) cycles;
+  check_int "cycle value" (7 + 4 + 5 - 2) cycles;
+  mat_eq "OS == reference" (Matrix.mul a b) (Systolic.read_acc array ~rows:4 ~cols:5)
+
+let test_is_exact () =
+  let array = Systolic.create ~rows:5 ~cols:6 in
+  let s = Matrix.random ~seed:21 ~rows:5 ~cols:6 () in
+  let d = Matrix.random ~seed:22 ~rows:6 ~cols:4 () in
+  let e, cycles = Systolic.run_is array ~s ~d in
+  check_int "cycle formula" (Systolic.stream_cycles array ~m:5 ~n:4) cycles;
+  mat_eq "IS == reference" (Matrix.mul s d) e
+
+let test_ws_exact () =
+  let array = Systolic.create ~rows:8 ~cols:8 in
+  let a = Matrix.random ~seed:31 ~rows:5 ~cols:8 () in
+  let b = Matrix.random ~seed:32 ~rows:8 ~cols:6 () in
+  let c, _cycles = Systolic.run_ws array ~a ~b in
+  mat_eq "WS == reference" (Matrix.mul a b) c
+
+let test_tile_fusion_primitive () =
+  (* OS then promote then stream: (A x B) x D with no reload of C *)
+  let array = Systolic.create ~rows:6 ~cols:6 in
+  let a = Matrix.random ~seed:41 ~rows:6 ~cols:5 () in
+  let b = Matrix.random ~seed:42 ~rows:5 ~cols:6 () in
+  let d = Matrix.random ~seed:43 ~rows:6 ~cols:3 () in
+  ignore (Systolic.run_os array ~a ~b);
+  Systolic.promote array;
+  let e, _ = Systolic.run_stream array ~m:6 ~d in
+  mat_eq "promoted chain" (Matrix.mul (Matrix.mul a b) d) e
+
+let test_os_rejects_oversize () =
+  let array = Systolic.create ~rows:2 ~cols:2 in
+  let a = Matrix.random ~seed:1 ~rows:3 ~cols:2 () in
+  let b = Matrix.random ~seed:2 ~rows:2 ~cols:2 () in
+  Alcotest.check_raises "too tall" (Invalid_argument "Systolic.run_os: tile too large")
+    (fun () -> ignore (Systolic.run_os array ~a ~b))
+
+let prop_os_matches_reference =
+  QCheck.Test.make ~count:60 ~name:"systolic OS == reference product"
+    (QCheck.make
+       ~print:(fun (m, k, l, seed) -> Printf.sprintf "m=%d k=%d l=%d seed=%d" m k l seed)
+       QCheck.Gen.(
+         let* m = int_range 1 10 and* k = int_range 1 10 and* l = int_range 1 10 in
+         let* seed = int_range 0 1000 in
+         return (m, k, l, seed)))
+    (fun (m, k, l, seed) ->
+      let array = Systolic.create ~rows:m ~cols:l in
+      let a = Matrix.random ~seed ~rows:m ~cols:k () in
+      let b = Matrix.random ~seed:(seed + 1) ~rows:k ~cols:l () in
+      ignore (Systolic.run_os array ~a ~b);
+      Matrix.equal (Matrix.mul a b) (Systolic.read_acc array ~rows:m ~cols:l))
+
+let prop_is_matches_reference =
+  QCheck.Test.make ~count:60 ~name:"systolic IS == reference product"
+    (QCheck.make
+       ~print:(fun (m, q, n, seed) -> Printf.sprintf "m=%d q=%d n=%d seed=%d" m q n seed)
+       QCheck.Gen.(
+         let* m = int_range 1 10 and* q = int_range 1 10 and* n = int_range 1 10 in
+         let* seed = int_range 0 1000 in
+         return (m, q, n, seed)))
+    (fun (m, q, n, seed) ->
+      let array = Systolic.create ~rows:m ~cols:q in
+      let s = Matrix.random ~seed ~rows:m ~cols:q () in
+      let d = Matrix.random ~seed:(seed + 1) ~rows:q ~cols:n () in
+      let e, _ = Systolic.run_is array ~s ~d in
+      Matrix.equal (Matrix.mul s d) e)
+
+(* ------------------------------------------------------------------ *)
+(* FuseCU cluster                                                      *)
+
+let cluster = Fusecu_sim.create ~n:8 ()
+
+let test_shapes () =
+  Alcotest.(check (pair int int)) "square" (8, 8)
+    (Fusecu_sim.logical_shape cluster Fusecu_sim.Square);
+  Alcotest.(check (pair int int)) "narrow2" (16, 8)
+    (Fusecu_sim.logical_shape cluster Fusecu_sim.Narrow2);
+  Alcotest.(check (pair int int)) "wide4" (8, 32)
+    (Fusecu_sim.logical_shape cluster Fusecu_sim.Wide4);
+  Alcotest.(check (pair int int)) "big square" (16, 16)
+    (Fusecu_sim.logical_shape cluster Fusecu_sim.Big_square);
+  check_int "cus square" 1 (Fusecu_sim.cus_used Fusecu_sim.Square);
+  check_int "cus wide2" 2 (Fusecu_sim.cus_used Fusecu_sim.Wide2);
+  check_int "cus big" 4 (Fusecu_sim.cus_used Fusecu_sim.Big_square)
+
+let test_run_mm_all_configs () =
+  List.iter
+    (fun config ->
+      let rows, cols = Fusecu_sim.logical_shape cluster config in
+      let a = Matrix.random ~seed:51 ~rows ~cols:5 () in
+      let b = Matrix.random ~seed:52 ~rows:5 ~cols () in
+      match Fusecu_sim.run_mm cluster config ~a ~b with
+      | Ok (c, cycles) ->
+        mat_eq (Fusecu_sim.config_name config) (Matrix.mul a b) c;
+        check_bool "cycles positive" true (cycles > 0)
+      | Error e -> Alcotest.fail e)
+    Fusecu_sim.all_configs
+
+let test_tile_fused_all_configs () =
+  List.iter
+    (fun config ->
+      let rows, cols = Fusecu_sim.logical_shape cluster config in
+      let a = Matrix.random ~seed:61 ~rows ~cols:4 () in
+      let b = Matrix.random ~seed:62 ~rows:4 ~cols () in
+      let d = Matrix.random ~seed:63 ~rows:cols ~cols:3 () in
+      match Fusecu_sim.run_tile_fused cluster config ~a ~b ~d with
+      | Ok (e, cycles) ->
+        mat_eq (Fusecu_sim.config_name config) (Matrix.mul (Matrix.mul a b) d) e;
+        check_bool "cycles account for both phases" true (cycles > 0)
+      | Error e -> Alcotest.fail e)
+    Fusecu_sim.all_configs
+
+let test_column_fused_all_configs () =
+  List.iter
+    (fun config ->
+      let rows, _cols = Fusecu_sim.logical_shape cluster config in
+      (* producer holds A (m x k); stream B; consume with D *)
+      let m = rows and k = 4 and l1 = 9 and l2 = 5 in
+      let a = Matrix.random ~seed:71 ~rows:m ~cols:k () in
+      let b = Matrix.random ~seed:72 ~rows:k ~cols:l1 () in
+      let d = Matrix.random ~seed:73 ~rows:l1 ~cols:l2 () in
+      match Fusecu_sim.run_column_fused cluster config ~a ~b ~d with
+      | Ok (e, cycles) ->
+        mat_eq (Fusecu_sim.config_name config) (Matrix.mul (Matrix.mul a b) d) e;
+        check_bool "cycles positive" true (cycles > 0)
+      | Error e -> Alcotest.fail e)
+    [ Fusecu_sim.Square; Fusecu_sim.Wide2; Fusecu_sim.Narrow2 ]
+
+let test_fused_rejects_oversize () =
+  let a = Matrix.random ~seed:81 ~rows:20 ~cols:4 () in
+  let b = Matrix.random ~seed:82 ~rows:4 ~cols:8 () in
+  let d = Matrix.random ~seed:83 ~rows:8 ~cols:3 () in
+  check_bool "tile fusion oversize" true
+    (Result.is_error (Fusecu_sim.run_tile_fused cluster Fusecu_sim.Square ~a ~b ~d));
+  check_bool "column fusion oversize" true
+    (Result.is_error
+       (Fusecu_sim.run_column_fused cluster Fusecu_sim.Square ~a ~b ~d))
+
+let test_tile_fusion_cycle_accounting () =
+  (* the fused run must not be slower than the two phases plus the
+     configuration flip, and must beat two separate OS passes that
+     would reload the intermediate *)
+  let config = Fusecu_sim.Square in
+  let a = Matrix.random ~seed:91 ~rows:8 ~cols:6 () in
+  let b = Matrix.random ~seed:92 ~rows:6 ~cols:8 () in
+  let d = Matrix.random ~seed:93 ~rows:8 ~cols:8 () in
+  match Fusecu_sim.run_tile_fused cluster config ~a ~b ~d with
+  | Error e -> Alcotest.fail e
+  | Ok (_, fused_cycles) ->
+    let phase1 = Systolic.os_cycles ~m:8 ~k:6 ~l:8 in
+    let array = Systolic.create ~rows:8 ~cols:8 in
+    let phase2 = Systolic.stream_cycles array ~m:8 ~n:8 in
+    check_int "fused = phase1 + 1 + phase2" (phase1 + 1 + phase2) fused_cycles
+
+
+(* ------------------------------------------------------------------ *)
+(* Configuration controller                                            *)
+
+let test_controller_tile_fused () =
+  let array = Systolic.create ~rows:8 ~cols:8 in
+  let a = Matrix.random ~seed:101 ~rows:8 ~cols:5 () in
+  let b = Matrix.random ~seed:102 ~rows:5 ~cols:8 () in
+  let d = Matrix.random ~seed:103 ~rows:8 ~cols:4 () in
+  match Controller.execute array (Controller.tile_fused_program ~a ~b ~d) with
+  | Error e -> Alcotest.fail e
+  | Ok trace ->
+    check_int "six commands" 6 trace.commands_run;
+    (match trace.outputs with
+    | [ e ] -> mat_eq "program result" (Matrix.mul (Matrix.mul a b) d) e
+    | _ -> Alcotest.fail "expected one output");
+    check_bool "cycles positive" true (trace.cycles > 0)
+
+let test_controller_unfused_matches_and_costs_more () =
+  let array = Systolic.create ~rows:8 ~cols:8 in
+  let a = Matrix.random ~seed:111 ~rows:8 ~cols:6 () in
+  let b = Matrix.random ~seed:112 ~rows:6 ~cols:8 () in
+  let d = Matrix.random ~seed:113 ~rows:8 ~cols:8 () in
+  let reference = Matrix.mul (Matrix.mul a b) d in
+  let fused =
+    match Controller.execute array (Controller.tile_fused_program ~a ~b ~d) with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let unfused =
+    match Controller.execute array (Controller.unfused_program ~a ~b ~d) with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  (match unfused.outputs with
+  | [ e ] -> mat_eq "unfused result" reference e
+  | _ -> Alcotest.fail "expected one output");
+  (match fused.outputs with
+  | [ e ] -> mat_eq "fused result" reference e
+  | _ -> Alcotest.fail "expected one output");
+  check_bool "fusion is not slower on-array" true
+    (fused.cycles <= unfused.cycles)
+
+let test_controller_error_propagates () =
+  let array = Systolic.create ~rows:2 ~cols:2 in
+  let a = Matrix.random ~seed:1 ~rows:4 ~cols:2 () in
+  let b = Matrix.random ~seed:2 ~rows:2 ~cols:2 () in
+  match
+    Controller.execute array [ Controller.Clear; Controller.Run_os { a; b } ]
+  with
+  | Error msg ->
+    check_bool "names the failing command" true
+      (String.length msg > 0 && msg.[8] = '1')
+  | Ok _ -> Alcotest.fail "expected an error"
+
+
+(* ------------------------------------------------------------------ *)
+(* Requantization (Fig. 6's quantized-result mux)                      *)
+
+let test_requant_basics () =
+  let r = Requant.make ~multiplier:1 ~shift:1 in
+  check_int "halving rounds to nearest" 3 (Requant.apply r 5);
+  check_int "negative symmetric" (-3) (Requant.apply r (-5));
+  check_int "saturates high" 127 (Requant.apply Requant.identity 1000);
+  check_int "saturates low" (-128) (Requant.apply Requant.identity (-1000));
+  Alcotest.check_raises "bad multiplier"
+    (Invalid_argument "Requant.make: multiplier out of range") (fun () ->
+      ignore (Requant.make ~multiplier:40000 ~shift:0))
+
+let test_requant_of_scale () =
+  List.iter
+    (fun scale ->
+      let r = Requant.of_scale scale in
+      let got = Requant.effective_scale r in
+      check_bool
+        (Printf.sprintf "scale %.4f approximated (got %.5f)" scale got)
+        true
+        (Float.abs (got -. scale) /. scale < 0.001))
+    [ 1.0; 0.5; 0.1; 1. /. 127.; 0.003 ];
+  Alcotest.check_raises "zero scale"
+    (Invalid_argument "Requant.of_scale: scale must be in (0, 1]") (fun () ->
+      ignore (Requant.of_scale 0.))
+
+let prop_requant_close_to_real =
+  QCheck.Test.make ~count:300 ~name:"requant within one ulp of the real scale"
+    (QCheck.make
+       ~print:(fun (v, s) -> Printf.sprintf "v=%d scale=%.4f" v s)
+       QCheck.Gen.(
+         let* v = int_range (-100000) 100000 in
+         let* s = float_range 0.001 1.0 in
+         return (v, s)))
+    (fun (v, scale) ->
+      let r = Requant.of_scale scale in
+      let exact =
+        Fusecu_util.Arith.clamp ~lo:(-128) ~hi:127
+          (int_of_float (Float.round (float_of_int v *. scale)))
+      in
+      abs (Requant.apply r v - exact) <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Softmax unit                                                        *)
+
+let softmax = Softmax_unit.create ()
+
+let test_softmax_rows () =
+  (* a uniform row maps to equal probabilities *)
+  let uniform = Softmax_unit.apply_row softmax [| 5; 5; 5; 5 |] in
+  Array.iter (fun p -> check_int "uniform" uniform.(0) p) uniform;
+  check_bool "quarter each" true (abs (uniform.(0) - 32) <= 2);
+  (* a dominant logit takes nearly all the mass *)
+  let peaked = Softmax_unit.apply_row softmax [| 500; 0; 0; 0 |] in
+  check_bool "winner take most" true (peaked.(0) > 120);
+  check_bool "losers near zero" true (peaked.(1) <= 2);
+  (* empty row *)
+  check_int "empty" 0 (Array.length (Softmax_unit.apply_row softmax [||]))
+
+let prop_softmax_accuracy =
+  QCheck.Test.make ~count:200 ~name:"softmax unit within 3 int8 units of float"
+    (QCheck.make
+       ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+       QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let row = Array.init 16 (fun _ -> Random.State.int rng 512 - 256) in
+      Softmax_unit.max_row_error softmax row <= 3)
+
+let prop_softmax_mass_conserved =
+  QCheck.Test.make ~count:200 ~name:"softmax outputs sum to ~127"
+    (QCheck.make
+       ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+       QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let rng = Random.State.make [| seed + 77 |] in
+      let row = Array.init 12 (fun _ -> Random.State.int rng 256 - 128) in
+      let out = Softmax_unit.apply_row softmax row in
+      let total = Array.fold_left ( + ) 0 out in
+      abs (total - 127) <= 12)
+
+(* ------------------------------------------------------------------ *)
+(* Fused attention pipeline                                            *)
+
+let test_attention_pipeline () =
+  let q = Matrix.random ~seed:201 ~rows:16 ~cols:8 () in
+  let k = Matrix.random ~seed:202 ~rows:16 ~cols:8 () in
+  let v = Matrix.random ~seed:203 ~rows:16 ~cols:8 () in
+  match Attention_pipeline.run ~q ~k ~v () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check_bool "close to the float reference" true (r.max_abs_error <= 3);
+    check_bool "cycles cover three phases" true (r.cycles > 16);
+    check_int "output shape rows" 16 (Matrix.rows r.output);
+    check_int "output shape cols" 8 (Matrix.cols r.output)
+
+let test_attention_pipeline_rejects_oversize () =
+  let q = Matrix.random ~seed:1 ~rows:64 ~cols:8 () in
+  check_bool "seq too large" true
+    (Result.is_error (Attention_pipeline.run ~n:32 ~q ~k:q ~v:q ()))
+
+let test_attention_reference_shape () =
+  let q = Matrix.random ~seed:5 ~rows:8 ~cols:4 () in
+  let reference = Attention_pipeline.reference ~q ~k:q ~v:q in
+  check_int "rows" 8 (Matrix.rows reference);
+  check_int "cols" 4 (Matrix.cols reference);
+  (* outputs are convex combinations of int8 values *)
+  Array.iter
+    (Array.iter (fun x -> check_bool "int8 range" true (x >= -128 && x <= 127)))
+    reference
+
+let qsuite =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
+    [ prop_os_matches_reference; prop_is_matches_reference;
+      prop_requant_close_to_real; prop_softmax_accuracy;
+      prop_softmax_mass_conserved ]
+
+let () =
+  Alcotest.run "rtl"
+    [ ( "matrix",
+        [ Alcotest.test_case "mul" `Quick test_matrix_mul;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "random deterministic" `Quick
+            test_matrix_random_deterministic ] );
+      ( "xs-pe",
+        [ Alcotest.test_case "OS datapath" `Quick test_pe_os_mode;
+          Alcotest.test_case "stationary datapath" `Quick test_pe_stationary_mode;
+          Alcotest.test_case "promote (tile-fusion trick)" `Quick test_pe_promote ] );
+      ( "systolic",
+        [ Alcotest.test_case "OS exact" `Quick test_os_exact;
+          Alcotest.test_case "IS exact" `Quick test_is_exact;
+          Alcotest.test_case "WS exact" `Quick test_ws_exact;
+          Alcotest.test_case "tile-fusion primitive" `Quick
+            test_tile_fusion_primitive;
+          Alcotest.test_case "rejects oversize" `Quick test_os_rejects_oversize ] );
+      ( "fusecu",
+        [ Alcotest.test_case "logical shapes" `Quick test_shapes;
+          Alcotest.test_case "plain MM on all configs" `Quick
+            test_run_mm_all_configs;
+          Alcotest.test_case "tile fusion on all configs" `Quick
+            test_tile_fused_all_configs;
+          Alcotest.test_case "column fusion" `Quick test_column_fused_all_configs;
+          Alcotest.test_case "rejects oversize tiles" `Quick
+            test_fused_rejects_oversize;
+          Alcotest.test_case "cycle accounting" `Quick
+            test_tile_fusion_cycle_accounting ] );
+      ( "requant",
+        [ Alcotest.test_case "basics" `Quick test_requant_basics;
+          Alcotest.test_case "of_scale" `Quick test_requant_of_scale ] );
+      ( "softmax-unit",
+        [ Alcotest.test_case "rows" `Quick test_softmax_rows ] );
+      ( "attention-pipeline",
+        [ Alcotest.test_case "fused attention accurate" `Quick
+            test_attention_pipeline;
+          Alcotest.test_case "rejects oversize" `Quick
+            test_attention_pipeline_rejects_oversize;
+          Alcotest.test_case "reference shape" `Quick
+            test_attention_reference_shape ] );
+      ( "controller",
+        [ Alcotest.test_case "tile-fused program" `Quick test_controller_tile_fused;
+          Alcotest.test_case "unfused round trip" `Quick
+            test_controller_unfused_matches_and_costs_more;
+          Alcotest.test_case "error propagation" `Quick
+            test_controller_error_propagates ] );
+      ("properties", qsuite) ]

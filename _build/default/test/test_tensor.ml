@@ -1,0 +1,212 @@
+open Fusecu_tensor
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let dim_t : Dim.t Alcotest.testable = Alcotest.testable Dim.pp Dim.equal
+
+let operand_t : Operand.t Alcotest.testable =
+  Alcotest.testable Operand.pp Operand.equal
+
+let test_dim_other () =
+  Alcotest.check dim_t "MK->L" Dim.L (Dim.other Dim.M Dim.K);
+  Alcotest.check dim_t "LK->M" Dim.M (Dim.other Dim.L Dim.K);
+  Alcotest.check dim_t "ML->K" Dim.K (Dim.other Dim.M Dim.L);
+  Alcotest.check_raises "equal" (Invalid_argument "Dim.other: equal dimensions")
+    (fun () -> ignore (Dim.other Dim.M Dim.M))
+
+let test_operand_dims () =
+  List.iter
+    (fun operand ->
+      let d1, d2 = Operand.dims operand in
+      let free = Operand.free_dim operand in
+      check_bool "free not in dims" true
+        (not (Dim.equal free d1) && not (Dim.equal free d2));
+      Alcotest.check operand_t "of_free_dim inverts" operand
+        (Operand.of_free_dim free);
+      check_bool "uses own dims" true
+        (Operand.uses_dim operand d1 && Operand.uses_dim operand d2);
+      check_bool "not free dim" false (Operand.uses_dim operand free))
+    Operand.all
+
+let test_with_dim () =
+  Alcotest.(check (list (Alcotest.testable Operand.pp Operand.equal)))
+    "K used by A,B" [ Operand.A; Operand.B ] (Operand.with_dim Dim.K);
+  Alcotest.(check (list (Alcotest.testable Operand.pp Operand.equal)))
+    "M used by A,C" [ Operand.A; Operand.C ] (Operand.with_dim Dim.M)
+
+let test_stationary_names () =
+  Alcotest.(check string) "A" "IS" (Operand.stationary_name Operand.A);
+  Alcotest.(check string) "B" "WS" (Operand.stationary_name Operand.B);
+  Alcotest.(check string) "C" "OS" (Operand.stationary_name Operand.C)
+
+let bert = Matmul.make ~name:"bert" ~m:1024 ~k:768 ~l:768 ()
+
+let test_matmul_basics () =
+  check_int "dim M" 1024 (Matmul.dim bert Dim.M);
+  check_int "A size" (1024 * 768) (Matmul.operand_size bert Operand.A);
+  check_int "B size" (768 * 768) (Matmul.operand_size bert Operand.B);
+  check_int "macs" (1024 * 768 * 768) (Matmul.macs bert);
+  check_int "ideal" ((1024 * 768 * 2) + (768 * 768)) (Matmul.ideal_ma bert);
+  let d, size = Matmul.min_dim bert in
+  Alcotest.check dim_t "min dim is K" Dim.K d;
+  check_int "min dim size" 768 size;
+  let operand, size = Matmul.min_operand bert in
+  Alcotest.check operand_t "min operand is B" Operand.B operand;
+  check_int "min operand size" (768 * 768) size
+
+let test_matmul_validation () =
+  Alcotest.check_raises "zero dim"
+    (Invalid_argument "Matmul.make: dimensions must be >= 1") (fun () ->
+      ignore (Matmul.make ~m:0 ~k:1 ~l:1 ()))
+
+let test_transpose () =
+  let t = Matmul.transpose bert in
+  check_int "M<->L" 768 (Matmul.dim t Dim.M);
+  check_int "L<->M" 1024 (Matmul.dim t Dim.L);
+  check_int "K fixed" 768 (Matmul.dim t Dim.K);
+  check_int "macs invariant" (Matmul.macs bert) (Matmul.macs t);
+  check_int "ideal invariant" (Matmul.ideal_ma bert) (Matmul.ideal_ma t)
+
+let qk = Matmul.make ~name:"qk" ~m:128 ~k:64 ~l:128 ()
+
+let sv = Matmul.make ~name:"sv" ~m:128 ~k:128 ~l:64 ()
+
+let test_chain_ok () =
+  let chain = Chain.make_exn [ qk; sv ] in
+  check_int "length" 2 (Chain.length chain);
+  check_int "pairs" 1 (List.length (Chain.pairs chain));
+  Alcotest.(check (list int)) "intermediates" [ 128 * 128 ]
+    (Chain.intermediates chain);
+  check_int "macs" (Matmul.macs qk + Matmul.macs sv) (Chain.total_macs chain);
+  check_int "unfused bound"
+    (Matmul.ideal_ma qk + Matmul.ideal_ma sv)
+    (Chain.ideal_ma_unfused chain);
+  check_int "fused bound"
+    (Matmul.ideal_ma qk + Matmul.ideal_ma sv - (2 * 128 * 128))
+    (Chain.ideal_ma_fused chain)
+
+let test_chain_reject () =
+  let bad_m = Matmul.make ~m:64 ~k:128 ~l:64 () in
+  check_bool "mismatched M" true (Result.is_error (Chain.make [ qk; bad_m ]));
+  let bad_k = Matmul.make ~m:128 ~k:999 ~l:64 () in
+  check_bool "mismatched K" true (Result.is_error (Chain.make [ qk; bad_k ]));
+  check_bool "empty" true (Result.is_error (Chain.make []))
+
+let test_chain_of_dims () =
+  let chain = Chain.of_dims ~m:16 [ 4; 8; 4 ] in
+  check_int "two ops" 2 (Chain.length chain);
+  (match Chain.ops chain with
+  | [ a; b ] ->
+    check_int "op1 k" 4 (Matmul.dim a Dim.K);
+    check_int "op1 l" 8 (Matmul.dim a Dim.L);
+    check_int "op2 k" 8 (Matmul.dim b Dim.K);
+    check_int "op2 l" 4 (Matmul.dim b Dim.L)
+  | _ -> Alcotest.fail "expected two ops");
+  Alcotest.check_raises "short ks"
+    (Invalid_argument "Chain.of_dims: need at least two entries in ks")
+    (fun () -> ignore (Chain.of_dims ~m:4 [ 4 ]))
+
+
+(* ------------------------------------------------------------------ *)
+(* Convolution lowering                                                *)
+
+let conv3x3 =
+  Conv.make ~name:"c" ~n:2 ~c:16 ~h:14 ~w:14 ~k:32 ~r:3 ~s:3 ~padding:1 ()
+
+let test_conv_output_dims () =
+  check_int "same-padded height" 14 (Conv.output_height conv3x3);
+  check_int "same-padded width" 14 (Conv.output_width conv3x3);
+  let strided = Conv.make ~n:1 ~c:3 ~h:224 ~w:224 ~k:64 ~r:7 ~s:7 ~stride:2 ~padding:3 () in
+  check_int "resnet stem height" 112 (Conv.output_height strided)
+
+let test_conv_lowering () =
+  let mm = Conv.to_matmul conv3x3 in
+  check_int "M = n*p*q" (2 * 14 * 14) (Matmul.dim mm Dim.M);
+  check_int "K = c*r*s" (16 * 3 * 3) (Matmul.dim mm Dim.K);
+  check_int "L = k" 32 (Matmul.dim mm Dim.L);
+  check_int "macs agree" (Conv.macs conv3x3) (Matmul.macs mm)
+
+let test_conv_inflation () =
+  check_bool "3x3 inflates" true (Conv.im2col_inflation conv3x3 > 1.0);
+  let pointwise = Conv.make ~n:1 ~c:64 ~h:8 ~w:8 ~k:128 ~r:1 ~s:1 () in
+  Alcotest.(check (float 1e-9)) "1x1 does not inflate" 1.0
+    (Conv.im2col_inflation pointwise)
+
+let test_conv_validation () =
+  Alcotest.check_raises "kernel too large"
+    (Invalid_argument "Conv.make: kernel larger than the padded input")
+    (fun () -> ignore (Conv.make ~n:1 ~c:1 ~h:2 ~w:2 ~k:1 ~r:5 ~s:5 ()));
+  Alcotest.check_raises "bad stride"
+    (Invalid_argument "Conv.make: stride must be >= 1") (fun () ->
+      ignore (Conv.make ~stride:0 ~n:1 ~c:1 ~h:4 ~w:4 ~k:1 ~r:1 ~s:1 ()))
+
+let prop_conv_lowering_principles_apply =
+  QCheck.Test.make ~count:100 ~name:"lowered conv optimizes like any matmul"
+    (QCheck.make
+       ~print:(fun (c, h, k, r) -> Printf.sprintf "c=%d h=%d k=%d r=%d" c h k r)
+       QCheck.Gen.(
+         let* c = int_range 1 8 and* h = int_range 3 10 and* k = int_range 1 8 in
+         let* r = int_range 1 3 in
+         return (c, h, k, r)))
+    (fun (c, h, k, r) ->
+      let conv = Conv.make ~n:1 ~c ~h ~w:h ~k ~r ~s:r () in
+      let mm = Conv.to_matmul conv in
+      Matmul.macs mm = Conv.macs conv && Matmul.ideal_ma mm > 0)
+
+let gen_matmul =
+  QCheck.Gen.(
+    map3
+      (fun m k l -> Matmul.make ~m ~k ~l ())
+      (int_range 1 64) (int_range 1 64) (int_range 1 64))
+
+let arb_matmul = QCheck.make ~print:Matmul.to_string gen_matmul
+
+let prop_min_operand_smallest =
+  QCheck.Test.make ~count:300 ~name:"min_operand is smallest" arb_matmul (fun op ->
+      let _, min_size = Matmul.min_operand op in
+      List.for_all
+        (fun x -> Matmul.operand_size op x >= min_size)
+        Operand.all)
+
+let prop_ideal_is_sum =
+  QCheck.Test.make ~count:300 ~name:"ideal_ma = sum of operand sizes" arb_matmul
+    (fun op ->
+      Matmul.ideal_ma op
+      = List.fold_left (fun acc x -> acc + Matmul.operand_size op x) 0 Operand.all)
+
+let prop_transpose_involutive =
+  QCheck.Test.make ~count:300 ~name:"transpose involutive" arb_matmul (fun op ->
+      let tt = Matmul.transpose (Matmul.transpose op) in
+      Matmul.dim tt Dim.M = Matmul.dim op Dim.M
+      && Matmul.dim tt Dim.K = Matmul.dim op Dim.K
+      && Matmul.dim tt Dim.L = Matmul.dim op Dim.L)
+
+let qsuite =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
+    [ prop_min_operand_smallest; prop_ideal_is_sum; prop_transpose_involutive;
+      prop_conv_lowering_principles_apply ]
+
+let () =
+  Alcotest.run "tensor"
+    [ ( "dim",
+        [ Alcotest.test_case "other" `Quick test_dim_other ] );
+      ( "operand",
+        [ Alcotest.test_case "dims/free" `Quick test_operand_dims;
+          Alcotest.test_case "with_dim" `Quick test_with_dim;
+          Alcotest.test_case "stationary names" `Quick test_stationary_names ] );
+      ( "matmul",
+        [ Alcotest.test_case "basics" `Quick test_matmul_basics;
+          Alcotest.test_case "validation" `Quick test_matmul_validation;
+          Alcotest.test_case "transpose" `Quick test_transpose ] );
+      ( "chain",
+        [ Alcotest.test_case "valid chain" `Quick test_chain_ok;
+          Alcotest.test_case "rejects bad chains" `Quick test_chain_reject;
+          Alcotest.test_case "of_dims" `Quick test_chain_of_dims ] );
+      ( "conv",
+        [ Alcotest.test_case "output dims" `Quick test_conv_output_dims;
+          Alcotest.test_case "im2col lowering" `Quick test_conv_lowering;
+          Alcotest.test_case "inflation" `Quick test_conv_inflation;
+          Alcotest.test_case "validation" `Quick test_conv_validation ] );
+      ("properties", qsuite) ]

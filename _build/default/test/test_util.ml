@@ -1,0 +1,165 @@
+open Fusecu_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_ceil_div () =
+  check_int "exact" 4 (Arith.ceil_div 8 2);
+  check_int "round up" 5 (Arith.ceil_div 9 2);
+  check_int "one" 1 (Arith.ceil_div 1 128);
+  check_int "zero" 0 (Arith.ceil_div 0 7)
+
+let test_clamp () =
+  check_int "below" 3 (Arith.clamp ~lo:3 ~hi:9 1);
+  check_int "above" 9 (Arith.clamp ~lo:3 ~hi:9 99);
+  check_int "inside" 5 (Arith.clamp ~lo:3 ~hi:9 5)
+
+let test_isqrt () =
+  check_int "0" 0 (Arith.isqrt 0);
+  check_int "1" 1 (Arith.isqrt 1);
+  check_int "8" 2 (Arith.isqrt 8);
+  check_int "9" 3 (Arith.isqrt 9);
+  check_int "large" 1024 (Arith.isqrt (1024 * 1024));
+  check_int "large-1" 1023 (Arith.isqrt ((1024 * 1024) - 1))
+
+let prop_isqrt =
+  QCheck.Test.make ~count:500 ~name:"isqrt bounds" QCheck.(int_bound 1_000_000)
+    (fun n ->
+      let r = Arith.isqrt n in
+      r * r <= n && (r + 1) * (r + 1) > n)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Arith.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (Arith.divisors 1);
+  Alcotest.(check (list int)) "prime" [ 1; 13 ] (Arith.divisors 13);
+  Alcotest.(check (list int)) "square" [ 1; 3; 9 ] (Arith.divisors 9)
+
+let prop_divisors =
+  QCheck.Test.make ~count:200 ~name:"divisors divide" QCheck.(1 -- 5000)
+    (fun n -> List.for_all (fun d -> n mod d = 0) (Arith.divisors n))
+
+let test_pow2 () =
+  check_bool "1" true (Arith.is_pow2 1);
+  check_bool "768" false (Arith.is_pow2 768);
+  check_bool "1024" true (Arith.is_pow2 1024);
+  check_bool "0" false (Arith.is_pow2 0);
+  check_int "next 1000" 1024 (Arith.next_pow2 1000);
+  check_int "next 1024" 1024 (Arith.next_pow2 1024);
+  Alcotest.(check (list int)) "upto 9" [ 1; 2; 4; 8 ] (Arith.pow2s_upto 9)
+
+let test_misc_arith () =
+  check_int "gcd" 24 (Arith.gcd 120 72);
+  check_int "gcd zero" 7 (Arith.gcd 0 7);
+  Alcotest.(check (list int)) "range" [ 3; 4; 5 ] (Arith.range 3 5);
+  Alcotest.(check (list int)) "range empty" [] (Arith.range 5 3);
+  check_int "sum" 10 (Arith.sum [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list int)) "dedup" [ 1; 2; 5 ] (Arith.dedup_sorted [ 5; 1; 2; 1; 5 ])
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_stats () =
+  feq "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  feq "geomean" 2. (Stats.geomean [ 1.; 4. ]);
+  feq "median odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  feq "median even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ]);
+  feq "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  feq "max" 3. (Stats.maximum [ 3.; 1.; 2. ]);
+  feq "stddev const" 0. (Stats.stddev [ 2.; 2.; 2. ]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats: empty list")
+    (fun () -> ignore (Stats.mean []))
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~count:200 ~name:"geomean <= mean"
+    QCheck.(list_of_size Gen.(1 -- 10) (float_range 0.01 100.))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let test_units_pp () =
+  check_str "bytes" "768B" (Units.pp_bytes 768);
+  check_str "kb" "512KB" (Units.pp_bytes (Units.kib 512));
+  check_str "mb" "32MB" (Units.pp_bytes (Units.mib 32));
+  check_str "frac" "1.50KB" (Units.pp_bytes 1536);
+  check_str "count" "1.50K" (Units.pp_count 1500);
+  check_str "pct" "63.6%" (Units.pp_pct 0.636);
+  check_str "ratio" "1.33x" (Units.pp_ratio 1.33)
+
+let test_units_parse () =
+  let ok = Alcotest.(check (result int string)) in
+  ok "plain" (Ok 4096) (Units.parse_bytes "4096");
+  ok "kb" (Ok 524288) (Units.parse_bytes "512KB");
+  ok "kib" (Ok 524288) (Units.parse_bytes "512KiB");
+  ok "mb" (Ok 33554432) (Units.parse_bytes "32mb");
+  ok "gb" (Ok (1 lsl 30)) (Units.parse_bytes "1G");
+  check_bool "garbage" true (Result.is_error (Units.parse_bytes "lots"));
+  check_bool "empty" true (Result.is_error (Units.parse_bytes ""))
+
+let prop_units_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"parse_bytes inverts kib"
+    QCheck.(1 -- 100000)
+    (fun n -> Units.parse_bytes (string_of_int n ^ "KB") = Ok (Units.kib n))
+
+let test_table () =
+  let t =
+    Table.create [ "name"; "value" ]
+    |> fun t -> Table.add_rows t [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let rendered = Table.render t in
+  check_bool "has header" true
+    (String.length rendered > 0
+    && String.sub rendered 0 1 = "|"
+    && String.length (String.trim rendered) > 10);
+  (* all lines equally wide *)
+  let lines = String.split_on_char '\n' (String.trim rendered) in
+  let widths = List.map String.length lines in
+  check_bool "aligned" true (List.for_all (fun w -> w = List.hd widths) widths);
+  check_int "line count" 4 (List.length lines)
+
+let test_table_padding () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  let t = Table.add_row t [ "only" ] in
+  check_bool "renders" true (String.length (Table.render t) > 0);
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      ignore (Table.add_row t [ "1"; "2"; "3"; "4" ]))
+
+
+let test_csv_render () =
+  let doc =
+    Csv.create [ "a"; "b" ]
+    |> fun d -> Csv.add_rows d [ [ "1"; "2" ]; [ "x,y"; "he said \"hi\"" ] ]
+  in
+  Alcotest.(check string) "rfc4180"
+    "a,b\n1,2\n\"x,y\",\"he said \"\"hi\"\"\"\n" (Csv.render doc);
+  Alcotest.check_raises "width" (Invalid_argument "Csv.add_row: width mismatch")
+    (fun () -> ignore (Csv.add_row doc [ "only" ]))
+
+let test_csv_escape () =
+  check_str "plain" "abc" (Csv.escape "abc");
+  check_str "comma" "\"a,b\"" (Csv.escape "a,b");
+  check_str "quote" "\"a\"\"b\"" (Csv.escape "a\"b")
+
+let qsuite = List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
+  [ prop_isqrt; prop_divisors; prop_geomean_le_mean; prop_units_roundtrip ]
+
+let () =
+  Alcotest.run "util"
+    [ ( "arith",
+        [ Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "isqrt" `Quick test_isqrt;
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "misc" `Quick test_misc_arith ] );
+      ( "stats",
+        [ Alcotest.test_case "summary" `Quick test_stats ] );
+      ( "units",
+        [ Alcotest.test_case "pretty-print" `Quick test_units_pp;
+          Alcotest.test_case "parse" `Quick test_units_parse ] );
+      ( "table",
+        [ Alcotest.test_case "render" `Quick test_table;
+          Alcotest.test_case "padding" `Quick test_table_padding ] );
+      ( "csv",
+        [ Alcotest.test_case "render" `Quick test_csv_render;
+          Alcotest.test_case "escape" `Quick test_csv_escape ] );
+      ("properties", qsuite) ]

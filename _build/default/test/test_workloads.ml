@@ -1,0 +1,227 @@
+open Fusecu_tensor
+open Fusecu_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_zoo_table2 () =
+  check_int "seven models" 7 (List.length Zoo.all);
+  let check_params (m : Model.t) heads seq hidden =
+    check_int (m.name ^ " heads") heads m.heads;
+    check_int (m.name ^ " seq") seq m.seq;
+    check_int (m.name ^ " hidden") hidden m.hidden;
+    check_int (m.name ^ " batch") 16 m.batch
+  in
+  check_params Zoo.bert 12 1024 768;
+  check_params Zoo.gpt2 12 2048 768;
+  check_params Zoo.blenderbot 16 256 1024;
+  check_params Zoo.xlm 16 1024 2048;
+  check_params Zoo.deberta_v2 24 1024 1536;
+  check_params Zoo.llama2 32 4096 4096;
+  check_params Zoo.albert 64 1024 4096
+
+let test_head_dims () =
+  check_int "bert head dim" 64 (Model.head_dim Zoo.bert);
+  check_int "xlm head dim" 128 (Model.head_dim Zoo.xlm);
+  check_int "llama2 head dim" 128 (Model.head_dim Zoo.llama2);
+  check_int "albert head dim" 64 (Model.head_dim Zoo.albert)
+
+let test_model_validation () =
+  Alcotest.check_raises "indivisible"
+    (Invalid_argument "Model.make: hidden must be divisible by heads") (fun () ->
+      ignore (Model.make ~name:"x" ~heads:3 ~seq:8 ~hidden:8 ()))
+
+let test_find () =
+  check_bool "finds llama2" true (Zoo.find "llama2" <> None);
+  check_bool "case insensitive" true (Zoo.find "BERT" <> None);
+  check_bool "missing" true (Zoo.find "resnet" = None)
+
+let test_workload_structure () =
+  let w = Workload.of_model Zoo.bert in
+  (* 4 projections + attention chain + FFN chain *)
+  check_int "six items" 6 (List.length (Workload.items w));
+  check_int "two fusable chains" 2 (List.length (Workload.chains w));
+  let attention_count =
+    List.find_map
+      (function
+        | Workload.Fusable { chain; count }
+          when List.exists
+                 (fun (op : Matmul.t) -> String.length op.name >= 2 && op.k = 64)
+                 (Chain.ops chain) ->
+          Some count
+        | _ -> None)
+      (Workload.items w)
+  in
+  check_int "attention instances = batch*heads" (16 * 12)
+    (Option.value ~default:0 attention_count)
+
+let test_workload_shapes () =
+  let w = Workload.of_model Zoo.bert in
+  let ops = Workload.all_ops w in
+  (* projections are (batch*seq) x hidden x hidden *)
+  let proj =
+    List.find (fun ((op : Matmul.t), _) -> op.name = "Bert.wq") ops |> fst
+  in
+  check_int "proj M" (16 * 1024) proj.m;
+  check_int "proj K" 768 proj.k;
+  (* attention scores are seq x head_dim x seq *)
+  let qk = List.find (fun ((op : Matmul.t), _) -> op.name = "Bert.qk") ops |> fst in
+  check_int "qk M" 1024 qk.m;
+  check_int "qk K" 64 qk.k;
+  check_int "qk L" 1024 qk.l;
+  (* FFN expands by 4 *)
+  let ff1 =
+    List.find (fun ((op : Matmul.t), _) -> op.name = "Bert.ff1") ops |> fst
+  in
+  check_int "ff1 L" (4 * 768) ff1.l
+
+let test_workload_macs () =
+  let w = Workload.of_model Zoo.bert in
+  (* closed form for one encoder layer, batch 16:
+     4 projections: 4 * bs*h*h
+     attention: b*heads * 2 * seq*dh*seq
+     ffn: 2 * bs*h*4h *)
+  let bs = 16 * 1024 and h = 768 and dh = 64 and heads = 12 and seq = 1024 in
+  let expected =
+    (4 * bs * h * h)
+    + (16 * heads * 2 * seq * dh * seq)
+    + (2 * bs * h * 4 * h)
+  in
+  check_int "total macs" expected (Workload.total_macs w)
+
+let test_chains_are_valid () =
+  List.iter
+    (fun model ->
+      let w = Workload.of_model model in
+      List.iter
+        (fun (chain, count) ->
+          check_bool "positive count" true (count >= 1);
+          check_int "length 2" 2 (Chain.length chain))
+        (Workload.chains w))
+    Zoo.all
+
+let test_sweep () =
+  Alcotest.(check (list int)) "sweep points"
+    [ 256; 512; 1024; 2048; 4096; 8192; 16384 ]
+    Sweep.seq_lengths;
+  let m = Sweep.llama2_at 256 in
+  check_int "seq set" 256 m.Model.seq;
+  check_int "hidden kept" 4096 m.Model.hidden;
+  check_int "seven workloads" 7 (List.length (Sweep.workloads ()));
+  (* traffic-relevant shape: attention scores scale with seq^2 *)
+  let w = Workload.of_model m in
+  let qk =
+    List.find (fun ((op : Matmul.t), _) -> op.k = 128 && op.m = 256)
+      (Workload.all_ops w)
+    |> fst
+  in
+  check_int "qk L = seq" 256 qk.l
+
+let test_with_seq_renames () =
+  let m = Model.with_seq Zoo.llama2 8192 in
+  check_bool "name includes seq" true
+    (String.length m.Model.name > String.length Zoo.llama2.Model.name)
+
+
+let test_softmax_accounting () =
+  let m = Zoo.bert in
+  check_int "unfused = 2*b*h*seq^2" (2 * 16 * 12 * 1024 * 1024)
+    (Softmax.extra_unfused_traffic m);
+  check_int "fused is free" 0 (Softmax.fused_traffic m);
+  check_bool "meaningful fraction" true (Softmax.relative_weight m > 0.1);
+  (* longer sequences make softmax relatively heavier *)
+  check_bool "grows with seq" true
+    (Softmax.relative_weight (Sweep.llama2_at 8192)
+    > Softmax.relative_weight (Sweep.llama2_at 512))
+
+
+let test_gqa_projections () =
+  let m = Zoo.llama2_70b_gqa in
+  check_int "query heads" 64 m.Model.heads;
+  check_int "kv heads" 8 m.Model.kv_heads;
+  let w = Workload.of_model m in
+  let find name =
+    fst (List.find (fun ((op : Matmul.t), _) -> op.name = name) (Workload.all_ops w))
+  in
+  let dh = Model.head_dim m in
+  check_int "wq full width" m.Model.hidden (find "LLaMA2-70B.wq").l;
+  check_int "wk narrowed to kv heads" (8 * dh) (find "LLaMA2-70B.wk").l;
+  check_int "wv narrowed to kv heads" (8 * dh) (find "LLaMA2-70B.wv").l;
+  Alcotest.check_raises "kv must divide heads"
+    (Invalid_argument "Model.make: heads must be divisible by kv_heads")
+    (fun () ->
+      ignore (Model.make ~name:"x" ~heads:6 ~kv_heads:4 ~seq:8 ~hidden:12 ()))
+
+
+(* ------------------------------------------------------------------ *)
+(* Dependency graph                                                    *)
+
+let test_graph_structure () =
+  let g = Graph.of_model Zoo.bert in
+  check_int "six nodes" 6 (List.length (Graph.nodes g));
+  check_bool "valid" true (Result.is_ok (Graph.validate g));
+  let attention = Graph.find g 3 in
+  Alcotest.(check (list int)) "attention needs q,k,v" [ 0; 1; 2 ]
+    attention.Graph.deps;
+  check_int "macs match workload"
+    (Workload.total_macs (Workload.of_model Zoo.bert))
+    (Graph.total_macs g)
+
+let test_graph_critical_path () =
+  let g = Graph.of_model Zoo.bert in
+  let unit_cost _ = 1 in
+  (* q/k/v run in parallel: depth = proj, attention, wo, ffn = 4 *)
+  check_int "depth 4" 4 (Graph.critical_path g ~cost:unit_cost);
+  check_int "sequential 6" 6 (Graph.sequential g ~cost:unit_cost);
+  check_bool "cp <= sequential" true
+    (Graph.critical_path g ~cost:unit_cost <= Graph.sequential g ~cost:unit_cost)
+
+let test_graph_stack () =
+  let g = Graph.stack (Graph.of_model Zoo.bert) ~layers:3 in
+  check_int "three layers" 18 (List.length (Graph.nodes g));
+  check_bool "valid" true (Result.is_ok (Graph.validate g));
+  check_int "depth scales" 12 (Graph.critical_path g ~cost:(fun _ -> 1));
+  (* the second layer's projections wait for the first layer's FFN *)
+  let l1_wq = Graph.find g 6 in
+  Alcotest.(check (list int)) "cross-layer dep" [ 5 ] l1_wq.Graph.deps;
+  Alcotest.check_raises "zero layers"
+    (Invalid_argument "Graph.stack: layers must be >= 1") (fun () ->
+      ignore (Graph.stack (Graph.of_model Zoo.bert) ~layers:0))
+
+
+let test_graph_dot () =
+  let dot = Graph.to_dot (Graph.of_model Zoo.bert) in
+  let contains needle =
+    let n = String.length needle and t = String.length dot in
+    let rec scan i = i + n <= t && (String.sub dot i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "digraph" true (contains "digraph workload");
+  check_bool "attention node" true (contains "attention");
+  check_bool "edge" true (contains "n3 -> n4")
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "zoo",
+        [ Alcotest.test_case "Table II parameters" `Quick test_zoo_table2;
+          Alcotest.test_case "head dims" `Quick test_head_dims;
+          Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "find" `Quick test_find ] );
+      ( "workload",
+        [ Alcotest.test_case "structure" `Quick test_workload_structure;
+          Alcotest.test_case "operator shapes" `Quick test_workload_shapes;
+          Alcotest.test_case "mac count" `Quick test_workload_macs;
+          Alcotest.test_case "chains valid" `Quick test_chains_are_valid ] );
+      ( "graph",
+        [ Alcotest.test_case "structure" `Quick test_graph_structure;
+          Alcotest.test_case "critical path" `Quick test_graph_critical_path;
+          Alcotest.test_case "stacking" `Quick test_graph_stack;
+          Alcotest.test_case "dot export" `Quick test_graph_dot ] );
+      ( "gqa",
+        [ Alcotest.test_case "grouped-query projections" `Quick
+            test_gqa_projections ] );
+      ( "softmax",
+        [ Alcotest.test_case "traffic accounting" `Quick test_softmax_accounting ] );
+      ( "sweep",
+        [ Alcotest.test_case "llama2 sweep" `Quick test_sweep;
+          Alcotest.test_case "with_seq renames" `Quick test_with_seq_renames ] ) ]
