@@ -5,6 +5,12 @@
      dune exec bench/main.exe -- --only fig10 -- one experiment
      dune exec bench/main.exe -- --buffer 2MB -- override the Fig.10/11 buffer
      dune exec bench/main.exe -- --quick      -- trim the slow sweeps
+     dune exec bench/main.exe -- --json       -- time the DSE engine
+                                                 (seq vs parallel) and
+                                                 write BENCH_dse.json
+     dune exec bench/main.exe -- --smoke      -- tiny-op smoke of the
+                                                 bench machinery (also
+                                                 `dune build @bench-smoke`)
 
    Experiments: table1 table2 table3 example fig9 fig10 fig11 fig12
    energy ablation softmax hierarchy contention gqa chains speed;
@@ -14,7 +20,7 @@ let usage () =
   print_endline
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
-     <size>] [--quick]";
+     <size>] [--quick] [--json] [--smoke]";
   exit 1
 
 type options = {
@@ -22,11 +28,14 @@ type options = {
   buffer : Fusecu_loopnest.Buffer.t;
   quick : bool;
   csv_dir : string option;
+  json : bool;
+  smoke : bool;
 }
 
 let parse_args () =
   let only = ref None and buffer = ref Experiments.default_buffer in
   let quick = ref false and csv_dir = ref None in
+  let json = ref false and smoke = ref false in
   let rec loop = function
     | [] -> ()
     | "--only" :: tag :: rest ->
@@ -42,6 +51,12 @@ let parse_args () =
     | "--quick" :: rest ->
       quick := true;
       loop rest
+    | "--json" :: rest ->
+      json := true;
+      loop rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      loop rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
@@ -51,10 +66,19 @@ let parse_args () =
       usage ()
   in
   loop (List.tl (Array.to_list Sys.argv));
-  { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir }
+  { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
+    json = !json; smoke = !smoke }
 
 let () =
-  let { only; buffer; quick; csv_dir } = parse_args () in
+  let { only; buffer; quick; csv_dir; json; smoke } = parse_args () in
+  if smoke then begin
+    Speed.smoke ();
+    exit 0
+  end;
+  if json then begin
+    Speed.write_json ();
+    exit 0
+  end;
   let run tag f =
     match only with
     | Some t when t <> tag -> ()

@@ -1,13 +1,27 @@
 (* Optimizer wall-clock comparison (the paper's motivating claim:
-   search-based DSE is time-consuming, the principles are one-shot).
-   One Bechamel benchmark per optimization task. *)
+   search-based DSE is time-consuming, the principles are one-shot),
+   plus the sequential-vs-parallel DSE engine benchmark: every searched
+   hot path (exhaustive search, per-class search, buffer sweep, fused
+   search, workload eval) is timed on one domain and on the full pool.
+
+   [run] prints a Bechamel table; [write_json] times the same tasks with
+   a monotonic wall clock and writes BENCH_dse.json so the perf
+   trajectory is tracked across commits; [smoke] runs tiny variants of
+   everything once (and checks parallel = sequential) so the bench code
+   cannot bit-rot. *)
 
 open Fusecu_tensor
 open Fusecu_loopnest
 open Fusecu_core
 open Fusecu_dse
+
+(* bechamel's own [Bechamel.Monotonic_clock] measure shadows the raw
+   clock module once [Bechamel] is opened — alias it first *)
+module Mclock = Monotonic_clock
+
 open Bechamel
 open Toolkit
+module Pool = Fusecu_util.Pool
 
 let bert = Matmul.make ~name:"bert-proj" ~m:1024 ~k:768 ~l:768 ()
 
@@ -18,30 +32,167 @@ let attention_pair =
     (Matmul.make ~name:"qk" ~m:1024 ~k:64 ~l:1024 ())
     (Matmul.make ~name:"sv" ~m:1024 ~k:1024 ~l:64 ())
 
+(* ------------------------------------------------------------------ *)
+(* The DSE engine tasks, parameterized by pool so each runs both ways  *)
+
+type task = { name : string; run : pool:Pool.t -> unit }
+
+let dse_tasks ~op ~buf ~pair ~fused_buf ~model ~sweep_bytes =
+  let workload = Fusecu_workloads.Workload.of_model model in
+  [ { name = "exhaustive-search";
+      run = (fun ~pool -> ignore (Exhaustive.search ~pool op buf)) };
+    { name = "best-per-class";
+      run = (fun ~pool -> ignore (Exhaustive.best_per_class ~pool op buf)) };
+    { name = "buffer-sweep";
+      run = (fun ~pool -> ignore (Buffer_sweep.run ~pool op ~bytes:sweep_bytes)) };
+    { name = "fused-search";
+      run = (fun ~pool -> ignore (Fused_search.exhaustive ~pool pair fused_buf)) };
+    { name = "workload-eval";
+      run =
+        (fun ~pool ->
+          ignore
+            (Fusecu_arch.Perf.eval_workload ~pool Fusecu_arch.Platform.fusecu buf
+               workload)) } ]
+
+let paper_tasks () =
+  dse_tasks ~op:bert ~buf ~pair:attention_pair ~fused_buf:(Buffer.of_kib 64)
+    ~model:Fusecu_workloads.Zoo.bert
+    ~sweep_bytes:
+      (Buffer_sweep.geometric ~from_bytes:(32 * 1024)
+         ~to_bytes:(8 * 1024 * 1024) ~steps_per_octave:2 ())
+
+let tiny_tasks () =
+  dse_tasks
+    ~op:(Matmul.make ~name:"tiny" ~m:64 ~k:48 ~l:36 ())
+    ~buf:(Buffer.make 2048)
+    ~pair:
+      (Fused.make_pair_exn
+         (Matmul.make ~name:"qk" ~m:16 ~k:4 ~l:16 ())
+         (Matmul.make ~name:"sv" ~m:16 ~k:16 ~l:4 ()))
+    ~fused_buf:(Buffer.make 512)
+    ~model:
+      (Fusecu_workloads.Model.make ~name:"tiny" ~batch:1 ~heads:2 ~seq:32
+         ~hidden:32 ())
+    ~sweep_bytes:(Buffer_sweep.geometric ~from_bytes:256 ~to_bytes:4096 ())
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock timing (monotonic; Sys.time would count CPU time across
+   all domains and hide any parallel speedup)                          *)
+
+let time_ns ?(repeats = 3) f =
+  f ();
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Mclock.now () in
+    f ();
+    let dt = Int64.to_float (Int64.sub (Mclock.now ()) t0) in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let pp_time ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let measure_tasks ?repeats tasks =
+  let pool = Pool.get_global () in
+  List.map
+    (fun t ->
+      let seq_ns = time_ns ?repeats (fun () -> t.run ~pool:Pool.sequential) in
+      let par_ns = time_ns ?repeats (fun () -> t.run ~pool) in
+      (t.name, seq_ns, par_ns))
+    tasks
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_dse.json                                                      *)
+
+let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
+    () =
+  let domains = Pool.size (Pool.get_global ()) in
+  let rows = measure_tasks ?repeats tasks in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"tasks\": [\n" domains;
+  List.iteri
+    (fun i (name, seq_ns, par_ns) ->
+      Printf.fprintf oc
+        "    {\"task\": %S, \"seq_ns\": %.0f, \"par_ns\": %.0f, \"speedup\": \
+         %.3f}%s\n"
+        name seq_ns par_ns (seq_ns /. par_ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d domains):\n" path domains;
+  List.iter
+    (fun (name, seq_ns, par_ns) ->
+      Printf.printf "  %-18s seq %-10s par %-10s speedup %.2fx\n" name
+        (pp_time seq_ns) (pp_time par_ns) (seq_ns /. par_ns))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: run every task once on tiny inputs, check parallel results
+   match sequential ones, and exercise the JSON writer                 *)
+
+let smoke () =
+  let tasks = tiny_tasks () in
+  let pool = Pool.get_global () in
+  List.iter
+    (fun t ->
+      t.run ~pool:Pool.sequential;
+      t.run ~pool;
+      Printf.printf "smoke: %-18s ok\n" t.name)
+    tasks;
+  let op = Matmul.make ~m:64 ~k:48 ~l:36 () in
+  let b = Buffer.make 2048 in
+  (match
+     ( Exhaustive.search ~pool:Pool.sequential op b,
+       Exhaustive.search ~pool op b )
+   with
+  | Some s, Some p
+    when Schedule.equal s.schedule p.schedule
+         && s.cost.Cost.total = p.cost.Cost.total && s.explored = p.explored ->
+    Printf.printf "smoke: parallel search = sequential search (explored %d)\n"
+      s.explored
+  | _ -> failwith "smoke: parallel and sequential search disagree");
+  let json = Filename.temp_file "fusecu_bench" ".json" in
+  write_json ~path:json ~repeats:1 ~tasks ();
+  Sys.remove json;
+  Printf.printf "smoke: bench ok (%d domains)\n" (Pool.size pool)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel table: principles vs searched baselines, seq vs par        *)
+
 let tests =
+  let engine =
+    List.concat_map
+      (fun t ->
+        [ Test.make
+            ~name:(t.name ^ " (1 domain)")
+            (Staged.stage (fun () -> t.run ~pool:Pool.sequential));
+          Test.make
+            ~name:
+              (Printf.sprintf "%s (%d domains)" t.name
+                 (Pool.size (Pool.get_global ())))
+            (Staged.stage (fun () -> t.run ~pool:(Pool.get_global ()))) ])
+      (paper_tasks ())
+  in
   Test.make_grouped ~name:"optimizers"
-    [ Test.make ~name:"intra/principles (one-shot)"
-        (Staged.stage (fun () -> ignore (Intra.optimize bert buf : _ result)));
-      Test.make ~name:"intra/exhaustive-DSE (divisors)"
-        (Staged.stage (fun () ->
-             ignore (Exhaustive.search bert buf : Exhaustive.result option)));
-      Test.make ~name:"intra/genetic-DSE (DAT proxy)"
-        (Staged.stage (fun () ->
-             ignore (Genetic.search bert buf : Exhaustive.result option)));
-      Test.make ~name:"fusion/principles (one-shot)"
-        (Staged.stage (fun () ->
-             ignore (Fusion.plan_pair attention_pair buf : _ result)));
-      Test.make ~name:"fusion/genetic-DSE (DAT proxy)"
-        (Staged.stage (fun () ->
-             ignore
-               (Fused_search.genetic attention_pair buf
-                 : Fused_search.result option)));
-      Test.make ~name:"arch/FuseCU workload eval (BERT layer)"
-        (Staged.stage (fun () ->
-             ignore
-               (Fusecu_arch.Perf.eval_workload Fusecu_arch.Platform.fusecu buf
-                  (Fusecu_workloads.Workload.of_model Fusecu_workloads.Zoo.bert)
-                 : _ result))) ]
+    ([ Test.make ~name:"intra/principles (one-shot)"
+         (Staged.stage (fun () -> ignore (Intra.optimize bert buf : _ result)));
+       Test.make ~name:"intra/genetic-DSE (DAT proxy)"
+         (Staged.stage (fun () ->
+              ignore (Genetic.search bert buf : Exhaustive.result option)));
+       Test.make ~name:"fusion/principles (one-shot)"
+         (Staged.stage (fun () ->
+              ignore (Fusion.plan_pair attention_pair buf : _ result)));
+       Test.make ~name:"fusion/genetic-DSE (DAT proxy)"
+         (Staged.stage (fun () ->
+              ignore
+                (Fused_search.genetic attention_pair buf
+                  : Fused_search.result option))) ]
+    @ engine)
 
 let run () =
   Printf.printf "\n=== Optimizer timing (Bechamel) ===\n\n";
@@ -67,12 +218,6 @@ let run () =
   let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !rows in
   let t = Fusecu_util.Table.create [ "Optimizer"; "time/run"; "vs fastest" ] in
   let fastest = match sorted with (_, ns) :: _ -> ns | [] -> 1. in
-  let pp_time ns =
-    if ns < 1e3 then Printf.sprintf "%.0fns" ns
-    else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
-    else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
-    else Printf.sprintf "%.2fs" (ns /. 1e9)
-  in
   let t =
     Fusecu_util.Table.add_rows t
       (List.map
@@ -83,4 +228,6 @@ let run () =
   Fusecu_util.Table.print t;
   Printf.printf
     "\nThe principle-based optimizer is one-shot; the searched baselines\n\
-     evaluate thousands of schedules (the paper's motivation).\n"
+     evaluate thousands of schedules (the paper's motivation). The\n\
+     \"(N domains)\" rows run the same search on the domain pool\n\
+     (FUSECU_DOMAINS overrides the size).\n"

@@ -170,19 +170,32 @@ let plan_chain_segments ?mode (p : Platform.t) buf ~elt_bytes ~count chain =
     in
     loop [] ops
 
-let eval_workload ?mode ?(elt_bytes = 1) (p : Platform.t) buf workload =
-  let rec eval_items acc = function
-    | [] -> Ok (List.rev acc)
-    | Workload.Single_op { op; count } :: rest -> (
-      match plan_op ?mode p buf op with
-      | Ok plan -> eval_items (solo_segment p ~elt_bytes ~count plan :: acc) rest
-      | Error e -> Error e)
-    | Workload.Fusable { chain; count } :: rest -> (
-      match plan_chain_segments ?mode p buf ~elt_bytes ~count chain with
-      | Ok segments -> eval_items (List.rev_append segments acc) rest
-      | Error e -> Error e)
+let eval_workload ?mode ?(elt_bytes = 1) ?pool (p : Platform.t) buf workload =
+  (* workload items (layers) are planned independently, one per pool
+     chunk; the in-order combine below keeps the segment order and the
+     first-error-wins behaviour of the sequential path *)
+  let items = Array.of_list (Workload.items workload) in
+  let planned =
+    Fusecu_util.Pool.parallel_map ?pool
+      (function
+        | Workload.Single_op { op; count } ->
+          Result.map
+            (fun plan -> [ solo_segment p ~elt_bytes ~count plan ])
+            (plan_op ?mode p buf op)
+        | Workload.Fusable { chain; count } ->
+          plan_chain_segments ?mode p buf ~elt_bytes ~count chain)
+      items
   in
-  match eval_items [] (Workload.items workload) with
+  let combined =
+    Array.fold_left
+      (fun acc item ->
+        match (acc, item) with
+        | Error _, _ -> acc
+        | Ok acc, Ok segments -> Ok (List.rev_append segments acc)
+        | Ok _, Error e -> Error e)
+      (Ok []) planned
+  in
+  match Result.map List.rev combined with
   | Error e -> Error e
   | Ok segments ->
     let total f = Fusecu_util.Arith.sum (List.map f segments) in

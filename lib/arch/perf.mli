@@ -43,11 +43,14 @@ type eval = {
   utilization : float;  (** achieved MACs / (peak x cycles) *)
 }
 
-val eval_workload : ?mode:Mode.t -> ?elt_bytes:int -> Platform.t -> Buffer.t
-  -> Workload.t -> (eval, string) result
+val eval_workload :
+  ?mode:Mode.t -> ?elt_bytes:int -> ?pool:Fusecu_util.Pool.t -> Platform.t
+  -> Buffer.t -> Workload.t -> (eval, string) result
 (** Plan and cost a full workload: standalone operators through
     {!plan_op}; fusable chains through the fusion planner when the
-    platform supports fusion, and operator-by-operator otherwise. *)
+    platform supports fusion, and operator-by-operator otherwise.
+    Items (layers) are planned in parallel on the pool (default: the
+    global pool); the result is independent of the domain count. *)
 
 val ma_ratio : eval -> eval -> float
 (** [ma_ratio a b] is [a.traffic / b.traffic] — memory access of [a]

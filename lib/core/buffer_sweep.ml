@@ -2,19 +2,24 @@ open Fusecu_loopnest
 
 type point = { bytes : int; ma : int; nra : Nra.t; redundancy : float }
 
-let run ?(mode = Mode.Exact) op ~bytes =
-  let sorted = Fusecu_util.Arith.dedup_sorted bytes in
-  List.filter_map
-    (fun b ->
-      match Intra.optimize ~mode op (Buffer.make b) with
-      | Error _ -> None
-      | Ok plan ->
-        Some
-          { bytes = b;
-            ma = Intra.ma plan;
-            nra = Nra.class_of plan.dataflow;
-            redundancy = Intra.redundancy plan })
-    sorted
+let run ?(mode = Mode.Exact) ?pool op ~bytes =
+  let sorted = Array.of_list (Fusecu_util.Arith.dedup_sorted bytes) in
+  (* points are independent: optimize each buffer size on its own
+     domain; parallel_map preserves the increasing-bytes order *)
+  let points =
+    Fusecu_util.Pool.parallel_map ?pool
+      (fun b ->
+        match Intra.optimize ~mode op (Buffer.make b) with
+        | Error _ -> None
+        | Ok plan ->
+          Some
+            { bytes = b;
+              ma = Intra.ma plan;
+              nra = Nra.class_of plan.dataflow;
+              redundancy = Intra.redundancy plan })
+      sorted
+  in
+  List.filter_map Fun.id (Array.to_list points)
 
 let geometric ?(from_bytes = 1024) ?(to_bytes = 32 * 1024 * 1024)
     ?(steps_per_octave = 1) () =

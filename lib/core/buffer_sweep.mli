@@ -17,9 +17,13 @@ type point = {
   redundancy : float;  (** MA over the unbounded lower bound *)
 }
 
-val run : ?mode:Mode.t -> Matmul.t -> bytes:int list -> point list
+val run :
+  ?mode:Mode.t -> ?pool:Fusecu_util.Pool.t -> Matmul.t -> bytes:int list
+  -> point list
 (** Optimize at each buffer size (infeasible points are skipped);
-    points are returned in increasing buffer order. *)
+    points are returned in increasing buffer order. Buffer sizes are
+    optimized in parallel on the pool (default: the global pool);
+    results do not depend on the domain count. *)
 
 val geometric : ?from_bytes:int -> ?to_bytes:int -> ?steps_per_octave:int ->
   unit -> int list

@@ -1,42 +1,76 @@
 open Fusecu_loopnest
 open Fusecu_core
+open Fusecu_util
 
 type result = { schedule : Schedule.t; cost : Cost.t; explored : int }
 
-let fold_space ?(lattice = Space.Divisors) op buf f init =
-  List.fold_left
-    (fun acc s -> f acc s (Cost.eval op s))
-    init
-    (Space.schedules lattice op buf)
+(* Partial bests carry the raw space index of the schedule; merging in
+   ascending chunk order with a (cost, index) comparison reproduces the
+   sequential "first strict minimum wins" rule exactly, so parallel
+   results are bit-identical to sequential ones. *)
+let merge_best a b =
+  match (a, b) with
+  | Some (_, (ca : Cost.t), ia), Some (_, (cb : Cost.t), ib) ->
+    if (ca.total, ia) <= (cb.total, ib) then a else b
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
 
-let search ?lattice op buf =
-  let best =
-    fold_space ?lattice op buf
-      (fun (best, n) schedule cost ->
-        let n = n + 1 in
-        match best with
-        | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> (best, n)
-        | _ -> (Some (schedule, cost), n))
+let search ?(lattice = Space.Divisors) ?pool op buf =
+  let space = Space.compile lattice op buf in
+  let eval_range lo hi =
+    Space.fold_range space ~lo ~hi ~init:(None, 0)
+      ~f:(fun (best, n) idx schedule ->
+        let cost = Cost.eval op schedule in
+        let best =
+          match best with
+          | Some (_, (bc : Cost.t), _) when bc.total <= cost.Cost.total -> best
+          | _ -> Some (schedule, cost, idx)
+        in
+        (best, n + 1))
+  in
+  let best, explored =
+    Pool.parallel_fold ?pool ~lo:0 ~hi:(Space.raw_size space) ~fold:eval_range
+      ~merge:(fun (b1, n1) (b2, n2) -> (merge_best b1 b2, n1 + n2))
       (None, 0)
   in
-  match best with
-  | Some (schedule, cost), explored -> Some { schedule; cost; explored }
-  | None, _ -> None
+  Option.map (fun (schedule, cost, _) -> { schedule; cost; explored }) best
 
-let best_per_class ?lattice op buf =
-  let table = Hashtbl.create 3 in
-  let explored = ref 0 in
-  fold_space ?lattice op buf
-    (fun () schedule cost ->
-      incr explored;
-      let cls = Nra.class_of (Nra.classify op schedule) in
-      match Hashtbl.find_opt table cls with
-      | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> ()
-      | _ -> Hashtbl.replace table cls (schedule, cost))
-    ();
+let best_per_class ?(lattice = Space.Divisors) ?pool op buf =
+  let space = Space.compile lattice op buf in
+  let eval_range lo hi =
+    let table = Hashtbl.create 3 in
+    let explored =
+      Space.fold_range space ~lo ~hi ~init:0 ~f:(fun n idx schedule ->
+          let cost = Cost.eval op schedule in
+          let cls = Nra.class_of (Nra.classify op schedule) in
+          (match Hashtbl.find_opt table cls with
+          | Some (_, (bc : Cost.t), _) when bc.total <= cost.Cost.total -> ()
+          | _ -> Hashtbl.replace table cls (schedule, cost, idx));
+          n + 1)
+    in
+    (table, explored)
+  in
+  let merge (t1, n1) (t2, n2) =
+    (* chunks arrive in ascending index order: a right-hand entry
+       displaces a left-hand one only on strictly lower cost, matching
+       the sequential first-seen rule *)
+    Hashtbl.iter
+      (fun cls ((_, (c2 : Cost.t), i2) as entry) ->
+        match Hashtbl.find_opt t1 cls with
+        | None -> Hashtbl.replace t1 cls entry
+        | Some (_, (c1 : Cost.t), i1) ->
+          if (c2.total, i2) < (c1.total, i1) then Hashtbl.replace t1 cls entry)
+      t2;
+    (t1, n1 + n2)
+  in
+  let table, explored =
+    Pool.parallel_fold ?pool ~lo:0 ~hi:(Space.raw_size space) ~fold:eval_range
+      ~merge
+      (Hashtbl.create 3, 0)
+  in
   List.filter_map
     (fun cls ->
       Option.map
-        (fun (schedule, cost) -> (cls, { schedule; cost; explored = !explored }))
+        (fun (schedule, cost, _) -> (cls, { schedule; cost; explored }))
         (Hashtbl.find_opt table cls))
     Nra.all

@@ -1,6 +1,15 @@
 (** Exhaustive intra-operator design-space exploration. Ground truth for
     validating the principles: on spaces small enough to enumerate, the
-    principle-built schedule must match the searched optimum. *)
+    principle-built schedule must match the searched optimum.
+
+    The space is streamed ({!Space.fold_range}) and split across the
+    domains of a {!Fusecu_util.Pool}: each domain keeps its own partial
+    best and the partials are merged in ascending index order with a
+    deterministic (cost, index) tie-break, so the parallel result —
+    schedule, cost and [explored] count — is bit-identical to the
+    sequential one. Pass [~pool:Fusecu_util.Pool.sequential] to force
+    the single-domain path; by default the global pool
+    ([FUSECU_DOMAINS]) is used. *)
 
 open Fusecu_tensor
 open Fusecu_loopnest
@@ -12,11 +21,14 @@ type result = {
   explored : int;  (** schedules evaluated *)
 }
 
-val search : ?lattice:Space.lattice -> Matmul.t -> Buffer.t -> result option
+val search :
+  ?lattice:Space.lattice -> ?pool:Fusecu_util.Pool.t -> Matmul.t -> Buffer.t
+  -> result option
 (** Best (minimum-traffic) schedule in the space; [None] when nothing
     fits the buffer. [lattice] defaults to [Divisors]. *)
 
-val best_per_class : ?lattice:Space.lattice -> Matmul.t -> Buffer.t
+val best_per_class :
+  ?lattice:Space.lattice -> ?pool:Fusecu_util.Pool.t -> Matmul.t -> Buffer.t
   -> (Nra.t * result) list
 (** Best schedule within each NRA class present in the space — used to
     verify the buffer-regime table of Sec. III-A4. *)

@@ -14,31 +14,50 @@ let consumer_candidates lattice (pair : Fused.pair) (producer : Schedule.t) buf 
       else List.map (Schedule.make tiling) Order.all)
     (Space.tile_candidates lattice op2.l)
 
-let exhaustive ?(lattice = Space.Divisors) (pair : Fused.pair) buf =
+(* Parallelized over the producer tiling index range: each chunk keeps
+   its own first-seen minimum (tagged with the producer tiling's raw
+   index) and chunks merge in ascending order with a (traffic, index)
+   tie-break — bit-identical to the sequential scan. *)
+let exhaustive ?(lattice = Space.Divisors) ?pool (pair : Fused.pair) buf =
   let { Fused.op1; _ } = pair in
-  let explored = ref 0 in
-  let best = ref None in
-  let consider fused =
-    incr explored;
-    match Fused.eval pair fused buf with
-    | Error _ -> ()
-    | Ok traffic -> (
-      match !best with
-      | Some (_, bt) when bt <= traffic -> ()
-      | _ -> best := Some (fused, traffic))
+  let space = Space.compile lattice op1 buf in
+  let eval_range lo hi =
+    let explored = ref 0 in
+    let best = ref None in
+    let consider idx fused =
+      incr explored;
+      match Fused.eval pair fused buf with
+      | Error _ -> ()
+      | Ok traffic -> (
+        match !best with
+        | Some (_, bt, _) when bt <= traffic -> ()
+        | _ -> best := Some (fused, traffic, idx))
+    in
+    Space.fold_tiling_range space ~lo ~hi ~init:() ~f:(fun () idx tiling ->
+        List.iter
+          (fun o1 ->
+            let producer = Schedule.make tiling o1 in
+            if Cost.is_nra op1 producer Operand.C then
+              List.iter
+                (fun consumer -> consider idx { Fused.producer; consumer })
+                (consumer_candidates lattice pair producer buf))
+          Order.all);
+    (!best, !explored)
   in
-  List.iter
-    (fun tiling ->
-      List.iter
-        (fun o1 ->
-          let producer = Schedule.make tiling o1 in
-          if Cost.is_nra op1 producer Operand.C then
-            List.iter
-              (fun consumer -> consider { Fused.producer; consumer })
-              (consumer_candidates lattice pair producer buf))
-        Order.all)
-    (Space.tilings lattice op1 buf);
-  Option.map (fun (fused, traffic) -> { fused; traffic; explored = !explored }) !best
+  let merge_best a b =
+    match (a, b) with
+    | Some (_, ta, ia), Some (_, tb, ib) ->
+      if (ta, ia) <= (tb, ib) then a else b
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  let best, explored =
+    Fusecu_util.Pool.parallel_fold ?pool ~lo:0 ~hi:(Space.raw_tilings space)
+      ~fold:eval_range
+      ~merge:(fun (b1, n1) (b2, n2) -> (merge_best b1 b2, n1 + n2))
+      (None, 0)
+  in
+  Option.map (fun (fused, traffic, _) -> { fused; traffic; explored }) best
 
 type genome = {
   im : int;
@@ -147,12 +166,12 @@ type verdict = {
   fusion_wins : bool;
 }
 
-let decide ?(lattice = Space.Divisors) (pair : Fused.pair) buf =
-  let fused_best = exhaustive ~lattice pair buf in
+let decide ?(lattice = Space.Divisors) ?pool (pair : Fused.pair) buf =
+  let fused_best = exhaustive ~lattice ?pool pair buf in
   let unfused_traffic =
     match
-      (Exhaustive.search ~lattice pair.Fused.op1 buf,
-       Exhaustive.search ~lattice pair.Fused.op2 buf)
+      (Exhaustive.search ~lattice ?pool pair.Fused.op1 buf,
+       Exhaustive.search ~lattice ?pool pair.Fused.op2 buf)
     with
     | Some r1, Some r2 -> Some (r1.cost.Cost.total + r2.cost.Cost.total)
     | _ -> None

@@ -11,11 +11,15 @@ type result = {
   explored : int;  (** candidate combinations evaluated *)
 }
 
-val exhaustive : ?lattice:Space.lattice -> Fused.pair -> Buffer.t -> result option
+val exhaustive :
+  ?lattice:Space.lattice -> ?pool:Fusecu_util.Pool.t -> Fused.pair -> Buffer.t
+  -> result option
 (** Best valid fused dataflow by full enumeration of producer schedules
     (with a non-redundant intermediate) joined with every compatible
     consumer completion. [None] when no valid fused dataflow exists.
-    [lattice] defaults to [Divisors]. *)
+    [lattice] defaults to [Divisors]. The producer tiling range is
+    split across the pool's domains; results are bit-identical to the
+    sequential scan (deterministic ordered merge). *)
 
 val genetic : ?params:Genetic.params -> ?lattice:Space.lattice -> Fused.pair
   -> Buffer.t -> result option
@@ -29,6 +33,8 @@ type verdict = {
   fusion_wins : bool;
 }
 
-val decide : ?lattice:Space.lattice -> Fused.pair -> Buffer.t -> verdict
+val decide :
+  ?lattice:Space.lattice -> ?pool:Fusecu_util.Pool.t -> Fused.pair -> Buffer.t
+  -> verdict
 (** Exhaustive comparison of fusing vs not fusing — the oracle used to
     validate Principle 4. *)

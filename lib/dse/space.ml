@@ -10,26 +10,125 @@ let tile_candidates lattice size =
   | Divisors -> Arith.divisors size
   | Pow2 -> Arith.dedup_sorted (size :: Arith.pow2s_upto size)
 
-let tilings lattice (op : Matmul.t) buf =
-  let capacity = Buffer.elements buf in
-  let ms = tile_candidates lattice op.m in
-  let ks = tile_candidates lattice op.k in
-  let ls = tile_candidates lattice op.l in
-  List.concat_map
-    (fun m ->
-      List.concat_map
-        (fun k ->
-          List.filter_map
-            (fun l ->
-              let t = Tiling.make op ~m ~k ~l in
-              if Tiling.footprint t <= capacity then Some t else None)
-            ls)
-        ks)
-    ms
+let n_orders = List.length Order.all
+
+type t = {
+  op : Matmul.t;
+  capacity : int;
+  ms : int array;  (* increasing *)
+  ks : int array;
+  ls : int array;
+  orders : Order.t array;
+}
+
+let compile lattice (op : Matmul.t) buf =
+  { op;
+    capacity = Buffer.elements buf;
+    ms = Array.of_list (tile_candidates lattice op.m);
+    ks = Array.of_list (tile_candidates lattice op.k);
+    ls = Array.of_list (tile_candidates lattice op.l);
+    orders = Array.of_list Order.all }
+
+let raw_tilings t = Array.length t.ms * Array.length t.ks * Array.length t.ls
+
+let raw_size t = n_orders * raw_tilings t
+
+(* Decoding a raw tiling index walks ls fastest, then ks, then ms — the
+   same order the seed's nested [concat_map] produced, so streaming
+   first-seen semantics match the old list-based enumeration. Because
+   each [(m, k)] block walks [l] in increasing order and the footprint
+   is monotone in [l], the first infeasible point of a block rules out
+   the block's remainder: the scan jumps straight to the next block, so
+   a sweep costs O(feasible points + blocks), not O(raw points). *)
+let fold_tiling_range t ~lo ~hi ~init ~f =
+  let nl = Array.length t.ls and nk = Array.length t.ks in
+  let lo = max 0 lo and hi = min (raw_tilings t) hi in
+  let acc = ref init in
+  let i = ref lo in
+  while !i < hi do
+    let il = !i mod nl in
+    let j = !i / nl in
+    let ik = j mod nk in
+    let im = j / nk in
+    let m = t.ms.(im) and k = t.ks.(ik) and l = t.ls.(il) in
+    if (m * k) + ((m + k) * l) <= t.capacity then begin
+      acc := f !acc !i (Tiling.make t.op ~m ~k ~l);
+      incr i
+    end
+    else i := (j + 1) * nl (* skip the rest of this (m, k) block *)
+  done;
+  !acc
+
+let fold_range t ~lo ~hi ~init ~f =
+  let nl = Array.length t.ls and nk = Array.length t.ks in
+  let lo = max 0 lo and hi = min (raw_size t) hi in
+  let acc = ref init in
+  let i = ref lo in
+  (* Group by tiling so each feasible tiling is decoded (and allocated)
+     once for its up-to-six contiguous order indices; infeasible (m, k)
+     blocks are skipped wholesale as in [fold_tiling_range]. *)
+  while !i < hi do
+    let ti = !i / n_orders in
+    let o_lo = !i - (ti * n_orders) in
+    let o_hi = min n_orders (o_lo + (hi - !i)) in
+    let il = ti mod nl in
+    let j = ti / nl in
+    let ik = j mod nk in
+    let im = j / nk in
+    let m = t.ms.(im) and k = t.ks.(ik) and l = t.ls.(il) in
+    if (m * k) + ((m + k) * l) <= t.capacity then begin
+      let tiling = Tiling.make t.op ~m ~k ~l in
+      for o = o_lo to o_hi - 1 do
+        acc := f !acc ((ti * n_orders) + o) (Schedule.make tiling t.orders.(o))
+      done;
+      i := (ti * n_orders) + o_hi
+    end
+    else i := (j + 1) * nl * n_orders
+  done;
+  !acc
+
+let fold lattice op buf ~init ~f =
+  let t = compile lattice op buf in
+  fold_range t ~lo:0 ~hi:(raw_size t) ~init ~f:(fun acc _ s -> f acc s)
+
+let iter lattice op buf f = fold lattice op buf ~init:() ~f:(fun () s -> f s)
+
+let tilings lattice op buf =
+  let t = compile lattice op buf in
+  List.rev
+    (fold_tiling_range t ~lo:0 ~hi:(raw_tilings t) ~init:[]
+       ~f:(fun acc _ tiling -> tiling :: acc))
 
 let schedules lattice op buf =
-  List.concat_map
-    (fun t -> List.map (Schedule.make t) Order.all)
-    (tilings lattice op buf)
+  List.rev (fold lattice op buf ~init:[] ~f:(fun acc s -> s :: acc))
 
-let size lattice op buf = 6 * List.length (tilings lattice op buf)
+(* Number of elements of the (increasing) array <= bound. *)
+let count_le arr bound =
+  let n = Array.length arr in
+  if n = 0 || bound < arr.(0) then 0
+  else begin
+    (* invariant: arr.(lo) <= bound < arr.(hi) (hi = n treated as inf) *)
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid) <= bound then lo := mid else hi := mid
+    done;
+    !lo + 1
+  end
+
+let size_compiled t =
+  (* footprint m*k + l*(m+k) <= capacity  <=>  l <= (capacity - m*k)/(m+k),
+     so per (m, k) the feasible l's are a prefix of the sorted candidate
+     list: count it with a binary search instead of enumerating. *)
+  let total = ref 0 in
+  Array.iter
+    (fun m ->
+      Array.iter
+        (fun k ->
+          let rem = t.capacity - (m * k) in
+          if rem >= m + k then total := !total + count_le t.ls (rem / (m + k)))
+        t.ks)
+    t.ms;
+  n_orders * !total
+
+let size lattice op buf = size_compiled (compile lattice op buf)

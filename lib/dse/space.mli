@@ -1,6 +1,17 @@
 (** Design-space definition for the search-based baseline optimizer (the
     DAT [15] stand-in): which tile sizes and loop orders a search may
-    visit. *)
+    visit.
+
+    The space is enumerated {e streamingly}: nothing is materialized
+    unless a caller explicitly asks for a list. A {!compile}d space
+    assigns every point a {e raw index} in
+    [\[0, raw_size)] — tilings ordered as the nested
+    [m x k x l] candidate product (l fastest), each tiling followed by
+    its six loop orders — so the space can be split into index ranges
+    and enumerated chunk-by-chunk (see {!Fusecu_util.Pool}) without ever
+    listing it. Infeasible points (footprint over capacity) are skipped
+    inline during enumeration; raw indices are stable regardless of the
+    buffer. *)
 
 open Fusecu_tensor
 open Fusecu_loopnest
@@ -15,6 +26,45 @@ val tile_candidates : lattice -> int -> int list
 (** Candidate tile sizes for a dimension of the given size, increasing,
     always containing 1 and the dimension itself. *)
 
+(** {1 Compiled spaces — streaming, partitionable} *)
+
+type t
+(** A compiled space: per-dimension candidate arrays plus the buffer
+    capacity, ready for index-range enumeration. *)
+
+val compile : lattice -> Matmul.t -> Buffer.t -> t
+
+val raw_tilings : t -> int
+(** Number of raw tiling indices ([|ms| * |ks| * |ls|], feasible or
+    not). *)
+
+val raw_size : t -> int
+(** Number of raw schedule indices ([6 x raw_tilings]). *)
+
+val fold_tiling_range :
+  t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> Tiling.t -> 'a) -> 'a
+(** Fold over the {e feasible} tilings with raw index in [\[lo, hi)]
+    (clamped to the space), in increasing index order. The footprint
+    filter runs on raw integers; a [Tiling.t] is built only for feasible
+    points. *)
+
+val fold_range :
+  t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> Schedule.t -> 'a) -> 'a
+(** Fold over the feasible schedules with raw index in [\[lo, hi)]
+    (clamped), in increasing index order; each feasible tiling is
+    decoded once for its six contiguous orders. Folding
+    [\[0, raw_size)] visits exactly the schedules {!schedules} lists,
+    in the same order. *)
+
+(** {1 Whole-space streaming} *)
+
+val fold : lattice -> Matmul.t -> Buffer.t -> init:'a -> f:('a -> Schedule.t -> 'a) -> 'a
+(** Streaming fold over the full feasible space, enumeration order. *)
+
+val iter : lattice -> Matmul.t -> Buffer.t -> (Schedule.t -> unit) -> unit
+
+(** {1 Materialized views (small spaces / tests)} *)
+
 val tilings : lattice -> Matmul.t -> Buffer.t -> Tiling.t list
 (** Every candidate tiling whose footprint fits the buffer. *)
 
@@ -22,4 +72,7 @@ val schedules : lattice -> Matmul.t -> Buffer.t -> Schedule.t list
 (** The full search space: feasible tilings x all six loop orders. *)
 
 val size : lattice -> Matmul.t -> Buffer.t -> int
-(** Number of schedules {!schedules} would enumerate. *)
+(** Number of schedules {!schedules} would enumerate — computed from the
+    per-dimension candidate lists and the footprint bound (binary search
+    over the largest feasible [l] per [(m, k)]), without enumerating
+    the space. *)

@@ -35,6 +35,57 @@ let test_space_respects_buffer () =
     (6 * List.length (Space.tilings Space.All op buf))
     (Space.size Space.All op buf)
 
+(* the counted size must equal the enumerated size on every lattice,
+   including buffers that prune most of the space *)
+let test_space_size_counts () =
+  List.iter
+    (fun (m, k, l, bytes) ->
+      let op = Matmul.make ~m ~k ~l () in
+      let buf = Buffer.make bytes in
+      List.iter
+        (fun lattice ->
+          check_int
+            (Printf.sprintf "counted = enumerated at %dx%dx%d/%d" m k l bytes)
+            (List.length (Space.schedules lattice op buf))
+            (Space.size lattice op buf))
+        [ Space.All; Space.Divisors; Space.Pow2 ])
+    [ (8, 8, 8, 50); (12, 10, 9, 3); (12, 10, 9, 60); (24, 24, 24, 300);
+      (64, 48, 36, 100_000); (7, 7, 7, 2) ]
+
+(* streaming fold = materialized list, and index-range partitioning
+   reassembles the space exactly *)
+let test_space_streaming_matches_list () =
+  let op = Matmul.make ~m:12 ~k:10 ~l:9 () in
+  let buf = Buffer.make 80 in
+  List.iter
+    (fun lattice ->
+      let listed = Space.schedules lattice op buf in
+      let streamed =
+        List.rev (Space.fold lattice op buf ~init:[] ~f:(fun acc s -> s :: acc))
+      in
+      check_int "same count" (List.length listed) (List.length streamed);
+      List.iter2
+        (fun a b -> check_bool "same schedule" true (Schedule.equal a b))
+        listed streamed;
+      (* chop the raw index range into uneven pieces: concatenation must
+         rebuild the same enumeration *)
+      let space = Space.compile lattice op buf in
+      let n = Space.raw_size space in
+      let pieces = [ (0, n / 3); (n / 3, n / 2); (n / 2, n); (n, n + 5) ] in
+      let chopped =
+        List.concat_map
+          (fun (lo, hi) ->
+            List.rev
+              (Space.fold_range space ~lo ~hi ~init:[]
+                 ~f:(fun acc _ s -> s :: acc)))
+          pieces
+      in
+      check_int "partitioned count" (List.length listed) (List.length chopped);
+      List.iter2
+        (fun a b -> check_bool "partitioned order" true (Schedule.equal a b))
+        listed chopped)
+    [ Space.All; Space.Divisors; Space.Pow2 ]
+
 (* ------------------------------------------------------------------ *)
 (* Exhaustive                                                          *)
 
@@ -74,6 +125,113 @@ let test_best_per_class () =
         max_int per_class
     in
     check_int "global = min over classes" best.cost.Cost.total min_class
+
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism: the pool-split search must return bit-identical
+   results to the sequential path — same schedule, same cost, same
+   explored count — for any domain count.                              *)
+
+let determinism_cases =
+  [ (24, 24, 24, 300, Space.All);
+    (48, 36, 60, 800, Space.Divisors);
+    (64, 64, 64, 500, Space.Pow2);
+    (96, 24, 48, 2000, Space.Divisors);
+    (4, 4, 4, 2, Space.All) (* infeasible: both sides must agree on None *) ]
+
+let with_pool n f =
+  let pool = Fusecu_util.Pool.create n in
+  Fun.protect ~finally:(fun () -> Fusecu_util.Pool.shutdown pool) (fun () ->
+      f pool)
+
+let test_parallel_search_deterministic () =
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun (m, k, l, bytes, lattice) ->
+          let op = Matmul.make ~m ~k ~l () in
+          let buf = Buffer.make bytes in
+          let seq =
+            Exhaustive.search ~lattice ~pool:Fusecu_util.Pool.sequential op buf
+          in
+          let par = Exhaustive.search ~lattice ~pool op buf in
+          match (seq, par) with
+          | None, None -> ()
+          | Some s, Some p ->
+            check_bool
+              (Printf.sprintf "same schedule at %dx%dx%d/%d" m k l bytes)
+              true
+              (Schedule.equal s.schedule p.schedule);
+            check_int "same cost" s.cost.Cost.total p.cost.Cost.total;
+            check_int "same explored" s.explored p.explored
+          | _ -> Alcotest.fail "sequential and parallel feasibility disagree")
+        determinism_cases)
+
+let test_parallel_best_per_class_deterministic () =
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun (m, k, l, bytes, lattice) ->
+          let op = Matmul.make ~m ~k ~l () in
+          let buf = Buffer.make bytes in
+          let seq =
+            Exhaustive.best_per_class ~lattice
+              ~pool:Fusecu_util.Pool.sequential op buf
+          in
+          let par = Exhaustive.best_per_class ~lattice ~pool op buf in
+          check_int "same classes" (List.length seq) (List.length par);
+          List.iter2
+            (fun (c1, (r1 : Exhaustive.result)) (c2, (r2 : Exhaustive.result)) ->
+              check_bool "same class" true (Nra.equal c1 c2);
+              check_bool "same schedule" true
+                (Schedule.equal r1.schedule r2.schedule);
+              check_int "same cost" r1.cost.Cost.total r2.cost.Cost.total;
+              check_int "same explored" r1.explored r2.explored)
+            seq par)
+        determinism_cases)
+
+let test_parallel_fused_search_deterministic () =
+  with_pool 4 (fun pool ->
+      let pair =
+        Fused.make_pair_exn
+          (Matmul.make ~name:"qk" ~m:24 ~k:6 ~l:24 ())
+          (Matmul.make ~name:"sv" ~m:24 ~k:24 ~l:6 ())
+      in
+      List.iter
+        (fun bytes ->
+          let buf = Buffer.make bytes in
+          let seq =
+            Fused_search.exhaustive ~lattice:Space.All
+              ~pool:Fusecu_util.Pool.sequential pair buf
+          in
+          let par = Fused_search.exhaustive ~lattice:Space.All ~pool pair buf in
+          match (seq, par) with
+          | None, None -> ()
+          | Some s, Some p ->
+            check_int "same traffic" s.traffic p.traffic;
+            check_int "same explored" s.explored p.explored;
+            check_bool "same producer" true
+              (Schedule.equal s.fused.Fused.producer p.fused.Fused.producer);
+            check_bool "same consumer" true
+              (Schedule.equal s.fused.Fused.consumer p.fused.Fused.consumer)
+          | _ -> Alcotest.fail "fused feasibility disagrees")
+        [ 200; 1024; 4000 ])
+
+(* the GA never touches the pool: a fixed seed must reproduce the same
+   answer whatever the global domain count is *)
+let test_genetic_ignores_domains () =
+  let op = Matmul.make ~m:48 ~k:36 ~l:60 () in
+  let buf = Buffer.make 800 in
+  Fusecu_util.Pool.set_global_size 1;
+  let a = Genetic.search op buf in
+  Fusecu_util.Pool.set_global_size 4;
+  let b = Genetic.search op buf in
+  Fusecu_util.Pool.set_global_size (Fusecu_util.Pool.default_size ());
+  match (a, b) with
+  | Some a, Some b ->
+    check_int "same traffic across domain counts" a.cost.Cost.total
+      b.cost.Cost.total;
+    check_bool "same schedule across domain counts" true
+      (Schedule.equal a.schedule b.schedule);
+    check_int "same evaluations" a.explored b.explored
+  | _ -> Alcotest.fail "GA found nothing"
 
 (* ------------------------------------------------------------------ *)
 (* Genetic                                                             *)
@@ -239,11 +397,24 @@ let () =
   Alcotest.run "dse"
     [ ( "space",
         [ Alcotest.test_case "tile candidates" `Quick test_tile_candidates;
-          Alcotest.test_case "buffer pruning" `Quick test_space_respects_buffer ] );
+          Alcotest.test_case "buffer pruning" `Quick test_space_respects_buffer;
+          Alcotest.test_case "size counted = enumerated" `Quick
+            test_space_size_counts;
+          Alcotest.test_case "streaming = list, partitionable" `Quick
+            test_space_streaming_matches_list ] );
       ( "exhaustive",
         [ Alcotest.test_case "small op" `Quick test_exhaustive_small;
           Alcotest.test_case "infeasible" `Quick test_exhaustive_infeasible;
           Alcotest.test_case "best per class" `Quick test_best_per_class ] );
+      ( "determinism",
+        [ Alcotest.test_case "parallel search = sequential" `Quick
+            test_parallel_search_deterministic;
+          Alcotest.test_case "parallel best-per-class = sequential" `Quick
+            test_parallel_best_per_class_deterministic;
+          Alcotest.test_case "parallel fused search = sequential" `Quick
+            test_parallel_fused_search_deterministic;
+          Alcotest.test_case "genetic ignores FUSECU_DOMAINS" `Quick
+            test_genetic_ignores_domains ] );
       ( "genetic",
         [ Alcotest.test_case "deterministic" `Quick test_genetic_deterministic;
           Alcotest.test_case "near optimal" `Quick test_genetic_near_optimal;

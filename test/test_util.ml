@@ -35,6 +35,45 @@ let test_divisors () =
   Alcotest.(check (list int)) "prime" [ 1; 13 ] (Arith.divisors 13);
   Alcotest.(check (list int)) "square" [ 1; 3; 9 ] (Arith.divisors 9)
 
+(* the streaming space enumerator leans on these lattices: pin down the
+   edge cases (1, primes, perfect squares, large dims) explicitly *)
+let test_divisors_edge_cases () =
+  Alcotest.(check (list int)) "2" [ 1; 2 ] (Arith.divisors 2);
+  Alcotest.(check (list int)) "large prime" [ 1; 97 ] (Arith.divisors 97);
+  Alcotest.(check (list int)) "perfect square 36"
+    [ 1; 2; 3; 4; 6; 9; 12; 18; 36 ] (Arith.divisors 36);
+  Alcotest.(check (list int)) "prime square 49" [ 1; 7; 49 ] (Arith.divisors 49);
+  check_int "768 divisor count" 18 (List.length (Arith.divisors 768));
+  check_int "1024 divisor count" 11 (List.length (Arith.divisors 1024));
+  List.iter
+    (fun n ->
+      let ds = Arith.divisors n in
+      check_bool "sorted strictly increasing" true
+        (List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length ds - 1) ds)
+           (List.tl ds));
+      check_bool "starts at 1, ends at n" true
+        (List.hd ds = 1 && List.nth ds (List.length ds - 1) = n))
+    [ 1; 2; 16; 36; 97; 360; 1024 ]
+
+let prop_divisors_pair_up =
+  QCheck.Test.make ~count:200 ~name:"d divides n iff n/d divides n"
+    QCheck.(1 -- 5000)
+    (fun n ->
+      let ds = Arith.divisors n in
+      List.for_all (fun d -> List.mem (n / d) ds) ds)
+
+let test_pow2s_edge_cases () =
+  Alcotest.(check (list int)) "upto 1" [ 1 ] (Arith.pow2s_upto 1);
+  Alcotest.(check (list int)) "upto 2" [ 1; 2 ] (Arith.pow2s_upto 2);
+  Alcotest.(check (list int)) "upto 3" [ 1; 2 ] (Arith.pow2s_upto 3);
+  Alcotest.(check (list int)) "upto exact pow2" [ 1; 2; 4; 8; 16 ]
+    (Arith.pow2s_upto 16);
+  Alcotest.(check (list int)) "upto pow2-1" [ 1; 2; 4; 8 ]
+    (Arith.pow2s_upto 15);
+  Alcotest.(check (list int)) "upto prime 97" [ 1; 2; 4; 8; 16; 32; 64 ]
+    (Arith.pow2s_upto 97);
+  check_int "upto 1024 count" 11 (List.length (Arith.pow2s_upto 1024))
+
 let prop_divisors =
   QCheck.Test.make ~count:200 ~name:"divisors divide" QCheck.(1 -- 5000)
     (fun n -> List.for_all (fun d -> n mod d = 0) (Arith.divisors n))
@@ -140,7 +179,8 @@ let test_csv_escape () =
 
 let qsuite = List.map
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
-  [ prop_isqrt; prop_divisors; prop_geomean_le_mean; prop_units_roundtrip ]
+  [ prop_isqrt; prop_divisors; prop_divisors_pair_up; prop_geomean_le_mean;
+    prop_units_roundtrip ]
 
 let () =
   Alcotest.run "util"
@@ -149,6 +189,9 @@ let () =
           Alcotest.test_case "clamp" `Quick test_clamp;
           Alcotest.test_case "isqrt" `Quick test_isqrt;
           Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "divisors edge cases" `Quick
+            test_divisors_edge_cases;
+          Alcotest.test_case "pow2s edge cases" `Quick test_pow2s_edge_cases;
           Alcotest.test_case "pow2" `Quick test_pow2;
           Alcotest.test_case "misc" `Quick test_misc_arith ] );
       ( "stats",
