@@ -11,6 +11,10 @@
      dune exec bench/main.exe -- --smoke      -- tiny-op smoke of the
                                                  bench machinery (also
                                                  `dune build @bench-smoke`)
+     dune exec bench/main.exe -- --service    -- replay the service
+                                                 fixture (cache on vs
+                                                 off) and write
+                                                 BENCH_service.json
 
    Experiments: table1 table2 table3 example fig9 fig10 fig11 fig12
    energy ablation softmax hierarchy contention gqa chains speed;
@@ -20,7 +24,7 @@ let usage () =
   print_endline
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
-     <size>] [--quick] [--json] [--smoke]";
+     <size>] [--quick] [--json] [--smoke] [--service]";
   exit 1
 
 type options = {
@@ -30,12 +34,13 @@ type options = {
   csv_dir : string option;
   json : bool;
   smoke : bool;
+  service : bool;
 }
 
 let parse_args () =
   let only = ref None and buffer = ref Experiments.default_buffer in
   let quick = ref false and csv_dir = ref None in
-  let json = ref false and smoke = ref false in
+  let json = ref false and smoke = ref false and service = ref false in
   let rec loop = function
     | [] -> ()
     | "--only" :: tag :: rest ->
@@ -57,6 +62,9 @@ let parse_args () =
     | "--smoke" :: rest ->
       smoke := true;
       loop rest
+    | "--service" :: rest ->
+      service := true;
+      loop rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
@@ -67,12 +75,16 @@ let parse_args () =
   in
   loop (List.tl (Array.to_list Sys.argv));
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
-    json = !json; smoke = !smoke }
+    json = !json; smoke = !smoke; service = !service }
 
 let () =
-  let { only; buffer; quick; csv_dir; json; smoke } = parse_args () in
+  let { only; buffer; quick; csv_dir; json; smoke; service } = parse_args () in
   if smoke then begin
     Speed.smoke ();
+    exit 0
+  end;
+  if service then begin
+    Service_replay.write_json ();
     exit 0
   end;
   if json then begin

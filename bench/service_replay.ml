@@ -1,0 +1,81 @@
+(* Replay the checked-in service fixture through the batch engine and
+   record cache effectiveness in BENCH_service.json, next to
+   BENCH_dse.json.
+
+   The replay doubles as a correctness gate: the same stream is run with
+   the plan cache enabled and disabled, and every planning response must
+   be byte-identical (only the [stats] lines may differ — with the cache
+   off its counters are legitimately different). A hit rate of zero also
+   fails: the fixture contains deliberate repeats, symmetric transposes
+   and re-spelled buffer sizes, so a cold cache means canonicalization
+   broke. *)
+
+open Fusecu_util
+open Fusecu_service
+
+let default_fixture = "test/fixtures/service_requests.ndjson"
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some l -> go (l :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let is_stats_line line =
+  match Json.parse line with
+  | Ok r -> Json.member "op" r = Some (Json.String "stats")
+  | Error _ -> false
+
+let replay ~cache_enabled lines =
+  let config =
+    { (Engine.default_config ()) with
+      cache_enabled;
+      cache_entries = (if cache_enabled then 4096 else 0) }
+  in
+  let engine = Engine.create config in
+  let t0 = Unix.gettimeofday () in
+  let responses = Engine.handle_lines engine lines in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (responses, Engine.cache_stats engine, elapsed)
+
+let write_json ?(fixture = default_fixture) ?(path = "BENCH_service.json") () =
+  let lines = read_lines fixture in
+  let cached, stats, elapsed_cached = replay ~cache_enabled:true lines in
+  let uncached, _, elapsed_uncached = replay ~cache_enabled:false lines in
+  let strip = List.filter (fun l -> not (is_stats_line l)) in
+  let identical = strip cached = strip uncached in
+  let hit_rate = Cache.hit_rate stats in
+  if not identical then
+    failwith "service replay: cache-on and cache-off responses differ";
+  if not (hit_rate > 0.) then
+    failwith "service replay: cache hit rate is zero on a fixture with repeats";
+  let json =
+    Json.Obj
+      [ ("fixture", Json.String fixture);
+        ("domains", Json.Int (Pool.size (Pool.get_global ())));
+        ("requests", Json.Int (List.length lines));
+        ("responses", Json.Int (List.length cached));
+        ( "cache",
+          Json.Obj
+            [ ("hits", Json.Int stats.Cache.hits);
+              ("misses", Json.Int stats.Cache.misses);
+              ("evictions", Json.Int stats.Cache.evictions);
+              ("entries", Json.Int stats.Cache.entries);
+              ("hit_rate", Json.Float hit_rate) ] );
+        ("identical_with_cache_off", Json.Bool identical);
+        ("elapsed_cached_s", Json.Float elapsed_cached);
+        ("elapsed_uncached_s", Json.Float elapsed_uncached) ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.print_hum json ^ "\n"));
+  Printf.printf
+    "service replay: %d requests, hit rate %.3f, cache on/off identical; wrote %s\n"
+    (List.length lines) hit_rate path

@@ -433,6 +433,87 @@ let area_cmd =
   Cmd.v (Cmd.info "area" ~doc:"FuseCU 28 nm area breakdown.") Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let run socket batch no_cache cache_entries metrics_file =
+    let default = Fusecu_service.Engine.default_config () in
+    let cache_entries =
+      match cache_entries with Some n -> max 0 n | None -> default.cache_entries
+    in
+    let config =
+      { default with
+        cache_enabled = (not no_cache) && cache_entries > 0;
+        cache_entries }
+    in
+    let engine = Fusecu_service.Engine.create config in
+    (match socket with
+    | Some path -> Fusecu_service.Server.serve_socket engine ~batch ~path
+    | None -> Fusecu_service.Server.serve_channel engine ~batch stdin stdout);
+    match metrics_file with
+    | None -> ()
+    | Some file ->
+      let dump =
+        Fusecu_util.Json.print_hum
+          (Fusecu_service.Metrics.to_json (Fusecu_service.Engine.metrics engine))
+      in
+      if file = "-" then prerr_endline dump
+      else
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc (dump ^ "\n"))
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Requests per batch: cache-miss work inside a batch runs in \
+                parallel on the domain pool; responses always come back in \
+                request order.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the plan cache (responses are bit-identical either way; \
+                this only changes how much work is recomputed).")
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Plan-cache capacity in entries (default: \
+                \\$FUSECU_CACHE_ENTRIES or 4096; 0 disables the cache).")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"On shutdown, write full metrics (counters plus latency \
+                histograms) as JSON to FILE ('-' for stderr). The in-band \
+                {\"op\":\"stats\"} request reports only the deterministic \
+                counters.")
+  in
+  let term =
+    Term.(const run $ socket $ batch $ no_cache $ cache_entries $ metrics_file)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the batched planning daemon: newline-delimited JSON requests \
+             (intra, fuse, regime, eval, chain, stats, shutdown) on stdin or \
+             a Unix socket, answered in request order through a \
+             canonicalizing plan cache.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 
 let simulate_cmd =
@@ -490,4 +571,4 @@ let () =
        (Cmd.group info
           [ intra_cmd; fuse_cmd; regime_cmd; search_cmd; eval_cmd; explain_cmd;
             trace_cmd; hierarchy_cmd; chain_cmd; sweep_cmd; graph_cmd; area_cmd;
-            simulate_cmd ]))
+            simulate_cmd; serve_cmd ]))

@@ -1,0 +1,89 @@
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a shard = {
+  mutex : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type 'a t = { shards : 'a shard array; per_shard : int; capacity : int }
+
+let create ?(shards = 8) ~capacity () =
+  if capacity < 0 then invalid_arg "Cache.create: capacity < 0";
+  let shards = if capacity = 0 then 1 else max 1 (min shards capacity) in
+  let per_shard = if capacity = 0 then 0 else (capacity + shards - 1) / shards in
+  { shards =
+      Array.init shards (fun _ ->
+          { mutex = Mutex.create ();
+            table = Hashtbl.create 64;
+            tick = 0;
+            hits = 0;
+            misses = 0;
+            evictions = 0 });
+    per_shard;
+    capacity }
+
+let capacity t = t.capacity
+
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let with_lock shard f =
+  Mutex.lock shard.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shard.mutex) f
+
+let find t key =
+  let s = shard_of t key in
+  with_lock s (fun () ->
+      match Hashtbl.find_opt s.table key with
+      | Some e ->
+        s.tick <- s.tick + 1;
+        e.stamp <- s.tick;
+        s.hits <- s.hits + 1;
+        Some e.value
+      | None ->
+        s.misses <- s.misses + 1;
+        None)
+
+let evict_lru s =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+      s.table None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove s.table k;
+    s.evictions <- s.evictions + 1
+  | None -> ()
+
+let add t key value =
+  if t.per_shard > 0 then
+    let s = shard_of t key in
+    with_lock s (fun () ->
+        if (not (Hashtbl.mem s.table key)) && Hashtbl.length s.table >= t.per_shard
+        then evict_lru s;
+        s.tick <- s.tick + 1;
+        Hashtbl.replace s.table key { value; stamp = s.tick })
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let stats t =
+  Array.fold_left
+    (fun acc s ->
+      with_lock s (fun () ->
+          { hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            entries = acc.entries + Hashtbl.length s.table }))
+    { hits = 0; misses = 0; evictions = 0; entries = 0 }
+    t.shards
+
+let hit_rate st =
+  let lookups = st.hits + st.misses in
+  if lookups = 0 then 0. else float_of_int st.hits /. float_of_int lookups

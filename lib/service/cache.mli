@@ -1,0 +1,45 @@
+(** A sharded, bounded, LRU plan cache keyed by canonical request
+    strings ({!Protocol.canonicalize}).
+
+    Sharding: keys hash to one of [shards] independent sub-caches, each
+    behind its own mutex, so concurrent lookups from worker domains only
+    contend when they collide on a shard. Capacity is global and divided
+    evenly across shards (rounded up); each shard evicts its own
+    least-recently-used entry when it overflows, so the bound is
+    per-shard [ceil (capacity / shards)] and the total never exceeds
+    [shards * ceil (capacity / shards)].
+
+    Recency is a per-shard monotonically increasing tick stamped on
+    every hit and insert; eviction scans the shard for the minimum stamp
+    (O(entries-per-shard), fine for the bounded shard sizes the service
+    uses — capacity comes from [FUSECU_CACHE_ENTRIES]).
+
+    Determinism: hit/miss/eviction behaviour depends only on the
+    sequence of [find]/[add] calls. The service engine performs all
+    cache access in its sequential drain phase, in request order, so
+    cache statistics are byte-identical across [FUSECU_DOMAINS]
+    settings. *)
+
+type 'a t
+
+val create : ?shards:int -> capacity:int -> unit -> 'a t
+(** [capacity] is the total entry bound ([>= 0]; 0 means the cache
+    stores nothing and every [find] misses). [shards] defaults to 8 and
+    is clamped to [\[1, capacity\]] when [capacity > 0]. *)
+
+val capacity : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; refreshes the entry's recency on hit and bumps the hit or
+    miss counter. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or overwrite; evicts the shard's LRU entry first when the
+    shard is full. A no-op when [capacity = 0]. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : 'a t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 when no lookups have happened. *)

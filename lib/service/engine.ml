@@ -1,0 +1,308 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_util
+
+type config = {
+  cache_enabled : bool;
+  cache_entries : int;
+  cache_shards : int;
+  pool : Pool.t option;
+}
+
+let default_cache_entries = 4096
+
+let default_config () =
+  let entries =
+    match Sys.getenv_opt "FUSECU_CACHE_ENTRIES" with
+    | Some s -> ( match int_of_string_opt s with Some n -> max 0 n | None -> default_cache_entries)
+    | None -> default_cache_entries
+  in
+  { cache_enabled = entries > 0;
+    cache_entries = entries;
+    cache_shards = 8;
+    pool = None }
+
+type t = {
+  config : config;
+  cache : Protocol.outcome Cache.t;
+  metrics : Metrics.t;
+}
+
+let create ?metrics config =
+  { config;
+    cache =
+      Cache.create ~shards:config.cache_shards
+        ~capacity:(if config.cache_enabled then config.cache_entries else 0)
+        ();
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ()) }
+
+let metrics t = t.metrics
+
+let cache_stats t = Cache.stats t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Planner dispatch                                                    *)
+
+let compute t (call : Protocol.call) :
+    (Protocol.outcome, Protocol.error_code * string) result =
+  ignore t;
+  match call with
+  | Intra { op; buffer; mode } -> (
+    match Intra.optimize ~mode op buffer with
+    | Ok plan -> Ok (Protocol.R_intra (Protocol.intra_result_of_plan plan))
+    | Error e -> Error (Protocol.Infeasible, e))
+  | Fuse { op; l2; buffer; mode } -> (
+    let op2 =
+      Matmul.make ~name:"consumer" ~m:op.Matmul.m ~k:op.Matmul.l ~l:l2 ()
+    in
+    let pair = Fused.make_pair_exn op op2 in
+    match Fusion.plan_pair ~mode pair buffer with
+    | Error e -> Error (Protocol.Infeasible, e)
+    | Ok (Fusion.Fuse { pattern; traffic; _ }) ->
+      Ok (Protocol.R_fuse (Protocol.Fused { pattern; traffic }))
+    | Ok (Fusion.No_fuse { plan1; plan2; traffic; why }) ->
+      Ok
+        (Protocol.R_fuse
+           (Protocol.Not_fused
+              { why;
+                traffic;
+                producer = Nra.class_of plan1.Intra.dataflow;
+                consumer = Nra.class_of plan2.Intra.dataflow })))
+  | Regime { op; buffer } ->
+    let regime = Regime.classify op buffer in
+    Ok
+      (Protocol.R_regime
+         { regime;
+           thresholds = Regime.thresholds op;
+           classes = Regime.expected_classes regime })
+  | Eval { model; buffer; elt_bytes; mode } -> (
+    match Fusecu_workloads.Zoo.find model with
+    | None ->
+      Error
+        ( Protocol.Unknown_model,
+          Printf.sprintf "unknown model %S (try: %s)" model
+            (String.concat ", "
+               (List.map
+                  (fun (m : Fusecu_workloads.Model.t) ->
+                    String.lowercase_ascii m.name)
+                  Fusecu_workloads.Zoo.all)) )
+    | Some model ->
+      let w = Fusecu_workloads.Workload.of_model model in
+      (* one row per platform; the nested per-layer parallelism of
+         eval_workload is forced sequential — the engine already runs
+         whole requests on worker domains *)
+      let rows =
+        List.map
+          (fun (p : Fusecu_arch.Platform.t) ->
+            match
+              Fusecu_arch.Perf.eval_workload ~mode ~elt_bytes
+                ~pool:Pool.sequential p buffer w
+            with
+            | Ok e ->
+              { Protocol.platform = p.name;
+                cells =
+                  Ok
+                    { Protocol.traffic = e.traffic;
+                      traffic_bytes = e.traffic_bytes;
+                      macs = e.macs;
+                      cycles = e.cycles;
+                      utilization = e.utilization } }
+            | Error e -> { Protocol.platform = p.name; cells = Error e })
+          Fusecu_arch.Platform.all
+      in
+      Ok (Protocol.R_eval rows))
+  | Chain { m; ks; buffer; mode } -> (
+    let chain = Chain.of_dims ~name:"chain" ~m ks in
+    match Multi_fusion.plan ~mode chain buffer with
+    | Error e -> Error (Protocol.Infeasible, e)
+    | Ok (Multi_fusion.Full_fusion { traffic; _ }) ->
+      Ok
+        (Protocol.R_chain
+           (Protocol.Full_fusion
+              { traffic; fused_bound = Chain.ideal_ma_fused chain }))
+    | Ok (Multi_fusion.Fallback plan) ->
+      let segments =
+        List.map
+          (function
+            | Planner.Solo p -> Protocol.Solo_seg (Intra.ma p)
+            | Planner.Fused_pair { pattern; traffic; _ } ->
+              Protocol.Fused_seg (Fusion.pattern_name pattern, traffic))
+          plan.Planner.segments
+      in
+      Ok
+        (Protocol.R_chain
+           (Protocol.Pairwise { traffic = plan.Planner.traffic; segments })))
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+
+(* One request slot of a batch, filled over the flush phases. *)
+type slot =
+  | Ready of string  (** response already determined (rejects) *)
+  | Hit of {
+      id : Json.t;
+      call : Protocol.call;  (** original orientation, for the echo *)
+      transform : Protocol.transform;
+      outcome : Protocol.outcome;  (** canonical orientation *)
+    }
+  | Pending of {
+      id : Json.t;
+      call : Protocol.call;
+      transform : Protocol.transform;
+      work : int;  (** index into the batch's unique work list *)
+    }
+
+let stats_result t =
+  let st = Cache.stats t.cache in
+  Json.Obj
+    [ ( "cache",
+        Json.Obj
+          [ ("enabled", Json.Bool (Cache.capacity t.cache > 0));
+            ("capacity", Json.Int (Cache.capacity t.cache));
+            ("entries", Json.Int st.entries);
+            ("hits", Json.Int st.hits);
+            ("misses", Json.Int st.misses);
+            ("evictions", Json.Int st.evictions);
+            ("coalesced", Json.Int (Metrics.get t.metrics "cache_coalesced"));
+            ("hit_rate", Json.Float (Cache.hit_rate st)) ] );
+      ("counters", Metrics.counters_json t.metrics) ]
+
+let flush t batch emit =
+  match batch with
+  | [] -> ()
+  | batch ->
+    let pool =
+      match t.config.pool with Some p -> p | None -> Pool.get_global ()
+    in
+    Metrics.incr t.metrics "batches";
+    let cache_on = Cache.capacity t.cache > 0 in
+    let work = ref [] and work_count = ref 0 in
+    let pending_by_key = Hashtbl.create 16 in
+    let enqueue canonical =
+      let key = Protocol.cache_key canonical in
+      match Hashtbl.find_opt pending_by_key key with
+      | Some i when cache_on ->
+        Metrics.incr t.metrics "cache_coalesced";
+        i
+      | _ ->
+        let i = !work_count in
+        work := canonical :: !work;
+        incr work_count;
+        if cache_on then Hashtbl.replace pending_by_key key i;
+        i
+    in
+    (* phase 1: sequential lookup, request order *)
+    let slots =
+      List.map
+        (fun item ->
+          match item with
+          | Error (reject : Protocol.reject) ->
+            Metrics.incr t.metrics "rejects";
+            Ready (Protocol.reject_response reject)
+          | Ok (id, call) -> (
+            Metrics.incr t.metrics "requests";
+            Metrics.incr t.metrics ("requests_" ^ Protocol.op_name call);
+            let canonical, transform = Protocol.canonicalize call in
+            let cached =
+              if cache_on then Cache.find t.cache (Protocol.cache_key canonical)
+              else None
+            in
+            match cached with
+            | Some outcome -> Hit { id; call; transform; outcome }
+            | None -> Pending { id; call; transform; work = enqueue canonical }))
+        batch
+    in
+    (* phase 2: parallel compute of the deduplicated work list *)
+    let work = Array.of_list (List.rev !work) in
+    let results =
+      Pool.parallel_map ~pool
+        (fun canonical ->
+          let t0 = Unix.gettimeofday () in
+          let r = compute t canonical in
+          Metrics.observe t.metrics
+            ("latency_" ^ Protocol.op_name canonical)
+            (Unix.gettimeofday () -. t0);
+          r)
+        work
+    in
+    (* phase 3: sequential drain — cache inserts then responses, in
+       request order *)
+    if cache_on then
+      Array.iteri
+        (fun i result ->
+          match result with
+          | Ok outcome -> Cache.add t.cache (Protocol.cache_key work.(i)) outcome
+          | Error _ -> ())
+        results;
+    List.iter
+      (fun slot ->
+        let line =
+          match slot with
+          | Ready line -> line
+          | Hit { id; call; transform; outcome } ->
+            Protocol.response_ok ~id ~call
+              (Protocol.apply_transform transform outcome)
+          | Pending { id; call; transform; work = i } -> (
+            match results.(i) with
+            | Ok outcome ->
+              Protocol.response_ok ~id ~call
+                (Protocol.apply_transform transform outcome)
+            | Error (code, message) ->
+              Metrics.incr t.metrics "compute_errors";
+              Protocol.response_error ~id ~code ~message)
+        in
+        emit line)
+      slots
+
+let run t ?(batch = 64) ~next ~emit () =
+  let batch_size = max 1 batch in
+  let pending = ref [] in
+  let flush_pending () =
+    flush t (List.rev !pending) emit;
+    pending := []
+  in
+  let rec loop () =
+    match next () with
+    | None -> flush_pending ()
+    | Some line -> (
+      if String.trim line = "" then loop ()
+      else
+        match Protocol.parse_line line with
+        | Ok (id, Protocol.Stats) ->
+          flush_pending ();
+          Metrics.incr t.metrics "requests";
+          Metrics.incr t.metrics "requests_stats";
+          emit (Protocol.response_ok_json ~id ~op:"stats" ~result:(stats_result t));
+          loop ()
+        | Ok (id, Protocol.Shutdown) ->
+          flush_pending ();
+          Metrics.incr t.metrics "requests";
+          Metrics.incr t.metrics "requests_shutdown";
+          emit
+            (Protocol.response_ok_json ~id ~op:"shutdown"
+               ~result:(Json.Obj [ ("stopping", Json.Bool true) ]))
+        | Ok (id, Protocol.Call call) ->
+          pending := Ok (id, call) :: !pending;
+          if List.length !pending >= batch_size then flush_pending ();
+          loop ()
+        | Error reject ->
+          pending := Error reject :: !pending;
+          if List.length !pending >= batch_size then flush_pending ();
+          loop ())
+  in
+  loop ()
+
+let handle_lines t ?batch lines =
+  let input = ref lines in
+  let out = ref [] in
+  let next () =
+    match !input with
+    | [] -> None
+    | l :: rest ->
+      input := rest;
+      Some l
+  in
+  let emit line = out := line :: !out in
+  run t ?batch ~next ~emit ();
+  List.rev !out

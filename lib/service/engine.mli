@@ -1,0 +1,72 @@
+(** The batched planning executor behind the [serve] subcommand.
+
+    The engine drains newline-delimited {!Protocol} requests, serves
+    repeats out of the canonicalizing plan {!Cache}, fans uncached work
+    across {!Fusecu_util.Pool} worker domains, and emits one response
+    line per request {e in request order}, so the output stream is
+    byte-deterministic regardless of [FUSECU_DOMAINS], batch size or
+    cache configuration (see DESIGN.md §5 for why canonicalization
+    preserves this).
+
+    Batch lifecycle: requests accumulate until the batch is full, a
+    control request ([stats] / [shutdown]) arrives, or the input ends;
+    a flush then runs three phases —
+
+    + {b lookup} (sequential, request order): canonicalize, probe the
+      cache; misses are deduplicated into a unique work list (a repeat
+      of an in-flight key {e coalesces} onto the first occurrence);
+    + {b compute} (parallel): the unique work list runs on the pool via
+      [parallel_map], which preserves ordering;
+    + {b drain} (sequential, request order): successful outcomes are
+      inserted into the cache, every outcome is mapped back through
+      {!Protocol.apply_transform} and serialized.
+
+    Because the cache is only touched in the sequential phases, its
+    hit/miss/eviction counters — and therefore the [stats] response —
+    are deterministic too. Control requests act as batch barriers, so a
+    [stats] response reflects exactly the requests before it in the
+    stream. *)
+
+open Fusecu_util
+
+type config = {
+  cache_enabled : bool;
+  cache_entries : int;  (** total LRU capacity across shards *)
+  cache_shards : int;
+  pool : Pool.t option;  (** [None]: the process-global pool *)
+}
+
+val default_config : unit -> config
+(** Cache on, capacity from [FUSECU_CACHE_ENTRIES] (default 4096,
+    clamped to [>= 0]), 8 shards, global pool. *)
+
+type t
+
+val create : ?metrics:Metrics.t -> config -> t
+
+val metrics : t -> Metrics.t
+
+val cache_stats : t -> Cache.stats
+
+val stats_result : t -> Json.t
+(** The deterministic [stats] payload: cache counters (plus hit rate
+    and coalesced count) and the metrics counters. *)
+
+val compute : t -> Protocol.call
+  -> (Protocol.outcome, Protocol.error_code * string) result
+(** Run one (already canonical) call against the planners. Exposed for
+    the benchmark harness; normal traffic goes through {!run}. *)
+
+val run :
+  t ->
+  ?batch:int ->
+  next:(unit -> string option) ->
+  emit:(string -> unit) ->
+  unit ->
+  unit
+(** Drain request lines from [next] (until it returns [None] or a
+    [shutdown] request) and hand each response line to [emit]. [batch]
+    (default 64, min 1) bounds how many requests a flush covers. *)
+
+val handle_lines : t -> ?batch:int -> string list -> string list
+(** Convenience wrapper over {!run} for tests and fixture replay. *)

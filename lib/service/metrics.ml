@@ -1,0 +1,98 @@
+open Fusecu_util
+
+(* 1 µs .. 2^29 µs (~9 min) in doubling buckets, plus one open bucket. *)
+let buckets = 30
+
+type histogram = {
+  mutable count : int;
+  mutable total_s : float;
+  bins : int array;  (** [bins.(i)]: observations in [[2^i, 2^(i+1)) µs] *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { mutex = Mutex.create ();
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 8 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Metrics.incr: counters are monotonic";
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.counters name (ref by))
+
+let get t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let bucket_of_seconds s =
+  let us = s *. 1e6 in
+  if us < 1. then 0
+  else
+    let b = int_of_float (Float.log2 us) in
+    min b (buckets - 1)
+
+let observe t name seconds =
+  let seconds = Float.max 0. seconds in
+  with_lock t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h
+        | None ->
+          let h = { count = 0; total_s = 0.; bins = Array.make buckets 0 } in
+          Hashtbl.replace t.histograms name h;
+          h
+      in
+      h.count <- h.count + 1;
+      h.total_s <- h.total_s +. seconds;
+      let b = bucket_of_seconds seconds in
+      h.bins.(b) <- h.bins.(b) + 1)
+
+let counters t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let counters_json t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t))
+
+let histogram_json h =
+  let bins =
+    Array.to_list h.bins
+    |> List.mapi (fun i n ->
+           if n = 0 then None
+           else
+             (* upper bound of bucket i in µs; the last bucket is open *)
+             let le =
+               if i = buckets - 1 then Json.Null else Json.Int (1 lsl (i + 1))
+             in
+             Some (Json.Obj [ ("le_us", le); ("n", Json.Int n) ]))
+    |> List.filter_map Fun.id
+  in
+  Json.Obj
+    [ ("count", Json.Int h.count);
+      ("total_s", Json.Float h.total_s);
+      ("buckets", Json.List bins) ]
+
+let to_json t =
+  let hists =
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun k h acc ->
+            (k, { h with bins = Array.copy h.bins }) :: acc)
+          t.histograms []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+  in
+  Json.Obj
+    [ ("counters", counters_json t);
+      ("latency", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) hists)) ]

@@ -1,0 +1,40 @@
+(** Request metrics for the planning service: monotonic (only ever
+    incremented) named counters plus log2-bucketed latency histograms.
+
+    Counters are the {e deterministic} half — request counts, cache
+    hits/misses/evictions, error counts — and are what the in-band
+    [{"op":"stats"}] response reports, so that serve output stays
+    byte-identical across runs and domain counts. Latency histograms are
+    wall-clock dependent and only appear in the full {!to_json} dump
+    written at shutdown (behind [--metrics]).
+
+    All operations are thread-safe (a single mutex; the service's
+    sequential drain phase does almost all the updating, workers only
+    record latencies). *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a named counter (created at zero on first use). [by] defaults
+    to 1 and must be [>= 0] — counters are monotonic. *)
+
+val get : t -> string -> int
+(** Current value of a counter (0 when never incremented). *)
+
+val observe : t -> string -> float -> unit
+(** Record one latency observation, in seconds, into the named
+    histogram. *)
+
+val counters : t -> (string * int) list
+(** Snapshot of all counters, sorted by name (deterministic). *)
+
+val counters_json : t -> Fusecu_util.Json.t
+(** The deterministic counters as a JSON object (keys sorted). *)
+
+val to_json : t -> Fusecu_util.Json.t
+(** Full dump: counters plus latency histograms. Each histogram reports
+    [count], [total_s] and log2 buckets [{"le_us": upper, "n": count}]
+    covering 1 µs .. ~17 min (observations above the last bound land in
+    a final open bucket). Not deterministic — wall-clock data. *)

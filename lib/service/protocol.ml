@@ -1,0 +1,457 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+module Json = Fusecu_util.Json
+module Units = Fusecu_util.Units
+
+let version = 1
+
+type call =
+  | Intra of { op : Matmul.t; buffer : Buffer.t; mode : Mode.t }
+  | Fuse of { op : Matmul.t; l2 : int; buffer : Buffer.t; mode : Mode.t }
+  | Regime of { op : Matmul.t; buffer : Buffer.t }
+  | Eval of { model : string; buffer : Buffer.t; elt_bytes : int; mode : Mode.t }
+  | Chain of { m : int; ks : int list; buffer : Buffer.t; mode : Mode.t }
+
+type request = Call of call | Stats | Shutdown
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Unsupported_version
+  | Unknown_op
+  | Unknown_model
+  | Infeasible
+
+let error_code_to_string = function
+  | Parse_error -> "parse_error"
+  | Bad_request -> "bad_request"
+  | Unsupported_version -> "unsupported_version"
+  | Unknown_op -> "unknown_op"
+  | Unknown_model -> "unknown_model"
+  | Infeasible -> "infeasible"
+
+type reject = { id : Json.t; code : error_code; message : string }
+
+let op_name = function
+  | Intra _ -> "intra"
+  | Fuse _ -> "fuse"
+  | Regime _ -> "regime"
+  | Eval _ -> "eval"
+  | Chain _ -> "chain"
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+
+let mode_of_string = function
+  | "exact" -> Ok Mode.Exact
+  | "divisors" -> Ok Mode.Divisors
+  | "pow2" -> Ok Mode.Pow2
+  | s -> Error (Printf.sprintf "unknown mode %S (exact, divisors or pow2)" s)
+
+let mode_to_string = function
+  | Mode.Exact -> "exact"
+  | Mode.Divisors -> "divisors"
+  | Mode.Pow2 -> "pow2"
+
+(* Bad_request-producing field readers over the decoded object. *)
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let dim_field obj name =
+  match Json.member name obj with
+  | None -> fail "missing required field %S" name
+  | Some v -> (
+    match Json.to_int v with
+    | Ok n when n >= 1 -> n
+    | Ok n -> fail "field %S must be >= 1, got %d" name n
+    | Error e -> fail "field %S: %s" name e)
+
+let default_buffer_bytes = 512 * 1024
+
+let buffer_field obj =
+  let elt_bytes =
+    match Json.member "elt_bytes" obj with
+    | None -> 1
+    | Some v -> (
+      match Json.to_int v with
+      | Ok n when n >= 1 -> n
+      | Ok n -> fail "field \"elt_bytes\" must be >= 1, got %d" n
+      | Error e -> fail "field \"elt_bytes\": %s" e)
+  in
+  let bytes =
+    match Json.member "buffer" obj with
+    | None -> default_buffer_bytes
+    | Some (Json.Int n) when n >= 1 -> n
+    | Some (Json.Int n) -> fail "field \"buffer\" must be >= 1 byte, got %d" n
+    | Some (Json.String s) -> (
+      match Units.parse_bytes s with
+      | Ok n when n >= 1 -> n
+      | Ok _ -> fail "field \"buffer\" must be at least one byte"
+      | Error e -> fail "field \"buffer\": %s" e)
+    | Some v ->
+      ignore v;
+      fail "field \"buffer\" must be an integer byte count or a size string"
+  in
+  (Buffer.make ~elt_bytes bytes, elt_bytes)
+
+let mode_field obj =
+  match Json.member "mode" obj with
+  | None -> Mode.Divisors
+  | Some v -> (
+    match Json.to_string_v v with
+    | Error e -> fail "field \"mode\": %s" e
+    | Ok s -> (
+      match mode_of_string s with Ok m -> m | Error e -> fail "%s" e))
+
+let matmul_field obj =
+  let m = dim_field obj "m" and k = dim_field obj "k" and l = dim_field obj "l" in
+  Matmul.make ~m ~k ~l ()
+
+let parse_call obj op =
+  match op with
+  | "intra" ->
+    let buffer, _ = buffer_field obj in
+    Ok (Call (Intra { op = matmul_field obj; buffer; mode = mode_field obj }))
+  | "fuse" ->
+    let buffer, _ = buffer_field obj in
+    let l2 = dim_field obj "l2" in
+    Ok (Call (Fuse { op = matmul_field obj; l2; buffer; mode = mode_field obj }))
+  | "regime" ->
+    let buffer, _ = buffer_field obj in
+    Ok (Call (Regime { op = matmul_field obj; buffer }))
+  | "eval" ->
+    let model =
+      match Json.member "model" obj with
+      | None -> fail "missing required field %S" "model"
+      | Some v -> (
+        match Json.to_string_v v with
+        | Ok s -> String.lowercase_ascii s
+        | Error e -> fail "field \"model\": %s" e)
+    in
+    let buffer, elt_bytes = buffer_field obj in
+    Ok (Call (Eval { model; buffer; elt_bytes; mode = mode_field obj }))
+  | "chain" ->
+    let m = dim_field obj "m" in
+    let ks =
+      match Json.member "ks" obj with
+      | None -> fail "missing required field %S" "ks"
+      | Some v -> (
+        match Json.to_list v with
+        | Error e -> fail "field \"ks\": %s" e
+        | Ok vs ->
+          let ks =
+            List.map
+              (fun v ->
+                match Json.to_int v with
+                | Ok n when n >= 1 -> n
+                | Ok n -> fail "field \"ks\": entries must be >= 1, got %d" n
+                | Error e -> fail "field \"ks\": %s" e)
+              vs
+          in
+          if List.length ks < 2 then
+            fail "field \"ks\" needs at least two entries (a chain of >= 2 ops)"
+          else ks)
+    in
+    let buffer, _ = buffer_field obj in
+    Ok (Call (Chain { m; ks; buffer; mode = mode_field obj }))
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | other ->
+    Error
+      { id = Json.Null;
+        code = Unknown_op;
+        message =
+          Printf.sprintf
+            "unknown op %S (intra, fuse, regime, eval, chain, stats, shutdown)"
+            other }
+
+let parse_line line =
+  match Json.parse line with
+  | Error e -> Error { id = Json.Null; code = Parse_error; message = e }
+  | Ok obj ->
+    let id = Option.value ~default:Json.Null (Json.member "id" obj) in
+    let reject code message = Error { id; code; message } in
+    let dispatch () =
+      match Json.member "op" obj with
+      | None -> reject Bad_request "missing required field \"op\""
+      | Some opv -> (
+        match Json.to_string_v opv with
+        | Error e -> reject Bad_request (Printf.sprintf "field \"op\": %s" e)
+        | Ok op -> (
+          match parse_call obj op with
+          | Ok req -> Ok (id, req)
+          | Error r -> Error { r with id }
+          | exception Bad m -> reject Bad_request m))
+    in
+    (match obj with
+    | Json.Obj _ -> (
+      match Json.member "v" obj with
+      | None -> dispatch () (* no "v": treated as the current version *)
+      | Some (Json.Int v) when v = version -> dispatch ()
+      | Some v ->
+        reject Unsupported_version
+          (Printf.sprintf "unsupported schema version %s (this server speaks v%d)"
+             (Json.print v) version))
+    | _ -> reject Bad_request "request must be a JSON object")
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                    *)
+
+type transform = Identity | Transpose_ml
+
+let canonicalize call =
+  match call with
+  | Intra { op; buffer; mode } when op.Matmul.m > op.Matmul.l ->
+    (Intra { op = Matmul.transpose op; buffer; mode }, Transpose_ml)
+  | Regime { op; buffer } when op.Matmul.m > op.Matmul.l ->
+    (Regime { op = Matmul.transpose op; buffer }, Transpose_ml)
+  | _ -> (call, Identity)
+
+let cache_key call =
+  match call with
+  | Intra { op; buffer; mode } ->
+    Printf.sprintf "i|%s|%d|%d|%d|%d" (mode_to_string mode) op.Matmul.m
+      op.Matmul.k op.Matmul.l (Buffer.elements buffer)
+  | Fuse { op; l2; buffer; mode } ->
+    Printf.sprintf "f|%s|%d|%d|%d|%d|%d" (mode_to_string mode) op.Matmul.m
+      op.Matmul.k op.Matmul.l l2 (Buffer.elements buffer)
+  | Regime { op; buffer } ->
+    Printf.sprintf "r|%d|%d|%d|%d" op.Matmul.m op.Matmul.k op.Matmul.l
+      (Buffer.elements buffer)
+  | Eval { model; buffer; elt_bytes; mode } ->
+    Printf.sprintf "e|%s|%s|%d|%d" (mode_to_string mode) model
+      buffer.Buffer.bytes elt_bytes
+  | Chain { m; ks; buffer; mode } ->
+    Printf.sprintf "c|%s|%d|%s|%d" (mode_to_string mode) m
+      (String.concat "," (List.map string_of_int ks))
+      (Buffer.elements buffer)
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes                                                            *)
+
+type intra_result = {
+  ma : int;
+  redundancy : float;
+  footprint : int;
+  tile_m : int;
+  tile_k : int;
+  tile_l : int;
+  order : Dim.t list;
+  nra : Nra.t;
+  dataflow : Nra.dataflow;
+  regime : Regime.t;
+}
+
+let intra_result_of_plan (plan : Intra.plan) =
+  let s = plan.schedule in
+  { ma = Intra.ma plan;
+    redundancy = Intra.redundancy plan;
+    footprint = Schedule.footprint s;
+    tile_m = Tiling.get s.tiling Dim.M;
+    tile_k = Tiling.get s.tiling Dim.K;
+    tile_l = Tiling.get s.tiling Dim.L;
+    order = Order.dims s.order;
+    nra = Nra.class_of plan.dataflow;
+    dataflow = plan.dataflow;
+    regime = plan.regime }
+
+type fuse_result =
+  | Fused of { pattern : Fusion.pattern; traffic : int }
+  | Not_fused of {
+      why : string;
+      traffic : int;
+      producer : Nra.t;
+      consumer : Nra.t;
+    }
+
+type regime_result = {
+  regime : Regime.t;
+  thresholds : Regime.thresholds;
+  classes : Nra.t list;
+}
+
+type eval_cells = {
+  traffic : int;
+  traffic_bytes : int;
+  macs : int;
+  cycles : int;
+  utilization : float;
+}
+
+type eval_row = { platform : string; cells : (eval_cells, string) result }
+
+type chain_segment = Solo_seg of int | Fused_seg of string * int
+
+type chain_result =
+  | Full_fusion of { traffic : int; fused_bound : int }
+  | Pairwise of { traffic : int; segments : chain_segment list }
+
+type outcome =
+  | R_intra of intra_result
+  | R_fuse of fuse_result
+  | R_regime of regime_result
+  | R_eval of eval_row list
+  | R_chain of chain_result
+
+(* Relabel canonical-frame results for the original (transposed)
+   request: the canonical computation ran on [transpose op], whose A is
+   the original B^T, B the original A^T, M the original L.  Counts
+   (traffic, footprint, regime, class) are invariant — see DESIGN.md §5. *)
+let swap_dim = function Dim.M -> Dim.L | Dim.L -> Dim.M | Dim.K -> Dim.K
+
+let swap_operand = function
+  | Operand.A -> Operand.B
+  | Operand.B -> Operand.A
+  | Operand.C -> Operand.C
+
+let transpose_dataflow = function
+  | Nra.Single_nra { stationary } ->
+    Nra.Single_nra { stationary = swap_operand stationary }
+  | Nra.Two_nra { untiled; redundant } ->
+    Nra.Two_nra { untiled = swap_dim untiled; redundant = swap_operand redundant }
+  | Nra.Three_nra { resident } ->
+    Nra.Three_nra { resident = swap_operand resident }
+
+let apply_transform tf outcome =
+  match (tf, outcome) with
+  | Identity, o -> o
+  | Transpose_ml, R_intra r ->
+    R_intra
+      { r with
+        tile_m = r.tile_l;
+        tile_l = r.tile_m;
+        order = List.map swap_dim r.order;
+        dataflow = transpose_dataflow r.dataflow }
+  | Transpose_ml, o -> o
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let problem_fields call =
+  let buffer_fields (b : Buffer.t) =
+    [ ("buffer_bytes", Json.Int b.bytes); ("elt_bytes", Json.Int b.elt_bytes) ]
+  in
+  match call with
+  | Intra { op; buffer; mode } ->
+    [ ("m", Json.Int op.Matmul.m); ("k", Json.Int op.Matmul.k);
+      ("l", Json.Int op.Matmul.l) ]
+    @ buffer_fields buffer
+    @ [ ("mode", Json.String (mode_to_string mode)) ]
+  | Fuse { op; l2; buffer; mode } ->
+    [ ("m", Json.Int op.Matmul.m); ("k", Json.Int op.Matmul.k);
+      ("l", Json.Int op.Matmul.l); ("l2", Json.Int l2) ]
+    @ buffer_fields buffer
+    @ [ ("mode", Json.String (mode_to_string mode)) ]
+  | Regime { op; buffer } ->
+    [ ("m", Json.Int op.Matmul.m); ("k", Json.Int op.Matmul.k);
+      ("l", Json.Int op.Matmul.l) ]
+    @ buffer_fields buffer
+  | Eval { model; buffer; elt_bytes = _; mode } ->
+    [ ("model", Json.String model) ]
+    @ buffer_fields buffer
+    @ [ ("mode", Json.String (mode_to_string mode)) ]
+  | Chain { m; ks; buffer; mode } ->
+    [ ("m", Json.Int m);
+      ("ks", Json.List (List.map (fun k -> Json.Int k) ks)) ]
+    @ buffer_fields buffer
+    @ [ ("mode", Json.String (mode_to_string mode)) ]
+
+let outcome_fields = function
+  | R_intra r ->
+    [ ("ma", Json.Int r.ma);
+      ("redundancy", Json.Float r.redundancy);
+      ("footprint", Json.Int r.footprint);
+      ("tiles",
+       Json.Obj
+         [ ("m", Json.Int r.tile_m); ("k", Json.Int r.tile_k);
+           ("l", Json.Int r.tile_l) ]);
+      ("order",
+       Json.List (List.map (fun d -> Json.String (Dim.to_string d)) r.order));
+      ("class", Json.String (Nra.to_string r.nra));
+      ("dataflow", Json.String (Nra.dataflow_to_string r.dataflow));
+      ("regime", Json.String (Regime.to_string r.regime)) ]
+  | R_fuse (Fused { pattern; traffic }) ->
+    [ ("fuse", Json.Bool true);
+      ("pattern", Json.String (Fusion.pattern_name pattern));
+      ("class", Json.String (Nra.to_string (Fusion.pattern_class pattern)));
+      ("traffic", Json.Int traffic) ]
+  | R_fuse (Not_fused { why; traffic; producer; consumer }) ->
+    [ ("fuse", Json.Bool false);
+      ("why", Json.String why);
+      ("producer_class", Json.String (Nra.to_string producer));
+      ("consumer_class", Json.String (Nra.to_string consumer));
+      ("traffic", Json.Int traffic) ]
+  | R_regime r ->
+    [ ("regime", Json.String (Regime.to_string r.regime));
+      ("thresholds",
+       Json.Obj
+         [ ("tiny_max", Json.Int r.thresholds.Regime.tiny_max);
+           ("small_max", Json.Int r.thresholds.Regime.small_max);
+           ("medium_max", Json.Int r.thresholds.Regime.medium_max) ]);
+      ("classes",
+       Json.List
+         (List.map (fun c -> Json.String (Nra.to_string c)) r.classes)) ]
+  | R_eval rows ->
+    [ ("platforms",
+       Json.List
+         (List.map
+            (fun row ->
+              match row.cells with
+              | Ok c ->
+                Json.Obj
+                  [ ("name", Json.String row.platform);
+                    ("traffic", Json.Int c.traffic);
+                    ("traffic_bytes", Json.Int c.traffic_bytes);
+                    ("macs", Json.Int c.macs);
+                    ("cycles", Json.Int c.cycles);
+                    ("utilization", Json.Float c.utilization) ]
+              | Error e ->
+                Json.Obj
+                  [ ("name", Json.String row.platform);
+                    ("error", Json.String e) ])
+            rows)) ]
+  | R_chain (Full_fusion { traffic; fused_bound }) ->
+    [ ("decision", Json.String "full_fusion");
+      ("traffic", Json.Int traffic);
+      ("fused_bound", Json.Int fused_bound) ]
+  | R_chain (Pairwise { traffic; segments }) ->
+    [ ("decision", Json.String "pairwise");
+      ("traffic", Json.Int traffic);
+      ("segments",
+       Json.List
+         (List.map
+            (function
+              | Solo_seg t ->
+                Json.Obj [ ("kind", Json.String "solo"); ("traffic", Json.Int t) ]
+              | Fused_seg (pattern, t) ->
+                Json.Obj
+                  [ ("kind", Json.String "fused");
+                    ("pattern", Json.String pattern);
+                    ("traffic", Json.Int t) ])
+            segments)) ]
+
+let response_ok ~id ~call outcome =
+  Json.print
+    (Json.Obj
+       [ ("id", id); ("ok", Json.Bool true);
+         ("op", Json.String (op_name call));
+         ("result", Json.Obj (problem_fields call @ outcome_fields outcome)) ])
+
+let response_ok_json ~id ~op ~result =
+  Json.print
+    (Json.Obj
+       [ ("id", id); ("ok", Json.Bool true); ("op", Json.String op);
+         ("result", result) ])
+
+let response_error ~id ~code ~message =
+  Json.print
+    (Json.Obj
+       [ ("id", id); ("ok", Json.Bool false);
+         ("error",
+          Json.Obj
+            [ ("code", Json.String (error_code_to_string code));
+              ("message", Json.String message) ]) ])
+
+let reject_response r = response_error ~id:r.id ~code:r.code ~message:r.message

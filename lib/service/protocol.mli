@@ -1,0 +1,166 @@
+(** The planning service's typed request/response protocol (schema
+    version 1).
+
+    Requests are newline-delimited JSON objects:
+    {v
+    {"op":"intra","v":1,"id":1,"m":1024,"k":768,"l":768,
+     "buffer":"512KB","mode":"divisors"}
+    v}
+    covering the planner entry points [intra], [fuse], [regime], [eval]
+    and [chain], plus the control operations [stats] and [shutdown].
+    Common fields: ["op"] (required), ["v"] (schema version, optional,
+    must be 1 when present), ["id"] (any JSON value, echoed verbatim in
+    the response, defaults to [null]), ["buffer"] (bytes as an integer
+    or a {!Fusecu_util.Units.parse_bytes} string, default 512 KiB),
+    ["elt_bytes"] (default 1) and ["mode"] (["exact"] / ["divisors"] /
+    ["pow2"], default ["divisors"] — the CLI's default lattice).
+
+    Responses are one JSON object per request, in request order:
+    [{"id":...,"ok":true,"op":...,"result":{...}}] on success,
+    [{"id":...,"ok":false,"error":{"code":...,"message":...}}]
+    otherwise. Error codes are a closed enum ({!error_code}) so clients
+    can dispatch without string matching on messages.
+
+    {1 Canonicalization}
+
+    [intra] and [regime] requests are canonicalized before keying the
+    plan cache {e and before computing} (so responses are bit-identical
+    whether or not the cache is enabled): the operator is transposed to
+    [M <= L] ([M x K x L] and [L x K x M] are the same problem — the
+    matmul cost model is symmetric under exchanging the roles of [A]
+    and [B]; see {!Fusecu_tensor.Matmul.transpose} and DESIGN.md §5),
+    and the buffer is keyed by its {e element} capacity, the only
+    buffer property the element-denominated planners observe. The
+    resulting plan is mapped back through {!apply_transform} (tile
+    sizes, loop order, and dataflow labels swap [M] with [L] and [A]
+    with [B]). [fuse] and [chain] have no established symmetry and key
+    on their exact shape; [eval] keys on (model, buffer bytes,
+    elt_bytes, mode) since byte traffic depends on the element width. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+module Json = Fusecu_util.Json
+
+val version : int
+
+(** {1 Requests} *)
+
+type call =
+  | Intra of { op : Matmul.t; buffer : Buffer.t; mode : Mode.t }
+  | Fuse of { op : Matmul.t; l2 : int; buffer : Buffer.t; mode : Mode.t }
+      (** producer [op], consumer [C x D(L, l2)] — the CLI's [fuse] *)
+  | Regime of { op : Matmul.t; buffer : Buffer.t }
+  | Eval of { model : string; buffer : Buffer.t; elt_bytes : int; mode : Mode.t }
+      (** [model] is stored lowercase (zoo lookup is case-insensitive) *)
+  | Chain of { m : int; ks : int list; buffer : Buffer.t; mode : Mode.t }
+
+type request =
+  | Call of call
+  | Stats  (** in-band deterministic counters snapshot *)
+  | Shutdown  (** stop the server after responding *)
+
+type error_code =
+  | Parse_error  (** the line is not valid JSON *)
+  | Bad_request  (** missing / ill-typed / out-of-range field *)
+  | Unsupported_version
+  | Unknown_op
+  | Unknown_model
+  | Infeasible  (** the planner returned an error (e.g. buffer too small) *)
+
+val error_code_to_string : error_code -> string
+
+type reject = { id : Json.t; code : error_code; message : string }
+
+val parse_line : string -> (Json.t * request, reject) result
+(** Parse one request line into its echoed [id] and the typed request.
+    On reject, the [id] is recovered from the malformed object when
+    possible. *)
+
+val op_name : call -> string
+
+(** {1 Canonicalization and cache keys} *)
+
+type transform = Identity | Transpose_ml
+
+val canonicalize : call -> call * transform
+(** The cache-canonical form of a call and the transform that maps
+    results on the canonical call back to the original orientation. *)
+
+val cache_key : call -> string
+(** Deterministic cache key of an (already canonical) call. *)
+
+(** {1 Outcomes} *)
+
+type intra_result = {
+  ma : int;
+  redundancy : float;
+  footprint : int;
+  tile_m : int;
+  tile_k : int;
+  tile_l : int;
+  order : Dim.t list;  (** outer to inner *)
+  nra : Nra.t;
+  dataflow : Nra.dataflow;
+  regime : Regime.t;
+}
+
+val intra_result_of_plan : Intra.plan -> intra_result
+
+type fuse_result =
+  | Fused of { pattern : Fusion.pattern; traffic : int }
+  | Not_fused of {
+      why : string;
+      traffic : int;
+      producer : Nra.t;
+      consumer : Nra.t;
+    }
+
+type regime_result = {
+  regime : Regime.t;
+  thresholds : Regime.thresholds;
+  classes : Nra.t list;
+}
+
+type eval_cells = {
+  traffic : int;
+  traffic_bytes : int;
+  macs : int;
+  cycles : int;
+  utilization : float;
+}
+
+type eval_row = { platform : string; cells : (eval_cells, string) result }
+
+type chain_segment = Solo_seg of int | Fused_seg of string * int
+
+type chain_result =
+  | Full_fusion of { traffic : int; fused_bound : int }
+  | Pairwise of { traffic : int; segments : chain_segment list }
+
+type outcome =
+  | R_intra of intra_result
+  | R_fuse of fuse_result
+  | R_regime of regime_result
+  | R_eval of eval_row list
+  | R_chain of chain_result
+
+val apply_transform : transform -> outcome -> outcome
+(** Map an outcome computed on the canonical call back to the request's
+    original orientation. Only {!R_intra} carries orientation-dependent
+    data (tiles, loop order, dataflow labels); every other outcome is
+    invariant. *)
+
+(** {1 Responses} *)
+
+val response_ok : id:Json.t -> call:call -> outcome -> string
+(** One compact JSON line. The [result] payload echoes the problem
+    (original orientation) and the outcome fields; field order is fixed
+    so output is byte-deterministic. *)
+
+val response_ok_json : id:Json.t -> op:string -> result:Json.t -> string
+(** Generic success line for control operations ([stats], [shutdown]). *)
+
+val response_error : id:Json.t -> code:error_code -> message:string -> string
+
+val reject_response : reject -> string

@@ -1,0 +1,53 @@
+let serve_channel engine ?batch ic oc =
+  let next () = In_channel.input_line ic in
+  let emit line =
+    Out_channel.output_string oc line;
+    Out_channel.output_char oc '\n';
+    Out_channel.flush oc
+  in
+  Engine.run engine ?batch ~next ~emit ()
+
+(* Sequential accept loop: one engine (one cache, one metrics registry)
+   across all connections; a client's "shutdown" stops the daemon. *)
+let serve_socket engine ?batch ~path =
+  (* A client that disconnects before reading its responses must not
+     kill the daemon: turn SIGPIPE into EPIPE (caught below). *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let stop = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close sock;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      while not !stop do
+        let client, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        let next () = In_channel.input_line ic in
+        let emit line =
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n';
+          Out_channel.flush oc;
+          (* Engine.run returns right after emitting the shutdown
+             response; remember that it happened to stop accepting. *)
+          match Fusecu_util.Json.parse line with
+          | Ok response ->
+            if Fusecu_util.Json.member "op" response = Some (String "shutdown")
+            then stop := true
+          | Error _ -> ()
+        in
+        (try Engine.run engine ?batch ~next ~emit ()
+         with
+         | Sys_error _ | End_of_file
+         | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+           () (* client went away mid-batch *));
+        (try Unix.close client with Unix.Unix_error _ -> ())
+      done)

@@ -1,0 +1,19 @@
+(** Transport layer for the planning daemon: newline-delimited JSON over
+    stdin/stdout or a Unix-domain socket.
+
+    Channel mode is the pipeline-friendly form —
+    {v echo '{"op":"intra",...}' | fusecu_opt serve v}
+    — reading until EOF (or a [shutdown] request). Socket mode binds a
+    path, accepts one client at a time and serves each connection with
+    the same engine (so the plan cache and metrics persist across
+    connections) until a client sends [shutdown]. *)
+
+val serve_channel : Engine.t -> ?batch:int -> in_channel -> out_channel -> unit
+(** Drain the input channel through {!Engine.run}; responses are
+    flushed after every batch. *)
+
+val serve_socket : Engine.t -> ?batch:int -> path:string -> unit
+(** Listen on a Unix-domain socket at [path] (an existing socket file
+    there is replaced) and serve connections sequentially until a
+    [shutdown] request arrives; the socket file is removed on exit.
+    Raises [Unix.Unix_error] on bind/listen failures. *)

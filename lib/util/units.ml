@@ -2,6 +2,11 @@ let kib n = n * 1024
 let mib n = n * 1024 * 1024
 
 let pp_scaled ~unit_names ~base n =
+  (* Scale by magnitude and re-attach the sign at the end: feeding a
+     negative value through the picker would never scale (any negative
+     is < base) and could print "-0.00KB"-style output after division. *)
+  let sign = if n < 0 then "-" else "" in
+  let magnitude = abs n in
   let rec pick value names =
     match names with
     | [] -> assert false
@@ -10,10 +15,10 @@ let pp_scaled ~unit_names ~base n =
       if value < float_of_int base then (value, name)
       else pick (value /. float_of_int base) rest
   in
-  let value, name = pick (float_of_int n) unit_names in
+  let value, name = pick (float_of_int magnitude) unit_names in
   if Float.is_integer value && value < 10000. then
-    Printf.sprintf "%d%s" (int_of_float value) name
-  else Printf.sprintf "%.2f%s" value name
+    Printf.sprintf "%s%d%s" sign (int_of_float value) name
+  else Printf.sprintf "%s%.2f%s" sign value name
 
 let pp_bytes n = pp_scaled ~unit_names:[ "B"; "KB"; "MB"; "GB"; "TB" ] ~base:1024 n
 
@@ -21,28 +26,45 @@ let pp_count n = pp_scaled ~unit_names:[ ""; "K"; "M"; "G"; "T" ] ~base:1000 n
 
 let parse_bytes s =
   let s = String.trim (String.lowercase_ascii s) in
+  let invalid () = Error (Printf.sprintf "invalid byte count: %S" s) in
   let strip_suffix suffix str =
     let ls = String.length suffix and l = String.length str in
     if l >= ls && String.sub str (l - ls) ls = suffix then
       Some (String.sub str 0 (l - ls))
     else None
   in
+  (* Every suffix is binary: KB = KiB = K = 1024 B (the paper quotes
+     buffer sizes in binary units; see the .mli). The numeric part may
+     be fractional — "1.5MB" is 1572864 bytes — rounded to the nearest
+     byte when the product is not whole; a bare fractional byte count
+     ("1.5", "1.5B") is rejected. *)
   let try_unit (suffix, mult) =
     match strip_suffix suffix s with
     | Some digits when digits <> "" -> (
-      match int_of_string_opt (String.trim digits) with
+      let digits = String.trim digits in
+      match int_of_string_opt digits with
       | Some n when n >= 0 -> Some (Ok (n * mult))
-      | _ -> Some (Error (Printf.sprintf "invalid byte count: %S" s)))
+      | Some _ -> Some (invalid ())
+      | None -> (
+        match float_of_string_opt digits with
+        | Some f when Float.is_finite f && f >= 0. ->
+          if mult = 1 && not (Float.is_integer f) then Some (invalid ())
+          else
+            let rounded = Float.round (f *. float_of_int mult) in
+            if rounded > float_of_int max_int then Some (invalid ())
+            else Some (Ok (int_of_float rounded))
+        | _ -> Some (invalid ())))
     | _ -> None
   in
   let units =
-    [ ("gib", 1 lsl 30); ("gb", 1 lsl 30); ("g", 1 lsl 30);
+    [ ("tib", 1 lsl 40); ("tb", 1 lsl 40); ("t", 1 lsl 40);
+      ("gib", 1 lsl 30); ("gb", 1 lsl 30); ("g", 1 lsl 30);
       ("mib", 1 lsl 20); ("mb", 1 lsl 20); ("m", 1 lsl 20);
       ("kib", 1 lsl 10); ("kb", 1 lsl 10); ("k", 1 lsl 10);
       ("b", 1); ("", 1) ]
   in
   let rec first = function
-    | [] -> Error (Printf.sprintf "invalid byte count: %S" s)
+    | [] -> invalid ()
     | u :: rest -> ( match try_unit u with Some r -> r | None -> first rest)
   in
   first units

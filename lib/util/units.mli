@@ -11,11 +11,23 @@ val mib : int -> int
 
 val pp_bytes : int -> string
 (** Render a byte count with a binary-unit suffix, e.g. ["512KB"],
-    ["2MB"], ["768B"]. Exact multiples print without decimals. *)
+    ["2MB"], ["768B"]. Exact multiples print without decimals; negative
+    counts scale by magnitude and keep their sign (["-1.50KB"]). *)
 
 val parse_bytes : string -> (int, string) result
-(** Parse strings like ["512KB"], ["32MB"], ["4096"], ["2GB"]
-    (case-insensitive, optional "B"/"iB" suffix) into a byte count. *)
+(** Parse strings like ["512KB"], ["32MB"], ["4096"], ["2GB"], ["1.5MB"]
+    (case-insensitive, optional "B"/"iB" suffix) into a byte count.
+
+    {b Every suffix is binary}: [KB], [K] and [KiB] all mean 1024 bytes
+    (likewise [MB]/[M]/[MiB] = 2{^20}, [GB]/[G]/[GiB] = 2{^30},
+    [TB]/[T]/[TiB] = 2{^40}) — the
+    paper quotes buffer sizes this way (512 KB = 2{^19} B in the worked
+    BERT example), so the CLI follows suit rather than splitting
+    decimal KB from binary KiB. Fractional magnitudes are accepted and
+    rounded to the nearest byte (["1.5MB"] = 1572864 exactly; ["0.3KB"]
+    = 307); a fractional bare byte count (["1.5"], ["1.5B"]) is
+    rejected. Inverse of {!pp_bytes} on every exactly-rendered value,
+    and within 0.5% on two-decimal renderings. *)
 
 val pp_count : int -> string
 (** Render a large count with engineering suffixes, e.g. ["1.53M"],

@@ -1,0 +1,418 @@
+(* The planning service: JSON codec round trips, protocol parsing and
+   canonicalization, the sharded LRU plan cache, and end-to-end engine
+   determinism over the checked-in fixture (cache on/off, domain
+   counts, batch sizes). *)
+
+open Fusecu_service
+module Json = Fusecu_util.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json: printing and parsing                                          *)
+
+let test_json_print () =
+  check_str "null" "null" (Json.print Json.Null);
+  check_str "true" "true" (Json.print (Json.Bool true));
+  check_str "int" "-42" (Json.print (Json.Int (-42)));
+  check_str "float keeps dot" "1.0" (Json.print (Json.Float 1.));
+  check_str "string escapes" "\"a\\\"b\\n\\u0001\""
+    (Json.print (Json.String "a\"b\n\001"));
+  check_str "nested" "{\"a\":[1,2.5,null],\"b\":{}}"
+    (Json.print
+       (Json.Obj
+          [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+            ("b", Json.Obj []) ]));
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Json.print: NaN and infinities are not representable")
+    (fun () -> ignore (Json.print (Json.Float Float.nan)))
+
+let test_json_parse () =
+  let ok v s =
+    match Json.parse s with
+    | Ok v' -> check_bool (Printf.sprintf "parse %S" s) true (Json.equal v v')
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  in
+  ok (Json.Int 42) " 42 ";
+  ok (Json.Float 42.) "42e0";
+  ok (Json.Float 0.5) "0.5";
+  ok (Json.Int (-7)) "-7";
+  ok (Json.String "a/b\twith \"quotes\"") "\"a\\/b\\twith \\\"quotes\\\"\"";
+  ok (Json.String "\xe2\x82\xac") "\"\\u20ac\"";
+  (* astral plane via surrogate pair *)
+  ok (Json.String "\xf0\x9d\x84\x9e") "\"\\ud834\\udd1e\"";
+  ok (Json.List []) "[]";
+  ok (Json.Obj [ ("k", Json.List [ Json.Bool false ]) ]) "{\"k\":[false]}";
+  (* Int/Float distinction survives big magnitudes *)
+  ok (Json.Float 1e300) "1e300"
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "reject %S" s) true
+        (Result.is_error (Json.parse s)))
+    [ ""; "   "; "{"; "}"; "[1,"; "[1 2]"; "\"abc"; "\"\\u12"; "\"\\q\"";
+      "{\"a\"}"; "{\"a\":}"; "{\"a\":1,}"; "[1,2,]"; "tru"; "nul"; "+1"; "1.";
+      "1e"; "-"; "1 2"; "[]]"; "{\"a\":1}x"; "\"unterminated\\\"";
+      "\x01"; "\"raw\ncontrol\"" ]
+
+let gen_json =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [ return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun i -> Json.Int i) int;
+               map
+                 (fun f -> Json.Float (if Float.is_finite f then f else 0.))
+                 float;
+               map (fun s -> Json.String s) (string_size (0 -- 12)) ]
+         in
+         if n <= 0 then leaf
+         else
+           frequency
+             [ (2, leaf);
+               (1, map (fun vs -> Json.List vs) (list_size (0 -- 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (0 -- 4)
+                      (pair (string_size (0 -- 8)) (self (n / 2)))) ) ])
+
+let arb_json = QCheck.make gen_json ~print:Json.print
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"Json.parse (Json.print v) = v" arb_json
+    (fun v ->
+      match Json.parse (Json.print v) with
+      | Ok v' -> Json.equal v v'
+      | Error e -> QCheck.Test.fail_reportf "no parse: %s" e)
+
+let prop_json_hum_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"parse inverts print_hum" arb_json
+    (fun v ->
+      match Json.parse (Json.print_hum v) with
+      | Ok v' -> Json.equal v v'
+      | Error e -> QCheck.Test.fail_reportf "no parse: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let test_cache_basics () =
+  let c = Cache.create ~shards:2 ~capacity:8 () in
+  check_bool "miss" true (Cache.find c "a" = None);
+  Cache.add c "a" 1;
+  check_bool "hit" true (Cache.find c "a" = Some 1);
+  Cache.add c "a" 2;
+  check_bool "overwrite" true (Cache.find c "a" = Some 2);
+  let st = Cache.stats c in
+  check_int "hits" 2 st.Cache.hits;
+  check_int "misses" 1 st.Cache.misses;
+  check_int "entries" 1 st.Cache.entries;
+  check_bool "hit rate" true (Float.abs (Cache.hit_rate st -. (2. /. 3.)) < 1e-9)
+
+let test_cache_lru_eviction () =
+  (* one shard makes the LRU order observable *)
+  let c = Cache.create ~shards:1 ~capacity:3 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  ignore (Cache.find c "a");
+  (* a is now most recent; b is LRU *)
+  Cache.add c "d" 4;
+  check_bool "b evicted" true (Cache.find c "b" = None);
+  check_bool "a kept" true (Cache.find c "a" = Some 1);
+  check_bool "d kept" true (Cache.find c "d" = Some 4);
+  let st = Cache.stats c in
+  check_int "evictions" 1 st.Cache.evictions;
+  check_int "bounded" 3 st.Cache.entries
+
+let test_cache_capacity_zero () =
+  let c = Cache.create ~capacity:0 () in
+  Cache.add c "a" 1;
+  check_bool "stores nothing" true (Cache.find c "a" = None)
+
+let prop_cache_never_exceeds_capacity =
+  QCheck.Test.make ~count:100 ~name:"cache entries <= shard-rounded capacity"
+    QCheck.(pair (1 -- 20) (small_list (string_of_size Gen.(1 -- 3))))
+    (fun (cap, keys) ->
+      let shards = 4 in
+      let c = Cache.create ~shards ~capacity:cap () in
+      List.iteri (fun i k -> Cache.add c k i) keys;
+      let per_shard = (cap + shards - 1) / shards in
+      (Cache.stats c).Cache.entries <= min shards cap * per_shard)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+
+let parse_ok line =
+  match Protocol.parse_line line with
+  | Ok (id, req) -> (id, req)
+  | Error r -> Alcotest.failf "unexpected reject of %S: %s" line r.message
+
+let parse_reject line =
+  match Protocol.parse_line line with
+  | Ok _ -> Alcotest.failf "expected a reject for %S" line
+  | Error r -> r
+
+let test_protocol_parse () =
+  (match parse_ok "{\"op\":\"intra\",\"id\":7,\"m\":8,\"k\":9,\"l\":10}" with
+  | Json.Int 7, Protocol.Call (Protocol.Intra { op; buffer; mode }) ->
+    check_int "m" 8 op.Fusecu_tensor.Matmul.m;
+    check_int "k" 9 op.Fusecu_tensor.Matmul.k;
+    check_int "l" 10 op.Fusecu_tensor.Matmul.l;
+    check_int "default buffer" (512 * 1024) buffer.Fusecu_loopnest.Buffer.bytes;
+    check_bool "default mode" true (mode = Fusecu_core.Mode.Divisors)
+  | _ -> Alcotest.fail "bad intra parse");
+  (match parse_ok "{\"op\":\"chain\",\"m\":4,\"ks\":[5,6,7],\"buffer\":\"1KB\"}" with
+  | Json.Null, Protocol.Call (Protocol.Chain { m; ks; buffer; _ }) ->
+    check_int "m" 4 m;
+    Alcotest.(check (list int)) "ks" [ 5; 6; 7 ] ks;
+    check_int "buffer" 1024 buffer.Fusecu_loopnest.Buffer.bytes
+  | _ -> Alcotest.fail "bad chain parse");
+  (match parse_ok "{\"op\":\"eval\",\"model\":\"BeRt\"}" with
+  | _, Protocol.Call (Protocol.Eval { model; _ }) ->
+    check_str "model lowercased" "bert" model
+  | _ -> Alcotest.fail "bad eval parse");
+  (match parse_ok "{\"op\":\"stats\"}" with
+  | _, Protocol.Stats -> ()
+  | _ -> Alcotest.fail "bad stats parse")
+
+let test_protocol_rejects () =
+  let code line = (parse_reject line).Protocol.code in
+  check_bool "not json" true (code "nope" = Protocol.Parse_error);
+  check_bool "not an object" true (code "[1]" = Protocol.Bad_request);
+  check_bool "no op" true (code "{\"m\":1}" = Protocol.Bad_request);
+  check_bool "unknown op" true (code "{\"op\":\"warp\"}" = Protocol.Unknown_op);
+  check_bool "bad version" true
+    (code "{\"op\":\"stats\",\"v\":2}" = Protocol.Unsupported_version);
+  check_bool "missing dim" true
+    (code "{\"op\":\"intra\",\"m\":1,\"k\":1}" = Protocol.Bad_request);
+  check_bool "zero dim" true
+    (code "{\"op\":\"intra\",\"m\":0,\"k\":1,\"l\":1}" = Protocol.Bad_request);
+  check_bool "short chain" true
+    (code "{\"op\":\"chain\",\"m\":1,\"ks\":[2]}" = Protocol.Bad_request);
+  check_bool "bad buffer" true
+    (code "{\"op\":\"regime\",\"m\":1,\"k\":1,\"l\":1,\"buffer\":\"lots\"}"
+    = Protocol.Bad_request);
+  (* the reject still echoes the request id *)
+  check_bool "id echoed" true
+    ((parse_reject "{\"op\":\"warp\",\"id\":\"x\"}").Protocol.id
+    = Json.String "x")
+
+let test_protocol_canonicalization () =
+  let call line =
+    match parse_ok line with
+    | _, Protocol.Call c -> c
+    | _ -> Alcotest.fail "not a call"
+  in
+  let key line = Protocol.cache_key (fst (Protocol.canonicalize (call line))) in
+  (* M x K x L and L x K x M canonicalize to one key *)
+  check_str "intra transpose"
+    (key "{\"op\":\"intra\",\"m\":100,\"k\":20,\"l\":30}")
+    (key "{\"op\":\"intra\",\"m\":30,\"k\":20,\"l\":100}");
+  (* buffer is keyed by element capacity, not byte spelling *)
+  check_str "buffer spellings"
+    (key "{\"op\":\"intra\",\"m\":8,\"k\":8,\"l\":8,\"buffer\":\"0.5MB\"}")
+    (key "{\"op\":\"intra\",\"m\":8,\"k\":8,\"l\":8,\"buffer\":524288}");
+  check_str "element widths"
+    (key
+       "{\"op\":\"intra\",\"m\":8,\"k\":8,\"l\":8,\"buffer\":\"2MB\",\"elt_bytes\":2}")
+    (key "{\"op\":\"intra\",\"m\":8,\"k\":8,\"l\":8,\"buffer\":\"1MB\"}");
+  check_str "regime transpose"
+    (key "{\"op\":\"regime\",\"m\":100,\"k\":20,\"l\":30}")
+    (key "{\"op\":\"regime\",\"m\":30,\"k\":20,\"l\":100}");
+  (* distinct problems stay distinct *)
+  check_bool "mode distinguishes" true
+    (key "{\"op\":\"intra\",\"m\":8,\"k\":8,\"l\":8}"
+    <> key "{\"op\":\"intra\",\"m\":8,\"k\":8,\"l\":8,\"mode\":\"pow2\"}");
+  check_bool "fuse not dimension-sorted" true
+    (key "{\"op\":\"fuse\",\"m\":100,\"k\":20,\"l\":30,\"l2\":30}"
+    <> key "{\"op\":\"fuse\",\"m\":30,\"k\":20,\"l\":100,\"l2\":30}")
+
+(* An intra answer for (m,k,l) must be the mirror of the answer for
+   (l,k,m): same traffic, tiles and order swapped. *)
+let test_engine_symmetry () =
+  let engine = Engine.create (Engine.default_config ()) in
+  let get line =
+    match Engine.handle_lines engine [ line ] with
+    | [ resp ] -> Result.get_ok (Json.parse resp)
+    | _ -> Alcotest.fail "expected one response"
+  in
+  let r1 =
+    get "{\"op\":\"intra\",\"m\":1024,\"k\":768,\"l\":768,\"buffer\":\"512KB\"}"
+  in
+  let r2 =
+    get "{\"op\":\"intra\",\"m\":768,\"k\":768,\"l\":1024,\"buffer\":\"512KB\"}"
+  in
+  let field r path =
+    List.fold_left
+      (fun v k -> Option.get (Json.member k v))
+      (Option.get (Json.member "result" r))
+      path
+  in
+  check_bool "same traffic" true
+    (Json.equal (field r1 [ "ma" ]) (field r2 [ "ma" ]));
+  check_bool "tiles mirror (m)" true
+    (Json.equal (field r1 [ "tiles"; "m" ]) (field r2 [ "tiles"; "l" ]));
+  check_bool "tiles mirror (l)" true
+    (Json.equal (field r1 [ "tiles"; "l" ]) (field r2 [ "tiles"; "m" ]));
+  check_bool "same k tile" true
+    (Json.equal (field r1 [ "tiles"; "k" ]) (field r2 [ "tiles"; "k" ]));
+  check_bool "same class" true
+    (Json.equal (field r1 [ "class" ]) (field r2 [ "class" ]));
+  (* and the symmetric repeat was a cache hit *)
+  check_bool "symmetric hit" true ((Engine.cache_stats engine).Cache.hits >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Engine over the checked-in fixture                                  *)
+
+let fixture_lines =
+  lazy
+    (let ic = open_in "fixtures/service_requests.ndjson" in
+     let rec go acc =
+       match In_channel.input_line ic with
+       | Some l -> go (l :: acc)
+       | None ->
+         close_in ic;
+         List.rev acc
+     in
+     go [])
+
+let is_stats_response line =
+  match Json.parse line with
+  | Ok r -> Json.member "op" r = Some (Json.String "stats")
+  | Error _ -> false
+
+let replay config ?batch () =
+  Engine.handle_lines (Engine.create config) ?batch (Lazy.force fixture_lines)
+
+let test_fixture_replay_matches_golden () =
+  let out = replay (Engine.default_config ()) () in
+  let golden =
+    let ic = open_in "fixtures/service_responses.golden" in
+    let rec go acc =
+      match In_channel.input_line ic with
+      | Some l -> go (l :: acc)
+      | None ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  check_int "response count" (List.length golden) (List.length out);
+  List.iteri
+    (fun i (g, o) ->
+      if g <> o then
+        Alcotest.failf "golden mismatch at response %d:\n  golden: %s\n  got:    %s"
+          (i + 1) g o)
+    (List.combine golden out)
+
+let test_fixture_cache_on_off_identical () =
+  let base = Engine.default_config () in
+  let on = replay { base with cache_enabled = true } () in
+  let off = replay { base with cache_enabled = false; cache_entries = 0 } () in
+  let strip = List.filter (fun l -> not (is_stats_response l)) in
+  check_bool "cache on/off bit-identical (stats aside)" true (strip on = strip off)
+
+let test_fixture_domains_and_batch_invariant () =
+  let base = Engine.default_config () in
+  let seq = replay { base with pool = Some Fusecu_util.Pool.sequential } () in
+  let pool = Fusecu_util.Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Fusecu_util.Pool.shutdown pool)
+    (fun () ->
+      let par = replay { base with pool = Some pool } () in
+      check_bool "1 vs 3 domains identical" true (seq = par);
+      (* batch size moves batch boundaries (and so the hit/coalesced
+         split in stats) but must not change any planning response *)
+      let strip = List.filter (fun l -> not (is_stats_response l)) in
+      let b1 = replay { base with pool = Some pool } ~batch:1 () in
+      let b7 = replay { base with pool = Some pool } ~batch:7 () in
+      check_bool "batch 1 vs 7 identical" true (strip b1 = strip b7);
+      check_bool "batch vs default identical" true (strip b1 = strip seq))
+
+let test_fixture_hit_rate_positive () =
+  let engine = Engine.create (Engine.default_config ()) in
+  ignore (Engine.handle_lines engine (Lazy.force fixture_lines));
+  let st = Engine.cache_stats engine in
+  check_bool "hits > 0" true (st.Cache.hits > 0);
+  check_bool "hit rate > 0" true (Cache.hit_rate st > 0.)
+
+let test_shutdown_stops_processing () =
+  let engine = Engine.create (Engine.default_config ()) in
+  let out =
+    Engine.handle_lines engine
+      [ "{\"op\":\"regime\",\"m\":8,\"k\":8,\"l\":8}";
+        "{\"op\":\"shutdown\",\"id\":\"bye\"}";
+        "{\"op\":\"regime\",\"m\":9,\"k\":9,\"l\":9}" ]
+  in
+  check_int "stops after shutdown" 2 (List.length out);
+  check_bool "shutdown acked" true
+    (match Json.parse (List.nth out 1) with
+    | Ok r -> Json.member "op" r = Some (Json.String "shutdown")
+    | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  check_int "zero" 0 (Metrics.get m "x");
+  Metrics.incr m "x";
+  Metrics.incr ~by:3 m "x";
+  check_int "accumulates" 4 (Metrics.get m "x");
+  Metrics.incr ~by:0 m "x";
+  check_int "by 0 is a no-op" 4 (Metrics.get m "x");
+  Metrics.incr m "a";
+  Alcotest.(check (list (pair string int)))
+    "counters sorted"
+    [ ("a", 1); ("x", 4) ]
+    (Metrics.counters m);
+  check_str "counters_json deterministic" "{\"a\":1,\"x\":4}"
+    (Json.print (Metrics.counters_json m));
+  Metrics.observe m "lat" 0.001;
+  Metrics.observe m "lat" 0.002;
+  (* the full dump parses and carries the histogram *)
+  match Json.parse (Json.print (Metrics.to_json m)) with
+  | Ok j -> check_bool "dump has latencies" true (Json.member "latency" j <> None)
+  | Error e -> Alcotest.failf "metrics dump does not round-trip: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "fusecu-service"
+    [ ( "json",
+        [ Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors ] );
+      ("json-properties", qcheck [ prop_json_roundtrip; prop_json_hum_roundtrip ]);
+      ( "cache",
+        [ Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "capacity zero" `Quick test_cache_capacity_zero ]
+        @ qcheck [ prop_cache_never_exceeds_capacity ] );
+      ( "protocol",
+        [ Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "rejects" `Quick test_protocol_rejects;
+          Alcotest.test_case "canonicalization" `Quick
+            test_protocol_canonicalization ] );
+      ( "engine",
+        [ Alcotest.test_case "transpose symmetry" `Quick test_engine_symmetry;
+          Alcotest.test_case "fixture matches golden" `Quick
+            test_fixture_replay_matches_golden;
+          Alcotest.test_case "cache on/off identical" `Quick
+            test_fixture_cache_on_off_identical;
+          Alcotest.test_case "domains/batch invariant" `Quick
+            test_fixture_domains_and_batch_invariant;
+          Alcotest.test_case "hit rate positive" `Quick
+            test_fixture_hit_rate_positive;
+          Alcotest.test_case "shutdown barrier" `Quick
+            test_shutdown_stops_processing ] );
+      ("metrics", [ Alcotest.test_case "counters" `Quick test_metrics ]) ]

@@ -137,6 +137,55 @@ let prop_units_roundtrip =
     QCheck.(1 -- 100000)
     (fun n -> Units.parse_bytes (string_of_int n ^ "KB") = Ok (Units.kib n))
 
+(* decimal-looking suffixes are binary by doc: 1.5MB = 1.5 * 2^20 *)
+let test_units_parse_fractional () =
+  let ok = Alcotest.(check (result int string)) in
+  ok "1.5MB" (Ok 1572864) (Units.parse_bytes "1.5MB");
+  ok "1.5KB" (Ok 1536) (Units.parse_bytes "1.5KB");
+  ok "1.5KiB" (Ok 1536) (Units.parse_bytes "1.5KiB");
+  ok "0.5GB" (Ok (1 lsl 29)) (Units.parse_bytes "0.5gb");
+  ok "2.5k" (Ok 2560) (Units.parse_bytes "2.5k");
+  ok "0.25MB" (Ok (256 * 1024)) (Units.parse_bytes "0.25MB");
+  ok "1.5TB" (Ok (3 * (1 lsl 39))) (Units.parse_bytes "1.5TB");
+  (* fractions must scale to whole bytes; bare fractional bytes never do *)
+  check_bool "fractional bytes" true (Result.is_error (Units.parse_bytes "1.5"));
+  check_bool "fractional B suffix" true
+    (Result.is_error (Units.parse_bytes "1.5B"));
+  ok "0.3KB rounds" (Ok 307) (Units.parse_bytes "0.3KB");
+  check_bool "negative" true (Result.is_error (Units.parse_bytes "-1KB"));
+  check_bool "negative fraction" true
+    (Result.is_error (Units.parse_bytes "-1.5KB"));
+  check_bool "nan" true (Result.is_error (Units.parse_bytes "nanKB"))
+
+let test_units_pp_negative () =
+  (* the sign is re-attached after scaling the magnitude: a negative
+     count must pick the same unit as its absolute value *)
+  check_str "-512B" "-512B" (Units.pp_bytes (-512));
+  check_str "-1.50KB" "-1.50KB" (Units.pp_bytes (-1536));
+  check_str "-3MB" "-3MB" (Units.pp_bytes (-3 * 1024 * 1024));
+  check_str "-100000B scales" "-97.66KB" (Units.pp_bytes (-100000));
+  check_str "count" "-1.50K" (Units.pp_count (-1500));
+  check_str "zero" "0B" (Units.pp_bytes 0)
+
+let test_units_pp_parse_roundtrip () =
+  let ok = Alcotest.(check (result int string)) in
+  List.iter
+    (fun n -> ok (Units.pp_bytes n) (Ok n) (Units.parse_bytes (Units.pp_bytes n)))
+    [ 0; 1; 512; 1023; 1024; 1536; 524288; 1 lsl 20; 3 lsl 20; 1 lsl 29;
+      1 lsl 30; 1 lsl 40; 3 * (1 lsl 39) ]
+
+(* pp_bytes rounds to two decimals, so the generic inverse is only
+   approximate: within 0.5% (plus one byte for sub-KB exact prints) *)
+let prop_units_pp_parse_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse_bytes . pp_bytes ~= id"
+    QCheck.(0 -- (1 lsl 41))
+    (fun n ->
+      match Units.parse_bytes (Units.pp_bytes n) with
+      | Error _ -> false
+      | Ok m ->
+        let tolerance = Float.max 1. (0.005 *. float_of_int n) in
+        Float.abs (float_of_int (m - n)) <= tolerance)
+
 let test_table () =
   let t =
     Table.create [ "name"; "value" ]
@@ -180,7 +229,7 @@ let test_csv_escape () =
 let qsuite = List.map
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
   [ prop_isqrt; prop_divisors; prop_divisors_pair_up; prop_geomean_le_mean;
-    prop_units_roundtrip ]
+    prop_units_roundtrip; prop_units_pp_parse_roundtrip ]
 
 let () =
   Alcotest.run "util"
@@ -198,7 +247,13 @@ let () =
         [ Alcotest.test_case "summary" `Quick test_stats ] );
       ( "units",
         [ Alcotest.test_case "pretty-print" `Quick test_units_pp;
-          Alcotest.test_case "parse" `Quick test_units_parse ] );
+          Alcotest.test_case "parse" `Quick test_units_parse;
+          Alcotest.test_case "parse fractional" `Quick
+            test_units_parse_fractional;
+          Alcotest.test_case "pretty-print negative" `Quick
+            test_units_pp_negative;
+          Alcotest.test_case "pp/parse round trip" `Quick
+            test_units_pp_parse_roundtrip ] );
       ( "table",
         [ Alcotest.test_case "render" `Quick test_table;
           Alcotest.test_case "padding" `Quick test_table_padding ] );
