@@ -13,8 +13,17 @@
                                                  `dune build @bench-smoke`)
      dune exec bench/main.exe -- --service    -- replay the service
                                                  fixture (cache on vs
-                                                 off) and write
+                                                 off), run the socket
+                                                 fault drill, and write
                                                  BENCH_service.json
+     dune exec bench/main.exe -- --socket-smoke -- socket fault drill
+                                                 only: concurrent
+                                                 clients + slow loris +
+                                                 mid-batch disconnect
+                                                 against the live
+                                                 daemon (also part of
+                                                 `dune build
+                                                 @service-smoke`)
 
    Experiments: table1 table2 table3 example fig9 fig10 fig11 fig12
    energy ablation softmax hierarchy contention gqa chains speed;
@@ -24,7 +33,7 @@ let usage () =
   print_endline
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
-     <size>] [--quick] [--json] [--smoke] [--service]";
+     <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke]";
   exit 1
 
 type options = {
@@ -35,12 +44,14 @@ type options = {
   json : bool;
   smoke : bool;
   service : bool;
+  socket_smoke : bool;
 }
 
 let parse_args () =
   let only = ref None and buffer = ref Experiments.default_buffer in
   let quick = ref false and csv_dir = ref None in
   let json = ref false and smoke = ref false and service = ref false in
+  let socket_smoke = ref false in
   let rec loop = function
     | [] -> ()
     | "--only" :: tag :: rest ->
@@ -65,6 +76,9 @@ let parse_args () =
     | "--service" :: rest ->
       service := true;
       loop rest
+    | "--socket-smoke" :: rest ->
+      socket_smoke := true;
+      loop rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
@@ -75,12 +89,19 @@ let parse_args () =
   in
   loop (List.tl (Array.to_list Sys.argv));
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
-    json = !json; smoke = !smoke; service = !service }
+    json = !json; smoke = !smoke; service = !service;
+    socket_smoke = !socket_smoke }
 
 let () =
-  let { only; buffer; quick; csv_dir; json; smoke; service } = parse_args () in
+  let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke } =
+    parse_args ()
+  in
   if smoke then begin
     Speed.smoke ();
+    exit 0
+  end;
+  if socket_smoke then begin
+    Service_replay.socket_smoke ();
     exit 0
   end;
   if service then begin

@@ -8,12 +8,24 @@
    off its counters are legitimately different). A hit rate of zero also
    fails: the fixture contains deliberate repeats, symmetric transposes
    and re-spelled buffer sizes, so a cold cache means canonicalization
-   broke. *)
+   broke.
+
+   [socket_drill] additionally pushes the fixture through the concurrent
+   socket server under fault injection (slow loris, mid-batch
+   disconnect, backpressure) and records the served-connection and
+   timeout counters; [socket_smoke] is its standalone entry point behind
+   `dune build @service-smoke`. *)
 
 open Fusecu_util
 open Fusecu_service
 
 let default_fixture = "test/fixtures/service_requests.ndjson"
+
+(* `dune exec bench/main.exe` runs from the project root, but the
+   @service-smoke alias rule runs from bench/ — accept either. *)
+let resolve_fixture () =
+  if Sys.file_exists default_fixture then default_fixture
+  else Filename.concat ".." default_fixture
 
 let read_lines path =
   let ic = open_in path in
@@ -31,6 +43,151 @@ let is_stats_line line =
   match Json.parse line with
   | Ok r -> Json.member "op" r = Some (Json.String "stats")
   | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Socket fault drill                                                  *)
+
+(* Drive the real concurrent [Server.serve_socket] accept loop the way
+   misbehaving production traffic would: several concurrent fast
+   clients replaying the fixture, one slow-loris connection that must
+   be evicted by the idle timeout, and one client that disconnects
+   mid-batch without reading. Asserts byte-determinism (every fast
+   client gets the sequential golden transcript) and returns the
+   connection-lifecycle counters for BENCH_service.json. *)
+
+let drill_config =
+  { Server.max_conns = 2 (* below the client count: exercises backpressure *);
+    idle_timeout = 0.5;
+    max_line = 64 * 1024 }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let recv_lines fd =
+  let buf = Buffer.create 4096 in
+  let scratch = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd scratch 0 (Bytes.length scratch) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf scratch 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+let exchange path lines =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      send_all fd (String.concat "\n" lines ^ "\n");
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      recv_lines fd)
+
+let is_control_line line =
+  match Json.parse line with
+  | Ok r -> (
+    match Json.member "op" r with
+    | Some (Json.String ("stats" | "shutdown")) -> true
+    | _ -> false)
+  | Error _ -> false
+
+let socket_drill ?(fixture = default_fixture) ?(clients = 4) () =
+  (* stats responses legitimately differ once connections share the
+     engine, so the drill replays only the planning traffic *)
+  let requests =
+    read_lines fixture |> List.filter (fun l -> not (is_control_line l))
+  in
+  let golden =
+    Engine.handle_lines (Engine.create (Engine.default_config ())) requests
+  in
+  let engine = Engine.create (Engine.default_config ()) in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fusecu_bench_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let server =
+    Thread.create
+      (fun () -> Server.serve_socket engine ~config:drill_config ~path ())
+      ()
+  in
+  let rec wait n =
+    if n = 0 then failwith "socket drill: server did not come up";
+    match Unix.stat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> ()
+    | _ | (exception Unix.Unix_error (Unix.ENOENT, _, _)) ->
+      Thread.delay 0.02;
+      wait (n - 1)
+  in
+  wait 250;
+  let t0 = Unix.gettimeofday () in
+  (* fault injection: a slow loris (incomplete line, then silence) and a
+     mid-batch disconnect (requests sent, connection closed unread) *)
+  let loris = connect path in
+  send_all loris "{\"op\":\"intra\",";
+  let dropper = connect path in
+  send_all dropper (String.concat "\n" (List.filteri (fun i _ -> i < 2) requests) ^ "\n");
+  Unix.close dropper;
+  let results = Array.make clients [] in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create (fun () -> results.(i) <- exchange path requests) ())
+  in
+  List.iter Thread.join threads;
+  let mismatches = ref 0 in
+  Array.iter
+    (fun lines -> if lines <> golden then incr mismatches)
+    results;
+  (* wait out the loris eviction, then stop the daemon in-band *)
+  ignore (recv_lines loris);
+  (try Unix.close loris with Unix.Unix_error _ -> ());
+  ignore (exchange path [ "{\"op\":\"shutdown\"}" ]);
+  Thread.join server;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if !mismatches > 0 then
+    failwith
+      (Printf.sprintf
+         "socket drill: %d of %d concurrent clients diverged from the \
+          sequential golden transcript"
+         !mismatches clients);
+  if Sys.file_exists path then
+    failwith "socket drill: socket file survived shutdown";
+  let m = Engine.metrics engine in
+  let counter name = (name, Json.Int (Metrics.get m name)) in
+  ( Json.Obj
+      [ ("clients", Json.Int clients);
+        ("requests_per_client", Json.Int (List.length requests));
+        ("max_conns", Json.Int drill_config.Server.max_conns);
+        ("idle_timeout_s", Json.Float drill_config.Server.idle_timeout);
+        ("deterministic_across_clients", Json.Bool (!mismatches = 0));
+        counter "conns_accepted";
+        counter "conns_closed";
+        counter "conn_idle_timeouts";
+        counter "conn_client_drops";
+        counter "conn_oversized_lines";
+        ("elapsed_s", Json.Float elapsed) ],
+    Metrics.get m "conn_idle_timeouts" )
+
+let socket_smoke () =
+  let json, timeouts = socket_drill ~fixture:(resolve_fixture ()) () in
+  if timeouts < 1 then
+    failwith "socket drill: the slow-loris client was never timed out";
+  print_endline ("socket drill: " ^ Json.print json)
 
 let replay ~cache_enabled lines =
   let config =
@@ -55,6 +212,7 @@ let write_json ?(fixture = default_fixture) ?(path = "BENCH_service.json") () =
     failwith "service replay: cache-on and cache-off responses differ";
   if not (hit_rate > 0.) then
     failwith "service replay: cache hit rate is zero on a fixture with repeats";
+  let connections, _ = socket_drill ~fixture () in
   let json =
     Json.Obj
       [ ("fixture", Json.String fixture);
@@ -69,6 +227,7 @@ let write_json ?(fixture = default_fixture) ?(path = "BENCH_service.json") () =
               ("entries", Json.Int stats.Cache.entries);
               ("hit_rate", Json.Float hit_rate) ] );
         ("identical_with_cache_off", Json.Bool identical);
+        ("connections", connections);
         ("elapsed_cached_s", Json.Float elapsed_cached);
         ("elapsed_uncached_s", Json.Float elapsed_uncached) ]
   in

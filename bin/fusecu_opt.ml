@@ -436,7 +436,8 @@ let area_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run socket batch no_cache cache_entries metrics_file =
+  let run socket batch no_cache cache_entries metrics_file max_conns timeout
+      max_line =
     let default = Fusecu_service.Engine.default_config () in
     let cache_entries =
       match cache_entries with Some n -> max 0 n | None -> default.cache_entries
@@ -448,7 +449,16 @@ let serve_cmd =
     in
     let engine = Fusecu_service.Engine.create config in
     (match socket with
-    | Some path -> Fusecu_service.Server.serve_socket engine ~batch ~path
+    | Some path -> (
+      let socket_config =
+        { Fusecu_service.Server.max_conns; idle_timeout = timeout; max_line }
+      in
+      try
+        Fusecu_service.Server.serve_socket engine ~batch ~config:socket_config
+          ~path ()
+      with Failure msg | Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1)
     | None -> Fusecu_service.Server.serve_channel engine ~batch stdin stdout);
     match metrics_file with
     | None -> ()
@@ -502,15 +512,59 @@ let serve_cmd =
                 {\"op\":\"stats\"} request reports only the deterministic \
                 counters.")
   in
+  let defaults = Fusecu_service.Server.default_socket_config in
+  let max_conns =
+    Arg.(
+      value
+      & opt int defaults.Fusecu_service.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Socket mode: maximum concurrent client connections; the \
+                accept loop applies backpressure (stops accepting) while N \
+                connections are active.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float defaults.Fusecu_service.Server.idle_timeout
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket mode: close a connection that goes SECONDS without \
+                delivering a complete request line (also bounds per-response \
+                write stalls). 0 disables the timeout.")
+  in
+  let max_line =
+    let parse s =
+      match Fusecu_util.Units.parse_bytes s with
+      | Ok bytes when bytes >= 1 -> Ok bytes
+      | Ok _ -> Error (`Msg "max-line must be at least one byte")
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt bytes =
+      Format.pp_print_string fmt (Fusecu_util.Units.pp_bytes bytes)
+    in
+    Arg.(
+      value
+      & opt
+          (conv ~docv:"SIZE" (parse, print))
+          defaults.Fusecu_service.Server.max_line
+      & info [ "max-line" ] ~docv:"SIZE"
+          ~doc:"Socket mode: longest accepted request line (e.g. 64KB, 1MB); \
+                longer input gets a bad_request error and the connection is \
+                closed.")
+  in
   let term =
-    Term.(const run $ socket $ batch $ no_cache $ cache_entries $ metrics_file)
+    Term.(
+      const run $ socket $ batch $ no_cache $ cache_entries $ metrics_file
+      $ max_conns $ timeout $ max_line)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched planning daemon: newline-delimited JSON requests \
              (intra, fuse, regime, eval, chain, stats, shutdown) on stdin or \
              a Unix socket, answered in request order through a \
-             canonicalizing plan cache.")
+             canonicalizing plan cache. Socket mode serves clients \
+             concurrently (see --max-conns, --timeout, --max-line) and shuts \
+             down gracefully on SIGINT/SIGTERM or an in-band shutdown \
+             request.")
     term
 
 (* ------------------------------------------------------------------ *)

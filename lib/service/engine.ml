@@ -255,6 +255,8 @@ let flush t batch emit =
         emit line)
       slots
 
+type stop_reason = Drained | Shutdown
+
 let run t ?(batch = 64) ~next ~emit () =
   let batch_size = max 1 batch in
   let pending = ref [] in
@@ -264,7 +266,9 @@ let run t ?(batch = 64) ~next ~emit () =
   in
   let rec loop () =
     match next () with
-    | None -> flush_pending ()
+    | None ->
+      flush_pending ();
+      Drained
     | Some line -> (
       if String.trim line = "" then loop ()
       else
@@ -281,7 +285,8 @@ let run t ?(batch = 64) ~next ~emit () =
           Metrics.incr t.metrics "requests_shutdown";
           emit
             (Protocol.response_ok_json ~id ~op:"shutdown"
-               ~result:(Json.Obj [ ("stopping", Json.Bool true) ]))
+               ~result:(Json.Obj [ ("stopping", Json.Bool true) ]));
+          Shutdown
         | Ok (id, Protocol.Call call) ->
           pending := Ok (id, call) :: !pending;
           if List.length !pending >= batch_size then flush_pending ();
@@ -304,5 +309,5 @@ let handle_lines t ?batch lines =
       Some l
   in
   let emit line = out := line :: !out in
-  run t ?batch ~next ~emit ();
+  ignore (run t ?batch ~next ~emit ());
   List.rev !out

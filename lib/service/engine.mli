@@ -57,16 +57,22 @@ val compute : t -> Protocol.call
 (** Run one (already canonical) call against the planners. Exposed for
     the benchmark harness; normal traffic goes through {!run}. *)
 
+type stop_reason =
+  | Drained  (** [next] returned [None] (end of input) *)
+  | Shutdown  (** an in-band [shutdown] request was served *)
+
 val run :
   t ->
   ?batch:int ->
   next:(unit -> string option) ->
   emit:(string -> unit) ->
   unit ->
-  unit
+  stop_reason
 (** Drain request lines from [next] (until it returns [None] or a
     [shutdown] request) and hand each response line to [emit]. [batch]
-    (default 64, min 1) bounds how many requests a flush covers. *)
+    (default 64, min 1) bounds how many requests a flush covers. The
+    return value says {e why} the loop stopped, so transports can react
+    to an in-band [shutdown] without re-parsing emitted responses. *)
 
 val handle_lines : t -> ?batch:int -> string list -> string list
 (** Convenience wrapper over {!run} for tests and fixture replay. *)

@@ -58,10 +58,12 @@ let observe t name seconds =
       let b = bucket_of_seconds seconds in
       h.bins.(b) <- h.bins.(b) + 1)
 
-let counters t =
-  with_lock t (fun () ->
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+(* Callers must hold [t.mutex]. *)
+let counters_locked t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = with_lock t (fun () -> counters_locked t)
 
 let counters_json t =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t))
@@ -85,14 +87,19 @@ let histogram_json h =
       ("buckets", Json.List bins) ]
 
 let to_json t =
-  let hists =
+  (* Counters and histograms are snapshotted under ONE lock acquisition:
+     taking the lock once for each half would let an update land between
+     the two reads and produce a torn dump (e.g. a request counted whose
+     latency is missing, or vice versa). *)
+  let counters, hists =
     with_lock t (fun () ->
-        Hashtbl.fold
-          (fun k h acc ->
-            (k, { h with bins = Array.copy h.bins }) :: acc)
-          t.histograms []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+        ( counters_locked t,
+          Hashtbl.fold
+            (fun k h acc ->
+              (k, { h with bins = Array.copy h.bins }) :: acc)
+            t.histograms []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b) ))
   in
   Json.Obj
-    [ ("counters", counters_json t);
+    [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
       ("latency", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) hists)) ]

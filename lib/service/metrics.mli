@@ -34,7 +34,9 @@ val counters_json : t -> Fusecu_util.Json.t
 (** The deterministic counters as a JSON object (keys sorted). *)
 
 val to_json : t -> Fusecu_util.Json.t
-(** Full dump: counters plus latency histograms. Each histogram reports
+(** Full dump: counters plus latency histograms, snapshotted atomically
+    (one lock acquisition covers both halves, so a concurrent update
+    cannot tear the dump). Each histogram reports
     [count], [total_s] and log2 buckets [{"le_us": upper, "n": count}]
     covering 1 µs .. ~17 min (observations above the last bound land in
     a final open bucket). Not deterministic — wall-clock data. *)

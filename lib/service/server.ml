@@ -1,3 +1,37 @@
+(* Transport layer for the planning daemon.
+
+   Channel mode stays a plain drain of an [in_channel]. Socket mode is a
+   concurrent accept loop: every connection gets its own systhread
+   running [Engine.run] against a select-based bounded line reader, with
+   a connection cap (backpressure: the accept loop stops accepting while
+   the cap is reached), per-connection idle/read timeouts, an input
+   line-length bound, and graceful shutdown (SIGINT / SIGTERM / in-band
+   [shutdown]) that stops accepting, drains in-flight batches, closes
+   the listener and unlinks the socket path.
+
+   Sharing one [Engine] across connection threads is safe: the cache and
+   metrics registry are mutex-guarded, and concurrent [Pool] regions
+   degrade to inline sequential execution. Per-client response bytes
+   stay deterministic because canonicalization runs on every request
+   whether or not its result is served from the cache — a hit returns
+   bit-for-bit what a fresh computation would (DESIGN.md §5). *)
+
+type socket_config = {
+  max_conns : int;
+  idle_timeout : float;
+  max_line : int;
+}
+
+let default_socket_config =
+  { max_conns = 16; idle_timeout = 30.; max_line = 1 lsl 20 }
+
+(* How often blocking loops re-check the stop flag, in seconds. Bounds
+   both shutdown latency and idle-timeout precision. *)
+let poll_slice = 0.05
+
+(* ------------------------------------------------------------------ *)
+(* Channel mode                                                        *)
+
 let serve_channel engine ?batch ic oc =
   let next () = In_channel.input_line ic in
   let emit line =
@@ -5,49 +39,322 @@ let serve_channel engine ?batch ic oc =
     Out_channel.output_char oc '\n';
     Out_channel.flush oc
   in
-  Engine.run engine ?batch ~next ~emit ()
+  ignore (Engine.run engine ?batch ~next ~emit ())
 
-(* Sequential accept loop: one engine (one cache, one metrics registry)
-   across all connections; a client's "shutdown" stops the daemon. *)
-let serve_socket engine ?batch ~path =
+(* ------------------------------------------------------------------ *)
+(* Select-based bounded line reader                                    *)
+
+type read_result =
+  | Line of string
+  | Eof
+  | Timeout  (** no complete line within the idle timeout *)
+  | Oversized  (** line exceeded [max_line] before its newline *)
+  | Stopped  (** server shutdown requested *)
+
+type reader = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (** received bytes not yet returned as lines *)
+  scratch : Bytes.t;
+  mutable scanned : int;  (** prefix of [pending] known newline-free *)
+  mutable at_eof : bool;
+  mutable swept : bool;  (** final post-shutdown drain already done *)
+}
+
+let reader_of_fd fd =
+  { fd;
+    pending = Buffer.create 512;
+    scratch = Bytes.create 4096;
+    scanned = 0;
+    at_eof = false;
+    swept = false }
+
+(* Consume everything already delivered to the kernel buffer without
+   blocking. Used once at shutdown so requests the client sent before
+   the stop signal are still answered ("drain in-flight"). *)
+let drain_available r =
+  let rec go () =
+    match Unix.select [ r.fd ] [] [] 0. with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.read r.fd r.scratch 0 (Bytes.length r.scratch) with
+      | 0 -> r.at_eof <- true
+      | n ->
+        Buffer.add_subbytes r.pending r.scratch 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        r.at_eof <- true)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* Take the first '\n'-terminated line out of [r.pending], if any. *)
+let take_line r =
+  let len = Buffer.length r.pending in
+  let rec find i =
+    if i >= len then None
+    else if Buffer.nth r.pending i = '\n' then Some i
+    else find (i + 1)
+  in
+  match find r.scanned with
+  | None ->
+    r.scanned <- len;
+    None
+  | Some i ->
+    let line = Buffer.sub r.pending 0 i in
+    let rest = Buffer.sub r.pending (i + 1) (len - i - 1) in
+    Buffer.clear r.pending;
+    Buffer.add_string r.pending rest;
+    r.scanned <- 0;
+    Some line
+
+(* One line, or the reason there is none. A partial line followed by EOF
+   is returned as a line (matching [In_channel.input_line]); the idle
+   deadline covers the whole wait for one complete line, so a client
+   trickling bytes forever (slow loris) still times out. *)
+let read_line ~stop ~idle_timeout ~max_line r =
+  let deadline =
+    if idle_timeout > 0. then Unix.gettimeofday () +. idle_timeout
+    else infinity
+  in
+  let rec go () =
+    match take_line r with
+    | Some line -> if String.length line > max_line then Oversized else Line line
+    | None ->
+      if Buffer.length r.pending > max_line then Oversized
+      else if r.at_eof then
+        if Buffer.length r.pending > 0 then begin
+          let line = Buffer.contents r.pending in
+          Buffer.clear r.pending;
+          r.scanned <- 0;
+          Line line
+        end
+        else Eof
+      else if Atomic.get stop then
+        if r.swept then Stopped
+        else begin
+          (* one last non-blocking sweep, then re-scan: lines the client
+             delivered before the shutdown are still served *)
+          r.swept <- true;
+          drain_available r;
+          go ()
+        end
+      else begin
+        let now = Unix.gettimeofday () in
+        if now >= deadline then Timeout
+        else begin
+          let wait = Float.min poll_slice (deadline -. now) in
+          (match Unix.select [ r.fd ] [] [] wait with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.read r.fd r.scratch 0 (Bytes.length r.scratch) with
+            | 0 -> r.at_eof <- true
+            | n -> Buffer.add_subbytes r.pending r.scratch 0 n
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              ->
+              r.at_eof <- true)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ()
+        end
+      end
+  in
+  go ()
+
+(* Blocking write of the whole string, with a liveness bound: a peer
+   that stops reading cannot wedge the connection thread forever. *)
+exception Write_stalled
+
+let write_all ~idle_timeout fd s =
+  let len = String.length s in
+  let b = Bytes.of_string s in
+  let deadline =
+    if idle_timeout > 0. then Unix.gettimeofday () +. idle_timeout
+    else infinity
+  in
+  let rec go off =
+    if off < len then begin
+      let now = Unix.gettimeofday () in
+      if now >= deadline then raise Write_stalled;
+      match Unix.select [] [ fd ] [] (Float.min poll_slice (deadline -. now)) with
+      | _, [], _ -> go off
+      | _, _ :: _, _ ->
+        let n = Unix.write fd b off (len - off) in
+        go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Socket mode                                                         *)
+
+type conn = { finished : bool ref; thread : Thread.t }
+
+type server = {
+  engine : Engine.t;
+  config : socket_config;
+  stop : bool Atomic.t;
+  lock : Mutex.t;  (** guards [active] and [conns] *)
+  mutable active : int;
+  mutable conns : conn list;
+}
+
+let request_stop srv = Atomic.set srv.stop true
+
+let handle_connection srv ?batch client =
+  let { idle_timeout; max_line; _ } = srv.config in
+  let m = Engine.metrics srv.engine in
+  let reader = reader_of_fd client in
+  let close_reason = ref `Eof in
+  let next () =
+    match read_line ~stop:srv.stop ~idle_timeout ~max_line reader with
+    | Line l -> Some l
+    | Eof -> None
+    | Stopped ->
+      close_reason := `Stopped;
+      None
+    | Timeout ->
+      Metrics.incr m "conn_idle_timeouts";
+      close_reason := `Timeout;
+      None
+    | Oversized ->
+      Metrics.incr m "conn_oversized_lines";
+      close_reason := `Oversized;
+      None
+  in
+  let emit line = write_all ~idle_timeout client (line ^ "\n") in
+  (try
+     (* The reader turns timeout / oversize / shutdown into end-of-input,
+        so Engine.run always drains the pending batch before returning:
+        responses for requests received so far are emitted even when the
+        connection is about to be closed for cause. *)
+     (match Engine.run srv.engine ?batch ~next ~emit () with
+     | Engine.Shutdown -> request_stop srv
+     | Engine.Drained -> ());
+     match !close_reason with
+     | `Oversized ->
+       (* Tell the client why it is being dropped (best effort — it may
+          already be gone). *)
+       emit
+         (Protocol.response_error ~id:Fusecu_util.Json.Null
+            ~code:Protocol.Bad_request
+            ~message:
+              (Printf.sprintf
+                 "input line exceeds max-line (%d bytes); closing connection"
+                 max_line))
+     | `Eof | `Timeout | `Stopped -> ()
+   with
+  | Sys_error _ | End_of_file | Write_stalled ->
+    Metrics.incr m "conn_client_drops"
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    (* client went away mid-batch *)
+    Metrics.incr m "conn_client_drops");
+  (try Unix.shutdown client Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close client with Unix.Unix_error _ -> ());
+  Metrics.incr m "conns_closed"
+
+(* Join connection threads that have finished (their [finished] flag is
+   set in the thread's own cleanup, so join returns promptly), keeping
+   the tracked list proportional to live connections. *)
+let reap srv =
+  let done_ =
+    Mutex.protect srv.lock (fun () ->
+        let d, live = List.partition (fun c -> !(c.finished)) srv.conns in
+        srv.conns <- live;
+        d)
+  in
+  List.iter (fun c -> Thread.join c.thread) done_
+
+let serve_socket engine ?batch ?(config = default_socket_config) ~path () =
+  if config.max_conns < 1 then invalid_arg "serve_socket: max_conns < 1";
+  if config.max_line < 1 then invalid_arg "serve_socket: max_line < 1";
   (* A client that disconnects before reading its responses must not
-     kill the daemon: turn SIGPIPE into EPIPE (caught below). *)
+     kill the daemon: turn SIGPIPE into EPIPE (caught above). *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   (match Unix.lstat path with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-  | _ -> ()
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "serve: %s exists and is not a socket; remove it or pick another \
+          --socket path"
+         path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let stop = ref false in
+  let srv =
+    { engine;
+      config;
+      stop = Atomic.make false;
+      lock = Mutex.create ();
+      active = 0;
+      conns = [] }
+  in
+  (* SIGINT / SIGTERM initiate the same graceful drain as an in-band
+     shutdown request. The handlers only flip the atomic — every
+     blocking loop re-checks it within [poll_slice]. Previous
+     dispositions are restored on exit so embedders (tests) keep their
+     own handling. *)
+  let install signal =
+    try
+      Some (signal, Sys.signal signal (Sys.Signal_handle (fun _ -> request_stop srv)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let saved = List.filter_map install [ Sys.sigint; Sys.sigterm ] in
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let metrics = Engine.metrics engine in
   Fun.protect
     ~finally:(fun () ->
-      Unix.close sock;
-      try Unix.unlink path with Unix.Unix_error _ -> ())
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (* Drain: connection threads see the stop flag at their next read
+         boundary, flush their pending batch, and exit. *)
+      let conns = Mutex.protect srv.lock (fun () -> srv.conns) in
+      List.iter (fun c -> Thread.join c.thread) conns;
+      List.iter (fun (s, behavior) -> Sys.set_signal s behavior) saved)
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 16;
-      while not !stop do
-        let client, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr client in
-        let oc = Unix.out_channel_of_descr client in
-        let next () = In_channel.input_line ic in
-        let emit line =
-          Out_channel.output_string oc line;
-          Out_channel.output_char oc '\n';
-          Out_channel.flush oc;
-          (* Engine.run returns right after emitting the shutdown
-             response; remember that it happened to stop accepting. *)
-          match Fusecu_util.Json.parse line with
-          | Ok response ->
-            if Fusecu_util.Json.member "op" response = Some (String "shutdown")
-            then stop := true
-          | Error _ -> ()
+      Unix.listen sock (max 16 config.max_conns);
+      Unix.set_nonblock sock;
+      while not (Atomic.get srv.stop) do
+        reap srv;
+        (* Backpressure: while [max_conns] connections are active, wait
+           for a slot instead of accepting more. *)
+        let have_slot =
+          Mutex.protect srv.lock (fun () -> srv.active < config.max_conns)
         in
-        (try Engine.run engine ?batch ~next ~emit ()
-         with
-         | Sys_error _ | End_of_file
-         | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-           () (* client went away mid-batch *));
-        (try Unix.close client with Unix.Unix_error _ -> ())
+        if not have_slot then
+          ignore
+            (try Unix.select [] [] [] poll_slice
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], []))
+        else
+          match Unix.select [ sock ] [] [] poll_slice with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.accept ~cloexec:true sock with
+            | exception
+                Unix.Unix_error
+                  ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                    | Unix.ECONNABORTED),
+                    _,
+                    _ )
+              -> ()
+            | client, _ ->
+              Metrics.incr metrics "conns_accepted";
+              Mutex.protect srv.lock (fun () -> srv.active <- srv.active + 1);
+              let finished = ref false in
+              let thread =
+                Thread.create
+                  (fun () ->
+                    Fun.protect
+                      ~finally:(fun () ->
+                        Mutex.protect srv.lock (fun () ->
+                            srv.active <- srv.active - 1;
+                            finished := true))
+                      (fun () -> handle_connection srv ?batch client))
+                  ()
+              in
+              Mutex.protect srv.lock (fun () ->
+                  srv.conns <- { finished; thread } :: srv.conns))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done)

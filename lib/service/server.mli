@@ -4,16 +4,48 @@
     Channel mode is the pipeline-friendly form —
     {v echo '{"op":"intra",...}' | fusecu_opt serve v}
     — reading until EOF (or a [shutdown] request). Socket mode binds a
-    path, accepts one client at a time and serves each connection with
-    the same engine (so the plan cache and metrics persist across
-    connections) until a client sends [shutdown]. *)
+    path and serves clients {e concurrently}: each accepted connection
+    runs on its own thread against the shared engine (one plan cache,
+    one metrics registry), bounded by {!socket_config}. Misbehaving
+    clients are contained per connection — a stalled sender hits the
+    idle timeout, an over-long line is rejected, a client that vanishes
+    mid-batch is dropped — and each such event lands in a
+    {!Metrics} counter ([conns_accepted], [conns_closed],
+    [conn_idle_timeouts], [conn_oversized_lines], [conn_client_drops]).
+
+    Shutdown is graceful on SIGINT, SIGTERM, or an in-band [shutdown]
+    request: the listener stops accepting and is closed, the socket
+    path is unlinked, and in-flight connections drain their pending
+    batch (every request already received gets its response) before
+    their threads are joined. *)
+
+type socket_config = {
+  max_conns : int;
+      (** connection cap; the accept loop applies backpressure (stops
+          accepting) while this many connections are active *)
+  idle_timeout : float;
+      (** seconds a connection may sit without delivering a complete
+          request line (and per-response write-liveness bound) before it
+          is closed; [<= 0.] disables the timeout *)
+  max_line : int;
+      (** longest accepted request line in bytes; longer input gets a
+          [bad_request] error response and the connection is closed *)
+}
+
+val default_socket_config : socket_config
+(** 16 connections, 30 s idle timeout, 1 MiB line bound. *)
 
 val serve_channel : Engine.t -> ?batch:int -> in_channel -> out_channel -> unit
 (** Drain the input channel through {!Engine.run}; responses are
     flushed after every batch. *)
 
-val serve_socket : Engine.t -> ?batch:int -> path:string -> unit
-(** Listen on a Unix-domain socket at [path] (an existing socket file
-    there is replaced) and serve connections sequentially until a
-    [shutdown] request arrives; the socket file is removed on exit.
-    Raises [Unix.Unix_error] on bind/listen failures. *)
+val serve_socket :
+  Engine.t -> ?batch:int -> ?config:socket_config -> path:string -> unit -> unit
+(** Listen on a Unix-domain socket at [path] (an existing {e socket}
+    file there is replaced) and serve connections concurrently until a
+    [shutdown] request or a termination signal arrives; the socket file
+    is removed on exit and previous signal dispositions are restored.
+
+    Raises [Failure] when [path] exists and is not a socket,
+    [Invalid_argument] on a non-positive [max_conns]/[max_line], and
+    [Unix.Unix_error] on bind/listen failures. *)

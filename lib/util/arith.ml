@@ -7,13 +7,17 @@ let clamp ~lo ~hi x =
   if x < lo then lo else if x > hi then hi else x
 
 let isqrt n =
-  assert (n >= 0);
+  if n < 0 then invalid_arg "Arith.isqrt: negative argument";
   if n < 2 then n
   else begin
-    (* Newton iteration on the float estimate, then fix up the boundary. *)
+    (* Newton iteration on the float estimate, then fix up the boundary.
+       The fix-up compares via division ([r*r <= n] iff [r <= n/r] for
+       positive ints) so that [n] near [max_int] cannot overflow the
+       squaring: the float estimate for such [n] is ~2^31 and
+       [(r+1)*(r+1)] would wrap negative. *)
     let r = ref (int_of_float (sqrt (float_of_int n))) in
-    while !r * !r > n do decr r done;
-    while (!r + 1) * (!r + 1) <= n do incr r done;
+    while !r > n / !r do decr r done;
+    while !r + 1 <= n / (!r + 1) do incr r done;
     !r
   end
 
@@ -31,8 +35,15 @@ let divisors n =
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
+(* Largest power of two an OCaml int can hold (2^61 on 64-bit). *)
+let max_pow2 = (max_int lsr 1) + 1
+
 let next_pow2 n =
-  assert (n >= 1);
+  if n < 1 then invalid_arg "Arith.next_pow2: argument must be >= 1";
+  if n > max_pow2 then
+    (* [p * 2] would wrap negative and the loop below would never
+       terminate; there is no representable power of two >= n. *)
+    invalid_arg "Arith.next_pow2: no representable power of two >= n";
   let rec loop p = if p >= n then p else loop (p * 2) in
   loop 1
 
@@ -41,7 +52,12 @@ let pow2s_upto n =
   let rec loop p acc = if p > n then List.rev acc else loop (p * 2) (p :: acc) in
   loop 1 []
 
-let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let gcd a b =
+  (* Total on all ints: gcd is sign-insensitive, so work on absolute
+     values ([abs min_int = min_int], but Euclid's remainders shrink in
+     magnitude immediately, so even that case terminates correctly). *)
+  let rec go a b = if b = 0 then a else go b (a mod b) in
+  abs (go (abs a) (abs b))
 
 let range lo hi = List.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
 

@@ -13,7 +13,9 @@ val clamp : lo:int -> hi:int -> int -> int
     Requires [lo <= hi]. *)
 
 val isqrt : int -> int
-(** [isqrt n] is the largest [r] with [r * r <= n]. Requires [n >= 0]. *)
+(** [isqrt n] is the largest [r] with [r * r <= n], for any
+    [0 <= n <= max_int] (the boundary fix-up is overflow-safe). Raises
+    [Invalid_argument] when [n < 0]. *)
 
 val divisors : int -> int list
 (** [divisors n] lists all positive divisors of [n] in increasing order.
@@ -23,14 +25,22 @@ val is_pow2 : int -> bool
 (** [is_pow2 n] is [true] iff [n] is a positive power of two. *)
 
 val next_pow2 : int -> int
-(** [next_pow2 n] is the smallest power of two [>= n]. Requires [n >= 1]. *)
+(** [next_pow2 n] is the smallest power of two [>= n]. Raises
+    [Invalid_argument] when [n < 1] or when no power of two [>= n] is
+    representable (i.e. [n > 2^61] on 64-bit — see {!max_pow2}). *)
+
+val max_pow2 : int
+(** The largest power of two representable in an OCaml [int]
+    ([2^61] on 64-bit platforms). *)
 
 val pow2s_upto : int -> int list
 (** [pow2s_upto n] lists the powers of two [<= n] in increasing order,
     starting at 1. Requires [n >= 1]. *)
 
 val gcd : int -> int -> int
-(** Greatest common divisor; [gcd 0 n = n]. Requires non-negative inputs. *)
+(** Greatest common divisor; [gcd 0 n = abs n]. Total on negative
+    inputs: the result is the (non-negative) gcd of the absolute
+    values. *)
 
 val range : int -> int -> int list
 (** [range lo hi] is the list [lo; lo+1; ...; hi] ([] when [lo > hi]). *)

@@ -358,6 +358,295 @@ let test_shutdown_stops_processing () =
     | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Socket server: fault-injection harness                              *)
+
+(* Everything here drives the real [Server.serve_socket] accept loop
+   over a Unix-domain socket in a temp directory: concurrent clients,
+   mid-batch disconnects, half-closed peers, garbage and over-long
+   lines, a slow-loris sender, signal-triggered drain. *)
+
+let sock_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fusecu_test_%d_%d.sock" (Unix.getpid ()) !counter)
+
+let quick_config =
+  { Server.max_conns = 8; idle_timeout = 5.; max_line = 64 * 1024 }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+(* Read until the server closes the connection; split into lines. *)
+let recv_lines fd =
+  let buf = Buffer.create 1024 in
+  let scratch = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd scratch 0 (Bytes.length scratch) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf scratch 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+(* One well-behaved exchange: send every line, half-close the write
+   side (the server sees EOF and flushes), read responses until the
+   server closes. *)
+let exchange path lines =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      send_all fd (String.concat "\n" lines ^ "\n");
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      recv_lines fd)
+
+let start_server ?(config = quick_config) ?batch engine path =
+  let th =
+    Thread.create
+      (fun () -> Server.serve_socket engine ?batch ~config ~path ())
+      ()
+  in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "server socket did not appear"
+    else
+      match Unix.stat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> ()
+      | _ -> Alcotest.fail "server path is not a socket"
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+        Thread.delay 0.02;
+        wait (n - 1)
+  in
+  wait 250;
+  th
+
+let with_server ?config ?batch f =
+  let engine = Engine.create (Engine.default_config ()) in
+  let path = sock_path () in
+  let th = start_server ?config ?batch engine path in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Idempotent stop: the test body may already have shut the
+         server down, in which case connect just fails. *)
+      (try ignore (exchange path [ "{\"op\":\"shutdown\"}" ])
+       with Unix.Unix_error _ -> ());
+      Thread.join th;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f ~engine ~path)
+
+(* A deterministic request mix (no [stats] — its counters legitimately
+   depend on scheduling once several clients share the engine). *)
+let fault_requests =
+  [ "{\"op\":\"intra\",\"id\":1,\"m\":96,\"k\":64,\"l\":48,\"buffer\":\"8KB\"}";
+    "{\"op\":\"regime\",\"id\":2,\"m\":48,\"k\":64,\"l\":96}";
+    "{\"op\":\"intra\",\"id\":3,\"m\":48,\"k\":64,\"l\":96,\"buffer\":\"8KB\"}";
+    "{\"op\":\"fuse\",\"id\":4,\"m\":32,\"k\":32,\"l\":32,\"l2\":16,\"buffer\":\"16KB\"}";
+    "{\"op\":\"chain\",\"id\":5,\"m\":16,\"ks\":[24,32,16],\"buffer\":\"16KB\"}";
+    "{\"op\":\"intra\",\"id\":6,\"m\":96,\"k\":64,\"l\":48,\"buffer\":\"8KB\"}";
+    "{\"op\":\"nonsense\",\"id\":7}";
+    "{\"op\":\"regime\",\"id\":8,\"m\":96,\"k\":64,\"l\":48}" ]
+
+(* What a sequential, fresh engine answers — responses carry no cache or
+   concurrency state, so this is the golden transcript for EVERY client
+   regardless of interleaving (DESIGN.md §5). *)
+let fault_golden () =
+  Engine.handle_lines (Engine.create (Engine.default_config ())) fault_requests
+
+let test_server_concurrent_clients_deterministic () =
+  let golden = fault_golden () in
+  (* max_conns below the client count exercises accept backpressure *)
+  with_server
+    ~config:{ quick_config with Server.max_conns = 2 }
+    (fun ~engine:_ ~path ->
+      let n = 4 in
+      let results = Array.make n [] in
+      let clients =
+        List.init n (fun i ->
+            Thread.create
+              (fun () -> results.(i) <- exchange path fault_requests)
+              ())
+      in
+      List.iter Thread.join clients;
+      Array.iteri
+        (fun i lines ->
+          check_int (Printf.sprintf "client %d response count" i)
+            (List.length golden) (List.length lines);
+          List.iteri
+            (fun j (g, o) ->
+              if g <> o then
+                Alcotest.failf "client %d response %d differs:\n  %s\n  %s" i j
+                  g o)
+            (List.combine golden lines))
+        results)
+
+let test_server_half_closed_client () =
+  with_server (fun ~engine:_ ~path ->
+      (* [exchange] half-closes the write side before reading anything:
+         the server must treat that as end-of-requests, not as a dead
+         client, and still deliver every response. *)
+      let lines = exchange path fault_requests in
+      check_int "all responses arrive" (List.length fault_requests)
+        (List.length lines))
+
+let test_server_mid_batch_disconnect () =
+  with_server (fun ~engine ~path ->
+      let fd = connect path in
+      send_all fd
+        (String.concat "\n"
+           [ "{\"op\":\"intra\",\"m\":64,\"k\":64,\"l\":64,\"buffer\":\"8KB\"}";
+             "{\"op\":\"regime\",\"m\":64,\"k\":64,\"l\":64}" ]
+        ^ "\n");
+      (* vanish without reading a byte *)
+      Unix.close fd;
+      (* the daemon must shrug it off and serve the next client *)
+      let lines = exchange path fault_requests in
+      check_int "next client served" (List.length fault_requests)
+        (List.length lines);
+      check_bool "both connections counted" true
+        (Metrics.get (Engine.metrics engine) "conns_accepted" >= 2))
+
+let test_server_garbage_line () =
+  with_server (fun ~engine:_ ~path ->
+      let lines =
+        exchange path
+          [ "this is not json";
+            "{\"op\":\"regime\",\"id\":\"ok\",\"m\":8,\"k\":8,\"l\":8}" ]
+      in
+      check_int "two responses" 2 (List.length lines);
+      (match Json.parse (List.nth lines 0) with
+      | Ok r ->
+        check_bool "garbage rejected" true
+          (Json.member "ok" r = Some (Json.Bool false))
+      | Error e -> Alcotest.failf "reject line is not json: %s" e);
+      match Json.parse (List.nth lines 1) with
+      | Ok r ->
+        check_bool "valid request still served" true
+          (Json.member "ok" r = Some (Json.Bool true))
+      | Error e -> Alcotest.failf "response is not json: %s" e)
+
+let test_server_oversized_line () =
+  with_server
+    ~config:{ quick_config with Server.max_line = 512 }
+    (fun ~engine ~path ->
+      (* a valid request, then a line that blows the bound: the valid
+         request's response is drained first, then the reject lands and
+         the connection is closed *)
+      let huge = String.make 2048 'x' in
+      let lines =
+        exchange path
+          [ "{\"op\":\"regime\",\"id\":\"ok\",\"m\":8,\"k\":8,\"l\":8}"; huge ]
+      in
+      check_int "response then reject" 2 (List.length lines);
+      (match Json.parse (List.nth lines 1) with
+      | Ok r ->
+        check_bool "reject is an error" true
+          (Json.member "ok" r = Some (Json.Bool false))
+      | Error e -> Alcotest.failf "reject line is not json: %s" e);
+      check_bool "oversize recorded" true
+        (Metrics.get (Engine.metrics engine) "conn_oversized_lines" >= 1))
+
+let test_server_slow_loris () =
+  with_server
+    ~config:{ quick_config with Server.idle_timeout = 0.4 }
+    (fun ~engine ~path ->
+      (* the stalled client sends an incomplete line and then nothing *)
+      let loris = connect path in
+      send_all loris "{\"op\":\"intra\",";
+      (* a concurrent fast client must be served while the loris stalls *)
+      let t0 = Unix.gettimeofday () in
+      let lines = exchange path fault_requests in
+      let fast_elapsed = Unix.gettimeofday () -. t0 in
+      check_int "fast client fully served" (List.length fault_requests)
+        (List.length lines);
+      check_bool "fast client not delayed behind the stalled one" true
+        (fast_elapsed < 5.);
+      (* the loris is evicted by the idle timeout: its connection reaches
+         EOF without us ever completing a request line *)
+      let leftovers = recv_lines loris in
+      Alcotest.(check (list string)) "loris got nothing" [] leftovers;
+      Unix.close loris;
+      check_bool "idle timeout recorded" true
+        (Metrics.get (Engine.metrics engine) "conn_idle_timeouts" >= 1))
+
+let test_server_sigterm_drains () =
+  let requests =
+    [ "{\"op\":\"intra\",\"id\":1,\"m\":96,\"k\":64,\"l\":48,\"buffer\":\"8KB\"}";
+      "{\"op\":\"regime\",\"id\":2,\"m\":48,\"k\":64,\"l\":96}";
+      "{\"op\":\"chain\",\"id\":3,\"m\":16,\"ks\":[24,32,16],\"buffer\":\"16KB\"}" ]
+  in
+  let golden =
+    Engine.handle_lines (Engine.create (Engine.default_config ())) requests
+  in
+  let engine = Engine.create (Engine.default_config ()) in
+  let path = sock_path () in
+  let th = start_server engine path in
+  let fd = connect path in
+  (* requests are in flight (batch 64 means nothing flushed yet) when
+     the signal lands *)
+  send_all fd (String.concat "\n" requests ^ "\n");
+  Thread.delay 0.15;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  let lines = recv_lines fd in
+  Unix.close fd;
+  Thread.join th;
+  Alcotest.(check (list string)) "in-flight requests drained" golden lines;
+  check_bool "socket file removed" true (not (Sys.file_exists path))
+
+let test_server_inband_shutdown_unlinks () =
+  let engine = Engine.create (Engine.default_config ()) in
+  let path = sock_path () in
+  let th = start_server engine path in
+  let lines =
+    exchange path
+      [ "{\"op\":\"regime\",\"id\":1,\"m\":8,\"k\":8,\"l\":8}";
+        "{\"op\":\"shutdown\",\"id\":\"bye\"}" ]
+  in
+  Thread.join th;
+  check_int "response + shutdown ack" 2 (List.length lines);
+  check_bool "socket file removed" true (not (Sys.file_exists path));
+  check_bool "no longer accepting" true
+    (match connect path with
+    | fd ->
+      Unix.close fd;
+      false
+    | exception Unix.Unix_error _ -> true)
+
+let test_server_rejects_non_socket_path () =
+  let path = Filename.temp_file "fusecu_not_a_socket" ".txt" in
+  let engine = Engine.create (Engine.default_config ()) in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Server.serve_socket engine ~path () with
+      | () -> Alcotest.fail "serve_socket accepted a regular file"
+      | exception Failure msg ->
+        let contains sub =
+          let n = String.length sub and m = String.length msg in
+          let rec find i =
+            i + n <= m && (String.sub msg i n = sub || find (i + 1))
+          in
+          find 0
+        in
+        check_bool "message names the problem" true (contains "not a socket");
+        check_bool "file left in place" true (Sys.file_exists path))
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 
 let test_metrics () =
@@ -415,4 +704,21 @@ let () =
             test_fixture_hit_rate_positive;
           Alcotest.test_case "shutdown barrier" `Quick
             test_shutdown_stops_processing ] );
+      ( "server",
+        [ Alcotest.test_case "concurrent clients deterministic" `Quick
+            test_server_concurrent_clients_deterministic;
+          Alcotest.test_case "half-closed client" `Quick
+            test_server_half_closed_client;
+          Alcotest.test_case "mid-batch disconnect" `Quick
+            test_server_mid_batch_disconnect;
+          Alcotest.test_case "garbage line" `Quick test_server_garbage_line;
+          Alcotest.test_case "oversized line" `Quick test_server_oversized_line;
+          Alcotest.test_case "slow loris vs fast client" `Quick
+            test_server_slow_loris;
+          Alcotest.test_case "sigterm drains in-flight" `Quick
+            test_server_sigterm_drains;
+          Alcotest.test_case "in-band shutdown unlinks" `Quick
+            test_server_inband_shutdown_unlinks;
+          Alcotest.test_case "non-socket path rejected" `Quick
+            test_server_rejects_non_socket_path ] );
       ("metrics", [ Alcotest.test_case "counters" `Quick test_metrics ]) ]

@@ -23,6 +23,32 @@ let test_isqrt () =
   check_int "large" 1024 (Arith.isqrt (1024 * 1024));
   check_int "large-1" 1023 (Arith.isqrt ((1024 * 1024) - 1))
 
+(* Boundary behaviour near max_int: the naive fix-up squared [r + 1],
+   which wraps negative for n >= 2^62 and used to report e.g.
+   isqrt max_int = 2^31 - 1 instead of floor(sqrt(2^62 - 1)). *)
+let test_isqrt_boundaries () =
+  let isqrt_max = 2147483647 in
+  (* 2^31 - 1 = floor(sqrt(2^62 - 1)) *)
+  check_int "max_int" isqrt_max (Arith.isqrt max_int);
+  check_int "max_int - 1" isqrt_max (Arith.isqrt (max_int - 1));
+  (* exact square just below the overflow frontier *)
+  check_int "(2^31 - 1)^2" isqrt_max (Arith.isqrt (isqrt_max * isqrt_max));
+  check_int "(2^31 - 1)^2 - 1" (isqrt_max - 1)
+    (Arith.isqrt ((isqrt_max * isqrt_max) - 1));
+  check_int "2^60 is a square" (1 lsl 30) (Arith.isqrt (1 lsl 60));
+  check_int "2^61" 1518500249 (Arith.isqrt (1 lsl 61));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Arith.isqrt: negative argument") (fun () ->
+      ignore (Arith.isqrt (-1)));
+  (* the invariant holds at every boundary point, checked without
+     squaring (the squares themselves would overflow) *)
+  List.iter
+    (fun n ->
+      let r = Arith.isqrt n in
+      check_bool "r*r <= n (division form)" true (r = 0 || r <= n / r);
+      check_bool "(r+1)^2 > n (division form)" true (r + 1 > n / (r + 1)))
+    [ max_int; max_int - 1; (1 lsl 62) - 1; 1 lsl 61; (1 lsl 61) - 1 ]
+
 let prop_isqrt =
   QCheck.Test.make ~count:500 ~name:"isqrt bounds" QCheck.(int_bound 1_000_000)
     (fun n ->
@@ -86,6 +112,44 @@ let test_pow2 () =
   check_int "next 1000" 1024 (Arith.next_pow2 1000);
   check_int "next 1024" 1024 (Arith.next_pow2 1024);
   Alcotest.(check (list int)) "upto 9" [ 1; 2; 4; 8 ] (Arith.pow2s_upto 9)
+
+(* next_pow2 used to loop forever past the last representable power of
+   two ([p * 2] wraps negative, so [p >= n] never fires). *)
+let test_next_pow2_boundaries () =
+  check_int "max_pow2 is 2^61" (1 lsl 61) Arith.max_pow2;
+  check_int "at the frontier" Arith.max_pow2 (Arith.next_pow2 Arith.max_pow2);
+  check_int "just below the frontier" Arith.max_pow2
+    (Arith.next_pow2 (Arith.max_pow2 - 1));
+  check_int "one past the previous power" Arith.max_pow2
+    (Arith.next_pow2 ((Arith.max_pow2 lsr 1) + 1));
+  Alcotest.check_raises "past the frontier terminates with an error"
+    (Invalid_argument "Arith.next_pow2: no representable power of two >= n")
+    (fun () -> ignore (Arith.next_pow2 (Arith.max_pow2 + 1)));
+  Alcotest.check_raises "max_int terminates with an error"
+    (Invalid_argument "Arith.next_pow2: no representable power of two >= n")
+    (fun () -> ignore (Arith.next_pow2 max_int));
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Arith.next_pow2: argument must be >= 1") (fun () ->
+      ignore (Arith.next_pow2 0))
+
+let test_gcd_negative () =
+  check_int "both negative" 24 (Arith.gcd (-120) (-72));
+  check_int "first negative" 24 (Arith.gcd (-120) 72);
+  check_int "second negative" 24 (Arith.gcd 120 (-72));
+  check_int "negative with zero" 7 (Arith.gcd (-7) 0);
+  check_int "zero with negative" 7 (Arith.gcd 0 (-7));
+  (* gcd(2^62, 2^62 - 2) = 2; the point is that it terminates even
+     though [abs min_int = min_int] *)
+  check_int "min_int terminates" 2 (Arith.gcd min_int (max_int - 1));
+  check_int "min_int with odd" 1 (Arith.gcd min_int max_int)
+
+let prop_gcd_total =
+  QCheck.Test.make ~count:500 ~name:"gcd total and sign-insensitive"
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      let g = Arith.gcd a b in
+      if a = 0 && b = 0 then g = 0
+      else g > 0 && abs a mod g = 0 && abs b mod g = 0)
 
 let test_misc_arith () =
   check_int "gcd" 24 (Arith.gcd 120 72);
@@ -228,7 +292,8 @@ let test_csv_escape () =
 
 let qsuite = List.map
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
-  [ prop_isqrt; prop_divisors; prop_divisors_pair_up; prop_geomean_le_mean;
+  [ prop_isqrt; prop_gcd_total; prop_divisors; prop_divisors_pair_up;
+    prop_geomean_le_mean;
     prop_units_roundtrip; prop_units_pp_parse_roundtrip ]
 
 let () =
@@ -237,11 +302,15 @@ let () =
         [ Alcotest.test_case "ceil_div" `Quick test_ceil_div;
           Alcotest.test_case "clamp" `Quick test_clamp;
           Alcotest.test_case "isqrt" `Quick test_isqrt;
+          Alcotest.test_case "isqrt boundaries" `Quick test_isqrt_boundaries;
           Alcotest.test_case "divisors" `Quick test_divisors;
           Alcotest.test_case "divisors edge cases" `Quick
             test_divisors_edge_cases;
           Alcotest.test_case "pow2s edge cases" `Quick test_pow2s_edge_cases;
           Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "next_pow2 boundaries" `Quick
+            test_next_pow2_boundaries;
+          Alcotest.test_case "gcd negative" `Quick test_gcd_negative;
           Alcotest.test_case "misc" `Quick test_misc_arith ] );
       ( "stats",
         [ Alcotest.test_case "summary" `Quick test_stats ] );
