@@ -33,7 +33,8 @@ let usage () =
   print_endline
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
-     <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke]";
+     <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke] \
+     [--trace FILE]";
   exit 1
 
 type options = {
@@ -45,6 +46,7 @@ type options = {
   smoke : bool;
   service : bool;
   socket_smoke : bool;
+  trace : string option;
 }
 
 let parse_args () =
@@ -52,6 +54,7 @@ let parse_args () =
   let quick = ref false and csv_dir = ref None in
   let json = ref false and smoke = ref false and service = ref false in
   let socket_smoke = ref false in
+  let trace = ref None in
   let rec loop = function
     | [] -> ()
     | "--only" :: tag :: rest ->
@@ -82,6 +85,9 @@ let parse_args () =
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
+    | "--trace" :: file :: rest ->
+      trace := Some file;
+      loop rest
     | "--help" :: _ | "-h" :: _ -> usage ()
     | arg :: _ ->
       Printf.eprintf "unknown argument %S\n" arg;
@@ -90,12 +96,24 @@ let parse_args () =
   loop (List.tl (Array.to_list Sys.argv));
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
     json = !json; smoke = !smoke; service = !service;
-    socket_smoke = !socket_smoke }
+    socket_smoke = !socket_smoke; trace = !trace }
 
 let () =
-  let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke } =
+  let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke;
+        trace } =
     parse_args ()
   in
+  (* --trace FILE: profile whatever runs below and write a Chrome
+     trace-event JSON on exit (at_exit covers every early-exit path).
+     [Speed.write_json] manages its own collection window, so --json
+     runs also get a file without double-starting. *)
+  (match trace with
+  | None -> ()
+  | Some file ->
+    if not json then Fusecu_util.Trace.start ();
+    at_exit (fun () ->
+        Fusecu_util.Trace.stop ();
+        Fusecu_util.Trace.export file));
   if smoke then begin
     Speed.smoke ();
     exit 0

@@ -110,8 +110,29 @@ let measure_tasks ?repeats tasks =
 
 let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
     () =
+  let module Trace = Fusecu_util.Trace in
+  let module Json = Fusecu_util.Json in
+  (* Span durations must come from the same monotonic clock as the
+     measurements; the default Trace clock is wall time. *)
+  Trace.set_clock (fun () -> Int64.to_float (Mclock.now ()) /. 1e9);
+  Trace.start ();
+  Pool.reset_stats (Pool.get_global ());
   let domains = Pool.size (Pool.get_global ()) in
   let rows = measure_tasks ?repeats tasks in
+  Trace.stop ();
+  (* total recorded span time per phase (enumerate / evaluate / merge /
+     pool), exact regardless of ring eviction *)
+  let trace_json =
+    Json.Obj
+      (List.map
+         (fun (s : Trace.cat_summary) ->
+           ( s.cat,
+             Json.Obj
+               [ ("total_s", Json.Float s.total_s);
+                 ("count", Json.Int s.count) ] ))
+         (Trace.summary ()))
+  in
+  let pool_json = Pool.stats_json (Pool.get_global ()) in
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"domains\": %d,\n  \"tasks\": [\n" domains;
   List.iteri
@@ -122,7 +143,8 @@ let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
         name seq_ns par_ns (seq_ns /. par_ns)
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"trace\": %s,\n  \"pool\": %s\n}\n"
+    (Json.print trace_json) (Json.print pool_json);
   close_out oc;
   Printf.printf "wrote %s (%d domains):\n" path domains;
   List.iter
@@ -158,6 +180,16 @@ let smoke () =
   | _ -> failwith "smoke: parallel and sequential search disagree");
   let json = Filename.temp_file "fusecu_bench" ".json" in
   write_json ~path:json ~repeats:1 ~tasks ();
+  (* the file must parse and carry the embedded observability sections *)
+  let contents = In_channel.with_open_text json In_channel.input_all in
+  (match Fusecu_util.Json.parse contents with
+  | Error e -> failwith ("smoke: BENCH_dse.json does not parse: " ^ e)
+  | Ok obj ->
+    List.iter
+      (fun field ->
+        if Fusecu_util.Json.member field obj = None then
+          failwith ("smoke: BENCH_dse.json is missing \"" ^ field ^ "\""))
+      [ "domains"; "tasks"; "trace"; "pool" ]);
   Sys.remove json;
   Printf.printf "smoke: bench ok (%d domains)\n" (Pool.size pool)
 

@@ -59,6 +59,50 @@ let mkl ?(prefix = "") () =
     $ dim_arg (p "l") "Columns of B (and C).")
 
 (* ------------------------------------------------------------------ *)
+(* Observability (shared by sweep, search, serve)                      *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Profile the run: collect spans (enumerate / evaluate / merge \
+              phases, pool chunks, service batches) and write a Chrome \
+              trace-event JSON profile to FILE on exit, loadable in \
+              chrome://tracing or Perfetto. Tracing never writes to stdout, \
+              so command output is unchanged.")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Structured NDJSON logging to stderr: debug, info, warn, error \
+              or off (default: \\$FUSECU_LOG, else off). Logs never touch \
+              stdout.")
+
+(* Apply the requested logging level and, when tracing, bracket [f] with
+   collection so the profile is written even if [f] raises. *)
+let with_observability ~trace ~log_level f =
+  (match log_level with
+  | None -> ()
+  | Some s -> (
+    match Fusecu_util.Log.level_of_string s with
+    | Ok lvl -> Fusecu_util.Log.set_level lvl
+    | Error e ->
+      prerr_endline ("--log-level: " ^ e);
+      exit 2));
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Fusecu_util.Trace.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        Fusecu_util.Trace.stop ();
+        Fusecu_util.Trace.export path)
+      f
+
+(* ------------------------------------------------------------------ *)
 (* intra                                                               *)
 
 let intra_cmd =
@@ -139,7 +183,8 @@ let regime_cmd =
 (* search                                                              *)
 
 let search_cmd =
-  let run op buf =
+  let run op buf trace log_level =
+    with_observability ~trace ~log_level @@ fun () ->
     let principle = Intra.optimize_exn op buf in
     Format.printf "principles: MA=%s %a@."
       (Fusecu_util.Units.pp_count (Intra.ma principle))
@@ -157,7 +202,9 @@ let search_cmd =
         Schedule.pp r.schedule r.explored
     | None -> print_endline "genetic: infeasible"
   in
-  let term = Term.(const run $ mkl () $ buffer_arg) in
+  let term =
+    Term.(const run $ mkl () $ buffer_arg $ trace_file_arg $ log_level_arg)
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Compare the principles against searched baselines.")
     term
@@ -333,7 +380,8 @@ let chain_cmd =
 (* sweep                                                               *)
 
 let sweep_cmd =
-  let run op from_b to_b =
+  let run op from_b to_b trace log_level =
+    with_observability ~trace ~log_level @@ fun () ->
     let points =
       Buffer_sweep.run op
         ~bytes:
@@ -379,7 +427,8 @@ let sweep_cmd =
     Term.(
       const run $ mkl ()
       $ size_opt "from" 1024 "Smallest buffer in the sweep."
-      $ size_opt "to" (32 * 1024 * 1024) "Largest buffer in the sweep.")
+      $ size_opt "to" (32 * 1024 * 1024) "Largest buffer in the sweep."
+      $ trace_file_arg $ log_level_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -436,8 +485,9 @@ let area_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run socket batch no_cache cache_entries metrics_file max_conns timeout
-      max_line =
+  let run socket batch no_cache cache_entries metrics_file metrics_addr slow_ms
+      max_conns timeout max_line trace log_level =
+    with_observability ~trace ~log_level @@ fun () ->
     let default = Fusecu_service.Engine.default_config () in
     let cache_entries =
       match cache_entries with Some n -> max 0 n | None -> default.cache_entries
@@ -445,27 +495,50 @@ let serve_cmd =
     let config =
       { default with
         cache_enabled = (not no_cache) && cache_entries > 0;
-        cache_entries }
+        cache_entries;
+        slow_log_ms = slow_ms }
     in
     let engine = Fusecu_service.Engine.create config in
-    (match socket with
-    | Some path -> (
-      let socket_config =
-        { Fusecu_service.Server.max_conns; idle_timeout = timeout; max_line }
-      in
-      try
-        Fusecu_service.Server.serve_socket engine ~batch ~config:socket_config
-          ~path ()
-      with Failure msg | Invalid_argument msg ->
-        prerr_endline msg;
-        exit 1)
-    | None -> Fusecu_service.Server.serve_channel engine ~batch stdin stdout);
+    let exporter =
+      match metrics_addr with
+      | None -> None
+      | Some addr -> (
+        try
+          Some
+            (Fusecu_service.Server.start_metrics_exporter
+               ~render:(fun () -> Fusecu_service.Engine.prometheus engine)
+               ~addr)
+        with
+        | Invalid_argument msg | Failure msg ->
+          prerr_endline msg;
+          exit 1
+        | Unix.Unix_error (e, _, _) ->
+          prerr_endline
+            (Printf.sprintf "metrics-addr %s: %s" addr (Unix.error_message e));
+          exit 1)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Fusecu_service.Server.stop_metrics_exporter exporter)
+      (fun () ->
+        match socket with
+        | Some path -> (
+          let socket_config =
+            { Fusecu_service.Server.max_conns; idle_timeout = timeout; max_line }
+          in
+          try
+            Fusecu_service.Server.serve_socket engine ~batch
+              ~config:socket_config ~path ()
+          with Failure msg | Invalid_argument msg ->
+            prerr_endline msg;
+            exit 1)
+        | None -> Fusecu_service.Server.serve_channel engine ~batch stdin stdout);
     match metrics_file with
     | None -> ()
     | Some file ->
       let dump =
         Fusecu_util.Json.print_hum
-          (Fusecu_service.Metrics.to_json (Fusecu_service.Engine.metrics engine))
+          (Fusecu_service.Engine.metrics_result engine)
       in
       if file = "-" then prerr_endline dump
       else
@@ -512,6 +585,28 @@ let serve_cmd =
                 {\"op\":\"stats\"} request reports only the deterministic \
                 counters.")
   in
+  let metrics_addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:"Serve live Prometheus text-format metrics (per-op request \
+                counters and latency histograms, cache gauges) on a TCP \
+                listener at ADDR (PORT or HOST:PORT; host defaults to \
+                127.0.0.1). No HTTP framing: each connection receives the \
+                exposition and is closed, so 'nc 127.0.0.1 PORT' is a \
+                complete scrape.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Log a warn-level NDJSON record (op, cache key, duration, \
+                trace id) for any single plan computation taking at least MS \
+                milliseconds. Requires --log-level warn or lower to be \
+                visible.")
+  in
   let defaults = Fusecu_service.Server.default_socket_config in
   let max_conns =
     Arg.(
@@ -554,17 +649,20 @@ let serve_cmd =
   let term =
     Term.(
       const run $ socket $ batch $ no_cache $ cache_entries $ metrics_file
-      $ max_conns $ timeout $ max_line)
+      $ metrics_addr $ slow_ms $ max_conns $ timeout $ max_line
+      $ trace_file_arg $ log_level_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched planning daemon: newline-delimited JSON requests \
-             (intra, fuse, regime, eval, chain, stats, shutdown) on stdin or \
-             a Unix socket, answered in request order through a \
+             (intra, fuse, regime, eval, chain, stats, metrics, shutdown) on \
+             stdin or a Unix socket, answered in request order through a \
              canonicalizing plan cache. Socket mode serves clients \
              concurrently (see --max-conns, --timeout, --max-line) and shuts \
              down gracefully on SIGINT/SIGTERM or an in-band shutdown \
-             request.")
+             request. Observability: --metrics-addr serves live Prometheus \
+             text, --trace writes a Chrome trace profile, --log-level / \
+             --slow-ms emit NDJSON logs on stderr.")
     term
 
 (* ------------------------------------------------------------------ *)

@@ -3,12 +3,17 @@ open Fusecu_loopnest
 type point = { bytes : int; ma : int; nra : Nra.t; redundancy : float }
 
 let run ?(mode = Mode.Exact) ?pool op ~bytes =
+  Fusecu_util.Trace.with_span ~cat:"enumerate" "buffer_sweep.run" @@ fun () ->
   let sorted = Array.of_list (Fusecu_util.Arith.dedup_sorted bytes) in
   (* points are independent: optimize each buffer size on its own
      domain; parallel_map preserves the increasing-bytes order *)
   let points =
-    Fusecu_util.Pool.parallel_map ?pool
+    Fusecu_util.Pool.parallel_map ?pool ~label:"buffer_sweep.run"
       (fun b ->
+        Fusecu_util.Trace.with_span ~cat:"evaluate"
+          ~args:[ ("bytes", Fusecu_util.Json.Int b) ]
+          "buffer_sweep.point"
+        @@ fun () ->
         match Intra.optimize ~mode op (Buffer.make b) with
         | Error _ -> None
         | Ok plan ->
@@ -32,11 +37,16 @@ let geometric ?(from_bytes = 1024) ?(to_bytes = 32 * 1024 * 1024)
   in
   Fusecu_util.Arith.dedup_sorted (build [] (float_of_int from_bytes))
 
-let rec transitions = function
-  | a :: (b :: _ as rest) ->
-    if Nra.equal a.nra b.nra then transitions rest
-    else (b.bytes, a.nra, b.nra) :: transitions rest
-  | [ _ ] | [] -> []
+let transitions points =
+  Fusecu_util.Trace.with_span ~cat:"merge" "buffer_sweep.transitions"
+  @@ fun () ->
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if Nra.equal a.nra b.nra then go rest
+      else (b.bytes, a.nra, b.nra) :: go rest
+    | [ _ ] | [] -> []
+  in
+  go points
 
 let check_paper_bands op points =
   let th = Regime.thresholds op in

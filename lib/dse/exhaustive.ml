@@ -16,8 +16,13 @@ let merge_best a b =
   | None, None -> None
 
 let search ?(lattice = Space.Divisors) ?pool op buf =
+  Trace.with_span ~cat:"enumerate" "exhaustive.search" @@ fun () ->
   let space = Space.compile lattice op buf in
   let eval_range lo hi =
+    Trace.with_span ~cat:"evaluate"
+      ~args:[ ("lo", Json.Int lo); ("hi", Json.Int hi) ]
+      "exhaustive.chunk"
+    @@ fun () ->
     Space.fold_range space ~lo ~hi ~init:(None, 0)
       ~f:(fun (best, n) idx schedule ->
         let cost = Cost.eval op schedule in
@@ -28,16 +33,24 @@ let search ?(lattice = Space.Divisors) ?pool op buf =
         in
         (best, n + 1))
   in
+  let merge (b1, n1) (b2, n2) =
+    Trace.with_span ~cat:"merge" "exhaustive.merge" @@ fun () ->
+    (merge_best b1 b2, n1 + n2)
+  in
   let best, explored =
-    Pool.parallel_fold ?pool ~lo:0 ~hi:(Space.raw_size space) ~fold:eval_range
-      ~merge:(fun (b1, n1) (b2, n2) -> (merge_best b1 b2, n1 + n2))
-      (None, 0)
+    Pool.parallel_fold ?pool ~label:"exhaustive.search" ~lo:0
+      ~hi:(Space.raw_size space) ~fold:eval_range ~merge (None, 0)
   in
   Option.map (fun (schedule, cost, _) -> { schedule; cost; explored }) best
 
 let best_per_class ?(lattice = Space.Divisors) ?pool op buf =
+  Trace.with_span ~cat:"enumerate" "exhaustive.best_per_class" @@ fun () ->
   let space = Space.compile lattice op buf in
   let eval_range lo hi =
+    Trace.with_span ~cat:"evaluate"
+      ~args:[ ("lo", Json.Int lo); ("hi", Json.Int hi) ]
+      "best_per_class.chunk"
+    @@ fun () ->
     let table = Hashtbl.create 3 in
     let explored =
       Space.fold_range space ~lo ~hi ~init:0 ~f:(fun n idx schedule ->
@@ -51,6 +64,7 @@ let best_per_class ?(lattice = Space.Divisors) ?pool op buf =
     (table, explored)
   in
   let merge (t1, n1) (t2, n2) =
+    Trace.with_span ~cat:"merge" "best_per_class.merge" @@ fun () ->
     (* chunks arrive in ascending index order: a right-hand entry
        displaces a left-hand one only on strictly lower cost, matching
        the sequential first-seen rule *)
@@ -64,8 +78,8 @@ let best_per_class ?(lattice = Space.Divisors) ?pool op buf =
     (t1, n1 + n2)
   in
   let table, explored =
-    Pool.parallel_fold ?pool ~lo:0 ~hi:(Space.raw_size space) ~fold:eval_range
-      ~merge
+    Pool.parallel_fold ?pool ~label:"exhaustive.best_per_class" ~lo:0
+      ~hi:(Space.raw_size space) ~fold:eval_range ~merge
       (Hashtbl.create 3, 0)
   in
   List.filter_map

@@ -19,9 +19,16 @@ let consumer_candidates lattice (pair : Fused.pair) (producer : Schedule.t) buf 
    index) and chunks merge in ascending order with a (traffic, index)
    tie-break — bit-identical to the sequential scan. *)
 let exhaustive ?(lattice = Space.Divisors) ?pool (pair : Fused.pair) buf =
+  Fusecu_util.Trace.with_span ~cat:"enumerate" "fused_search.exhaustive"
+  @@ fun () ->
   let { Fused.op1; _ } = pair in
   let space = Space.compile lattice op1 buf in
   let eval_range lo hi =
+    Fusecu_util.Trace.with_span ~cat:"evaluate"
+      ~args:
+        [ ("lo", Fusecu_util.Json.Int lo); ("hi", Fusecu_util.Json.Int hi) ]
+      "fused_search.chunk"
+    @@ fun () ->
     let explored = ref 0 in
     let best = ref None in
     let consider idx fused =
@@ -51,11 +58,13 @@ let exhaustive ?(lattice = Space.Divisors) ?pool (pair : Fused.pair) buf =
     | (Some _ as s), None | None, (Some _ as s) -> s
     | None, None -> None
   in
+  let merge (b1, n1) (b2, n2) =
+    Fusecu_util.Trace.with_span ~cat:"merge" "fused_search.merge" @@ fun () ->
+    (merge_best b1 b2, n1 + n2)
+  in
   let best, explored =
-    Fusecu_util.Pool.parallel_fold ?pool ~lo:0 ~hi:(Space.raw_tilings space)
-      ~fold:eval_range
-      ~merge:(fun (b1, n1) (b2, n2) -> (merge_best b1 b2, n1 + n2))
-      (None, 0)
+    Fusecu_util.Pool.parallel_fold ?pool ~label:"fused_search.exhaustive"
+      ~lo:0 ~hi:(Space.raw_tilings space) ~fold:eval_range ~merge (None, 0)
   in
   Option.map (fun (fused, traffic, _) -> { fused; traffic; explored }) best
 

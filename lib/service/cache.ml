@@ -84,6 +84,10 @@ let stats t =
     { hits = 0; misses = 0; evictions = 0; entries = 0 }
     t.shards
 
+let shard_occupancy t =
+  Array.to_list
+    (Array.map (fun s -> with_lock s (fun () -> Hashtbl.length s.table)) t.shards)
+
 let hit_rate st =
   let lookups = st.hits + st.misses in
   if lookups = 0 then 0. else float_of_int st.hits /. float_of_int lookups

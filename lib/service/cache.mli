@@ -41,5 +41,11 @@ type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 val stats : 'a t -> stats
 
+val shard_occupancy : 'a t -> int list
+(** Entry count of each shard, in shard order. Deterministic for a given
+    sequence of [find]/[add] calls (sharding is [Hashtbl.hash]-based and
+    the engine drains sequentially), so safe to report in [stats]
+    responses compared against goldens. *)
+
 val hit_rate : stats -> float
 (** [hits / (hits + misses)]; 0 when no lookups have happened. *)

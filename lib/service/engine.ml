@@ -8,6 +8,7 @@ type config = {
   cache_entries : int;
   cache_shards : int;
   pool : Pool.t option;
+  slow_log_ms : float option;
 }
 
 let default_cache_entries = 4096
@@ -21,12 +22,17 @@ let default_config () =
   { cache_enabled = entries > 0;
     cache_entries = entries;
     cache_shards = 8;
-    pool = None }
+    pool = None;
+    slow_log_ms = None }
 
 type t = {
   config : config;
   cache : Protocol.outcome Cache.t;
   metrics : Metrics.t;
+  ticks : int Atomic.t;
+      (* logical clock: one tick per flushed batch and per control
+         request — deterministic "uptime", unlike wall time *)
+  seq : int Atomic.t;  (* next request sequence number, for log lines *)
 }
 
 let create ?metrics config =
@@ -35,11 +41,17 @@ let create ?metrics config =
       Cache.create ~shards:config.cache_shards
         ~capacity:(if config.cache_enabled then config.cache_entries else 0)
         ();
-    metrics = (match metrics with Some m -> m | None -> Metrics.create ()) }
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    ticks = Atomic.make 0;
+    seq = Atomic.make 0 }
 
 let metrics t = t.metrics
 
 let cache_stats t = Cache.stats t.cache
+
+let uptime_ticks t = Atomic.get t.ticks
+
+let tick t = ignore (Atomic.fetch_and_add t.ticks 1)
 
 (* ------------------------------------------------------------------ *)
 (* Planner dispatch                                                    *)
@@ -161,12 +173,31 @@ let stats_result t =
           [ ("enabled", Json.Bool (Cache.capacity t.cache > 0));
             ("capacity", Json.Int (Cache.capacity t.cache));
             ("entries", Json.Int st.entries);
+            ("shard_entries",
+             Json.List
+               (List.map (fun n -> Json.Int n) (Cache.shard_occupancy t.cache)));
             ("hits", Json.Int st.hits);
             ("misses", Json.Int st.misses);
             ("evictions", Json.Int st.evictions);
             ("coalesced", Json.Int (Metrics.get t.metrics "cache_coalesced"));
             ("hit_rate", Json.Float (Cache.hit_rate st)) ] );
-      ("counters", Metrics.counters_json t.metrics) ]
+      ("counters", Metrics.counters_json t.metrics);
+      ("uptime_ticks", Json.Int (uptime_ticks t)) ]
+
+(* Refresh point-in-time gauges, then render every metric family. Used
+   by both the in-band [metrics] op and the [--metrics-addr] TCP
+   exporter. *)
+let metrics_result t =
+  let st = Cache.stats t.cache in
+  Metrics.set_gauge t.metrics "cache_entries" (float_of_int st.entries);
+  Metrics.set_gauge t.metrics "uptime_ticks" (float_of_int (uptime_ticks t));
+  Metrics.to_json t.metrics
+
+let prometheus t =
+  let st = Cache.stats t.cache in
+  Metrics.set_gauge t.metrics "cache_entries" (float_of_int st.entries);
+  Metrics.set_gauge t.metrics "uptime_ticks" (float_of_int (uptime_ticks t));
+  Metrics.to_prometheus t.metrics
 
 let flush t batch emit =
   match batch with
@@ -176,6 +207,16 @@ let flush t batch emit =
       match t.config.pool with Some p -> p | None -> Pool.get_global ()
     in
     Metrics.incr t.metrics "batches";
+    (* Request-scoped ids: one trace id per batch, one sequence number
+       per request. Both live only in traces and logs — never in the
+       response stream — so determinism is untouched. *)
+    let trace_id = Trace.new_trace_id () in
+    let seq_base = Atomic.fetch_and_add t.seq (List.length batch) in
+    Trace.with_span ~cat:"service"
+      ~args:
+        [ ("trace", Json.Int trace_id); ("batch", Json.Int (List.length batch)) ]
+      "engine.flush"
+    @@ fun () ->
     let cache_on = Cache.capacity t.cache > 0 in
     let work = ref [] and work_count = ref 0 in
     let pending_by_key = Hashtbl.create 16 in
@@ -216,13 +257,28 @@ let flush t batch emit =
     (* phase 2: parallel compute of the deduplicated work list *)
     let work = Array.of_list (List.rev !work) in
     let results =
-      Pool.parallel_map ~pool
+      Pool.parallel_map ~pool ~label:"engine.compute"
         (fun canonical ->
+          let op = Protocol.op_name canonical in
           let t0 = Unix.gettimeofday () in
-          let r = compute t canonical in
-          Metrics.observe t.metrics
-            ("latency_" ^ Protocol.op_name canonical)
-            (Unix.gettimeofday () -. t0);
+          let r =
+            Trace.with_span ~cat:"evaluate"
+              ~args:[ ("op", Json.String op); ("trace", Json.Int trace_id) ]
+              "engine.compute"
+              (fun () -> compute t canonical)
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          Metrics.observe t.metrics ("latency_" ^ op) dt;
+          (match t.config.slow_log_ms with
+          | Some ms when dt *. 1000. >= ms ->
+            Log.warn
+              ~fields:
+                [ ("trace", Json.Int trace_id);
+                  ("op", Json.String op);
+                  ("key", Json.String (Protocol.cache_key canonical));
+                  ("ms", Json.Float (dt *. 1000.)) ]
+              "slow request"
+          | _ -> ());
           r)
         work
     in
@@ -235,23 +291,33 @@ let flush t batch emit =
           | Ok outcome -> Cache.add t.cache (Protocol.cache_key work.(i)) outcome
           | Error _ -> ())
         results;
-    List.iter
-      (fun slot ->
-        let line =
+    let access_log = Log.enabled Log.Debug in
+    List.iteri
+      (fun idx slot ->
+        let line, kind =
           match slot with
-          | Ready line -> line
+          | Ready line -> (line, "reject")
           | Hit { id; call; transform; outcome } ->
-            Protocol.response_ok ~id ~call
-              (Protocol.apply_transform transform outcome)
+            ( Protocol.response_ok ~id ~call
+                (Protocol.apply_transform transform outcome),
+              "hit" )
           | Pending { id; call; transform; work = i } -> (
             match results.(i) with
             | Ok outcome ->
-              Protocol.response_ok ~id ~call
-                (Protocol.apply_transform transform outcome)
+              ( Protocol.response_ok ~id ~call
+                  (Protocol.apply_transform transform outcome),
+                "computed" )
             | Error (code, message) ->
               Metrics.incr t.metrics "compute_errors";
-              Protocol.response_error ~id ~code ~message)
+              (Protocol.response_error ~id ~code ~message, "error"))
         in
+        if access_log then
+          Log.debug
+            ~fields:
+              [ ("trace", Json.Int trace_id);
+                ("seq", Json.Int (seq_base + idx));
+                ("kind", Json.String kind) ]
+            "response";
         emit line)
       slots
 
@@ -271,13 +337,24 @@ let run t ?(batch = 64) ~next ~emit () =
       Drained
     | Some line -> (
       if String.trim line = "" then loop ()
-      else
+      else begin
+        (* one tick per request line — a logical uptime clock that is
+           invariant to batch size, domain count and cache settings *)
+        tick t;
         match Protocol.parse_line line with
         | Ok (id, Protocol.Stats) ->
           flush_pending ();
           Metrics.incr t.metrics "requests";
           Metrics.incr t.metrics "requests_stats";
           emit (Protocol.response_ok_json ~id ~op:"stats" ~result:(stats_result t));
+          loop ()
+        | Ok (id, Protocol.Metrics_req) ->
+          flush_pending ();
+          Metrics.incr t.metrics "requests";
+          Metrics.incr t.metrics "requests_metrics";
+          emit
+            (Protocol.response_ok_json ~id ~op:"metrics"
+               ~result:(metrics_result t));
           loop ()
         | Ok (id, Protocol.Shutdown) ->
           flush_pending ();
@@ -294,7 +371,8 @@ let run t ?(batch = 64) ~next ~emit () =
         | Error reject ->
           pending := Error reject :: !pending;
           if List.length !pending >= batch_size then flush_pending ();
-          loop ())
+          loop ()
+      end)
   in
   loop ()
 

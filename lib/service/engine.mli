@@ -34,11 +34,15 @@ type config = {
   cache_entries : int;  (** total LRU capacity across shards *)
   cache_shards : int;
   pool : Pool.t option;  (** [None]: the process-global pool *)
+  slow_log_ms : float option;
+      (** when set, any single compute taking at least this many
+          milliseconds emits a [Log.warn] record (op, cache key,
+          duration, trace id). [None] disables the slow log. *)
 }
 
 val default_config : unit -> config
 (** Cache on, capacity from [FUSECU_CACHE_ENTRIES] (default 4096,
-    clamped to [>= 0]), 8 shards, global pool. *)
+    clamped to [>= 0]), 8 shards, global pool, slow log off. *)
 
 type t
 
@@ -48,9 +52,28 @@ val metrics : t -> Metrics.t
 
 val cache_stats : t -> Cache.stats
 
+val uptime_ticks : t -> int
+(** Logical uptime: the number of request lines this engine has seen
+    (calls, rejects and control requests alike). Deterministic for a
+    given request stream — invariant to batch size, domain count and
+    cache settings — so safe to report in golden-compared [stats]
+    responses, unlike wall-clock uptime. *)
+
 val stats_result : t -> Json.t
-(** The deterministic [stats] payload: cache counters (plus hit rate
-    and coalesced count) and the metrics counters. *)
+(** The deterministic [stats] payload: cache counters (plus per-shard
+    occupancy, hit rate and coalesced count), the metrics counters, and
+    {!uptime_ticks}. *)
+
+val metrics_result : t -> Json.t
+(** The full (non-deterministic) [metrics] payload: refreshes the
+    point-in-time gauges ([cache_entries], [uptime_ticks]) and returns
+    {!Metrics.to_json} — counters, gauges and wall-clock latency
+    histograms. *)
+
+val prometheus : t -> string
+(** Same snapshot as {!metrics_result}, rendered as Prometheus text
+    exposition ({!Metrics.to_prometheus}). This is what the
+    [--metrics-addr] TCP exporter serves. *)
 
 val compute : t -> Protocol.call
   -> (Protocol.outcome, Protocol.error_code * string) result

@@ -13,12 +13,14 @@ type t = {
   mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
 }
 
 let create () =
   { mutex = Mutex.create ();
     counters = Hashtbl.create 32;
-    histograms = Hashtbl.create 8 }
+    histograms = Hashtbl.create 8;
+    gauges = Hashtbl.create 8 }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -58,6 +60,19 @@ let observe t name seconds =
       let b = bucket_of_seconds seconds in
       h.bins.(b) <- h.bins.(b) + 1)
 
+let set_gauge t name v =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
+
+(* Callers must hold [t.mutex]. *)
+let gauges_locked t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let gauges t = with_lock t (fun () -> gauges_locked t)
+
 (* Callers must hold [t.mutex]. *)
 let counters_locked t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
@@ -86,20 +101,85 @@ let histogram_json h =
       ("total_s", Json.Float h.total_s);
       ("buckets", Json.List bins) ]
 
+(* One-lock snapshot of every metric family: taking the lock once per
+   family would let an update land between the reads and produce a torn
+   dump (e.g. a request counted whose latency is missing). *)
+let snapshot t =
+  with_lock t (fun () ->
+      ( counters_locked t,
+        Hashtbl.fold
+          (fun k h acc -> (k, { h with bins = Array.copy h.bins }) :: acc)
+          t.histograms []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b),
+        gauges_locked t ))
+
 let to_json t =
-  (* Counters and histograms are snapshotted under ONE lock acquisition:
-     taking the lock once for each half would let an update land between
-     the two reads and produce a torn dump (e.g. a request counted whose
-     latency is missing, or vice versa). *)
-  let counters, hists =
-    with_lock t (fun () ->
-        ( counters_locked t,
-          Hashtbl.fold
-            (fun k h acc ->
-              (k, { h with bins = Array.copy h.bins }) :: acc)
-            t.histograms []
-          |> List.sort (fun (a, _) (b, _) -> String.compare a b) ))
-  in
+  let counters, hists, gauges = snapshot t in
   Json.Obj
-    [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
-      ("latency", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) hists)) ]
+    ([ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
+       ("latency", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) hists))
+     ]
+    @
+    if gauges = [] then []
+    else
+      [ ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) gauges))
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (format 0.0.4)                           *)
+
+(* Metric names may only contain [a-zA-Z0-9_:]; ours are snake_case
+   already, but sanitize defensively so a weird counter name cannot
+   corrupt the exposition. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let pp_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    (* shortest representation that round-trips, so [_sum] keeps full
+       precision (%.15g drops sub-µs tails on multi-hour totals) *)
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_prometheus ?(prefix = "fusecu_") t =
+  let counters, hists, gauges = snapshot t in
+  let b = Stdlib.Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Stdlib.Buffer.add_string b (s ^ "\n")) fmt in
+  List.iter
+    (fun (k, v) ->
+      let n = sanitize (prefix ^ k) in
+      line "# TYPE %s counter" n;
+      line "%s %d" n v)
+    counters;
+  List.iter
+    (fun (k, v) ->
+      let n = sanitize (prefix ^ k) in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (pp_float v))
+    gauges;
+  List.iter
+    (fun (k, h) ->
+      let n = sanitize (prefix ^ k ^ "_seconds") in
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          (* bucket i spans [2^i, 2^(i+1)) µs; emit the cumulative count
+             at each non-empty bin (sparse buckets are valid) *)
+          if c > 0 && i < buckets - 1 then
+            line "%s_bucket{le=\"%s\"} %d" n
+              (pp_float (float_of_int (1 lsl (i + 1)) *. 1e-6))
+              !cum)
+        h.bins;
+      line "%s_bucket{le=\"+Inf\"} %d" n h.count;
+      line "%s_sum %s" n (pp_float h.total_s);
+      line "%s_count %d" n h.count)
+    hists;
+  Stdlib.Buffer.contents b

@@ -27,6 +27,14 @@ val observe : t -> string -> float -> unit
 (** Record one latency observation, in seconds, into the named
     histogram. *)
 
+val set_gauge : t -> string -> float -> unit
+(** Set a named gauge to an instantaneous value (created on first use).
+    Unlike counters, gauges may move in either direction — they report
+    point-in-time state such as cache occupancy or uptime ticks. *)
+
+val gauges : t -> (string * float) list
+(** Snapshot of all gauges, sorted by name. *)
+
 val counters : t -> (string * int) list
 (** Snapshot of all counters, sorted by name (deterministic). *)
 
@@ -34,9 +42,18 @@ val counters_json : t -> Fusecu_util.Json.t
 (** The deterministic counters as a JSON object (keys sorted). *)
 
 val to_json : t -> Fusecu_util.Json.t
-(** Full dump: counters plus latency histograms, snapshotted atomically
-    (one lock acquisition covers both halves, so a concurrent update
-    cannot tear the dump). Each histogram reports
+(** Full dump: counters, latency histograms and (when any exist) gauges,
+    snapshotted atomically (one lock acquisition covers every family, so
+    a concurrent update cannot tear the dump). Each histogram reports
     [count], [total_s] and log2 buckets [{"le_us": upper, "n": count}]
     covering 1 µs .. ~17 min (observations above the last bound land in
     a final open bucket). Not deterministic — wall-clock data. *)
+
+val to_prometheus : ?prefix:string -> t -> string
+(** Prometheus text exposition (format 0.0.4) of the same atomic
+    snapshot: counters as [# TYPE .. counter], gauges as gauge, and each
+    latency histogram as a [_seconds] histogram with cumulative
+    [_bucket{le="..."}] lines (bucket bounds are the log2 µs bins
+    converted to seconds; the open bin maps to [+Inf]), plus [_sum] and
+    [_count]. [prefix] (default ["fusecu_"]) is prepended to every
+    metric name; names are sanitized to the Prometheus charset. *)

@@ -13,7 +13,7 @@ type call =
   | Eval of { model : string; buffer : Buffer.t; elt_bytes : int; mode : Mode.t }
   | Chain of { m : int; ks : int list; buffer : Buffer.t; mode : Mode.t }
 
-type request = Call of call | Stats | Shutdown
+type request = Call of call | Stats | Metrics_req | Shutdown
 
 type error_code =
   | Parse_error
@@ -157,6 +157,7 @@ let parse_call obj op =
     let buffer, _ = buffer_field obj in
     Ok (Call (Chain { m; ks; buffer; mode = mode_field obj }))
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics_req
   | "shutdown" -> Ok Shutdown
   | other ->
     Error
@@ -164,7 +165,8 @@ let parse_call obj op =
         code = Unknown_op;
         message =
           Printf.sprintf
-            "unknown op %S (intra, fuse, regime, eval, chain, stats, shutdown)"
+            "unknown op %S (intra, fuse, regime, eval, chain, stats, metrics, \
+             shutdown)"
             other }
 
 let parse_line line =

@@ -7,7 +7,8 @@
      "buffer":"512KB","mode":"divisors"}
     v}
     covering the planner entry points [intra], [fuse], [regime], [eval]
-    and [chain], plus the control operations [stats] and [shutdown].
+    and [chain], plus the control operations [stats], [metrics] and
+    [shutdown].
     Common fields: ["op"] (required), ["v"] (schema version, optional,
     must be 1 when present), ["id"] (any JSON value, echoed verbatim in
     the response, defaults to [null]), ["buffer"] (bytes as an integer
@@ -58,6 +59,11 @@ type call =
 type request =
   | Call of call
   | Stats  (** in-band deterministic counters snapshot *)
+  | Metrics_req
+      (** full metrics dump — counters, gauges and wall-clock latency
+          histograms ({!Metrics.to_json}). Unlike [stats] the payload is
+          {e not} deterministic, so it never appears in golden
+          transcripts. *)
   | Shutdown  (** stop the server after responding *)
 
 type error_code =

@@ -358,3 +358,97 @@ let serve_socket engine ?batch ?(config = default_socket_config) ~path () =
                   srv.conns <- { finished; thread } :: srv.conns))
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics exporter                                                    *)
+
+(* An HTTP-less TCP text endpoint: each accepted connection immediately
+   receives [render ()] (Prometheus text exposition) and is closed —
+   [nc host port] is a complete client. Runs on its own systhread so it
+   never touches the engine's request path; [render] only reads the
+   mutex-guarded metrics registry. *)
+type exporter = {
+  esock : Unix.file_descr;
+  eport : int;
+  estop : bool Atomic.t;
+  mutable ethread : Thread.t option;
+}
+
+let parse_metrics_addr addr =
+  let host, port_s =
+    match String.rindex_opt addr ':' with
+    | Some i ->
+      (String.sub addr 0 i, String.sub addr (i + 1) (String.length addr - i - 1))
+    | None -> ("127.0.0.1", addr)
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  match int_of_string_opt (String.trim port_s) with
+  | Some p when p >= 0 && p <= 65535 -> (host, p)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "metrics-addr %S: expected PORT or HOST:PORT" addr)
+
+let exporter_loop ex ~render () =
+  while not (Atomic.get ex.estop) do
+    match Unix.select [ ex.esock ] [] [] poll_slice with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept ~cloexec:true ex.esock with
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+              | Unix.ECONNABORTED | Unix.EBADF ),
+              _,
+              _ )
+        -> ()
+      | client, _ ->
+        (try write_all ~idle_timeout:5. client (render ())
+         with
+        | Write_stalled | Sys_error _ -> ()
+        | Unix.Unix_error _ -> ());
+        (try Unix.shutdown client Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ()))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set ex.estop true
+  done
+
+let start_metrics_exporter ~render ~addr =
+  let host, port = parse_metrics_addr addr in
+  let inet =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        invalid_arg (Printf.sprintf "metrics-addr: unknown host %S" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+  in
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (inet, port));
+     Unix.listen sock 8;
+     Unix.set_nonblock sock
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let ex =
+    { esock = sock; eport = bound_port; estop = Atomic.make false;
+      ethread = None }
+  in
+  ex.ethread <- Some (Thread.create (exporter_loop ex ~render) ());
+  ex
+
+let exporter_port ex = ex.eport
+
+let stop_metrics_exporter ex =
+  if not (Atomic.exchange ex.estop true) then begin
+    Option.iter Thread.join ex.ethread;
+    ex.ethread <- None;
+    try Unix.close ex.esock with Unix.Unix_error _ -> ()
+  end

@@ -49,3 +49,24 @@ val serve_socket :
     Raises [Failure] when [path] exists and is not a socket,
     [Invalid_argument] on a non-positive [max_conns]/[max_line], and
     [Unix.Unix_error] on bind/listen failures. *)
+
+(** {1 Metrics exporter} *)
+
+type exporter
+
+val start_metrics_exporter : render:(unit -> string) -> addr:string -> exporter
+(** Bind a TCP listener at [addr] ("PORT" or "HOST:PORT"; host defaults
+    to 127.0.0.1, port 0 binds an ephemeral port — see
+    {!exporter_port}) and serve [render ()] to every connection on a
+    dedicated thread: the client connects, receives the full text
+    (Prometheus exposition when [render] is {!Engine.prometheus}) and
+    the connection is closed — no HTTP framing, [nc host port] is a
+    complete scrape. Raises [Invalid_argument] on a malformed address
+    and [Unix.Unix_error] on bind failures. *)
+
+val exporter_port : exporter -> int
+(** The actually-bound port (useful with port 0). *)
+
+val stop_metrics_exporter : exporter -> unit
+(** Stop accepting, join the exporter thread and close the listener.
+    Idempotent. *)

@@ -53,6 +53,7 @@ val set_global_size : int -> unit
 
 val parallel_fold :
   ?pool:t ->
+  ?label:string ->
   ?chunks:int ->
   lo:int ->
   hi:int ->
@@ -60,12 +61,16 @@ val parallel_fold :
   merge:('a -> 'a -> 'a) ->
   'a ->
   'a
-(** [parallel_fold ?pool ?chunks ~lo ~hi ~fold ~merge init] splits the
-    half-open range [\[lo, hi)] into [chunks] contiguous sub-ranges
-    (default [4 x size], for load balancing), evaluates
+(** [parallel_fold ?pool ?label ?chunks ~lo ~hi ~fold ~merge init]
+    splits the half-open range [\[lo, hi)] into [chunks] contiguous
+    sub-ranges (default [4 x size], for load balancing), evaluates
     [fold sub_lo sub_hi] for each — possibly on different domains — and
     combines the partial results left to right:
     [merge (... (merge init p0) ...) p_last].
+
+    [label] (default ["parallel"]) names the per-chunk {!Trace} spans
+    (category ["pool"]) recorded while trace collection is enabled; it
+    has no effect on results.
 
     Determinism contract: if [merge] is associative with [init] as a
     left identity, the result is independent of the chunk count and of
@@ -77,7 +82,30 @@ val parallel_fold :
     chunks have settled. Returns [init] when [hi <= lo]. *)
 
 val parallel_map :
-  ?pool:t -> ?chunks:int -> ('a -> 'b) -> 'a array -> 'b array
+  ?pool:t -> ?label:string -> ?chunks:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f arr] is [Array.map f arr] with the elements
     evaluated in parallel chunks; ordering of the result is preserved.
-    Same exception behaviour as {!parallel_fold}. *)
+    Same exception behaviour (and [label] meaning) as {!parallel_fold}. *)
+
+(** {1 Observability}
+
+    Lightweight per-worker accounting, always on (a clock read and two
+    float adds per chunk): worker 0 is the submitting caller, workers
+    [1 .. size-1] are the spawned domains. [wait_s] accumulates, for
+    each region, the delay between job submission and the worker's
+    first chunk start (queue wait); [run_s] is time spent inside chunk
+    bodies. Inline fallback regions (sequential pools, nested regions)
+    are charged to worker 0. None of this affects scheduling or
+    results. *)
+
+type worker_stat = { worker : int; chunks : int; run_s : float; wait_s : float }
+
+val stats : t -> int * worker_stat list
+(** [(jobs, per-worker)] since creation or the last {!reset_stats};
+    [jobs] counts parallel regions (inline fallbacks included). *)
+
+val reset_stats : t -> unit
+
+val stats_json : t -> Json.t
+(** [{"size", "jobs", "workers": [{"worker","chunks","run_s","wait_s"}]}]
+    — embedded in bench reports. *)

@@ -1,0 +1,157 @@
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  depth : int;
+  args : (string * Json.t) list;
+}
+
+type cat_summary = { cat : string; total_s : float; count : int }
+
+type cat_total = { mutable total_us : float; mutable n : int }
+
+(* The ring plus the eviction-proof per-category accumulators. [head]
+   is the next write slot; once [filled = capacity] the ring wraps and
+   [dropped] counts the overwritten events. *)
+type state = {
+  mutable ring : event array;
+  mutable capacity : int;
+  mutable head : int;
+  mutable filled : int;
+  mutable dropped : int;
+  totals : (string, cat_total) Hashtbl.t;
+}
+
+let default_capacity = 65536
+
+let dummy =
+  { name = ""; cat = ""; ts_us = 0.; dur_us = 0.; tid = 0; depth = 0; args = [] }
+
+let state =
+  { ring = [||];
+    capacity = 0;
+    head = 0;
+    filled = 0;
+    dropped = 0;
+    totals = Hashtbl.create 8 }
+
+let mutex = Mutex.create ()
+
+let enabled = Atomic.make false
+
+(* Benign-race ref: only ever replaced before collection starts (tests,
+   bench setup); readers always see a valid closure. *)
+let clock = ref Unix.gettimeofday
+
+let set_clock f = clock := f
+
+let now () = !clock ()
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let clear_locked () =
+  state.head <- 0;
+  state.filled <- 0;
+  state.dropped <- 0;
+  Array.fill state.ring 0 (Array.length state.ring) dummy;
+  Hashtbl.reset state.totals
+
+let clear () = with_lock clear_locked
+
+let start ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  with_lock (fun () ->
+      state.ring <- Array.make capacity dummy;
+      state.capacity <- capacity;
+      clear_locked ());
+  Atomic.set enabled true
+
+let stop () = Atomic.set enabled false
+
+let is_enabled () = Atomic.get enabled
+
+let record ev =
+  with_lock (fun () ->
+      if state.capacity > 0 then begin
+        state.ring.(state.head) <- ev;
+        state.head <- (state.head + 1) mod state.capacity;
+        if state.filled < state.capacity then state.filled <- state.filled + 1
+        else state.dropped <- state.dropped + 1
+      end;
+      match Hashtbl.find_opt state.totals ev.cat with
+      | Some t ->
+        t.total_us <- t.total_us +. ev.dur_us;
+        t.n <- t.n + 1
+      | None ->
+        Hashtbl.replace state.totals ev.cat { total_us = ev.dur_us; n = 1 })
+
+(* Per-domain nesting depth; each domain only touches its own cell. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let with_span ?(cat = "span") ?(args = []) name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let depth = Domain.DLS.get depth_key in
+    incr depth;
+    let d = !depth in
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now () in
+        decr depth;
+        record
+          { name;
+            cat;
+            ts_us = t0 *. 1e6;
+            dur_us = Float.max 0. ((t1 -. t0) *. 1e6);
+            tid = (Domain.self () :> int);
+            depth = d;
+            args })
+      f
+  end
+
+let trace_ids = Atomic.make 0
+
+let new_trace_id () = Atomic.fetch_and_add trace_ids 1 + 1
+
+let events () =
+  with_lock (fun () ->
+      List.init state.filled (fun i ->
+          let oldest = (state.head - state.filled + state.capacity * 2) mod (max 1 state.capacity) in
+          state.ring.((oldest + i) mod state.capacity)))
+
+let dropped () = with_lock (fun () -> state.dropped)
+
+let summary () =
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun cat t acc ->
+          { cat; total_s = t.total_us /. 1e6; count = t.n } :: acc)
+        state.totals [])
+  |> List.sort (fun a b -> String.compare a.cat b.cat)
+
+let event_json ev =
+  Json.Obj
+    [ ("name", Json.String ev.name);
+      ("cat", Json.String ev.cat);
+      ("ph", Json.String "X");
+      ("ts", Json.Float ev.ts_us);
+      ("dur", Json.Float ev.dur_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.tid);
+      ("args", Json.Obj (("depth", Json.Int ev.depth) :: ev.args)) ]
+
+let to_chrome_json () =
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map event_json (events ())));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let export path =
+  let dump = Json.print (to_chrome_json ()) in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc dump;
+      Out_channel.output_char oc '\n')

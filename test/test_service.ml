@@ -671,6 +671,243 @@ let test_metrics () =
   | Ok j -> check_bool "dump has latencies" true (Json.member "latency" j <> None)
   | Error e -> Alcotest.failf "metrics dump does not round-trip: %s" e
 
+let histogram_buckets m name =
+  match Json.member "latency" (Metrics.to_json m) with
+  | Some lat -> (
+    match Json.member name lat with
+    | Some h -> (
+      match Json.member "buckets" h with
+      | Some (Json.List bs) -> bs
+      | _ -> Alcotest.fail "histogram has no bucket list")
+    | None -> Alcotest.failf "histogram %s missing" name)
+  | None -> Alcotest.fail "latency section missing"
+
+(* Bucket boundaries: bin i covers [2^i, 2^(i+1)) µs. An observation of
+   exactly 1 µs must land in the first bin (le_us = 2), sub-µs values
+   clamp into it too, and anything past 2^29 µs goes to the open
+   overflow bin (le_us = null). *)
+let test_histogram_bucket_boundaries () =
+  let m = Metrics.create () in
+  Metrics.observe m "lat" 1e-6;
+  (match histogram_buckets m "lat" with
+  | [ Json.Obj [ ("le_us", Json.Int 2); ("n", Json.Int 1) ] ] -> ()
+  | bs -> Alcotest.failf "1us bucket wrong: %s" (Json.print (Json.List bs)));
+  Metrics.observe m "lat" 1e-9;
+  Metrics.observe m "lat" 0.;
+  (match histogram_buckets m "lat" with
+  | [ Json.Obj [ ("le_us", Json.Int 2); ("n", Json.Int 3) ] ] -> ()
+  | bs -> Alcotest.failf "sub-us clamp wrong: %s" (Json.print (Json.List bs)));
+  (* 2^29 µs ≈ 537 s: already the open bucket; so is an hour *)
+  Metrics.observe m "lat" 537.;
+  Metrics.observe m "lat" 3600.;
+  (match histogram_buckets m "lat" with
+  | [ Json.Obj [ ("le_us", Json.Int 2); _ ];
+      Json.Obj [ ("le_us", Json.Null); ("n", Json.Int 2) ] ] -> ()
+  | bs -> Alcotest.failf "overflow bucket wrong: %s" (Json.print (Json.List bs)));
+  (* 2 µs is the *closed* upper bound of bin 0: it belongs to bin 1 *)
+  Metrics.observe m "edge" 2e-6;
+  match histogram_buckets m "edge" with
+  | [ Json.Obj [ ("le_us", Json.Int 4); ("n", Json.Int 1) ] ] -> ()
+  | bs -> Alcotest.failf "2us boundary wrong: %s" (Json.print (Json.List bs))
+
+let test_gauges () =
+  let m = Metrics.create () in
+  Alcotest.(check (list (pair string (float 0.)))) "empty" [] (Metrics.gauges m);
+  (* gauge-free dumps must not grow a gauges key (golden stability) *)
+  check_bool "no gauges key when unset" true
+    (Json.member "gauges" (Metrics.to_json m) = None);
+  Metrics.set_gauge m "b" 2.;
+  Metrics.set_gauge m "a" 1.5;
+  Metrics.set_gauge m "b" 3.;
+  Alcotest.(check (list (pair string (float 0.))))
+    "sorted, last write wins"
+    [ ("a", 1.5); ("b", 3.) ]
+    (Metrics.gauges m);
+  check_bool "gauges in dump" true
+    (Json.member "gauges" (Metrics.to_json m)
+    = Some (Json.Obj [ ("a", Json.Float 1.5); ("b", Json.Float 3.) ]))
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:4 m "requests";
+  Metrics.set_gauge m "cache_entries" 7.;
+  Metrics.observe m "lat" 1e-6;
+  Metrics.observe m "lat" 3e-6;
+  Metrics.observe m "lat" 3600.;
+  let text = Metrics.to_prometheus m in
+  let expected =
+    String.concat "\n"
+      [ "# TYPE fusecu_requests counter";
+        "fusecu_requests 4";
+        "# TYPE fusecu_cache_entries gauge";
+        "fusecu_cache_entries 7";
+        "# TYPE fusecu_lat_seconds histogram";
+        "fusecu_lat_seconds_bucket{le=\"2e-06\"} 1";
+        "fusecu_lat_seconds_bucket{le=\"4e-06\"} 2";
+        "fusecu_lat_seconds_bucket{le=\"+Inf\"} 3";
+        "fusecu_lat_seconds_sum 3600.000004";
+        "fusecu_lat_seconds_count 3";
+        "" ]
+  in
+  check_str "exposition text" expected text;
+  (* custom prefix + name sanitization *)
+  let m2 = Metrics.create () in
+  Metrics.incr m2 "weird-name!";
+  check_str "sanitized"
+    "# TYPE svc_weird_name_ counter\nsvc_weird_name_ 1\n"
+    (Metrics.to_prometheus ~prefix:"svc_" m2)
+
+(* ------------------------------------------------------------------ *)
+(* Observability through the engine                                    *)
+
+let test_stats_observability_fields () =
+  let engine = Engine.create (Engine.default_config ()) in
+  let out =
+    Engine.handle_lines engine
+      [ "{\"op\":\"regime\",\"m\":8,\"k\":8,\"l\":8}";
+        "{\"op\":\"intra\",\"m\":96,\"k\":64,\"l\":48,\"buffer\":\"8KB\"}";
+        "not json";
+        "{\"op\":\"stats\"}" ]
+  in
+  let stats = Result.get_ok (Json.parse (List.nth out 3)) in
+  let result = Option.get (Json.member "result" stats) in
+  (* one logical tick per request line, including the reject *)
+  check_bool "uptime_ticks counts lines" true
+    (Json.member "uptime_ticks" result = Some (Json.Int 4));
+  let cache = Option.get (Json.member "cache" result) in
+  let entries =
+    match Json.member "entries" cache with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.fail "entries missing"
+  in
+  match Json.member "shard_entries" cache with
+  | Some (Json.List shards) ->
+    check_bool "one count per shard" true (List.length shards > 0);
+    check_int "shard occupancy sums to entries" entries
+      (List.fold_left
+         (fun acc j ->
+           match j with
+           | Json.Int n -> acc + n
+           | _ -> Alcotest.fail "non-int shard count")
+         0 shards)
+  | _ -> Alcotest.fail "shard_entries missing"
+
+let test_metrics_op () =
+  let engine = Engine.create (Engine.default_config ()) in
+  let out =
+    Engine.handle_lines engine
+      [ "{\"op\":\"intra\",\"m\":96,\"k\":64,\"l\":48,\"buffer\":\"8KB\"}";
+        "{\"op\":\"metrics\",\"id\":\"m1\"}" ]
+  in
+  check_int "both answered" 2 (List.length out);
+  let resp = Result.get_ok (Json.parse (List.nth out 1)) in
+  check_bool "op echoed" true
+    (Json.member "op" resp = Some (Json.String "metrics"));
+  check_bool "id echoed" true
+    (Json.member "id" resp = Some (Json.String "m1"));
+  let result = Option.get (Json.member "result" resp) in
+  check_bool "counters present" true (Json.member "counters" result <> None);
+  check_bool "latency present" true (Json.member "latency" result <> None);
+  (match Json.member "gauges" result with
+  | Some g ->
+    check_bool "uptime gauge" true (Json.member "uptime_ticks" g <> None);
+    check_bool "cache gauge" true (Json.member "cache_entries" g <> None)
+  | None -> Alcotest.fail "gauges missing from metrics op");
+  (* unknown-op guidance now lists the metrics op *)
+  let err =
+    List.hd (Engine.handle_lines engine [ "{\"op\":\"nonsense\"}" ])
+  in
+  check_bool "unknown-op message lists metrics" true
+    (match Json.parse err with
+    | Ok r -> (
+      match
+        Option.bind (Json.member "error" r) (Json.member "message")
+      with
+      | Some (Json.String e) ->
+        let contains sub s =
+          let n = String.length sub and m = String.length s in
+          let rec find i = i + n <= m && (String.sub s i n = sub || find (i + 1)) in
+          find 0
+        in
+        contains "metrics" e
+      | _ -> false)
+    | Error _ -> false)
+
+(* The acceptance criterion for the observability layer: turning on
+   tracing AND debug logging must not change a single response byte. *)
+let test_replay_identical_under_tracing_and_logging () =
+  let plain = replay (Engine.default_config ()) () in
+  let captured = ref 0 in
+  Fusecu_util.Log.set_sink (fun _ -> incr captured);
+  Fusecu_util.Log.set_level (Some Fusecu_util.Log.Debug);
+  Fusecu_util.Trace.start ();
+  let traced =
+    Fun.protect
+      ~finally:(fun () ->
+        Fusecu_util.Trace.stop ();
+        Fusecu_util.Trace.clear ();
+        Fusecu_util.Log.set_level None)
+      (fun () -> replay (Engine.default_config ()) ())
+  in
+  check_bool "responses byte-identical" true (plain = traced);
+  check_bool "yet logging was live" true (!captured > 0)
+
+let test_metrics_exporter () =
+  let engine = Engine.create (Engine.default_config ()) in
+  ignore
+    (Engine.handle_lines engine
+       [ "{\"op\":\"intra\",\"m\":96,\"k\":64,\"l\":48,\"buffer\":\"8KB\"}" ]);
+  let exp =
+    Server.start_metrics_exporter
+      ~render:(fun () -> Engine.prometheus engine)
+      ~addr:"127.0.0.1:0"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop_metrics_exporter exp;
+      (* stopping twice must be harmless *)
+      Server.stop_metrics_exporter exp)
+    (fun () ->
+      let port = Server.exporter_port exp in
+      check_bool "bound an ephemeral port" true (port > 0);
+      let scrape () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd
+              (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+            recv_lines fd)
+      in
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec find i = i + n <= m && (String.sub s i n = sub || find (i + 1)) in
+        find 0
+      in
+      let body = String.concat "\n" (scrape ()) in
+      check_bool "counter exposed" true
+        (contains "# TYPE fusecu_requests counter" body);
+      check_bool "histogram exposed" true
+        (contains "fusecu_latency_intra_seconds_count 1" body);
+      check_bool "gauges refreshed per scrape" true
+        (contains "# TYPE fusecu_uptime_ticks gauge" body);
+      (* a second scrape works: one connection = one exposition *)
+      let body2 = String.concat "\n" (scrape ()) in
+      check_bool "second scrape served" true
+        (contains "fusecu_requests" body2))
+
+let test_exporter_rejects_bad_addr () =
+  List.iter
+    (fun addr ->
+      match
+        Server.start_metrics_exporter ~render:(fun () -> "") ~addr
+      with
+      | exception Invalid_argument _ -> ()
+      | exp ->
+        Server.stop_metrics_exporter exp;
+        Alcotest.failf "accepted %S" addr)
+    [ ""; "127.0.0.1:"; "127.0.0.1:notaport"; "127.0.0.1:70000"; ":-1" ]
+
 (* ------------------------------------------------------------------ *)
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
@@ -721,4 +958,20 @@ let () =
             test_server_inband_shutdown_unlinks;
           Alcotest.test_case "non-socket path rejected" `Quick
             test_server_rejects_non_socket_path ] );
-      ("metrics", [ Alcotest.test_case "counters" `Quick test_metrics ]) ]
+      ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_metrics;
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition ] );
+      ( "observability",
+        [ Alcotest.test_case "stats carries ticks and shard occupancy" `Quick
+            test_stats_observability_fields;
+          Alcotest.test_case "metrics op" `Quick test_metrics_op;
+          Alcotest.test_case "replay identical under tracing+logging" `Quick
+            test_replay_identical_under_tracing_and_logging;
+          Alcotest.test_case "metrics exporter serves scrapes" `Quick
+            test_metrics_exporter;
+          Alcotest.test_case "exporter rejects bad addresses" `Quick
+            test_exporter_rejects_bad_addr ] ) ]

@@ -290,6 +290,67 @@ let test_csv_escape () =
   check_str "comma" "\"a,b\"" (Csv.escape "a,b");
   check_str "quote" "\"a\"\"b\"" (Csv.escape "a\"b")
 
+(* ------------------------------------------------------------------ *)
+(* Log: leveled NDJSON records through a capturing sink *)
+
+let with_log_capture level f =
+  let lines = ref [] in
+  Log.set_sink (fun l -> lines := l :: !lines);
+  Log.set_level level;
+  Fun.protect
+    ~finally:(fun () -> Log.set_level None)
+    (fun () -> f (fun () -> List.rev !lines))
+
+let test_log_levels () =
+  with_log_capture (Some Log.Warn) (fun captured ->
+      check_bool "warn enabled" true (Log.enabled Log.Warn);
+      check_bool "error enabled" true (Log.enabled Log.Error);
+      check_bool "info filtered" false (Log.enabled Log.Info);
+      Log.debug "dropped";
+      Log.info "dropped";
+      Log.warn "kept";
+      Log.error "kept too";
+      check_int "only warn and error emitted" 2 (List.length (captured ())));
+  with_log_capture None (fun captured ->
+      check_bool "off disables everything" false (Log.enabled Log.Error);
+      Log.error "dropped";
+      check_int "nothing emitted when off" 0 (List.length (captured ())))
+
+let test_log_record_shape () =
+  with_log_capture (Some Log.Debug) (fun captured ->
+      Log.info ~fields:[ ("op", Json.String "intra"); ("n", Json.Int 3) ]
+        "hello";
+      match captured () with
+      | [ line ] -> (
+        match Json.parse line with
+        | Error e -> Alcotest.failf "record is not JSON: %s" e
+        | Ok obj ->
+          check_bool "has ts" true (Json.member "ts" obj <> None);
+          Alcotest.(check (option string)) "level"
+            (Some "info")
+            (Option.bind (Json.member "level" obj) (fun v ->
+                 Result.to_option (Json.to_string_v v)));
+          Alcotest.(check (option string)) "msg" (Some "hello")
+            (Option.bind (Json.member "msg" obj) (fun v ->
+                 Result.to_option (Json.to_string_v v)));
+          Alcotest.(check (option string)) "field op" (Some "intra")
+            (Option.bind (Json.member "op" obj) (fun v ->
+                 Result.to_option (Json.to_string_v v)));
+          check_bool "field n" true (Json.member "n" obj = Some (Json.Int 3)))
+      | l -> Alcotest.failf "expected 1 record, got %d" (List.length l))
+
+let test_log_level_of_string () =
+  let ok s = match Log.level_of_string s with Ok l -> l | Error e -> Alcotest.fail e in
+  check_bool "debug" true (ok "debug" = Some Log.Debug);
+  check_bool "INFO case-insensitive" true (ok "INFO" = Some Log.Info);
+  check_bool "warning alias" true (ok "warning" = Some Log.Warn);
+  check_bool "warn" true (ok "warn" = Some Log.Warn);
+  check_bool "error" true (ok "error" = Some Log.Error);
+  check_bool "off" true (ok "off" = None);
+  check_bool "none" true (ok "none" = None);
+  check_bool "unknown rejected" true
+    (match Log.level_of_string "loud" with Error _ -> true | Ok _ -> false)
+
 let qsuite = List.map
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
   [ prop_isqrt; prop_gcd_total; prop_divisors; prop_divisors_pair_up;
@@ -329,4 +390,9 @@ let () =
       ( "csv",
         [ Alcotest.test_case "render" `Quick test_csv_render;
           Alcotest.test_case "escape" `Quick test_csv_escape ] );
+      ( "log",
+        [ Alcotest.test_case "level filtering" `Quick test_log_levels;
+          Alcotest.test_case "record shape" `Quick test_log_record_shape;
+          Alcotest.test_case "level_of_string" `Quick
+            test_log_level_of_string ] );
       ("properties", qsuite) ]
