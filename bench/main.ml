@@ -24,6 +24,13 @@
                                                  daemon (also part of
                                                  `dune build
                                                  @service-smoke`)
+     dune exec bench/main.exe -- --oracle      -- differential-oracle
+                                                 soak: 5000 seeded
+                                                 cases (1000 with
+                                                 --quick), results to
+                                                 BENCH_oracle.json
+                                                 (short version: `dune
+                                                 build @oracle-smoke`)
 
    Experiments: table1 table2 table3 example fig9 fig10 fig11 fig12
    energy ablation softmax hierarchy contention gqa chains speed;
@@ -34,7 +41,7 @@ let usage () =
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
      <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke] \
-     [--trace FILE]";
+     [--oracle] [--trace FILE]";
   exit 1
 
 type options = {
@@ -46,14 +53,53 @@ type options = {
   smoke : bool;
   service : bool;
   socket_smoke : bool;
+  oracle : bool;
   trace : string option;
 }
+
+(* --oracle: a long differential-conformance soak (much larger than the
+   @oracle-smoke alias), with the run parameters and outcome written to
+   BENCH_oracle.json so soak results can be tracked over time. Exits
+   non-zero on any divergence, like the CLI. *)
+let oracle_soak ~quick () =
+  let open Fusecu_util in
+  let cases = if quick then 1000 else 5000 in
+  let seed = 7 in
+  let t0 = Unix.gettimeofday () in
+  let report = Fusecu_oracle.Oracle.run ~cases ~seed () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@." Fusecu_oracle.Oracle.pp_report report;
+  Printf.printf "soak: %.1f s (%.0f cases/s)\n" elapsed
+    (float_of_int cases /. elapsed);
+  let tally kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs) in
+  let json =
+    Json.Obj
+      [ ("cases", Json.Int report.Fusecu_oracle.Oracle.cases);
+        ("seed", Json.Int seed);
+        ("max_dim", Json.Int 24);
+        ("checks", Json.Int report.Fusecu_oracle.Oracle.checks);
+        ("divergences",
+         Json.Int (List.length report.Fusecu_oracle.Oracle.counterexamples));
+        ("elapsed_s", Json.Float elapsed);
+        ("by_shape", tally report.Fusecu_oracle.Oracle.by_shape);
+        ("by_regime", tally report.Fusecu_oracle.Oracle.by_regime);
+        ("counterexamples",
+         Json.List
+           (List.map
+              (fun (ce : Fusecu_oracle.Oracle.counterexample) ->
+                Json.String (Fusecu_oracle.Problem.to_spec ce.shrunk))
+              report.Fusecu_oracle.Oracle.counterexamples)) ]
+  in
+  Out_channel.with_open_text "BENCH_oracle.json" (fun oc ->
+      output_string oc (Json.print_hum json ^ "\n"));
+  print_endline "wrote BENCH_oracle.json";
+  if report.Fusecu_oracle.Oracle.counterexamples <> [] then exit 1
 
 let parse_args () =
   let only = ref None and buffer = ref Experiments.default_buffer in
   let quick = ref false and csv_dir = ref None in
   let json = ref false and smoke = ref false and service = ref false in
-  let socket_smoke = ref false in
+  let socket_smoke = ref false and oracle = ref false in
   let trace = ref None in
   let rec loop = function
     | [] -> ()
@@ -82,6 +128,9 @@ let parse_args () =
     | "--socket-smoke" :: rest ->
       socket_smoke := true;
       loop rest
+    | "--oracle" :: rest ->
+      oracle := true;
+      loop rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
@@ -96,11 +145,11 @@ let parse_args () =
   loop (List.tl (Array.to_list Sys.argv));
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
     json = !json; smoke = !smoke; service = !service;
-    socket_smoke = !socket_smoke; trace = !trace }
+    socket_smoke = !socket_smoke; oracle = !oracle; trace = !trace }
 
 let () =
   let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke;
-        trace } =
+        oracle; trace } =
     parse_args ()
   in
   (* --trace FILE: profile whatever runs below and write a Chrome
@@ -120,6 +169,10 @@ let () =
   end;
   if socket_smoke then begin
     Service_replay.socket_smoke ();
+    exit 0
+  end;
+  if oracle then begin
+    oracle_soak ~quick ();
     exit 0
   end;
   if service then begin

@@ -666,6 +666,78 @@ let serve_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_cmd =
+  let run cases seed max_dim repro trace log_level =
+    with_observability ~trace ~log_level @@ fun () ->
+    let open Fusecu_oracle in
+    match repro with
+    | Some spec -> (
+      match Oracle.check_spec spec with
+      | Error e ->
+        prerr_endline ("--repro: " ^ e);
+        exit 2
+      | Ok (p, outcome) ->
+        Format.printf "%a: %d checks@." Problem.pp p outcome.Check.checks;
+        if outcome.Check.failures = [] then print_endline "no divergence"
+        else begin
+          List.iter
+            (fun (f : Check.failure) ->
+              Printf.printf "[%s] %s\n" f.Check.check f.Check.detail)
+            outcome.Check.failures;
+          exit 1
+        end)
+    | None ->
+      let report = Oracle.run ~log:prerr_endline ~cases ~seed ~max_dim () in
+      Format.printf "%a@." Oracle.pp_report report;
+      if not (Oracle.ok report) then exit 1
+  in
+  let cases =
+    Arg.(
+      value & opt int 500
+      & info [ "cases" ] ~docv:"N" ~doc:"Random problems to generate and check.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"PRNG seed; the whole run is a pure function of (seed, cases, \
+                max-dim), on any machine and OCaml version.")
+  in
+  let max_dim =
+    Arg.(
+      value & opt int 24
+      & info [ "max-dim" ] ~docv:"D"
+          ~doc:"Largest generated matmul dimension (small keeps the \
+                exhaustive ground truth cheap while still crossing every \
+                regime boundary).")
+  in
+  let repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"SPEC"
+          ~doc:"Re-check a single problem given by its spec (e.g. \
+                m=7,k=3,l=4,l2=2,bs=16) — the one-liner printed for every \
+                shrunk counterexample.")
+  in
+  let term =
+    Term.(
+      const run $ cases $ seed $ max_dim $ repro $ trace_file_arg
+      $ log_level_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential conformance oracle: cross-check the principles \
+             against exhaustive search, the analytic cost model against the \
+             loop-nest simulator, and both against the communication lower \
+             bounds, on seeded random problems spanning all buffer regimes. \
+             Failures are shrunk to minimal counterexamples and printed as \
+             reproducible one-liners; exits non-zero on any divergence.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 
 let simulate_cmd =
@@ -723,4 +795,4 @@ let () =
        (Cmd.group info
           [ intra_cmd; fuse_cmd; regime_cmd; search_cmd; eval_cmd; explain_cmd;
             trace_cmd; hierarchy_cmd; chain_cmd; sweep_cmd; graph_cmd; area_cmd;
-            simulate_cmd; serve_cmd ]))
+            simulate_cmd; serve_cmd; check_cmd ]))

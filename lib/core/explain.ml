@@ -20,7 +20,7 @@ let intra ?(mode = Mode.Exact) op buf =
     bprintf b "smallest dimension Dmin = %d; smallest tensor %s = %d elements\n"
       dmin (Operand.to_string min_op) tensor_min;
     bprintf b
-      "regime thresholds: Dmin^2/4 = %d | Dmin^2/2 = %d | Tensor_min = %d\n"
+      "regime thresholds: Dmin^2/4 = %d | Dmin^2/2 = %d | FP3min-1 = %d\n"
       th.tiny_max th.small_max th.medium_max;
     bprintf b "buffer holds %d elements -> %s regime -> %s expected\n"
       (Buffer.elements buf)

@@ -9,15 +9,18 @@ type pattern =
   | P_three_untile_m
   | P_three_untile_shared
   | P_three_resident
+  | P_block
 
 let all_patterns =
+  (* [P_block] last: ties go to the named paper pattern. *)
   [ P_single_os_is; P_two_os_is; P_two_untile_shared; P_three_untile_m;
-    P_three_untile_shared; P_three_resident ]
+    P_three_untile_shared; P_three_resident; P_block ]
 
 let pattern_class = function
-  | P_single_os_is -> Nra.Single
-  | P_two_os_is | P_two_untile_shared -> Nra.Two
-  | P_three_untile_m | P_three_untile_shared | P_three_resident -> Nra.Three
+  | P_single_os_is -> Some Nra.Single
+  | P_two_os_is | P_two_untile_shared -> Some Nra.Two
+  | P_three_untile_m | P_three_untile_shared | P_three_resident -> Some Nra.Three
+  | P_block -> None
 
 let pattern_name = function
   | P_single_os_is -> "single/OS-IS"
@@ -26,8 +29,20 @@ let pattern_name = function
   | P_three_untile_m -> "three/untile-M"
   | P_three_untile_shared -> "three/untile-shared"
   | P_three_resident -> "three/resident-C"
+  | P_block -> "block/C-stationary"
 
 let pp_pattern fmt p = Format.pp_print_string fmt (pattern_name p)
+
+let weaker a b =
+  match (a, b) with
+  | Nra.Single, _ | _, Nra.Single -> Nra.Single
+  | Nra.Two, _ | _, Nra.Two -> Nra.Two
+  | Nra.Three, Nra.Three -> Nra.Three
+
+let fused_nra (pair : Fused.pair) (f : Fused.t) =
+  weaker
+    (Nra.class_of (Nra.classify pair.op1 f.producer))
+    (Nra.class_of (Nra.classify pair.op2 f.consumer))
 
 let profitable = Nra.equal
 
@@ -144,6 +159,65 @@ let build_pattern mode pair buf p =
           ~t2:(op2.m, op2.k, 1)
           ~o2:(order ~outer:L ~mid:M ~inner:K))
       [ () ]
+  | P_block ->
+    (* Generalized C-stationary block family; the six named patterns
+       are specific points of it, and it is complete over the valid
+       fused-pair space (DESIGN.md Sec. 7c), which is what makes
+       [Best_of_both] agree with exhaustive search:
+       - a shared C tile (t_m, t_l) with t_m swept over the O(sqrt M)
+         trip-aligned tile sizes and t_l maximized under the joint
+         footprint (fused traffic is non-increasing in t_l);
+       - the producer K tile and consumer L tile influence traffic only
+         through "minimal" vs "untiled" (the intermediate is pinned
+         non-redundant on both sides, so their trip counts never enter
+         a revisit factor), hence (t_k1, t_l2) in {1, K1} x {1, L2};
+       - every order pair, validated by [Fused.eval]; only the
+         traffic-best order pair per tiling is kept, so the candidate
+         list stays O(sqrt M). *)
+    let trip_align d t =
+      if t >= d then d else Arith.ceil_div d (Arith.ceil_div d t)
+    in
+    let tm_sweep =
+      let r = Arith.isqrt op1.m in
+      Arith.dedup_sorted
+        (List.concat (List.init r (fun i -> [ i + 1; Arith.ceil_div op1.m (i + 1) ])))
+    in
+    let minor_pairs =
+      List.concat_map
+        (fun tk1 -> List.map (fun tl2 -> (tk1, tl2)) (Arith.dedup_sorted [ 1; op2.l ]))
+        (Arith.dedup_sorted [ 1; op1.k ])
+    in
+    List.concat_map
+      (fun tm ->
+        let tm = Mode.quantize mode op1 M tm in
+        List.filter_map
+          (fun (tk1, tl2) ->
+            let tl = (bs - (tm * (tk1 + tl2))) / (tk1 + tm + tl2) in
+            if tl < 1 then None
+            else begin
+              let tl =
+                Mode.quantize mode op1 L (trip_align op1.l (min op1.l tl))
+              in
+              let best_over_orders =
+                List.concat_map
+                  (fun o1 ->
+                    List.filter_map
+                      (fun o2 ->
+                        build pair buf ~t1:(tm, tk1, tl) ~o1 ~t2:(tm, tl, tl2) ~o2)
+                      Order.all)
+                  Order.all
+              in
+              match best_over_orders with
+              | [] -> None
+              | first :: rest ->
+                Some
+                  (List.fold_left
+                     (fun ((_, bt) as acc) ((_, t) as c) ->
+                       if t < bt then c else acc)
+                     first rest)
+            end)
+          minor_pairs)
+      tm_sweep
 
 let candidates ?(mode = Mode.Exact) ?(patterns = all_patterns) pair buf =
   let all =

@@ -28,11 +28,26 @@ type pattern =
           untiled on both sides. *)
   | P_three_resident
       (** (e): both Three-NRA; the whole of [C] stays on-chip. *)
+  | P_block
+      (** Generalized C-stationary block family: shared [C] tile
+          [(t_m, t_l)] with [t_m] swept trip-aligned and [t_l]
+          maximized, producer [K] / consumer [L] tiles in
+          [{minimal, untiled}], all order pairs. Subsumes the six named
+          patterns and is complete over the valid fused-pair space, so
+          [Best_of_both] matches exhaustive search exactly (the named
+          builders alone miss mixed-class optima on ragged sizes —
+          found by the differential oracle, see DESIGN.md Sec. 7c). *)
 
 val all_patterns : pattern list
 
-val pattern_class : pattern -> Nra.t
-(** The NRA class a pattern belongs to. *)
+val pattern_class : pattern -> Nra.t option
+(** The NRA class a named paper pattern belongs to; [None] for
+    {!P_block}, whose class depends on the tile sizes chosen (use
+    {!fused_nra} on a concrete fused dataflow instead). *)
+
+val fused_nra : Fused.pair -> Fused.t -> Nra.t
+(** The NRA class a concrete fused dataflow achieves: the weaker of the
+    two sides' classes, recovered from the actual schedules. *)
 
 val pattern_name : pattern -> string
 

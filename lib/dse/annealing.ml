@@ -13,8 +13,8 @@ let default_params =
 
 type state = { im : int; ik : int; il : int; iorder : int }
 
-let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
-    buf =
+(* The walk itself, on a fixed orientation. *)
+let search_oriented ~params ~lattice (op : Matmul.t) buf =
   let ms = Array.of_list (Space.tile_candidates lattice op.m) in
   let ks = Array.of_list (Space.tile_candidates lattice op.k) in
   let ls = Array.of_list (Space.tile_candidates lattice op.l) in
@@ -88,3 +88,17 @@ let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t
       let schedule = schedule_of s in
       { Exhaustive.schedule; cost = Cost.eval op schedule; explored = !evaluations })
     !best
+
+let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
+    buf =
+  (* Memory behaviour is symmetric under M<->L transposition, so run
+     the (seeded) walk on the canonical orientation and map the result
+     back: an operator and its transpose then get bit-identical
+     outcomes instead of two unrelated random walks. *)
+  if op.m <= op.l then search_oriented ~params ~lattice op buf
+  else
+    Option.map
+      (fun (r : Exhaustive.result) ->
+        let schedule = Schedule.transpose_ml op r.schedule in
+        { r with Exhaustive.schedule; cost = Cost.eval op schedule })
+      (search_oriented ~params ~lattice (Matmul.transpose op) buf)

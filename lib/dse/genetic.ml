@@ -18,8 +18,8 @@ let default_params =
    rather than repaired. *)
 type genome = { im : int; ik : int; il : int; iorder : int }
 
-let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
-    buf =
+(* The GA itself, on a fixed orientation. *)
+let search_oriented ~params ~lattice (op : Matmul.t) buf =
   let ms = Array.of_list (Space.tile_candidates lattice op.m) in
   let ks = Array.of_list (Space.tile_candidates lattice op.k) in
   let ls = Array.of_list (Space.tile_candidates lattice op.l) in
@@ -115,3 +115,15 @@ let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t
   Option.map
     (fun (schedule, cost) -> { Exhaustive.schedule; cost; explored = !evaluations })
     !best
+
+let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
+    buf =
+  (* As in {!Annealing}: evolve on the canonical M<->L orientation so
+     transposed problems get bit-identical results. *)
+  if op.m <= op.l then search_oriented ~params ~lattice op buf
+  else
+    Option.map
+      (fun (r : Exhaustive.result) ->
+        let schedule = Schedule.transpose_ml op r.schedule in
+        { r with Exhaustive.schedule; cost = Cost.eval op schedule })
+      (search_oriented ~params ~lattice (Matmul.transpose op) buf)

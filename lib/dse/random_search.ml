@@ -1,8 +1,7 @@
 open Fusecu_tensor
 open Fusecu_loopnest
 
-let search ?(samples = 2000) ?(seed = 42) ?(lattice = Space.Divisors)
-    (op : Matmul.t) buf =
+let search_oriented ~samples ~seed ~lattice (op : Matmul.t) buf =
   let ms = Array.of_list (Space.tile_candidates lattice op.m) in
   let ks = Array.of_list (Space.tile_candidates lattice op.k) in
   let ls = Array.of_list (Space.tile_candidates lattice op.l) in
@@ -30,3 +29,15 @@ let search ?(samples = 2000) ?(seed = 42) ?(lattice = Space.Divisors)
   Option.map
     (fun (schedule, cost) -> { Exhaustive.schedule; cost; explored = samples })
     !best
+
+let search ?(samples = 2000) ?(seed = 42) ?(lattice = Space.Divisors)
+    (op : Matmul.t) buf =
+  (* As in {!Annealing}: sample on the canonical M<->L orientation so
+     transposed problems get bit-identical results. *)
+  if op.m <= op.l then search_oriented ~samples ~seed ~lattice op buf
+  else
+    Option.map
+      (fun (r : Exhaustive.result) ->
+        let schedule = Schedule.transpose_ml op r.schedule in
+        { r with Exhaustive.schedule; cost = Cost.eval op schedule })
+      (search_oriented ~samples ~seed ~lattice (Matmul.transpose op) buf)

@@ -27,6 +27,10 @@ let stationary_for operand =
   let free = Operand.free_dim operand in
   List.filter (fun t -> Dim.equal t.inner free) all
 
+let transpose_ml t =
+  let swap = function Dim.M -> Dim.L | Dim.L -> Dim.M | Dim.K -> Dim.K in
+  { outer = swap t.outer; mid = swap t.mid; inner = swap t.inner }
+
 let equal a b =
   Dim.equal a.outer b.outer && Dim.equal a.mid b.mid && Dim.equal a.inner b.inner
 

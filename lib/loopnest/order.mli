@@ -27,6 +27,10 @@ val stationary_for : Operand.t -> t list
     [stationary_for C] are the two output-stationary orders (inner =
     K). *)
 
+val transpose_ml : t -> t
+(** Swap the roles of [M] and [L] at every loop level — the loop-order
+    half of the [Matmul.transpose] symmetry. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -13,6 +13,9 @@ let trips op t d = Tiling.trips op t.tiling d
 let total_tile_iterations op t =
   trips op t Dim.M * trips op t Dim.K * trips op t Dim.L
 
+let transpose_ml op t =
+  { tiling = Tiling.transpose_ml op t.tiling; order = Order.transpose_ml t.order }
+
 let equal a b = Tiling.equal a.tiling b.tiling && Order.equal a.order b.order
 
 let pp fmt t = Format.fprintf fmt "%a %a" Order.pp t.order Tiling.pp t.tiling

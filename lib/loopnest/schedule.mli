@@ -20,6 +20,13 @@ val total_tile_iterations : Matmul.t -> t -> int
 (** Product of the three trip counts: how many tile computations the
     schedule performs. *)
 
+val transpose_ml : Matmul.t -> t -> t
+(** Map a schedule across the [Matmul.transpose] symmetry: swap the
+    [M]/[L] tile sizes and the [M]/[L] loop levels. The [Matmul.t]
+    argument is the transposed operator the result belongs to. Memory
+    behaviour is invariant: [Cost.eval op s =
+    Cost.eval (Matmul.transpose op) (transpose_ml (Matmul.transpose op) s)]. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -30,6 +30,8 @@ let untiled op t d = get t d >= Matmul.dim op d
 
 let trips op t d = Fusecu_util.Arith.ceil_div (Matmul.dim op d) (get t d)
 
+let transpose_ml (op : Matmul.t) t = make op ~m:t.l ~k:t.k ~l:t.m
+
 let equal a b = a.m = b.m && a.k = b.k && a.l = b.l
 
 let pp fmt t = Format.fprintf fmt "T(m=%d,k=%d,l=%d)" t.m t.k t.l

@@ -43,6 +43,11 @@ val trips : Matmul.t -> t -> Dim.t -> int
 (** Iteration count of the tile loop over a dimension:
     [ceil (dim / tile)]. *)
 
+val transpose_ml : Matmul.t -> t -> t
+(** Swap the [M] and [L] tile sizes. The [Matmul.t] argument is the
+    operator the {e result} belongs to (i.e. [Matmul.transpose] of the
+    tiling's own operator); tiles are re-clamped against it. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,278 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_dse
+
+type failure = { check : string; detail : string }
+
+type outcome = { checks : int; failures : failure list }
+
+let mode = Mode.Exact
+
+let lattice = Space.All
+
+(* Deterministic per-problem stream for the ragged-schedule samples:
+   FNV-1a over the spec string, so a problem's verdict is a pure
+   function of the problem (independent of its position in a run). *)
+let seed_of p =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int)
+    (Problem.to_spec p);
+  !h
+
+type ctx = { mutable checks : int; mutable failures : failure list }
+
+let check ctx name ok detail =
+  ctx.checks <- ctx.checks + 1;
+  if not ok then ctx.failures <- { check = name; detail = detail () } :: ctx.failures
+
+let operand_cost_equal a b =
+  let open Cost in
+  a.traffic = b.traffic && a.fetches = b.fetches && a.revisit = b.revisit
+
+let pp_op_cost (c : Cost.per_operand) =
+  Printf.sprintf "t=%d f=%d r=%d" c.Cost.traffic c.Cost.fetches c.Cost.revisit
+
+(* Analytic cost model vs the loop-nest simulator on one schedule,
+   per operand, including ragged edges. *)
+let sim_vs_cost ctx ~name op schedule =
+  let analytic = Cost.eval op schedule in
+  let simulated = Sim.eval op schedule in
+  check ctx name
+    (analytic.Cost.total = simulated.Cost.total
+    && List.for_all
+         (fun x ->
+           operand_cost_equal (Cost.operand analytic x) (Cost.operand simulated x))
+         Operand.all)
+    (fun () ->
+      Printf.sprintf "schedule %s: analytic total=%d %s, sim total=%d %s"
+        (Schedule.to_string schedule) analytic.Cost.total
+        (String.concat " "
+           (List.map
+              (fun x ->
+                Printf.sprintf "%s(%s)" (Operand.to_string x)
+                  (pp_op_cost (Cost.operand analytic x)))
+              Operand.all))
+        simulated.Cost.total
+        (String.concat " "
+           (List.map
+              (fun x ->
+                Printf.sprintf "%s(%s)" (Operand.to_string x)
+                  (pp_op_cost (Cost.operand simulated x)))
+              Operand.all)))
+
+let intra_checks ctx tag op buf =
+  let planned = Intra.optimize ~mode op buf in
+  let searched = Exhaustive.search ~lattice op buf in
+  (match (planned, searched) with
+  | Error _, None -> ()
+  | Error e, Some ex ->
+    check ctx (tag ^ "/feasibility") false (fun () ->
+        Printf.sprintf "principles infeasible (%s) but exhaustive found %d" e
+          ex.Exhaustive.cost.Cost.total)
+  | Ok plan, None ->
+    check ctx (tag ^ "/feasibility") false (fun () ->
+        Printf.sprintf "principles found %d but exhaustive infeasible"
+          (Intra.ma plan))
+  | Ok plan, Some ex ->
+    check ctx (tag ^ "/feasibility") true (fun () -> "");
+    check ctx
+      (tag ^ "/optimal")
+      (Intra.ma plan = ex.Exhaustive.cost.Cost.total)
+      (fun () ->
+        Printf.sprintf "principles=%d (%s) vs exhaustive=%d (%s)" (Intra.ma plan)
+          (Schedule.to_string plan.Intra.schedule)
+          ex.Exhaustive.cost.Cost.total
+          (Schedule.to_string ex.Exhaustive.schedule));
+    sim_vs_cost ctx ~name:(tag ^ "/sim") op plan.Intra.schedule;
+    check ctx
+      (tag ^ "/lower-bound")
+      (Intra.ma plan >= Lower_bound.intra op)
+      (fun () ->
+        Printf.sprintf "traffic %d below unbounded lower bound %d" (Intra.ma plan)
+          (Lower_bound.intra op));
+    let regime = Regime.classify op buf in
+    let cls = Nra.class_of plan.Intra.dataflow in
+    let ok =
+      match regime with
+      | Regime.Large ->
+        (* with the exact feasibility threshold, Large means the
+           unbounded bound is reachable — and therefore reached *)
+        Intra.ma plan = Lower_bound.intra op
+      | _ -> List.exists (Nra.equal cls) (Regime.expected_classes regime)
+    in
+    check ctx (tag ^ "/regime") ok (fun () ->
+        Printf.sprintf "%s regime but %s dataflow with traffic %d (ideal %d)"
+          (Regime.to_string regime) (Nra.to_string cls) (Intra.ma plan)
+          (Lower_bound.intra op)))
+
+(* Random (mostly ragged) schedules, unconstrained by the buffer: the
+   simulator and the analytic model must agree everywhere, not just on
+   feasible optima. *)
+let ragged_checks ctx rng tag op =
+  for _ = 1 to 8 do
+    let tile d = Rng.range rng ~lo:1 ~hi:(Matmul.dim op d) in
+    let tiling =
+      Tiling.make op ~m:(tile Dim.M) ~k:(tile Dim.K) ~l:(tile Dim.L)
+    in
+    let schedule = Schedule.make tiling (Rng.choose rng Order.all) in
+    sim_vs_cost ctx ~name:(tag ^ "/ragged-sim") op schedule
+  done
+
+let fused_sim_traffic pair (f : Fused.t) =
+  let p = Sim.eval pair.Fused.op1 f.Fused.producer in
+  let c = Sim.eval pair.Fused.op2 f.Fused.consumer in
+  p.Cost.a.Cost.traffic + p.Cost.b.Cost.traffic + c.Cost.b.Cost.traffic
+  + c.Cost.c.Cost.traffic
+
+let pair_checks ctx pair buf =
+  let chain = Chain.make_exn [ pair.Fused.op1; pair.Fused.op2 ] in
+  let verdict = Fused_search.decide ~lattice pair buf in
+  match Fusion.plan_pair ~mode ~strategy:Fusion.Best_of_both pair buf with
+  | Error _ ->
+    check ctx "fuse/feasibility"
+      (verdict.Fused_search.best_traffic = None)
+      (fun () -> "planner infeasible but exhaustive search found a dataflow")
+  | Ok decision ->
+    let traffic = Fusion.traffic_of_decision decision in
+    (match verdict.Fused_search.best_traffic with
+    | None ->
+      check ctx "fuse/feasibility" false (fun () ->
+          "planner produced a plan but exhaustive search found none")
+    | Some best ->
+      check ctx "fuse/optimal" (traffic = best) (fun () ->
+          Printf.sprintf "best-of-both=%d vs exhaustive best=%d (fused=%s unfused=%s)"
+            traffic best
+            (match verdict.Fused_search.fused_best with
+            | Some f -> string_of_int f.Fused_search.traffic
+            | None -> "-")
+            (match verdict.Fused_search.unfused_traffic with
+            | Some u -> string_of_int u
+            | None -> "-")));
+    (match decision with
+    | Fusion.No_fuse _ -> ()
+    | Fusion.Fuse { fused; traffic; _ } ->
+      check ctx "fuse/sim"
+        (fused_sim_traffic pair fused = traffic)
+        (fun () ->
+          Printf.sprintf "analytic fused traffic %d but simulated %d" traffic
+            (fused_sim_traffic pair fused));
+      check ctx "fuse/lower-bound"
+        (traffic >= Chain.ideal_ma_fused chain)
+        (fun () ->
+          Printf.sprintf "fused traffic %d below fused lower bound %d" traffic
+            (Chain.ideal_ma_fused chain)));
+    (* Principle-4 soundness: a Fuse decision never moves more data
+       than its own unfused baseline, and the By_principle gate only
+       changes the outcome when the classes differ. *)
+    (match
+       (Intra.optimize ~mode pair.Fused.op1 buf,
+        Intra.optimize ~mode pair.Fused.op2 buf)
+     with
+    | Ok p1, Ok p2 -> (
+      let unfused = Intra.ma p1 + Intra.ma p2 in
+      check ctx "fuse/profitable" (traffic <= unfused) (fun () ->
+          Printf.sprintf "decision traffic %d exceeds unfused baseline %d" traffic
+            unfused);
+      let classes_equal =
+        Fusion.profitable
+          (Nra.class_of p1.Intra.dataflow)
+          (Nra.class_of p2.Intra.dataflow)
+      in
+      match Fusion.plan_pair ~mode ~strategy:Fusion.By_principle pair buf with
+      | Error e ->
+        check ctx "fuse/principle" false (fun () ->
+            "By_principle infeasible where Best_of_both was not: " ^ e)
+      | Ok by_principle ->
+        let pt = Fusion.traffic_of_decision by_principle in
+        if classes_equal then
+          check ctx "fuse/principle" (pt = traffic) (fun () ->
+              Printf.sprintf
+                "classes equal but By_principle=%d differs from Best_of_both=%d"
+                pt traffic)
+        else
+          check ctx "fuse/principle"
+            (match by_principle with
+            | Fusion.No_fuse _ -> pt = unfused
+            | Fusion.Fuse _ -> false)
+            (fun () ->
+              Printf.sprintf
+                "classes differ but By_principle fused (traffic %d, unfused %d)"
+                pt unfused))
+    | _ -> ())
+
+let chain_checks ctx chain buf =
+  match Multi_fusion.plan ~mode chain buf with
+  | Error _ -> ()
+  | Ok decision ->
+    let traffic = Multi_fusion.traffic_of_decision decision in
+    check ctx "chain/lower-bound"
+      (traffic >= Chain.ideal_ma_fused chain)
+      (fun () ->
+        Printf.sprintf "chain traffic %d below fused lower bound %d" traffic
+          (Chain.ideal_ma_fused chain));
+    (match Planner.plan_chain ~mode chain buf with
+    | Error e ->
+      check ctx "chain/pairwise" false (fun () ->
+          "whole-chain plan exists but pairwise planning failed: " ^ e)
+    | Ok pairwise ->
+      check ctx "chain/not-worse"
+        (traffic <= pairwise.Planner.traffic)
+        (fun () ->
+          Printf.sprintf "chain decision %d worse than pairwise %d" traffic
+            pairwise.Planner.traffic);
+      check ctx "chain/pairwise"
+        (pairwise.Planner.traffic
+        = Fusecu_util.Arith.sum
+            (List.map Planner.segment_traffic pairwise.Planner.segments))
+        (fun () -> "pairwise total is not the sum of its segments"));
+    (match decision with
+    | Multi_fusion.Fallback _ -> ()
+    | Multi_fusion.Full_fusion { fused; traffic } ->
+      (match Multi_fusion.eval chain fused buf with
+      | Error e ->
+        check ctx "chain/valid" false (fun () ->
+            "Full_fusion decision fails validation: " ^ e)
+      | Ok t ->
+        check ctx "chain/valid" (t = traffic) (fun () ->
+            Printf.sprintf "decision traffic %d but eval says %d" traffic t));
+      (* three-way closure: the analytic whole-chain traffic equals the
+         simulated traffic of every external (non-intermediate) operand *)
+      let ops = Chain.ops chain in
+      let last = List.length ops - 1 in
+      let sim_external =
+        List.fold_left ( + ) 0
+          (List.mapi
+             (fun i (op, s) ->
+               let c = Sim.eval op s in
+               let b = c.Cost.b.Cost.traffic in
+               if i = 0 then c.Cost.a.Cost.traffic + b
+               else if i = last then b + c.Cost.c.Cost.traffic
+               else b)
+             (List.combine ops fused.Multi_fusion.schedules))
+      in
+      check ctx "chain/sim" (sim_external = traffic) (fun () ->
+          Printf.sprintf "analytic chain traffic %d but simulated %d" traffic
+            sim_external))
+
+let run p : outcome =
+  let ctx = { checks = 0; failures = [] } in
+  let buf = Problem.buffer p in
+  let rng = Rng.make (seed_of p) in
+  List.iteri
+    (fun i op ->
+      let tag = Printf.sprintf "op%d" (i + 1) in
+      intra_checks ctx tag op buf;
+      ragged_checks ctx rng tag op)
+    (Problem.ops p);
+  (match Problem.pair p with
+  | Some pair -> pair_checks ctx pair buf
+  | None -> ());
+  (match Problem.chain p with
+  | Some chain -> chain_checks ctx chain buf
+  | None -> ());
+  { checks = ctx.checks; failures = List.rev ctx.failures }
+
+let failure_names (o : outcome) =
+  List.sort_uniq compare (List.map (fun f -> f.check) o.failures)

@@ -1,0 +1,30 @@
+(** The three-way differential conformance checks, run on one problem:
+
+    - {e principles vs exhaustive}: the one-shot principle plan must hit
+      the exhaustive-search optimum over the full tiling space (and
+      agree on feasibility);
+    - {e analytic vs simulated}: [Cost.eval] must equal [Sim.eval]
+      per operand (traffic, fetches, revisit) on the chosen plan and on
+      random ragged schedules;
+    - {e vs lower bounds}: traffic never below the unbounded bound, and
+      in the [Large] regime exactly equal to it;
+    - {e fusion} (pair problems): [Best_of_both] equals the exhaustive
+      fused-vs-unfused verdict, a [Fuse] decision simulates to its
+      analytic traffic, never loses to its own unfused baseline, and
+      the [By_principle] gate deviates only when the classes differ;
+    - {e chains} (three-operator problems): whole-chain decisions
+      validate, never lose to pairwise planning, respect the fused
+      lower bound, and the analytic chain traffic equals the simulated
+      traffic of the external operands.
+
+    All ground truths use [Mode.Exact] and the full [Space.All]
+    lattice. *)
+
+type failure = { check : string; detail : string }
+
+type outcome = { checks : int; failures : failure list }
+
+val run : Problem.t -> outcome
+
+val failure_names : outcome -> string list
+(** Sorted, de-duplicated check names that failed. *)

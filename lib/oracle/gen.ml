@@ -1,0 +1,43 @@
+open Fusecu_tensor
+open Fusecu_core
+open Fusecu_util
+
+(* Dimension sizes biased toward small values: divergences live on
+   ragged boundaries (dims that don't divide, tiles of 1, dims of 1),
+   and exhaustive ground truth is cheap there. *)
+let dim rng ~max_dim =
+  if Rng.int rng 4 = 0 then Rng.range rng ~lo:1 ~hi:max_dim
+  else Rng.range rng ~lo:1 ~hi:(max 2 (max_dim / 2))
+
+let shape rng ~max_dim =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> Problem.Single
+  | 4 | 5 | 6 -> Problem.Pair { l2 = dim rng ~max_dim }
+  | _ when Rng.bool rng -> Problem.Pair { l2 = dim rng ~max_dim }
+  | _ -> Problem.Chain3 { l2 = dim rng ~max_dim; l3 = dim rng ~max_dim }
+
+(* Buffer sizes deliberately concentrated on the regime boundaries of
+   the producer (Dmin^2/4, Dmin^2/2, the Three-NRA feasibility edge),
+   the minimum feasible footprint, and the unbounded-buffer cap, with a
+   uniform backstop over the whole interesting range. *)
+let buffer_size rng (p : Problem.t) =
+  let op = Problem.op1 p in
+  let th = Regime.thresholds op in
+  let cap =
+    Arith.sum (List.map Matmul.ideal_ma (Problem.ops p))
+  in
+  let anchors =
+    List.concat_map
+      (fun edge -> [ edge - 1; edge; edge + 1 ])
+      [ th.tiny_max; th.small_max; th.medium_max + 1 ]
+    @ [ 3; 4; cap; cap + 3 ]
+  in
+  let anchors = List.filter (fun b -> b >= 3) anchors in
+  if Rng.int rng 3 = 0 then Rng.range rng ~lo:3 ~hi:(max 3 (cap + 3))
+  else Rng.choose rng anchors
+
+let problem rng ~max_dim =
+  let m = dim rng ~max_dim and k = dim rng ~max_dim and l = dim rng ~max_dim in
+  let shape = shape rng ~max_dim in
+  let skeleton = { Problem.m; k; l; shape; bs = 3 } in
+  { skeleton with Problem.bs = buffer_size rng skeleton }

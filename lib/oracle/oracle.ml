@@ -1,0 +1,111 @@
+(* The oracle runner: generate seeded problems, run the three-way
+   conformance checks on each, and shrink any failure to a minimal
+   counterexample with a copy-pasteable repro line. *)
+
+open Fusecu_core
+
+type counterexample = {
+  index : int;  (** 1-based case index within the run *)
+  original : Problem.t;
+  shrunk : Problem.t;
+  failures : Check.failure list;  (** failures on the shrunk problem *)
+}
+
+type report = {
+  cases : int;
+  checks : int;
+  counterexamples : counterexample list;
+  by_regime : (string * int) list;
+  by_shape : (string * int) list;
+}
+
+let ok r = r.counterexamples = []
+
+let shape_name (p : Problem.t) =
+  match p.shape with
+  | Problem.Single -> "single"
+  | Problem.Pair _ -> "pair"
+  | Problem.Chain3 _ -> "chain3"
+
+let tally tbl key =
+  Hashtbl.replace tbl key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Shrinking must reproduce one of the *same* named checks, so it
+   cannot wander off the original bug onto an unrelated one. *)
+let shrink_failure index p (o : Check.outcome) =
+  let names = Check.failure_names o in
+  let still_fails q =
+    let oq = Check.run q in
+    List.exists (fun n -> List.mem n names) (Check.failure_names oq)
+  in
+  let shrunk = Shrink.minimize p ~still_fails in
+  let failures =
+    let final = Check.run shrunk in
+    if final.Check.failures = [] then o.Check.failures else final.Check.failures
+  in
+  { index; original = p; shrunk; failures }
+
+let run ?(log = ignore) ~cases ~seed ?(max_dim = 24) () =
+  let rng = Rng.make seed in
+  let regimes = Hashtbl.create 7 in
+  let shapes = Hashtbl.create 7 in
+  let checks = ref 0 in
+  let counterexamples = ref [] in
+  for index = 1 to cases do
+    let p = Gen.problem rng ~max_dim in
+    tally shapes (shape_name p);
+    tally regimes
+      (Regime.to_string (Regime.classify (Problem.op1 p) (Problem.buffer p)));
+    let o = Check.run p in
+    checks := !checks + o.Check.checks;
+    if o.Check.failures <> [] then begin
+      let ce = shrink_failure index p o in
+      counterexamples := ce :: !counterexamples;
+      log
+        (Printf.sprintf "case %d diverged: %s (shrunk to %s; checks: %s)" index
+           (Problem.to_spec p) (Problem.to_spec ce.shrunk)
+           (String.concat ", " (Check.failure_names o)))
+    end
+  done;
+  {
+    cases;
+    checks = !checks;
+    counterexamples = List.rev !counterexamples;
+    by_regime = sorted_bindings regimes;
+    by_shape = sorted_bindings shapes;
+  }
+
+let check_spec spec =
+  Result.map (fun p -> (p, Check.run p)) (Problem.of_spec spec)
+
+let pp_tally ppf bindings =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+    (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v)
+    ppf bindings
+
+let pp_failure ppf (f : Check.failure) =
+  Format.fprintf ppf "[%s] %s" f.Check.check f.Check.detail
+
+let pp_counterexample ppf ce =
+  Format.fprintf ppf
+    "@[<v 2>case %d: %s@,shrunk: %s@,repro:  fusecu_opt check --repro %s@,%a@]"
+    ce.index (Problem.to_spec ce.original) (Problem.to_spec ce.shrunk)
+    (Problem.to_spec ce.shrunk)
+    (Format.pp_print_list pp_failure)
+    ce.failures
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>oracle: %d cases, %d checks, %d divergence%s@,"
+    r.cases r.checks
+    (List.length r.counterexamples)
+    (if List.length r.counterexamples = 1 then "" else "s");
+  Format.fprintf ppf "@[<hov 2>shapes:@ %a@]@," pp_tally r.by_shape;
+  Format.fprintf ppf "@[<hov 2>regimes (op1):@ %a@]" pp_tally r.by_regime;
+  List.iter (fun ce -> Format.fprintf ppf "@,%a" pp_counterexample ce)
+    r.counterexamples;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** The differential conformance oracle runner.
+
+    Generates [cases] seeded random problems (see {!Gen}), runs the
+    three-way checks of {!Check} on each, and greedily shrinks every
+    failure to a (locally) minimal counterexample. The whole run is a
+    pure function of [(seed, cases, max_dim)]: a counterexample printed
+    in a CI log reproduces bit-for-bit anywhere with
+    [fusecu_opt check --repro <spec>]. *)
+
+type counterexample = {
+  index : int;  (** 1-based case index within the run *)
+  original : Problem.t;
+  shrunk : Problem.t;
+  failures : Check.failure list;  (** failures on the shrunk problem *)
+}
+
+type report = {
+  cases : int;
+  checks : int;  (** individual conformance checks evaluated *)
+  counterexamples : counterexample list;
+  by_regime : (string * int) list;  (** generated-case tally by regime *)
+  by_shape : (string * int) list;  (** tally by single/pair/chain3 *)
+}
+
+val ok : report -> bool
+(** No divergences. *)
+
+val run :
+  ?log:(string -> unit) ->
+  cases:int ->
+  seed:int ->
+  ?max_dim:int ->
+  unit ->
+  report
+(** [log] receives a one-line progress message per divergence as it is
+    found (before the final report); [max_dim] (default 24) bounds the
+    generated matmul dimensions. *)
+
+val check_spec : string -> (Problem.t * Check.outcome, string) result
+(** Re-run the checks on one problem given by its spec string
+    ([m=7,k=3,l=4,l2=2,bs=16]) — the reproduction path for logged
+    counterexamples. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+val pp_report : Format.formatter -> report -> unit

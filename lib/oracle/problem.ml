@@ -1,0 +1,88 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type shape = Single | Pair of { l2 : int } | Chain3 of { l2 : int; l3 : int }
+
+type t = { m : int; k : int; l : int; shape : shape; bs : int }
+
+let op1 p = Matmul.make ~name:"p" ~m:p.m ~k:p.k ~l:p.l ()
+
+let ops p =
+  match p.shape with
+  | Single -> [ op1 p ]
+  | Pair { l2 } -> [ op1 p; Matmul.make ~name:"c" ~m:p.m ~k:p.l ~l:l2 () ]
+  | Chain3 { l2; l3 } ->
+    [ op1 p;
+      Matmul.make ~name:"c" ~m:p.m ~k:p.l ~l:l2 ();
+      Matmul.make ~name:"d" ~m:p.m ~k:l2 ~l:l3 () ]
+
+let pair p =
+  match ops p with [ a; b ] -> Some (Fused.make_pair_exn a b) | _ -> None
+
+let chain p =
+  match p.shape with
+  | Chain3 { l2; l3 } -> Some (Chain.of_dims ~name:"oracle" ~m:p.m [ p.k; p.l; l2; l3 ])
+  | Single | Pair _ -> None
+
+let buffer p = Buffer.make p.bs
+
+let to_spec p =
+  let base = Printf.sprintf "m=%d,k=%d,l=%d" p.m p.k p.l in
+  let shape =
+    match p.shape with
+    | Single -> ""
+    | Pair { l2 } -> Printf.sprintf ",l2=%d" l2
+    | Chain3 { l2; l3 } -> Printf.sprintf ",l2=%d,l3=%d" l2 l3
+  in
+  Printf.sprintf "%s%s,bs=%d" base shape p.bs
+
+let of_spec s =
+  let ( let* ) = Result.bind in
+  let parse_field acc field =
+    let* acc = acc in
+    match String.split_on_char '=' (String.trim field) with
+    | [ key; value ] -> (
+      match int_of_string_opt (String.trim value) with
+      | None -> Error (Printf.sprintf "bad integer in %S" field)
+      | Some v ->
+        if v < 1 then Error (Printf.sprintf "%s must be >= 1" key)
+        else (
+          match String.trim key with
+          | "m" | "k" | "l" | "l2" | "l3" | "bs" as k -> Ok ((k, v) :: acc)
+          | k -> Error (Printf.sprintf "unknown field %S" k)))
+    | _ -> Error (Printf.sprintf "expected key=value, got %S" field)
+  in
+  let* fields = List.fold_left parse_field (Ok []) (String.split_on_char ',' s) in
+  let get k = List.assoc_opt k fields in
+  let require k =
+    match get k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %s" k)
+  in
+  let* m = require "m" in
+  let* k = require "k" in
+  let* l = require "l" in
+  let* bs = require "bs" in
+  match (get "l2", get "l3") with
+  | None, None -> Ok { m; k; l; shape = Single; bs }
+  | Some l2, None -> Ok { m; k; l; shape = Pair { l2 }; bs }
+  | Some l2, Some l3 -> Ok { m; k; l; shape = Chain3 { l2; l3 }; bs }
+  | None, Some _ -> Error "l3 without l2"
+
+let pp fmt p = Format.pp_print_string fmt (to_spec p)
+
+let equal (a : t) b = a = b
+
+(* Lexicographic "simplicity" used by the shrinker: fewer operators
+   first, then smaller dimensions, then a smaller buffer. *)
+let size p =
+  let dims =
+    match p.shape with
+    | Single -> p.m + p.k + p.l
+    | Pair { l2 } -> p.m + p.k + p.l + l2
+    | Chain3 { l2; l3 } -> p.m + p.k + p.l + l2 + l3
+  in
+  let arity =
+    match p.shape with Single -> 1 | Pair _ -> 2 | Chain3 _ -> 3
+  in
+  (arity, dims, p.bs)

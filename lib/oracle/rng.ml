@@ -1,0 +1,36 @@
+(* SplitMix64 (Steele, Lea & Flood 2014). Self-contained so oracle runs
+   are reproducible from the seed alone, independent of the stdlib
+   Random implementation (which is free to change between OCaml
+   releases — the shrunk counterexamples in test_oracle.ml must keep
+   meaning the same problems forever). *)
+
+type t = { mutable state : int64 }
+
+let make seed = { state = Int64.of_int seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  let z = Int64.add t.state golden_gamma in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let split t = make (Int64.to_int (next64 t))

@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random stream for the differential oracle
+    (SplitMix64). Unlike [Stdlib.Random], the sequence is pinned by
+    this module forever, so a [(seed, case index)] pair printed in a CI
+    log reproduces the same problem on any OCaml version. *)
+
+type t
+
+val make : int -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)]. [bound > 0]. *)
+
+val range : t -> lo:int -> hi:int -> int
+(** Uniform-ish in the inclusive range. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick; raises [Invalid_argument] on an empty list. *)
+
+val split : t -> t
+(** An independent stream derived from the current state. *)

@@ -1,0 +1,68 @@
+(* Greedy counterexample minimization: propose strictly simpler
+   problems (fewer operators, smaller dims, smaller buffer), keep the
+   first proposal on which the failure reproduces, repeat to a
+   fixpoint. "Reproduces" means the shrunk problem fails at least one
+   of the same named checks — shrinking is not allowed to wander off to
+   a different bug. *)
+
+let smaller_dims v =
+  List.sort_uniq compare (List.filter (fun x -> x >= 1 && x < v) [ 1; v / 2; v - 1 ])
+
+let smaller_buffers (p : Problem.t) =
+  let open Fusecu_core in
+  let anchors =
+    let th = Regime.thresholds (Problem.op1 p) in
+    [ th.tiny_max; th.small_max; th.medium_max + 1 ]
+  in
+  List.sort_uniq compare
+    (List.filter (fun b -> b >= 3 && b < p.bs) ([ 3; p.bs / 2; p.bs - 1 ] @ anchors))
+
+let proposals (p : Problem.t) =
+  let shape_cuts =
+    match p.shape with
+    | Problem.Single -> []
+    | Problem.Pair _ -> [ { p with Problem.shape = Problem.Single } ]
+    | Problem.Chain3 { l2; l3 } ->
+      [ { p with Problem.shape = Problem.Pair { l2 } };
+        { p with Problem.shape = Problem.Pair { l2 = l3 } };
+        { p with Problem.shape = Problem.Single } ]
+  in
+  let dim_cuts =
+    List.map (fun m -> { p with Problem.m }) (smaller_dims p.m)
+    @ List.map (fun k -> { p with Problem.k }) (smaller_dims p.k)
+    @ List.map (fun l -> { p with Problem.l }) (smaller_dims p.l)
+    @ (match p.shape with
+      | Problem.Single -> []
+      | Problem.Pair { l2 } ->
+        List.map
+          (fun l2 -> { p with Problem.shape = Problem.Pair { l2 } })
+          (smaller_dims l2)
+      | Problem.Chain3 { l2; l3 } ->
+        List.map
+          (fun l2 -> { p with Problem.shape = Problem.Chain3 { l2; l3 } })
+          (smaller_dims l2)
+        @ List.map
+            (fun l3 -> { p with Problem.shape = Problem.Chain3 { l2; l3 } })
+            (smaller_dims l3))
+  in
+  let buffer_cuts = List.map (fun bs -> { p with Problem.bs }) (smaller_buffers p) in
+  List.sort
+    (fun a b -> compare (Problem.size a) (Problem.size b))
+    (shape_cuts @ dim_cuts @ buffer_cuts)
+
+let minimize ?(budget = 200) p ~still_fails =
+  let evals = ref 0 in
+  let rec go p =
+    let next =
+      List.find_opt
+        (fun candidate ->
+          !evals < budget
+          && begin
+               incr evals;
+               still_fails candidate
+             end)
+        (proposals p)
+    in
+    match next with Some q -> go q | None -> p
+  in
+  go p

@@ -1,0 +1,16 @@
+(** Greedy minimization of failing problems to (locally) minimal
+    counterexamples. *)
+
+val proposals : Problem.t -> Problem.t list
+(** Strictly simpler variants of a problem, simplest first: drop
+    operators, shrink each dimension (to 1, half, minus one), shrink
+    the buffer (to 3, half, minus one, and the regime anchors below
+    it). *)
+
+val minimize : ?budget:int -> Problem.t -> still_fails:(Problem.t -> bool)
+  -> Problem.t
+(** Repeatedly replace the problem with the first simpler variant on
+    which [still_fails] holds, until none does (or [budget] predicate
+    evaluations, default 200, are spent). The caller's [still_fails]
+    should demand a failure of one of the {e same} checks, so shrinking
+    cannot wander to a different bug. *)

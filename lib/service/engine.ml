@@ -71,8 +71,10 @@ let compute t (call : Protocol.call) :
     let pair = Fused.make_pair_exn op op2 in
     match Fusion.plan_pair ~mode pair buffer with
     | Error e -> Error (Protocol.Infeasible, e)
-    | Ok (Fusion.Fuse { pattern; traffic; _ }) ->
-      Ok (Protocol.R_fuse (Protocol.Fused { pattern; traffic }))
+    | Ok (Fusion.Fuse { pattern; fused; traffic }) ->
+      Ok
+        (Protocol.R_fuse
+           (Protocol.Fused { pattern; nra = Fusion.fused_nra pair fused; traffic }))
     | Ok (Fusion.No_fuse { plan1; plan2; traffic; why }) ->
       Ok
         (Protocol.R_fuse

@@ -260,7 +260,7 @@ let intra_result_of_plan (plan : Intra.plan) =
     regime = plan.regime }
 
 type fuse_result =
-  | Fused of { pattern : Fusion.pattern; traffic : int }
+  | Fused of { pattern : Fusion.pattern; nra : Nra.t; traffic : int }
   | Not_fused of {
       why : string;
       traffic : int;
@@ -374,10 +374,10 @@ let outcome_fields = function
       ("class", Json.String (Nra.to_string r.nra));
       ("dataflow", Json.String (Nra.dataflow_to_string r.dataflow));
       ("regime", Json.String (Regime.to_string r.regime)) ]
-  | R_fuse (Fused { pattern; traffic }) ->
+  | R_fuse (Fused { pattern; nra; traffic }) ->
     [ ("fuse", Json.Bool true);
       ("pattern", Json.String (Fusion.pattern_name pattern));
-      ("class", Json.String (Nra.to_string (Fusion.pattern_class pattern)));
+      ("class", Json.String (Nra.to_string nra));
       ("traffic", Json.Int traffic) ]
   | R_fuse (Not_fused { why; traffic; producer; consumer }) ->
     [ ("fuse", Json.Bool false);

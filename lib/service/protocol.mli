@@ -114,7 +114,7 @@ type intra_result = {
 val intra_result_of_plan : Intra.plan -> intra_result
 
 type fuse_result =
-  | Fused of { pattern : Fusion.pattern; traffic : int }
+  | Fused of { pattern : Fusion.pattern; nra : Nra.t; traffic : int }
   | Not_fused of {
       why : string;
       traffic : int;

@@ -33,6 +33,14 @@ let divisors n =
   in
   loop 1 [] []
 
+let mul_sat a b =
+  assert (a >= 0 && b >= 0);
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+let add_sat a b =
+  assert (a >= 0 && b >= 0);
+  if a > max_int - b then max_int else a + b
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 (* Largest power of two an OCaml int can hold (2^61 on 64-bit). *)

@@ -21,6 +21,18 @@ val divisors : int -> int list
 (** [divisors n] lists all positive divisors of [n] in increasing order.
     Requires [n >= 1]. *)
 
+val mul_sat : int -> int -> int
+(** [mul_sat a b] is [a * b], saturating at [max_int] instead of
+    wrapping. Requires [a >= 0] and [b >= 0]. Threshold arithmetic on
+    user-supplied dimension sizes (e.g. [Dmin^2] in {!Fusecu_core}'s
+    regime classifier) uses this so that absurdly large operators
+    degrade to "everything is below the threshold" rather than to a
+    negative product. *)
+
+val add_sat : int -> int -> int
+(** [add_sat a b] is [a + b], saturating at [max_int]. Requires
+    [a >= 0] and [b >= 0]. *)
+
 val is_pow2 : int -> bool
 (** [is_pow2 n] is [true] iff [n] is a positive power of two. *)
 

@@ -21,7 +21,9 @@ let test_paper_example_regime () =
   let buf = Buffer.of_kib 512 in
   let th = Regime.thresholds bert in
   check_int "Dmin^2/2" (768 * 768 / 2) th.small_max;
-  check_int "Tensor_min" (768 * 768) th.medium_max;
+  (* exact Large boundary: smallest tensor resident plus one row and
+     one column of the other two (the paper's asymptotic Tensor_min) *)
+  check_int "FP3min - 1" ((768 * 768) + 768 + 768 - 1) th.medium_max;
   Alcotest.check regime_t "medium buffer" Regime.Medium (Regime.classify bert buf)
 
 let test_paper_example_dataflow () =
@@ -48,15 +50,62 @@ let test_regime_bands () =
   Alcotest.check regime_t "small low" Regime.Small (classify ((64 * 64 / 4) + 1));
   Alcotest.check regime_t "small high" Regime.Small (classify (64 * 64 / 2));
   Alcotest.check regime_t "medium" Regime.Medium (classify ((64 * 64 / 2) + 1));
-  Alcotest.check regime_t "medium high" Regime.Medium (classify (64 * 64));
-  Alcotest.check regime_t "large" Regime.Large (classify ((64 * 64) + 1))
+  (* Three-NRA is infeasible until the 64x64 tensor fits together with a
+     64-row and a 64-column working tile, so Medium extends to 4223 *)
+  Alcotest.check regime_t "medium high" Regime.Medium (classify ((64 * 64) + 127));
+  Alcotest.check regime_t "large" Regime.Large (classify ((64 * 64) + 128))
+
+(* Exact boundary arithmetic on every regime edge, for an odd and an
+   even Dmin: bs <= floor(Dmin^2/4) is exactly the integer form of the
+   paper's real-valued bound, and the Large edge is the exact Three-NRA
+   feasibility footprint. *)
+let test_regime_exact_boundaries () =
+  let check_edges op =
+    let th = Regime.thresholds op in
+    let classify bs = Regime.classify op (Buffer.make bs) in
+    Alcotest.check regime_t "tiny top" Regime.Tiny (classify th.tiny_max);
+    Alcotest.check regime_t "small bottom" Regime.Small (classify (th.tiny_max + 1));
+    Alcotest.check regime_t "small top" Regime.Small (classify th.small_max);
+    Alcotest.check regime_t "medium bottom" Regime.Medium
+      (classify (th.small_max + 1));
+    Alcotest.check regime_t "medium top" Regime.Medium (classify th.medium_max);
+    Alcotest.check regime_t "large bottom" Regime.Large (classify (th.medium_max + 1))
+  in
+  (* odd Dmin = 7: Dmin^2 = 49, floors at 12 / 24 *)
+  let odd = Matmul.make ~m:7 ~k:9 ~l:11 () in
+  let th = Regime.thresholds odd in
+  check_int "odd tiny_max" 12 th.tiny_max;
+  check_int "odd small_max" 24 th.small_max;
+  check_int "odd medium_max" ((7 * 9) + 7 + 9 - 1) th.medium_max;
+  check_edges odd;
+  (* even Dmin = 8 *)
+  let even = Matmul.make ~m:8 ~k:10 ~l:12 () in
+  let th = Regime.thresholds even in
+  check_int "even tiny_max" 16 th.tiny_max;
+  check_int "even small_max" 32 th.small_max;
+  check_int "even medium_max" ((8 * 10) + 8 + 10 - 1) th.medium_max;
+  check_edges even
+
+(* Dmin^2 on a pathological operator exceeds max_int; the thresholds
+   must saturate rather than wrap negative (which used to classify
+   every buffer as Large). *)
+let test_regime_threshold_overflow () =
+  let huge = 1 lsl 31 in
+  let op = Matmul.make ~m:huge ~k:huge ~l:huge () in
+  let th = Regime.thresholds op in
+  check_bool "tiny_max positive" true (th.tiny_max > 0);
+  check_bool "monotone" true
+    (th.tiny_max <= th.small_max && th.small_max <= th.medium_max);
+  check_int "tiny_max saturated" (max_int / 4) th.tiny_max;
+  Alcotest.check regime_t "1M-element buffer is Tiny" Regime.Tiny
+    (Regime.classify op (Buffer.make 1_000_000))
 
 let test_expected_classes () =
   Alcotest.(check (list nra_t)) "tiny" [ Nra.Single ]
     (Regime.expected_classes Regime.Tiny);
   Alcotest.(check (list nra_t)) "small" [ Nra.Single; Nra.Two ]
     (Regime.expected_classes Regime.Small);
-  Alcotest.(check (list nra_t)) "medium" [ Nra.Two ]
+  Alcotest.(check (list nra_t)) "medium" [ Nra.Single; Nra.Two ]
     (Regime.expected_classes Regime.Medium);
   Alcotest.(check (list nra_t)) "large" [ Nra.Three ]
     (Regime.expected_classes Regime.Large)
@@ -251,10 +300,16 @@ let mk_pair ~m ~k1 ~l1 ~l2 =
     (Matmul.make ~name:"mm2" ~m ~k:l1 ~l:l2 ())
 
 let test_pattern_classes () =
-  check_int "six patterns" 6 (List.length Fusion.all_patterns);
-  Alcotest.check nra_t "a" Nra.Single (Fusion.pattern_class Fusion.P_single_os_is);
-  Alcotest.check nra_t "b" Nra.Two (Fusion.pattern_class Fusion.P_two_os_is);
-  Alcotest.check nra_t "e" Nra.Three (Fusion.pattern_class Fusion.P_three_resident)
+  check_int "seven patterns" 7 (List.length Fusion.all_patterns);
+  let nra_opt = Alcotest.option nra_t in
+  Alcotest.check nra_opt "a" (Some Nra.Single)
+    (Fusion.pattern_class Fusion.P_single_os_is);
+  Alcotest.check nra_opt "b" (Some Nra.Two)
+    (Fusion.pattern_class Fusion.P_two_os_is);
+  Alcotest.check nra_opt "e" (Some Nra.Three)
+    (Fusion.pattern_class Fusion.P_three_resident);
+  Alcotest.check nra_opt "block spans classes" None
+    (Fusion.pattern_class Fusion.P_block)
 
 let test_profitable_is_equality () =
   List.iter
@@ -700,6 +755,10 @@ let () =
           Alcotest.test_case "dataflow" `Quick test_paper_example_dataflow ] );
       ( "regimes",
         [ Alcotest.test_case "bands" `Quick test_regime_bands;
+          Alcotest.test_case "exact boundaries" `Quick
+            test_regime_exact_boundaries;
+          Alcotest.test_case "threshold overflow" `Quick
+            test_regime_threshold_overflow;
           Alcotest.test_case "expected classes" `Quick test_expected_classes;
           Alcotest.test_case "predicts searched class" `Quick
             test_regime_predicts_search ] );

@@ -56,8 +56,8 @@ let test_mapping_kind_follows_tile_shape () =
   in
   let buf = Buffer.make 20000 in
   (match Fusion.plan_pair pair buf with
-  | Ok (Fusion.Fuse { fused; pattern; _ }) ->
-    if Nra.equal (Fusion.pattern_class pattern) Nra.Single then
+  | Ok (Fusion.Fuse { fused; _ }) ->
+    if Nra.equal (Fusion.fused_nra pair fused) Nra.Single then
       check_bool "single-NRA fusion maps as tile fusion" true
         (Mapping.fusion_mapping_of fused = Mapping.Tile_fusion)
   | Ok (Fusion.No_fuse _) | Error _ -> ());
@@ -69,8 +69,8 @@ let test_mapping_kind_follows_tile_shape () =
   in
   let buf2 = Buffer.make 3000 in
   match Fusion.plan_pair pair2 buf2 with
-  | Ok (Fusion.Fuse { fused; pattern; _ }) ->
-    if Nra.equal (Fusion.pattern_class pattern) Nra.Two then
+  | Ok (Fusion.Fuse { fused; _ }) ->
+    if Nra.equal (Fusion.fused_nra pair2 fused) Nra.Two then
       check_bool "two-NRA fusion maps as column fusion" true
         (Mapping.fusion_mapping_of fused = Mapping.Column_fusion)
   | Ok (Fusion.No_fuse _) | Error _ -> ()

@@ -1,0 +1,292 @@
+(* The differential conformance oracle: regression counterexamples
+   found (and fixed) during its development, the reproducibility
+   guarantees it rests on, and property tests for the two invariants it
+   polices hardest — analytic cost == simulated traffic on ragged
+   schedules, and M<->L transpose symmetry of the stochastic
+   searchers. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_core
+open Fusecu_dse
+open Fusecu_oracle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let problem_of_spec spec =
+  match Problem.of_spec spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad spec %s: %s" spec e
+
+(* ------------------------------------------------------------------ *)
+(* Shrunk counterexamples from development, kept as regressions.       *)
+
+(* Each of these specs, when first run through the oracle, exposed a
+   real divergence:
+   - the pair specs caught the fused pattern family missing the
+     C-stationary block interior (fuse/optimal): the named paper
+     patterns alone lost to [Fused_search] until [P_block] was added;
+   - the tiny bs=7 / bs=11 specs sat exactly on the old (asymptotic)
+     regime boundaries and misclassified until [Regime.thresholds]
+     switched to the exact integer thresholds;
+   - m=6,k=1,l=5,l2=4,bs=16 hit both at once.
+   All must now pass every check, forever. *)
+let regression_specs =
+  [ "m=7,k=3,l=4,l2=2,bs=16";
+    "m=2,k=2,l=2,l2=2,bs=7";
+    "m=2,k=2,l=2,l2=2,bs=11";
+    "m=5,k=2,l=4,l2=6,bs=31";
+    "m=5,k=2,l=4,l2=6,bs=33";
+    "m=6,k=1,l=5,l2=4,bs=16" ]
+
+let test_regression_counterexamples () =
+  List.iter
+    (fun spec ->
+      let o = Check.run (problem_of_spec spec) in
+      Alcotest.(check (list string))
+        (spec ^ " has no divergence") []
+        (List.map
+           (fun (f : Check.failure) -> f.Check.check ^ ": " ^ f.Check.detail)
+           o.Check.failures);
+      check_bool (spec ^ " ran checks") true (o.Check.checks > 0))
+    regression_specs
+
+(* The historical failure mode, asserted directly: on every pair
+   regression, the principle planner's best-of-both traffic equals the
+   exhaustive fused-vs-unfused optimum. *)
+let test_best_of_both_matches_exhaustive () =
+  List.iter
+    (fun spec ->
+      let p = problem_of_spec spec in
+      match Problem.pair p with
+      | None -> ()
+      | Some pair -> (
+        let buf = Problem.buffer p in
+        let verdict = Fused_search.decide ~lattice:Space.All pair buf in
+        match
+          Fusion.plan_pair ~mode:Mode.Exact ~strategy:Fusion.Best_of_both pair
+            buf
+        with
+        | Error _ ->
+          check_bool (spec ^ " infeasible on both sides") true
+            (verdict.Fused_search.best_traffic = None)
+        | Ok decision ->
+          Alcotest.(check (option int))
+            (spec ^ " best-of-both = exhaustive")
+            verdict.Fused_search.best_traffic
+            (Some (Fusion.traffic_of_decision decision))))
+    regression_specs
+
+(* ------------------------------------------------------------------ *)
+(* Reproducibility: specs, the PRNG, the generator, the runner.        *)
+
+let test_spec_round_trip () =
+  List.iter
+    (fun (p : Problem.t) ->
+      let spec = Problem.to_spec p in
+      match Problem.of_spec spec with
+      | Error e -> Alcotest.failf "%s does not parse back: %s" spec e
+      | Ok q -> check_bool (spec ^ " round-trips") true (Problem.equal p q))
+    [ { m = 7; k = 3; l = 4; shape = Problem.Single; bs = 16 };
+      { m = 1; k = 1; l = 1; shape = Problem.Pair { l2 = 9 }; bs = 3 };
+      { m = 24; k = 24; l = 24; shape = Problem.Chain3 { l2 = 5; l3 = 2 };
+        bs = 4096 } ];
+  List.iter
+    (fun bad ->
+      check_bool ("rejects " ^ bad) true
+        (Result.is_error (Problem.of_spec bad)))
+    [ ""; "m=1,k=1"; "m=0,k=1,l=1,bs=4"; "m=1,k=1,l=1,l3=2,bs=4";
+      "m=1,k=1,l=1,bs=4,junk=9"; "m=x,k=1,l=1,bs=4" ]
+
+(* The SplitMix64 stream is pinned by the module forever — a (seed,
+   case) pair in an old CI log must regenerate the same problem on any
+   OCaml version. These values are the contract. *)
+let test_rng_pinned () =
+  let r = Rng.make 7 in
+  Alcotest.(check (list int))
+    "first six draws at seed 7"
+    [ 93621; 738951; 902336; 368050; 180918; 387076 ]
+    (List.init 6 (fun _ -> Rng.int r 1_000_000))
+
+let test_rng_ranges () =
+  let r = Rng.make 123 in
+  for _ = 1 to 1000 do
+    let v = Rng.range r ~lo:3 ~hi:9 in
+    check_bool "in range" true (v >= 3 && v <= 9)
+  done
+
+let test_generator_pinned () =
+  let g = Rng.make 42 in
+  Alcotest.(check (list string))
+    "first five problems at seed 42"
+    [ "m=5,k=22,l=2,bs=4"; "m=12,k=10,l=12,bs=3"; "m=1,k=7,l=1,l2=8,bs=3";
+      "m=12,k=12,l=5,l2=2,bs=78"; "m=1,k=19,l=2,l2=3,bs=70" ]
+    (List.init 5 (fun _ -> Problem.to_spec (Gen.problem g ~max_dim:24)))
+
+let test_generator_valid () =
+  let g = Rng.make 9 in
+  for _ = 1 to 500 do
+    let p = Gen.problem g ~max_dim:24 in
+    check_bool "dims in bounds" true
+      (p.Problem.m >= 1 && p.Problem.m <= 24 && p.Problem.k >= 1
+     && p.Problem.k <= 24 && p.Problem.l >= 1 && p.Problem.l <= 24);
+    check_bool "buffer sane" true (p.Problem.bs >= 3);
+    check_bool "spec round-trips" true
+      (match Problem.of_spec (Problem.to_spec p) with
+      | Ok q -> Problem.equal p q
+      | Error _ -> false)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+
+let test_proposals_strictly_smaller () =
+  let p = problem_of_spec "m=12,k=7,l=9,l2=4,bs=200" in
+  List.iter
+    (fun q ->
+      check_bool
+        (Printf.sprintf "%s < %s" (Problem.to_spec q) (Problem.to_spec p))
+        true
+        (Problem.size q < Problem.size p))
+    (Shrink.proposals p)
+
+(* Greedy minimization against a synthetic predicate lands exactly on
+   the smallest failing instance. *)
+let test_minimize_converges () =
+  let p = problem_of_spec "m=24,k=13,l=17,l2=6,bs=500" in
+  let shrunk = Shrink.minimize p ~still_fails:(fun q -> q.Problem.m >= 4) in
+  check_int "minimal m" 4 shrunk.Problem.m;
+  check_int "k shrunk to 1" 1 shrunk.Problem.k;
+  check_int "l shrunk to 1" 1 shrunk.Problem.l;
+  check_bool "pair dropped" true (shrunk.Problem.shape = Problem.Single);
+  check_int "buffer at floor" 3 shrunk.Problem.bs;
+  (* a predicate that never fails leaves the problem untouched *)
+  check_bool "fixed point when nothing fails" true
+    (Problem.equal p (Shrink.minimize p ~still_fails:(fun _ -> false)))
+
+(* ------------------------------------------------------------------ *)
+(* A miniature end-to-end oracle run                                   *)
+
+let test_oracle_run_clean () =
+  let report = Oracle.run ~cases:150 ~seed:7 ~max_dim:20 () in
+  check_bool "no divergences" true (Oracle.ok report);
+  check_int "cases" 150 report.Oracle.cases;
+  check_bool "checks ran" true (report.Oracle.checks > 150);
+  let sum t = List.fold_left (fun a (_, n) -> a + n) 0 t in
+  check_int "shape tally covers every case" 150 (sum report.Oracle.by_shape);
+  check_int "regime tally covers every case" 150 (sum report.Oracle.by_regime);
+  (* same seed, same report *)
+  let again = Oracle.run ~cases:150 ~seed:7 ~max_dim:20 () in
+  check_int "deterministic checks" report.Oracle.checks again.Oracle.checks;
+  Alcotest.(check (list (pair string int)))
+    "deterministic tallies" report.Oracle.by_shape again.Oracle.by_shape
+
+let test_check_spec_matches_run () =
+  let p = problem_of_spec "m=6,k=1,l=5,l2=4,bs=16" in
+  match Oracle.check_spec "m=6,k=1,l=5,l2=4,bs=16" with
+  | Error e -> Alcotest.fail e
+  | Ok (q, o) ->
+    check_bool "same problem" true (Problem.equal p q);
+    check_int "same verdict" (Check.run p).Check.checks o.Check.checks
+
+(* ------------------------------------------------------------------ *)
+(* Property: analytic cost == simulated traffic on ragged schedules    *)
+
+let ragged_gen =
+  QCheck.Gen.(
+    let dim = int_range 1 12 in
+    dim >>= fun m ->
+    dim >>= fun k ->
+    dim >>= fun l ->
+    int_range 1 m >>= fun tm ->
+    int_range 1 k >>= fun tk ->
+    int_range 1 l >>= fun tl ->
+    int_range 0 (List.length Order.all - 1) >>= fun oi ->
+    return (m, k, l, tm, tk, tl, oi))
+
+let prop_sim_equals_cost =
+  QCheck.Test.make ~count:300
+    ~name:"simulated traffic == analytic cost on arbitrary ragged schedules"
+    (QCheck.make
+       ~print:(fun (m, k, l, tm, tk, tl, oi) ->
+         Printf.sprintf "%dx%dx%d tiles %d/%d/%d order %d" m k l tm tk tl oi)
+       ragged_gen)
+    (fun (m, k, l, tm, tk, tl, oi) ->
+      let op = Matmul.make ~m ~k ~l () in
+      let tiling = Tiling.make op ~m:tm ~k:tk ~l:tl in
+      let schedule = Schedule.make tiling (List.nth Order.all oi) in
+      let analytic = Cost.eval op schedule in
+      let simulated = Sim.eval op schedule in
+      analytic.Cost.total = simulated.Cost.total
+      && List.for_all
+           (fun x ->
+             let a = Cost.operand analytic x and s = Cost.operand simulated x in
+             a.Cost.traffic = s.Cost.traffic
+             && a.Cost.fetches = s.Cost.fetches
+             && a.Cost.revisit = s.Cost.revisit)
+           Operand.all)
+
+(* ------------------------------------------------------------------ *)
+(* Property: the stochastic searchers are exact M<->L symmetries       *)
+
+let searcher_gen =
+  QCheck.Gen.(
+    let dim = int_range 1 10 in
+    dim >>= fun m ->
+    dim >>= fun k ->
+    dim >>= fun l ->
+    int_range 3 120 >>= fun bs -> return (m, k, l, bs))
+
+let searcher_print (m, k, l, bs) = Printf.sprintf "%dx%dx%d bs=%d" m k l bs
+
+let transpose_invariant search (m, k, l, bs) =
+  let op = Matmul.make ~m ~k ~l () in
+  let opT = Matmul.transpose op in
+  let buf = Buffer.make bs in
+  match (search op buf, search opT buf) with
+  | None, None -> true
+  | Some a, Some b ->
+    a.Exhaustive.cost.Cost.total = b.Exhaustive.cost.Cost.total
+  | _ -> false
+
+let prop_annealing_transpose =
+  QCheck.Test.make ~count:60
+    ~name:"annealing finds the same traffic on the M<->L transpose"
+    (QCheck.make ~print:searcher_print searcher_gen)
+    (transpose_invariant (fun op buf -> Annealing.search op buf))
+
+let prop_genetic_transpose =
+  QCheck.Test.make ~count:40
+    ~name:"genetic finds the same traffic on the M<->L transpose"
+    (QCheck.make ~print:searcher_print searcher_gen)
+    (transpose_invariant (fun op buf -> Genetic.search op buf))
+
+let () =
+  let qtest = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260806 |]) in
+  Alcotest.run "oracle"
+    [ ( "regressions",
+        [ Alcotest.test_case "shrunk counterexamples stay fixed" `Quick
+            test_regression_counterexamples;
+          Alcotest.test_case "best-of-both = exhaustive on them" `Quick
+            test_best_of_both_matches_exhaustive ] );
+      ( "reproducibility",
+        [ Alcotest.test_case "spec round-trip" `Quick test_spec_round_trip;
+          Alcotest.test_case "rng stream pinned" `Quick test_rng_pinned;
+          Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "generator pinned" `Quick test_generator_pinned;
+          Alcotest.test_case "generator valid" `Quick test_generator_valid ] );
+      ( "shrinker",
+        [ Alcotest.test_case "proposals strictly smaller" `Quick
+            test_proposals_strictly_smaller;
+          Alcotest.test_case "greedy minimize converges" `Quick
+            test_minimize_converges ] );
+      ( "runner",
+        [ Alcotest.test_case "150 cases, zero divergences" `Slow
+            test_oracle_run_clean;
+          Alcotest.test_case "check_spec = run" `Quick
+            test_check_spec_matches_run ] );
+      ( "properties",
+        [ qtest prop_sim_equals_cost;
+          qtest prop_annealing_transpose;
+          qtest prop_genetic_transpose ] ) ]
