@@ -24,6 +24,16 @@
                                                  daemon (also part of
                                                  `dune build
                                                  @service-smoke`)
+     dune exec bench/main.exe -- --bnb-smoke   -- branch-and-bound vs
+                                                 exhaustive on the
+                                                 paper fixtures: fails
+                                                 if B&B ever misses the
+                                                 optimum or spends more
+                                                 than 10% of the
+                                                 enumeration's cost
+                                                 evaluations (also part
+                                                 of `dune build
+                                                 @bench-smoke`)
      dune exec bench/main.exe -- --oracle      -- differential-oracle
                                                  soak: 5000 seeded
                                                  cases (1000 with
@@ -41,7 +51,7 @@ let usage () =
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
      <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke] \
-     [--oracle] [--trace FILE]";
+     [--bnb-smoke] [--oracle] [--trace FILE]";
   exit 1
 
 type options = {
@@ -53,6 +63,7 @@ type options = {
   smoke : bool;
   service : bool;
   socket_smoke : bool;
+  bnb_smoke : bool;
   oracle : bool;
   trace : string option;
 }
@@ -99,7 +110,8 @@ let parse_args () =
   let only = ref None and buffer = ref Experiments.default_buffer in
   let quick = ref false and csv_dir = ref None in
   let json = ref false and smoke = ref false and service = ref false in
-  let socket_smoke = ref false and oracle = ref false in
+  let socket_smoke = ref false and bnb_smoke = ref false in
+  let oracle = ref false in
   let trace = ref None in
   let rec loop = function
     | [] -> ()
@@ -128,6 +140,9 @@ let parse_args () =
     | "--socket-smoke" :: rest ->
       socket_smoke := true;
       loop rest
+    | "--bnb-smoke" :: rest ->
+      bnb_smoke := true;
+      loop rest
     | "--oracle" :: rest ->
       oracle := true;
       loop rest
@@ -145,11 +160,12 @@ let parse_args () =
   loop (List.tl (Array.to_list Sys.argv));
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
     json = !json; smoke = !smoke; service = !service;
-    socket_smoke = !socket_smoke; oracle = !oracle; trace = !trace }
+    socket_smoke = !socket_smoke; bnb_smoke = !bnb_smoke; oracle = !oracle;
+    trace = !trace }
 
 let () =
   let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke;
-        oracle; trace } =
+        bnb_smoke; oracle; trace } =
     parse_args ()
   in
   (* --trace FILE: profile whatever runs below and write a Chrome
@@ -169,6 +185,10 @@ let () =
   end;
   if socket_smoke then begin
     Service_replay.socket_smoke ();
+    exit 0
+  end;
+  if bnb_smoke then begin
+    Speed.bnb_smoke ();
     exit 0
   end;
   if oracle then begin

@@ -98,18 +98,144 @@ let pp_time ns =
 
 let measure_tasks ?repeats tasks =
   let pool = Pool.get_global () in
-  List.map
-    (fun t ->
-      let seq_ns = time_ns ?repeats (fun () -> t.run ~pool:Pool.sequential) in
-      let par_ns = time_ns ?repeats (fun () -> t.run ~pool) in
-      (t.name, seq_ns, par_ns))
-    tasks
+  (* On a one-domain pool the "parallel" run takes the sequential code
+     path anyway, so timing it separately would launder measurement
+     noise into a fake speedup column. Reuse the sequential timing and
+     report the bypass honestly (the [pool_bypassed] JSON field). *)
+  let bypassed = Pool.size pool = 1 in
+  let rows =
+    List.map
+      (fun t ->
+        let seq_ns = time_ns ?repeats (fun () -> t.run ~pool:Pool.sequential) in
+        let par_ns =
+          if bypassed then seq_ns
+          else time_ns ?repeats (fun () -> t.run ~pool)
+        in
+        (t.name, seq_ns, par_ns))
+      tasks
+  in
+  (rows, bypassed)
+
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound vs exhaustive: same optimum, a fraction of the
+   cost evaluations. Each fixture runs both searches and records the
+   counts; [bnb_check] is the smoke-level guard (optimality must hold
+   exactly, evaluations must stay under 10% of the enumeration).       *)
+
+type bnb_row = {
+  bnb_task : string;
+  traffic_bnb : int;
+  traffic_exhaustive : int;
+  evaluated : int;  (** B&B cost evaluations *)
+  enumerated : int;  (** exhaustive cost evaluations on the same space *)
+  nodes : int;
+  pruned_bound : int;
+  pruned_infeasible : int;
+}
+
+type bnb_fixture =
+  | B_intra of Matmul.t * Buffer.t
+  | B_fused of Fused.pair * Buffer.t
+
+let bnb_fixtures () =
+  [ ("bnb-bert-512k", B_intra (bert, buf));
+    ("bnb-bert-64k", B_intra (bert, Buffer.of_kib 64));
+    ("bnb-bert-8k", B_intra (bert, Buffer.of_kib 8));
+    ("bnb-attention-fused-64k", B_fused (attention_pair, Buffer.of_kib 64)) ]
+
+let bnb_rows ?(fixtures = bnb_fixtures ()) () =
+  List.filter_map
+    (fun (name, fixture) ->
+      match fixture with
+      | B_intra (op, b) -> (
+        let seed =
+          match Intra.optimize op b with
+          | Ok p -> Some p.Intra.schedule
+          | Error _ -> None
+        in
+        match
+          (Bnb.search_with_stats ?seed op b,
+           Exhaustive.search ~pool:Pool.sequential op b)
+        with
+        | (Some br, stats), Some er ->
+          Some
+            { bnb_task = name;
+              traffic_bnb = br.Exhaustive.cost.Cost.total;
+              traffic_exhaustive = er.Exhaustive.cost.Cost.total;
+              evaluated = stats.Bnb.explored;
+              enumerated = er.Exhaustive.explored;
+              nodes = stats.Bnb.nodes;
+              pruned_bound = stats.Bnb.pruned_bound;
+              pruned_infeasible = stats.Bnb.pruned_infeasible }
+        | _ -> None)
+      | B_fused (pair, b) -> (
+        match
+          (Bnb.search_fused_with_stats pair b,
+           Fused_search.exhaustive ~pool:Pool.sequential pair b)
+        with
+        | (Some br, stats), Some er ->
+          Some
+            { bnb_task = name;
+              traffic_bnb = br.Fused_search.traffic;
+              traffic_exhaustive = er.Fused_search.traffic;
+              evaluated = stats.Bnb.explored;
+              enumerated = er.Fused_search.explored;
+              nodes = stats.Bnb.nodes;
+              pruned_bound = stats.Bnb.pruned_bound;
+              pruned_infeasible = stats.Bnb.pruned_infeasible }
+        | _ -> None))
+    fixtures
+
+let bnb_ratio r = float_of_int r.evaluated /. float_of_int r.enumerated
+
+let bnb_row_json r =
+  let module Json = Fusecu_util.Json in
+  Json.Obj
+    [ ("task", Json.String r.bnb_task);
+      ("traffic", Json.Int r.traffic_bnb);
+      ("traffic_exhaustive", Json.Int r.traffic_exhaustive);
+      ("explored", Json.Int r.evaluated);
+      ("enumerated", Json.Int r.enumerated);
+      ("ratio", Json.Float (bnb_ratio r));
+      ("nodes", Json.Int r.nodes);
+      ("pruned_bound", Json.Int r.pruned_bound);
+      ("pruned_infeasible", Json.Int r.pruned_infeasible) ]
+
+let bnb_check rows =
+  if rows = [] then failwith "bnb: no fixture produced a result";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "bnb: %-24s traffic %d (exhaustive %d), %d/%d evaluations (%.1f%%), \
+         pruned %d+%d\n"
+        r.bnb_task r.traffic_bnb r.traffic_exhaustive r.evaluated r.enumerated
+        (100. *. bnb_ratio r)
+        r.pruned_bound r.pruned_infeasible;
+      if r.traffic_bnb > r.traffic_exhaustive then
+        failwith
+          (Printf.sprintf "bnb: %s: B&B traffic %d exceeds exhaustive %d"
+             r.bnb_task r.traffic_bnb r.traffic_exhaustive);
+      if r.traffic_bnb < r.traffic_exhaustive then
+        failwith
+          (Printf.sprintf
+             "bnb: %s: B&B traffic %d below exhaustive %d (bound unsound?)"
+             r.bnb_task r.traffic_bnb r.traffic_exhaustive);
+      if 10 * r.evaluated > r.enumerated then
+        failwith
+          (Printf.sprintf
+             "bnb: %s: %d evaluations is over 10%% of the %d enumerated"
+             r.bnb_task r.evaluated r.enumerated))
+    rows
+
+let bnb_smoke () =
+  bnb_check (bnb_rows ());
+  print_endline "smoke: bnb = exhaustive optimum within the evaluation budget"
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_dse.json                                                      *)
 
 let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
-    () =
+    ?(bnb = bnb_rows ()) () =
   let module Trace = Fusecu_util.Trace in
   let module Json = Fusecu_util.Json in
   (* Span durations must come from the same monotonic clock as the
@@ -118,7 +244,7 @@ let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
   Trace.start ();
   Pool.reset_stats (Pool.get_global ());
   let domains = Pool.size (Pool.get_global ()) in
-  let rows = measure_tasks ?repeats tasks in
+  let rows, pool_bypassed = measure_tasks ?repeats tasks in
   Trace.stop ();
   (* total recorded span time per phase (enumerate / evaluate / merge /
      pool), exact regardless of ring eviction *)
@@ -134,7 +260,8 @@ let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
   in
   let pool_json = Pool.stats_json (Pool.get_global ()) in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"tasks\": [\n" domains;
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"pool_bypassed\": %b,\n  \"tasks\": [\n"
+    domains pool_bypassed;
   List.iteri
     (fun i (name, seq_ns, par_ns) ->
       Printf.fprintf oc
@@ -143,6 +270,13 @@ let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
         name seq_ns par_ns (seq_ns /. par_ns)
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  Printf.fprintf oc "  ],\n  \"bnb\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    %s%s\n"
+        (Json.print (bnb_row_json r))
+        (if i = List.length bnb - 1 then "" else ","))
+    bnb;
   Printf.fprintf oc "  ],\n  \"trace\": %s,\n  \"pool\": %s\n}\n"
     (Json.print trace_json) (Json.print pool_json);
   close_out oc;
@@ -179,7 +313,19 @@ let smoke () =
       s.explored
   | _ -> failwith "smoke: parallel and sequential search disagree");
   let json = Filename.temp_file "fusecu_bench" ".json" in
-  write_json ~path:json ~repeats:1 ~tasks ();
+  let tiny_bnb =
+    bnb_rows
+      ~fixtures:
+        [ ("bnb-tiny", B_intra (op, b));
+          ("bnb-tiny-fused",
+           B_fused
+             ( Fused.make_pair_exn
+                 (Matmul.make ~name:"qk" ~m:16 ~k:4 ~l:16 ())
+                 (Matmul.make ~name:"sv" ~m:16 ~k:16 ~l:4 ()),
+               Buffer.make 512 )) ]
+      ()
+  in
+  write_json ~path:json ~repeats:1 ~tasks ~bnb:tiny_bnb ();
   (* the file must parse and carry the embedded observability sections *)
   let contents = In_channel.with_open_text json In_channel.input_all in
   (match Fusecu_util.Json.parse contents with
@@ -189,7 +335,7 @@ let smoke () =
       (fun field ->
         if Fusecu_util.Json.member field obj = None then
           failwith ("smoke: BENCH_dse.json is missing \"" ^ field ^ "\""))
-      [ "domains"; "tasks"; "trace"; "pool" ]);
+      [ "domains"; "pool_bypassed"; "tasks"; "bnb"; "trace"; "pool" ]);
   Sys.remove json;
   Printf.printf "smoke: bench ok (%d domains)\n" (Pool.size pool)
 

@@ -195,6 +195,16 @@ let search_cmd =
         (Fusecu_util.Units.pp_count r.cost.Cost.total)
         Schedule.pp r.schedule r.explored
     | None -> print_endline "exhaustive: infeasible");
+    (match
+       Fusecu_dse.Bnb.search_with_stats ~seed:principle.Intra.schedule op buf
+     with
+    | Some r, stats ->
+      Format.printf "bnb:        MA=%s %a (%d evaluations, %d pruned)@."
+        (Fusecu_util.Units.pp_count r.cost.Cost.total)
+        Schedule.pp r.schedule r.explored
+        (stats.Fusecu_dse.Bnb.pruned_bound
+        + stats.Fusecu_dse.Bnb.pruned_infeasible)
+    | None, _ -> print_endline "bnb: infeasible");
     match Fusecu_dse.Genetic.search op buf with
     | Some r ->
       Format.printf "genetic:    MA=%s %a (%d evaluations)@."
@@ -485,8 +495,8 @@ let area_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run socket batch no_cache cache_entries metrics_file metrics_addr slow_ms
-      max_conns timeout max_line trace log_level =
+  let run socket batch no_cache cache_entries mapper metrics_file metrics_addr
+      slow_ms max_conns timeout max_line trace log_level =
     with_observability ~trace ~log_level @@ fun () ->
     let default = Fusecu_service.Engine.default_config () in
     let cache_entries =
@@ -496,7 +506,8 @@ let serve_cmd =
       { default with
         cache_enabled = (not no_cache) && cache_entries > 0;
         cache_entries;
-        slow_log_ms = slow_ms }
+        slow_log_ms = slow_ms;
+        mapper = Option.value mapper ~default:default.mapper }
     in
     let engine = Fusecu_service.Engine.create config in
     let exporter =
@@ -575,6 +586,29 @@ let serve_cmd =
           ~doc:"Plan-cache capacity in entries (default: \
                 \\$FUSECU_CACHE_ENTRIES or 4096; 0 disables the cache).")
   in
+  let mapper =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                (List.map
+                   (fun m -> (Fusecu_service.Engine.mapper_name m, m))
+                   [ Fusecu_service.Engine.Mapper_bnb;
+                     Fusecu_service.Engine.Mapper_principles;
+                     Fusecu_service.Engine.Mapper_exhaustive;
+                     Fusecu_service.Engine.Mapper_anneal ])))
+          None
+      & info [ "mapper" ] ~docv:"MAPPER"
+          ~doc:"Search mapper behind uncached intra/fuse/chain computes: \
+                'bnb' (exact branch-and-bound, the default), 'principles' \
+                (closed-form plan only), 'exhaustive', or 'anneal'. Search \
+                mappers verify-and-refine the principle plan, adopting the \
+                searched schedule only on a strict traffic improvement, so \
+                responses are byte-identical across mappers unless the \
+                principles are beaten (counted in mapper_improved). Defaults \
+                to \\$FUSECU_MAPPER or bnb.")
+  in
   let metrics_file =
     Arg.(
       value
@@ -648,8 +682,8 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const run $ socket $ batch $ no_cache $ cache_entries $ metrics_file
-      $ metrics_addr $ slow_ms $ max_conns $ timeout $ max_line
+      const run $ socket $ batch $ no_cache $ cache_entries $ mapper
+      $ metrics_file $ metrics_addr $ slow_ms $ max_conns $ timeout $ max_line
       $ trace_file_arg $ log_level_arg)
   in
   Cmd.v
@@ -669,12 +703,12 @@ let serve_cmd =
 (* check                                                               *)
 
 let check_cmd =
-  let run cases seed max_dim repro trace log_level =
+  let run cases seed max_dim repro mapper trace log_level =
     with_observability ~trace ~log_level @@ fun () ->
     let open Fusecu_oracle in
     match repro with
     | Some spec -> (
-      match Oracle.check_spec spec with
+      match Oracle.check_spec ~mapper spec with
       | Error e ->
         prerr_endline ("--repro: " ^ e);
         exit 2
@@ -689,7 +723,9 @@ let check_cmd =
           exit 1
         end)
     | None ->
-      let report = Oracle.run ~log:prerr_endline ~cases ~seed ~max_dim () in
+      let report =
+        Oracle.run ~log:prerr_endline ~mapper ~cases ~seed ~max_dim ()
+      in
       Format.printf "%a@." Oracle.pp_report report;
       if not (Oracle.ok report) then exit 1
   in
@@ -722,9 +758,23 @@ let check_cmd =
                 m=7,k=3,l=4,l2=2,bs=16) — the one-liner printed for every \
                 shrunk counterexample.")
   in
+  let mapper =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("principles", Fusecu_oracle.Check.Principles);
+               ("bnb", Fusecu_oracle.Check.Bnb) ])
+          Fusecu_oracle.Check.Principles
+      & info [ "mapper" ] ~docv:"MAPPER"
+          ~doc:"Check set: 'principles' (default) runs the three-way \
+                conformance checks; 'bnb' additionally asserts the \
+                branch-and-bound mapper reproduces the exhaustive optimum \
+                bit-for-bit on every generated problem.")
+  in
   let term =
     Term.(
-      const run $ cases $ seed $ max_dim $ repro $ trace_file_arg
+      const run $ cases $ seed $ max_dim $ repro $ mapper $ trace_file_arg
       $ log_level_arg)
   in
   Cmd.v

@@ -15,35 +15,26 @@ type state = { im : int; ik : int; il : int; iorder : int }
 
 (* The walk itself, on a fixed orientation. *)
 let search_oriented ~params ~lattice (op : Matmul.t) buf =
-  let ms = Array.of_list (Space.tile_candidates lattice op.m) in
-  let ks = Array.of_list (Space.tile_candidates lattice op.k) in
-  let ls = Array.of_list (Space.tile_candidates lattice op.l) in
-  let orders = Array.of_list Order.all in
+  let arrs = Stochastic.arrays lattice op in
+  let { Stochastic.ms; ks; ls; orders } = arrs in
   let rng = Random.State.make [| params.seed; op.m; op.k; op.l; 17 |] in
   let capacity = Buffer.elements buf in
   let schedule_of s =
-    Schedule.make (Tiling.make op ~m:ms.(s.im) ~k:ks.(s.ik) ~l:ls.(s.il))
-      orders.(s.iorder)
+    Stochastic.schedule_of arrs op ~im:s.im ~ik:s.ik ~il:s.il ~iorder:s.iorder
   in
-  let evaluations = ref 0 in
+  let tally = Stochastic.tally () in
   (* objective in units of the ideal lower bound; infeasible states get
      a capacity-overshoot penalty so the walk can cross narrow ridges *)
   let ideal = float_of_int (Matmul.ideal_ma op) in
   let objective s =
-    incr evaluations;
+    Stochastic.tick tally;
     let sched = schedule_of s in
     let over = Schedule.footprint sched - capacity in
     if over > 0 then 1e6 +. float_of_int over
     else float_of_int (Cost.eval op sched).Cost.total /. ideal
   in
   let neighbour s =
-    let bump len i =
-      if len = 1 then i
-      else if Random.State.bool rng then
-        Fusecu_util.Arith.clamp ~lo:0 ~hi:(len - 1)
-          (i + (if Random.State.bool rng then 1 else -1))
-      else Random.State.int rng len
-    in
+    let bump len i = if len = 1 then i else Stochastic.nudge rng ~len i in
     match Random.State.int rng 4 with
     | 0 -> { s with im = bump (Array.length ms) s.im }
     | 1 -> { s with ik = bump (Array.length ks) s.ik }
@@ -58,14 +49,7 @@ let search_oriented ~params ~lattice (op : Matmul.t) buf =
         iorder = Random.State.int rng (Array.length orders) }
   in
   let current_cost = ref (objective !current) in
-  let best = ref None in
-  let consider s cost =
-    if cost < 1e6 then begin
-      match !best with
-      | Some (_, bc) when bc <= cost -> ()
-      | _ -> best := Some (s, cost)
-    end
-  in
+  let consider s cost = if cost < 1e6 then Stochastic.note tally s cost in
   consider !current !current_cost;
   let temperature = ref params.initial_temperature in
   for _ = 1 to params.iterations do
@@ -86,19 +70,14 @@ let search_oriented ~params ~lattice (op : Matmul.t) buf =
   Option.map
     (fun (s, _) ->
       let schedule = schedule_of s in
-      { Exhaustive.schedule; cost = Cost.eval op schedule; explored = !evaluations })
-    !best
+      { Exhaustive.schedule;
+        cost = Cost.eval op schedule;
+        explored = tally.Stochastic.evaluations })
+    tally.Stochastic.best
 
-let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
-    buf =
+let search ?(params = default_params) ?(lattice = Space.Divisors) op buf =
   (* Memory behaviour is symmetric under M<->L transposition, so run
      the (seeded) walk on the canonical orientation and map the result
      back: an operator and its transpose then get bit-identical
      outcomes instead of two unrelated random walks. *)
-  if op.m <= op.l then search_oriented ~params ~lattice op buf
-  else
-    Option.map
-      (fun (r : Exhaustive.result) ->
-        let schedule = Schedule.transpose_ml op r.schedule in
-        { r with Exhaustive.schedule; cost = Cost.eval op schedule })
-      (search_oriented ~params ~lattice (Matmul.transpose op) buf)
+  Stochastic.canonical ~oriented:(search_oriented ~params ~lattice) op buf

@@ -1,0 +1,401 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_util
+
+type stats = {
+  nodes : int;
+  explored : int;
+  pruned_bound : int;
+  pruned_infeasible : int;
+}
+
+(* Largest index j with arr.(j) <= bound, or -1; arr is increasing. *)
+let last_le arr bound =
+  if Array.length arr = 0 || arr.(0) > bound then -1
+  else begin
+    (* invariant: arr.(lo) <= bound < arr.(hi) (hi = len treated as inf) *)
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid) <= bound then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let find_exact arr v =
+  let j = last_le arr v in
+  if j >= 0 && arr.(j) = v then Some j else None
+
+let order_index order =
+  let rec go i = function
+    | [] -> None
+    | o :: tl -> if Order.equal o order then Some i else go (i + 1) tl
+  in
+  go 0 Order.all
+
+let n_orders = List.length Order.all
+
+let dim_tag = function Dim.M -> 0 | Dim.K -> 1 | Dim.L -> 2
+
+(* Dimensions in decreasing traffic impact (sum of the sizes of the two
+   operands indexed by the dimension); ties keep the M, K, L order. A
+   dimension with high impact decides more of the bound, so assigning it
+   first makes partial-node bounds tight early and prunes high in the
+   tree. *)
+let dims_by_impact impact =
+  Array.of_list
+    (List.stable_sort (fun a b -> compare (impact b) (impact a)) Dim.all)
+
+(* Mutable search counters; frozen into [stats] on exit. *)
+type counters = {
+  mutable c_nodes : int;
+  mutable c_explored : int;
+  mutable c_pruned_bound : int;
+  mutable c_pruned_infeasible : int;
+}
+
+let freeze c =
+  { nodes = c.c_nodes;
+    explored = c.c_explored;
+    pruned_bound = c.c_pruned_bound;
+    pruned_infeasible = c.c_pruned_infeasible }
+
+(* ------------------------------------------------------------------ *)
+(* Intra-operator search                                               *)
+(* ------------------------------------------------------------------ *)
+
+let search_with_stats ?(lattice = Space.Divisors) ?seed (op : Matmul.t) buf =
+  Trace.with_span ~cat:"bnb" "bnb.search" @@ fun () ->
+  let space = Space.compile lattice op buf in
+  let capacity = Space.capacity space in
+  let arr_of d = Space.candidates space d in
+  let nk = Array.length (arr_of Dim.K) and nl = Array.length (arr_of Dim.L) in
+  let c =
+    { c_nodes = 0; c_explored = 0; c_pruned_bound = 0; c_pruned_infeasible = 0 }
+  in
+  (* Assigned candidate index per dimension, -1 = unassigned. *)
+  let idx = [| -1; -1; -1 |] in
+  let tile d =
+    let i = idx.(dim_tag d) in
+    if i < 0 then 1 else (arr_of d).(i)
+  in
+  let assigned d = idx.(dim_tag d) >= 0 in
+  (* Minimal-completion footprint: unassigned dimensions at tile 1. It
+     is monotone in each candidate, which is what lets the per-level
+     candidate loops stop at the first infeasible value — the same
+     block-skip argument as Space.fold_tiling_range. *)
+  let fp_min () =
+    let m = tile Dim.M and k = tile Dim.K and l = tile Dim.L in
+    (m * k) + ((m + k) * l)
+  in
+  (* Fewest trips dimension [d] can make anywhere in this subtree: the
+     exact trip count when assigned, otherwise the trips of the largest
+     candidate that still fits with the other open dimensions relaxed
+     to tile 1 (an under-approximation of trips, as a bound needs). *)
+  let trips_lb d =
+    let dim = Matmul.dim op d in
+    if assigned d then Arith.ceil_div dim (tile d)
+    else begin
+      let a, b =
+        match d with
+        | Dim.M -> (tile Dim.K, tile Dim.L)
+        | Dim.K -> (tile Dim.M, tile Dim.L)
+        | Dim.L -> (tile Dim.M, tile Dim.K)
+      in
+      let tmax = (capacity - (a * b)) / (a + b) in
+      let j = last_le (arr_of d) tmax in
+      if j < 0 then Arith.ceil_div dim 1 else Arith.ceil_div dim (arr_of d).(j)
+    end
+  in
+  let ideal = Matmul.ideal_ma op in
+  (* Admissible node bound (DESIGN.md section 4c): for any two
+     dimensions that are both revisited (trips > 1), the two operands
+     they are free dimensions of cannot both be non-redundant — their
+     NRA conditions need the two free dimensions each inner to the
+     other. So at least |H| - 1 of the operands freed by hot dimensions
+     pay their full (trips - 1) x size penalty; the adversary saves the
+     most expensive one. Exact at leaves (all trips known). *)
+  let lower_bound () =
+    let pen d n = (n - 1) * Matmul.operand_size op (Operand.of_free_dim d) in
+    let hot =
+      List.filter_map
+        (fun d ->
+          let n = trips_lb d in
+          if n > 1 then Some (pen d n) else None)
+        Dim.all
+    in
+    let penalty =
+      match hot with
+      | [] | [ _ ] -> 0
+      | [ p1; p2 ] -> min p1 p2
+      | [ p1; p2; p3 ] -> min (p1 + p2) (min (p1 + p3) (p2 + p3))
+      | _ -> 0
+    in
+    ideal + penalty
+  in
+  (* Incumbent: (schedule, cost, raw schedule index). Kept in the exact
+     (cost.total, index) lexicographic order Exhaustive.search minimizes,
+     so the search returns Exhaustive's first-index optimum bit-for-bit:
+     a subtree is cut only when every point in it is lexicographically
+     at or beyond the incumbent. *)
+  let best = ref None in
+  (match seed with
+  | None -> ()
+  | Some (s : Schedule.t) -> (
+    (* Only a seed that is itself a point of the compiled space may
+       become the incumbent — an off-lattice seed could otherwise beat
+       (and so hide) the in-space optimum the caller asked for. *)
+    let locate d = find_exact (arr_of d) (Tiling.get s.Schedule.tiling d) in
+    match (locate Dim.M, locate Dim.K, locate Dim.L, order_index s.Schedule.order)
+    with
+    | Some im, Some ik, Some il, Some io when Schedule.fits s buf ->
+      let cost = Cost.eval op s in
+      c.c_explored <- c.c_explored + 1;
+      let ti = (((im * nk) + ik) * nl) + il in
+      best := Some (s, cost, (ti * n_orders) + io)
+    | _ -> ()));
+  let min_subtree_idx () =
+    let part d stride = if assigned d then idx.(dim_tag d) * stride else 0 in
+    (part Dim.M (nk * nl) + part Dim.K nl + part Dim.L 1) * n_orders
+  in
+  let prunable lb =
+    match !best with
+    | None -> false
+    | Some (_, (bc : Cost.t), bi) ->
+      lb > bc.total || (lb = bc.total && min_subtree_idx () > bi)
+  in
+  let leaf () =
+    let m = tile Dim.M and k = tile Dim.K and l = tile Dim.L in
+    let tiling = Tiling.make op ~m ~k ~l in
+    let ti = (((idx.(0) * nk) + idx.(1)) * nl) + idx.(2) in
+    List.iteri
+      (fun o order ->
+        let s = Schedule.make tiling order in
+        let cost = Cost.eval op s in
+        c.c_explored <- c.c_explored + 1;
+        let i = (ti * n_orders) + o in
+        match !best with
+        | Some (_, (bc : Cost.t), bi) when (bc.total, bi) <= (cost.Cost.total, i)
+          -> ()
+        | _ -> best := Some (s, cost, i))
+      Order.all
+  in
+  let impact d =
+    List.fold_left
+      (fun acc x ->
+        if Operand.uses_dim x d then acc + Matmul.operand_size op x else acc)
+      0 Operand.all
+  in
+  let order_dims = dims_by_impact impact in
+  let rec node depth =
+    if depth = 3 then leaf ()
+    else begin
+      let d = order_dims.(depth) in
+      let a = arr_of d and td = dim_tag d in
+      let n = Array.length a in
+      let j = ref 0 and live = ref true in
+      while !live && !j < n do
+        idx.(td) <- !j;
+        if fp_min () > capacity then begin
+          (* monotone footprint: every larger candidate is infeasible too *)
+          c.c_pruned_infeasible <- c.c_pruned_infeasible + (n - !j);
+          live := false
+        end
+        else if prunable (lower_bound ()) then
+          c.c_pruned_bound <- c.c_pruned_bound + 1
+        else begin
+          c.c_nodes <- c.c_nodes + 1;
+          node (depth + 1)
+        end;
+        incr j
+      done;
+      idx.(td) <- -1
+    end
+  in
+  node 0;
+  ( Option.map
+      (fun (schedule, cost, _) ->
+        { Exhaustive.schedule; cost; explored = c.c_explored })
+      !best,
+    freeze c )
+
+let search ?lattice ?seed op buf = fst (search_with_stats ?lattice ?seed op buf)
+
+(* ------------------------------------------------------------------ *)
+(* Fused-pair search                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let search_fused_with_stats ?(lattice = Space.Divisors) ?seed
+    (pair : Fused.pair) buf =
+  Trace.with_span ~cat:"bnb" "bnb.search_fused" @@ fun () ->
+  let { Fused.op1; op2 } = pair in
+  let space = Space.compile lattice op1 buf in
+  let capacity = Space.capacity space in
+  let arr_of d = Space.candidates space d in
+  let ks = arr_of Dim.K and ls = arr_of Dim.L in
+  let nk = Array.length ks and nl = Array.length ls in
+  let l2s = Array.of_list (Space.tile_candidates lattice op2.l) in
+  let c =
+    { c_nodes = 0; c_explored = 0; c_pruned_bound = 0; c_pruned_infeasible = 0 }
+  in
+  let idx = [| -1; -1; -1 |] in
+  let tile d =
+    let i = idx.(dim_tag d) in
+    if i < 0 then 1 else (arr_of d).(i)
+  in
+  let assigned d = idx.(dim_tag d) >= 0 in
+  (* Minimal fused footprint over the subtree: producer footprint plus
+     the consumer's completion at its cheapest (t_L2 = 1), minus the
+     shared intermediate tile — Fused.footprint with the open producer
+     dimensions at 1. Monotone in every producer candidate. *)
+  let fp_min () =
+    let m = tile Dim.M and k = tile Dim.K and l = tile Dim.L in
+    (m * k) + ((m + k) * l) + m + l
+  in
+  let trips_lb d =
+    let dim = Matmul.dim op1 d in
+    if assigned d then Arith.ceil_div dim (tile d)
+    else begin
+      (* fp as a linear function of this tile, other open dims at 1 *)
+      let m = tile Dim.M and k = tile Dim.K and l = tile Dim.L in
+      let tmax =
+        match d with
+        | Dim.M -> (capacity - (l * (k + 1))) / (k + l + 1)
+        | Dim.K -> (capacity - ((m * l) + m + l)) / (m + l)
+        | Dim.L -> (capacity - (m * (k + 1))) / (m + k + 1)
+      in
+      let j = last_le (arr_of d) tmax in
+      if j < 0 then Arith.ceil_div dim 1 else Arith.ceil_div dim (arr_of d).(j)
+    end
+  in
+  let s_a1 = op1.m * op1.k
+  and s_b1 = op1.k * op1.l
+  and s_b2 = op2.k * op2.l
+  and s_c2 = op2.m * op2.l in
+  let base = s_a1 + s_b1 + s_b2 + s_c2 in
+  (* Fused traffic bound. The intermediate is pinned non-redundant on
+     both sides (Fused.validate), which turns the producer's pairwise
+     NRA exclusions into forced revisits: a hot K conflicts with both
+     A1 (free L) and B1 (free M), so those penalties add rather than
+     compete. The consumer shares the producer's M and L trip counts
+     (same tiles, same dimension sizes) and keeps the usual exclusion
+     between B2 and C2. *)
+  let lower_bound () =
+    let n_m = trips_lb Dim.M and n_k = trips_lb Dim.K and n_l = trips_lb Dim.L in
+    let p = ref 0 in
+    if n_k > 1 then begin
+      if n_m > 1 then p := !p + ((n_m - 1) * s_b1);
+      if n_l > 1 then p := !p + ((n_l - 1) * s_a1)
+    end
+    else if n_m > 1 && n_l > 1 then
+      p := !p + min ((n_m - 1) * s_b1) ((n_l - 1) * s_a1);
+    if n_m > 1 && n_l > 1 then
+      p := !p + min ((n_m - 1) * s_b2) ((n_l - 1) * s_c2);
+    base + !p
+  in
+  (* Incumbent found by enumeration, in Fused_search.exhaustive's
+     (traffic, producer-tiling-index) lexicographic order. The seed is
+     never installed as the incumbent — within a tiling the exhaustive
+     tie-break is arrival order, which only the leaf scan reproduces —
+     it acts purely as an extra pruning bound. *)
+  let best = ref None in
+  let seed_bound = ref None in
+  (match seed with
+  | None -> ()
+  | Some (f : Fused.t) -> (
+    let pt = f.Fused.producer.Schedule.tiling in
+    let locate d = find_exact (arr_of d) (Tiling.get pt d) in
+    match
+      ( locate Dim.M,
+        locate Dim.K,
+        locate Dim.L,
+        find_exact l2s (Tiling.get f.Fused.consumer.Schedule.tiling Dim.L) )
+    with
+    | Some im, Some ik, Some il, Some _ -> (
+      match Fused.eval pair f buf with
+      | Ok traffic ->
+        c.c_explored <- c.c_explored + 1;
+        seed_bound := Some (traffic, (((im * nk) + ik) * nl) + il)
+      | Error _ -> ())
+    | _ -> ()));
+  let min_subtree_tidx () =
+    let part d stride = if assigned d then idx.(dim_tag d) * stride else 0 in
+    part Dim.M (nk * nl) + part Dim.K nl + part Dim.L 1
+  in
+  let prunable lb =
+    let beyond (bt, bi) = lb > bt || (lb = bt && min_subtree_tidx () > bi) in
+    (match !best with Some (_, bt, bi) -> beyond (bt, bi) | None -> false)
+    || match !seed_bound with Some sb -> beyond sb | None -> false
+  in
+  let leaf () =
+    let m = tile Dim.M and k = tile Dim.K and l = tile Dim.L in
+    let tiling = Tiling.make op1 ~m ~k ~l in
+    let ti = (((idx.(0) * nk) + idx.(1)) * nl) + idx.(2) in
+    (* Replicates the inner scan of Fused_search.exhaustive exactly
+       (same candidate order, same first-seen tie-break) so the winner
+       within a tiling is the same fused dataflow. *)
+    let local = ref None in
+    List.iter
+      (fun o1 ->
+        let producer = Schedule.make tiling o1 in
+        if Cost.is_nra op1 producer Operand.C then
+          List.iter
+            (fun consumer ->
+              c.c_explored <- c.c_explored + 1;
+              let fused = { Fused.producer; consumer } in
+              match Fused.eval pair fused buf with
+              | Error _ -> ()
+              | Ok traffic -> (
+                match !local with
+                | Some (_, bt) when bt <= traffic -> ()
+                | _ -> local := Some (fused, traffic)))
+            (Fused_search.consumer_candidates lattice pair producer buf))
+      Order.all;
+    match !local with
+    | None -> ()
+    | Some (fused, traffic) -> (
+      match !best with
+      | Some (_, bt, bi) when (bt, bi) <= (traffic, ti) -> ()
+      | _ -> best := Some (fused, traffic, ti))
+  in
+  let impact d =
+    let s_of x = Matmul.operand_size op1 x in
+    match d with
+    | Dim.M -> s_of Operand.A + s_c2
+    | Dim.K -> s_of Operand.A + s_of Operand.B
+    | Dim.L -> s_of Operand.B + s_b2
+  in
+  let order_dims = dims_by_impact impact in
+  let rec node depth =
+    if depth = 3 then leaf ()
+    else begin
+      let d = order_dims.(depth) in
+      let a = arr_of d and td = dim_tag d in
+      let n = Array.length a in
+      let j = ref 0 and live = ref true in
+      while !live && !j < n do
+        idx.(td) <- !j;
+        if fp_min () > capacity then begin
+          c.c_pruned_infeasible <- c.c_pruned_infeasible + (n - !j);
+          live := false
+        end
+        else if prunable (lower_bound ()) then
+          c.c_pruned_bound <- c.c_pruned_bound + 1
+        else begin
+          c.c_nodes <- c.c_nodes + 1;
+          node (depth + 1)
+        end;
+        incr j
+      done;
+      idx.(td) <- -1
+    end
+  in
+  node 0;
+  ( Option.map
+      (fun (fused, traffic, _) ->
+        { Fused_search.fused; traffic; explored = c.c_explored })
+      !best,
+    freeze c )
+
+let search_fused ?lattice ?seed pair buf =
+  fst (search_fused_with_stats ?lattice ?seed pair buf)

@@ -1,0 +1,63 @@
+(** Exact branch-and-bound mapper over the tile lattice — the production
+    replacement for full enumeration on the service hot path.
+
+    The search assigns tile dimensions depth-first in decreasing
+    traffic-impact order, cutting subtrees with two admissible devices:
+
+    - {b monotone-footprint cuts}: candidate tiles are scanned in
+      increasing order, so the first value whose minimal-completion
+      footprint overflows the buffer rules out the rest of the level
+      (the same block-skip argument {!Space.fold_tiling_range} uses);
+    - {b communication lower bounds}: at every partial assignment, a
+      per-tensor bound [ideal_ma + penalty] where the penalty comes from
+      the pairwise exclusion of non-redundant-access operands (two
+      revisited dimensions cannot both free an NRA operand). The bound
+      is admissible everywhere and exact at leaves — see DESIGN.md
+      section 4c for the proof.
+
+    The incumbent can be seeded from the closed-form principles
+    ({!Fusecu_core.Intra}), which on principle-optimal problems prunes
+    almost the entire tree immediately. Seeded or not, the result is
+    {e bit-for-bit} the one {!Exhaustive.search} returns — the incumbent
+    order is the same (cost, raw-index) lexicographic order, and a
+    subtree is only cut when every point in it compares at-or-beyond the
+    incumbent. Off-lattice seeds (e.g. a plan quantized under a
+    different mode) are discarded rather than trusted. *)
+
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type stats = {
+  nodes : int;  (** partial assignments expanded (leaf tilings included) *)
+  explored : int;  (** cost evaluations performed *)
+  pruned_bound : int;  (** subtrees cut by the communication lower bound *)
+  pruned_infeasible : int;
+      (** candidate tiles skipped by the monotone-footprint cut *)
+}
+
+val search :
+  ?lattice:Space.lattice -> ?seed:Schedule.t -> Matmul.t -> Buffer.t
+  -> Exhaustive.result option
+(** Best schedule, identical (schedule, cost, tie-break) to
+    {!Exhaustive.search} on the same lattice; [None] when no tiling
+    fits. [explored] counts cost evaluations, typically orders of
+    magnitude below the enumeration count. [lattice] defaults to
+    [Divisors]. *)
+
+val search_with_stats :
+  ?lattice:Space.lattice -> ?seed:Schedule.t -> Matmul.t -> Buffer.t
+  -> Exhaustive.result option * stats
+
+val search_fused :
+  ?lattice:Space.lattice -> ?seed:Fused.t -> Fused.pair -> Buffer.t
+  -> Fused_search.result option
+(** Best valid fused dataflow, identical to {!Fused_search.exhaustive}:
+    the tree runs over producer tilings, each leaf replaying the
+    exhaustive inner scan (producer orders with a non-redundant
+    intermediate x compatible consumer completions) so within-tiling
+    tie-breaks match arrival order exactly. The seed is used only as a
+    pruning bound, never installed as a result. *)
+
+val search_fused_with_stats :
+  ?lattice:Space.lattice -> ?seed:Fused.t -> Fused.pair -> Buffer.t
+  -> Fused_search.result option * stats

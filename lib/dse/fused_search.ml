@@ -106,17 +106,14 @@ let genetic ?(params = Genetic.default_params) ?(lattice = Space.Divisors)
     in
     { Fused.producer; consumer }
   in
-  let evaluations = ref 0 in
-  let best = ref None in
+  let tally = Stochastic.tally () in
   let fitness g =
-    incr evaluations;
+    Stochastic.tick tally;
     let fused = fused_of g in
     match Fused.eval pair fused buf with
     | Error _ -> Float.max_float
     | Ok traffic ->
-      (match !best with
-      | Some (_, bt) when bt <= traffic -> ()
-      | _ -> best := Some (fused, traffic));
+      Stochastic.note tally fused traffic;
       float_of_int traffic
   in
   let pop = Array.init params.population (fun _ -> random_genome ()) in
@@ -140,10 +137,7 @@ let genetic ?(params = Genetic.default_params) ?(lattice = Space.Divisors)
   let mutate g =
     let jiggle len i =
       if Random.State.float rng 1.0 < params.mutation_rate then
-        if Random.State.bool rng then
-          Fusecu_util.Arith.clamp ~lo:0 ~hi:(len - 1)
-            (i + (if Random.State.bool rng then 1 else -1))
-        else Random.State.int rng len
+        Stochastic.nudge rng ~len i
       else i
     in
     { im = jiggle (Array.length ms) g.im;
@@ -166,7 +160,10 @@ let genetic ?(params = Genetic.default_params) ?(lattice = Space.Divisors)
     Array.blit next 0 pop 0 params.population;
     Array.iteri (fun i g -> scores.(i) <- fitness g) pop
   done;
-  Option.map (fun (fused, traffic) -> { fused; traffic; explored = !evaluations }) !best
+  Option.map
+    (fun (fused, traffic) ->
+      { fused; traffic; explored = tally.Stochastic.evaluations })
+    tally.Stochastic.best
 
 type verdict = {
   fused_best : result option;

@@ -11,6 +11,14 @@ type result = {
   explored : int;  (** candidate combinations evaluated *)
 }
 
+val consumer_candidates :
+  Space.lattice -> Fused.pair -> Schedule.t -> Buffer.t -> Schedule.t list
+(** Every consumer schedule compatible with the given producer: the
+    producer's M and L tiles carried over, each lattice candidate for
+    the consumer's remaining L dimension (footprint permitting) crossed
+    with all six orders, in enumeration order. Shared with {!Bnb} so
+    both searches scan identical candidates in identical order. *)
+
 val exhaustive :
   ?lattice:Space.lattice -> ?pool:Fusecu_util.Pool.t -> Fused.pair -> Buffer.t
   -> result option

@@ -20,10 +20,8 @@ type genome = { im : int; ik : int; il : int; iorder : int }
 
 (* The GA itself, on a fixed orientation. *)
 let search_oriented ~params ~lattice (op : Matmul.t) buf =
-  let ms = Array.of_list (Space.tile_candidates lattice op.m) in
-  let ks = Array.of_list (Space.tile_candidates lattice op.k) in
-  let ls = Array.of_list (Space.tile_candidates lattice op.l) in
-  let orders = Array.of_list Order.all in
+  let arrs = Stochastic.arrays lattice op in
+  let { Stochastic.ms; ks; ls; orders } = arrs in
   let rng = Random.State.make [| params.seed; op.m; op.k; op.l |] in
   let random_genome () =
     { im = Random.State.int rng (Array.length ms);
@@ -32,15 +30,14 @@ let search_oriented ~params ~lattice (op : Matmul.t) buf =
       iorder = Random.State.int rng (Array.length orders) }
   in
   let schedule_of g =
-    Schedule.make (Tiling.make op ~m:ms.(g.im) ~k:ks.(g.ik) ~l:ls.(g.il))
-      orders.(g.iorder)
+    Stochastic.schedule_of arrs op ~im:g.im ~ik:g.ik ~il:g.il ~iorder:g.iorder
   in
-  let evaluations = ref 0 in
+  let tally = Stochastic.tally () in
   let capacity = Buffer.elements buf in
   (* Lower is better; infeasible genomes are ranked by how far over
      capacity they are, always worse than any feasible genome. *)
   let fitness g =
-    incr evaluations;
+    Stochastic.tick tally;
     let s = schedule_of g in
     let fp = Schedule.footprint s in
     if fp > capacity then (float_of_int (fp - capacity) *. 1e12, s, None)
@@ -51,13 +48,9 @@ let search_oriented ~params ~lattice (op : Matmul.t) buf =
   in
   let pop = Array.init params.population (fun _ -> random_genome ()) in
   let scores = Array.map fitness pop in
-  let best = ref None in
   let consider i =
     match scores.(i) with
-    | _, s, Some cost -> (
-      match !best with
-      | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> ()
-      | _ -> best := Some (s, cost))
+    | _, s, Some cost -> Stochastic.note tally (s, cost) cost.Cost.total
     | _, _, None -> ()
   in
   Array.iteri (fun i _ -> consider i) pop;
@@ -81,11 +74,7 @@ let search_oriented ~params ~lattice (op : Matmul.t) buf =
   let mutate g =
     let jiggle len i =
       if Random.State.float rng 1.0 < params.mutation_rate then
-        (* local move or random restart, half/half *)
-        if Random.State.bool rng then
-          Fusecu_util.Arith.clamp ~lo:0 ~hi:(len - 1)
-            (i + (if Random.State.bool rng then 1 else -1))
-        else Random.State.int rng len
+        Stochastic.nudge rng ~len i
       else i
     in
     { im = jiggle (Array.length ms) g.im;
@@ -113,17 +102,11 @@ let search_oriented ~params ~lattice (op : Matmul.t) buf =
     Array.iteri (fun i _ -> consider i) pop
   done;
   Option.map
-    (fun (schedule, cost) -> { Exhaustive.schedule; cost; explored = !evaluations })
-    !best
+    (fun ((schedule, cost), _) ->
+      { Exhaustive.schedule; cost; explored = tally.Stochastic.evaluations })
+    tally.Stochastic.best
 
-let search ?(params = default_params) ?(lattice = Space.Divisors) (op : Matmul.t)
-    buf =
+let search ?(params = default_params) ?(lattice = Space.Divisors) op buf =
   (* As in {!Annealing}: evolve on the canonical M<->L orientation so
      transposed problems get bit-identical results. *)
-  if op.m <= op.l then search_oriented ~params ~lattice op buf
-  else
-    Option.map
-      (fun (r : Exhaustive.result) ->
-        let schedule = Schedule.transpose_ml op r.schedule in
-        { r with Exhaustive.schedule; cost = Cost.eval op schedule })
-      (search_oriented ~params ~lattice (Matmul.transpose op) buf)
+  Stochastic.canonical ~oriented:(search_oriented ~params ~lattice) op buf

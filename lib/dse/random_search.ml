@@ -2,13 +2,10 @@ open Fusecu_tensor
 open Fusecu_loopnest
 
 let search_oriented ~samples ~seed ~lattice (op : Matmul.t) buf =
-  let ms = Array.of_list (Space.tile_candidates lattice op.m) in
-  let ks = Array.of_list (Space.tile_candidates lattice op.k) in
-  let ls = Array.of_list (Space.tile_candidates lattice op.l) in
-  let orders = Array.of_list Order.all in
+  let { Stochastic.ms; ks; ls; orders } = Stochastic.arrays lattice op in
   let rng = Random.State.make [| seed; op.m; op.k; op.l; 23 |] in
   let capacity = Buffer.elements buf in
-  let best = ref None in
+  let tally = Stochastic.tally () in
   for _ = 1 to samples do
     let tiling =
       Tiling.make op
@@ -21,23 +18,14 @@ let search_oriented ~samples ~seed ~lattice (op : Matmul.t) buf =
         Schedule.make tiling orders.(Random.State.int rng (Array.length orders))
       in
       let cost = Cost.eval op schedule in
-      match !best with
-      | Some (_, (bc : Cost.t)) when bc.total <= cost.Cost.total -> ()
-      | _ -> best := Some (schedule, cost)
+      Stochastic.note tally (schedule, cost) cost.Cost.total
     end
   done;
   Option.map
-    (fun (schedule, cost) -> { Exhaustive.schedule; cost; explored = samples })
-    !best
+    (fun ((schedule, cost), _) -> { Exhaustive.schedule; cost; explored = samples })
+    tally.Stochastic.best
 
-let search ?(samples = 2000) ?(seed = 42) ?(lattice = Space.Divisors)
-    (op : Matmul.t) buf =
+let search ?(samples = 2000) ?(seed = 42) ?(lattice = Space.Divisors) op buf =
   (* As in {!Annealing}: sample on the canonical M<->L orientation so
      transposed problems get bit-identical results. *)
-  if op.m <= op.l then search_oriented ~samples ~seed ~lattice op buf
-  else
-    Option.map
-      (fun (r : Exhaustive.result) ->
-        let schedule = Schedule.transpose_ml op r.schedule in
-        { r with Exhaustive.schedule; cost = Cost.eval op schedule })
-      (search_oriented ~samples ~seed ~lattice (Matmul.transpose op) buf)
+  Stochastic.canonical ~oriented:(search_oriented ~samples ~seed ~lattice) op buf

@@ -29,6 +29,15 @@ let compile lattice (op : Matmul.t) buf =
     ls = Array.of_list (tile_candidates lattice op.l);
     orders = Array.of_list Order.all }
 
+let capacity t = t.capacity
+
+let operator t = t.op
+
+let candidates t = function
+  | Dim.M -> t.ms
+  | Dim.K -> t.ks
+  | Dim.L -> t.ls
+
 let raw_tilings t = Array.length t.ms * Array.length t.ks * Array.length t.ls
 
 let raw_size t = n_orders * raw_tilings t

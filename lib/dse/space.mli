@@ -34,6 +34,16 @@ type t
 
 val compile : lattice -> Matmul.t -> Buffer.t -> t
 
+val capacity : t -> int
+(** Buffer capacity (elements) the space was compiled against. *)
+
+val operator : t -> Matmul.t
+
+val candidates : t -> Dim.t -> int array
+(** The compiled candidate-tile array for a dimension, increasing. The
+    returned array is shared with the space, not a copy — callers must
+    not mutate it. *)
+
 val raw_tilings : t -> int
 (** Number of raw tiling indices ([|ms| * |ks| * |ls|], feasible or
     not). *)

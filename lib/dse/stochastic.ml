@@ -1,0 +1,49 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+
+type arrays = {
+  ms : int array;
+  ks : int array;
+  ls : int array;
+  orders : Order.t array;
+}
+
+let arrays lattice (op : Matmul.t) =
+  { ms = Array.of_list (Space.tile_candidates lattice op.m);
+    ks = Array.of_list (Space.tile_candidates lattice op.k);
+    ls = Array.of_list (Space.tile_candidates lattice op.l);
+    orders = Array.of_list Order.all }
+
+let schedule_of arrs (op : Matmul.t) ~im ~ik ~il ~iorder =
+  Schedule.make
+    (Tiling.make op ~m:arrs.ms.(im) ~k:arrs.ks.(ik) ~l:arrs.ls.(il))
+    arrs.orders.(iorder)
+
+let nudge rng ~len i =
+  if Random.State.bool rng then
+    Fusecu_util.Arith.clamp ~lo:0 ~hi:(len - 1)
+      (i + (if Random.State.bool rng then 1 else -1))
+  else Random.State.int rng len
+
+type ('a, 'score) tally = {
+  mutable evaluations : int;
+  mutable best : ('a * 'score) option;
+}
+
+let tally () = { evaluations = 0; best = None }
+
+let tick t = t.evaluations <- t.evaluations + 1
+
+let note t x score =
+  match t.best with
+  | Some (_, s) when s <= score -> ()
+  | _ -> t.best <- Some (x, score)
+
+let canonical ~oriented (op : Matmul.t) buf =
+  if op.m <= op.l then oriented op buf
+  else
+    Option.map
+      (fun (r : Exhaustive.result) ->
+        let schedule = Schedule.transpose_ml op r.Exhaustive.schedule in
+        { r with Exhaustive.schedule; cost = Cost.eval op schedule })
+      (oriented (Matmul.transpose op) buf)

@@ -7,6 +7,8 @@ type failure = { check : string; detail : string }
 
 type outcome = { checks : int; failures : failure list }
 
+type mapper = Principles | Bnb
+
 let mode = Mode.Exact
 
 let lattice = Space.All
@@ -62,9 +64,40 @@ let sim_vs_cost ctx ~name op schedule =
                   (pp_op_cost (Cost.operand simulated x)))
               Operand.all)))
 
-let intra_checks ctx tag op buf =
+(* B&B must reproduce the exhaustive optimum bit-for-bit — feasibility,
+   traffic AND schedule — when seeded with the principle plan exactly as
+   the service hot path seeds it. *)
+let bnb_intra_checks ctx tag op buf planned searched =
+  let seed =
+    match planned with
+    | Ok (p : Intra.plan) -> Some p.Intra.schedule
+    | Error _ -> None
+  in
+  let b = Bnb.search ~lattice ?seed op buf in
+  match (searched, b) with
+  | None, None -> check ctx (tag ^ "/bnb-exact") true (fun () -> "")
+  | Some (ex : Exhaustive.result), Some (b : Exhaustive.result) ->
+    check ctx (tag ^ "/bnb-exact")
+      (b.cost.Cost.total = ex.cost.Cost.total
+      && Schedule.equal b.schedule ex.schedule)
+      (fun () ->
+        Printf.sprintf "bnb=%d (%s) vs exhaustive=%d (%s)" b.cost.Cost.total
+          (Schedule.to_string b.schedule)
+          ex.cost.Cost.total
+          (Schedule.to_string ex.schedule))
+  | Some ex, None ->
+    check ctx (tag ^ "/bnb-exact") false (fun () ->
+        Printf.sprintf "bnb infeasible but exhaustive found %d"
+          ex.Exhaustive.cost.Cost.total)
+  | None, Some b ->
+    check ctx (tag ^ "/bnb-exact") false (fun () ->
+        Printf.sprintf "bnb found %d but exhaustive infeasible"
+          b.Exhaustive.cost.Cost.total)
+
+let intra_checks ctx ~mapper tag op buf =
   let planned = Intra.optimize ~mode op buf in
   let searched = Exhaustive.search ~lattice op buf in
+  if mapper = Bnb then bnb_intra_checks ctx tag op buf planned searched;
   (match (planned, searched) with
   | Error _, None -> ()
   | Error e, Some ex ->
@@ -126,10 +159,42 @@ let fused_sim_traffic pair (f : Fused.t) =
   p.Cost.a.Cost.traffic + p.Cost.b.Cost.traffic + c.Cost.b.Cost.traffic
   + c.Cost.c.Cost.traffic
 
-let pair_checks ctx pair buf =
+(* Same bit-for-bit contract on the fused side: the fused B&B (seeded
+   the way the service seeds it, from the principle fusion decision)
+   must agree with Fused_search.exhaustive on feasibility, traffic and
+   the winning producer/consumer schedules. *)
+let bnb_fused_checks ctx pair buf planned_pair verdict =
+  let seed =
+    match planned_pair with
+    | Ok (Fusion.Fuse { fused; _ }) -> Some fused
+    | Ok (Fusion.No_fuse _) | Error _ -> None
+  in
+  let b = Bnb.search_fused ~lattice ?seed pair buf in
+  match (verdict.Fused_search.fused_best, b) with
+  | None, None -> check ctx "fuse/bnb-exact" true (fun () -> "")
+  | Some (ex : Fused_search.result), Some (b : Fused_search.result) ->
+    check ctx "fuse/bnb-exact"
+      (b.traffic = ex.traffic
+      && Schedule.equal b.fused.Fused.producer ex.fused.Fused.producer
+      && Schedule.equal b.fused.Fused.consumer ex.fused.Fused.consumer)
+      (fun () ->
+        Printf.sprintf "bnb fused=%d vs exhaustive fused=%d" b.traffic
+          ex.traffic)
+  | Some ex, None ->
+    check ctx "fuse/bnb-exact" false (fun () ->
+        Printf.sprintf "bnb found no fused dataflow but exhaustive found %d"
+          ex.Fused_search.traffic)
+  | None, Some b ->
+    check ctx "fuse/bnb-exact" false (fun () ->
+        Printf.sprintf "bnb found fused %d but exhaustive found none"
+          b.Fused_search.traffic)
+
+let pair_checks ctx ~mapper pair buf =
   let chain = Chain.make_exn [ pair.Fused.op1; pair.Fused.op2 ] in
   let verdict = Fused_search.decide ~lattice pair buf in
-  match Fusion.plan_pair ~mode ~strategy:Fusion.Best_of_both pair buf with
+  let planned_pair = Fusion.plan_pair ~mode ~strategy:Fusion.Best_of_both pair buf in
+  if mapper = Bnb then bnb_fused_checks ctx pair buf planned_pair verdict;
+  match planned_pair with
   | Error _ ->
     check ctx "fuse/feasibility"
       (verdict.Fused_search.best_traffic = None)
@@ -256,18 +321,18 @@ let chain_checks ctx chain buf =
           Printf.sprintf "analytic chain traffic %d but simulated %d" traffic
             sim_external))
 
-let run p : outcome =
+let run ?(mapper = Principles) p : outcome =
   let ctx = { checks = 0; failures = [] } in
   let buf = Problem.buffer p in
   let rng = Rng.make (seed_of p) in
   List.iteri
     (fun i op ->
       let tag = Printf.sprintf "op%d" (i + 1) in
-      intra_checks ctx tag op buf;
+      intra_checks ctx ~mapper tag op buf;
       ragged_checks ctx rng tag op)
     (Problem.ops p);
   (match Problem.pair p with
-  | Some pair -> pair_checks ctx pair buf
+  | Some pair -> pair_checks ctx ~mapper pair buf
   | None -> ());
   (match Problem.chain p with
   | Some chain -> chain_checks ctx chain buf

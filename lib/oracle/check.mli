@@ -24,7 +24,16 @@ type failure = { check : string; detail : string }
 
 type outcome = { checks : int; failures : failure list }
 
-val run : Problem.t -> outcome
+type mapper =
+  | Principles  (** the default check set *)
+  | Bnb
+      (** additionally assert that {!Fusecu_dse.Bnb} — seeded exactly as
+          the service hot path seeds it — reproduces the exhaustive
+          optimum bit-for-bit (feasibility, traffic and schedule), both
+          intra-operator ([opN/bnb-exact]) and fused ([fuse/bnb-exact]) *)
+
+val run : ?mapper:mapper -> Problem.t -> outcome
+(** [mapper] defaults to [Principles]. *)
 
 val failure_names : outcome -> string list
 (** Sorted, de-duplicated check names that failed. *)

@@ -36,20 +36,21 @@ let sorted_bindings tbl =
 
 (* Shrinking must reproduce one of the *same* named checks, so it
    cannot wander off the original bug onto an unrelated one. *)
-let shrink_failure index p (o : Check.outcome) =
+let shrink_failure ~mapper index p (o : Check.outcome) =
   let names = Check.failure_names o in
   let still_fails q =
-    let oq = Check.run q in
+    let oq = Check.run ~mapper q in
     List.exists (fun n -> List.mem n names) (Check.failure_names oq)
   in
   let shrunk = Shrink.minimize p ~still_fails in
   let failures =
-    let final = Check.run shrunk in
+    let final = Check.run ~mapper shrunk in
     if final.Check.failures = [] then o.Check.failures else final.Check.failures
   in
   { index; original = p; shrunk; failures }
 
-let run ?(log = ignore) ~cases ~seed ?(max_dim = 24) () =
+let run ?(log = ignore) ?(mapper = Check.Principles) ~cases ~seed
+    ?(max_dim = 24) () =
   let rng = Rng.make seed in
   let regimes = Hashtbl.create 7 in
   let shapes = Hashtbl.create 7 in
@@ -60,10 +61,10 @@ let run ?(log = ignore) ~cases ~seed ?(max_dim = 24) () =
     tally shapes (shape_name p);
     tally regimes
       (Regime.to_string (Regime.classify (Problem.op1 p) (Problem.buffer p)));
-    let o = Check.run p in
+    let o = Check.run ~mapper p in
     checks := !checks + o.Check.checks;
     if o.Check.failures <> [] then begin
-      let ce = shrink_failure index p o in
+      let ce = shrink_failure ~mapper index p o in
       counterexamples := ce :: !counterexamples;
       log
         (Printf.sprintf "case %d diverged: %s (shrunk to %s; checks: %s)" index
@@ -79,8 +80,8 @@ let run ?(log = ignore) ~cases ~seed ?(max_dim = 24) () =
     by_shape = sorted_bindings shapes;
   }
 
-let check_spec spec =
-  Result.map (fun p -> (p, Check.run p)) (Problem.of_spec spec)
+let check_spec ?mapper spec =
+  Result.map (fun p -> (p, Check.run ?mapper p)) (Problem.of_spec spec)
 
 let pp_tally ppf bindings =
   Format.pp_print_list

@@ -27,16 +27,20 @@ val ok : report -> bool
 
 val run :
   ?log:(string -> unit) ->
+  ?mapper:Check.mapper ->
   cases:int ->
   seed:int ->
   ?max_dim:int ->
   unit ->
   report
 (** [log] receives a one-line progress message per divergence as it is
-    found (before the final report); [max_dim] (default 24) bounds the
-    generated matmul dimensions. *)
+    found (before the final report); [mapper] (default [Principles])
+    selects the check set (see {!Check.mapper}) — [Bnb] additionally
+    soaks the branch-and-bound mapper against the exhaustive optimum;
+    [max_dim] (default 24) bounds the generated matmul dimensions. *)
 
-val check_spec : string -> (Problem.t * Check.outcome, string) result
+val check_spec :
+  ?mapper:Check.mapper -> string -> (Problem.t * Check.outcome, string) result
 (** Re-run the checks on one problem given by its spec string
     ([m=7,k=3,l=4,l2=2,bs=16]) — the reproduction path for logged
     counterexamples. *)

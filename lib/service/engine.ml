@@ -1,7 +1,24 @@
 open Fusecu_tensor
 open Fusecu_loopnest
 open Fusecu_core
+open Fusecu_dse
 open Fusecu_util
+
+type mapper = Mapper_principles | Mapper_bnb | Mapper_exhaustive | Mapper_anneal
+
+let mapper_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "principles" -> Some Mapper_principles
+  | "bnb" -> Some Mapper_bnb
+  | "exhaustive" -> Some Mapper_exhaustive
+  | "anneal" -> Some Mapper_anneal
+  | _ -> None
+
+let mapper_name = function
+  | Mapper_principles -> "principles"
+  | Mapper_bnb -> "bnb"
+  | Mapper_exhaustive -> "exhaustive"
+  | Mapper_anneal -> "anneal"
 
 type config = {
   cache_enabled : bool;
@@ -9,9 +26,12 @@ type config = {
   cache_shards : int;
   pool : Pool.t option;
   slow_log_ms : float option;
+  mapper : mapper;
 }
 
 let default_cache_entries = 4096
+
+let default_mapper = Mapper_bnb
 
 let default_config () =
   let entries =
@@ -19,11 +39,17 @@ let default_config () =
     | Some s -> ( match int_of_string_opt s with Some n -> max 0 n | None -> default_cache_entries)
     | None -> default_cache_entries
   in
+  let mapper =
+    match Sys.getenv_opt "FUSECU_MAPPER" with
+    | Some s -> ( match mapper_of_string s with Some m -> m | None -> default_mapper)
+    | None -> default_mapper
+  in
   { cache_enabled = entries > 0;
     cache_entries = entries;
     cache_shards = 8;
     pool = None;
-    slow_log_ms = None }
+    slow_log_ms = None;
+    mapper }
 
 type t = {
   config : config;
@@ -56,13 +82,104 @@ let tick t = ignore (Atomic.fetch_and_add t.ticks 1)
 (* ------------------------------------------------------------------ *)
 (* Planner dispatch                                                    *)
 
+(* The refinement search space per quantization mode. [Exact] requests
+   refine over the divisor lattice, not the full integer lattice: the
+   hot path verifies the closed-form plan against the divisor-lattice
+   optimum (the space the paper's DSE baselines search), because
+   All-lattice search at paper-sized operators costs orders of
+   magnitude more per cache miss. Full-integer-lattice agreement is
+   enforced separately, on tractable sizes, by the oracle's
+   [--mapper bnb] checks. *)
+let refine_lattice = function
+  | Mode.Exact | Mode.Divisors -> Space.Divisors
+  | Mode.Pow2 -> Space.Pow2
+
+let note_mapper_stats t (stats : Bnb.stats) =
+  (* Histograms only: they surface in the [metrics] op and the
+     Prometheus exporter but never in the golden-compared [stats]
+     counters, so turning the mapper on cannot perturb fixture bytes. *)
+  Metrics.observe t.metrics "mapper_nodes" (float_of_int stats.Bnb.nodes);
+  Metrics.observe t.metrics "mapper_pruned"
+    (float_of_int (stats.Bnb.pruned_bound + stats.Bnb.pruned_infeasible))
+
+(* Verify-and-refine: run the configured search mapper seeded from the
+   closed-form plan and adopt its schedule only on a strict traffic
+   improvement. The principles are conjectured (and oracle-soaked) to be
+   optimal, so the replacement — and the [mapper_improved] counter — is
+   expected to never fire; when it does, the counter is the tripwire. *)
+let refine_intra t ~mode buffer (plan : Intra.plan) =
+  let searched =
+    match t.config.mapper with
+    | Mapper_principles -> None
+    | Mapper_bnb ->
+      let r, stats =
+        Bnb.search_with_stats ~lattice:(refine_lattice mode)
+          ~seed:plan.Intra.schedule plan.Intra.op buffer
+      in
+      note_mapper_stats t stats;
+      r
+    | Mapper_exhaustive ->
+      Exhaustive.search ~lattice:(refine_lattice mode) ~pool:Pool.sequential
+        plan.Intra.op buffer
+    | Mapper_anneal ->
+      Annealing.search ~lattice:(refine_lattice mode) plan.Intra.op buffer
+  in
+  match searched with
+  | Some r when r.Exhaustive.cost.Cost.total < plan.Intra.cost.Cost.total ->
+    Metrics.incr t.metrics "mapper_improved";
+    { plan with
+      schedule = r.Exhaustive.schedule;
+      cost = r.Exhaustive.cost;
+      dataflow = Nra.classify plan.Intra.op r.Exhaustive.schedule }
+  | _ -> plan
+
+let refine_fused t ~mode pair buffer ~fused ~traffic =
+  let searched =
+    match t.config.mapper with
+    | Mapper_principles | Mapper_anneal -> None
+    | Mapper_bnb ->
+      let r, stats =
+        Bnb.search_fused_with_stats ~lattice:(refine_lattice mode) ~seed:fused
+          pair buffer
+      in
+      note_mapper_stats t stats;
+      r
+    | Mapper_exhaustive ->
+      Fused_search.exhaustive ~lattice:(refine_lattice mode)
+        ~pool:Pool.sequential pair buffer
+  in
+  match searched with
+  | Some r when r.Fused_search.traffic < traffic ->
+    Metrics.incr t.metrics "mapper_improved";
+    (r.Fused_search.fused, r.Fused_search.traffic)
+  | _ -> (fused, traffic)
+
+let refine_chain t ~mode buffer (plan : Planner.plan) =
+  match t.config.mapper with
+  | Mapper_principles -> plan
+  | _ ->
+    let segments =
+      List.map
+        (function
+          | Planner.Solo p -> Planner.Solo (refine_intra t ~mode buffer p)
+          | Planner.Fused_pair { pair; pattern; fused; traffic } ->
+            let fused, traffic =
+              refine_fused t ~mode pair buffer ~fused ~traffic
+            in
+            Planner.Fused_pair { pair; pattern; fused; traffic })
+        plan.Planner.segments
+    in
+    { Planner.segments;
+      traffic = Arith.sum (List.map Planner.segment_traffic segments) }
+
 let compute t (call : Protocol.call) :
     (Protocol.outcome, Protocol.error_code * string) result =
-  ignore t;
   match call with
   | Intra { op; buffer; mode } -> (
     match Intra.optimize ~mode op buffer with
-    | Ok plan -> Ok (Protocol.R_intra (Protocol.intra_result_of_plan plan))
+    | Ok plan ->
+      let plan = refine_intra t ~mode buffer plan in
+      Ok (Protocol.R_intra (Protocol.intra_result_of_plan plan))
     | Error e -> Error (Protocol.Infeasible, e))
   | Fuse { op; l2; buffer; mode } -> (
     let op2 =
@@ -72,10 +189,14 @@ let compute t (call : Protocol.call) :
     match Fusion.plan_pair ~mode pair buffer with
     | Error e -> Error (Protocol.Infeasible, e)
     | Ok (Fusion.Fuse { pattern; fused; traffic }) ->
+      let fused, traffic = refine_fused t ~mode pair buffer ~fused ~traffic in
       Ok
         (Protocol.R_fuse
            (Protocol.Fused { pattern; nra = Fusion.fused_nra pair fused; traffic }))
     | Ok (Fusion.No_fuse { plan1; plan2; traffic; why }) ->
+      let plan1 = refine_intra t ~mode buffer plan1 in
+      let plan2 = refine_intra t ~mode buffer plan2 in
+      let traffic = min traffic (Intra.ma plan1 + Intra.ma plan2) in
       Ok
         (Protocol.R_fuse
            (Protocol.Not_fused
@@ -136,6 +257,7 @@ let compute t (call : Protocol.call) :
            (Protocol.Full_fusion
               { traffic; fused_bound = Chain.ideal_ma_fused chain }))
     | Ok (Multi_fusion.Fallback plan) ->
+      let plan = refine_chain t ~mode buffer plan in
       let segments =
         List.map
           (function

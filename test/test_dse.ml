@@ -393,6 +393,169 @@ let test_random_search_deterministic () =
   | Some a, Some b -> check_int "same" a.cost.Cost.total b.cost.Cost.total
   | _ -> Alcotest.fail "none"
 
+(* ------------------------------------------------------------------ *)
+(* Branch and bound: must reproduce the exhaustive optimum bit-for-bit  *)
+
+let mode_of_lattice = function
+  | Space.All -> Mode.Exact
+  | Space.Divisors -> Mode.Divisors
+  | Space.Pow2 -> Mode.Pow2
+
+let principle_seed lattice op buf =
+  match Intra.optimize ~mode:(mode_of_lattice lattice) op buf with
+  | Ok (plan : Intra.plan) -> Some plan.schedule
+  | Error _ -> None
+
+let check_bnb_matches ?seed tag lattice op buf =
+  let ex = Exhaustive.search ~lattice op buf in
+  let bnb, stats = Bnb.search_with_stats ~lattice ?seed op buf in
+  match (ex, bnb) with
+  | None, None -> ()
+  | Some e, Some b ->
+    check_bool (tag ^ ": same schedule") true
+      (Schedule.equal e.schedule b.schedule);
+    check_int (tag ^ ": same cost") e.cost.Cost.total b.cost.Cost.total;
+    (* +1: on near-empty spaces the seed's own evaluation can make the
+       seeded search cost one more eval than the trivial enumeration *)
+    check_bool (tag ^ ": fewer evaluations") true (b.explored <= e.explored + 1);
+    check_int (tag ^ ": stats consistent") b.explored stats.Bnb.explored
+  | Some _, None -> Alcotest.failf "%s: bnb missed a feasible space" tag
+  | None, Some _ -> Alcotest.failf "%s: bnb invented a schedule" tag
+
+let test_bnb_matches_exhaustive () =
+  List.iter
+    (fun (m, k, l, bytes, lattice) ->
+      let op = Matmul.make ~m ~k ~l () in
+      let buf = Buffer.make bytes in
+      let tag = Printf.sprintf "%dx%dx%d/%d" m k l bytes in
+      check_bnb_matches (tag ^ " unseeded") lattice op buf;
+      check_bnb_matches (tag ^ " seeded") lattice op buf
+        ?seed:(principle_seed lattice op buf))
+    (determinism_cases
+    @ [ (17, 5, 23, 120, Space.All);
+        (7, 7, 7, 2, Space.All);
+        (1, 96, 1, 40, Space.Divisors);
+        (60, 48, 36, 100_000, Space.Divisors) (* everything fits: Large *) ])
+
+(* an off-lattice seed (here: a Pow2-quantized plan offered to a
+   Divisors search) must be discarded, not trusted as an incumbent *)
+let test_bnb_ignores_foreign_seed () =
+  let op = Matmul.make ~m:48 ~k:36 ~l:60 () in
+  let buf = Buffer.make 800 in
+  match Intra.optimize ~mode:Mode.Pow2 op buf with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    check_bnb_matches "foreign seed" Space.Divisors op buf ~seed:plan.schedule
+
+let test_bnb_prunes_hard_when_seeded () =
+  (* a divisor-rich operator with a roomy buffer sits in a regime where
+     the principles are exact: the seeded search must evaluate a tiny
+     fraction of what enumeration would *)
+  let op = Matmul.make ~m:96 ~k:24 ~l:48 () in
+  let buf = Buffer.make 2000 in
+  let seed = principle_seed Space.Divisors op buf in
+  let r, _ = Bnb.search_with_stats ~lattice:Space.Divisors ?seed op buf in
+  match (r, Exhaustive.search ~lattice:Space.Divisors op buf) with
+  | Some b, Some e ->
+    check_bool
+      (Printf.sprintf "bnb %d evals <= 10%% of exhaustive %d" b.explored
+         e.explored)
+      true
+      (10 * b.explored <= e.explored)
+  | _ -> Alcotest.fail "search failed"
+
+let check_bnb_fused_matches ?seed tag lattice pair buf =
+  let ex = Fused_search.exhaustive ~lattice pair buf in
+  let bnb = Bnb.search_fused ~lattice ?seed pair buf in
+  match (ex, bnb) with
+  | None, None -> ()
+  | Some e, Some b ->
+    check_int (tag ^ ": same traffic") e.traffic b.traffic;
+    check_bool (tag ^ ": same producer") true
+      (Schedule.equal e.fused.Fused.producer b.fused.Fused.producer);
+    check_bool (tag ^ ": same consumer") true
+      (Schedule.equal e.fused.Fused.consumer b.fused.Fused.consumer);
+    check_bool (tag ^ ": fewer evaluations") true (b.explored <= e.explored)
+  | Some _, None -> Alcotest.failf "%s: fused bnb missed a dataflow" tag
+  | None, Some _ -> Alcotest.failf "%s: fused bnb invented a dataflow" tag
+
+let test_bnb_fused_matches_exhaustive () =
+  let pair = attention_pair ~m:24 ~dh:6 in
+  List.iter
+    (fun bytes ->
+      let buf = Buffer.make bytes in
+      let tag = Printf.sprintf "attention/%d" bytes in
+      check_bnb_fused_matches (tag ^ " unseeded") Space.All pair buf;
+      (* seed from the exhaustive winner itself: the tightest possible
+         in-space bound must not change the answer *)
+      let seed =
+        Option.map
+          (fun (r : Fused_search.result) -> r.fused)
+          (Fused_search.exhaustive ~lattice:Space.All pair buf)
+      in
+      check_bnb_fused_matches (tag ^ " seeded") Space.All pair buf ?seed)
+    [ 60; 200; 1024; 4000 ]
+
+(* The six shrunk counterexamples PR 5's oracle surfaced (see
+   test_oracle.ml): boundary problems that once exposed principle bugs
+   are exactly where an inadmissible pruning bound would bite. *)
+let pr5_counterexamples =
+  [ (7, 3, 4, 2, 16);
+    (2, 2, 2, 2, 7);
+    (2, 2, 2, 2, 11);
+    (5, 2, 4, 6, 31);
+    (5, 2, 4, 6, 33);
+    (6, 1, 5, 4, 16) ]
+
+let test_bnb_pr5_counterexamples () =
+  List.iter
+    (fun (m, k, l, l2, bytes) ->
+      let buf = Buffer.make bytes in
+      let op1 = Matmul.make ~name:"p" ~m ~k ~l () in
+      let op2 = Matmul.make ~name:"c" ~m ~k:l ~l:l2 () in
+      let tag = Printf.sprintf "m=%d,k=%d,l=%d,l2=%d,bs=%d" m k l l2 bytes in
+      List.iter
+        (fun op ->
+          check_bnb_matches (tag ^ " intra") Space.All op buf
+            ?seed:(principle_seed Space.All op buf))
+        [ op1; op2 ];
+      let pair = Fused.make_pair_exn op1 op2 in
+      check_bnb_fused_matches (tag ^ " fused") Space.All pair buf)
+    pr5_counterexamples
+
+(* qcheck property: on random problems spanning all three regimes (tiny
+   buffers up to everything-fits), the canonicalized problem's B&B
+   answer equals exhaustive's in traffic AND schedule, on every lattice,
+   seeded or not. *)
+let bnb_qcheck_prop =
+  let gen =
+    QCheck.Gen.(
+      tup4 (int_range 1 14) (int_range 1 14) (int_range 1 14) (int_range 0 2))
+  in
+  let print (m, k, l, r) = Printf.sprintf "m=%d k=%d l=%d regime=%d" m k l r in
+  QCheck.Test.make ~count:60 ~name:"bnb = exhaustive across regimes"
+    (QCheck.make ~print gen)
+    (fun (m, k, l, rsel) ->
+      let op0 = Matmul.make ~m ~k ~l () in
+      (* service-style M<->L canonicalization *)
+      let op = if op0.m <= op0.l then op0 else Matmul.transpose op0 in
+      let full = Matmul.ideal_ma op in
+      let bytes =
+        match rsel with
+        | 0 -> 2 + ((m + k + l) mod 7) (* tiny, often infeasible *)
+        | 1 -> max 4 (full / 3) (* partial residency *)
+        | _ -> full + 8 (* everything fits: Large *)
+      in
+      let buf = Buffer.make bytes in
+      List.iter
+        (fun lattice ->
+          let tag = Printf.sprintf "%s/%d" (Matmul.to_string op) bytes in
+          check_bnb_matches (tag ^ " unseeded") lattice op buf;
+          check_bnb_matches (tag ^ " seeded") lattice op buf
+            ?seed:(principle_seed lattice op buf))
+        [ Space.All; Space.Divisors; Space.Pow2 ];
+      true)
+
 let () =
   Alcotest.run "dse"
     [ ( "space",
@@ -430,6 +593,18 @@ let () =
             test_random_search_bounded_quality;
           Alcotest.test_case "deterministic" `Quick
             test_random_search_deterministic ] );
+      ( "bnb",
+        [ Alcotest.test_case "matches exhaustive" `Quick
+            test_bnb_matches_exhaustive;
+          Alcotest.test_case "ignores off-lattice seeds" `Quick
+            test_bnb_ignores_foreign_seed;
+          Alcotest.test_case "seeded pruning power" `Quick
+            test_bnb_prunes_hard_when_seeded;
+          Alcotest.test_case "fused matches exhaustive" `Quick
+            test_bnb_fused_matches_exhaustive;
+          Alcotest.test_case "PR 5 counterexamples" `Quick
+            test_bnb_pr5_counterexamples;
+          QCheck_alcotest.to_alcotest bnb_qcheck_prop ] );
       ( "fused",
         [ Alcotest.test_case "exhaustive valid" `Quick test_fused_exhaustive_valid;
           Alcotest.test_case "fusion wins on attention" `Quick

@@ -343,6 +343,44 @@ let test_fixture_hit_rate_positive () =
   check_bool "hits > 0" true (st.Cache.hits > 0);
   check_bool "hit rate > 0" true (Cache.hit_rate st > 0.)
 
+(* Verify-and-refine: the search mappers only ever replace a principle
+   plan on a strict traffic improvement, and the principles are
+   oracle-verified optimal — so every mapper must produce the same
+   response bytes on the whole fixture, and no refinement may fire. *)
+let test_fixture_mapper_invariant () =
+  let base = Engine.default_config () in
+  let with_mapper mapper =
+    let engine = Engine.create { base with mapper } in
+    let out = Engine.handle_lines engine (Lazy.force fixture_lines) in
+    (out, Metrics.get (Engine.metrics engine) "mapper_improved")
+  in
+  let principles, _ = with_mapper Engine.Mapper_principles in
+  let bnb, improved = with_mapper Engine.Mapper_bnb in
+  check_bool "principles vs bnb identical" true (principles = bnb);
+  check_int "bnb never beats the principles" 0 improved;
+  let exhaustive, _ = with_mapper Engine.Mapper_exhaustive in
+  check_bool "principles vs exhaustive identical" true (principles = exhaustive)
+
+let test_mapper_parsing () =
+  List.iter
+    (fun (s, expected) ->
+      check_bool ("parse " ^ s) true (Engine.mapper_of_string s = expected))
+    [ ("bnb", Some Engine.Mapper_bnb);
+      ("  BnB ", Some Engine.Mapper_bnb);
+      ("principles", Some Engine.Mapper_principles);
+      ("exhaustive", Some Engine.Mapper_exhaustive);
+      ("anneal", Some Engine.Mapper_anneal);
+      ("genetic", None);
+      ("", None) ];
+  List.iter
+    (fun m ->
+      check_bool
+        ("round-trip " ^ Engine.mapper_name m)
+        true
+        (Engine.mapper_of_string (Engine.mapper_name m) = Some m))
+    [ Engine.Mapper_principles; Engine.Mapper_bnb; Engine.Mapper_exhaustive;
+      Engine.Mapper_anneal ]
+
 let test_shutdown_stops_processing () =
   let engine = Engine.create (Engine.default_config ()) in
   let out =
@@ -939,6 +977,9 @@ let () =
             test_fixture_domains_and_batch_invariant;
           Alcotest.test_case "hit rate positive" `Quick
             test_fixture_hit_rate_positive;
+          Alcotest.test_case "mapper invariant (bytes + no refinement)" `Quick
+            test_fixture_mapper_invariant;
+          Alcotest.test_case "mapper parsing" `Quick test_mapper_parsing;
           Alcotest.test_case "shutdown barrier" `Quick
             test_shutdown_stops_processing ] );
       ( "server",
