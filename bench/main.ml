@@ -34,6 +34,14 @@
                                                  evaluations (also part
                                                  of `dune build
                                                  @bench-smoke`)
+     dune exec bench/main.exe -- --model      -- whole-model planner
+                                                 bench: fixtures vs
+                                                 exhaustive + a random
+                                                 graph soak, results to
+                                                 BENCH_model.json
+     dune exec bench/main.exe -- --model-smoke -- short strict version
+                                                 (also `dune build
+                                                 @model-smoke`)
      dune exec bench/main.exe -- --oracle      -- differential-oracle
                                                  soak: 5000 seeded
                                                  cases (1000 with
@@ -51,7 +59,7 @@ let usage () =
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
      <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke] \
-     [--bnb-smoke] [--oracle] [--trace FILE]";
+     [--bnb-smoke] [--oracle] [--model] [--model-smoke] [--trace FILE]";
   exit 1
 
 type options = {
@@ -65,6 +73,8 @@ type options = {
   socket_smoke : bool;
   bnb_smoke : bool;
   oracle : bool;
+  model : bool;
+  model_smoke : bool;
   trace : string option;
 }
 
@@ -112,6 +122,7 @@ let parse_args () =
   let json = ref false and smoke = ref false and service = ref false in
   let socket_smoke = ref false and bnb_smoke = ref false in
   let oracle = ref false in
+  let model = ref false and model_smoke = ref false in
   let trace = ref None in
   let rec loop = function
     | [] -> ()
@@ -146,6 +157,12 @@ let parse_args () =
     | "--oracle" :: rest ->
       oracle := true;
       loop rest
+    | "--model" :: rest ->
+      model := true;
+      loop rest
+    | "--model-smoke" :: rest ->
+      model_smoke := true;
+      loop rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
@@ -161,11 +178,11 @@ let parse_args () =
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
     json = !json; smoke = !smoke; service = !service;
     socket_smoke = !socket_smoke; bnb_smoke = !bnb_smoke; oracle = !oracle;
-    trace = !trace }
+    model = !model; model_smoke = !model_smoke; trace = !trace }
 
 let () =
   let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke;
-        bnb_smoke; oracle; trace } =
+        bnb_smoke; oracle; model; model_smoke; trace } =
     parse_args ()
   in
   (* --trace FILE: profile whatever runs below and write a Chrome
@@ -193,6 +210,14 @@ let () =
   end;
   if oracle then begin
     oracle_soak ~quick ();
+    exit 0
+  end;
+  if model then begin
+    Model_bench.write_json ~quick ();
+    exit 0
+  end;
+  if model_smoke then begin
+    Model_bench.smoke ();
     exit 0
   end;
   if service then begin

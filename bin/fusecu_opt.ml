@@ -11,6 +11,7 @@
      trace    - tile fetch/compute trace of a dataflow
      hierarchy- two-level (buffer + register) planning
      chain    - whole-chain fusion planning
+     plan     - whole-model partitioning into fusion groups
      area     - FuseCU area breakdown
      simulate - run a fused matmul chain on the structural array model *)
 
@@ -700,12 +701,145 @@ let serve_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+
+let plan_cmd =
+  let run model_name layers buf mode intensity =
+    match Fusecu_workloads.Zoo.find model_name with
+    | None ->
+      Printf.eprintf "unknown model %S (try: %s)\n" model_name
+        (String.concat ", "
+           (List.map
+              (fun (m : Fusecu_workloads.Model.t) -> m.name)
+              Fusecu_workloads.Zoo.all));
+      exit 1
+    | Some model -> (
+      let open Fusecu_planner in
+      let open Fusecu_workloads in
+      let g = Graph.stack (Graph.of_model model) ~layers in
+      let overlap = { Overlap.intensity } in
+      match Partition.plan ~overlap ~mode g buf with
+      | Error e ->
+        prerr_endline e;
+        exit 1
+      | Ok p ->
+        let t =
+          Fusecu_util.Table.create
+            [ "Group"; "Members"; "Count"; "Ops"; "Traffic"; "Hidden" ]
+        in
+        let rows =
+          List.mapi
+            (fun i (gr : Partition.group) ->
+              [ string_of_int i;
+                String.concat " > "
+                  (List.map (fun (n : Graph.node) -> n.Graph.name)
+                     gr.Partition.members);
+                string_of_int gr.Partition.count;
+                string_of_int
+                  (List.fold_left
+                     (fun a n -> a + List.length (Group.ops n))
+                     0 gr.Partition.members);
+                Fusecu_util.Units.pp_count gr.Partition.traffic;
+                Fusecu_util.Units.pp_count gr.Partition.hidden ])
+            p.Partition.groups
+        in
+        Fusecu_util.Table.print (Fusecu_util.Table.add_rows t rows);
+        let name_of id = (Graph.find g id).Graph.name in
+        (match p.Partition.selected with
+        | [] -> print_endline "fused edges: none (all-singleton is optimal)"
+        | es ->
+          Printf.printf "fused edges: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (e : Partition.edge) ->
+                    Printf.sprintf "%s->%s" (name_of e.Partition.src)
+                      (name_of e.Partition.dst))
+                  es)));
+        Printf.printf "effective traffic: %s (raw %s, %s hidden by overlap)\n"
+          (Fusecu_util.Units.pp_count p.Partition.effective)
+          (Fusecu_util.Units.pp_count p.Partition.traffic)
+          (Fusecu_util.Units.pp_count p.Partition.hidden);
+        let saved =
+          p.Partition.unfused_effective - p.Partition.effective
+        in
+        Printf.printf "vs unfused baseline %s: %s saved (%.1f%%)\n"
+          (Fusecu_util.Units.pp_count p.Partition.unfused_effective)
+          (Fusecu_util.Units.pp_count saved)
+          (if p.Partition.unfused_effective = 0 then 0.0
+           else
+             100.0 *. float_of_int saved
+             /. float_of_int p.Partition.unfused_effective);
+        let s = p.Partition.stats in
+        Printf.printf
+          "search: %d candidate edges, %d components, %d dp states, %d b&b \
+           nodes (%d pruned), %d group evals\n"
+          s.Partition.candidate_edges s.Partition.components
+          s.Partition.dp_states s.Partition.bnb_nodes s.Partition.bnb_pruned
+          s.Partition.group_evals)
+  in
+  let model =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Model name from Table II (e.g. Bert, LLaMA2).")
+  in
+  let layers =
+    Arg.(
+      value & opt int 1
+      & info [ "layers" ] ~docv:"N" ~doc:"Encoder layers to stack.")
+  in
+  let intensity =
+    Arg.(
+      value & opt int Fusecu_planner.Overlap.default.intensity
+      & info [ "intensity" ] ~docv:"I"
+          ~doc:"Arithmetic-intensity threshold of the inter-group overlap \
+                model: boundary spills up to macs/I - traffic are hidden \
+                behind compute by double-buffering. 0 disables the credit.")
+  in
+  let term =
+    Term.(const run $ model $ layers $ buffer_arg $ mode_arg $ intensity)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Partition a whole model graph into fusion groups: dynamic \
+             programming over chain regions (branch-and-bound elsewhere) \
+             picks the globally optimal grouping under the principle-based \
+             per-group cost, re-materialization charges, and the \
+             double-buffering overlap credit.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
 let check_cmd =
-  let run cases seed max_dim repro mapper trace log_level =
+  let run cases seed max_dim repro mapper graphs graph_repro trace log_level =
     with_observability ~trace ~log_level @@ fun () ->
     let open Fusecu_oracle in
+    match graph_repro with
+    | Some spec -> (
+      match Graph_check.check_spec spec with
+      | Error e ->
+        prerr_endline ("--graph-repro: " ^ e);
+        exit 2
+      | Ok (t, o) ->
+        Printf.printf "%s: %d checks\n" (Graph_check.to_spec t)
+          o.Graph_check.checks;
+        if o.Graph_check.failures = [] then print_endline "no divergence"
+        else begin
+          List.iter
+            (fun (f : Graph_check.failure) ->
+              Printf.printf "[%s] %s\n" f.Graph_check.check
+                f.Graph_check.detail)
+            o.Graph_check.failures;
+          exit 1
+        end)
+    | None when graphs ->
+      let report =
+        Graph_check.run ~log:prerr_endline ~cases ~seed ()
+      in
+      Format.printf "%a@." Graph_check.pp_report report;
+      if not (Graph_check.ok report) then exit 1
+    | None -> (
     match repro with
     | Some spec -> (
       match Oracle.check_spec ~mapper spec with
@@ -727,7 +861,7 @@ let check_cmd =
         Oracle.run ~log:prerr_endline ~mapper ~cases ~seed ~max_dim ()
       in
       Format.printf "%a@." Oracle.pp_report report;
-      if not (Oracle.ok report) then exit 1
+      if not (Oracle.ok report) then exit 1)
   in
   let cases =
     Arg.(
@@ -772,10 +906,29 @@ let check_cmd =
                 branch-and-bound mapper reproduces the exhaustive optimum \
                 bit-for-bit on every generated problem.")
   in
+  let graphs =
+    Arg.(
+      value & flag
+      & info [ "graphs" ]
+          ~doc:"Check the whole-model fusion planner instead: on seeded \
+                random workload graphs, the DP / branch-and-bound \
+                partitioner must match exhaustive enumeration exactly \
+                (cost, traffic, and chosen cuts under the deterministic \
+                tie-break).")
+  in
+  let graph_repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph-repro" ] ~docv:"SPEC"
+          ~doc:"Re-check a single planner problem given by its graph spec \
+                (e.g. m=4,b=256,nodes=1*3:5|1*5:2,edges=0-1) — the \
+                one-liner printed for every shrunk graph counterexample.")
+  in
   let term =
     Term.(
-      const run $ cases $ seed $ max_dim $ repro $ mapper $ trace_file_arg
-      $ log_level_arg)
+      const run $ cases $ seed $ max_dim $ repro $ mapper $ graphs
+      $ graph_repro $ trace_file_arg $ log_level_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -844,5 +997,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ intra_cmd; fuse_cmd; regime_cmd; search_cmd; eval_cmd; explain_cmd;
-            trace_cmd; hierarchy_cmd; chain_cmd; sweep_cmd; graph_cmd; area_cmd;
-            simulate_cmd; serve_cmd; check_cmd ]))
+            trace_cmd; hierarchy_cmd; chain_cmd; plan_cmd; sweep_cmd;
+            graph_cmd; area_cmd; simulate_cmd; serve_cmd; check_cmd ]))

@@ -1,0 +1,87 @@
+(** Differential oracle for the whole-model fusion planner.
+
+    Generates seeded random workload graphs small enough to enumerate
+    (at most 8 nodes, at most 20 candidate edges) and asserts that
+    {!Fusecu_planner.Partition.plan} — the DP / branch-and-bound
+    partitioner — returns exactly the optimum found by
+    {!Fusecu_planner.Partition.exhaustive}: same effective cost, same
+    raw traffic, and the same selected edge set under the deterministic
+    tie-break. Divergences are greedily shrunk (drop nodes, drop edges,
+    shrink dimensions and counts, shrink the buffer) and printed as
+    [fusecu_opt check --graph-repro <spec>] one-liners.
+
+    Like {!Oracle}, a run is a pure function of [(seed, cases,
+    max_dim)]. *)
+
+type node_spec = { count : int; k0 : int; ls : int list }
+(** One graph node: [count] instances of the operator chain whose first
+    operator is [m x k0 x hd ls] and whose later operators each consume
+    the previous output ([k = previous l]). [ls] is non-empty. *)
+
+type t = {
+  m : int;  (** shared row dimension of every operator *)
+  bytes : int;  (** buffer size in bytes, 1-byte elements *)
+  nodes : node_spec list;
+  edges : (int * int) list;  (** dependency edges, producer first *)
+}
+
+val to_spec : t -> string
+(** Compact one-liner, e.g. [m=4,b=256,nodes=1*3:5|1*5:2,edges=0-1].
+    [nodes] entries are [count*k0:l1:l2...] separated by [|]; [edges]
+    are [src-dst] pairs separated by [|] (omitted when empty). *)
+
+val of_spec : string -> (t, string) result
+
+val graph : t -> (Fusecu_workloads.Graph.t, string) result
+(** The {!Fusecu_workloads.Graph} this spec denotes (nodes named [n0],
+    [n1], ...). *)
+
+type failure = { check : string; detail : string }
+
+type outcome = { checks : int; failures : failure list }
+
+val check : t -> outcome
+(** Run planner-vs-exhaustive conformance on one graph. Also asserts
+    the structural invariants: groups cover every node exactly once,
+    the effective cost never exceeds the all-singleton baseline, and
+    both sides agree on infeasibility. *)
+
+val proposals : t -> t list
+(** Strictly simpler variants, simplest first: drop a node (with its
+    edges), drop an edge, drop trailing operators, and halve counts,
+    dimensions, and the buffer. *)
+
+val minimize : ?budget:int -> t -> still_fails:(t -> bool) -> t
+(** Greedy shrink, mirroring {!Shrink.minimize}: repeatedly take the
+    first simpler variant on which [still_fails] holds, spending at
+    most [budget] (default 200) predicate evaluations. *)
+
+type counterexample = {
+  index : int;  (** 1-based case index within the run *)
+  original : t;
+  shrunk : t;
+  failures : failure list;  (** failures on the shrunk spec *)
+}
+
+type report = {
+  cases : int;
+  checks : int;
+  candidate_edges : int;  (** total candidate edges across the run *)
+  fused_cases : int;  (** cases where the optimum fuses at least once *)
+  counterexamples : counterexample list;
+}
+
+val ok : report -> bool
+
+val run :
+  ?log:(string -> unit) -> cases:int -> seed:int -> ?max_dim:int -> unit ->
+  report
+(** [max_dim] (default 8) bounds generated dimensions and counts. *)
+
+val check_spec : string -> (t * outcome, string) result
+(** Re-run one graph given by its spec string — the reproduction path
+    for logged counterexamples. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+val pp_report : Format.formatter -> report -> unit

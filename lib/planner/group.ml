@@ -1,0 +1,40 @@
+open Fusecu_tensor
+open Fusecu_workloads
+
+let ops (n : Graph.node) =
+  match n.Graph.work with
+  | Graph.Op { op; _ } -> [ op ]
+  | Graph.Chain { chain; _ } -> Chain.ops chain
+
+let count (n : Graph.node) =
+  match n.Graph.work with
+  | Graph.Op { count; _ } -> count
+  | Graph.Chain { count; _ } -> count
+
+let last_op n =
+  match List.rev (ops n) with
+  | op :: _ -> op
+  | [] -> assert false (* Chain.t is non-empty *)
+
+let first_op n = match ops n with op :: _ -> op | [] -> assert false
+
+let out_elems n =
+  let op = last_op n in
+  op.Matmul.m * op.Matmul.l
+
+let weight_elems n =
+  count n
+  * List.fold_left
+      (fun acc (op : Matmul.t) -> acc + (op.Matmul.k * op.Matmul.l))
+      0 (ops n)
+
+let node_macs n =
+  count n * List.fold_left (fun acc op -> acc + Matmul.macs op) 0 (ops n)
+
+let chainable u v =
+  count u = count v
+  &&
+  let last = last_op u and first = first_op v in
+  first.Matmul.m = last.Matmul.m && first.Matmul.k = last.Matmul.l
+
+let merged members = Chain.make (List.concat_map ops members)

@@ -1,0 +1,39 @@
+(** Fusion-group primitives over {!Fusecu_workloads.Graph} nodes.
+
+    A fusion group is a path of graph nodes executed as one merged
+    operator chain. Two adjacent nodes can share a group (Principle 4
+    territory — the group evaluator decides whether the merged chain is
+    actually worth fusing) only when their instance counts match and the
+    producer's output tensor is shape-compatible with the consumer's
+    left input. *)
+
+open Fusecu_tensor
+open Fusecu_workloads
+
+val ops : Graph.node -> Matmul.t list
+(** The node's operators in execution order (a singleton for [Op]
+    work). *)
+
+val count : Graph.node -> int
+(** Instance count of the node's work. *)
+
+val out_elems : Graph.node -> int
+(** Elements of the node's output tensor per instance ([m * l] of its
+    last operator). *)
+
+val weight_elems : Graph.node -> int
+(** Count-scaled elements of the node's stationary [B] operands — a
+    lower bound on any schedule's traffic for this node, used for
+    branch-and-bound pruning. *)
+
+val node_macs : Graph.node -> int
+(** Count-scaled MAC total of the node. *)
+
+val chainable : Graph.node -> Graph.node -> bool
+(** [chainable u v]: the dependency edge [u -> v] may be fused —
+    instance counts match, [v]'s first operator consumes a tensor of
+    exactly [u]'s output shape ([m] rows, [k = u.l]). *)
+
+val merged : Graph.node list -> (Chain.t, string) result
+(** The concatenated operator chain of a group path; fails if any link
+    violates the chaining constraint. *)

@@ -1,0 +1,10 @@
+type config = { intensity : int }
+
+let default = { intensity = 16 }
+let disabled = { intensity = 0 }
+
+let slack { intensity } ~macs ~traffic =
+  if intensity <= 0 then 0 else max 0 ((macs / intensity) - traffic)
+
+let hidden config ~macs ~traffic ~spill =
+  min spill (slack config ~macs ~traffic)

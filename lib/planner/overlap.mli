@@ -1,0 +1,33 @@
+(** DRAM double-buffering / overlap credit for inter-group transfers.
+
+    Fusing everything is not free (buffer pressure) and fusing nothing
+    is not the true baseline either: with double-buffered DRAM queues, a
+    group whose compute time exceeds its transfer time can stream its
+    boundary tensors (the outputs it spills to DRAM for the next group)
+    behind the MAC array. The partitioner therefore minimizes
+    {e effective} traffic: raw traffic minus the boundary bytes that
+    hide behind compute. The model is a roofline ratio — a group with
+    [macs / intensity > traffic] has slack, and up to [slack] of its
+    spilled elements are free. *)
+
+type config = {
+  intensity : int;
+      (** MACs the array retires per element streamed from DRAM; the
+          roofline break-even ratio. [<= 0] disables hiding. *)
+}
+
+val default : config
+(** [intensity = 16] — a 16x16 output-stationary array consuming one
+    operand element per cycle per edge retires 16 MACs per streamed
+    element at the break-even point. *)
+
+val disabled : config
+(** No overlap: effective traffic equals raw traffic. *)
+
+val slack : config -> macs:int -> traffic:int -> int
+(** [max 0 (macs / intensity - traffic)] — spare transfer budget (in
+    elements) while the group computes; [0] when disabled. *)
+
+val hidden : config -> macs:int -> traffic:int -> spill:int -> int
+(** Elements of [spill] (the group's DRAM-bound boundary outputs) that
+    double-buffering hides: [min spill (slack ...)]. *)

@@ -1,0 +1,623 @@
+open Fusecu_tensor
+open Fusecu_core
+open Fusecu_workloads
+
+type edge = { id : int; src : Graph.node_id; dst : Graph.node_id }
+
+type group = {
+  members : Graph.node list;
+  count : int;
+  traffic : int;
+  spill : int;
+  hidden : int;
+  macs : int;
+}
+
+let group_cost g = g.traffic - g.hidden
+
+type stats = {
+  candidate_edges : int;
+  components : int;
+  dp_runs : int;
+  dp_states : int;
+  bnb_nodes : int;
+  bnb_pruned : int;
+  group_evals : int;
+}
+
+type t = {
+  groups : group list;
+  selected : edge list;
+  traffic : int;
+  hidden : int;
+  effective : int;
+  unfused_traffic : int;
+  unfused_effective : int;
+  stats : stats;
+}
+
+type evaluator = Chain.t -> (int, string) result
+
+let default_evaluator ?(mode = Mode.Divisors) buf chain =
+  match Chain.ops chain with
+  | [ op ] -> (
+    match Intra.optimize ~mode op buf with
+    | Ok plan -> Ok (Intra.ma plan)
+    | Error _ as e -> e)
+  | _ -> (
+    match Multi_fusion.plan ~mode chain buf with
+    | Ok decision -> Ok (Multi_fusion.traffic_of_decision decision)
+    | Error _ as e -> e)
+
+type ctx = {
+  nodes : Graph.node list;
+  node_of : (Graph.node_id, Graph.node) Hashtbl.t;
+  users : (Graph.node_id, Graph.node_id list) Hashtbl.t;
+  overlap : Overlap.config;
+  evaluator : evaluator;
+  (* the stationary-operand floors in the branch-and-bound bound are
+     only admissible for the built-in cost semantics; a caller-supplied
+     evaluator may price groups below them, so floors are disabled and
+     the bound falls back to closed-groups-only (still exact, weaker
+     pruning) *)
+  floors : bool;
+  eval_cache : (Graph.node_id list, (group, string) result) Hashtbl.t;
+  mutable group_evals : int;
+  mutable dp_states : int;
+  mutable bnb_nodes : int;
+  mutable bnb_pruned : int;
+}
+
+let make_ctx ~overlap ~evaluator ~floors graph =
+  let nodes = Graph.nodes graph in
+  let node_of = Hashtbl.create 32 in
+  let users = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Graph.node) ->
+      Hashtbl.replace node_of n.Graph.id n;
+      Hashtbl.replace users n.Graph.id [])
+    nodes;
+  List.iter
+    (fun (n : Graph.node) ->
+      List.iter
+        (fun d -> Hashtbl.replace users d (Hashtbl.find users d @ [ n.Graph.id ]))
+        n.Graph.deps)
+    nodes;
+  { nodes;
+    node_of;
+    users;
+    overlap;
+    evaluator;
+    floors;
+    eval_cache = Hashtbl.create 64;
+    group_evals = 0;
+    dp_states = 0;
+    bnb_nodes = 0;
+    bnb_pruned = 0 }
+
+let users_of ctx id = try Hashtbl.find ctx.users id with Not_found -> []
+
+(* Count-scaled cost of running [members] as one fused group. Traffic
+   is the evaluator's schedule for the merged chain plus the
+   re-materialized intermediates other consumers still read from DRAM;
+   spill is every member output that reaches DRAM, the pool the overlap
+   credit draws from. Memoized — the DP, the B&B, and the exhaustive
+   oracle all re-price the same paths. *)
+let eval_group ctx (members : Graph.node list) =
+  let key = List.map (fun (n : Graph.node) -> n.Graph.id) members in
+  match Hashtbl.find_opt ctx.eval_cache key with
+  | Some r -> r
+  | None ->
+    let r =
+      match Group.merged members with
+      | Error e -> Error e
+      | Ok chain -> (
+        match ctx.evaluator chain with
+        | Error e -> Error e
+        | Ok per_instance ->
+          let count = Group.count (List.hd members) in
+          let rec walk remat spill = function
+            | [] -> (remat, spill)
+            | (n : Graph.node) :: rest ->
+              let next =
+                match rest with
+                | (s : Graph.node) :: _ -> Some s.Graph.id
+                | [] -> None
+              in
+              let external_user =
+                List.exists (fun u -> Some u <> next) (users_of ctx n.Graph.id)
+              in
+              let out = count * Group.out_elems n in
+              let remat =
+                if next <> None && external_user then remat + out else remat
+              in
+              let spill =
+                if next = None || external_user then spill + out else spill
+              in
+              walk remat spill rest
+          in
+          let remat, spill = walk 0 0 members in
+          let traffic = (count * per_instance) + remat in
+          let macs =
+            List.fold_left (fun acc n -> acc + Group.node_macs n) 0 members
+          in
+          let hidden = Overlap.hidden ctx.overlap ~macs ~traffic ~spill in
+          Ok { members; count; traffic; spill; hidden; macs })
+    in
+    ctx.group_evals <- ctx.group_evals + 1;
+    Hashtbl.add ctx.eval_cache key r;
+    r
+
+let solo_cost ctx (n : Graph.node) =
+  match eval_group ctx [ n ] with
+  | Ok g -> group_cost g
+  | Error _ -> max_int (* unreachable after the feasibility pass *)
+
+let candidate_edges ctx =
+  let pairs =
+    List.fold_left
+      (fun acc (v : Graph.node) ->
+        List.fold_left
+          (fun acc d ->
+            let u = Hashtbl.find ctx.node_of d in
+            if Group.chainable u v then (d, v.Graph.id) :: acc else acc)
+          acc v.Graph.deps)
+      [] ctx.nodes
+  in
+  List.mapi (fun id (src, dst) -> { id; src; dst }) (List.rev pairs)
+
+(* --- selections ------------------------------------------------- *)
+
+(* A selection is a bool per candidate edge id. The tie-break order is
+   the selection's indicator vector read in ascending edge id with
+   unselected < selected, so equal-cost plans prefer cutting the
+   earliest edge. Selections are summarized as their ascending id list;
+   under that encoding the indicator order is: first differing element
+   decides, and the list whose element is LARGER is the smaller
+   selection (it leaves the earlier edge unselected). *)
+let rec chi_less a b =
+  match (a, b) with
+  | [], [] -> false
+  | [], _ :: _ -> true
+  | _ :: _, [] -> false
+  | x :: xs, y :: ys -> if x = y then chi_less xs ys else x > y
+
+let better (c1, s1) (c2, s2) = c1 < c2 || (c1 = c2 && chi_less s1 s2)
+
+let sel_to_ids (edges : edge array) sel =
+  Array.fold_right (fun e acc -> if sel.(e.id) then e.id :: acc else acc) edges
+    []
+
+let groups_of_selection ctx (edges : edge array) sel =
+  let succ = Hashtbl.create 16 and pred = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      if sel.(e.id) then begin
+        Hashtbl.replace succ e.src e.dst;
+        Hashtbl.replace pred e.dst e.src
+      end)
+    edges;
+  let rec walk (n : Graph.node) =
+    match Hashtbl.find_opt succ n.Graph.id with
+    | Some s -> n :: walk (Hashtbl.find ctx.node_of s)
+    | None -> [ n ]
+  in
+  List.filter_map
+    (fun (n : Graph.node) ->
+      if Hashtbl.mem pred n.Graph.id then None else Some (walk n))
+    ctx.nodes
+
+(* Valid iff every node has at most one fused producer and consumer
+   (groups are paths) and contracting the groups leaves the dependency
+   graph acyclic — otherwise no execution order of the groups exists. *)
+let valid_selection ctx (edges : edge array) sel =
+  let out_deg = Hashtbl.create 16 and in_deg = Hashtbl.create 16 in
+  let degree_ok = ref true in
+  Array.iter
+    (fun e ->
+      if sel.(e.id) then begin
+        if Hashtbl.mem out_deg e.src then degree_ok := false
+        else Hashtbl.replace out_deg e.src ();
+        if Hashtbl.mem in_deg e.dst then degree_ok := false
+        else Hashtbl.replace in_deg e.dst ()
+      end)
+    edges;
+  !degree_ok
+  &&
+  let groups = groups_of_selection ctx edges sel in
+  let n_groups = List.length groups in
+  let gid = Hashtbl.create 16 in
+  List.iteri
+    (fun i members ->
+      List.iter (fun (n : Graph.node) -> Hashtbl.replace gid n.Graph.id i) members)
+    groups;
+  let adj = Array.make n_groups [] in
+  let indeg = Array.make n_groups 0 in
+  List.iter
+    (fun (n : Graph.node) ->
+      let gn = Hashtbl.find gid n.Graph.id in
+      List.iter
+        (fun d ->
+          let gd = Hashtbl.find gid d in
+          if gd <> gn && not (List.mem gn adj.(gd)) then begin
+            adj.(gd) <- gn :: adj.(gd);
+            indeg.(gn) <- indeg.(gn) + 1
+          end)
+        n.Graph.deps)
+    ctx.nodes;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun h ->
+        indeg.(h) <- indeg.(h) - 1;
+        if indeg.(h) = 0 then Queue.add h queue)
+      adj.(g)
+  done;
+  !processed = n_groups
+
+let cost_of_selection ctx (edges : edge array) sel =
+  let rec go acc groups = function
+    | [] -> Some (acc, List.rev groups)
+    | members :: rest -> (
+      match eval_group ctx members with
+      | Error _ -> None
+      | Ok g -> go (acc + group_cost g) (g :: groups) rest)
+  in
+  go 0 [] (groups_of_selection ctx edges sel)
+
+(* --- search ----------------------------------------------------- *)
+
+let components (edges : edge array) =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    | Some _ -> x
+    | None ->
+      Hashtbl.replace parent x x;
+      x
+  in
+  Array.iter
+    (fun e ->
+      let ra = find e.src and rb = find e.dst in
+      if ra <> rb then Hashtbl.replace parent ra rb)
+    edges;
+  let buckets = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun e ->
+      let r = find e.src in
+      match Hashtbl.find_opt buckets r with
+      | None ->
+        order := r :: !order;
+        Hashtbl.replace buckets r [ e ]
+      | Some l -> Hashtbl.replace buckets r (e :: l))
+    edges;
+  List.rev_map (fun r -> List.rev (Hashtbl.find buckets r)) !order
+
+(* A component is a clean run when its edges form a simple path whose
+   links are private: the producer's only user is the consumer and the
+   consumer's only dependency is the producer. A group made of such
+   links is entered only at its head and left only at its tail, and the
+   selected edges are real dependency edges, so any contracted cycle
+   through it would be a cycle in the original DAG — impossible. Every
+   subset of a clean run is therefore valid and its optimum composes
+   with the rest of the graph; the DP below is exact. *)
+let clean_run ctx comp =
+  let private_link e =
+    users_of ctx e.src = [ e.dst ]
+    && (Hashtbl.find ctx.node_of e.dst).Graph.deps = [ e.src ]
+  in
+  if not (List.for_all private_link comp) then None
+  else begin
+    let succ = Hashtbl.create 8 and has_pred = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        Hashtbl.replace succ e.src e;
+        Hashtbl.replace has_pred e.dst ())
+      comp;
+    match List.find_opt (fun e -> not (Hashtbl.mem has_pred e.src)) comp with
+    | None -> None (* cannot happen in a DAG *)
+    | Some start ->
+      let rec walk id =
+        match Hashtbl.find_opt succ id with
+        | Some e -> e :: walk e.dst
+        | None -> []
+      in
+      let path = walk start.src in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a.id < b.id && ascending rest
+        | _ -> true
+      in
+      if List.length path = List.length comp && ascending path then begin
+        let nodes =
+          Hashtbl.find ctx.node_of start.src
+          :: List.map (fun e -> Hashtbl.find ctx.node_of e.dst) path
+        in
+        Some (nodes, Array.of_list path)
+      end
+      else None
+  end
+
+(* Exact DP over cut points of a clean run: best.(i) is the optimal
+   (cost, selected ids) for the first i nodes; the last group covers
+   nodes j..i and the recurrence scans every j. The tie-break composes
+   because a prefix's edge ids all precede the last group's. *)
+let dp_run ctx run_nodes (run_edges : edge array) =
+  let nodes = Array.of_list run_nodes in
+  let k = Array.length nodes in
+  let best = Array.make (k + 1) None in
+  best.(0) <- Some (0, []);
+  for i = 1 to k do
+    for j = 1 to i do
+      match best.(j - 1) with
+      | None -> ()
+      | Some (pc, ps) -> (
+        ctx.dp_states <- ctx.dp_states + 1;
+        let members = Array.to_list (Array.sub nodes (j - 1) (i - j + 1)) in
+        match eval_group ctx members with
+        | Error _ -> ()
+        | Ok g ->
+          let tail = List.init (i - j) (fun x -> run_edges.(j - 1 + x).id) in
+          let cand = (pc + group_cost g, ps @ tail) in
+          (match best.(i) with
+          | Some cur when not (better cand cur) -> ()
+          | _ -> best.(i) <- Some cand))
+    done
+  done;
+  match best.(k) with Some (_, ids) -> ids | None -> []
+
+(* Branch-and-bound over one component's edges (or, in the global
+   fallback, all of them). Edges are decided in ascending id with the
+   unselected branch first, so selections are enumerated in tie-break
+   order and the first incumbent at the optimal cost is the final
+   answer. The bound prices fully-decided groups exactly and open
+   nodes at their stationary-operand floor minus maximal overlap. *)
+let bnb ctx (edges : edge array) comp =
+  let search = Array.of_list comp in
+  let m = Array.length search in
+  let sel = Array.make (Array.length edges) false in
+  let comp_nodes = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace comp_nodes e.src ();
+      Hashtbl.replace comp_nodes e.dst ())
+    comp;
+  let last_touch = Hashtbl.create 16 in
+  Array.iteri
+    (fun i e ->
+      Hashtbl.replace last_touch e.src i;
+      Hashtbl.replace last_touch e.dst i)
+    search;
+  let c0 =
+    List.fold_left
+      (fun acc (n : Graph.node) ->
+        if Hashtbl.mem comp_nodes n.Graph.id then acc else acc + solo_cost ctx n)
+      0 ctx.nodes
+  in
+  let q = ctx.overlap.Overlap.intensity in
+  let floor_of (n : Graph.node) =
+    if not ctx.floors then 0
+    else Group.weight_elems n - (if q > 0 then Group.node_macs n / q else 0)
+  in
+  let lower_bound idx =
+    let succ = Hashtbl.create 8 and pred = Hashtbl.create 8 in
+    Array.iter
+      (fun e ->
+        if sel.(e.id) then begin
+          Hashtbl.replace succ e.src e.dst;
+          Hashtbl.replace pred e.dst e.src
+        end)
+      search;
+    let decided id =
+      match Hashtbl.find_opt last_touch id with
+      | Some last -> last < idx
+      | None -> true
+    in
+    let closed = ref 0 and open_floor = ref 0 and infeasible = ref false in
+    List.iter
+      (fun (n : Graph.node) ->
+        if Hashtbl.mem comp_nodes n.Graph.id && not (Hashtbl.mem pred n.Graph.id)
+        then begin
+          let rec collect id =
+            let node = Hashtbl.find ctx.node_of id in
+            match Hashtbl.find_opt succ id with
+            | Some s -> node :: collect s
+            | None -> [ node ]
+          in
+          let members = collect n.Graph.id in
+          if List.for_all (fun (x : Graph.node) -> decided x.Graph.id) members
+          then
+            match eval_group ctx members with
+            | Ok g -> closed := !closed + group_cost g
+            | Error _ -> infeasible := true
+          else
+            List.iter
+              (fun x -> open_floor := !open_floor + floor_of x)
+              members
+        end)
+      ctx.nodes;
+    if !infeasible then max_int else c0 + !closed + max 0 !open_floor
+  in
+  let incumbent = ref None in
+  let out_used = Hashtbl.create 8 and in_used = Hashtbl.create 8 in
+  let rec go idx =
+    ctx.bnb_nodes <- ctx.bnb_nodes + 1;
+    if idx = m then begin
+      if valid_selection ctx edges sel then
+        match cost_of_selection ctx edges sel with
+        | None -> ()
+        | Some (cost, _) -> (
+          let cand = (cost, sel_to_ids edges sel) in
+          match !incumbent with
+          | Some cur when not (better cand cur) -> ()
+          | _ -> incumbent := Some cand)
+    end
+    else begin
+      let prune =
+        match !incumbent with
+        | Some (inc, _) -> lower_bound idx > inc
+        | None -> false
+      in
+      if prune then ctx.bnb_pruned <- ctx.bnb_pruned + 1
+      else begin
+        go (idx + 1);
+        let e = search.(idx) in
+        if (not (Hashtbl.mem out_used e.src)) && not (Hashtbl.mem in_used e.dst)
+        then begin
+          Hashtbl.replace out_used e.src ();
+          Hashtbl.replace in_used e.dst ();
+          sel.(e.id) <- true;
+          go (idx + 1);
+          sel.(e.id) <- false;
+          Hashtbl.remove out_used e.src;
+          Hashtbl.remove in_used e.dst
+        end
+      end
+    end
+  in
+  go 0;
+  match !incumbent with Some (_, ids) -> ids | None -> []
+
+(* --- entry points ----------------------------------------------- *)
+
+let feasibility ctx =
+  let rec go = function
+    | [] -> Ok ()
+    | (n : Graph.node) :: rest -> (
+      match eval_group ctx [ n ] with
+      | Error e ->
+        Error (Printf.sprintf "node %s infeasible: %s" n.Graph.name e)
+      | Ok _ -> go rest)
+  in
+  go ctx.nodes
+
+let assemble ctx (edges : edge array) sel ~components:n_components ~dp_runs =
+  match cost_of_selection ctx edges sel with
+  | None -> Error "planner: selected an infeasible partition"
+  | Some (effective, groups) ->
+    let traffic = List.fold_left (fun a (g : group) -> a + g.traffic) 0 groups in
+    let hidden = List.fold_left (fun a (g : group) -> a + g.hidden) 0 groups in
+    let empty = Array.make (Array.length edges) false in
+    (match cost_of_selection ctx edges empty with
+    | None -> Error "planner: unfused baseline infeasible"
+    | Some (unfused_effective, ugroups) ->
+      let unfused_traffic =
+        List.fold_left (fun a (g : group) -> a + g.traffic) 0 ugroups
+      in
+      let selected =
+        List.filter (fun e -> sel.(e.id)) (Array.to_list edges)
+      in
+      Ok
+        { groups;
+          selected;
+          traffic;
+          hidden;
+          effective;
+          unfused_traffic;
+          unfused_effective;
+          stats =
+            { candidate_edges = Array.length edges;
+              components = n_components;
+              dp_runs;
+              dp_states = ctx.dp_states;
+              bnb_nodes = ctx.bnb_nodes;
+              bnb_pruned = ctx.bnb_pruned;
+              group_evals = ctx.group_evals } })
+
+let prepare ~overlap ~mode ~evaluator graph buf =
+  let floors = evaluator = None in
+  let evaluator =
+    match evaluator with
+    | Some e -> e
+    | None -> default_evaluator ~mode buf
+  in
+  match Graph.validate graph with
+  | Error e -> Error ("invalid graph: " ^ e)
+  | Ok () ->
+    let ctx = make_ctx ~overlap ~evaluator ~floors graph in
+    (match feasibility ctx with Error e -> Error e | Ok () -> Ok ctx)
+
+let plan ?(overlap = Overlap.default) ?(mode = Mode.Divisors) ?evaluator graph
+    buf =
+  match prepare ~overlap ~mode ~evaluator graph buf with
+  | Error e -> Error e
+  | Ok ctx ->
+    let edges = Array.of_list (candidate_edges ctx) in
+    let comps = components edges in
+    let sel = Array.make (Array.length edges) false in
+    let dp_runs = ref 0 in
+    List.iter
+      (fun comp ->
+        let chosen =
+          match clean_run ctx comp with
+          | Some (run_nodes, run_edges) ->
+            incr dp_runs;
+            dp_run ctx run_nodes run_edges
+          | None -> bnb ctx edges comp
+        in
+        List.iter (fun id -> sel.(id) <- true) chosen)
+      comps;
+    (* Per-component optima can in principle interact through a
+       contracted cycle spanning components; clean runs never do, and
+       branchy ones almost never. Verify, and on the rare clash rerun
+       the branch-and-bound jointly over every candidate edge. *)
+    if not (valid_selection ctx edges sel) then begin
+      Array.fill sel 0 (Array.length sel) false;
+      List.iter (fun id -> sel.(id) <- true) (bnb ctx edges (Array.to_list edges))
+    end;
+    assemble ctx edges sel ~components:(List.length comps) ~dp_runs:!dp_runs
+
+type exhaustive_result = { best : t; partitions : int; valid : int }
+
+let exhaustive ?(overlap = Overlap.default) ?(mode = Mode.Divisors) ?evaluator
+    graph buf =
+  match prepare ~overlap ~mode ~evaluator graph buf with
+  | Error e -> Error e
+  | Ok ctx ->
+    let edges = Array.of_list (candidate_edges ctx) in
+    let m = Array.length edges in
+    if m > 20 then
+      Error
+        (Printf.sprintf
+           "exhaustive partition enumeration: %d candidate edges exceed the 20-edge cap"
+           m)
+    else begin
+      let sel = Array.make m false in
+      let best = ref None in
+      let valid = ref 0 in
+      for mask = 0 to (1 lsl m) - 1 do
+        for i = 0 to m - 1 do
+          sel.(i) <- mask land (1 lsl i) <> 0
+        done;
+        if valid_selection ctx edges sel then
+          match cost_of_selection ctx edges sel with
+          | None -> ()
+          | Some (cost, _) -> (
+            incr valid;
+            let cand = (cost, sel_to_ids edges sel) in
+            match !best with
+            | Some cur when not (better cand cur) -> ()
+            | _ -> best := Some cand)
+      done;
+      match !best with
+      | None -> Error "exhaustive: no valid partition"
+      | Some (_, ids) ->
+        Array.fill sel 0 m false;
+        List.iter (fun id -> sel.(id) <- true) ids;
+        (match
+           assemble ctx edges sel
+             ~components:(List.length (components edges))
+             ~dp_runs:0
+         with
+        | Error e -> Error e
+        | Ok best ->
+          Ok { best; partitions = 1 lsl m; valid = !valid })
+    end

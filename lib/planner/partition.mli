@@ -1,0 +1,110 @@
+(** Globally optimal partition of a workload graph into fusion groups.
+
+    A partition is a subset of the graph's {e candidate edges} — the
+    dependency edges that are shape- and count-compatible with fusion
+    ({!Group.chainable}). Selected edges glue nodes into path-shaped
+    groups (each node has at most one fused producer and one fused
+    consumer); contracting the groups must leave the dependency graph
+    acyclic, or no schedule could order them.
+
+    Each group is priced by the per-group evaluator (the paper's
+    principle machinery via {!Fusecu_core.Intra} /
+    {!Fusecu_core.Multi_fusion}), plus a re-materialization charge for
+    fused intermediates that other consumers still read from DRAM,
+    minus an {!Overlap} credit for boundary transfers that
+    double-buffering hides behind compute. The objective is the sum of
+    effective group costs.
+
+    Chain-shaped regions whose nodes have no other producers or
+    consumers are solved exactly by dynamic programming over cut
+    points; branchy regions fall back to branch-and-bound over their
+    candidate edges. Ties are broken deterministically: the selection
+    whose edge-indicator vector is lexicographically smallest (scanning
+    edges in ascending id, unselected before selected) wins, so
+    cost-neutral fusions are always rejected. {!exhaustive} enumerates
+    every subset with the same validity, cost, and tie-break rules and
+    is the conformance oracle for {!plan}. *)
+
+open Fusecu_tensor
+open Fusecu_core
+open Fusecu_loopnest
+open Fusecu_workloads
+
+type edge = { id : int; src : Graph.node_id; dst : Graph.node_id }
+(** A candidate (fusible) dependency edge. Ids are dense and assigned
+    in topological discovery order. *)
+
+type group = {
+  members : Graph.node list;  (** path order *)
+  count : int;
+  traffic : int;
+      (** count-scaled elements, including re-materialized
+          intermediates read by consumers outside the group *)
+  spill : int;  (** count-scaled boundary outputs written to DRAM *)
+  hidden : int;  (** the overlap credit, [<= spill] *)
+  macs : int;
+}
+
+val group_cost : group -> int
+(** [traffic - hidden] — the group's contribution to the objective. *)
+
+type stats = {
+  candidate_edges : int;
+  components : int;
+  dp_runs : int;  (** components solved by the DP *)
+  dp_states : int;  (** DP cells evaluated *)
+  bnb_nodes : int;  (** branch-and-bound decisions explored *)
+  bnb_pruned : int;  (** subtrees cut by the cost bound *)
+  group_evals : int;  (** distinct group evaluations (cache misses) *)
+}
+
+type t = {
+  groups : group list;  (** ordered by first member's position *)
+  selected : edge list;  (** the chosen fused edges, ascending id *)
+  traffic : int;
+  hidden : int;
+  effective : int;  (** the minimized objective *)
+  unfused_traffic : int;  (** all-singleton partition, raw *)
+  unfused_effective : int;  (** all-singleton partition, after overlap *)
+  stats : stats;
+}
+
+type evaluator = Chain.t -> (int, string) result
+(** Per-instance traffic of one (possibly merged) operator chain. The
+    service supplies a plan-cache-backed evaluator; count scaling and
+    the re-materialization / overlap terms are applied by the
+    partitioner. *)
+
+val default_evaluator : ?mode:Mode.t -> Buffer.t -> evaluator
+(** Single operators via {!Intra.optimize}, longer chains via
+    {!Multi_fusion.plan} — exactly the service's uncached compute
+    path. [mode] defaults to [Divisors]. *)
+
+val plan :
+  ?overlap:Overlap.config ->
+  ?mode:Mode.t ->
+  ?evaluator:evaluator ->
+  Graph.t ->
+  Buffer.t ->
+  (t, string) result
+(** The optimal partition. [Error] if the graph fails
+    {!Graph.validate} or any single node is infeasible at this buffer
+    size. [mode] (default [Divisors]) is only used when [evaluator] is
+    not supplied. *)
+
+type exhaustive_result = {
+  best : t;
+  partitions : int;  (** subsets enumerated, [2^edges] *)
+  valid : int;  (** subsets passing validity + feasibility *)
+}
+
+val exhaustive :
+  ?overlap:Overlap.config ->
+  ?mode:Mode.t ->
+  ?evaluator:evaluator ->
+  Graph.t ->
+  Buffer.t ->
+  (exhaustive_result, string) result
+(** Ground truth by full enumeration; refuses graphs with more than 20
+    candidate edges. [plan] must agree on cost, traffic, and the
+    selected edge set. *)

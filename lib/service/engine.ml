@@ -3,6 +3,9 @@ open Fusecu_loopnest
 open Fusecu_core
 open Fusecu_dse
 open Fusecu_util
+module Partition = Fusecu_planner.Partition
+module Pgroup = Fusecu_planner.Group
+module Wgraph = Fusecu_workloads.Graph
 
 type mapper = Mapper_principles | Mapper_bnb | Mapper_exhaustive | Mapper_anneal
 
@@ -172,7 +175,7 @@ let refine_chain t ~mode buffer (plan : Planner.plan) =
     { Planner.segments;
       traffic = Arith.sum (List.map Planner.segment_traffic segments) }
 
-let compute t (call : Protocol.call) :
+let rec compute t (call : Protocol.call) :
     (Protocol.outcome, Protocol.error_code * string) result =
   match call with
   | Intra { op; buffer; mode } -> (
@@ -269,6 +272,120 @@ let compute t (call : Protocol.call) :
       Ok
         (Protocol.R_chain
            (Protocol.Pairwise { traffic = plan.Planner.traffic; segments })))
+  | Plan_model _ ->
+    (* reachable only through direct [compute] callers (benchmarks);
+       [run] intercepts plan_model before batching so the cache-backed
+       variant below stays on the sequential path *)
+    plan_model_impl t ~use_cache:false call
+
+(* Whole-model partitioning. Each fusion group the partitioner probes
+   becomes an ordinary [intra] (single operator) or [chain] (merged
+   chain) sub-call, canonicalized and priced through the shared plan
+   cache under that sub-call's own key — so a [plan_model] both reuses
+   per-operator entries seeded by earlier point requests and leaves
+   entries behind for later ones. Cache access stays on the caller's
+   (sequential) thread, which keeps the stats counters deterministic.
+   The response bytes are cache-independent: a hit returns exactly what
+   [compute] would have produced, by verify-and-refine. *)
+and plan_model_impl t ~use_cache (call : Protocol.call) :
+    (Protocol.outcome, Protocol.error_code * string) result =
+  match call with
+  | Plan_model { model; layers; buffer; elt_bytes = _; mode } -> (
+    match Fusecu_workloads.Zoo.find model with
+    | None ->
+      Error
+        ( Protocol.Unknown_model,
+          Printf.sprintf "unknown model %S (try: %s)" model
+            (String.concat ", "
+               (List.map
+                  (fun (m : Fusecu_workloads.Model.t) ->
+                    String.lowercase_ascii m.name)
+                  Fusecu_workloads.Zoo.all)) )
+    | Some m -> (
+      let graph = Wgraph.stack (Wgraph.of_model m) ~layers in
+      let evaluator chain =
+        let ops = Chain.ops chain in
+        let sub =
+          match ops with
+          | [ op ] -> Protocol.Intra { op; buffer; mode }
+          | (first : Matmul.t) :: _ ->
+            let ks =
+              first.Matmul.k :: List.map (fun (o : Matmul.t) -> o.Matmul.l) ops
+            in
+            Protocol.Chain { m = first.Matmul.m; ks; buffer; mode }
+          | [] -> assert false
+        in
+        let canonical, _ = Protocol.canonicalize sub in
+        let key = Protocol.cache_key canonical in
+        let cached = if use_cache then Cache.find t.cache key else None in
+        let outcome =
+          match cached with
+          | Some outcome -> Ok outcome
+          | None -> (
+            match compute t canonical with
+            | Ok outcome ->
+              if use_cache then Cache.add t.cache key outcome;
+              Ok outcome
+            | Error (_, msg) -> Error msg)
+        in
+        match outcome with
+        | Error e -> Error e
+        | Ok (Protocol.R_intra r) -> Ok r.Protocol.ma
+        | Ok (Protocol.R_chain (Protocol.Full_fusion { traffic; _ }))
+        | Ok (Protocol.R_chain (Protocol.Pairwise { traffic; _ })) ->
+          Ok traffic
+        | Ok _ -> Error "plan_model: unexpected sub-call outcome"
+      in
+      match Partition.plan ~evaluator graph buffer with
+      | Error e -> Error (Protocol.Infeasible, e)
+      | Ok p ->
+        let s = p.Partition.stats in
+        Metrics.observe t.metrics "planner_nodes"
+          (float_of_int (s.Partition.dp_states + s.Partition.bnb_nodes));
+        Metrics.observe t.metrics "planner_pruned"
+          (float_of_int s.Partition.bnb_pruned);
+        Metrics.observe t.metrics "planner_groups"
+          (float_of_int (List.length p.Partition.groups));
+        let name_of id = (Wgraph.find graph id).Wgraph.name in
+        let plan_groups =
+          List.map
+            (fun (g : Partition.group) ->
+              { Protocol.members =
+                  List.map
+                    (fun (n : Wgraph.node) -> n.Wgraph.name)
+                    g.Partition.members;
+                count = g.Partition.count;
+                ops =
+                  List.fold_left
+                    (fun a n -> a + List.length (Pgroup.ops n))
+                    0 g.Partition.members;
+                group_traffic = g.Partition.traffic;
+                group_hidden = g.Partition.hidden })
+            p.Partition.groups
+        in
+        let fused_edges =
+          List.map
+            (fun (e : Partition.edge) ->
+              Printf.sprintf "%s->%s" (name_of e.Partition.src)
+                (name_of e.Partition.dst))
+            p.Partition.selected
+        in
+        Ok
+          (Protocol.R_plan_model
+             { Protocol.nodes = List.length (Wgraph.nodes graph);
+               plan_groups;
+               fused_edges;
+               traffic = p.Partition.traffic;
+               hidden = p.Partition.hidden;
+               effective = p.Partition.effective;
+               unfused_traffic = p.Partition.unfused_traffic;
+               unfused_effective = p.Partition.unfused_effective;
+               candidate_edges = s.Partition.candidate_edges;
+               components = s.Partition.components;
+               dp_states = s.Partition.dp_states;
+               bnb_nodes = s.Partition.bnb_nodes;
+               bnb_pruned = s.Partition.bnb_pruned })))
+  | _ -> Error (Protocol.Bad_request, "plan_model_impl: not a plan_model call")
 
 (* ------------------------------------------------------------------ *)
 (* Batch execution                                                     *)
@@ -488,6 +605,27 @@ let run t ?(batch = 64) ~next ~emit () =
             (Protocol.response_ok_json ~id ~op:"shutdown"
                ~result:(Json.Obj [ ("stopping", Json.Bool true) ]));
           Shutdown
+        | Ok (id, Protocol.Call (Protocol.Plan_model _ as call)) ->
+          (* a batch barrier, like [stats]: the partitioner reads and
+             seeds the plan cache, which must only happen sequentially
+             for the counters to stay deterministic *)
+          flush_pending ();
+          Metrics.incr t.metrics "requests";
+          Metrics.incr t.metrics "requests_plan_model";
+          let t0 = Unix.gettimeofday () in
+          let line =
+            match
+              plan_model_impl t ~use_cache:(Cache.capacity t.cache > 0) call
+            with
+            | Ok outcome -> Protocol.response_ok ~id ~call outcome
+            | Error (code, message) ->
+              Metrics.incr t.metrics "compute_errors";
+              Protocol.response_error ~id ~code ~message
+          in
+          Metrics.observe t.metrics "latency_plan_model"
+            (Unix.gettimeofday () -. t0);
+          emit line;
+          loop ()
         | Ok (id, Protocol.Call call) ->
           pending := Ok (id, call) :: !pending;
           if List.length !pending >= batch_size then flush_pending ();

@@ -12,6 +12,13 @@ type call =
   | Regime of { op : Matmul.t; buffer : Buffer.t }
   | Eval of { model : string; buffer : Buffer.t; elt_bytes : int; mode : Mode.t }
   | Chain of { m : int; ks : int list; buffer : Buffer.t; mode : Mode.t }
+  | Plan_model of {
+      model : string;
+      layers : int;
+      buffer : Buffer.t;
+      elt_bytes : int;
+      mode : Mode.t;
+    }
 
 type request = Call of call | Stats | Metrics_req | Shutdown
 
@@ -39,6 +46,7 @@ let op_name = function
   | Regime _ -> "regime"
   | Eval _ -> "eval"
   | Chain _ -> "chain"
+  | Plan_model _ -> "plan_model"
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
@@ -156,6 +164,26 @@ let parse_call obj op =
     in
     let buffer, _ = buffer_field obj in
     Ok (Call (Chain { m; ks; buffer; mode = mode_field obj }))
+  | "plan_model" ->
+    let model =
+      match Json.member "model" obj with
+      | None -> fail "missing required field %S" "model"
+      | Some v -> (
+        match Json.to_string_v v with
+        | Ok s -> String.lowercase_ascii s
+        | Error e -> fail "field \"model\": %s" e)
+    in
+    let layers =
+      match Json.member "layers" obj with
+      | None -> 1
+      | Some v -> (
+        match Json.to_int v with
+        | Ok n when n >= 1 && n <= 64 -> n
+        | Ok n -> fail "field \"layers\" must be in [1, 64], got %d" n
+        | Error e -> fail "field \"layers\": %s" e)
+    in
+    let buffer, elt_bytes = buffer_field obj in
+    Ok (Call (Plan_model { model; layers; buffer; elt_bytes; mode = mode_field obj }))
   | "stats" -> Ok Stats
   | "metrics" -> Ok Metrics_req
   | "shutdown" -> Ok Shutdown
@@ -165,8 +193,8 @@ let parse_call obj op =
         code = Unknown_op;
         message =
           Printf.sprintf
-            "unknown op %S (intra, fuse, regime, eval, chain, stats, metrics, \
-             shutdown)"
+            "unknown op %S (intra, fuse, regime, eval, chain, plan_model, \
+             stats, metrics, shutdown)"
             other }
 
 let parse_line line =
@@ -229,6 +257,9 @@ let cache_key call =
     Printf.sprintf "c|%s|%d|%s|%d" (mode_to_string mode) m
       (String.concat "," (List.map string_of_int ks))
       (Buffer.elements buffer)
+  | Plan_model { model; layers; buffer; elt_bytes; mode } ->
+    Printf.sprintf "pm|%s|%s|%d|%d|%d" (mode_to_string mode) model layers
+      buffer.Buffer.bytes elt_bytes
 
 (* ------------------------------------------------------------------ *)
 (* Outcomes                                                            *)
@@ -290,12 +321,37 @@ type chain_result =
   | Full_fusion of { traffic : int; fused_bound : int }
   | Pairwise of { traffic : int; segments : chain_segment list }
 
+type plan_group = {
+  members : string list;
+  count : int;
+  ops : int;
+  group_traffic : int;
+  group_hidden : int;
+}
+
+type plan_model_result = {
+  nodes : int;
+  plan_groups : plan_group list;
+  fused_edges : string list;
+  traffic : int;
+  hidden : int;
+  effective : int;
+  unfused_traffic : int;
+  unfused_effective : int;
+  candidate_edges : int;
+  components : int;
+  dp_states : int;
+  bnb_nodes : int;
+  bnb_pruned : int;
+}
+
 type outcome =
   | R_intra of intra_result
   | R_fuse of fuse_result
   | R_regime of regime_result
   | R_eval of eval_row list
   | R_chain of chain_result
+  | R_plan_model of plan_model_result
 
 (* Relabel canonical-frame results for the original (transposed)
    request: the canonical computation ran on [transpose op], whose A is
@@ -357,6 +413,10 @@ let problem_fields call =
   | Chain { m; ks; buffer; mode } ->
     [ ("m", Json.Int m);
       ("ks", Json.List (List.map (fun k -> Json.Int k) ks)) ]
+    @ buffer_fields buffer
+    @ [ ("mode", Json.String (mode_to_string mode)) ]
+  | Plan_model { model; layers; buffer; elt_bytes = _; mode } ->
+    [ ("model", Json.String model); ("layers", Json.Int layers) ]
     @ buffer_fields buffer
     @ [ ("mode", Json.String (mode_to_string mode)) ]
 
@@ -433,6 +493,36 @@ let outcome_fields = function
                     ("pattern", Json.String pattern);
                     ("traffic", Json.Int t) ])
             segments)) ]
+
+  | R_plan_model r ->
+    [ ("nodes", Json.Int r.nodes);
+      ("group_count", Json.Int (List.length r.plan_groups));
+      ("groups",
+       Json.List
+         (List.map
+            (fun g ->
+              Json.Obj
+                [ ("members",
+                   Json.List (List.map (fun n -> Json.String n) g.members));
+                  ("count", Json.Int g.count);
+                  ("ops", Json.Int g.ops);
+                  ("traffic", Json.Int g.group_traffic);
+                  ("hidden", Json.Int g.group_hidden) ])
+            r.plan_groups));
+      ("fused_edges",
+       Json.List (List.map (fun e -> Json.String e) r.fused_edges));
+      ("traffic", Json.Int r.traffic);
+      ("hidden", Json.Int r.hidden);
+      ("effective", Json.Int r.effective);
+      ("unfused_traffic", Json.Int r.unfused_traffic);
+      ("unfused_effective", Json.Int r.unfused_effective);
+      ("search",
+       Json.Obj
+         [ ("candidate_edges", Json.Int r.candidate_edges);
+           ("components", Json.Int r.components);
+           ("dp_states", Json.Int r.dp_states);
+           ("bnb_nodes", Json.Int r.bnb_nodes);
+           ("bnb_pruned", Json.Int r.bnb_pruned) ]) ]
 
 let response_ok ~id ~call outcome =
   Json.print

@@ -6,9 +6,9 @@
     {"op":"intra","v":1,"id":1,"m":1024,"k":768,"l":768,
      "buffer":"512KB","mode":"divisors"}
     v}
-    covering the planner entry points [intra], [fuse], [regime], [eval]
-    and [chain], plus the control operations [stats], [metrics] and
-    [shutdown].
+    covering the planner entry points [intra], [fuse], [regime],
+    [eval], [chain] and [plan_model], plus the control operations
+    [stats], [metrics] and [shutdown].
     Common fields: ["op"] (required), ["v"] (schema version, optional,
     must be 1 when present), ["id"] (any JSON value, echoed verbatim in
     the response, defaults to [null]), ["buffer"] (bytes as an integer
@@ -55,6 +55,19 @@ type call =
   | Eval of { model : string; buffer : Buffer.t; elt_bytes : int; mode : Mode.t }
       (** [model] is stored lowercase (zoo lookup is case-insensitive) *)
   | Chain of { m : int; ks : int list; buffer : Buffer.t; mode : Mode.t }
+  | Plan_model of {
+      model : string;
+      layers : int;
+      buffer : Buffer.t;
+      elt_bytes : int;
+      mode : Mode.t;
+    }
+      (** whole-model partition into fusion groups ([layers] stacked
+          copies of the model's encoder layer, default 1, max 64).
+          Handled sequentially by the engine; each group is priced
+          through the shared plan cache under its ordinary [intra] /
+          [chain] key, so the model-level answer both reuses and seeds
+          the per-operator entries. *)
 
 type request =
   | Call of call
@@ -144,12 +157,37 @@ type chain_result =
   | Full_fusion of { traffic : int; fused_bound : int }
   | Pairwise of { traffic : int; segments : chain_segment list }
 
+type plan_group = {
+  members : string list;  (** node names, path order *)
+  count : int;
+  ops : int;  (** matmul operators in the merged chain *)
+  group_traffic : int;
+  group_hidden : int;
+}
+
+type plan_model_result = {
+  nodes : int;
+  plan_groups : plan_group list;
+  fused_edges : string list;  (** selected edges, ["src->dst"] *)
+  traffic : int;
+  hidden : int;
+  effective : int;
+  unfused_traffic : int;
+  unfused_effective : int;
+  candidate_edges : int;
+  components : int;
+  dp_states : int;
+  bnb_nodes : int;
+  bnb_pruned : int;
+}
+
 type outcome =
   | R_intra of intra_result
   | R_fuse of fuse_result
   | R_regime of regime_result
   | R_eval of eval_row list
   | R_chain of chain_result
+  | R_plan_model of plan_model_result
 
 val apply_transform : transform -> outcome -> outcome
 (** Map an outcome computed on the canonical call back to the request's

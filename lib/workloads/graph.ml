@@ -81,23 +81,38 @@ let stack t ~layers =
                deps })
            t))
 
+let duplicate_dep deps =
+  let rec go = function
+    | a :: rest -> if List.mem a rest then Some a else go rest
+    | [] -> None
+  in
+  go deps
+
 let validate t =
   let seen = Hashtbl.create 16 in
   let rec check = function
     | [] -> Ok ()
-    | n :: rest ->
+    | n :: rest -> (
       if Hashtbl.mem seen n.id then
         Error (Printf.sprintf "duplicate node id %d" n.id)
       else if List.exists (fun d -> not (Hashtbl.mem seen d)) n.deps then
         Error
           (Printf.sprintf "node %d (%s) depends on a later or missing node" n.id
              n.name)
-      else begin
-        Hashtbl.add seen n.id ();
-        check rest
-      end
+      else
+        match duplicate_dep n.deps with
+        | Some d ->
+          Error
+            (Printf.sprintf "node %d (%s) lists dependency %d twice" n.id n.name
+               d)
+        | None ->
+          Hashtbl.add seen n.id ();
+          check rest)
   in
   check t
+
+let make nodes =
+  match validate nodes with Ok () -> Ok nodes | Error e -> Error e
 
 let critical_path t ~cost =
   let finish = Hashtbl.create 16 in

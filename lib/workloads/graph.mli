@@ -32,9 +32,15 @@ val stack : t -> layers:int -> t
 (** The graph repeated [layers] times, each layer's inputs depending on
     the previous layer's final node. [layers >= 1]. *)
 
+val make : node list -> (t, string) result
+(** Build a graph from an explicit node list (topological order).
+    Fails with the {!validate} diagnostic if the list is not a valid
+    graph. Used by the planner oracle to build arbitrary small DAGs
+    outside the {!of_model} shapes. *)
+
 val validate : t -> (unit, string) result
-(** Checks dependency references and acyclicity (topological
-    consistency). *)
+(** Checks dependency references, acyclicity (topological
+    consistency), and that no node lists the same dependency twice. *)
 
 val critical_path : t -> cost:(node -> int) -> int
 (** Longest dependency chain under the given per-node cost; independent

@@ -262,6 +262,78 @@ let prop_genetic_transpose =
     (QCheck.make ~print:searcher_print searcher_gen)
     (transpose_invariant (fun op buf -> Genetic.search op buf))
 
+(* ------------------------------------------------------------------ *)
+(* Whole-model planner graph oracle                                    *)
+
+let corpus_specs =
+  let ic = open_in "fixtures/graph_counterexamples.txt" in
+  let rec go acc =
+    match In_channel.input_line ic with
+    | None ->
+      close_in ic;
+      List.rev acc
+    | Some line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+  in
+  go []
+
+(* Every spec in the checked-in corpus must keep passing
+   planner-vs-exhaustive conformance, forever. *)
+let test_graph_corpus () =
+  check_bool "corpus non-empty" true (corpus_specs <> []);
+  List.iter
+    (fun spec ->
+      match Graph_check.check_spec spec with
+      | Error e -> Alcotest.failf "bad corpus spec %s: %s" spec e
+      | Ok (_, o) ->
+        List.iter
+          (fun (f : Graph_check.failure) ->
+            Alcotest.failf "%s: [%s] %s" spec f.Graph_check.check
+              f.Graph_check.detail)
+          o.Graph_check.failures)
+    corpus_specs
+
+let test_graph_spec_round_trip () =
+  List.iter
+    (fun spec ->
+      match Graph_check.of_spec spec with
+      | Error e -> Alcotest.failf "bad spec %s: %s" spec e
+      | Ok t -> Alcotest.(check string) spec spec (Graph_check.to_spec t))
+    corpus_specs;
+  check_bool "rejects bad edge order" true
+    (Result.is_error (Graph_check.of_spec "m=2,b=9,nodes=1*2:2|1*2:2,edges=1-0"));
+  check_bool "rejects dangling edge" true
+    (Result.is_error (Graph_check.of_spec "m=2,b=9,nodes=1*2:2,edges=0-1"))
+
+let test_graph_run_pinned () =
+  let r1 = Graph_check.run ~cases:40 ~seed:5 () in
+  let r2 = Graph_check.run ~cases:40 ~seed:5 () in
+  check_int "checks pinned" r1.Graph_check.checks r2.Graph_check.checks;
+  check_int "edges pinned" r1.Graph_check.candidate_edges
+    r2.Graph_check.candidate_edges;
+  check_int "fused pinned" r1.Graph_check.fused_cases r2.Graph_check.fused_cases;
+  check_bool "clean" true (Graph_check.ok r1)
+
+let test_graph_minimize_converges () =
+  (* an artificial predicate: "fails" while the graph still has more
+     than one node; the minimal still-failing graph therefore has
+     exactly two nodes, no edges, and every dimension at its floor *)
+  match Graph_check.of_spec "m=4,b=64,nodes=1*4:4|1*4:4|1*4:4,edges=0-1|1-2" with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    let shrunk =
+      Graph_check.minimize t ~still_fails:(fun t' ->
+          List.length t'.Graph_check.nodes > 1)
+    in
+    Alcotest.(check string) "minimal failing graph"
+      "m=1,b=3,nodes=1*1:1|1*1:1"
+      (Graph_check.to_spec shrunk);
+    (* a predicate that never fails leaves the spec untouched *)
+    check_bool "fixed point when nothing fails" true
+      (Graph_check.to_spec (Graph_check.minimize t ~still_fails:(fun _ -> false))
+       = Graph_check.to_spec t)
+
 let () =
   let qtest = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260806 |]) in
   Alcotest.run "oracle"
@@ -286,6 +358,13 @@ let () =
             test_oracle_run_clean;
           Alcotest.test_case "check_spec = run" `Quick
             test_check_spec_matches_run ] );
+      ( "graph-planner",
+        [ Alcotest.test_case "corpus stays fixed" `Quick test_graph_corpus;
+          Alcotest.test_case "spec round-trip" `Quick
+            test_graph_spec_round_trip;
+          Alcotest.test_case "run pinned and clean" `Quick test_graph_run_pinned;
+          Alcotest.test_case "greedy minimize converges" `Quick
+            test_graph_minimize_converges ] );
       ( "properties",
         [ qtest prop_sim_equals_cost;
           qtest prop_annealing_transpose;

@@ -947,6 +947,79 @@ let test_exporter_rejects_bad_addr () =
     [ ""; "127.0.0.1:"; "127.0.0.1:notaport"; "127.0.0.1:70000"; ":-1" ]
 
 (* ------------------------------------------------------------------ *)
+(* plan_model                                                          *)
+
+let test_plan_model_parse () =
+  (match parse_ok "{\"op\":\"plan_model\",\"model\":\"BeRt\",\"layers\":2}" with
+  | _, Protocol.Call (Protocol.Plan_model { model; layers; buffer; _ }) ->
+    check_str "model lowercased" "bert" model;
+    check_int "layers" 2 layers;
+    check_int "default buffer" (512 * 1024) buffer.Fusecu_loopnest.Buffer.bytes
+  | _ -> Alcotest.fail "bad plan_model parse");
+  (match parse_ok "{\"op\":\"plan_model\",\"model\":\"bert\"}" with
+  | _, Protocol.Call (Protocol.Plan_model { layers; _ }) ->
+    check_int "layers defaults to 1" 1 layers
+  | _ -> Alcotest.fail "bad plan_model parse");
+  let code line = (parse_reject line).Protocol.code in
+  check_bool "missing model" true
+    (code "{\"op\":\"plan_model\"}" = Protocol.Bad_request);
+  check_bool "zero layers" true
+    (code "{\"op\":\"plan_model\",\"model\":\"bert\",\"layers\":0}"
+    = Protocol.Bad_request);
+  check_bool "oversized layers" true
+    (code "{\"op\":\"plan_model\",\"model\":\"bert\",\"layers\":65}"
+    = Protocol.Bad_request)
+
+let plan_model_line = "{\"op\":\"plan_model\",\"id\":1,\"model\":\"bert\"}"
+
+(* Repeating a plan_model re-prices every fusion group through the plan
+   cache: the second run must add no misses (every group eval hits) and
+   return byte-identical responses. *)
+let test_plan_model_cache_reuse () =
+  let engine = Engine.create (Engine.default_config ()) in
+  let first = Engine.handle_lines engine [ plan_model_line ] in
+  let st1 = Engine.cache_stats engine in
+  check_bool "first run misses" true (st1.Cache.misses > 0);
+  let second = Engine.handle_lines engine [ plan_model_line ] in
+  let st2 = Engine.cache_stats engine in
+  check_bool "responses identical" true (first = second);
+  check_int "repeat adds no misses" st1.Cache.misses st2.Cache.misses;
+  check_bool "repeat is all hits" true (st2.Cache.hits > st1.Cache.hits)
+
+(* The groups are cached under ordinary intra/chain keys, so a later
+   point request for one of the solo operators is already warm. *)
+let test_plan_model_seeds_point_requests () =
+  let engine = Engine.create (Engine.default_config ()) in
+  ignore (Engine.handle_lines engine [ plan_model_line ]);
+  let st1 = Engine.cache_stats engine in
+  ignore
+    (Engine.handle_lines engine
+       [ "{\"op\":\"intra\",\"id\":2,\"m\":16384,\"k\":768,\"l\":768}" ]);
+  let st2 = Engine.cache_stats engine in
+  check_int "wq already cached" st1.Cache.misses st2.Cache.misses;
+  check_bool "hit" true (st2.Cache.hits > st1.Cache.hits)
+
+let test_plan_model_counters () =
+  let engine = Engine.create (Engine.default_config ()) in
+  ignore (Engine.handle_lines engine [ plan_model_line ]);
+  check_int "requests_plan_model" 1
+    (Metrics.get (Engine.metrics engine) "requests_plan_model")
+
+let test_plan_model_unknown_model () =
+  let out =
+    Engine.handle_lines
+      (Engine.create (Engine.default_config ()))
+      [ "{\"op\":\"plan_model\",\"id\":1,\"model\":\"resnet\"}" ]
+  in
+  match out with
+  | [ line ] -> (
+    match Json.parse line with
+    | Ok r ->
+      check_bool "error response" true (Json.member "ok" r = Some (Json.Bool false))
+    | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected one response"
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -980,6 +1053,15 @@ let () =
           Alcotest.test_case "mapper invariant (bytes + no refinement)" `Quick
             test_fixture_mapper_invariant;
           Alcotest.test_case "mapper parsing" `Quick test_mapper_parsing;
+          Alcotest.test_case "plan_model parse" `Quick test_plan_model_parse;
+          Alcotest.test_case "plan_model cache reuse" `Quick
+            test_plan_model_cache_reuse;
+          Alcotest.test_case "plan_model seeds point requests" `Quick
+            test_plan_model_seeds_point_requests;
+          Alcotest.test_case "plan_model counters" `Quick
+            test_plan_model_counters;
+          Alcotest.test_case "plan_model unknown model" `Quick
+            test_plan_model_unknown_model;
           Alcotest.test_case "shutdown barrier" `Quick
             test_shutdown_stops_processing ] );
       ( "server",

@@ -189,6 +189,43 @@ let test_graph_stack () =
       ignore (Graph.stack (Graph.of_model Zoo.bert) ~layers:0))
 
 
+let test_graph_stack_one () =
+  (* layers:1 is the identity shape but with layer-qualified names, so
+     single-layer and multi-layer planning see the same namespace *)
+  let g = Graph.stack (Graph.of_model Zoo.bert) ~layers:1 in
+  check_int "six nodes" 6 (List.length (Graph.nodes g));
+  check_bool "valid" true (Result.is_ok (Graph.validate g));
+  Alcotest.(check string) "renamed" "L0.wq" (Graph.find g 0).Graph.name;
+  Alcotest.(check string) "renamed last" "L0.ffn" (Graph.find g 5).Graph.name;
+  Alcotest.(check (list int)) "deps preserved" [ 0; 1; 2 ]
+    (Graph.find g 3).Graph.deps;
+  check_int "same depth" 4 (Graph.critical_path g ~cost:(fun _ -> 1))
+
+let op_node id name deps =
+  { Graph.id; name; work = Graph.Op { op = Matmul.make ~m:4 ~k:4 ~l:4 (); count = 1 };
+    deps }
+
+let test_graph_duplicate_dep () =
+  match Graph.make [ op_node 0 "a" []; op_node 1 "b" [ 0; 0 ] ] with
+  | Ok _ -> Alcotest.fail "duplicate dependency accepted"
+  | Error e ->
+    Alcotest.(check string) "diagnostic"
+      "node 1 (b) lists dependency 0 twice" e
+
+let test_graph_diamond () =
+  (* a -> {b, c} -> d: both branches overlap, so depth is 3 of 4 *)
+  match
+    Graph.make
+      [ op_node 0 "a" []; op_node 1 "b" [ 0 ]; op_node 2 "c" [ 0 ];
+        op_node 3 "d" [ 1; 2 ] ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+    check_int "depth 3" 3 (Graph.critical_path g ~cost:(fun _ -> 1));
+    check_int "sequential 4" 4 (Graph.sequential g ~cost:(fun _ -> 1));
+    check_int "weighted depth" 7
+      (Graph.critical_path g ~cost:(fun n -> if n.Graph.name = "c" then 5 else 1))
+
 let test_graph_dot () =
   let dot = Graph.to_dot (Graph.of_model Zoo.bert) in
   let contains needle =
@@ -216,6 +253,10 @@ let () =
         [ Alcotest.test_case "structure" `Quick test_graph_structure;
           Alcotest.test_case "critical path" `Quick test_graph_critical_path;
           Alcotest.test_case "stacking" `Quick test_graph_stack;
+          Alcotest.test_case "single-layer stack" `Quick test_graph_stack_one;
+          Alcotest.test_case "duplicate dependency" `Quick
+            test_graph_duplicate_dep;
+          Alcotest.test_case "diamond critical path" `Quick test_graph_diamond;
           Alcotest.test_case "dot export" `Quick test_graph_dot ] );
       ( "gqa",
         [ Alcotest.test_case "grouped-query projections" `Quick
