@@ -1,0 +1,321 @@
+(* Load generator for the serving tier: sustained concurrent traffic
+   over a realistic request mix, measured end to end through the real
+   Unix-socket server.
+
+   Two measurements, matching how the tier is actually operated:
+
+   - {b closed-loop latency}: C client threads, each with one
+     connection at [batch = 1], send-one-wait-one; every request's
+     wall-clock round trip is recorded and summarized as p50/p99.
+   - {b streaming throughput}: one connection at the default batch
+     size pipelines the whole request list and drains responses —
+     the saturation shape (batching amortizes planner work across the
+     pool), reported as requests/second.
+
+   Both run twice against the same persistent store file: a cold pass
+   (empty store) and a warm pass (fresh server process state,
+   store-recovered cache), so BENCH_service.json records the
+   warm-start hit rate next to the latency rows. Responses must be
+   byte-identical cold vs. warm per client stream (control lines
+   excluded) — the store can only change how much is recomputed. *)
+
+open Fusecu_util
+open Fusecu_service
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic request mix                                           *)
+
+(* SplitMix64, same generator family as the oracle: the mix is a pure
+   function of the seed, so load-bench numbers are comparable across
+   runs and machines. *)
+let mix_state = ref 0L
+
+let rnd () =
+  let open Int64 in
+  mix_state := add !mix_state 0x9E3779B97F4A7C15L;
+  let z = !mix_state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 1)
+  land Stdlib.max_int
+
+let pick arr = arr.(rnd () mod Array.length arr)
+
+(* A bounded pool of distinct problems with repeats drawn from it: the
+   mix has the redundancy production traffic has (same shapes priced
+   again and again), which is what makes hit rate and warm starts
+   meaningful. Shares the fixture's op distribution: mostly intra,
+   then fuse/chain, a few plan_model. *)
+let generate ~seed ~pool ~n =
+  mix_state := Int64.of_int seed;
+  let dims = [| 64; 96; 128; 192; 256; 384; 512; 768 |] in
+  let buffers = [| "128KB"; "256KB"; "512KB"; "1MB" |] in
+  let models = [| "bert"; "llama2"; "gpt-2" |] in
+  let problem i =
+    match rnd () mod 10 with
+    | 0 | 1 ->
+      Printf.sprintf
+        "{\"op\":\"fuse\",\"id\":%d,\"m\":%d,\"k\":%d,\"l\":%d,\"l2\":%d,\"buffer\":\"%s\"}"
+        i (pick dims) (pick dims) (pick dims) (pick dims) (pick buffers)
+    | 2 | 3 ->
+      Printf.sprintf
+        "{\"op\":\"chain\",\"id\":%d,\"m\":%d,\"ks\":[%d,%d,%d],\"buffer\":\"%s\"}"
+        i (pick dims) (pick dims) (pick dims) (pick dims) (pick buffers)
+    | 4 ->
+      Printf.sprintf
+        "{\"op\":\"plan_model\",\"id\":%d,\"model\":\"%s\",\"buffer\":\"%s\"}"
+        i (pick models) (pick buffers)
+    | _ ->
+      Printf.sprintf
+        "{\"op\":\"intra\",\"id\":%d,\"m\":%d,\"k\":%d,\"l\":%d,\"buffer\":\"%s\"}"
+        i (pick dims) (pick dims) (pick dims) (pick buffers)
+  in
+  let templates = Array.init pool problem in
+  List.init n (fun i ->
+      (* re-stamp the id so responses are traceable per request *)
+      let t = templates.(rnd () mod pool) in
+      match Json.parse t with
+      | Ok (Json.Obj fields) ->
+        Json.print
+          (Json.Obj
+             (List.map
+                (function "id", _ -> ("id", Json.Int i) | kv -> kv)
+                fields))
+      | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Socket clients                                                      *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+(* Minimal buffered line reader for client sockets (the server side
+   uses {!Server.Line_reader}; clients just need blocking reads). *)
+type rx = { fd : Unix.file_descr; buf : Buffer.t; scratch : Bytes.t }
+
+let rx fd = { fd; buf = Buffer.create 4096; scratch = Bytes.create 4096 }
+
+let rec read_response r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+    Buffer.clear r.buf;
+    Buffer.add_string r.buf (String.sub s (i + 1) (String.length s - i - 1));
+    Some (String.sub s 0 i)
+  | None -> (
+    match Unix.read r.fd r.scratch 0 (Bytes.length r.scratch) with
+    | 0 -> None
+    | n ->
+      Buffer.add_subbytes r.buf r.scratch 0 n;
+      read_response r
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Measurement passes                                                  *)
+
+type pass = {
+  p50_ms : float;
+  p99_ms : float;
+  latency_rps : float;  (** closed-loop aggregate request rate *)
+  stream_rps : float;  (** single-connection batched throughput *)
+  hit_rate : float;
+  transcripts : string list list;  (** per latency client, response lines *)
+  stream_transcript : string list;
+}
+
+let with_server ~store_path ~batch f =
+  let config =
+    { (Engine.default_config ()) with Engine.cache_entries = 65536 }
+  in
+  let store =
+    match store_path with
+    | None -> None
+    | Some path -> (
+      match Store.open_ ~path with
+      | Ok s -> Some s
+      | Error e -> failwith e)
+  in
+  let engine = Engine.create ?store config in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fusecu_load_%d_%d.sock" (Unix.getpid ()) (rnd () mod 10000))
+  in
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve_socket engine ~batch
+          ~config:{ Server.max_conns = 64; idle_timeout = 30.; max_line = 1 lsl 20 }
+          ~path:sock ())
+      ()
+  in
+  let rec wait n =
+    if n = 0 then failwith "load: server did not come up";
+    match Unix.stat sock with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> ()
+    | _ | (exception Unix.Unix_error (Unix.ENOENT, _, _)) ->
+      Thread.delay 0.02;
+      wait (n - 1)
+  in
+  wait 250;
+  let result = f sock engine in
+  (try
+     let fd = connect sock in
+     send_all fd "{\"op\":\"shutdown\"}\n";
+     Unix.shutdown fd Unix.SHUTDOWN_SEND;
+     let r = rx fd in
+     let rec drain () = match read_response r with Some _ -> drain () | None -> () in
+     drain ();
+     Unix.close fd
+   with Unix.Unix_error _ | Failure _ -> ());
+  Thread.join server;
+  (match store with Some s -> Store.close s | None -> ());
+  result
+
+(* One measurement pass against one server lifetime. *)
+let run_pass ~store_path ~concurrency ~latency_requests ~stream_requests () =
+  (* closed-loop latency at batch 1 *)
+  let latencies = Array.make (List.length latency_requests) 0. in
+  let shares = Array.make concurrency [] in
+  List.iteri
+    (fun i req -> shares.(i mod concurrency) <- (i, req) :: shares.(i mod concurrency))
+    latency_requests;
+  Array.iteri (fun i s -> shares.(i) <- List.rev s) shares;
+  let transcripts = Array.make concurrency [] in
+  let lat_elapsed =
+    with_server ~store_path ~batch:1 (fun sock _engine ->
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          Array.mapi
+            (fun ci share ->
+              Thread.create
+                (fun () ->
+                  let fd = connect sock in
+                  let r = rx fd in
+                  let out = ref [] in
+                  List.iter
+                    (fun (i, req) ->
+                      let t = Unix.gettimeofday () in
+                      send_all fd (req ^ "\n");
+                      match read_response r with
+                      | Some line ->
+                        latencies.(i) <- Unix.gettimeofday () -. t;
+                        out := line :: !out
+                      | None -> failwith "load: server closed mid-request")
+                    share;
+                  transcripts.(ci) <- List.rev !out;
+                  Unix.close fd)
+                ())
+            shares
+        in
+        Array.iter Thread.join threads;
+        Unix.gettimeofday () -. t0)
+  in
+  (* streaming throughput at the default batch on a fresh server
+     lifetime (same store: it has absorbed the latency pass's plans) *)
+  let stream_transcript, stream_elapsed, hit_rate_stream =
+    with_server ~store_path ~batch:64 (fun sock engine ->
+        let fd = connect sock in
+        let t0 = Unix.gettimeofday () in
+        send_all fd (String.concat "\n" stream_requests ^ "\n");
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        let r = rx fd in
+        let rec drain acc =
+          match read_response r with
+          | Some l -> drain (l :: acc)
+          | None -> List.rev acc
+        in
+        let lines = drain [] in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Unix.close fd;
+        (lines, elapsed, Cache.hit_rate (Engine.cache_stats engine)))
+  in
+  let sorted = Array.map (fun l -> l *. 1000.) latencies in
+  Array.sort compare sorted;
+  { p50_ms = percentile sorted 0.50;
+    p99_ms = percentile sorted 0.99;
+    latency_rps = float_of_int (Array.length latencies) /. lat_elapsed;
+    stream_rps = float_of_int (List.length stream_requests) /. stream_elapsed;
+    hit_rate = hit_rate_stream;
+    transcripts = Array.to_list transcripts;
+    stream_transcript }
+
+let pass_json p =
+  Json.Obj
+    [ ("p50_ms", Json.Float p.p50_ms);
+      ("p99_ms", Json.Float p.p99_ms);
+      ("closed_loop_rps", Json.Float p.latency_rps);
+      ("stream_rps", Json.Float p.stream_rps);
+      ("hit_rate", Json.Float p.hit_rate) ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let run ?(quick = false) () =
+  let n = if quick then 200 else 2000 in
+  let pool = if quick then 40 else 200 in
+  let concurrency = 4 in
+  let latency_requests = generate ~seed:11 ~pool ~n in
+  let stream_requests = generate ~seed:13 ~pool ~n in
+  let store_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fusecu_load_%d.store" (Unix.getpid ()))
+  in
+  (try Sys.remove store_path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove store_path with Sys_error _ -> ())
+    (fun () ->
+      let cold =
+        run_pass ~store_path:(Some store_path) ~concurrency ~latency_requests
+          ~stream_requests ()
+      in
+      let warm =
+        run_pass ~store_path:(Some store_path) ~concurrency ~latency_requests
+          ~stream_requests ()
+      in
+      (* correctness gates: warm state must change only speed *)
+      if warm.transcripts <> cold.transcripts then
+        failwith "load: warm closed-loop responses diverge from cold";
+      if warm.stream_transcript <> cold.stream_transcript then
+        failwith "load: warm streaming responses diverge from cold";
+      if not (warm.hit_rate > cold.hit_rate) then
+        failwith
+          (Printf.sprintf
+             "load: warm start did not raise the hit rate (cold %.3f, warm %.3f)"
+             cold.hit_rate warm.hit_rate);
+      Printf.printf
+        "load: %d reqs x%d conns  cold p50 %.2f ms p99 %.2f ms (%.0f rps \
+         closed, %.0f rps stream, hit %.3f)\n\
+         load: warm p50 %.2f ms p99 %.2f ms (%.0f rps closed, %.0f rps \
+         stream, hit %.3f)\n"
+        n concurrency cold.p50_ms cold.p99_ms cold.latency_rps cold.stream_rps
+        cold.hit_rate warm.p50_ms warm.p99_ms warm.latency_rps warm.stream_rps
+        warm.hit_rate;
+      Json.Obj
+        [ ("requests", Json.Int n);
+          ("distinct_problems", Json.Int pool);
+          ("concurrency", Json.Int concurrency);
+          ("cold", pass_json cold);
+          ("warm", pass_json warm);
+          ("warm_identical_to_cold", Json.Bool true) ])
+
+let smoke () =
+  ignore (run ~quick:true ());
+  print_endline "load smoke: cold/warm byte-identical, warm hit rate higher"

@@ -42,6 +42,30 @@
      dune exec bench/main.exe -- --model-smoke -- short strict version
                                                  (also `dune build
                                                  @model-smoke`)
+     dune exec bench/main.exe -- --load       -- load generator against
+                                                 the live socket server:
+                                                 closed-loop p50/p99
+                                                 latency, streaming
+                                                 throughput, and the
+                                                 warm-vs-cold store hit
+                                                 rate, merged into
+                                                 BENCH_service.json
+     dune exec bench/main.exe -- --load-smoke -- short strict version of
+                                                 --load (cold/warm
+                                                 byte-identity + hit-rate
+                                                 gates only; part of
+                                                 `dune build
+                                                 @store-smoke`)
+     dune exec bench/main.exe -- --store-smoke -- persistence drill:
+                                                 1-shard router fleet
+                                                 with a store, kill -9,
+                                                 warm restart, 2-shard
+                                                 replay, plus torn-tail
+                                                 and CRC-corruption
+                                                 recovery — all held to
+                                                 the golden transcript
+                                                 (also `dune build
+                                                 @store-smoke`)
      dune exec bench/main.exe -- --oracle      -- differential-oracle
                                                  soak: 5000 seeded
                                                  cases (1000 with
@@ -59,7 +83,8 @@ let usage () =
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
      <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke] \
-     [--bnb-smoke] [--oracle] [--model] [--model-smoke] [--trace FILE]";
+     [--bnb-smoke] [--oracle] [--model] [--model-smoke] [--load] \
+     [--load-smoke] [--store-smoke] [--trace FILE]";
   exit 1
 
 type options = {
@@ -75,6 +100,9 @@ type options = {
   oracle : bool;
   model : bool;
   model_smoke : bool;
+  load : bool;
+  load_smoke : bool;
+  store_smoke : bool;
   trace : string option;
 }
 
@@ -123,6 +151,8 @@ let parse_args () =
   let socket_smoke = ref false and bnb_smoke = ref false in
   let oracle = ref false in
   let model = ref false and model_smoke = ref false in
+  let load = ref false and load_smoke = ref false in
+  let store_smoke = ref false in
   let trace = ref None in
   let rec loop = function
     | [] -> ()
@@ -163,6 +193,15 @@ let parse_args () =
     | "--model-smoke" :: rest ->
       model_smoke := true;
       loop rest
+    | "--load" :: rest ->
+      load := true;
+      loop rest
+    | "--load-smoke" :: rest ->
+      load_smoke := true;
+      loop rest
+    | "--store-smoke" :: rest ->
+      store_smoke := true;
+      loop rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
@@ -178,11 +217,13 @@ let parse_args () =
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
     json = !json; smoke = !smoke; service = !service;
     socket_smoke = !socket_smoke; bnb_smoke = !bnb_smoke; oracle = !oracle;
-    model = !model; model_smoke = !model_smoke; trace = !trace }
+    model = !model; model_smoke = !model_smoke; load = !load;
+    load_smoke = !load_smoke; store_smoke = !store_smoke; trace = !trace }
 
 let () =
   let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke;
-        bnb_smoke; oracle; model; model_smoke; trace } =
+        bnb_smoke; oracle; model; model_smoke; load; load_smoke; store_smoke;
+        trace } =
     parse_args ()
   in
   (* --trace FILE: profile whatever runs below and write a Chrome
@@ -218,6 +259,22 @@ let () =
   end;
   if model_smoke then begin
     Model_bench.smoke ();
+    exit 0
+  end;
+  if store_smoke then begin
+    (* must run before anything touches the global domain pool: the
+       drill forks a shard fleet, and forking a process with live
+       worker domains is undefined *)
+    Store_drill.run ~fixture:(Service_replay.resolve_fixture ()) ();
+    exit 0
+  end;
+  if load_smoke then begin
+    Load.smoke ();
+    exit 0
+  end;
+  if load then begin
+    let rows = Load.run ~quick () in
+    Service_replay.write_json ~load:rows ();
     exit 0
   end;
   if service then begin

@@ -201,7 +201,8 @@ let replay ~cache_enabled lines =
   let elapsed = Unix.gettimeofday () -. t0 in
   (responses, Engine.cache_stats engine, elapsed)
 
-let write_json ?(fixture = default_fixture) ?(path = "BENCH_service.json") () =
+let write_json ?(fixture = default_fixture) ?(path = "BENCH_service.json")
+    ?load () =
   let lines = read_lines fixture in
   let cached, stats, elapsed_cached = replay ~cache_enabled:true lines in
   let uncached, _, elapsed_uncached = replay ~cache_enabled:false lines in
@@ -230,6 +231,11 @@ let write_json ?(fixture = default_fixture) ?(path = "BENCH_service.json") () =
         ("connections", connections);
         ("elapsed_cached_s", Json.Float elapsed_cached);
         ("elapsed_uncached_s", Json.Float elapsed_uncached) ]
+  in
+  let json =
+    match (load, json) with
+    | Some l, Json.Obj fields -> Json.Obj (fields @ [ ("load", l) ])
+    | _ -> json
   in
   let oc = open_out path in
   Fun.protect

@@ -496,8 +496,8 @@ let area_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run socket batch no_cache cache_entries mapper metrics_file metrics_addr
-      slow_ms max_conns timeout max_line trace log_level =
+  let run socket store_path batch no_cache cache_entries mapper metrics_file
+      metrics_addr slow_ms max_conns timeout max_line trace log_level =
     with_observability ~trace ~log_level @@ fun () ->
     let default = Fusecu_service.Engine.default_config () in
     let cache_entries =
@@ -510,7 +510,17 @@ let serve_cmd =
         slow_log_ms = slow_ms;
         mapper = Option.value mapper ~default:default.mapper }
     in
-    let engine = Fusecu_service.Engine.create config in
+    let store =
+      match store_path with
+      | None -> None
+      | Some path -> (
+        match Fusecu_service.Store.open_ ~path with
+        | Ok s -> Some s
+        | Error msg ->
+          prerr_endline msg;
+          exit 1)
+    in
+    let engine = Fusecu_service.Engine.create ?store config in
     let exporter =
       match metrics_addr with
       | None -> None
@@ -531,7 +541,8 @@ let serve_cmd =
     in
     Fun.protect
       ~finally:(fun () ->
-        Option.iter Fusecu_service.Server.stop_metrics_exporter exporter)
+        Option.iter Fusecu_service.Server.stop_metrics_exporter exporter;
+        Option.iter Fusecu_service.Store.close store)
       (fun () ->
         match socket with
         | Some path -> (
@@ -563,6 +574,18 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:"Listen on a Unix-domain socket instead of stdin/stdout.")
+  in
+  let store_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:"Persist the plan cache to an append-only, CRC-framed NDJSON \
+                store at FILE (created if absent) and warm-load it at \
+                startup. Writes are flushed behind the request path, so the \
+                hot path never blocks on disk; recovery after a crash drops \
+                only a damaged tail. Responses are byte-identical with or \
+                without the store — it only changes how much is recomputed.")
   in
   let batch =
     Arg.(
@@ -683,9 +706,9 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const run $ socket $ batch $ no_cache $ cache_entries $ mapper
-      $ metrics_file $ metrics_addr $ slow_ms $ max_conns $ timeout $ max_line
-      $ trace_file_arg $ log_level_arg)
+      const run $ socket $ store_path $ batch $ no_cache $ cache_entries
+      $ mapper $ metrics_file $ metrics_addr $ slow_ms $ max_conns $ timeout
+      $ max_line $ trace_file_arg $ log_level_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -698,6 +721,231 @@ let serve_cmd =
              request. Observability: --metrics-addr serves live Prometheus \
              text, --trace writes a Chrome trace profile, --log-level / \
              --slow-ms emit NDJSON logs on stderr.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* route                                                               *)
+
+let route_cmd =
+  let run shards backends socket_dir store_dir batch no_cache cache_entries
+      mapper max_conns timeout max_line vnodes trace log_level =
+    with_observability ~trace ~log_level @@ fun () ->
+    if shards < 1 then begin
+      prerr_endline "route: --shards must be at least 1";
+      exit 1
+    end;
+    let router_config =
+      { Fusecu_service.Router.idle_timeout = timeout;
+        max_line;
+        vnodes = max 1 vnodes }
+    in
+    let front backend_paths =
+      try
+        Fusecu_service.Router.run ~config:router_config ~backends:backend_paths
+          ~input:stdin ~output:stdout ()
+      with Failure msg | Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    match backends with
+    | _ :: _ ->
+      (* externally-managed backends: just front them *)
+      front backends
+    | [] ->
+      (* own the fleet: fork one serve-socket child per shard *)
+      let default = Fusecu_service.Engine.default_config () in
+      let cache_entries =
+        match cache_entries with
+        | Some n -> max 0 n
+        | None -> default.cache_entries
+      in
+      let engine_config =
+        { default with
+          Fusecu_service.Engine.cache_enabled =
+            (not no_cache) && cache_entries > 0;
+          cache_entries;
+          mapper = Option.value mapper ~default:default.Fusecu_service.Engine.mapper }
+      in
+      let dir =
+        match socket_dir with
+        | Some d ->
+          if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+          d
+        | None ->
+          let d =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "fusecu-route-%d" (Unix.getpid ()))
+          in
+          Unix.mkdir d 0o700;
+          d
+      in
+      let server_config =
+        { Fusecu_service.Server.max_conns; idle_timeout = timeout; max_line }
+      in
+      let make_engine i =
+        let store =
+          match store_dir with
+          | None -> None
+          | Some sd -> (
+            if not (Sys.file_exists sd) then Unix.mkdir sd 0o755;
+            let path = Filename.concat sd (Printf.sprintf "shard-%d.store" i) in
+            match Fusecu_service.Store.open_ ~path with
+            | Ok s -> Some s
+            | Error msg -> failwith msg)
+        in
+        Fusecu_service.Engine.create ?store engine_config
+      in
+      let children =
+        List.init shards (fun i ->
+            let socket = Filename.concat dir (Printf.sprintf "shard-%d.sock" i) in
+            Fusecu_service.Router.spawn_shard ~batch ~make_engine ~socket
+              ~server_config i)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Fusecu_service.Router.stop_children children;
+          (try Unix.rmdir dir with Unix.Unix_error _ -> ()))
+        (fun () ->
+          List.iter
+            (fun (c : Fusecu_service.Router.child) ->
+              if not (Fusecu_service.Router.wait_for_socket c.socket) then begin
+                prerr_endline
+                  (Printf.sprintf "route: shard socket %s never appeared"
+                     c.socket);
+                exit 1
+              end)
+            children;
+          front
+            (List.map
+               (fun (c : Fusecu_service.Router.child) -> c.socket)
+               children))
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Number of backend shard processes to fork (ignored when \
+                --backend is given).")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "backend" ] ~docv:"SOCKET"
+          ~doc:"Route onto an externally-started 'serve --socket' backend \
+                (repeatable; ring order follows the flag order). When absent, \
+                the router forks its own --shards backends.")
+  in
+  let socket_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the forked shards' sockets (default: a fresh \
+                directory under the system temp dir).")
+  in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:"Give each forked shard a persistent plan store at \
+                DIR/shard-N.store, warm-loaded at startup. Placement is a \
+                pure function of the shard count, so each shard's store \
+                stays authoritative for its keys across restarts.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Per-shard request batch size.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the shards' plan caches.")
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Per-shard plan-cache capacity (default: \
+                \\$FUSECU_CACHE_ENTRIES or 4096).")
+  in
+  let mapper =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                (List.map
+                   (fun m -> (Fusecu_service.Engine.mapper_name m, m))
+                   [ Fusecu_service.Engine.Mapper_bnb;
+                     Fusecu_service.Engine.Mapper_principles;
+                     Fusecu_service.Engine.Mapper_exhaustive;
+                     Fusecu_service.Engine.Mapper_anneal ])))
+          None
+      & info [ "mapper" ] ~docv:"MAPPER"
+          ~doc:"Search mapper for the forked shards (see 'serve --mapper').")
+  in
+  let defaults = Fusecu_service.Server.default_socket_config in
+  let max_conns =
+    Arg.(
+      value
+      & opt int defaults.Fusecu_service.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Per-shard concurrent-connection cap.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float defaults.Fusecu_service.Server.idle_timeout
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Idle/read/write liveness bound, applied per backend by the \
+                router and per connection by the shards. 0 disables it.")
+  in
+  let max_line =
+    let parse s =
+      match Fusecu_util.Units.parse_bytes s with
+      | Ok bytes when bytes >= 1 -> Ok bytes
+      | Ok _ -> Error (`Msg "max-line must be at least one byte")
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt bytes =
+      Format.pp_print_string fmt (Fusecu_util.Units.pp_bytes bytes)
+    in
+    Arg.(
+      value
+      & opt
+          (conv ~docv:"SIZE" (parse, print))
+          defaults.Fusecu_service.Server.max_line
+      & info [ "max-line" ] ~docv:"SIZE"
+          ~doc:"Longest accepted request or response line (e.g. 64KB, 1MB).")
+  in
+  let vnodes =
+    Arg.(
+      value
+      & opt int Fusecu_service.Router.default_config.Fusecu_service.Router.vnodes
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Virtual nodes per backend on the consistent-hash ring.")
+  in
+  let term =
+    Term.(
+      const run $ shards $ backends $ socket_dir $ store_dir $ batch $ no_cache
+      $ cache_entries $ mapper $ max_conns $ timeout $ max_line $ vnodes
+      $ trace_file_arg $ log_level_arg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Front a sharded planning tier: consistent-hash each request's \
+             canonical cache key onto N backend shards ('serve --socket' \
+             processes, forked by the router or given via --backend), forward \
+             the NDJSON lines, and reassemble responses in request order on \
+             stdout. The transcript is byte-identical for every shard count \
+             (control lines excepted — stats counters are per-process and \
+             pinned to shard 0). --store-dir makes the fleet persistent: \
+             shard caches survive restarts and warm-load at startup.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -998,4 +1246,4 @@ let () =
        (Cmd.group info
           [ intra_cmd; fuse_cmd; regime_cmd; search_cmd; eval_cmd; explain_cmd;
             trace_cmd; hierarchy_cmd; chain_cmd; plan_cmd; sweep_cmd;
-            graph_cmd; area_cmd; simulate_cmd; serve_cmd; check_cmd ]))
+            graph_cmd; area_cmd; simulate_cmd; serve_cmd; route_cmd; check_cmd ]))

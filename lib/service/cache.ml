@@ -28,7 +28,13 @@ let create ?(shards = 8) ~capacity () =
 
 let capacity t = t.capacity
 
-let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+(* Full-string FNV-1a: [Hashtbl.hash]'s bounded traversal ignores the
+   tails of long canonical keys (chain/plan_model keys differing only in
+   their last operators would pile onto one shard). The same hash routes
+   keys across router backends and fingerprints store records, so shard
+   placement, routing, and persistence all agree on one stable function. *)
+let shard_of t key =
+  t.shards.(Fusecu_util.Hash.fnv1a64_positive key mod Array.length t.shards)
 
 let with_lock shard f =
   Mutex.lock shard.mutex;
@@ -73,20 +79,37 @@ let add t key value =
 
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
+(* Snapshots hold every shard lock at once (acquired in index order, so
+   two concurrent snapshots cannot deadlock) rather than folding shard by
+   shard: locking one shard at a time lets an [add] land between reads
+   and produce a torn view — e.g. [entries > capacity] or a miss counted
+   without its insert — the same bug PR 3 fixed in [Metrics.to_json]. *)
+let with_all_locked t f =
+  Array.iter (fun s -> Mutex.lock s.mutex) t.shards;
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun s -> Mutex.unlock s.mutex) t.shards)
+    f
+
 let stats t =
-  Array.fold_left
-    (fun acc s ->
-      with_lock s (fun () ->
+  with_all_locked t (fun () ->
+      Array.fold_left
+        (fun acc (s : _ shard) ->
           { hits = acc.hits + s.hits;
             misses = acc.misses + s.misses;
             evictions = acc.evictions + s.evictions;
-            entries = acc.entries + Hashtbl.length s.table }))
-    { hits = 0; misses = 0; evictions = 0; entries = 0 }
-    t.shards
+            entries = acc.entries + Hashtbl.length s.table })
+        { hits = 0; misses = 0; evictions = 0; entries = 0 }
+        t.shards)
 
 let shard_occupancy t =
-  Array.to_list
-    (Array.map (fun s -> with_lock s (fun () -> Hashtbl.length s.table)) t.shards)
+  with_all_locked t (fun () ->
+      Array.to_list (Array.map (fun s -> Hashtbl.length s.table) t.shards))
+
+let fold_entries t f init =
+  with_all_locked t (fun () ->
+      Array.fold_left
+        (fun acc s -> Hashtbl.fold (fun k e acc -> f k e.value acc) s.table acc)
+        init t.shards)
 
 let hit_rate st =
   let lookups = st.hits + st.misses in

@@ -40,12 +40,23 @@ val add : 'a t -> string -> 'a -> unit
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 val stats : 'a t -> stats
+(** Consistent snapshot: all shard locks are held for the duration of
+    the read (acquired and released in index order), so concurrent
+    [add]s can never produce a torn view — [entries] is bounded by the
+    capacity invariant and counters from one instant. *)
 
 val shard_occupancy : 'a t -> int list
-(** Entry count of each shard, in shard order. Deterministic for a given
-    sequence of [find]/[add] calls (sharding is [Hashtbl.hash]-based and
-    the engine drains sequentially), so safe to report in [stats]
-    responses compared against goldens. *)
+(** Entry count of each shard, in shard order, under the same
+    all-shards snapshot as {!stats}. Deterministic for a given sequence
+    of [find]/[add] calls (sharding is full-string FNV-1a,
+    {!Fusecu_util.Hash.fnv1a64_positive}, and the engine drains
+    sequentially), so safe to report in [stats] responses compared
+    against goldens. *)
+
+val fold_entries : 'a t -> (string -> 'a -> 'acc -> 'acc) -> 'acc -> 'acc
+(** Fold over every (key, value) pair under the all-shards snapshot, in
+    unspecified order. Used by the persistent store to capture a
+    consistent image for compaction. *)
 
 val hit_rate : stats -> float
 (** [hits / (hits + misses)]; 0 when no lookups have happened. *)

@@ -57,6 +57,7 @@ let default_config () =
 type t = {
   config : config;
   cache : Protocol.outcome Cache.t;
+  store : Store.t option;
   metrics : Metrics.t;
   ticks : int Atomic.t;
       (* logical clock: one tick per flushed batch and per control
@@ -64,17 +65,43 @@ type t = {
   seq : int Atomic.t;  (* next request sequence number, for log lines *)
 }
 
-let create ?metrics config =
+let create ?metrics ?store config =
+  let cache =
+    Cache.create ~shards:config.cache_shards
+      ~capacity:(if config.cache_enabled then config.cache_entries else 0)
+      ()
+  in
+  (* Warm-load recovered plans straight into the cache. Only [add] is
+     used (no [find]), so the hit/miss counters stay zero and the
+     response stream is byte-identical to a cold start — warm state only
+     changes which computes are skipped, and cache on/off is already
+     proven response-invariant. *)
+  (match store with
+  | Some s when config.cache_enabled ->
+    List.iter
+      (fun (key, outcome) -> Cache.add cache key outcome)
+      (Store.recovered s).Store.entries
+  | _ -> ());
   { config;
-    cache =
-      Cache.create ~shards:config.cache_shards
-        ~capacity:(if config.cache_enabled then config.cache_entries else 0)
-        ();
+    cache;
+    store;
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     ticks = Atomic.make 0;
     seq = Atomic.make 0 }
 
+(* Persist a plan the moment it enters the cache: both sites run in the
+   engine's sequential phases, and [Store.append] only enqueues for the
+   write-behind flusher, so the hot path never touches disk. *)
+let cache_insert t key outcome =
+  Cache.add t.cache key outcome;
+  match t.store with Some s -> Store.append s key outcome | None -> ()
+
 let metrics t = t.metrics
+
+let store t = t.store
+
+let cache_snapshot t =
+  Cache.fold_entries t.cache (fun k v acc -> (k, v) :: acc) []
 
 let cache_stats t = Cache.stats t.cache
 
@@ -324,7 +351,7 @@ and plan_model_impl t ~use_cache (call : Protocol.call) :
           | None -> (
             match compute t canonical with
             | Ok outcome ->
-              if use_cache then Cache.add t.cache key outcome;
+              if use_cache then cache_insert t key outcome;
               Ok outcome
             | Error (_, msg) -> Error msg)
         in
@@ -529,7 +556,7 @@ let flush t batch emit =
       Array.iteri
         (fun i result ->
           match result with
-          | Ok outcome -> Cache.add t.cache (Protocol.cache_key work.(i)) outcome
+          | Ok outcome -> cache_insert t (Protocol.cache_key work.(i)) outcome
           | Error _ -> ())
         results;
     let access_log = Log.enabled Log.Debug in

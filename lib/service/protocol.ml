@@ -547,3 +547,319 @@ let response_error ~id ~code ~message =
               ("message", Json.String message) ]) ])
 
 let reject_response r = response_error ~id:r.id ~code:r.code ~message:r.message
+
+(* ------------------------------------------------------------------ *)
+(* Store serialization                                                 *)
+
+(* A structural outcome codec for the persistent plan store. Distinct
+   from [outcome_fields]: that output is the human/wire shape and has no
+   inverse (several variants collapse onto the same field names), while
+   this one tags every variant and round-trips exactly. Enum decoding is
+   inverse-by-construction — each decoder searches the closed list of
+   variants for the one whose [to_string] matches — so it can never
+   drift from the encoders. *)
+
+let ( let* ) = Result.bind
+
+let enum_of_string ~what ~to_string all s =
+  match List.find_opt (fun v -> String.equal (to_string v) s) all with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "store: unknown %s %S" what s)
+
+let dim_of_string = enum_of_string ~what:"dim" ~to_string:Dim.to_string Dim.[ M; K; L ]
+
+let operand_of_string =
+  enum_of_string ~what:"operand" ~to_string:Operand.to_string Operand.[ A; B; C ]
+
+let nra_of_string = enum_of_string ~what:"class" ~to_string:Nra.to_string Nra.all
+
+let regime_of_string =
+  enum_of_string ~what:"regime" ~to_string:Regime.to_string
+    Regime.[ Tiny; Small; Medium; Large ]
+
+let pattern_of_string =
+  enum_of_string ~what:"pattern" ~to_string:Fusion.pattern_name
+    Fusion.all_patterns
+
+let dataflow_to_json = function
+  | Nra.Single_nra { stationary } ->
+    Json.Obj
+      [ ("t", Json.String "single");
+        ("stationary", Json.String (Operand.to_string stationary)) ]
+  | Nra.Two_nra { untiled; redundant } ->
+    Json.Obj
+      [ ("t", Json.String "two");
+        ("untiled", Json.String (Dim.to_string untiled));
+        ("redundant", Json.String (Operand.to_string redundant)) ]
+  | Nra.Three_nra { resident } ->
+    Json.Obj
+      [ ("t", Json.String "three");
+        ("resident", Json.String (Operand.to_string resident)) ]
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "store: missing field %S" name)
+
+let int_field name j = Result.bind (field name j) Json.to_int
+let float_field name j = Result.bind (field name j) Json.to_float
+let string_field name j = Result.bind (field name j) Json.to_string_v
+let bool_field name j = Result.bind (field name j) Json.to_bool
+let list_field name j = Result.bind (field name j) Json.to_list
+
+let map_result f l =
+  List.fold_right
+    (fun x acc ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    l (Ok [])
+
+let dataflow_of_json j =
+  let* tag = string_field "t" j in
+  match tag with
+  | "single" ->
+    let* s = Result.bind (string_field "stationary" j) operand_of_string in
+    Ok (Nra.Single_nra { stationary = s })
+  | "two" ->
+    let* u = Result.bind (string_field "untiled" j) dim_of_string in
+    let* r = Result.bind (string_field "redundant" j) operand_of_string in
+    Ok (Nra.Two_nra { untiled = u; redundant = r })
+  | "three" ->
+    let* r = Result.bind (string_field "resident" j) operand_of_string in
+    Ok (Nra.Three_nra { resident = r })
+  | t -> Error (Printf.sprintf "store: unknown dataflow tag %S" t)
+
+let outcome_to_json = function
+  | R_intra r ->
+    Json.Obj
+      [ ("t", Json.String "intra");
+        ("ma", Json.Int r.ma);
+        ("redundancy", Json.Float r.redundancy);
+        ("footprint", Json.Int r.footprint);
+        ("tile_m", Json.Int r.tile_m);
+        ("tile_k", Json.Int r.tile_k);
+        ("tile_l", Json.Int r.tile_l);
+        ("order",
+         Json.List (List.map (fun d -> Json.String (Dim.to_string d)) r.order));
+        ("class", Json.String (Nra.to_string r.nra));
+        ("dataflow", dataflow_to_json r.dataflow);
+        ("regime", Json.String (Regime.to_string r.regime)) ]
+  | R_fuse (Fused { pattern; nra; traffic }) ->
+    Json.Obj
+      [ ("t", Json.String "fused");
+        ("pattern", Json.String (Fusion.pattern_name pattern));
+        ("class", Json.String (Nra.to_string nra));
+        ("traffic", Json.Int traffic) ]
+  | R_fuse (Not_fused { why; traffic; producer; consumer }) ->
+    Json.Obj
+      [ ("t", Json.String "not_fused");
+        ("why", Json.String why);
+        ("traffic", Json.Int traffic);
+        ("producer", Json.String (Nra.to_string producer));
+        ("consumer", Json.String (Nra.to_string consumer)) ]
+  | R_regime r ->
+    Json.Obj
+      [ ("t", Json.String "regime");
+        ("regime", Json.String (Regime.to_string r.regime));
+        ("tiny_max", Json.Int r.thresholds.Regime.tiny_max);
+        ("small_max", Json.Int r.thresholds.Regime.small_max);
+        ("medium_max", Json.Int r.thresholds.Regime.medium_max);
+        ("classes",
+         Json.List
+           (List.map (fun c -> Json.String (Nra.to_string c)) r.classes)) ]
+  | R_eval rows ->
+    Json.Obj
+      [ ("t", Json.String "eval");
+        ("rows",
+         Json.List
+           (List.map
+              (fun row ->
+                match row.cells with
+                | Ok c ->
+                  Json.Obj
+                    [ ("platform", Json.String row.platform);
+                      ("ok", Json.Bool true);
+                      ("traffic", Json.Int c.traffic);
+                      ("traffic_bytes", Json.Int c.traffic_bytes);
+                      ("macs", Json.Int c.macs);
+                      ("cycles", Json.Int c.cycles);
+                      ("utilization", Json.Float c.utilization) ]
+                | Error e ->
+                  Json.Obj
+                    [ ("platform", Json.String row.platform);
+                      ("ok", Json.Bool false);
+                      ("error", Json.String e) ])
+              rows)) ]
+  | R_chain (Full_fusion { traffic; fused_bound }) ->
+    Json.Obj
+      [ ("t", Json.String "chain_full");
+        ("traffic", Json.Int traffic);
+        ("fused_bound", Json.Int fused_bound) ]
+  | R_chain (Pairwise { traffic; segments }) ->
+    Json.Obj
+      [ ("t", Json.String "chain_pairwise");
+        ("traffic", Json.Int traffic);
+        ("segments",
+         Json.List
+           (List.map
+              (function
+                | Solo_seg t ->
+                  Json.Obj
+                    [ ("kind", Json.String "solo"); ("traffic", Json.Int t) ]
+                | Fused_seg (pattern, t) ->
+                  Json.Obj
+                    [ ("kind", Json.String "fused");
+                      ("pattern", Json.String pattern);
+                      ("traffic", Json.Int t) ])
+              segments)) ]
+  | R_plan_model r ->
+    Json.Obj
+      [ ("t", Json.String "plan_model");
+        ("nodes", Json.Int r.nodes);
+        ("groups",
+         Json.List
+           (List.map
+              (fun g ->
+                Json.Obj
+                  [ ("members",
+                     Json.List (List.map (fun n -> Json.String n) g.members));
+                    ("count", Json.Int g.count);
+                    ("ops", Json.Int g.ops);
+                    ("traffic", Json.Int g.group_traffic);
+                    ("hidden", Json.Int g.group_hidden) ])
+              r.plan_groups));
+        ("fused_edges",
+         Json.List (List.map (fun e -> Json.String e) r.fused_edges));
+        ("traffic", Json.Int r.traffic);
+        ("hidden", Json.Int r.hidden);
+        ("effective", Json.Int r.effective);
+        ("unfused_traffic", Json.Int r.unfused_traffic);
+        ("unfused_effective", Json.Int r.unfused_effective);
+        ("candidate_edges", Json.Int r.candidate_edges);
+        ("components", Json.Int r.components);
+        ("dp_states", Json.Int r.dp_states);
+        ("bnb_nodes", Json.Int r.bnb_nodes);
+        ("bnb_pruned", Json.Int r.bnb_pruned) ]
+
+let outcome_of_json j =
+  let* tag = string_field "t" j in
+  match tag with
+  | "intra" ->
+    let* ma = int_field "ma" j in
+    let* redundancy = float_field "redundancy" j in
+    let* footprint = int_field "footprint" j in
+    let* tile_m = int_field "tile_m" j in
+    let* tile_k = int_field "tile_k" j in
+    let* tile_l = int_field "tile_l" j in
+    let* order =
+      Result.bind (list_field "order" j)
+        (map_result (fun d -> Result.bind (Json.to_string_v d) dim_of_string))
+    in
+    let* nra = Result.bind (string_field "class" j) nra_of_string in
+    let* dataflow = Result.bind (field "dataflow" j) dataflow_of_json in
+    let* regime = Result.bind (string_field "regime" j) regime_of_string in
+    Ok
+      (R_intra
+         { ma; redundancy; footprint; tile_m; tile_k; tile_l; order; nra;
+           dataflow; regime })
+  | "fused" ->
+    let* pattern = Result.bind (string_field "pattern" j) pattern_of_string in
+    let* nra = Result.bind (string_field "class" j) nra_of_string in
+    let* traffic = int_field "traffic" j in
+    Ok (R_fuse (Fused { pattern; nra; traffic }))
+  | "not_fused" ->
+    let* why = string_field "why" j in
+    let* traffic = int_field "traffic" j in
+    let* producer = Result.bind (string_field "producer" j) nra_of_string in
+    let* consumer = Result.bind (string_field "consumer" j) nra_of_string in
+    Ok (R_fuse (Not_fused { why; traffic; producer; consumer }))
+  | "regime" ->
+    let* regime = Result.bind (string_field "regime" j) regime_of_string in
+    let* tiny_max = int_field "tiny_max" j in
+    let* small_max = int_field "small_max" j in
+    let* medium_max = int_field "medium_max" j in
+    let* classes =
+      Result.bind (list_field "classes" j)
+        (map_result (fun c -> Result.bind (Json.to_string_v c) nra_of_string))
+    in
+    Ok
+      (R_regime
+         { regime;
+           thresholds = { Regime.tiny_max; small_max; medium_max };
+           classes })
+  | "eval" ->
+    let* rows =
+      Result.bind (list_field "rows" j)
+        (map_result (fun row ->
+             let* platform = string_field "platform" row in
+             let* ok = bool_field "ok" row in
+             if ok then
+               let* traffic = int_field "traffic" row in
+               let* traffic_bytes = int_field "traffic_bytes" row in
+               let* macs = int_field "macs" row in
+               let* cycles = int_field "cycles" row in
+               let* utilization = float_field "utilization" row in
+               Ok
+                 { platform;
+                   cells =
+                     Ok { traffic; traffic_bytes; macs; cycles; utilization } }
+             else
+               let* e = string_field "error" row in
+               Ok { platform; cells = Error e }))
+    in
+    Ok (R_eval rows)
+  | "chain_full" ->
+    let* traffic = int_field "traffic" j in
+    let* fused_bound = int_field "fused_bound" j in
+    Ok (R_chain (Full_fusion { traffic; fused_bound }))
+  | "chain_pairwise" ->
+    let* traffic = int_field "traffic" j in
+    let* segments =
+      Result.bind (list_field "segments" j)
+        (map_result (fun seg ->
+             let* kind = string_field "kind" seg in
+             match kind with
+             | "solo" ->
+               let* t = int_field "traffic" seg in
+               Ok (Solo_seg t)
+             | "fused" ->
+               let* pattern = string_field "pattern" seg in
+               let* t = int_field "traffic" seg in
+               Ok (Fused_seg (pattern, t))
+             | k -> Error (Printf.sprintf "store: unknown segment kind %S" k)))
+    in
+    Ok (R_chain (Pairwise { traffic; segments }))
+  | "plan_model" ->
+    let* nodes = int_field "nodes" j in
+    let* plan_groups =
+      Result.bind (list_field "groups" j)
+        (map_result (fun g ->
+             let* members =
+               Result.bind (list_field "members" g) (map_result Json.to_string_v)
+             in
+             let* count = int_field "count" g in
+             let* ops = int_field "ops" g in
+             let* group_traffic = int_field "traffic" g in
+             let* group_hidden = int_field "hidden" g in
+             Ok { members; count; ops; group_traffic; group_hidden }))
+    in
+    let* fused_edges =
+      Result.bind (list_field "fused_edges" j) (map_result Json.to_string_v)
+    in
+    let* traffic = int_field "traffic" j in
+    let* hidden = int_field "hidden" j in
+    let* effective = int_field "effective" j in
+    let* unfused_traffic = int_field "unfused_traffic" j in
+    let* unfused_effective = int_field "unfused_effective" j in
+    let* candidate_edges = int_field "candidate_edges" j in
+    let* components = int_field "components" j in
+    let* dp_states = int_field "dp_states" j in
+    let* bnb_nodes = int_field "bnb_nodes" j in
+    let* bnb_pruned = int_field "bnb_pruned" j in
+    Ok
+      (R_plan_model
+         { nodes; plan_groups; fused_edges; traffic; hidden; effective;
+           unfused_traffic; unfused_effective; candidate_edges; components;
+           dp_states; bnb_nodes; bnb_pruned })
+  | t -> Error (Printf.sprintf "store: unknown outcome tag %S" t)

@@ -189,6 +189,16 @@ type outcome =
   | R_chain of chain_result
   | R_plan_model of plan_model_result
 
+val outcome_to_json : outcome -> Json.t
+(** Structural encoding for the persistent plan store ({!Store}): every
+    variant is tagged and every field round-trips exactly, unlike the
+    human-facing [result] payload (which has no inverse). *)
+
+val outcome_of_json : Json.t -> (outcome, string) result
+(** Inverse of {!outcome_to_json}; [Error] on unknown tags or missing /
+    ill-typed fields (a store record from a future schema is treated as
+    damage and dropped, never guessed at). *)
+
 val apply_transform : transform -> outcome -> outcome
 (** Map an outcome computed on the canonical call back to the request's
     original orientation. Only {!R_intra} carries orientation-dependent

@@ -1,0 +1,315 @@
+module Hash = Fusecu_util.Hash
+module Json = Fusecu_util.Json
+module Log = Fusecu_util.Log
+
+(* The sharding front end: consistent-hashes each request's canonical
+   cache key onto one of N backend sockets (each an ordinary
+   [serve --socket] process), forwards the raw NDJSON line, and
+   reassembles responses in request order.
+
+   Determinism argument (DESIGN.md §9): a backend's response bytes for a
+   call depend only on the call — canonicalization runs on every
+   request, and cache state only decides whether a plan is recomputed,
+   never what it is (the PR 2 invariant, re-proven per mapper in PR 6).
+   Routing by canonical key keeps each key's traffic on one shard (so
+   caches still deduplicate), and order reassembly makes the output
+   stream a permutation-free merge: the transcript is byte-identical
+   for every shard count, cold or warm. Control lines are the one
+   exception — [stats]/[metrics] counters are per-process state, so
+   they are pinned to backend 0 (a 1-shard tier reproduces the
+   single-server transcript exactly, control lines included) and
+   excluded from cross-shard-count comparisons.
+
+   Plumbing: one reader thread per backend pushes response lines into
+   that backend's FIFO; the forwarding loop never waits for responses
+   (a backend holds requests in a batch until it flushes, so
+   stop-and-wait would deadlock against batching); an emitter thread
+   pops (request order → backend) assignments and blocks on the right
+   FIFO. Per-backend ordering is guaranteed by the server (responses in
+   request order per connection), which is all the emitter needs. *)
+
+type backend = {
+  index : int;
+  fd : Unix.file_descr;
+  reader : Server.Line_reader.t;
+  lines : string Queue.t;  (* response FIFO, reader thread -> emitter *)
+  mutable closed : bool;  (* reader saw EOF/timeout; no more lines *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+}
+
+type config = { idle_timeout : float; max_line : int; vnodes : int }
+
+let default_config = { idle_timeout = 30.; max_line = 1 lsl 20; vnodes = 64 }
+
+(* ------------------------------------------------------------------ *)
+(* Consistent-hash ring                                                *)
+
+(* Ring points are hashed from backend *indices*, not socket paths, so
+   the ring — and therefore every key's placement — is a pure function
+   of the shard count: stable across restarts and across machines. *)
+let build_ring ~vnodes n =
+  let points =
+    Array.init (n * vnodes) (fun i ->
+        let b = i / vnodes and v = i mod vnodes in
+        (Hash.fnv1a64_positive (Printf.sprintf "backend-%d-vnode-%d" b v), b))
+  in
+  Array.sort compare points;
+  points
+
+let ring_lookup ring h =
+  let n = Array.length ring in
+  (* first point with hash >= h, wrapping to ring.(0) *)
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst ring.(mid) < h then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  let i = bsearch 0 n in
+  snd ring.(if i = n then 0 else i)
+
+(* Where a raw request line goes. Calls route by canonical cache key —
+   the same string that keys the plan cache and the store, so one key's
+   repeats always land on the shard that cached it. Rejects route by the
+   raw line (any backend computes identical reject bytes; hashing just
+   spreads the load). *)
+type routing =
+  | To of int  (** forward to one backend *)
+  | Broadcast  (** shutdown: every backend must stop *)
+
+let route_line ring line =
+  match Protocol.parse_line line with
+  | Ok (_, Protocol.Call c) ->
+    let canonical, _ = Protocol.canonicalize c in
+    To (ring_lookup ring (Hash.fnv1a64_positive (Protocol.cache_key canonical)))
+  | Ok (_, (Protocol.Stats | Protocol.Metrics_req)) -> To 0
+  | Ok (_, Protocol.Shutdown) -> Broadcast
+  | Error _ -> To (ring_lookup ring (Hash.fnv1a64_positive line))
+
+(* ------------------------------------------------------------------ *)
+(* Backend plumbing                                                    *)
+
+let connect_backend ~index path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+    { index;
+      fd;
+      reader = Server.Line_reader.create fd;
+      lines = Queue.create ();
+      closed = false;
+      mutex = Mutex.create ();
+      cond = Condition.create () }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    failwith
+      (Printf.sprintf "route: cannot connect to backend %s: %s" path
+         (Unix.error_message err))
+
+let reader_loop ~stop ~config b () =
+  let running = ref true in
+  while !running do
+    match
+      Server.Line_reader.read ~stop ~idle_timeout:config.idle_timeout
+        ~max_line:config.max_line b.reader
+    with
+    | Server.Line_reader.Line l ->
+      Mutex.lock b.mutex;
+      Queue.add l b.lines;
+      Condition.signal b.cond;
+      Mutex.unlock b.mutex
+    | Eof | Timeout | Oversized | Stopped ->
+      Mutex.lock b.mutex;
+      b.closed <- true;
+      Condition.broadcast b.cond;
+      Mutex.unlock b.mutex;
+      running := false
+  done
+
+(* Pop the next response from a backend; [None] when it closed without
+   delivering one (death mid-request — the emitter substitutes an error
+   line so the client still gets one response per request). *)
+let pop_line b =
+  Mutex.lock b.mutex;
+  let rec go () =
+    if not (Queue.is_empty b.lines) then Some (Queue.pop b.lines)
+    else if b.closed then None
+    else begin
+      Condition.wait b.cond b.mutex;
+      go ()
+    end
+  in
+  let r = go () in
+  Mutex.unlock b.mutex;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* The front loop                                                      *)
+
+type order_entry =
+  | Expect of int  (** emit the next line from this backend *)
+  | Expect_broadcast
+      (** shutdown fan-out: emit backend 0's ack, discard the rest *)
+  | Done
+
+let run ?(config = default_config) ~backends ~input ~output () =
+  if backends = [] then invalid_arg "Router.run: no backends";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let bs = List.mapi (fun i path -> connect_backend ~index:i path) backends in
+  let barr = Array.of_list bs in
+  let n = Array.length barr in
+  let ring = build_ring ~vnodes:config.vnodes n in
+  let stop = Atomic.make false in
+  let readers =
+    Array.map (fun b -> Thread.create (reader_loop ~stop ~config b) ()) barr
+  in
+  let order = Queue.create () in
+  let omutex = Mutex.create () in
+  let ocond = Condition.create () in
+  let push_order e =
+    Mutex.lock omutex;
+    Queue.add e order;
+    Condition.signal ocond;
+    Mutex.unlock omutex
+  in
+  let backend_error b =
+    Protocol.response_error ~id:Json.Null ~code:Protocol.Bad_request
+      ~message:
+        (Printf.sprintf "router: backend %d closed before responding" b)
+  in
+  let emitter =
+    Thread.create
+      (fun () ->
+        let running = ref true in
+        while !running do
+          Mutex.lock omutex;
+          while Queue.is_empty order do
+            Condition.wait ocond omutex
+          done;
+          let entry = Queue.pop order in
+          Mutex.unlock omutex;
+          match entry with
+          | Done -> running := false
+          | Expect i ->
+            let line =
+              match pop_line barr.(i) with
+              | Some l -> l
+              | None -> backend_error i
+            in
+            output_string output line;
+            output_char output '\n';
+            flush output
+          | Expect_broadcast ->
+            let line =
+              match pop_line barr.(0) with
+              | Some l -> l
+              | None -> backend_error 0
+            in
+            (* the other backends' acks are intentionally left in their
+               FIFOs: one request, one response line *)
+            output_string output line;
+            output_char output '\n';
+            flush output
+        done)
+      ()
+  in
+  let send b line =
+    try
+      Server.write_all ~idle_timeout:config.idle_timeout b.fd (line ^ "\n");
+      true
+    with
+    | Server.Write_stalled -> false
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      false
+  in
+  let shutting_down = ref false in
+  (try
+     while not !shutting_down do
+       match In_channel.input_line input with
+       | None -> shutting_down := true
+       | Some line -> (
+         match route_line ring line with
+         | To i ->
+           if send barr.(i) line then push_order (Expect i)
+           else push_order (Expect i) (* reader marks closed; emitter
+                                         substitutes the error line *)
+         | Broadcast ->
+           Array.iter (fun b -> ignore (send b line)) barr;
+           push_order Expect_broadcast;
+           shutting_down := true)
+     done
+   with Sys_error _ -> ());
+  (* Half-close every backend: the servers see EOF, flush their final
+     partial batch, respond, and close — exactly the drain an ordinary
+     client disconnect gets. *)
+  Array.iter
+    (fun b ->
+      try Unix.shutdown b.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+    barr;
+  push_order Done;
+  Thread.join emitter;
+  Atomic.set stop true;
+  Array.iter Thread.join readers;
+  Array.iter
+    (fun b -> try Unix.close b.fd with Unix.Unix_error _ -> ())
+    barr
+
+(* ------------------------------------------------------------------ *)
+(* Spawning a local shard fleet                                        *)
+
+(* Fork one [serve --socket] child per shard. Used by the [route]
+   subcommand when the caller wants the router to own its backends
+   rather than connect to externally-managed ones. The child re-execs
+   nothing: it runs [Server.serve_socket] directly on a fresh engine in
+   the forked image, so flags (mapper, cache size, store) are plain
+   OCaml values. *)
+type child = { pid : int; socket : string }
+
+let wait_for_socket ?(timeout = 10.) path =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_SOCK -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      if Unix.gettimeofday () >= deadline then false
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+      end
+  in
+  go ()
+
+let spawn_shard ?batch ~make_engine ~socket ~server_config i =
+  (* don't let the child inherit (and re-flush at exit) buffered output *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* child: serve until shutdown/SIGTERM, then exit — never return to
+       the caller's code *)
+    let status =
+      try
+        let engine : Engine.t = make_engine i in
+        Server.serve_socket engine ?batch ~config:server_config ~path:socket ();
+        (match Engine.store engine with
+        | Some s -> Store.close s
+        | None -> ());
+        0
+      with e ->
+        prerr_endline ("route shard: " ^ Printexc.to_string e);
+        1
+    in
+    Stdlib.exit status
+  | pid -> { pid; socket }
+
+let stop_children children =
+  List.iter
+    (fun c -> try Unix.kill c.pid Sys.sigterm with Unix.Unix_error _ -> ())
+    children;
+  List.iter
+    (fun c ->
+      try ignore (Unix.waitpid [] c.pid) with Unix.Unix_error _ -> ())
+    children

@@ -1,0 +1,71 @@
+(** The sharding front end ([route] subcommand): consistent-hashes each
+    request's canonical cache key onto one of N backend sockets (each an
+    ordinary [serve --socket] server), forwards the raw NDJSON lines,
+    and reassembles responses in request order.
+
+    {b Determinism.} Response bytes for a call depend only on the call
+    (canonicalization runs on every request; cache state decides whether
+    a plan is recomputed, never what it is), so the reassembled
+    transcript is byte-identical for every shard count and across
+    cold/warm stores. [stats]/[metrics] are the exception — their
+    counters are per-process — so they are pinned to backend 0: a
+    1-shard tier reproduces the single-server transcript exactly,
+    control lines included, and cross-shard-count comparisons exclude
+    control lines. [shutdown] is broadcast to every backend; the client
+    sees backend 0's (byte-identical) ack.
+
+    {b Placement.} The ring hashes backend indices, not socket paths
+    ({!Fusecu_util.Hash.fnv1a64_positive}, 64 virtual nodes per backend
+    by default), so a key's shard is a pure function of the shard
+    count — stable across restarts, which is what lets each shard's
+    persistent store stay authoritative for its keys. *)
+
+type config = {
+  idle_timeout : float;
+      (** per-backend read/write liveness bound, as in
+          {!Server.socket_config} *)
+  max_line : int;  (** longest accepted backend response line *)
+  vnodes : int;  (** virtual nodes per backend on the hash ring *)
+}
+
+val default_config : config
+(** 30 s, 1 MiB, 64 vnodes. *)
+
+val run :
+  ?config:config ->
+  backends:string list ->
+  input:in_channel ->
+  output:out_channel ->
+  unit ->
+  unit
+(** Connect to the backend sockets, then pump [input] to EOF (or an
+    in-band [shutdown], which is broadcast): one response line per
+    request line, in request order. A backend that dies mid-request
+    yields a [bad_request] error line for each of its outstanding
+    requests rather than wedging the stream. Raises [Failure] when a
+    backend socket cannot be connected, [Invalid_argument] on an empty
+    backend list. *)
+
+(** {1 Spawning a local shard fleet} *)
+
+type child = { pid : int; socket : string }
+
+val wait_for_socket : ?timeout:float -> string -> bool
+(** Poll until [path] exists as a socket (a forked shard has bound it)
+    or the timeout elapses. *)
+
+val spawn_shard :
+  ?batch:int ->
+  make_engine:(int -> Engine.t) ->
+  socket:string ->
+  server_config:Server.socket_config ->
+  int ->
+  child
+(** Fork a shard process serving [socket]: the child builds its engine
+    via [make_engine i] (shard index — e.g. to open a per-shard store),
+    runs {!Server.serve_socket} until shutdown, closes the engine's
+    store, and exits. *)
+
+val stop_children : child list -> unit
+(** SIGTERM then reap every child (each drains gracefully — PR 3's
+    signal handling). *)

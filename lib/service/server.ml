@@ -186,6 +186,23 @@ let write_all ~idle_timeout fd s =
   in
   go 0
 
+(* Re-export the transport primitives for other line-protocol front
+   ends (the {!Router}): same select-sliced reads, idle deadlines,
+   line bounds and stalled-write protection as server connections. *)
+module Line_reader = struct
+  type t = reader
+
+  type result = read_result =
+    | Line of string
+    | Eof
+    | Timeout
+    | Oversized
+    | Stopped
+
+  let create = reader_of_fd
+  let read = read_line
+end
+
 (* ------------------------------------------------------------------ *)
 (* Socket mode                                                         *)
 

@@ -50,6 +50,39 @@ val serve_socket :
     [Invalid_argument] on a non-positive [max_conns]/[max_line], and
     [Unix.Unix_error] on bind/listen failures. *)
 
+(** {1 Line transport primitives}
+
+    The server's select-based bounded line reader and stall-protected
+    writer, re-exported so other line-protocol front ends (the
+    {!Router}) reuse the exact timeout/backpressure machinery instead of
+    reimplementing it. *)
+
+module Line_reader : sig
+  type t
+
+  type result =
+    | Line of string
+    | Eof
+    | Timeout  (** no complete line within the idle timeout *)
+    | Oversized  (** line exceeded [max_line] before its newline *)
+    | Stopped  (** [stop] flag was set *)
+
+  val create : Unix.file_descr -> t
+
+  val read :
+    stop:bool Atomic.t -> idle_timeout:float -> max_line:int -> t -> result
+  (** One line, or the reason there is none. A partial line at EOF is
+      returned as a line; the idle deadline covers the whole wait for
+      one complete line (slow-loris-proof); [idle_timeout <= 0.]
+      disables the deadline. *)
+end
+
+exception Write_stalled
+
+val write_all : idle_timeout:float -> Unix.file_descr -> string -> unit
+(** Write the whole string, bounded by [idle_timeout] of write-readiness
+    waiting; raises {!Write_stalled} when the peer stops reading. *)
+
 (** {1 Metrics exporter} *)
 
 type exporter

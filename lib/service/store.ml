@@ -1,0 +1,241 @@
+module Hash = Fusecu_util.Hash
+module Json = Fusecu_util.Json
+module Log = Fusecu_util.Log
+
+(* On-disk format: one record per line,
+
+     CCCCCCCC {"k":<cache key>,"o":<outcome>}\n
+
+   where CCCCCCCC is the lowercase %08x CRC-32 of everything after the
+   single separating space. The payload is compact JSON from the
+   deterministic printer, so a record is byte-reproducible from its
+   (key, outcome) pair. Appends go through a write-behind queue drained
+   by a flusher thread — the engine's sequential drain phase never
+   blocks on disk. Recovery reads records in order until the first
+   damaged one (short frame, bad hex, CRC mismatch, unparseable payload,
+   or a final line without its newline — a torn append) and drops the
+   rest: bytes past the first damage have no trustworthy framing, and
+   the append-only discipline means everything before it is intact.
+   Later records win on duplicate keys, so re-computation after eviction
+   simply supersedes the old record; compaction rewrites one record per
+   live key into a temp file and atomically renames it over the log. *)
+
+type recovery = {
+  entries : (string * Protocol.outcome) list;  (** file order, deduped *)
+  records : int;  (** valid records read (before dedup) *)
+  dropped_records : int;
+  dropped_bytes : int;
+}
+
+type t = {
+  path : string;
+  mutable fd : Unix.file_descr;
+  queue : (string * Protocol.outcome) Queue.t;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* signalled on enqueue and on stop *)
+  drained : Condition.t;  (* signalled when the queue empties *)
+  mutable stop : bool;
+  mutable flusher : Thread.t option;
+  mutable appended : int;
+  recovery : recovery;
+}
+
+let frame key outcome =
+  let payload =
+    Json.print
+      (Json.Obj [ ("k", Json.String key); ("o", Protocol.outcome_to_json outcome) ])
+  in
+  Printf.sprintf "%08x %s\n" (Hash.crc32 payload) payload
+
+let parse_record line =
+  let n = String.length line in
+  if n < 10 || line.[8] <> ' ' then Error "short or unframed record"
+  else
+    let crc_hex = String.sub line 0 8 in
+    match int_of_string_opt ("0x" ^ crc_hex) with
+    | None -> Error "bad CRC hex"
+    | Some crc ->
+      let payload = String.sub line 9 (n - 9) in
+      if Hash.crc32 payload <> crc then Error "CRC mismatch"
+      else (
+        match Json.parse payload with
+        | Error e -> Error e
+        | Ok j -> (
+          match (Json.member "k" j, Json.member "o" j) with
+          | Some (Json.String k), Some o -> (
+            match Protocol.outcome_of_json o with
+            | Ok outcome -> Ok (k, outcome)
+            | Error e -> Error e)
+          | _ -> Error "payload is not {\"k\":...,\"o\":...}"))
+
+let recover path =
+  if not (Sys.file_exists path) then
+    { entries = []; records = 0; dropped_records = 0; dropped_bytes = 0 }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    let tbl = Hashtbl.create 256 in
+    let order = ref [] in
+    let records = ref 0 in
+    let pos = ref 0 in
+    let damaged = ref false in
+    while (not !damaged) && !pos < len do
+      match String.index_from_opt raw !pos '\n' with
+      | None -> damaged := true (* torn final append: no newline *)
+      | Some nl -> (
+        let line = String.sub raw !pos (nl - !pos) in
+        match parse_record line with
+        | Error _ -> damaged := true
+        | Ok (k, outcome) ->
+          incr records;
+          if not (Hashtbl.mem tbl k) then order := k :: !order;
+          Hashtbl.replace tbl k outcome;
+          pos := nl + 1)
+    done;
+    let dropped_bytes = if !damaged then len - !pos else 0 in
+    let dropped_records =
+      (* count newline-framed lines in the damaged tail, + a trailing
+         fragment if the file does not end in '\n' *)
+      if not !damaged then 0
+      else begin
+        let lines = ref 0 in
+        let has_fragment = ref false in
+        String.iteri
+          (fun i c ->
+            if i >= !pos then
+              if c = '\n' then (incr lines; has_fragment := false)
+              else has_fragment := true)
+          raw;
+        !lines + if !has_fragment then 1 else 0
+      end
+    in
+    { entries =
+        List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order;
+      records = !records;
+      dropped_records;
+      dropped_bytes }
+  end
+
+let write_string fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let flusher_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.cond t.mutex
+    done;
+    let batch = Queue.create () in
+    Queue.transfer t.queue batch;
+    if t.stop && Queue.is_empty batch then running := false;
+    Mutex.unlock t.mutex;
+    if not (Queue.is_empty batch) then begin
+      let buf = Buffer.create 1024 in
+      Queue.iter (fun (k, o) -> Buffer.add_string buf (frame k o)) batch;
+      write_string t.fd (Buffer.contents buf);
+      Mutex.lock t.mutex;
+      t.appended <- t.appended + Queue.length batch;
+      Condition.broadcast t.drained;
+      Mutex.unlock t.mutex
+    end
+  done;
+  Mutex.lock t.mutex;
+  Condition.broadcast t.drained;
+  Mutex.unlock t.mutex
+
+let open_append path =
+  Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+
+let open_ ~path =
+  match recover path with
+  | exception Sys_error e -> Error (Printf.sprintf "store %s: %s" path e)
+  | recovery ->
+    (match open_append path with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "store %s: %s" path (Unix.error_message err))
+    | fd ->
+      (* A damaged tail would corrupt the next append (its first bytes
+         would graft onto the torn fragment), so truncate it away. *)
+      if recovery.dropped_bytes > 0 then begin
+        let keep =
+          (Unix.fstat fd).Unix.st_size - recovery.dropped_bytes
+        in
+        Unix.ftruncate fd keep;
+        Log.warn "store recovery dropped damaged tail"
+          ~fields:
+            [ ("path", Json.String path);
+              ("dropped_records", Json.Int recovery.dropped_records);
+              ("dropped_bytes", Json.Int recovery.dropped_bytes) ]
+      end;
+      let t =
+        { path;
+          fd;
+          queue = Queue.create ();
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          drained = Condition.create ();
+          stop = false;
+          flusher = None;
+          appended = 0;
+          recovery }
+      in
+      t.flusher <- Some (Thread.create flusher_loop t);
+      Ok t)
+
+let recovered t = t.recovery
+
+let append t key outcome =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    Queue.add (key, outcome) t.queue;
+    Condition.signal t.cond
+  end;
+  Mutex.unlock t.mutex
+
+let flush t =
+  Mutex.lock t.mutex;
+  while not (Queue.is_empty t.queue) do
+    Condition.wait t.drained t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let appended t =
+  Mutex.lock t.mutex;
+  let n = t.appended in
+  Mutex.unlock t.mutex;
+  n
+
+let compact t entries =
+  flush t;
+  let tmp = t.path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    List.iter (fun (k, o) -> output_string oc (frame k o)) entries;
+    close_out oc;
+    Sys.rename tmp t.path
+  with
+  | exception Sys_error e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Printf.sprintf "store compact %s: %s" t.path e)
+  | () ->
+    (* the append fd still points at the old inode; reopen on the new *)
+    Unix.close t.fd;
+    t.fd <- open_append t.path;
+    Ok ()
+
+let close t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  (match t.flusher with Some th -> Thread.join th | None -> ());
+  t.flusher <- None;
+  Unix.close t.fd

@@ -1,0 +1,64 @@
+(** The persistent plan store: an append-only, CRC-framed NDJSON log of
+    [(canonical cache key, outcome)] records, so plan caches survive
+    restarts and warm instantly.
+
+    {b Format.} One record per line:
+    [CCCCCCCC {"k":<cache key>,"o":<outcome>}\n] where [CCCCCCCC] is the
+    lowercase hex CRC-32 ({!Fusecu_util.Hash.crc32}) of the payload
+    after the single separating space, and the payload is compact JSON
+    from the deterministic printer ({!Protocol.outcome_to_json}).
+
+    {b Recovery invariant.} Records are valid up to the first damaged
+    one (short frame, bad hex, CRC mismatch, unparseable payload, or a
+    torn final append without its newline); everything from the first
+    damage onward is dropped — append-only writing means every earlier
+    byte is intact, and framing after a damaged record cannot be
+    trusted. The damaged tail is also truncated from the file on open so
+    subsequent appends never graft onto a torn fragment. Later records
+    win on duplicate keys (re-computation after LRU eviction supersedes
+    the old record).
+
+    {b Write-behind.} {!append} only enqueues; a dedicated flusher
+    thread batches frames to the append-mode fd, so the engine's
+    sequential drain phase never blocks on disk. {!flush} waits for the
+    queue to empty (tests and compaction); {!close} drains and joins.
+
+    {b Compaction.} {!compact} writes one record per live entry to
+    [path ^ ".tmp"] and atomically renames it over the log, then reopens
+    the append fd on the new inode — a reader or a crash sees either the
+    old log or the new one, never a half-written file. *)
+
+type t
+
+type recovery = {
+  entries : (string * Protocol.outcome) list;
+      (** first-seen key order, later duplicates folded in *)
+  records : int;  (** valid records read, before dedup *)
+  dropped_records : int;  (** line-shaped fragments in the damaged tail *)
+  dropped_bytes : int;
+}
+
+val open_ : path:string -> (t, string) result
+(** Recover [path] (created if absent), truncate any damaged tail, and
+    start the flusher thread. *)
+
+val recovered : t -> recovery
+(** What {!open_} found — feed [entries] to {!Cache.add} to warm-load. *)
+
+val append : t -> string -> Protocol.outcome -> unit
+(** Enqueue one record for the flusher; never blocks on disk. Silently
+    dropped after {!close} (shutdown races are benign: the store is a
+    cache of recomputable plans, not a system of record). *)
+
+val flush : t -> unit
+(** Block until every enqueued record has been written to the fd. *)
+
+val appended : t -> int
+(** Records written by the flusher since {!open_}. *)
+
+val compact : t -> (string * Protocol.outcome) list -> (unit, string) result
+(** Atomically replace the log with exactly [entries] (e.g. from
+    {!Cache.fold_entries}). Drains the queue first. *)
+
+val close : t -> unit
+(** Drain, join the flusher, close the fd. *)

@@ -1,0 +1,42 @@
+(* FNV-1a and CRC-32, written out longhand so the service tier has
+   stable, full-string hashes with no dependency on the compiler's
+   polymorphic hash (whose bounded traversal ignores the tails of long
+   keys and changes across OCaml releases — unacceptable for on-disk
+   formats and shard routing). *)
+
+(* The 64-bit FNV offset basis truncated to OCaml's 63-bit [int]
+   (0xcbf29ce484222325 land max_int); multiplication already wraps mod
+   2^63, so this is a 63-bit FNV-1a variant — stable as long as every
+   consumer uses this one function (see the .mli). *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  !h
+
+let fnv1a64_positive s = fnv1a64 s land max_int
+
+(* Standard reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the
+   same function `zlib` computes: little-endian bit order, initial and
+   final XOR of all-ones. Table-driven, one entry per byte value. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(init = 0) s =
+  let table = Lazy.force crc_table in
+  let c = ref (init lxor 0xFFFFFFFF) in
+  for i = 0 to String.length s - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF

@@ -1,0 +1,21 @@
+(** Stable string hashes for shard routing and on-disk framing.
+
+    [Hashtbl.hash] is unsuitable for both jobs: its traversal is bounded
+    (long canonical keys differing only in their tails collide, skewing
+    shard occupancy) and its value is not a stable format commitment.
+    These are: FNV-1a with the standard 64-bit offset/prime, and the
+    zlib-compatible reflected CRC-32. Both hash every byte. *)
+
+val fnv1a64 : string -> int
+(** Full-string 64-bit FNV-1a (computed in OCaml's 63-bit [int]; the
+    top bit of the 64-bit reference value is lost, which is fine for
+    routing and fingerprinting as long as every consumer uses this same
+    function). *)
+
+val fnv1a64_positive : string -> int
+(** [fnv1a64 s land max_int] — non-negative, for [mod]-style bucketing
+    and consistent-hash rings. *)
+
+val crc32 : ?init:int -> string -> int
+(** IEEE CRC-32 of [s] in [\[0, 0xFFFFFFFF\]]; [init] chains a previous
+    CRC across fragments ([crc32 ~init:(crc32 a) b = crc32 (a ^ b)]). *)

@@ -201,16 +201,33 @@ let parse s =
          | 'u' ->
            advance ();
            let c = parse_hex4 () in
+           (* Surrogates are only meaningful as a \uD800-DBFF/\uDC00-DFFF
+              pair; a lone half is not a Unicode scalar value, and
+              [add_utf8] would emit ill-formed UTF-8 that strict
+              consumers reject. Fail instead of passing it through. *)
            let c =
-             if c >= 0xD800 && c <= 0xDBFF && !pos + 2 <= n
-                && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
-             then begin
-               pos := !pos + 2;
-               let lo = parse_hex4 () in
-               if lo >= 0xDC00 && lo <= 0xDFFF then
-                 0x10000 + ((c - 0xD800) lsl 10) + (lo - 0xDC00)
-               else fail "invalid low surrogate"
+             if c >= 0xD800 && c <= 0xDBFF then begin
+               if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let lo = parse_hex4 () in
+                 if lo >= 0xDC00 && lo <= 0xDFFF then
+                   0x10000 + ((c - 0xD800) lsl 10) + (lo - 0xDC00)
+                 else
+                   fail
+                     (Printf.sprintf
+                        "invalid \\u escape: high surrogate %04X followed by \
+                         %04X, not a low surrogate" c lo)
+               end
+               else
+                 fail
+                   (Printf.sprintf
+                      "invalid \\u escape: unpaired high surrogate %04X" c)
              end
+             else if c >= 0xDC00 && c <= 0xDFFF then
+               fail
+                 (Printf.sprintf
+                    "invalid \\u escape: unpaired low surrogate %04X" c)
              else c
            in
            add_utf8 buf c

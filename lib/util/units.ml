@@ -43,7 +43,13 @@ let parse_bytes s =
     | Some digits when digits <> "" -> (
       let digits = String.trim digits in
       match int_of_string_opt digits with
-      | Some n when n >= 0 -> Some (Ok (n * mult))
+      | Some n when n >= 0 ->
+        (* The float path below already rejects products past [max_int];
+           the integer path must too — [n * mult] silently wraps (e.g.
+           "8388609TB"), and a negative byte count would sail through
+           every downstream [>= 0] check as a giant allocation. *)
+        if mult > 0 && n > max_int / mult then Some (invalid ())
+        else Some (Ok (n * mult))
       | Some _ -> Some (invalid ())
       | None -> (
         match float_of_string_opt digits with

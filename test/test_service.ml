@@ -58,6 +58,45 @@ let test_json_parse_errors () =
       "1e"; "-"; "1 2"; "[]]"; "{\"a\":1}x"; "\"unterminated\\\"";
       "\x01"; "\"raw\ncontrol\"" ]
 
+(* \u escapes in the surrogate range are only valid as a high+low pair;
+   a lone half used to reach the UTF-8 encoder and emit CESU-8-style
+   bytes no conforming decoder accepts *)
+let test_json_surrogates () =
+  let ok v s =
+    match Json.parse s with
+    | Ok v' -> check_bool (Printf.sprintf "parse %S" s) true (Json.equal v v')
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  in
+  (* paired: decodes to the astral code point and round-trips *)
+  ok (Json.String "\xf0\x9d\x84\x9e") "\"\\uD834\\uDD1E\"";
+  (match Json.parse "\"\\ud834\\udd1e\"" with
+  | Ok v ->
+    check_bool "pair round-trips" true
+      (Json.parse (Json.print v) = Ok v)
+  | Error e -> Alcotest.failf "surrogate pair rejected: %s" e);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let rejects s =
+    match Json.parse s with
+    | Ok v ->
+      Alcotest.failf "accepted %S as %s" s (Json.print v)
+    | Error e ->
+      check_bool
+        (Printf.sprintf "%S error names the escape" s)
+        true
+        (contains e "invalid \\u escape")
+  in
+  rejects "\"\\uD834\"" (* lone high at end of string *);
+  rejects "\"\\uD834x\"" (* lone high, ordinary char follows *);
+  rejects "\"\\uD834\\n\"" (* lone high, non-\u escape follows *);
+  rejects "\"\\uD834\\u0041\"" (* high followed by a non-low escape *);
+  rejects "\"\\uD834\\uD834\"" (* high followed by another high *);
+  rejects "\"\\uDD1E\"" (* lone low *);
+  rejects "\"a\\uDC00b\"" (* lone low mid-string *)
+
 let gen_json =
   let open QCheck.Gen in
   sized
@@ -145,6 +184,55 @@ let prop_cache_never_exceeds_capacity =
       List.iteri (fun i k -> Cache.add c k i) keys;
       let per_shard = (cap + shards - 1) / shards in
       (Cache.stats c).Cache.entries <= min shards cap * per_shard)
+
+(* [stats] must be a consistent snapshot — all shard locks held at
+   once. The old shard-at-a-time read could observe an [add] between
+   shards and return an [entries] total exceeding the capacity bound,
+   or counters from different instants. Hammer the cache from writer
+   threads while a reader polls, and require every snapshot to respect
+   the capacity invariant and per-field monotonicity. *)
+let test_cache_snapshot_consistent_under_load () =
+  let shards = 4 and cap = 64 in
+  let per_shard = (cap + shards - 1) / shards in
+  let bound = shards * per_shard in
+  let c = Cache.create ~shards ~capacity:cap () in
+  let torn = Atomic.make 0 in
+  let live = Atomic.make 4 in
+  let writers =
+    Array.init 4 (fun w ->
+        Thread.create
+          (fun () ->
+            for i = 0 to 4999 do
+              let k = Printf.sprintf "w%d-%d" w (i mod 512) in
+              (match Cache.find c k with
+              | Some _ -> ()
+              | None -> Cache.add c k i);
+              (* systhreads only preempt at blocking points: yield so
+                 the snapshot reader actually interleaves *)
+              if i mod 64 = 0 then Thread.yield ()
+            done;
+            Atomic.decr live)
+          ())
+  in
+  let prev = ref (Cache.stats c) in
+  while Atomic.get live > 0 do
+    let st = Cache.stats c in
+    if st.Cache.entries > bound then Atomic.incr torn;
+    if
+      st.Cache.hits < !prev.Cache.hits
+      || st.Cache.misses < !prev.Cache.misses
+      || st.Cache.evictions < !prev.Cache.evictions
+    then Atomic.incr torn;
+    let occ = Cache.shard_occupancy c in
+    if List.fold_left ( + ) 0 occ > bound then Atomic.incr torn;
+    if List.exists (fun n -> n > per_shard) occ then Atomic.incr torn;
+    prev := st;
+    Thread.yield ()
+  done;
+  Array.iter Thread.join writers;
+  check_int "torn snapshots" 0 (Atomic.get torn);
+  let st = Cache.stats c in
+  check_bool "saw traffic" true (st.Cache.hits + st.Cache.misses > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Protocol                                                            *)
@@ -342,6 +430,42 @@ let test_fixture_hit_rate_positive () =
   let st = Engine.cache_stats engine in
   check_bool "hits > 0" true (st.Cache.hits > 0);
   check_bool "hit rate > 0" true (Cache.hit_rate st > 0.)
+
+(* Full-string FNV-1a must spread keys that differ only in their tails:
+   [Hashtbl.hash]'s bounded traversal piled every such key onto one
+   shard. The long shared prefix below models canonical cache keys,
+   which open identically ("intra|m=..."). *)
+let test_cache_shard_balance () =
+  let shards = 8 and n = 1000 in
+  let c = Cache.create ~shards ~capacity:(4 * n) () in
+  let prefix = String.make 200 'p' in
+  for i = 1 to n do
+    Cache.add c (Printf.sprintf "%s|tail=%d" prefix i) i
+  done;
+  let occ = Cache.shard_occupancy c in
+  check_int "all stored" n (List.fold_left ( + ) 0 occ);
+  let expect = n / shards in
+  List.iteri
+    (fun i k ->
+      if k < expect / 2 || k > expect * 2 then
+        Alcotest.failf "shard %d holds %d of %d keys (expected ~%d)" i k n
+          expect)
+    occ;
+  (* and the engine replaying the fixture must leave no shard empty:
+     the canonical keys there share op/dimension prefixes too *)
+  let engine = Engine.create (Engine.default_config ()) in
+  ignore (Engine.handle_lines engine (Lazy.force fixture_lines));
+  let occ =
+    match Json.member "cache" (Engine.stats_result engine) with
+    | Some cache -> (
+      match Json.member "shard_entries" cache with
+      | Some (Json.List ns) ->
+        List.map (function Json.Int n -> n | _ -> -1) ns
+      | _ -> Alcotest.fail "stats_result lacks shard_entries")
+    | None -> Alcotest.fail "stats_result lacks cache"
+  in
+  check_bool "fixture leaves no shard empty" true
+    (List.for_all (fun k -> k > 0) occ)
 
 (* Verify-and-refine: the search mappers only ever replace a principle
    plan on a strict traffic improvement, and the principles are
@@ -1028,12 +1152,18 @@ let () =
     [ ( "json",
         [ Alcotest.test_case "print" `Quick test_json_print;
           Alcotest.test_case "parse" `Quick test_json_parse;
-          Alcotest.test_case "parse errors" `Quick test_json_parse_errors ] );
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "surrogate escapes" `Quick test_json_surrogates ]
+      );
       ("json-properties", qcheck [ prop_json_roundtrip; prop_json_hum_roundtrip ]);
       ( "cache",
         [ Alcotest.test_case "basics" `Quick test_cache_basics;
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
-          Alcotest.test_case "capacity zero" `Quick test_cache_capacity_zero ]
+          Alcotest.test_case "capacity zero" `Quick test_cache_capacity_zero;
+          Alcotest.test_case "snapshot consistent under load" `Quick
+            test_cache_snapshot_consistent_under_load;
+          Alcotest.test_case "shard balance (full-string hash)" `Quick
+            test_cache_shard_balance ]
         @ qcheck [ prop_cache_never_exceeds_capacity ] );
       ( "protocol",
         [ Alcotest.test_case "parse" `Quick test_protocol_parse;

@@ -1,0 +1,293 @@
+(* Persistent plan store: framing, recovery from every kind of damaged
+   tail, duplicate-key resolution, compaction, and warm-replay
+   byte-identity against the checked-in golden transcript. *)
+
+open Fusecu_util
+open Fusecu_service
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_tmp f =
+  let path = Filename.temp_file "fusecu_test" ".store" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let open_exn path =
+  match Store.open_ ~path with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* a few structurally different outcomes to persist; computed through
+   the real engine so they exercise the full outcome serializer *)
+let sample_outcomes =
+  lazy
+    (let engine = Engine.create (Engine.default_config ()) in
+     List.filter_map
+       (fun line ->
+         match Protocol.parse_line line with
+         | Ok (_, Protocol.Call c) -> (
+           let canonical, _ = Protocol.canonicalize c in
+           match Engine.compute engine canonical with
+           | Ok outcome -> Some (Protocol.cache_key canonical, outcome)
+           | Error _ -> None)
+         | _ -> None)
+       [ "{\"op\":\"intra\",\"m\":64,\"k\":48,\"l\":36,\"buffer\":\"64KB\"}";
+         "{\"op\":\"fuse\",\"m\":64,\"k\":48,\"l\":36,\"l2\":24,\"buffer\":\"64KB\"}";
+         "{\"op\":\"chain\",\"m\":32,\"ks\":[16,24,16],\"buffer\":\"64KB\"}";
+         "{\"op\":\"regime\",\"m\":64,\"k\":48,\"l\":36,\"buffer\":\"64KB\"}" ])
+
+let file_contents path = In_channel.with_open_bin path In_channel.input_all
+
+let test_roundtrip () =
+  let samples = Lazy.force sample_outcomes in
+  check_bool "have samples" true (List.length samples >= 3);
+  with_tmp (fun path ->
+      let s = open_exn path in
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      Store.flush s;
+      check_int "appended" (List.length samples) (Store.appended s);
+      Store.close s;
+      let s = open_exn path in
+      let r = Store.recovered s in
+      Store.close s;
+      check_int "records" (List.length samples) r.Store.records;
+      check_int "dropped" 0 r.Store.dropped_records;
+      check_int "dropped bytes" 0 r.Store.dropped_bytes;
+      List.iter2
+        (fun (k, o) (k', o') ->
+          check_bool ("key " ^ k) true (k = k');
+          check_bool ("outcome of " ^ k) true
+            (Json.equal
+               (Protocol.outcome_to_json o)
+               (Protocol.outcome_to_json o')))
+        samples r.Store.entries)
+
+let test_duplicate_keys_last_wins () =
+  let samples = Lazy.force sample_outcomes in
+  let k0, o0 = List.nth samples 0 and _, o1 = List.nth samples 1 in
+  with_tmp (fun path ->
+      let s = open_exn path in
+      Store.append s k0 o0;
+      Store.append s "other" o1;
+      Store.append s k0 o1 (* re-computation supersedes *);
+      Store.close s;
+      let s = open_exn path in
+      let r = Store.recovered s in
+      Store.close s;
+      check_int "records before dedup" 3 r.Store.records;
+      check_int "entries after dedup" 2 (List.length r.Store.entries);
+      match List.assoc_opt k0 r.Store.entries with
+      | Some o ->
+        check_bool "later record won" true
+          (Json.equal (Protocol.outcome_to_json o) (Protocol.outcome_to_json o1))
+      | None -> Alcotest.fail "deduped key vanished")
+
+(* every proper prefix of the file is a valid crash image: recovery
+   keeps exactly the records whose full frame (newline included)
+   survived, drops the tail, and truncates the file so appends never
+   graft onto a fragment *)
+let test_torn_tail_every_prefix () =
+  let samples = Lazy.force sample_outcomes in
+  with_tmp (fun path ->
+      let s = open_exn path in
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      Store.close s;
+      let pristine = file_contents path in
+      let total = String.length pristine in
+      (* frame boundaries: byte offsets just after each '\n' *)
+      let boundaries = ref [ 0 ] in
+      String.iteri
+        (fun i c -> if c = '\n' then boundaries := (i + 1) :: !boundaries)
+        pristine;
+      for cut = 0 to total - 1 do
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (String.sub pristine 0 cut));
+        let expected =
+          List.length (List.filter (fun b -> b <= cut && b > 0) !boundaries)
+        in
+        let s = open_exn path in
+        let r = Store.recovered s in
+        check_int
+          (Printf.sprintf "records after cut@%d" cut)
+          expected r.Store.records;
+        (* the truncated file must now be the clean prefix: reopening
+           finds no further damage *)
+        Store.close s;
+        let s = open_exn path in
+        let r2 = Store.recovered s in
+        Store.close s;
+        check_int
+          (Printf.sprintf "stable after cut@%d" cut)
+          0 r2.Store.dropped_bytes;
+        check_int
+          (Printf.sprintf "same records after cut@%d" cut)
+          expected r2.Store.records
+      done)
+
+let test_corrupt_crc_drops_tail () =
+  let samples = Lazy.force sample_outcomes in
+  with_tmp (fun path ->
+      let s = open_exn path in
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      Store.close s;
+      let pristine = file_contents path in
+      (* flip one payload byte inside the SECOND record: record 1
+         stays valid, records 2.. are dropped *)
+      let first_nl = String.index pristine '\n' in
+      let target = first_nl + 12 in
+      let bytes = Bytes.of_string pristine in
+      Bytes.set bytes target
+        (Char.chr (Char.code (Bytes.get bytes target) lxor 0x40));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc bytes);
+      let s = open_exn path in
+      let r = Store.recovered s in
+      Store.close s;
+      check_int "only the first record survives" 1 r.Store.records;
+      check_bool "tail dropped" true (r.Store.dropped_records >= 1);
+      check_int "file truncated to the clean prefix" (first_nl + 1)
+        (String.length (file_contents path)))
+
+let test_bad_hex_and_short_frames () =
+  let samples = Lazy.force sample_outcomes in
+  let k0, o0 = List.hd samples in
+  List.iter
+    (fun garbage ->
+      with_tmp (fun path ->
+          let s = open_exn path in
+          Store.append s k0 o0;
+          Store.close s;
+          let clean = file_contents path in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (clean ^ garbage));
+          let s = open_exn path in
+          let r = Store.recovered s in
+          Store.close s;
+          check_int ("clean prefix survives " ^ String.escaped garbage) 1
+            r.Store.records;
+          check_bool "garbage dropped" true (r.Store.dropped_bytes > 0)))
+    [ "zzzzzzzz {\"k\":\"x\",\"o\":null}\n" (* bad hex *);
+      "00000000 {\"k\":\"x\",\"o\":null}\n" (* wrong CRC *);
+      "short\n" (* too short for a frame *);
+      "deadbeef_{\"k\":\"x\"}\n" (* missing separator space *);
+      "deadbeef {not json}\n" (* CRC won't match; unparseable payload *) ]
+
+let test_compact_atomic_and_equivalent () =
+  let samples = Lazy.force sample_outcomes in
+  with_tmp (fun path ->
+      let s = open_exn path in
+      (* three generations of the same key plus live entries *)
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      Store.flush s;
+      (match Store.compact s samples with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (* post-compact appends land in the new file *)
+      let k0, o0 = List.hd samples in
+      Store.append s ("fresh|" ^ k0) o0;
+      Store.close s;
+      check_bool "no tmp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+      let s = open_exn path in
+      let r = Store.recovered s in
+      Store.close s;
+      check_int "compacted + post-compact append"
+        (List.length samples + 1)
+        r.Store.records;
+      check_int "no damage" 0 r.Store.dropped_bytes)
+
+(* the end-to-end bar: an engine warm-loaded from a store (even one
+   with a torn tail) must replay the fixture byte-identically to the
+   cold golden on every planning line *)
+let fixture_lines =
+  lazy
+    (let ic = open_in "fixtures/service_requests.ndjson" in
+     let rec go acc =
+       match In_channel.input_line ic with
+       | Some l -> go (l :: acc)
+       | None ->
+         close_in ic;
+         List.rev acc
+     in
+     go [])
+
+let golden_lines =
+  lazy
+    (let ic = open_in "fixtures/service_responses.golden" in
+     let rec go acc =
+       match In_channel.input_line ic with
+       | Some l -> go (l :: acc)
+       | None ->
+         close_in ic;
+         List.rev acc
+     in
+     go [])
+
+let is_stats_response line =
+  match Json.parse line with
+  | Ok r -> Json.member "op" r = Some (Json.String "stats")
+  | Error _ -> false
+
+let non_control = List.filter (fun l -> not (is_stats_response l))
+
+let test_warm_replay_matches_golden () =
+  with_tmp (fun path ->
+      let requests = Lazy.force fixture_lines in
+      let golden = Lazy.force golden_lines in
+      (* cold run with a store: must match the golden exactly, stats
+         included (warm-loading is add-only, counters start at zero) *)
+      let s = open_exn path in
+      let cold =
+        Engine.handle_lines (Engine.create ~store:s (Engine.default_config ()))
+          requests
+      in
+      Store.close s;
+      check_bool "cold run with store matches golden" true (cold = golden);
+      (* warm run: planning lines byte-identical, hits strictly up *)
+      let s = open_exn path in
+      check_bool "store has records" true
+        ((Store.recovered s).Store.records > 0);
+      let engine = Engine.create ~store:s (Engine.default_config ()) in
+      let warm = Engine.handle_lines engine requests in
+      let warm_stats = Engine.cache_stats engine in
+      Store.close s;
+      check_bool "warm planning lines match golden" true
+        (non_control warm = non_control golden);
+      check_bool "warm start raises hits" true
+        (warm_stats.Cache.hits > warm_stats.Cache.misses);
+      (* tear the tail off and replay again: still golden *)
+      let pristine = file_contents path in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub pristine 0 (String.length pristine - 9)));
+      let s = open_exn path in
+      let torn =
+        Engine.handle_lines (Engine.create ~store:s (Engine.default_config ()))
+          requests
+      in
+      Store.close s;
+      check_bool "torn-tail warm replay matches golden" true
+        (non_control torn = non_control golden))
+
+let () =
+  Alcotest.run "fusecu-store"
+    [ ( "framing",
+        [ Alcotest.test_case "append/recover round trip" `Quick test_roundtrip;
+          Alcotest.test_case "duplicate keys: last wins" `Quick
+            test_duplicate_keys_last_wins ] );
+      ( "recovery",
+        [ Alcotest.test_case "torn tail at every byte" `Quick
+            test_torn_tail_every_prefix;
+          Alcotest.test_case "corrupt CRC severs the tail" `Quick
+            test_corrupt_crc_drops_tail;
+          Alcotest.test_case "bad hex / short / junk frames" `Quick
+            test_bad_hex_and_short_frames ] );
+      ( "compaction",
+        [ Alcotest.test_case "atomic rename, appends continue" `Quick
+            test_compact_atomic_and_equivalent ] );
+      ( "replay",
+        [ Alcotest.test_case "warm replay byte-identical to golden" `Quick
+            test_warm_replay_matches_golden ] ) ]

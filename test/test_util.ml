@@ -221,6 +221,42 @@ let test_units_parse_fractional () =
     (Result.is_error (Units.parse_bytes "-1.5KB"));
   check_bool "nan" true (Result.is_error (Units.parse_bytes "nanKB"))
 
+(* the integer fast path must detect multiplier overflow, not wrap:
+   8388609 * 2^40 > 2^62 - 1 used to come back negative *)
+let test_units_parse_overflow () =
+  let ok = Alcotest.(check (result int string)) in
+  check_bool "8388609TB rejected" true
+    (Result.is_error (Units.parse_bytes "8388609TB"));
+  check_bool "huge KB rejected" true
+    (Result.is_error (Units.parse_bytes "4611686018427387904KB"));
+  (* the largest representable TB count still parses exactly *)
+  ok "4194303TB" (Ok (4194303 * (1 lsl 40))) (Units.parse_bytes "4194303TB");
+  check_bool "4194304TB rejected" true
+    (Result.is_error (Units.parse_bytes "4194304TB"));
+  (* the fractional path has its own guard *)
+  check_bool "8388609.5TB rejected" true
+    (Result.is_error (Units.parse_bytes "8388609.5TB"))
+
+let prop_units_parse_non_negative =
+  QCheck.Test.make ~count:1000 ~name:"accepted parse_bytes is non-negative"
+    QCheck.(
+      pair
+        (oneof [ 0 -- 100000; map abs int ])
+        (oneofl [ ""; "B"; "KB"; "KiB"; "MB"; "GB"; "TB"; "k"; "m"; "g"; "t" ]))
+    (fun (n, suffix) ->
+      match Units.parse_bytes (string_of_int n ^ suffix) with
+      | Error _ -> true (* overflow may be rejected, never wrapped *)
+      | Ok v ->
+        (* non-negative, and re-rendering parses back to the same count
+           (pp_bytes rounds to two decimals: 0.5% + 1B tolerance) *)
+        v >= 0
+        &&
+        (match Units.parse_bytes (Units.pp_bytes v) with
+        | Error _ -> false
+        | Ok w ->
+          Float.abs (float_of_int (w - v))
+          <= Float.max 1. (0.005 *. float_of_int v)))
+
 let test_units_pp_negative () =
   (* the sign is re-attached after scaling the magnitude: a negative
      count must pick the same unit as its absolute value *)
@@ -355,7 +391,31 @@ let qsuite = List.map
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
   [ prop_isqrt; prop_gcd_total; prop_divisors; prop_divisors_pair_up;
     prop_geomean_le_mean;
-    prop_units_roundtrip; prop_units_pp_parse_roundtrip ]
+    prop_units_roundtrip; prop_units_pp_parse_roundtrip;
+    prop_units_parse_non_negative ]
+
+(* Pinned vectors: the store's record framing (CRC-32) and the cache /
+   router placement hash (63-bit FNV-1a) are on-disk and cross-process
+   contracts — silently changing either would orphan every persisted
+   record and reshuffle shard placement. *)
+let test_hash_vectors () =
+  Alcotest.(check int) "crc32 check value" 0xCBF43926 (Hash.crc32 "123456789");
+  Alcotest.(check int) "crc32 empty" 0 (Hash.crc32 "");
+  Alcotest.(check int) "fnv empty" 860922984064492325
+    (Hash.fnv1a64_positive "");
+  Alcotest.(check int) "fnv a" 3414815163700866188 (Hash.fnv1a64_positive "a");
+  Alcotest.(check int) "fnv ring point" 4235901432644666212
+    (Hash.fnv1a64_positive "backend-0-vnode-0");
+  check_bool "positive" true
+    (List.for_all
+       (fun s -> Hash.fnv1a64_positive s >= 0)
+       [ ""; "x"; "intra|m=64|k=64|l=64|b=131072"; String.make 1000 '\xff' ])
+
+let test_hash_crc_incremental () =
+  (* ?init chains partial computations like zlib's crc32() *)
+  let whole = Hash.crc32 "hello world" in
+  let part = Hash.crc32 ~init:(Hash.crc32 "hello ") "world" in
+  Alcotest.(check int) "incremental = whole" whole part
 
 let () =
   Alcotest.run "util"
@@ -380,10 +440,15 @@ let () =
           Alcotest.test_case "parse" `Quick test_units_parse;
           Alcotest.test_case "parse fractional" `Quick
             test_units_parse_fractional;
+          Alcotest.test_case "parse overflow" `Quick test_units_parse_overflow;
           Alcotest.test_case "pretty-print negative" `Quick
             test_units_pp_negative;
           Alcotest.test_case "pp/parse round trip" `Quick
             test_units_pp_parse_roundtrip ] );
+      ( "hash",
+        [ Alcotest.test_case "pinned vectors" `Quick test_hash_vectors;
+          Alcotest.test_case "crc incremental" `Quick
+            test_hash_crc_incremental ] );
       ( "table",
         [ Alcotest.test_case "render" `Quick test_table;
           Alcotest.test_case "padding" `Quick test_table_padding ] );
