@@ -134,9 +134,26 @@ type pass = {
   latency_rps : float;  (** closed-loop aggregate request rate *)
   stream_rps : float;  (** single-connection batched throughput *)
   hit_rate : float;
+  latencies : float array;  (** every closed-loop round trip, seconds *)
   transcripts : string list list;  (** per latency client, response lines *)
   stream_transcript : string list;
 }
+
+(* Full tail shape, not just two percentiles: the same log2 bucket
+   layout the service's own latency histograms use, serialized through
+   the fleet codec so BENCH rows and metrics dumps are comparable
+   bucket for bucket. *)
+let latency_histogram latencies =
+  let bins = Array.make Metrics.buckets 0 in
+  Array.iter
+    (fun l ->
+      let b = Metrics.bucket_of_seconds l in
+      bins.(b) <- bins.(b) + 1)
+    latencies;
+  Fleet.histogram_to_json
+    { Fleet.count = Array.length latencies;
+      total_s = Array.fold_left ( +. ) 0. latencies;
+      bins }
 
 let with_server ~store_path ~batch f =
   let config =
@@ -253,6 +270,7 @@ let run_pass ~store_path ~concurrency ~latency_requests ~stream_requests () =
     latency_rps = float_of_int (Array.length latencies) /. lat_elapsed;
     stream_rps = float_of_int (List.length stream_requests) /. stream_elapsed;
     hit_rate = hit_rate_stream;
+    latencies;
     transcripts = Array.to_list transcripts;
     stream_transcript }
 
@@ -262,7 +280,102 @@ let pass_json p =
       ("p99_ms", Json.Float p.p99_ms);
       ("closed_loop_rps", Json.Float p.latency_rps);
       ("stream_rps", Json.Float p.stream_rps);
-      ("hit_rate", Json.Float p.hit_rate) ]
+      ("hit_rate", Json.Float p.hit_rate);
+      ("latency", latency_histogram p.latencies) ]
+
+(* ------------------------------------------------------------------ *)
+(* Routed closed-loop pass                                             *)
+
+(* Same send-one-wait-one measurement, but through the sharding front
+   end: a forked shard fleet behind an in-process {!Router.run} driven
+   over pipes, so every round trip crosses the real routing hop
+   (stamp, consistent-hash, socket, reassemble, strip). Runs once per
+   shard count; the transcripts must be byte-identical across shard
+   counts (the mix is all calls, and routing never changes a call's
+   response bytes). *)
+let routed_pass ~shards ~requests =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fusecu_load_fleet_%d_%d" (Unix.getpid ()) shards)
+  in
+  Unix.mkdir dir 0o700;
+  let config =
+    { (Engine.default_config ()) with Engine.cache_entries = 65536 }
+  in
+  let server_config =
+    { Server.max_conns = 64; idle_timeout = 30.; max_line = 1 lsl 20 }
+  in
+  let children =
+    List.init shards (fun i ->
+        let socket = Filename.concat dir (Printf.sprintf "shard-%d.sock" i) in
+        (* batch 1: closed-loop send-one-wait-one would deadlock against
+           a shard holding the lone in-flight response in a larger batch *)
+        Router.spawn_shard ~batch:1
+          ~make_engine:(fun _ -> Engine.create config)
+          ~socket ~server_config i)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop_children children;
+      List.iter
+        (fun (c : Router.child) ->
+          try Sys.remove c.socket with Sys_error _ -> ())
+        children;
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter
+        (fun (c : Router.child) ->
+          if not (Router.wait_for_socket c.socket) then
+            failwith "load: routed shard socket never appeared")
+        children;
+      let req_r, req_w = Unix.pipe ~cloexec:false () in
+      let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+      let input = Unix.in_channel_of_descr req_r in
+      let output = Unix.out_channel_of_descr resp_w in
+      let router =
+        Thread.create
+          (fun () ->
+            Router.run
+              ~backends:
+                (List.map (fun (c : Router.child) -> c.socket) children)
+              ~input ~output ();
+            close_out output)
+          ()
+      in
+      let latencies = Array.make (List.length requests) 0. in
+      let r = rx resp_r in
+      let t0 = Unix.gettimeofday () in
+      let transcript =
+        List.mapi
+          (fun i req ->
+            let t = Unix.gettimeofday () in
+            send_all req_w (req ^ "\n");
+            match read_response r with
+            | Some line ->
+              latencies.(i) <- Unix.gettimeofday () -. t;
+              line
+            | None -> failwith "load: router closed mid-request")
+          requests
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Unix.close req_w;
+      Thread.join router;
+      close_in input;
+      Unix.close resp_r;
+      (transcript, latencies, elapsed))
+
+let routed_json ~shards latencies elapsed =
+  let sorted = Array.map (fun l -> l *. 1000.) latencies in
+  Array.sort compare sorted;
+  Json.Obj
+    [ ("shards", Json.Int shards);
+      ("requests", Json.Int (Array.length latencies));
+      ("p50_ms", Json.Float (percentile sorted 0.50));
+      ("p99_ms", Json.Float (percentile sorted 0.99));
+      ("closed_loop_rps",
+       Json.Float (float_of_int (Array.length latencies) /. elapsed));
+      ("latency", latency_histogram latencies) ]
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -271,6 +384,42 @@ let run ?(quick = false) () =
   let n = if quick then 200 else 2000 in
   let pool = if quick then 40 else 200 in
   let concurrency = 4 in
+  (* routed passes first: they fork shard fleets, and forking is only
+     safe before anything in this process touches the global domain
+     pool (the unrouted passes below spin up in-process servers) *)
+  let routed_n = if quick then 120 else 600 in
+  let routed_requests = generate ~seed:17 ~pool ~n:routed_n in
+  let routed =
+    List.map
+      (fun shards ->
+        let transcript, latencies, elapsed =
+          routed_pass ~shards ~requests:routed_requests
+        in
+        (shards, transcript, routed_json ~shards latencies elapsed))
+      [ 1; 2 ]
+  in
+  (match routed with
+  | (_, t1, _) :: rest ->
+    List.iter
+      (fun (shards, t, _) ->
+        if t <> t1 then begin
+          let reported = ref false in
+          List.iteri
+            (fun i (a, b) ->
+              if a <> b && not !reported then begin
+                reported := true;
+                Printf.eprintf
+                  "load: first divergence at line %d:\n  1 shard:  %s\n  \
+                   %d shards: %s\n%!"
+                  i a shards b
+              end)
+            (List.combine t1 t);
+          failwith
+            (Printf.sprintf
+               "load: routed responses diverge between 1 and %d shards" shards)
+        end)
+      rest
+  | [] -> ());
   let latency_requests = generate ~seed:11 ~pool ~n in
   let stream_requests = generate ~seed:13 ~pool ~n in
   let store_path =
@@ -314,8 +463,11 @@ let run ?(quick = false) () =
           ("concurrency", Json.Int concurrency);
           ("cold", pass_json cold);
           ("warm", pass_json warm);
-          ("warm_identical_to_cold", Json.Bool true) ])
+          ("warm_identical_to_cold", Json.Bool true);
+          ("routed", Json.List (List.map (fun (_, _, j) -> j) routed)) ])
 
 let smoke () =
   ignore (run ~quick:true ());
-  print_endline "load smoke: cold/warm byte-identical, warm hit rate higher"
+  print_endline
+    "load smoke: cold/warm byte-identical, routed transcripts identical \
+     across shard counts, warm hit rate higher"

@@ -56,6 +56,22 @@
                                                  gates only; part of
                                                  `dune build
                                                  @store-smoke`)
+     dune exec bench/main.exe -- --obs-smoke  -- observability drill:
+                                                 2-shard routed replay
+                                                 with tracing, debug
+                                                 logging and a live
+                                                 fleet Prometheus
+                                                 exporter — transcripts
+                                                 must stay
+                                                 byte-identical, the
+                                                 per-process traces
+                                                 must merge into one
+                                                 valid timeline, and
+                                                 the fleet metrics
+                                                 response must equal
+                                                 the shard-wise merge
+                                                 (also `dune build
+                                                 @obs-smoke`)
      dune exec bench/main.exe -- --store-smoke -- persistence drill:
                                                  1-shard router fleet
                                                  with a store, kill -9,
@@ -84,7 +100,7 @@ let usage () =
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
      <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke] \
      [--bnb-smoke] [--oracle] [--model] [--model-smoke] [--load] \
-     [--load-smoke] [--store-smoke] [--trace FILE]";
+     [--load-smoke] [--store-smoke] [--obs-smoke] [--trace FILE]";
   exit 1
 
 type options = {
@@ -103,6 +119,7 @@ type options = {
   load : bool;
   load_smoke : bool;
   store_smoke : bool;
+  obs_smoke : bool;
   trace : string option;
 }
 
@@ -152,7 +169,7 @@ let parse_args () =
   let oracle = ref false in
   let model = ref false and model_smoke = ref false in
   let load = ref false and load_smoke = ref false in
-  let store_smoke = ref false in
+  let store_smoke = ref false and obs_smoke = ref false in
   let trace = ref None in
   let rec loop = function
     | [] -> ()
@@ -202,6 +219,9 @@ let parse_args () =
     | "--store-smoke" :: rest ->
       store_smoke := true;
       loop rest
+    | "--obs-smoke" :: rest ->
+      obs_smoke := true;
+      loop rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       loop rest
@@ -218,12 +238,13 @@ let parse_args () =
     json = !json; smoke = !smoke; service = !service;
     socket_smoke = !socket_smoke; bnb_smoke = !bnb_smoke; oracle = !oracle;
     model = !model; model_smoke = !model_smoke; load = !load;
-    load_smoke = !load_smoke; store_smoke = !store_smoke; trace = !trace }
+    load_smoke = !load_smoke; store_smoke = !store_smoke;
+    obs_smoke = !obs_smoke; trace = !trace }
 
 let () =
   let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke;
         bnb_smoke; oracle; model; model_smoke; load; load_smoke; store_smoke;
-        trace } =
+        obs_smoke; trace } =
     parse_args ()
   in
   (* --trace FILE: profile whatever runs below and write a Chrome
@@ -266,6 +287,11 @@ let () =
        drill forks a shard fleet, and forking a process with live
        worker domains is undefined *)
     Store_drill.run ~fixture:(Service_replay.resolve_fixture ()) ();
+    exit 0
+  end;
+  if obs_smoke then begin
+    (* forks fleets too: same before-the-pool rule as --store-smoke *)
+    Obs_drill.run ~fixture:(Service_replay.resolve_fixture ()) ();
     exit 0
   end;
   if load_smoke then begin

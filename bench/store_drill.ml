@@ -142,6 +142,23 @@ let router_leg ~fixture () =
       let fleet2 = spawn_fleet ~dir ~shards:1 ~store:true in
       await_fleet fleet2;
       let warm = route_replay ~requests fleet2 in
+      (* the restarted shard's registry must surface what recovery
+         found: a quiet scrape (moves no deterministic counter) shows
+         the loaded-record count from the kill-9 crash image *)
+      (match Router.scrape_metrics (List.hd fleet2).Router.socket with
+      | Error e -> failwith ("store drill: warm scrape failed: " ^ e)
+      | Ok dump ->
+        let loaded =
+          match Json.member "counters" dump with
+          | Some (Json.Obj kvs) -> (
+            match List.assoc_opt "store_records_loaded" kvs with
+            | Some (Json.Int n) -> n
+            | _ -> 0)
+          | _ -> 0
+        in
+        if loaded = 0 then
+          failwith
+            "store drill: kill-9 restart registered no store_records_loaded");
       Router.stop_children fleet2;
       check "router warm-after-kill vs cold (non-control)" (non_control cold)
         (non_control warm);

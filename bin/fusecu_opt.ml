@@ -728,25 +728,97 @@ let serve_cmd =
 
 let route_cmd =
   let run shards backends socket_dir store_dir batch no_cache cache_entries
-      mapper max_conns timeout max_line vnodes trace log_level =
-    with_observability ~trace ~log_level @@ fun () ->
+      mapper max_conns timeout max_line vnodes metrics_addr trace log_level =
+    with_observability ~trace:None ~log_level @@ fun () ->
     if shards < 1 then begin
       prerr_endline "route: --shards must be at least 1";
       exit 1
     end;
+    let trace_dir =
+      match trace with
+      | None -> None
+      | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        Fusecu_util.Trace.start ();
+        Some dir
+    in
+    (* Export the router's own spans and merge every per-process profile
+       in the directory into a single Chrome timeline. The forked shards
+       write shard-N.json on exit (spawn_shard ~trace), so this runs
+       after stop_children has reaped them. *)
+    let finish_trace () =
+      match trace_dir with
+      | None -> ()
+      | Some dir ->
+        Fusecu_util.Trace.stop ();
+        Fusecu_util.Trace.export ~pid:(Unix.getpid ()) ~process_name:"router"
+          (Filename.concat dir "router.json");
+        let parts =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f ->
+                 Filename.check_suffix f ".json" && f <> "merged.json")
+          |> List.sort compare
+          |> List.filter_map (fun f ->
+                 let path = Filename.concat dir f in
+                 match
+                   Fusecu_util.Json.parse
+                     (In_channel.with_open_text path In_channel.input_all)
+                 with
+                 | Ok j -> Some j
+                 | Error e ->
+                   Printf.eprintf "route: --trace: skipping %s: %s\n" path e;
+                   None)
+        in
+        (match Fusecu_util.Trace.merge_chrome parts with
+        | Ok merged ->
+          Out_channel.with_open_text (Filename.concat dir "merged.json")
+            (fun oc ->
+              Out_channel.output_string oc (Fusecu_util.Json.print merged ^ "\n"))
+        | Error e -> Printf.eprintf "route: --trace: merge failed: %s\n" e)
+    in
     let router_config =
       { Fusecu_service.Router.idle_timeout = timeout;
         max_line;
         vnodes = max 1 vnodes }
     in
     let front backend_paths =
-      try
-        Fusecu_service.Router.run ~config:router_config ~backends:backend_paths
-          ~input:stdin ~output:stdout ()
-      with Failure msg | Invalid_argument msg ->
-        prerr_endline msg;
-        exit 1
+      let metrics =
+        match metrics_addr with
+        | None -> None
+        | Some _ -> Some (Fusecu_service.Metrics.create ())
+      in
+      let exporter =
+        match (metrics_addr, metrics) with
+        | Some addr, Some m -> (
+          try
+            Some
+              (Fusecu_service.Server.start_metrics_exporter
+                 ~render:(fun () ->
+                   Fusecu_service.Router.fleet_prometheus_render ~metrics:m
+                     ~sockets:backend_paths ())
+                 ~addr)
+          with
+          | Invalid_argument msg | Failure msg ->
+            prerr_endline msg;
+            exit 1
+          | Unix.Unix_error (e, _, _) ->
+            prerr_endline
+              (Printf.sprintf "metrics-addr %s: %s" addr (Unix.error_message e));
+            exit 1)
+        | _ -> None
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter Fusecu_service.Server.stop_metrics_exporter exporter)
+        (fun () ->
+          try
+            Fusecu_service.Router.run ~config:router_config ?metrics
+              ~backends:backend_paths ~input:stdin ~output:stdout ()
+          with Failure msg | Invalid_argument msg ->
+            prerr_endline msg;
+            exit 1)
     in
+    Fun.protect ~finally:finish_trace @@ fun () ->
     match backends with
     | _ :: _ ->
       (* externally-managed backends: just front them *)
@@ -799,8 +871,13 @@ let route_cmd =
       let children =
         List.init shards (fun i ->
             let socket = Filename.concat dir (Printf.sprintf "shard-%d.sock" i) in
-            Fusecu_service.Router.spawn_shard ~batch ~make_engine ~socket
-              ~server_config i)
+            let shard_trace =
+              Option.map
+                (fun td -> Filename.concat td (Printf.sprintf "shard-%d.json" i))
+                trace_dir
+            in
+            Fusecu_service.Router.spawn_shard ~batch ?trace:shard_trace
+              ~make_engine ~socket ~server_config i)
       in
       Fun.protect
         ~finally:(fun () ->
@@ -930,11 +1007,36 @@ let route_cmd =
       & info [ "vnodes" ] ~docv:"N"
           ~doc:"Virtual nodes per backend on the consistent-hash ring.")
   in
+  let metrics_addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:"Serve live fleet-wide Prometheus text on a TCP listener at \
+                ADDR (PORT or HOST:PORT): the router's own series (requests, \
+                routed bytes, fan-outs, per-shard in-flight gauges) unlabeled \
+                plus every backend's series labeled {shard=\"i\"}, scraped \
+                out-of-band with quiet metrics requests that move no counter \
+                — concurrent scrapes cannot perturb the routed transcript.")
+  in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"DIR"
+          ~doc:"Profile the whole fleet: the router writes its spans \
+                (enqueue, route, reassemble) to DIR/router.json, each forked \
+                shard writes DIR/shard-N.json on exit, and the router merges \
+                everything into DIR/merged.json — one Chrome trace with a \
+                process lane per shard, spans correlated by the propagated \
+                trace context. Tracing never writes to stdout, so the routed \
+                transcript is unchanged.")
+  in
   let term =
     Term.(
       const run $ shards $ backends $ socket_dir $ store_dir $ batch $ no_cache
       $ cache_entries $ mapper $ max_conns $ timeout $ max_line $ vnodes
-      $ trace_file_arg $ log_level_arg)
+      $ metrics_addr $ trace_dir $ log_level_arg)
   in
   Cmd.v
     (Cmd.info "route"
@@ -943,9 +1045,13 @@ let route_cmd =
              processes, forked by the router or given via --backend), forward \
              the NDJSON lines, and reassemble responses in request order on \
              stdout. The transcript is byte-identical for every shard count \
-             (control lines excepted — stats counters are per-process and \
-             pinned to shard 0). --store-dir makes the fleet persistent: \
-             shard caches survive restarts and warm-load at startup.")
+             (control lines excepted — stats and metrics fan out to every \
+             shard and return the Fleet merge: counters summed, histograms \
+             merged bucket-wise, per-shard payloads under 'shards'). \
+             --store-dir makes the fleet persistent: shard caches survive \
+             restarts and warm-load at startup. Observability: --trace merges \
+             router and shard profiles into one timeline, --metrics-addr \
+             serves fleet-wide Prometheus text with per-shard labels.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1238,6 +1344,66 @@ let simulate_cmd =
        ~doc:"Run a fused matmul chain on the cycle-level FuseCU array model.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* trace-merge                                                         *)
+
+let trace_merge_cmd =
+  let run output inputs =
+    let parts =
+      List.map
+        (fun path ->
+          let text =
+            try In_channel.with_open_text path In_channel.input_all
+            with Sys_error msg ->
+              prerr_endline msg;
+              exit 1
+          in
+          match Fusecu_util.Json.parse text with
+          | Ok j -> j
+          | Error e ->
+            prerr_endline (path ^ ": " ^ e);
+            exit 1)
+        inputs
+    in
+    match Fusecu_util.Trace.merge_chrome parts with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok merged ->
+      let text = Fusecu_util.Json.print merged ^ "\n" in
+      if output = "-" then print_string text
+      else
+        Out_channel.with_open_text output (fun oc ->
+            Out_channel.output_string oc text)
+  in
+  let inputs =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"TRACE"
+          ~doc:"Chrome trace-event JSON profiles to merge (e.g. the \
+                router.json and shard-N.json files a traced 'route' run \
+                leaves behind).")
+  in
+  let output =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the merged trace to FILE ('-' for stdout).")
+  in
+  let term = Term.(const run $ output $ inputs) in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:"Merge per-process Chrome trace profiles into one timeline: \
+             events are pooled and stably sorted by timestamp (process-name \
+             metadata first), so a traced routed run becomes a single \
+             chrome://tracing / Perfetto view with a lane per process — \
+             router enqueue/route/reassemble spans over each shard's \
+             parse/cache/mapper/respond spans, correlated by the propagated \
+             trace context ('tc') span arguments. All processes share the \
+             wall clock, so no timestamp fix-up is applied.")
+    term
+
 let () =
   let doc = "principle-based dataflow optimization for operator-fused tensor accelerators" in
   let info = Cmd.info "fusecu_opt" ~version:"1.0.0" ~doc in
@@ -1246,4 +1412,5 @@ let () =
        (Cmd.group info
           [ intra_cmd; fuse_cmd; regime_cmd; search_cmd; eval_cmd; explain_cmd;
             trace_cmd; hierarchy_cmd; chain_cmd; plan_cmd; sweep_cmd;
-            graph_cmd; area_cmd; simulate_cmd; serve_cmd; route_cmd; check_cmd ]))
+            graph_cmd; area_cmd; simulate_cmd; serve_cmd; route_cmd;
+            trace_merge_cmd; check_cmd ]))

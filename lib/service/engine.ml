@@ -82,12 +82,9 @@ let create ?metrics ?store config =
       (fun (key, outcome) -> Cache.add cache key outcome)
       (Store.recovered s).Store.entries
   | _ -> ());
-  { config;
-    cache;
-    store;
-    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
-    ticks = Atomic.make 0;
-    seq = Atomic.make 0 }
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  (match store with Some s -> Store.set_metrics s metrics | None -> ());
+  { config; cache; store; metrics; ticks = Atomic.make 0; seq = Atomic.make 0 }
 
 (* Persist a plan the moment it enters the cache: both sites run in the
    engine's sequential phases, and [Store.append] only enqueues for the
@@ -417,21 +414,32 @@ and plan_model_impl t ~use_cache (call : Protocol.call) :
 (* ------------------------------------------------------------------ *)
 (* Batch execution                                                     *)
 
-(* One request slot of a batch, filled over the flush phases. *)
+(* One request slot of a batch, filled over the flush phases. [tc] is
+   the router-stamped trace context, echoed on the response line and
+   attached to this request's spans so a merged fleet timeline can
+   correlate backend work with the originating router span. *)
 type slot =
   | Ready of string  (** response already determined (rejects) *)
   | Hit of {
       id : Json.t;
+      tc : string option;
       call : Protocol.call;  (** original orientation, for the echo *)
       transform : Protocol.transform;
       outcome : Protocol.outcome;  (** canonical orientation *)
     }
   | Pending of {
       id : Json.t;
+      tc : string option;
       call : Protocol.call;
       transform : Protocol.transform;
       work : int;  (** index into the batch's unique work list *)
     }
+
+let tc_args = function
+  | None -> []
+  | Some t -> [ ("tc", Json.String t) ]
+
+let slot_tc = function Ready _ -> None | Hit { tc; _ } | Pending { tc; _ } -> tc
 
 let stats_result t =
   let st = Cache.stats t.cache in
@@ -509,17 +517,25 @@ let flush t batch emit =
           | Error (reject : Protocol.reject) ->
             Metrics.incr t.metrics "rejects";
             Ready (Protocol.reject_response reject)
-          | Ok (id, call) -> (
+          | Ok (id, tc, call) ->
             Metrics.incr t.metrics "requests";
             Metrics.incr t.metrics ("requests_" ^ Protocol.op_name call);
+            Trace.with_span ~cat:"service"
+              ~args:
+                (("op", Json.String (Protocol.op_name call))
+                :: ("trace", Json.Int trace_id)
+                :: tc_args tc)
+              "engine.cache"
+            @@ fun () ->
             let canonical, transform = Protocol.canonicalize call in
             let cached =
               if cache_on then Cache.find t.cache (Protocol.cache_key canonical)
               else None
             in
-            match cached with
-            | Some outcome -> Hit { id; call; transform; outcome }
-            | None -> Pending { id; call; transform; work = enqueue canonical }))
+            (match cached with
+            | Some outcome -> Hit { id; tc; call; transform; outcome }
+            | None ->
+              Pending { id; tc; call; transform; work = enqueue canonical }))
         batch
     in
     (* phase 2: parallel compute of the deduplicated work list *)
@@ -562,22 +578,29 @@ let flush t batch emit =
     let access_log = Log.enabled Log.Debug in
     List.iteri
       (fun idx slot ->
-        let line, kind =
+        Trace.with_span ~cat:"service"
+          ~args:
+            (("trace", Json.Int trace_id)
+            :: ("seq", Json.Int (seq_base + idx))
+            :: tc_args (slot_tc slot))
+          "engine.respond"
+        @@ fun () ->
+        let line, kind, tc =
           match slot with
-          | Ready line -> (line, "reject")
-          | Hit { id; call; transform; outcome } ->
+          | Ready line -> (line, "reject", None)
+          | Hit { id; tc; call; transform; outcome } ->
             ( Protocol.response_ok ~id ~call
                 (Protocol.apply_transform transform outcome),
-              "hit" )
-          | Pending { id; call; transform; work = i } -> (
+              "hit", tc )
+          | Pending { id; tc; call; transform; work = i } -> (
             match results.(i) with
             | Ok outcome ->
               ( Protocol.response_ok ~id ~call
                   (Protocol.apply_transform transform outcome),
-                "computed" )
+                "computed", tc )
             | Error (code, message) ->
               Metrics.incr t.metrics "compute_errors";
-              (Protocol.response_error ~id ~code ~message, "error"))
+              (Protocol.response_error ~id ~code ~message, "error", tc))
         in
         if access_log then
           Log.debug
@@ -586,7 +609,7 @@ let flush t batch emit =
                 ("seq", Json.Int (seq_base + idx));
                 ("kind", Json.String kind) ]
             "response";
-        emit line)
+        emit (Protocol.with_tc tc line))
       slots
 
 type stop_reason = Drained | Shutdown
@@ -606,61 +629,117 @@ let run t ?(batch = 64) ~next ~emit () =
     | Some line -> (
       if String.trim line = "" then loop ()
       else begin
-        (* one tick per request line — a logical uptime clock that is
-           invariant to batch size, domain count and cache settings *)
-        tick t;
-        match Protocol.parse_line line with
-        | Ok (id, Protocol.Stats) ->
+        (* Parse first, then tick: every non-empty line still advances
+           the logical clock exactly once — except a quiet metrics
+           scrape, which by contract leaves all deterministic state
+           untouched — so uptime stays invariant to batch size, domain
+           count and cache settings. *)
+        let parsed =
+          Trace.with_span ~cat:"service" "engine.parse" (fun () ->
+              Protocol.parse_line line)
+        in
+        match parsed with
+        | Ok (id, tc, Protocol.Metrics_req { quiet = true }) ->
+          (* out-of-band scrape (Prometheus exporter, fleet merge):
+             still a batch barrier for snapshot ordering, but no tick
+             and no counter movement, so scraping cannot perturb the
+             golden counters *)
           flush_pending ();
-          Metrics.incr t.metrics "requests";
-          Metrics.incr t.metrics "requests_stats";
-          emit (Protocol.response_ok_json ~id ~op:"stats" ~result:(stats_result t));
-          loop ()
-        | Ok (id, Protocol.Metrics_req) ->
-          flush_pending ();
-          Metrics.incr t.metrics "requests";
-          Metrics.incr t.metrics "requests_metrics";
           emit
-            (Protocol.response_ok_json ~id ~op:"metrics"
-               ~result:(metrics_result t));
+            (Protocol.with_tc tc
+               (Protocol.response_ok_json ~id ~op:"metrics"
+                  ~result:(metrics_result t)));
           loop ()
-        | Ok (id, Protocol.Shutdown) ->
-          flush_pending ();
-          Metrics.incr t.metrics "requests";
-          Metrics.incr t.metrics "requests_shutdown";
-          emit
-            (Protocol.response_ok_json ~id ~op:"shutdown"
-               ~result:(Json.Obj [ ("stopping", Json.Bool true) ]));
-          Shutdown
-        | Ok (id, Protocol.Call (Protocol.Plan_model _ as call)) ->
-          (* a batch barrier, like [stats]: the partitioner reads and
-             seeds the plan cache, which must only happen sequentially
-             for the counters to stay deterministic *)
-          flush_pending ();
-          Metrics.incr t.metrics "requests";
-          Metrics.incr t.metrics "requests_plan_model";
-          let t0 = Unix.gettimeofday () in
-          let line =
-            match
+        | _ -> (
+          tick t;
+          match parsed with
+          | Ok (id, tc, Protocol.Stats) ->
+            flush_pending ();
+            Metrics.incr t.metrics "requests";
+            Metrics.incr t.metrics "requests_stats";
+            emit
+              (Protocol.with_tc tc
+                 (Protocol.response_ok_json ~id ~op:"stats"
+                    ~result:(stats_result t)));
+            loop ()
+          | Ok (id, tc, Protocol.Metrics_req _) ->
+            flush_pending ();
+            Metrics.incr t.metrics "requests";
+            Metrics.incr t.metrics "requests_metrics";
+            emit
+              (Protocol.with_tc tc
+                 (Protocol.response_ok_json ~id ~op:"metrics"
+                    ~result:(metrics_result t)));
+            loop ()
+          | Ok (id, tc, Protocol.Shutdown) ->
+            flush_pending ();
+            Metrics.incr t.metrics "requests";
+            Metrics.incr t.metrics "requests_shutdown";
+            emit
+              (Protocol.with_tc tc
+                 (Protocol.response_ok_json ~id ~op:"shutdown"
+                    ~result:(Json.Obj [ ("stopping", Json.Bool true) ])));
+            Shutdown
+          | Ok (id, tc, Protocol.Call (Protocol.Plan_model _ as call)) ->
+            (* a batch barrier, like [stats]: the partitioner reads and
+               seeds the plan cache, which must only happen sequentially
+               for the counters to stay deterministic *)
+            flush_pending ();
+            Metrics.incr t.metrics "requests";
+            Metrics.incr t.metrics "requests_plan_model";
+            let t0 = Unix.gettimeofday () in
+            let outcome =
               plan_model_impl t ~use_cache:(Cache.capacity t.cache > 0) call
-            with
-            | Ok outcome -> Protocol.response_ok ~id ~call outcome
-            | Error (code, message) ->
-              Metrics.incr t.metrics "compute_errors";
-              Protocol.response_error ~id ~code ~message
-          in
-          Metrics.observe t.metrics "latency_plan_model"
-            (Unix.gettimeofday () -. t0);
-          emit line;
-          loop ()
-        | Ok (id, Protocol.Call call) ->
-          pending := Ok (id, call) :: !pending;
-          if List.length !pending >= batch_size then flush_pending ();
-          loop ()
-        | Error reject ->
-          pending := Error reject :: !pending;
-          if List.length !pending >= batch_size then flush_pending ();
-          loop ()
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            Metrics.observe t.metrics "latency_plan_model" dt;
+            (* structured slow-plan record with the per-group cost
+               breakdown, so slow whole-model plans are diagnosable
+               from logs alone (stderr only — never the response) *)
+            (match (t.config.slow_log_ms, outcome, call) with
+            | Some ms, Ok (Protocol.R_plan_model r), Protocol.Plan_model p
+              when dt *. 1000. >= ms ->
+              Log.warn
+                ~fields:
+                  (("op", Json.String "plan_model")
+                  :: ("model", Json.String p.model)
+                  :: ("layers", Json.Int p.layers)
+                  :: ("ms", Json.Float (dt *. 1000.))
+                  :: ("traffic", Json.Int r.Protocol.traffic)
+                  :: ("hidden", Json.Int r.Protocol.hidden)
+                  :: tc_args tc
+                  @ [ ("groups",
+                       Json.List
+                         (List.map
+                            (fun (g : Protocol.plan_group) ->
+                              Json.Obj
+                                [ ("members",
+                                   Json.List
+                                     (List.map
+                                        (fun n -> Json.String n)
+                                        g.Protocol.members));
+                                  ("traffic", Json.Int g.Protocol.group_traffic);
+                                  ("hidden", Json.Int g.Protocol.group_hidden) ])
+                            r.Protocol.plan_groups)) ])
+                "slow plan"
+            | _ -> ());
+            let line =
+              match outcome with
+              | Ok outcome -> Protocol.response_ok ~id ~call outcome
+              | Error (code, message) ->
+                Metrics.incr t.metrics "compute_errors";
+                Protocol.response_error ~id ~code ~message
+            in
+            emit (Protocol.with_tc tc line);
+            loop ()
+          | Ok (id, tc, Protocol.Call call) ->
+            pending := Ok (id, tc, call) :: !pending;
+            if List.length !pending >= batch_size then flush_pending ();
+            loop ()
+          | Error reject ->
+            pending := Error reject :: !pending;
+            if List.length !pending >= batch_size then flush_pending ();
+            loop ())
       end)
   in
   loop ()

@@ -16,6 +16,15 @@ type t
 
 val create : unit -> t
 
+val buckets : int
+(** Number of log2 histogram bins (1 µs doubling up to one final open
+    bin). Shared by every histogram, so bucket-wise merging across
+    processes ({!Fleet}) is always aligned. *)
+
+val bucket_of_seconds : float -> int
+(** Bin index ([0 .. buckets-1]) an observation of this many seconds
+    lands in: bin [i] spans [[2^i, 2^(i+1)) µs]; the last bin is open. *)
+
 val incr : ?by:int -> t -> string -> unit
 (** Bump a named counter (created at zero on first use). [by] defaults
     to 1 and must be [>= 0] — counters are monotonic. *)
@@ -48,6 +57,14 @@ val to_json : t -> Fusecu_util.Json.t
     [count], [total_s] and log2 buckets [{"le_us": upper, "n": count}]
     covering 1 µs .. ~17 min (observations above the last bound land in
     a final open bucket). Not deterministic — wall-clock data. *)
+
+val sanitize : string -> string
+(** Replace any character outside the Prometheus metric-name charset
+    ([a-zA-Z0-9_:]) with ['_']. *)
+
+val pp_float : float -> string
+(** Prometheus sample-value formatting: integral floats print without a
+    fraction; others use the shortest representation that round-trips. *)
 
 val to_prometheus : ?prefix:string -> t -> string
 (** Prometheus text exposition (format 0.0.4) of the same atomic

@@ -20,7 +20,11 @@ type call =
       mode : Mode.t;
     }
 
-type request = Call of call | Stats | Metrics_req | Shutdown
+type request =
+  | Call of call
+  | Stats
+  | Metrics_req of { quiet : bool }
+  | Shutdown
 
 type error_code =
   | Parse_error
@@ -185,7 +189,14 @@ let parse_call obj op =
     let buffer, elt_bytes = buffer_field obj in
     Ok (Call (Plan_model { model; layers; buffer; elt_bytes; mode = mode_field obj }))
   | "stats" -> Ok Stats
-  | "metrics" -> Ok Metrics_req
+  | "metrics" ->
+    let quiet =
+      match Json.member "quiet" obj with
+      | None -> false
+      | Some (Json.Bool b) -> b
+      | Some v -> fail "field \"quiet\" must be a boolean, got %s" (Json.print v)
+    in
+    Ok (Metrics_req { quiet })
   | "shutdown" -> Ok Shutdown
   | other ->
     Error
@@ -202,6 +213,11 @@ let parse_line line =
   | Error e -> Error { id = Json.Null; code = Parse_error; message = e }
   | Ok obj ->
     let id = Option.value ~default:Json.Null (Json.member "id" obj) in
+    (* Trace context stamped by the router ("tc"); unknown members are
+       ignored by design, so old clients and servers interoperate. *)
+    let tc =
+      match Json.member "tc" obj with Some (Json.String t) -> Some t | _ -> None
+    in
     let reject code message = Error { id; code; message } in
     let dispatch () =
       match Json.member "op" obj with
@@ -211,7 +227,7 @@ let parse_line line =
         | Error e -> reject Bad_request (Printf.sprintf "field \"op\": %s" e)
         | Ok op -> (
           match parse_call obj op with
-          | Ok req -> Ok (id, req)
+          | Ok req -> Ok (id, tc, req)
           | Error r -> Error { r with id }
           | exception Bad m -> reject Bad_request m))
     in
@@ -547,6 +563,33 @@ let response_error ~id ~code ~message =
               ("message", Json.String message) ]) ])
 
 let reject_response r = response_error ~id:r.id ~code:r.code ~message:r.message
+
+(* ------------------------------------------------------------------ *)
+(* Trace-context envelope                                              *)
+
+(* The router stamps requests and the engine echoes responses by splicing
+   a trailing "tc" member textually rather than reparsing and reprinting
+   the line: reprinting would have to round-trip floats and member order
+   exactly, and any drift there would break the byte-identical golden
+   transcripts. The splice leaves non-object lines untouched. *)
+
+let tc_suffix tc = ",\"tc\":" ^ Json.print (Json.String tc) ^ "}"
+
+let with_tc tc line =
+  match tc with
+  | None -> line
+  | Some t ->
+    let n = String.length line in
+    if n < 2 || line.[n - 1] <> '}' then line
+    else if line = "{}" then "{\"tc\":" ^ Json.print (Json.String t) ^ "}"
+    else String.sub line 0 (n - 1) ^ tc_suffix t
+
+let strip_tc ~tc line =
+  let suffix = tc_suffix tc in
+  let sn = String.length suffix and n = String.length line in
+  if n >= sn && String.sub line (n - sn) sn = suffix then
+    String.sub line 0 (n - sn) ^ "}"
+  else line
 
 (* ------------------------------------------------------------------ *)
 (* Store serialization                                                 *)

@@ -72,11 +72,15 @@ type call =
 type request =
   | Call of call
   | Stats  (** in-band deterministic counters snapshot *)
-  | Metrics_req
+  | Metrics_req of { quiet : bool }
       (** full metrics dump — counters, gauges and wall-clock latency
           histograms ({!Metrics.to_json}). Unlike [stats] the payload is
           {e not} deterministic, so it never appears in golden
-          transcripts. *)
+          transcripts. [quiet] (wire field ["quiet"], default [false])
+          marks an out-of-band scrape — e.g. the Prometheus exporter
+          polling over a side connection — that must not advance
+          [uptime_ticks] or any request counter, so scraping cannot
+          perturb the deterministic counters. *)
   | Shutdown  (** stop the server after responding *)
 
 type error_code =
@@ -91,9 +95,11 @@ val error_code_to_string : error_code -> string
 
 type reject = { id : Json.t; code : error_code; message : string }
 
-val parse_line : string -> (Json.t * request, reject) result
-(** Parse one request line into its echoed [id] and the typed request.
-    On reject, the [id] is recovered from the malformed object when
+val parse_line : string -> (Json.t * string option * request, reject) result
+(** Parse one request line into its echoed [id], the trace context
+    stamped by the router (the ["tc"] envelope member, [None] when
+    absent — old clients never send it) and the typed request. On
+    reject, the [id] is recovered from the malformed object when
     possible. *)
 
 val op_name : call -> string
@@ -218,3 +224,22 @@ val response_ok_json : id:Json.t -> op:string -> result:Json.t -> string
 val response_error : id:Json.t -> code:error_code -> message:string -> string
 
 val reject_response : reject -> string
+
+(** {1 Trace-context envelope}
+
+    The router stamps each routed request with a trace context
+    ["r<trace-id>.<origin-seq>"] so backend spans can be correlated with
+    router spans in a merged timeline. Both directions splice the member
+    textually (never reparse-and-reprint), so stamping cannot perturb a
+    single byte of the rest of the line — the precondition for routed
+    golden transcripts staying exact. *)
+
+val with_tc : string option -> string -> string
+(** [with_tc (Some t) line] returns [line] with [,"tc":"t"] spliced
+    before the final ['}'] of a JSON-object line (non-object lines are
+    returned unchanged); [with_tc None line] is [line]. *)
+
+val strip_tc : tc:string -> string -> string
+(** Remove the exact trailing [,"tc":"tc"] member spliced by
+    {!with_tc}, restoring the original line byte-for-byte; lines without
+    that exact suffix are returned unchanged. *)

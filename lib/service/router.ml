@@ -1,6 +1,7 @@
 module Hash = Fusecu_util.Hash
 module Json = Fusecu_util.Json
 module Log = Fusecu_util.Log
+module Trace = Fusecu_util.Trace
 
 (* The sharding front end: consistent-hashes each request's canonical
    cache key onto one of N backend sockets (each an ordinary
@@ -16,9 +17,23 @@ module Log = Fusecu_util.Log
    stream a permutation-free merge: the transcript is byte-identical
    for every shard count, cold or warm. Control lines are the one
    exception — [stats]/[metrics] counters are per-process state, so
-   they are pinned to backend 0 (a 1-shard tier reproduces the
-   single-server transcript exactly, control lines included) and
-   excluded from cross-shard-count comparisons.
+   they are fanned out to every backend and merged ({!Fleet}): counters
+   sum, histograms add bucket-wise, and the fleet's [uptime_ticks] is
+   the router's own request-line count (a pure function of client
+   traffic — summed backend ticks would count each fan-out N times). A
+   1-shard tier emits backend 0's control responses verbatim, so it
+   reproduces the single-server transcript exactly, control lines
+   included; cross-shard-count comparisons still exclude control lines
+   because the counters themselves are shard-count dependent.
+
+   Trace propagation: each routable call is stamped with a trace
+   context ["r<trace>.<seq>"] (the ["tc"] envelope member, spliced
+   textually — {!Protocol.with_tc} — so no other byte of the line can
+   change). Backends echo it on their responses and attach it to their
+   spans; the router strips the exact echo before emitting, so routed
+   output stays byte-identical to unrouted output whether or not anyone
+   is tracing. A client-supplied ["tc"] wins (first binding) and passes
+   through untouched.
 
    Plumbing: one reader thread per backend pushes response lines into
    that backend's FIFO; the forwarding loop never waits for responses
@@ -73,19 +88,26 @@ let ring_lookup ring h =
    the same string that keys the plan cache and the store, so one key's
    repeats always land on the shard that cached it. Rejects route by the
    raw line (any backend computes identical reject bytes; hashing just
-   spreads the load). *)
+   spreads the load). [stats]/[metrics] fan out to every backend for the
+   fleet merge; [shutdown] broadcasts so every backend stops. *)
 type routing =
-  | To of int  (** forward to one backend *)
+  | To of { backend : int; stamp : bool }  (** forward to one backend *)
+  | Fanout of { op : string }  (** stats/metrics: ask everyone, merge *)
   | Broadcast  (** shutdown: every backend must stop *)
 
 let route_line ring line =
   match Protocol.parse_line line with
-  | Ok (_, Protocol.Call c) ->
+  | Ok (_, _, Protocol.Call c) ->
     let canonical, _ = Protocol.canonicalize c in
-    To (ring_lookup ring (Hash.fnv1a64_positive (Protocol.cache_key canonical)))
-  | Ok (_, (Protocol.Stats | Protocol.Metrics_req)) -> To 0
-  | Ok (_, Protocol.Shutdown) -> Broadcast
-  | Error _ -> To (ring_lookup ring (Hash.fnv1a64_positive line))
+    To
+      { backend =
+          ring_lookup ring (Hash.fnv1a64_positive (Protocol.cache_key canonical));
+        stamp = true }
+  | Ok (_, _, Protocol.Stats) -> Fanout { op = "stats" }
+  | Ok (_, _, Protocol.Metrics_req _) -> Fanout { op = "metrics" }
+  | Ok (_, _, Protocol.Shutdown) -> Broadcast
+  | Error _ ->
+    To { backend = ring_lookup ring (Hash.fnv1a64_positive line); stamp = false }
 
 (* ------------------------------------------------------------------ *)
 (* Backend plumbing                                                    *)
@@ -148,12 +170,18 @@ let pop_line b =
 (* The front loop                                                      *)
 
 type order_entry =
-  | Expect of int  (** emit the next line from this backend *)
+  | Expect of { backend : int; tc : string option }
+      (** emit the next line from this backend, stripping the echoed
+          trace context *)
+  | Expect_fanout of { op : string; uptime : int }
+      (** stats/metrics fan-out: pop one line from {e every} backend (in
+          shard order) and emit the {!Fleet} merge; [uptime] is the
+          router's line count at the moment the request was read *)
   | Expect_broadcast
       (** shutdown fan-out: emit backend 0's ack, discard the rest *)
   | Done
 
-let run ?(config = default_config) ~backends ~input ~output () =
+let run ?(config = default_config) ?metrics ~backends ~input ~output () =
   if backends = [] then invalid_arg "Router.run: no backends";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -165,19 +193,94 @@ let run ?(config = default_config) ~backends ~input ~output () =
   let readers =
     Array.map (fun b -> Thread.create (reader_loop ~stop ~config b) ()) barr
   in
+  (* Instrumentation: all optional, all off the response path, so routed
+     bytes are invariant to whether a registry is attached. In-flight is
+     tracked per backend (sends minus emitted responses). *)
+  let mincr ?by name =
+    match metrics with Some m -> Metrics.incr ?by m name | None -> ()
+  in
+  let mgauge name v =
+    match metrics with Some m -> Metrics.set_gauge m name v | None -> ()
+  in
+  let inflight = Array.init n (fun _ -> Atomic.make 0) in
+  let inflight_gauge = Array.init n (Printf.sprintf "router_inflight_shard_%d") in
+  let note_sent i =
+    let v = Atomic.fetch_and_add inflight.(i) 1 + 1 in
+    mgauge inflight_gauge.(i) (float_of_int v)
+  in
+  let note_emitted i =
+    let v = Atomic.fetch_and_add inflight.(i) (-1) - 1 in
+    mgauge inflight_gauge.(i) (float_of_int v)
+  in
   let order = Queue.create () in
   let omutex = Mutex.create () in
   let ocond = Condition.create () in
   let push_order e =
     Mutex.lock omutex;
     Queue.add e order;
+    let depth = Queue.length order in
+    Mutex.unlock omutex;
     Condition.signal ocond;
-    Mutex.unlock omutex
+    mgauge "router_reassembly_depth" (float_of_int depth)
   in
   let backend_error b =
     Protocol.response_error ~id:Json.Null ~code:Protocol.Bad_request
       ~message:
         (Printf.sprintf "router: backend %d closed before responding" b)
+  in
+  (* One trace id per router run; each routed call gets "r<id>.<seq>". *)
+  let trace_run = Trace.new_trace_id () in
+  let lines_seen = ref 0 in
+  let emit_line line =
+    output_string output line;
+    output_char output '\n';
+    flush output
+  in
+  (* Pop one response from every backend, shard order. *)
+  let pop_all () = Array.to_list (Array.map pop_line barr) in
+  let merge_fanout ~op ~uptime =
+    match pop_all () with
+    | [ only ] ->
+      (* 1-shard fleet: the single backend's control response verbatim,
+         byte-identical to an unrouted server *)
+      (match only with Some l -> l | None -> backend_error 0)
+    | popped -> (
+      let parse_result (i, l) =
+        match l with
+        | None -> Error (Printf.sprintf "backend %d closed" i)
+        | Some l -> (
+          match Json.parse l with
+          | Error e -> Error (Printf.sprintf "backend %d: %s" i e)
+          | Ok r -> (
+            match (Json.member "id" r, Json.member "result" r) with
+            | Some id, Some result -> Ok (id, result)
+            | _ -> Error (Printf.sprintf "backend %d: not an ok response" i)))
+      in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+          match parse_result x with
+          | Ok r -> collect (r :: acc) rest
+          | Error _ as e -> e)
+      in
+      match collect [] (List.mapi (fun i l -> (i, l)) popped) with
+      | Error e ->
+        mincr "router_backend_errors";
+        Protocol.response_error ~id:Json.Null ~code:Protocol.Bad_request
+          ~message:(Printf.sprintf "router: fleet %s merge failed: %s" op e)
+      | Ok results -> (
+        let id = match results with (id, _) :: _ -> id | [] -> Json.Null in
+        let payloads = List.map snd results in
+        let merged =
+          if op = "stats" then Fleet.merge_stats ~uptime_ticks:uptime payloads
+          else Fleet.merge_metrics ~uptime_ticks:uptime payloads
+        in
+        match merged with
+        | Ok result -> Protocol.response_ok_json ~id ~op ~result
+        | Error e ->
+          mincr "router_backend_errors";
+          Protocol.response_error ~id ~code:Protocol.Bad_request
+            ~message:(Printf.sprintf "router: fleet %s merge failed: %s" op e)))
   in
   let emitter =
     Thread.create
@@ -189,29 +292,46 @@ let run ?(config = default_config) ~backends ~input ~output () =
             Condition.wait ocond omutex
           done;
           let entry = Queue.pop order in
+          let depth = Queue.length order in
           Mutex.unlock omutex;
+          mgauge "router_reassembly_depth" (float_of_int depth);
           match entry with
           | Done -> running := false
-          | Expect i ->
+          | Expect { backend = i; tc } ->
+            Trace.with_span ~cat:"router"
+              ~args:[ ("backend", Json.Int i) ]
+              "router.reassemble"
+            @@ fun () ->
             let line =
               match pop_line barr.(i) with
-              | Some l -> l
-              | None -> backend_error i
+              | Some l -> (
+                match tc with Some t -> Protocol.strip_tc ~tc:t l | None -> l)
+              | None ->
+                mincr "router_backend_errors";
+                backend_error i
             in
-            output_string output line;
-            output_char output '\n';
-            flush output
+            note_emitted i;
+            emit_line line
+          | Expect_fanout { op; uptime } ->
+            Trace.with_span ~cat:"router"
+              ~args:[ ("op", Json.String op) ]
+              "router.reassemble"
+            @@ fun () ->
+            let line = merge_fanout ~op ~uptime in
+            Array.iteri (fun i _ -> note_emitted i) barr;
+            emit_line line
           | Expect_broadcast ->
             let line =
               match pop_line barr.(0) with
               | Some l -> l
-              | None -> backend_error 0
+              | None ->
+                mincr "router_backend_errors";
+                backend_error 0
             in
             (* the other backends' acks are intentionally left in their
                FIFOs: one request, one response line *)
-            output_string output line;
-            output_char output '\n';
-            flush output
+            note_emitted 0;
+            emit_line line
         done)
       ()
   in
@@ -224,21 +344,57 @@ let run ?(config = default_config) ~backends ~input ~output () =
     | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
       false
   in
+  let bytes_counter = Array.init n (Printf.sprintf "router_routed_bytes_shard_%d") in
+  let send_counted b line =
+    (match metrics with
+    | Some m ->
+      let by = String.length line + 1 in
+      Metrics.incr m ~by "router_routed_bytes";
+      Metrics.incr m ~by bytes_counter.(b.index)
+    | None -> ());
+    note_sent b.index;
+    ignore (send b line)
+  in
   let shutting_down = ref false in
   (try
      while not !shutting_down do
        match In_channel.input_line input with
        | None -> shutting_down := true
-       | Some line -> (
-         match route_line ring line with
-         | To i ->
-           if send barr.(i) line then push_order (Expect i)
-           else push_order (Expect i) (* reader marks closed; emitter
-                                         substitutes the error line *)
-         | Broadcast ->
-           Array.iter (fun b -> ignore (send b line)) barr;
-           push_order Expect_broadcast;
-           shutting_down := true)
+       | Some line ->
+         (* Blank lines produce no response from a backend (the engine
+            skips them), so forwarding one would wedge the reassembly
+            order — skip them here exactly as an unrouted server does. *)
+         if String.trim line = "" then ()
+         else begin
+           incr lines_seen;
+           mincr "router_requests";
+           mgauge "router_lines_seen" (float_of_int !lines_seen);
+           let seq = !lines_seen in
+           Trace.with_span ~cat:"router"
+             ~args:[ ("seq", Json.Int seq) ]
+             "router.enqueue"
+           @@ fun () ->
+           match
+             Trace.with_span ~cat:"router" "router.route" (fun () ->
+                 route_line ring line)
+           with
+           | To { backend = i; stamp } ->
+             let tc =
+               if stamp then Some (Printf.sprintf "r%d.%d" trace_run seq)
+               else None
+             in
+             send_counted barr.(i) (Protocol.with_tc tc line);
+             push_order (Expect { backend = i; tc })
+           | Fanout { op } ->
+             mincr "router_fanouts";
+             Array.iter (fun b -> send_counted b line) barr;
+             push_order (Expect_fanout { op; uptime = !lines_seen })
+           | Broadcast ->
+             send_counted barr.(0) line;
+             Array.iteri (fun i b -> if i > 0 then ignore (send b line)) barr;
+             push_order Expect_broadcast;
+             shutting_down := true
+         end
      done
    with Sys_error _ -> ());
   (* Half-close every backend: the servers see EOF, flush their final
@@ -255,6 +411,63 @@ let run ?(config = default_config) ~backends ~input ~output () =
   Array.iter
     (fun b -> try Unix.close b.fd with Unix.Unix_error _ -> ())
     barr
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-band scraping (Prometheus exporter)                          *)
+
+(* A fresh connection per scrape, sending a *quiet* metrics request: the
+   backend answers without ticking its logical clock or moving any
+   counter, so an exporter polling concurrently with a golden replay
+   cannot perturb a single deterministic byte. *)
+let scrape_metrics ?(timeout = 5.) path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (err, _, _) ->
+        Error
+          (Printf.sprintf "scrape %s: %s" path (Unix.error_message err))
+      | () -> (
+        match
+          Server.write_all ~idle_timeout:timeout fd
+            "{\"op\":\"metrics\",\"quiet\":true}\n"
+        with
+        | exception Server.Write_stalled -> Error ("scrape " ^ path ^ ": stalled")
+        | exception Unix.Unix_error (err, _, _) ->
+          Error (Printf.sprintf "scrape %s: %s" path (Unix.error_message err))
+        | () -> (
+          let reader = Server.Line_reader.create fd in
+          match
+            Server.Line_reader.read ~stop:(Atomic.make false)
+              ~idle_timeout:timeout ~max_line:(1 lsl 22) reader
+          with
+          | Server.Line_reader.Line l -> (
+            match Json.parse l with
+            | Error e -> Error (Printf.sprintf "scrape %s: %s" path e)
+            | Ok r -> (
+              match Json.member "result" r with
+              | Some result -> Ok result
+              | None -> Error ("scrape " ^ path ^ ": no result payload")))
+          | Eof | Timeout | Oversized | Stopped ->
+            Error ("scrape " ^ path ^ ": no response"))))
+
+let fleet_prometheus_render ?prefix ~metrics ~sockets () =
+  let shard_dumps =
+    List.map
+      (fun path ->
+        match scrape_metrics path with
+        | Ok dump -> dump
+        | Error e ->
+          Metrics.incr metrics "router_scrape_errors";
+          Log.warn ~fields:[ ("error", Json.String e) ] "fleet scrape failed";
+          (* an unscrapeable shard contributes no series this pass *)
+          Json.Obj [])
+      sockets
+  in
+  match Fleet.fleet_prometheus ?prefix ~router:(Metrics.to_json metrics) shard_dumps with
+  | Ok text -> text
+  | Error e -> Printf.sprintf "# fleet exposition failed: %s\n" e
 
 (* ------------------------------------------------------------------ *)
 (* Spawning a local shard fleet                                        *)
@@ -282,7 +495,7 @@ let wait_for_socket ?(timeout = 10.) path =
   in
   go ()
 
-let spawn_shard ?batch ~make_engine ~socket ~server_config i =
+let spawn_shard ?batch ?trace ~make_engine ~socket ~server_config i =
   (* don't let the child inherit (and re-flush at exit) buffered output *)
   flush stdout;
   flush stderr;
@@ -292,10 +505,21 @@ let spawn_shard ?batch ~make_engine ~socket ~server_config i =
        the caller's code *)
     let status =
       try
+        (* shard identity for merged stderr and (via the environment)
+           any exec'd descendants *)
+        Log.set_shard i;
+        Unix.putenv "FUSECU_LOG_SHARD" (string_of_int i);
+        (match trace with Some _ -> Trace.start () | None -> ());
         let engine : Engine.t = make_engine i in
         Server.serve_socket engine ?batch ~config:server_config ~path:socket ();
         (match Engine.store engine with
         | Some s -> Store.close s
+        | None -> ());
+        (match trace with
+        | Some path ->
+          Trace.export ~pid:(Unix.getpid ())
+            ~process_name:(Printf.sprintf "shard-%d" i)
+            path
         | None -> ());
         0
       with e ->

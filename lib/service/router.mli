@@ -8,11 +8,25 @@
     a plan is recomputed, never what it is), so the reassembled
     transcript is byte-identical for every shard count and across
     cold/warm stores. [stats]/[metrics] are the exception — their
-    counters are per-process — so they are pinned to backend 0: a
-    1-shard tier reproduces the single-server transcript exactly,
-    control lines included, and cross-shard-count comparisons exclude
-    control lines. [shutdown] is broadcast to every backend; the client
-    sees backend 0's (byte-identical) ack.
+    counters are per-process — so they fan out to every backend and the
+    router emits the {!Fleet} merge (counters summed, histograms
+    bucket-wise, per-shard payloads under a ["shards"] key); a 1-shard
+    tier passes the single backend's control responses through verbatim,
+    reproducing the single-server transcript exactly, control lines
+    included. The fleet's [uptime_ticks] is the router's own request-line
+    count, a pure function of client traffic. Cross-shard-count
+    comparisons still exclude control lines (counters are shard-count
+    dependent). [shutdown] is broadcast to every backend; the client
+    sees backend 0's (byte-identical) ack. Blank input lines are
+    skipped, exactly as an unrouted server skips them.
+
+    {b Trace propagation.} Each routable call is stamped with a trace
+    context ["r<trace>.<seq>"] in the ["tc"] envelope member
+    ({!Protocol.with_tc} — a textual splice, so no other byte changes).
+    Backends attach it to their spans and echo it on responses; the
+    router strips the exact echo before emitting. Routed output is
+    therefore byte-identical whether or not tracing, logging or a
+    metrics registry is enabled anywhere in the fleet.
 
     {b Placement.} The ring hashes backend indices, not socket paths
     ({!Fusecu_util.Hash.fnv1a64_positive}, 64 virtual nodes per backend
@@ -33,6 +47,7 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?metrics:Metrics.t ->
   backends:string list ->
   input:in_channel ->
   output:out_channel ->
@@ -42,9 +57,32 @@ val run :
     in-band [shutdown], which is broadcast): one response line per
     request line, in request order. A backend that dies mid-request
     yields a [bad_request] error line for each of its outstanding
-    requests rather than wedging the stream. Raises [Failure] when a
-    backend socket cannot be connected, [Invalid_argument] on an empty
-    backend list. *)
+    requests rather than wedging the stream. When [metrics] is given the
+    router maintains its own registry — [router_requests],
+    [router_routed_bytes] (total and per shard), [router_fanouts],
+    [router_backend_errors] counters; per-backend
+    [router_inflight_shard_i] and [router_reassembly_depth] gauges —
+    all off the response path. Raises [Failure] when a backend socket
+    cannot be connected, [Invalid_argument] on an empty backend list. *)
+
+(** {1 Out-of-band scraping} *)
+
+val scrape_metrics : ?timeout:float -> string -> (Fusecu_util.Json.t, string) result
+(** Open a fresh connection to a backend socket, send a {e quiet}
+    metrics request ([{"op":"metrics","quiet":true}]) and return the
+    dump payload. Quiet scrapes move no counter and no tick, so polling
+    concurrently with a golden replay cannot perturb any deterministic
+    byte. *)
+
+val fleet_prometheus_render :
+  ?prefix:string -> metrics:Metrics.t -> sockets:string list -> unit -> string
+(** Render the fleet Prometheus exposition for the [--metrics-addr]
+    exporter: scrape every backend ({!scrape_metrics}), merge with the
+    router's own registry, label shard series with [{shard="i"}]
+    ({!Fleet.fleet_prometheus}). A shard that fails to scrape
+    contributes no series for that pass (and bumps
+    [router_scrape_errors]); an unrenderable fleet yields a comment
+    line, never an exception. *)
 
 (** {1 Spawning a local shard fleet} *)
 
@@ -56,6 +94,7 @@ val wait_for_socket : ?timeout:float -> string -> bool
 
 val spawn_shard :
   ?batch:int ->
+  ?trace:string ->
   make_engine:(int -> Engine.t) ->
   socket:string ->
   server_config:Server.socket_config ->
@@ -64,7 +103,12 @@ val spawn_shard :
 (** Fork a shard process serving [socket]: the child builds its engine
     via [make_engine i] (shard index — e.g. to open a per-shard store),
     runs {!Server.serve_socket} until shutdown, closes the engine's
-    store, and exits. *)
+    store, and exits. The child tags its log records with the shard
+    index ({!Fusecu_util.Log.set_shard}; [FUSECU_LOG_SHARD] is exported
+    for exec'd descendants). When [trace] names a file, the child
+    collects spans for its whole life and exports them there as a
+    Chrome trace on exit, under its real pid with a ["shard-i"] process
+    lane — ready for {!Fusecu_util.Trace.merge_chrome}. *)
 
 val stop_children : child list -> unit
 (** SIGTERM then reap every child (each drains gracefully — PR 3's

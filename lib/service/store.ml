@@ -38,6 +38,10 @@ type t = {
   mutable flusher : Thread.t option;
   mutable appended : int;
   recovery : recovery;
+  mutable metrics : Metrics.t option;
+      (* instrumentation sink ([set_metrics]); never read while holding
+         [mutex] is required — metrics calls happen after unlock, so the
+         only lock order is store.mutex before metrics.mutex *)
 }
 
 let frame key outcome =
@@ -140,11 +144,21 @@ let flusher_loop t =
     if not (Queue.is_empty batch) then begin
       let buf = Buffer.create 1024 in
       Queue.iter (fun (k, o) -> Buffer.add_string buf (frame k o)) batch;
+      let t0 = Unix.gettimeofday () in
       write_string t.fd (Buffer.contents buf);
+      let dt = Unix.gettimeofday () -. t0 in
       Mutex.lock t.mutex;
       t.appended <- t.appended + Queue.length batch;
       Condition.broadcast t.drained;
-      Mutex.unlock t.mutex
+      let depth = Queue.length t.queue in
+      Mutex.unlock t.mutex;
+      match t.metrics with
+      | Some m ->
+        Metrics.observe m "store_flush_batch"
+          (float_of_int (Queue.length batch));
+        Metrics.observe m "store_append_seconds" (Float.max 0. dt);
+        Metrics.set_gauge m "store_queue_depth" (float_of_int depth)
+      | None -> ()
     end
   done;
   Mutex.lock t.mutex;
@@ -185,12 +199,26 @@ let open_ ~path =
           stop = false;
           flusher = None;
           appended = 0;
-          recovery }
+          recovery;
+          metrics = None }
       in
       t.flusher <- Some (Thread.create flusher_loop t);
       Ok t)
 
 let recovered t = t.recovery
+
+let set_metrics t m =
+  t.metrics <- Some m;
+  (* Recovery counters are registered only when nonzero: a cold fresh
+     store must leave the deterministic counter set untouched so the
+     full-transcript golden compare of a cold run (store drill) stays
+     exact. Warm/damaged opens surface what recovery found. *)
+  let r = t.recovery in
+  if r.records > 0 then Metrics.incr ~by:r.records m "store_records_loaded";
+  if r.dropped_records > 0 then
+    Metrics.incr ~by:r.dropped_records m "store_dropped_records";
+  if r.dropped_bytes > 0 then
+    Metrics.incr ~by:r.dropped_bytes m "store_torn_tail_bytes"
 
 let append t key outcome =
   Mutex.lock t.mutex;
@@ -198,7 +226,11 @@ let append t key outcome =
     Queue.add (key, outcome) t.queue;
     Condition.signal t.cond
   end;
-  Mutex.unlock t.mutex
+  let depth = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  match t.metrics with
+  | Some m -> Metrics.set_gauge m "store_queue_depth" (float_of_int depth)
+  | None -> ()
 
 let flush t =
   Mutex.lock t.mutex;

@@ -45,6 +45,18 @@ val open_ : path:string -> (t, string) result
 val recovered : t -> recovery
 (** What {!open_} found — feed [entries] to {!Cache.add} to warm-load. *)
 
+val set_metrics : t -> Metrics.t -> unit
+(** Attach an instrumentation sink (the engine wires its own registry at
+    {!Engine.create}). Registers the recovery counters
+    [store_records_loaded], [store_dropped_records] and
+    [store_torn_tail_bytes] — {e only} the nonzero ones, so a cold fresh
+    store leaves the deterministic counter set (and with it the golden
+    [stats] line) untouched — and makes the flusher maintain the
+    [store_queue_depth] gauge plus [store_flush_batch] /
+    [store_append_seconds] histograms. None of these appear on any
+    response path except the non-golden [metrics] dump, so
+    instrumentation cannot perturb transcripts. *)
+
 val append : t -> string -> Protocol.outcome -> unit
 (** Enqueue one record for the flusher; never blocks on disk. Silently
     dropped after {!close} (shutdown races are benign: the store is a

@@ -28,6 +28,15 @@ let level = ref (None : level option)
 
 let initialized = ref false
 
+(* Shard identity for fleet log attribution: set by the router in its
+   forked children ([set_shard]) or inherited via FUSECU_LOG_SHARD so
+   merged stderr from a routed fleet stays attributable. Benign-race
+   ref: written once at process/child setup, before concurrent
+   logging starts. *)
+let shard = ref (None : int option)
+
+let set_shard i = shard := Some i
+
 let file = ref (None : out_channel option)
 
 let custom_sink = ref (None : (string -> unit) option)
@@ -44,6 +53,11 @@ let init_locked () =
     initialized := true;
     (match Sys.getenv_opt "FUSECU_LOG" with
     | Some s -> ( match level_of_string s with Ok l -> level := l | Error _ -> ())
+    | None -> ());
+    (match Sys.getenv_opt "FUSECU_LOG_SHARD" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with
+      | Some i when i >= 0 -> shard := Some i
+      | _ -> ())
     | None -> ());
     match Sys.getenv_opt "FUSECU_LOG_FILE" with
     | Some path when path <> "" -> (
@@ -98,13 +112,21 @@ let emit_locked line =
 
 let msg lvl ?(fields = []) text =
   if enabled lvl then begin
+    let identity =
+      ("pid", Json.Int (Unix.getpid ()))
+      ::
+      (match !shard with
+      | Some i -> [ ("shard", Json.Int i) ]
+      | None -> [])
+    in
     let line =
       Json.print
         (Json.Obj
            (("ts", Json.Float (Trace.now ()))
            :: ("level", Json.String (level_to_string lvl))
-           :: ("msg", Json.String text)
-           :: fields))
+           :: (identity
+              @ ("msg", Json.String text)
+                :: fields)))
     in
     with_lock (fun () -> emit_locked line)
   end

@@ -39,6 +39,12 @@ val set_file : string -> unit
 val set_sink : (string -> unit) -> unit
 (** Redirect complete NDJSON lines to an arbitrary consumer (tests). *)
 
+val set_shard : int -> unit
+(** Tag every subsequent record with a [shard] field. The router calls
+    this in each forked backend (and exports [FUSECU_LOG_SHARD] for
+    exec'd descendants, read at first use) so merged stderr from a
+    fleet stays attributable per shard. *)
+
 val debug : ?fields:(string * Json.t) list -> string -> unit
 
 val info : ?fields:(string * Json.t) list -> string -> unit
@@ -49,4 +55,5 @@ val error : ?fields:(string * Json.t) list -> string -> unit
 
 val msg : level -> ?fields:(string * Json.t) list -> string -> unit
 (** Emit one record if [level] is enabled: [ts] (seconds, collector
-    clock), [level], [msg], then [fields] in the given order. *)
+    clock), [level], [pid], [shard] (when set), [msg], then [fields] in
+    the given order. *)

@@ -134,24 +134,90 @@ let summary () =
         state.totals [])
   |> List.sort (fun a b -> String.compare a.cat b.cat)
 
-let event_json ev =
+let event_json ~pid ev =
   Json.Obj
     [ ("name", Json.String ev.name);
       ("cat", Json.String ev.cat);
       ("ph", Json.String "X");
       ("ts", Json.Float ev.ts_us);
       ("dur", Json.Float ev.dur_us);
-      ("pid", Json.Int 1);
+      ("pid", Json.Int pid);
       ("tid", Json.Int ev.tid);
       ("args", Json.Obj (("depth", Json.Int ev.depth) :: ev.args)) ]
 
-let to_chrome_json () =
+(* Chrome groups events into process lanes by [pid] and titles the lane
+   from a [process_name] metadata event. Exports default to the fixed
+   pid 1 (single-process profiles, stable goldens); multi-process
+   exports (the routed fleet) pass the real pid and a lane name so
+   [merge_chrome] produces distinct, labelled lanes. *)
+let process_name_event ~pid name =
   Json.Obj
-    [ ("traceEvents", Json.List (List.map event_json (events ())));
+    [ ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String name) ]) ]
+
+let to_chrome_json ?(pid = 1) ?process_name () =
+  let meta =
+    match process_name with
+    | None -> []
+    | Some name -> [ process_name_event ~pid name ]
+  in
+  Json.Obj
+    [ ("traceEvents",
+       Json.List (meta @ List.map (event_json ~pid) (events ())));
       ("displayTimeUnit", Json.String "ms") ]
 
-let export path =
-  let dump = Json.print (to_chrome_json ()) in
+let export ?pid ?process_name path =
+  let dump = Json.print (to_chrome_json ?pid ?process_name ()) in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc dump;
       Out_channel.output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process merge                                                 *)
+
+(* Merge several Chrome trace objects (one per process of a routed
+   fleet) into a single timeline. Metadata events keep lane titles and
+   sort first; complete events interleave by start timestamp — every
+   process records on the same wall clock ([Unix.gettimeofday]), so
+   cross-process ordering is meaningful without any offset fixup. The
+   sort is stable: events with equal timestamps keep their per-file
+   (recording) order. *)
+let merge_chrome traces =
+  let events_of t =
+    match t with
+    | Json.Obj _ -> (
+      match Json.member "traceEvents" t with
+      | Some (Json.List evs) -> Ok evs
+      | Some _ -> Error "traceEvents is not an array"
+      | None -> Error "missing traceEvents")
+    | _ -> Error "trace is not a JSON object"
+  in
+  let rec collect acc i = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | t :: rest -> (
+      match events_of t with
+      | Ok evs -> collect (evs :: acc) (i + 1) rest
+      | Error e -> Error (Printf.sprintf "trace %d: %s" i e))
+  in
+  match collect [] 0 traces with
+  | Error _ as e -> e
+  | Ok all ->
+    let key ev =
+      match Json.member "ph" ev with
+      | Some (Json.String "M") -> Float.neg_infinity
+      | _ -> (
+        match Json.member "ts" ev with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int n) -> float_of_int n
+        | _ -> Float.neg_infinity)
+    in
+    let sorted =
+      List.stable_sort (fun a b -> Float.compare (key a) (key b)) all
+    in
+    Ok
+      (Json.Obj
+         [ ("traceEvents", Json.List sorted);
+           ("displayTimeUnit", Json.String "ms") ])

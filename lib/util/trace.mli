@@ -87,10 +87,23 @@ val summary : unit -> cat_summary list
 
 (** {1 Export} *)
 
-val to_chrome_json : unit -> Json.t
+val to_chrome_json : ?pid:int -> ?process_name:string -> unit -> Json.t
 (** The collected events as a Chrome trace-event JSON object
     ([{"traceEvents": [...]}], phase ["X"] complete events, timestamps
-    in microseconds), loadable in [chrome://tracing] and Perfetto. *)
+    in microseconds), loadable in [chrome://tracing] and Perfetto.
+    [pid] defaults to the fixed lane 1 (single-process profiles keep
+    their golden shape); pass the real process id — and a [process_name]
+    lane title, emitted as a [process_name] metadata event — when the
+    file will be merged with other processes' traces
+    ({!merge_chrome}). *)
 
-val export : string -> unit
+val export : ?pid:int -> ?process_name:string -> string -> unit
 (** Write {!to_chrome_json} to a file. *)
+
+val merge_chrome : Json.t list -> (Json.t, string) result
+(** Merge parsed Chrome trace objects (one per process of a routed
+    fleet) into a single timeline: lane-title metadata events first,
+    then all complete events interleaved by start timestamp (stable, so
+    equal timestamps keep per-file recording order). Every process
+    records on the same wall clock, so no timestamp fixup is applied.
+    [Error] when an input lacks a [traceEvents] array. *)

@@ -239,7 +239,7 @@ let test_cache_snapshot_consistent_under_load () =
 
 let parse_ok line =
   match Protocol.parse_line line with
-  | Ok (id, req) -> (id, req)
+  | Ok (id, _tc, req) -> (id, req)
   | Error r -> Alcotest.failf "unexpected reject of %S: %s" line r.message
 
 let parse_reject line =
@@ -1144,6 +1144,360 @@ let test_plan_model_unknown_model () =
   | _ -> Alcotest.fail "expected one response"
 
 (* ------------------------------------------------------------------ *)
+(* Trace-context envelope: splice, strip, parse                        *)
+
+let test_tc_envelope () =
+  let plain = "{\"op\":\"stats\",\"id\":3}" in
+  let stamped = Protocol.with_tc (Some "r7.12") plain in
+  check_str "splice before the closing brace"
+    "{\"op\":\"stats\",\"id\":3,\"tc\":\"r7.12\"}" stamped;
+  check_str "strip restores the exact bytes" plain
+    (Protocol.strip_tc ~tc:"r7.12" stamped);
+  check_str "empty object splices without a comma" "{\"tc\":\"r1.0\"}"
+    (Protocol.with_tc (Some "r1.0") "{}");
+  check_str "None is the identity" plain (Protocol.with_tc None plain);
+  check_str "non-object line unchanged" "nonsense"
+    (Protocol.with_tc (Some "r1.0") "nonsense");
+  check_str "strip without the suffix is the identity" plain
+    (Protocol.strip_tc ~tc:"r9.9" plain);
+  check_str "strip of a different tc is the identity" stamped
+    (Protocol.strip_tc ~tc:"r7.13" stamped);
+  (match Protocol.parse_line stamped with
+  | Ok (Json.Int 3, Some tc, Protocol.Stats) -> check_str "tc parsed" "r7.12" tc
+  | _ -> Alcotest.fail "stamped stats line did not parse");
+  match Protocol.parse_line plain with
+  | Ok (_, None, Protocol.Stats) -> ()
+  | _ -> Alcotest.fail "unstamped line must carry no tc"
+
+(* End-to-end propagation: a router-stamped request flows through the
+   engine; the response echoes the stamp (strippable back to the plain
+   bytes — the routed-golden precondition) and the engine's spans carry
+   the context in their args, which is what lets a merged fleet trace
+   correlate backend work with router spans. *)
+let test_tc_propagation_roundtrip () =
+  let plain =
+    "{\"op\":\"intra\",\"id\":7,\"m\":96,\"k\":64,\"l\":48,\"buffer\":\"8KB\"}"
+  in
+  let stamped = Protocol.with_tc (Some "r1.5") plain in
+  let run line =
+    Engine.handle_lines (Engine.create (Engine.default_config ())) [ line ]
+  in
+  let baseline = run plain in
+  Fusecu_util.Trace.start ();
+  let traced, events =
+    Fun.protect
+      ~finally:(fun () ->
+        Fusecu_util.Trace.stop ();
+        Fusecu_util.Trace.clear ())
+      (fun () ->
+        let t = run stamped in
+        (t, Fusecu_util.Trace.events ()))
+  in
+  (match (baseline, traced) with
+  | [ b ], [ t ] ->
+    check_str "stamped response = plain response + tc echo"
+      (Protocol.with_tc (Some "r1.5") b) t;
+    check_str "stripping the echo restores the plain bytes" b
+      (Protocol.strip_tc ~tc:"r1.5" t)
+  | _ -> Alcotest.fail "expected exactly one response per request");
+  let carries e =
+    List.exists
+      (fun (k, v) -> k = "tc" && Json.equal v (Json.String "r1.5"))
+      e.Fusecu_util.Trace.args
+  in
+  check_bool "an engine span carries the propagated context" true
+    (List.exists carries events)
+
+(* ------------------------------------------------------------------ *)
+(* Router: 1-shard control-line identity                               *)
+
+(* A 1-shard routed tier must reproduce the unrouted server transcript
+   byte for byte INCLUDING control lines: the router passes the single
+   backend's stats response through verbatim instead of re-wrapping it
+   in a fleet merge (Router doc, "Determinism"). *)
+let routed_identity_requests = fault_requests @ [ "{\"op\":\"stats\",\"id\":99}" ]
+
+let test_router_single_shard_stats_identity () =
+  let direct =
+    with_server (fun ~engine:_ ~path -> exchange path routed_identity_requests)
+  in
+  let routed =
+    with_server (fun ~engine:_ ~path ->
+        let req = Filename.temp_file "fusecu_route_req" ".ndjson" in
+        let resp = Filename.temp_file "fusecu_route_resp" ".ndjson" in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Sys.remove req with Sys_error _ -> ());
+            try Sys.remove resp with Sys_error _ -> ())
+          (fun () ->
+            let oc = open_out req in
+            List.iter
+              (fun l -> output_string oc (l ^ "\n"))
+              routed_identity_requests;
+            close_out oc;
+            let input = open_in req and output = open_out resp in
+            Fun.protect
+              ~finally:(fun () ->
+                close_in_noerr input;
+                close_out_noerr output)
+              (fun () -> Router.run ~backends:[ path ] ~input ~output ());
+            let ic = open_in resp in
+            let rec lines acc =
+              match input_line ic with
+              | l -> lines (l :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+                lines [])))
+  in
+  check_int "response counts" (List.length direct) (List.length routed);
+  List.iteri
+    (fun i (d, r) ->
+      if d <> r then
+        Alcotest.failf "line %d diverges:\n  direct: %s\n  routed: %s" i d r)
+    (List.combine direct routed)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet: histogram codec and metric merging                           *)
+
+let test_fleet_histogram_codec () =
+  let open Fleet in
+  (* empty histogram round-trips through the sparse encoding *)
+  (match parse_histogram (histogram_to_json (empty_hist ())) with
+  | Ok h ->
+    check_int "empty count" 0 h.count;
+    check_bool "empty bins" true (Array.for_all (( = ) 0) h.bins)
+  | Error e -> Alcotest.failf "empty round-trip: %s" e);
+  (* a saturated final open bucket (null bound) round-trips *)
+  let bins = Array.make Metrics.buckets 0 in
+  bins.(Metrics.buckets - 1) <- 5;
+  let sat = { count = 5; total_s = 5000.; bins } in
+  (match parse_histogram (histogram_to_json sat) with
+  | Ok h ->
+    check_int "open-bucket population survives" 5 h.bins.(Metrics.buckets - 1);
+    check_int "count" 5 h.count
+  | Error e -> Alcotest.failf "saturated round-trip: %s" e);
+  (* merge is bucket-wise *)
+  let b1 = Array.make Metrics.buckets 0 and b2 = Array.make Metrics.buckets 0 in
+  b1.(0) <- 2;
+  b1.(3) <- 1;
+  b2.(3) <- 4;
+  b2.(Metrics.buckets - 1) <- 1;
+  let m =
+    merge_histograms
+      { count = 3; total_s = 1.; bins = b1 }
+      { count = 5; total_s = 2.; bins = b2 }
+  in
+  check_int "merged count" 8 m.count;
+  check_int "bucket 0" 2 m.bins.(0);
+  check_int "bucket 3 (both sides)" 5 m.bins.(3);
+  check_int "open bucket" 1 m.bins.(Metrics.buckets - 1);
+  (* refusals: snapshots that don't fit the shared layout are errors,
+     never guessed at *)
+  let bucket le n = Json.Obj [ ("le_us", le); ("n", Json.Int n) ] in
+  let hist ?(count = 1) buckets =
+    Json.Obj
+      [ ("count", Json.Int count);
+        ("total_s", Json.Float 0.);
+        ("buckets", Json.List buckets) ]
+  in
+  let refused what j =
+    check_bool what true (Result.is_error (parse_histogram j))
+  in
+  refused "bound off the log2 lattice" (hist [ bucket (Json.Int 3) 1 ]);
+  refused "bucket sum disagrees with count"
+    (hist ~count:2 [ bucket (Json.Int 2) 1 ]);
+  refused "negative count" (hist ~count:(-1) []);
+  refused "not an object" (Json.Int 7)
+
+let test_fleet_merge_metrics_sums () =
+  let dump incrs obs ticks =
+    let m = Metrics.create () in
+    List.iter (fun (k, n) -> Metrics.incr ~by:n m k) incrs;
+    List.iter (fun (k, s) -> Metrics.observe m k s) obs;
+    Metrics.set_gauge m "uptime_ticks" (float_of_int ticks);
+    Metrics.set_gauge m "cache_entries" 4.;
+    Metrics.to_json m
+  in
+  let d0 =
+    dump
+      [ ("requests", 3) ]
+      [ ("latency_intra", 0.0015); ("latency_intra", 0.5) ]
+      10
+  in
+  let d1 =
+    dump
+      [ ("requests", 2); ("compute_errors", 1) ]
+      [ ("latency_intra", 0.002); ("latency_chain", 1.0) ]
+      7
+  in
+  check_bool "malformed dump refused" true
+    (Result.is_error (Fleet.merge_metrics ~uptime_ticks:0 [ Json.Int 1 ]));
+  match Fleet.merge_metrics ~uptime_ticks:42 [ d0; d1 ] with
+  | Error e -> Alcotest.fail e
+  | Ok merged ->
+    let counter name =
+      match Json.member "counters" merged with
+      | Some (Json.Obj kvs) -> (
+        match List.assoc_opt name kvs with Some (Json.Int n) -> n | _ -> 0)
+      | _ -> Alcotest.fail "merged dump has no counters"
+    in
+    check_int "shared counters sum" 5 (counter "requests");
+    check_int "one-sided counters union in" 1 (counter "compute_errors");
+    let hist name =
+      match Json.member "latency" merged with
+      | Some (Json.Obj kvs) -> (
+        match List.assoc_opt name kvs with
+        | Some h -> (
+          match Fleet.parse_histogram h with
+          | Ok h -> h
+          | Error e -> Alcotest.fail e)
+        | None -> Alcotest.failf "histogram %s missing from merge" name)
+      | _ -> Alcotest.fail "merged dump has no latency family"
+    in
+    check_int "histogram counts add" 3 (hist "latency_intra").Fleet.count;
+    check_int "one-sided histogram unions in" 1
+      (hist "latency_chain").Fleet.count;
+    (* bucket-wise, not count-wise: 1.5 ms and 2 ms share a log2 bin,
+       0.5 s lands elsewhere *)
+    let h = hist "latency_intra" in
+    check_int "shared bin holds both sides" 2
+      h.Fleet.bins.(Metrics.bucket_of_seconds 0.002);
+    check_int "distant bin unmerged" 1
+      h.Fleet.bins.(Metrics.bucket_of_seconds 0.5);
+    let gauge name =
+      match Json.member "gauges" merged with
+      | Some g -> Json.member name g
+      | None -> None
+    in
+    check_bool "router clock replaces summed ticks" true
+      (match gauge "uptime_ticks" with
+      | Some (Json.Int 42) | Some (Json.Float 42.) -> true
+      | _ -> false);
+    check_bool "other gauges union-sum" true
+      (match gauge "cache_entries" with
+      | Some (Json.Float 8.) | Some (Json.Int 8) -> true
+      | _ -> false);
+    check_bool "per-shard dumps preserved in shard order" true
+      (match Json.member "shards" merged with
+      | Some s ->
+        Json.equal s
+          (Json.List
+             (List.mapi
+                (fun i d ->
+                  Json.Obj [ ("shard", Json.Int i); ("result", d) ])
+                [ d0; d1 ]))
+      | None -> false)
+
+(* Property: for arbitrary well-formed shard dumps, the fleet merge is
+   exactly the element-wise sum — counters counter-wise, histograms
+   bucket-wise — with the router's clock substituted for the summed
+   ticks and every input preserved under "shards". *)
+let prop_fleet_merge_is_sum =
+  let counter_names = [ "requests"; "requests_intra"; "compute_errors" ] in
+  let hist_names = [ "latency_intra"; "latency_chain" ] in
+  let shard_gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 4)
+           (pair (oneofl counter_names) (int_bound 50)))
+        (list_size (int_bound 4)
+           (pair (oneofl hist_names)
+              (list_size (int_bound 6) (float_bound_exclusive 20.)))))
+  in
+  let print_spec (cs, hs) =
+    Printf.sprintf "counters=[%s] hists=[%s]"
+      (String.concat ";"
+         (List.map (fun (k, n) -> Printf.sprintf "%s+%d" k n) cs))
+      (String.concat ";"
+         (List.map
+            (fun (k, o) -> Printf.sprintf "%s(%d obs)" k (List.length o))
+            hs))
+  in
+  QCheck.Test.make ~name:"fleet metrics merge = element-wise sum" ~count:100
+    (QCheck.make
+       ~print:(QCheck.Print.list print_spec)
+       QCheck.Gen.(list_size (1 -- 3) shard_gen))
+    (fun specs ->
+      let dumps =
+        List.mapi
+          (fun i (counters, hists) ->
+            let m = Metrics.create () in
+            List.iter (fun (k, n) -> Metrics.incr ~by:n m k) counters;
+            List.iter (fun (k, obs) -> List.iter (Metrics.observe m k) obs)
+              hists;
+            Metrics.set_gauge m "uptime_ticks" (float_of_int i);
+            Metrics.to_json m)
+          specs
+      in
+      match Fleet.merge_metrics ~uptime_ticks:99 dumps with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok merged ->
+        let counter_of dump name =
+          match Json.member "counters" dump with
+          | Some (Json.Obj kvs) -> (
+            match List.assoc_opt name kvs with
+            | Some (Json.Int n) -> n
+            | _ -> 0)
+          | _ -> 0
+        in
+        let hist_of dump name =
+          match Json.member "latency" dump with
+          | Some (Json.Obj kvs) -> (
+            match List.assoc_opt name kvs with
+            | Some h -> (
+              match Fleet.parse_histogram h with
+              | Ok h -> Some h
+              | Error e -> QCheck.Test.fail_report e)
+            | None -> None)
+          | _ -> None
+        in
+        let counters_sum =
+          List.for_all
+            (fun name ->
+              counter_of merged name
+              = List.fold_left (fun acc d -> acc + counter_of d name) 0 dumps)
+            counter_names
+        in
+        let hists_sum =
+          List.for_all
+            (fun name ->
+              let parts = List.filter_map (fun d -> hist_of d name) dumps in
+              match hist_of merged name with
+              | None -> parts = []
+              | Some m ->
+                m.Fleet.count
+                = List.fold_left (fun acc h -> acc + h.Fleet.count) 0 parts
+                && Array.for_all Fun.id
+                     (Array.init Metrics.buckets (fun b ->
+                          m.Fleet.bins.(b)
+                          = List.fold_left
+                              (fun acc h -> acc + h.Fleet.bins.(b))
+                              0 parts)))
+            hist_names
+        in
+        let clock_replaced =
+          match Json.member "gauges" merged with
+          | Some g -> (
+            match Json.member "uptime_ticks" g with
+            | Some (Json.Int 99) | Some (Json.Float 99.) -> true
+            | _ -> false)
+          | None -> false
+        in
+        let shards_kept =
+          match Json.member "shards" merged with
+          | Some s ->
+            Json.equal s
+              (Json.List
+                 (List.mapi
+                    (fun i d ->
+                      Json.Obj [ ("shard", Json.Int i); ("result", d) ])
+                    dumps))
+          | None -> false
+        in
+        counters_sum && hists_sum && clock_replaced && shards_kept)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -1169,7 +1523,9 @@ let () =
         [ Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "rejects" `Quick test_protocol_rejects;
           Alcotest.test_case "canonicalization" `Quick
-            test_protocol_canonicalization ] );
+            test_protocol_canonicalization;
+          Alcotest.test_case "trace-context envelope" `Quick test_tc_envelope ]
+      );
       ( "engine",
         [ Alcotest.test_case "transpose symmetry" `Quick test_engine_symmetry;
           Alcotest.test_case "fixture matches golden" `Quick
@@ -1227,4 +1583,15 @@ let () =
           Alcotest.test_case "metrics exporter serves scrapes" `Quick
             test_metrics_exporter;
           Alcotest.test_case "exporter rejects bad addresses" `Quick
-            test_exporter_rejects_bad_addr ] ) ]
+            test_exporter_rejects_bad_addr;
+          Alcotest.test_case "trace-context propagation round-trip" `Quick
+            test_tc_propagation_roundtrip ] );
+      ( "fleet",
+        [ Alcotest.test_case "histogram codec" `Quick
+            test_fleet_histogram_codec;
+          Alcotest.test_case "metrics merge sums" `Quick
+            test_fleet_merge_metrics_sums ]
+        @ qcheck [ prop_fleet_merge_is_sum ] );
+      ( "router",
+        [ Alcotest.test_case "1-shard stats byte-identity" `Quick
+            test_router_single_shard_stats_identity ] ) ]

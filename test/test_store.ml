@@ -28,7 +28,7 @@ let sample_outcomes =
      List.filter_map
        (fun line ->
          match Protocol.parse_line line with
-         | Ok (_, Protocol.Call c) -> (
+         | Ok (_, _, Protocol.Call c) -> (
            let canonical, _ = Protocol.canonicalize c in
            match Engine.compute engine canonical with
            | Ok outcome -> Some (Protocol.cache_key canonical, outcome)
@@ -272,6 +272,100 @@ let test_warm_replay_matches_golden () =
       check_bool "torn-tail warm replay matches golden" true
         (non_control torn = non_control golden))
 
+(* ------------------------------------------------------------------ *)
+(* Instrumentation: flusher gauges/histograms and recovery counters.
+   All of it lives off the response path (DESIGN.md §6b): the checks
+   here pin down that a fresh store registers nothing — so the golden
+   stats line is untouched — while flush traffic and recovered damage
+   are fully visible in the metrics dump. *)
+
+let hist_count metrics name =
+  match Json.member "latency" (Metrics.to_json metrics) with
+  | Some (Json.Obj kvs) -> (
+    match List.assoc_opt name kvs with
+    | Some h -> (
+      match Json.member "count" h with Some (Json.Int n) -> n | _ -> 0)
+    | None -> 0)
+  | _ -> 0
+
+let test_flusher_instrumentation () =
+  let samples = Lazy.force sample_outcomes in
+  with_tmp (fun path ->
+      let m = Metrics.create () in
+      let s = open_exn path in
+      Store.set_metrics s m;
+      (* a fresh store registers no recovery counters *)
+      check_int "no recovery counters on a fresh store" 0
+        (List.length (Metrics.counters m));
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      Store.flush s;
+      (* the flusher's metrics writes land just after `flush` returns
+         (they happen outside the store lock), hence the polls *)
+      let rec await what cond n =
+        if cond () then ()
+        else if n = 0 then Alcotest.failf "timed out awaiting %s" what
+        else begin
+          Thread.delay 0.02;
+          await what cond (n - 1)
+        end
+      in
+      await "queue depth gauge to drain"
+        (fun () ->
+          List.assoc_opt "store_queue_depth" (Metrics.gauges m) = Some 0.)
+        100;
+      await "flush batches" (fun () -> hist_count m "store_flush_batch" >= 1) 100;
+      await "append latencies"
+        (fun () -> hist_count m "store_append_seconds" >= 1)
+        100;
+      let batches = hist_count m "store_flush_batch" in
+      let appends = hist_count m "store_append_seconds" in
+      (* more traffic only ever pushes the histograms forward: both
+         record once per flushed batch, so a second flushed round adds
+         at least one observation to each *)
+      List.iter (fun (k, o) -> Store.append s ("again|" ^ k) o) samples;
+      Store.flush s;
+      await "flush-batch histogram growth"
+        (fun () -> hist_count m "store_flush_batch" > batches)
+        100;
+      await "append histogram growth"
+        (fun () -> hist_count m "store_append_seconds" > appends)
+        100;
+      Store.close s)
+
+let test_recovery_counters () =
+  let samples = Lazy.force sample_outcomes in
+  with_tmp (fun path ->
+      let s = open_exn path in
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      Store.close s;
+      (* clean reopen: the load is counted, damage counters stay
+         unregistered (zero-valued counters would pollute the
+         deterministic counter set) *)
+      let s = open_exn path in
+      let m = Metrics.create () in
+      Store.set_metrics s m;
+      check_int "records loaded" (List.length samples)
+        (Metrics.get m "store_records_loaded");
+      check_bool "zero-valued damage counters stay unregistered" true
+        ((not (List.mem_assoc "store_torn_tail_bytes" (Metrics.counters m)))
+        && not (List.mem_assoc "store_dropped_records" (Metrics.counters m)));
+      Store.close s;
+      (* tear the final record's tail off — the crash image a kill -9
+         mid-append leaves — and reopen: the drop is visible *)
+      let pristine = file_contents path in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub pristine 0 (String.length pristine - 9)));
+      let s = open_exn path in
+      let m = Metrics.create () in
+      Store.set_metrics s m;
+      check_bool "torn bytes counted" true
+        (Metrics.get m "store_torn_tail_bytes" > 0);
+      check_int "surviving records counted"
+        (List.length samples - 1)
+        (Metrics.get m "store_records_loaded");
+      Store.close s)
+
 let () =
   Alcotest.run "fusecu-store"
     [ ( "framing",
@@ -288,6 +382,11 @@ let () =
       ( "compaction",
         [ Alcotest.test_case "atomic rename, appends continue" `Quick
             test_compact_atomic_and_equivalent ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "flusher gauges and histograms" `Quick
+            test_flusher_instrumentation;
+          Alcotest.test_case "recovery counters" `Quick test_recovery_counters
+        ] );
       ( "replay",
         [ Alcotest.test_case "warm replay byte-identical to golden" `Quick
             test_warm_replay_matches_golden ] ) ]

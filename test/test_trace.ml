@@ -217,6 +217,122 @@ let test_clear () =
       Trace.with_span "y" (fun () -> ());
       check_int "records again" 1 (List.length (Trace.events ())))
 
+(* Per-process export shape: a real pid on every event plus a leading
+   process_name metadata record, ready for cross-process merging. The
+   default export (pid 1, no metadata) is pinned separately by
+   [test_chrome_json_golden]. *)
+let test_process_lane_export () =
+  install_synthetic_clock ();
+  with_collection (fun () ->
+      Trace.with_span ~cat:"c" "s" (fun () -> ());
+      match Trace.to_chrome_json ~pid:42 ~process_name:"shard-7" () with
+      | Json.Obj fields -> (
+        match List.assoc "traceEvents" fields with
+        | Json.List (meta :: evs) ->
+          check_bool "has span events" true (evs <> []);
+          check_bool "metadata first" true
+            (Json.member "ph" meta = Some (Json.String "M"));
+          check_bool "metadata is process_name" true
+            (Json.member "name" meta = Some (Json.String "process_name"));
+          check_bool "metadata pid" true
+            (Json.member "pid" meta = Some (Json.Int 42));
+          (match Json.member "args" meta with
+          | Some args ->
+            check_bool "lane title" true
+              (Json.member "name" args = Some (Json.String "shard-7"))
+          | None -> Alcotest.fail "metadata has no args");
+          List.iter
+            (fun ev ->
+              check_bool "event pid" true
+                (Json.member "pid" ev = Some (Json.Int 42)))
+            evs
+        | _ -> Alcotest.fail "no traceEvents list")
+      | _ -> Alcotest.fail "not an object")
+
+(* merge_chrome: pooled events stably sorted by timestamp, metadata
+   leading, malformed inputs refused by index. *)
+let merge_ev ~pid ~ts name =
+  Json.Obj
+    [ ("name", Json.String name);
+      ("cat", Json.String "t");
+      ("ph", Json.String "X");
+      ("ts", Json.Float ts);
+      ("dur", Json.Float 1.);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj []) ]
+
+let merged_names merged =
+  match Json.member "traceEvents" merged with
+  | Some (Json.List evs) ->
+    List.map
+      (fun ev ->
+        match Json.member "name" ev with
+        | Some (Json.String n) -> n
+        | _ -> "?")
+      evs
+  | _ -> Alcotest.fail "merged trace has no traceEvents"
+
+let test_merge_chrome_interleaves () =
+  let meta =
+    Json.Obj
+      [ ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String "router") ]) ]
+  in
+  let t1 =
+    Json.Obj
+      [ ( "traceEvents",
+          Json.List [ merge_ev ~pid:1 ~ts:10. "a"; merge_ev ~pid:1 ~ts:30. "c" ]
+        );
+        ("displayTimeUnit", Json.String "ms") ]
+  in
+  let t2 =
+    Json.Obj
+      [ ( "traceEvents",
+          Json.List [ meta; merge_ev ~pid:2 ~ts:20. "b" ] ) ]
+  in
+  match Trace.merge_chrome [ t1; t2 ] with
+  | Error e -> Alcotest.failf "merge failed: %s" e
+  | Ok merged ->
+    (* metadata first despite arriving in the second file; events
+       interleaved across processes by timestamp *)
+    Alcotest.(check (list string))
+      "timeline order"
+      [ "process_name"; "a"; "b"; "c" ]
+      (merged_names merged);
+    check_bool "displayTimeUnit kept" true
+      (Json.member "displayTimeUnit" merged = Some (Json.String "ms"))
+
+let test_merge_chrome_stable_on_ties () =
+  let t1 =
+    Json.Obj
+      [ ("traceEvents", Json.List [ merge_ev ~pid:1 ~ts:5. "first" ]) ]
+  in
+  let t2 =
+    Json.Obj
+      [ ("traceEvents", Json.List [ merge_ev ~pid:2 ~ts:5. "second" ]) ]
+  in
+  match Trace.merge_chrome [ t1; t2 ] with
+  | Error e -> Alcotest.failf "merge failed: %s" e
+  | Ok merged ->
+    Alcotest.(check (list string))
+      "equal timestamps keep input order" [ "first"; "second" ]
+      (merged_names merged)
+
+let test_merge_chrome_refuses_malformed () =
+  let good = Json.Obj [ ("traceEvents", Json.List []) ] in
+  (match Trace.merge_chrome [ good; Json.Int 3 ] with
+  | Ok _ -> Alcotest.fail "merged a non-object trace"
+  | Error e ->
+    check_bool "error names the bad input" true
+      (String.length e >= 7 && String.sub e 0 7 = "trace 1"));
+  match Trace.merge_chrome [] with
+  | Ok merged -> Alcotest.(check (list string)) "empty merge" [] (merged_names merged)
+  | Error e -> Alcotest.failf "empty merge failed: %s" e
+
 let () =
   Alcotest.run "trace"
     [ ( "spans",
@@ -231,7 +347,16 @@ let () =
             test_ring_overflow ] );
       ( "export",
         [ Alcotest.test_case "chrome JSON golden" `Quick
-            test_chrome_json_golden ] );
+            test_chrome_json_golden;
+          Alcotest.test_case "process lane export" `Quick
+            test_process_lane_export ] );
+      ( "merge",
+        [ Alcotest.test_case "interleaves by timestamp" `Quick
+            test_merge_chrome_interleaves;
+          Alcotest.test_case "stable on ties" `Quick
+            test_merge_chrome_stable_on_ties;
+          Alcotest.test_case "refuses malformed input" `Quick
+            test_merge_chrome_refuses_malformed ] );
       ( "concurrency",
         [ Alcotest.test_case "no torn events under the pool" `Quick
             test_concurrent_recording;

@@ -375,6 +375,32 @@ let test_log_record_shape () =
           check_bool "field n" true (Json.member "n" obj = Some (Json.Int 3)))
       | l -> Alcotest.failf "expected 1 record, got %d" (List.length l))
 
+(* Process identity on every record: pid always, shard once set (the
+   router sets it in forked children). Runs after the other log tests —
+   set_shard is one-way, as in a real shard process. *)
+let test_log_process_identity () =
+  with_log_capture (Some Log.Debug) (fun captured ->
+      Log.info "before shard";
+      Log.set_shard 3;
+      Log.warn "after shard";
+      match captured () with
+      | [ first; second ] ->
+        (match Json.parse first with
+        | Ok obj ->
+          check_bool "pid present" true
+            (Json.member "pid" obj = Some (Json.Int (Unix.getpid ())));
+          check_bool "no shard before set_shard" true
+            (Json.member "shard" obj = None)
+        | Error e -> Alcotest.failf "first record is not JSON: %s" e);
+        (match Json.parse second with
+        | Ok obj ->
+          check_bool "pid still present" true
+            (Json.member "pid" obj = Some (Json.Int (Unix.getpid ())));
+          check_bool "shard tagged" true
+            (Json.member "shard" obj = Some (Json.Int 3))
+        | Error e -> Alcotest.failf "second record is not JSON: %s" e)
+      | l -> Alcotest.failf "expected 2 records, got %d" (List.length l))
+
 let test_log_level_of_string () =
   let ok s = match Log.level_of_string s with Ok l -> l | Error e -> Alcotest.fail e in
   check_bool "debug" true (ok "debug" = Some Log.Debug);
@@ -459,5 +485,7 @@ let () =
         [ Alcotest.test_case "level filtering" `Quick test_log_levels;
           Alcotest.test_case "record shape" `Quick test_log_record_shape;
           Alcotest.test_case "level_of_string" `Quick
-            test_log_level_of_string ] );
+            test_log_level_of_string;
+          Alcotest.test_case "process identity" `Quick
+            test_log_process_identity ] );
       ("properties", qsuite) ]
