@@ -34,6 +34,16 @@
                                                  evaluations (also part
                                                  of `dune build
                                                  @bench-smoke`)
+     dune exec bench/main.exe -- --nest-smoke -- projective-nest mapper
+                                                 vs exhaustive on the
+                                                 beyond-matmul zoo
+                                                 (conv2d, batched MM,
+                                                 GQA, attention pair):
+                                                 fails if B&B misses
+                                                 the optimum or stops
+                                                 pruning (also part of
+                                                 `dune build
+                                                 @nest-smoke`)
      dune exec bench/main.exe -- --model      -- whole-model planner
                                                  bench: fixtures vs
                                                  exhaustive + a random
@@ -99,8 +109,8 @@ let usage () =
     "usage: main.exe [--only \
      table1|table2|table3|example|fig4|fig9|fig10|fig11|fig12|energy|ablation|softmax|hierarchy|speed] [--buffer \
      <size>] [--quick] [--json] [--smoke] [--service] [--socket-smoke] \
-     [--bnb-smoke] [--oracle] [--model] [--model-smoke] [--load] \
-     [--load-smoke] [--store-smoke] [--obs-smoke] [--trace FILE]";
+     [--bnb-smoke] [--nest-smoke] [--oracle] [--model] [--model-smoke] \
+     [--load] [--load-smoke] [--store-smoke] [--obs-smoke] [--trace FILE]";
   exit 1
 
 type options = {
@@ -113,6 +123,7 @@ type options = {
   service : bool;
   socket_smoke : bool;
   bnb_smoke : bool;
+  nest_smoke : bool;
   oracle : bool;
   model : bool;
   model_smoke : bool;
@@ -166,6 +177,7 @@ let parse_args () =
   let quick = ref false and csv_dir = ref None in
   let json = ref false and smoke = ref false and service = ref false in
   let socket_smoke = ref false and bnb_smoke = ref false in
+  let nest_smoke = ref false in
   let oracle = ref false in
   let model = ref false and model_smoke = ref false in
   let load = ref false and load_smoke = ref false in
@@ -200,6 +212,9 @@ let parse_args () =
       loop rest
     | "--bnb-smoke" :: rest ->
       bnb_smoke := true;
+      loop rest
+    | "--nest-smoke" :: rest ->
+      nest_smoke := true;
       loop rest
     | "--oracle" :: rest ->
       oracle := true;
@@ -236,15 +251,16 @@ let parse_args () =
   loop (List.tl (Array.to_list Sys.argv));
   { only = !only; buffer = !buffer; quick = !quick; csv_dir = !csv_dir;
     json = !json; smoke = !smoke; service = !service;
-    socket_smoke = !socket_smoke; bnb_smoke = !bnb_smoke; oracle = !oracle;
+    socket_smoke = !socket_smoke; bnb_smoke = !bnb_smoke;
+    nest_smoke = !nest_smoke; oracle = !oracle;
     model = !model; model_smoke = !model_smoke; load = !load;
     load_smoke = !load_smoke; store_smoke = !store_smoke;
     obs_smoke = !obs_smoke; trace = !trace }
 
 let () =
   let { only; buffer; quick; csv_dir; json; smoke; service; socket_smoke;
-        bnb_smoke; oracle; model; model_smoke; load; load_smoke; store_smoke;
-        obs_smoke; trace } =
+        bnb_smoke; nest_smoke; oracle; model; model_smoke; load; load_smoke;
+        store_smoke; obs_smoke; trace } =
     parse_args ()
   in
   (* --trace FILE: profile whatever runs below and write a Chrome
@@ -268,6 +284,10 @@ let () =
   end;
   if bnb_smoke then begin
     Speed.bnb_smoke ();
+    exit 0
+  end;
+  if nest_smoke then begin
+    Nest_bench.smoke ();
     exit 0
   end;
   if oracle then begin
@@ -308,7 +328,9 @@ let () =
     exit 0
   end;
   if json then begin
-    Speed.write_json ();
+    Speed.write_json
+      ~nest:(List.map Nest_bench.row_json (Nest_bench.rows ()))
+      ();
     exit 0
   end;
   let run tag f =

@@ -1,0 +1,129 @@
+(* Nest mapper bench: the branch-and-bound search over the projective
+   loop-nest IR vs the exhaustive Divisors-lattice enumeration, on the
+   beyond-matmul zoo (conv2d plain/strided/pointwise, per-head batched
+   MM, GQA scores, fused attention pair).
+
+   [rows] runs every fixture both ways and records traffic plus visit
+   counters; [check] is the smoke-level guard: the B&B answer must be
+   bit-for-bit the exhaustive optimum (cost, tiling index, order rank)
+   while evaluating no more schedules than the enumeration. [row_json]
+   feeds the "nest" section of BENCH_dse.json. *)
+
+open Fusecu_loopnest
+open Fusecu_nest
+module Json = Fusecu_util.Json
+
+type row = {
+  nest_task : string;
+  axes : int;  (** nest rank *)
+  points : int;  (** iteration-space size *)
+  traffic_bnb : int;
+  traffic_exhaustive : int;
+  ideal : int;  (** unbounded-buffer communication lower bound *)
+  evaluated : int;  (** B&B cost evaluations *)
+  enumerated : int;  (** exhaustive cost evaluations on the same space *)
+  nodes : int;
+  pruned_bound : int;
+  pruned_infeasible : int;
+}
+
+(* Buffers in elements (elt_bytes 1). The strided conv gets a tighter
+   buffer than the rest: with stride 2 its tiles are small, and a
+   capacity that never binds would make the fixture a pure
+   loop-order contest with no feasibility pruning to measure. *)
+let fixtures () =
+  List.map
+    (fun (name, nest) ->
+      let capacity =
+        match name with
+        | "conv3x3-strided" -> 512
+        | "attn-pair" -> 2048
+        | _ -> 1024
+      in
+      (name, nest, Buffer.make capacity))
+    Fusecu_workloads.Zoo.nest_cases
+
+let rows ?(fixtures = fixtures ()) () =
+  List.filter_map
+    (fun (name, nest, buf) ->
+      match
+        ( Fusecu_dse.Nest_bnb.search_with_stats nest buf,
+          Search.exhaustive nest ~capacity:(Buffer.elements buf) )
+      with
+      | (Some br, stats), Some er ->
+        if
+          br.Search.tiling_index <> er.Search.tiling_index
+          || br.Search.order_rank <> er.Search.order_rank
+        then
+          failwith
+            (Printf.sprintf
+               "nest: %s: B&B winner (tiling %d, order %d) is not the \
+                exhaustive winner (tiling %d, order %d)"
+               name br.Search.tiling_index br.Search.order_rank
+               er.Search.tiling_index er.Search.order_rank);
+        Some
+          { nest_task = "nest-" ^ name;
+            axes = Nest.rank nest;
+            points = Nest.points nest;
+            traffic_bnb = br.Search.cost.Nest.total;
+            traffic_exhaustive = er.Search.cost.Nest.total;
+            ideal = Bound.ideal nest;
+            evaluated = stats.Fusecu_dse.Bnb.explored;
+            enumerated = er.Search.evaluated;
+            nodes = stats.Fusecu_dse.Bnb.nodes;
+            pruned_bound = stats.Fusecu_dse.Bnb.pruned_bound;
+            pruned_infeasible = stats.Fusecu_dse.Bnb.pruned_infeasible }
+      | _ -> None)
+    fixtures
+
+let ratio r = float_of_int r.evaluated /. float_of_int r.enumerated
+
+let row_json r =
+  Json.Obj
+    [ ("task", Json.String r.nest_task);
+      ("axes", Json.Int r.axes);
+      ("points", Json.Int r.points);
+      ("traffic", Json.Int r.traffic_bnb);
+      ("traffic_exhaustive", Json.Int r.traffic_exhaustive);
+      ("ideal", Json.Int r.ideal);
+      ("explored", Json.Int r.evaluated);
+      ("enumerated", Json.Int r.enumerated);
+      ("ratio", Json.Float (ratio r));
+      ("nodes", Json.Int r.nodes);
+      ("pruned_bound", Json.Int r.pruned_bound);
+      ("pruned_infeasible", Json.Int r.pruned_infeasible) ]
+
+let check rows =
+  let expected = List.length (Fusecu_workloads.Zoo.nest_cases) in
+  if List.length rows <> expected then
+    failwith
+      (Printf.sprintf "nest: only %d of %d fixtures produced a result"
+         (List.length rows) expected);
+  List.iter
+    (fun r ->
+      Printf.printf
+        "nest: %-22s traffic %d (exhaustive %d, ideal %d), %d/%d evaluations \
+         (%.1f%%), pruned %d+%d\n"
+        r.nest_task r.traffic_bnb r.traffic_exhaustive r.ideal r.evaluated
+        r.enumerated (100. *. ratio r) r.pruned_bound r.pruned_infeasible;
+      if r.traffic_bnb <> r.traffic_exhaustive then
+        failwith
+          (Printf.sprintf "nest: %s: B&B traffic %d <> exhaustive %d"
+             r.nest_task r.traffic_bnb r.traffic_exhaustive);
+      if r.traffic_bnb < r.ideal then
+        failwith
+          (Printf.sprintf
+             "nest: %s: traffic %d below the lower bound %d (bound unsound)"
+             r.nest_task r.traffic_bnb r.ideal);
+      if r.evaluated > r.enumerated then
+        failwith
+          (Printf.sprintf
+             "nest: %s: B&B evaluated %d schedules, more than the %d \
+              enumerated (pruning regressed to negative)"
+             r.nest_task r.evaluated r.enumerated))
+    rows
+
+let smoke () =
+  check (rows ());
+  print_endline
+    "smoke: nest bnb = exhaustive optimum on every beyond-matmul fixture"

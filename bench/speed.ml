@@ -235,7 +235,7 @@ let bnb_smoke () =
 (* BENCH_dse.json                                                      *)
 
 let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
-    ?(bnb = bnb_rows ()) () =
+    ?(bnb = bnb_rows ()) ?(nest = ([] : Fusecu_util.Json.t list)) () =
   let module Trace = Fusecu_util.Trace in
   let module Json = Fusecu_util.Json in
   (* Span durations must come from the same monotonic clock as the
@@ -277,6 +277,12 @@ let write_json ?(path = "BENCH_dse.json") ?repeats ?(tasks = paper_tasks ())
         (Json.print (bnb_row_json r))
         (if i = List.length bnb - 1 then "" else ","))
     bnb;
+  Printf.fprintf oc "  ],\n  \"nest\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    %s%s\n" (Json.print r)
+        (if i = List.length nest - 1 then "" else ","))
+    nest;
   Printf.fprintf oc "  ],\n  \"trace\": %s,\n  \"pool\": %s\n}\n"
     (Json.print trace_json) (Json.print pool_json);
   close_out oc;
@@ -335,7 +341,7 @@ let smoke () =
       (fun field ->
         if Fusecu_util.Json.member field obj = None then
           failwith ("smoke: BENCH_dse.json is missing \"" ^ field ^ "\""))
-      [ "domains"; "pool_bypassed"; "tasks"; "bnb"; "trace"; "pool" ]);
+      [ "domains"; "pool_bypassed"; "tasks"; "bnb"; "nest"; "trace"; "pool" ]);
   Sys.remove json;
   Printf.printf "smoke: bench ok (%d domains)\n" (Pool.size pool)
 

@@ -1166,9 +1166,35 @@ let plan_cmd =
 (* check                                                               *)
 
 let check_cmd =
-  let run cases seed max_dim repro mapper graphs graph_repro trace log_level =
+  let run cases seed max_dim repro mapper graphs graph_repro nests nest_repro
+      trace log_level =
     with_observability ~trace ~log_level @@ fun () ->
     let open Fusecu_oracle in
+    match nest_repro with
+    | Some spec -> (
+      match Nest_check.check_spec spec with
+      | Error e ->
+        prerr_endline ("--nest-repro: " ^ e);
+        exit 2
+      | Ok (p, o) ->
+        Printf.printf "%s: %d checks\n" (Nest_check.to_spec p)
+          o.Nest_check.checks;
+        if o.Nest_check.failures = [] then print_endline "no divergence"
+        else begin
+          List.iter
+            (fun (f : Nest_check.failure) ->
+              Printf.printf "[%s] %s\n" f.Nest_check.check f.Nest_check.detail)
+            o.Nest_check.failures;
+          exit 1
+        end)
+    | None when nests ->
+      let max_dim = min max_dim 12 in
+      let report =
+        Nest_check.soak ~log:prerr_endline ~cases ~seed ~max_dim ()
+      in
+      Format.printf "%a@." Nest_check.pp_report report;
+      if not (Nest_check.ok report) then exit 1
+    | None -> (
     match graph_repro with
     | Some spec -> (
       match Graph_check.check_spec spec with
@@ -1215,7 +1241,7 @@ let check_cmd =
         Oracle.run ~log:prerr_endline ~mapper ~cases ~seed ~max_dim ()
       in
       Format.printf "%a@." Oracle.pp_report report;
-      if not (Oracle.ok report) then exit 1)
+      if not (Oracle.ok report) then exit 1))
   in
   let cases =
     Arg.(
@@ -1279,10 +1305,33 @@ let check_cmd =
                 (e.g. m=4,b=256,nodes=1*3:5|1*5:2,edges=0-1) — the \
                 one-liner printed for every shrunk graph counterexample.")
   in
+  let nests =
+    Arg.(
+      value & flag
+      & info [ "nests" ]
+          ~doc:"Check the projective loop-nest IR instead: on seeded random \
+                nests (matmul, conv2d, batched/grouped matmul, attention \
+                pairs), the nest branch-and-bound must reproduce the \
+                exhaustive Divisors-lattice optimum bit-for-bit, the \
+                analytic cost must match the tile-replay simulator, and \
+                matmul winners must match the legacy exhaustive search. \
+                max-dim is clamped to 12 to keep rank-7 conv ground truth \
+                exact.")
+  in
+  let nest_repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "nest-repro" ] ~docv:"SPEC"
+          ~doc:"Re-check a single nest problem given by its spec (e.g. \
+                kind=conv,n=1,c=2,h=6,w=6,k=3,r=3,s=3,st=1,di=1,pa=0,bs=64) \
+                — the one-liner printed for every shrunk nest \
+                counterexample.")
+  in
   let term =
     Term.(
       const run $ cases $ seed $ max_dim $ repro $ mapper $ graphs
-      $ graph_repro $ trace_file_arg $ log_level_arg)
+      $ graph_repro $ nests $ nest_repro $ trace_file_arg $ log_level_arg)
   in
   Cmd.v
     (Cmd.info "check"

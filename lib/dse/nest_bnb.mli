@@ -1,0 +1,25 @@
+(** Exact branch-and-bound mapper over a projective nest's tiling
+    lattice — {!Bnb} generalized beyond the 3-dim matmul space.
+
+    Admissible cuts: monotone-footprint block-skips per level, and
+    [Fusecu_nest.Bound.penalized] (the conflict-graph generalization of
+    the pairwise-exclusion bound) at every partial assignment. Leaves
+    replay [Fusecu_nest.Search.eval_tiling], so the result — schedule,
+    cost, tiling index and order rank — is {e bit-for-bit} the one
+    [Fusecu_nest.Search.exhaustive] returns on the same lattice and
+    capacity; only the visit counters differ. An off-lattice or invalid
+    [seed] is discarded rather than trusted. *)
+
+open Fusecu_loopnest
+open Fusecu_nest
+
+val search :
+  ?lattice:Search.lattice -> ?seed:Nest.schedule -> Nest.t -> Buffer.t ->
+  Search.result option
+
+val search_with_stats :
+  ?lattice:Search.lattice -> ?seed:Nest.schedule -> Nest.t -> Buffer.t ->
+  Search.result option * Bnb.stats
+(** [stats.explored] counts cost evaluations (matching
+    [result.evaluated]); [stats.nodes] counts expanded partial
+    assignments. *)

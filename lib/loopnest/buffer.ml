@@ -11,6 +11,8 @@ let of_mib ?elt_bytes n = make ?elt_bytes (Fusecu_util.Units.mib n)
 
 let elements t = t.bytes / t.elt_bytes
 
+let fits t footprint = footprint <= elements t
+
 let pp fmt t =
   Format.fprintf fmt "%s (%d-byte elements)"
     (Fusecu_util.Units.pp_bytes t.bytes)

@@ -19,4 +19,8 @@ val of_mib : ?elt_bytes:int -> int -> t
 val elements : t -> int
 (** Usable capacity in elements: [bytes / elt_bytes]. *)
 
+val fits : t -> int -> bool
+(** [fits t footprint]: whether a footprint (in elements) is within
+    capacity. *)
+
 val pp : Format.formatter -> t -> unit

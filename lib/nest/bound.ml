@@ -1,0 +1,120 @@
+(* Communication lower bounds for projective nests, HBL-style: the
+   unbounded bound is the sum of the external tensor sizes (each
+   element must cross the memory boundary at least once), which on the
+   MM instance is exactly Core.Lower_bound.intra = Matmul.ideal_ma.
+
+   [penalized] sharpens it for branch-and-bound pruning, generalizing
+   Dse.Bnb's pairwise-exclusion argument (DESIGN.md section 4c, now
+   section 11): two tensors T1, T2 with crossed tiled indices — f free
+   in T1 but used (and tiled) in T2, g free in T2 but used (and tiled)
+   in T1 — cannot both be revisit-free, because T1 needs pos(f) inner
+   to pos(g) and T2 the opposite. The revisit-free tensors therefore
+   form an independent set of the conflict graph, and every tensor
+   outside it pays at least its cheapest single-loop revisit penalty.
+   The adversary picks the max-weight independent set. On matmul the
+   conflict graph is the clique over the operands freed by tiled
+   dimensions, and the bound collapses to Bnb's "sum of penalties
+   minus the most expensive one". *)
+
+(* Minimum achievable one-sweep traffic of a tensor over the whole
+   tiling lattice. Point dimensions partition exactly, so every sweep
+   pays the full extent. Window dimensions pay the edge-clipped tile
+   grid — for a skipping window (stride beyond the dilated kernel
+   span) a coarse tiling touches fewer elements than the window span,
+   so the tensor "size" is NOT a lower bound. The sweep closed form
+   stride*nk*(eo-no) + dilation*no*(ek-nk) + no*nk is linear in each
+   trip count separately, so its minimum over the trip rectangle sits
+   at a corner, and both corner values (1 and the extent) are always
+   achievable (tile = extent, tile = 1). *)
+let min_access_sweep t = function
+  | Nest.Point i -> t.Nest.extents.(i)
+  | Nest.Window { outer; kernel; stride; dilation } ->
+    let eo = t.Nest.extents.(outer) and ek = t.Nest.extents.(kernel) in
+    let f no nk =
+      (stride * nk * (eo - no)) + (dilation * no * (ek - nk)) + (no * nk)
+    in
+    min (min (f 1 1) (f 1 ek)) (min (f eo 1) (f eo ek))
+
+let min_sweep t x =
+  List.fold_left (fun acc a -> acc * min_access_sweep t a) 1 x.Nest.dims
+
+let ideal t =
+  List.fold_left (fun acc x -> acc + min_sweep t x) 0 (Nest.externals t)
+
+(* [trips] holds per-axis lower bounds on the trip count (exact values
+   make the bound exact at leaves). Admissible: every schedule whose
+   actual trip counts dominate [trips] costs at least the result. *)
+let penalized t ~trips =
+  let n = Nest.rank t in
+  let externals = Array.of_list (Nest.externals t) in
+  let used = Array.map Nest.used_axes externals in
+  let free x =
+    let rec go i =
+      if i >= n then []
+      else if List.mem i used.(x) then go (i + 1)
+      else i :: go (i + 1)
+    in
+    go 0
+  in
+  let hot i = trips.(i) > 1 in
+  (* Tensors that certainly revisit-or-pay: some tiled free axis (the
+     potential violator) and some tiled used axis (so a violator
+     actually forces a refetch). *)
+  let members =
+    let keep = ref [] in
+    Array.iteri
+      (fun x _ ->
+        if List.exists hot (free x) && List.exists hot used.(x) then
+          keep := x :: !keep)
+      externals;
+    Array.of_list (List.rev !keep)
+  in
+  let m = Array.length members in
+  if m = 0 then ideal t
+  else begin
+    (* Cheapest possible revisit if this tensor is not revisit-free:
+       the violating loop may be any free axis that ends up tiled, so
+       take the min over free axes of max(trips_lb, 2) - 1 sweeps, at
+       one minimal sweep each (actual sweep traffic >= min_sweep). *)
+    let pen =
+      Array.map
+        (fun x ->
+          let cheapest =
+            List.fold_left
+              (fun acc f -> min acc (max trips.(f) 2))
+              max_int (free x)
+          in
+          (cheapest - 1) * min_sweep t externals.(x))
+        members
+    in
+    let conflict a b =
+      let xa = members.(a) and xb = members.(b) in
+      List.exists (fun f -> hot f && List.mem f used.(xb)) (free xa)
+      && List.exists (fun g -> hot g && List.mem g used.(xa)) (free xb)
+    in
+    let edges = Array.make_matrix m m false in
+    for a = 0 to m - 1 do
+      for b = a + 1 to m - 1 do
+        if conflict a b then begin
+          edges.(a).(b) <- true;
+          edges.(b).(a) <- true
+        end
+      done
+    done;
+    (* max-weight independent set, exact (m is tiny: # tensors) *)
+    let best_saved = ref 0 in
+    for mask = 0 to (1 lsl m) - 1 do
+      let ok = ref true and w = ref 0 in
+      for a = 0 to m - 1 do
+        if !ok && mask land (1 lsl a) <> 0 then begin
+          w := !w + pen.(a);
+          for b = a + 1 to m - 1 do
+            if mask land (1 lsl b) <> 0 && edges.(a).(b) then ok := false
+          done
+        end
+      done;
+      if !ok && !w > !best_saved then best_saved := !w
+    done;
+    let total_pen = Array.fold_left ( + ) 0 pen in
+    ideal t + (total_pen - !best_saved)
+  end

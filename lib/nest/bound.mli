@@ -1,0 +1,22 @@
+(** Generic communication lower bounds for projective nests. *)
+
+val min_sweep : Nest.t -> Nest.tensor -> int
+(** Minimum achievable one-sweep traffic of a tensor over the whole
+    tiling lattice. Equal to [Nest.tensor_size] for pure-[Point]
+    tensors; strictly less for a skipping window (stride beyond the
+    dilated kernel span), where a coarse tiling touches fewer
+    elements than the window span. *)
+
+val ideal : Nest.t -> int
+(** Unbounded-buffer bound: the sum of the external tensors' minimal
+    sweeps (each must cross the memory boundary at least once per
+    run). On the matmul instance this is exactly
+    [Fusecu_core.Lower_bound.intra] = [Matmul.ideal_ma] (locked by
+    test_nest.ml). *)
+
+val penalized : Nest.t -> trips:int array -> int
+(** Admissible branch-and-bound cut given per-axis lower bounds on the
+    trip counts: [ideal] plus the conflict-graph revisit penalties
+    that no loop order can avoid (crossed-free-index exclusion,
+    adversary keeps the max-weight independent set free). Reduces to
+    [Dse.Bnb]'s pairwise-exclusion bound on matmul. *)

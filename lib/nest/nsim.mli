@@ -1,0 +1,10 @@
+(** Resident-tile simulation of a nest schedule, generalizing
+    [Fusecu_loopnest.Sim] to arbitrary rank and to window (halo)
+    projections. Cost is O({!points}); callers bound it before
+    simulating large problems. *)
+
+val points : Nest.t -> Nest.schedule -> int
+
+val eval : Nest.t -> Nest.schedule -> Nest.cost
+(** Must equal [Nest.eval] on every schedule (the oracle's simulation
+    leg enforces it). *)

@@ -1,0 +1,166 @@
+open Fusecu_util
+
+(* Tiling space and exhaustive search over a nest, mirroring
+   Dse.Space/Exhaustive so the MM instance enumerates the same points
+   in the same order (axis 0 slowest, last axis fastest; and for an
+   all-active 3-index nest the lexicographic permutations are exactly
+   Order.all's sequence). Only the relative order of loops with more
+   than one trip affects cost, so per tiling the search enumerates the
+   permutations of the *active* (trips > 1) axes, completed with the
+   inactive axes innermost in axis order. The winner is the
+   lexicographic minimum of (total, tiling index, order rank) — the
+   streaming first-seen rule, which Nest_bnb reproduces exactly. *)
+
+type lattice = All | Divisors | Pow2
+
+let tile_candidates lattice size =
+  match lattice with
+  | All -> Arith.range 1 size
+  | Divisors -> Arith.divisors size
+  | Pow2 -> Arith.dedup_sorted (size :: Arith.pow2s_upto size)
+
+type space = {
+  nest : Nest.t;
+  capacity : int;
+  cands : int array array;
+  strides : int array;
+  orders_cache : (int, int array list) Hashtbl.t;
+}
+
+let compile ?(lattice = Divisors) nest ~capacity =
+  let n = Nest.rank nest in
+  let cands =
+    Array.init n (fun i ->
+        Array.of_list (tile_candidates lattice nest.Nest.extents.(i)))
+  in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * Array.length cands.(i + 1)
+  done;
+  { nest; capacity; cands; strides; orders_cache = Hashtbl.create 16 }
+
+let nest_of sp = sp.nest
+
+let capacity sp = sp.capacity
+
+let candidates sp i = sp.cands.(i)
+
+let raw_tilings sp = sp.strides.(0) * Array.length sp.cands.(0)
+
+(* Candidate index per axis (0 for unassigned axes gives the subtree
+   minimum, as in Bnb.min_subtree_idx). *)
+let tiling_index sp idxs =
+  let acc = ref 0 in
+  Array.iteri (fun i j -> acc := !acc + (j * sp.strides.(i))) idxs;
+  !acc
+
+(* Lexicographic permutations of a sorted list. *)
+let rec perms = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) xs)))
+      xs
+
+let orders sp ~trips =
+  let n = Nest.rank sp.nest in
+  let mask = ref 0 in
+  for i = 0 to n - 1 do
+    if trips.(i) > 1 then mask := !mask lor (1 lsl i)
+  done;
+  match Hashtbl.find_opt sp.orders_cache !mask with
+  | Some os -> os
+  | None ->
+    let active = ref [] and inactive = ref [] in
+    for i = n - 1 downto 0 do
+      if trips.(i) > 1 then active := i :: !active else inactive := i :: !inactive
+    done;
+    let os =
+      List.map (fun p -> Array.of_list (p @ !inactive)) (perms !active)
+    in
+    Hashtbl.replace sp.orders_cache !mask os;
+    os
+
+type result = {
+  schedule : Nest.schedule;
+  cost : Nest.cost;
+  tiling_index : int;
+  order_rank : int;
+  explored : int;  (** feasible tilings *)
+  evaluated : int;  (** valid schedules cost-evaluated *)
+}
+
+(* First-seen minimum of (total, tiling index, order rank); shared by
+   the exhaustive scan and Nest_bnb's leaves so both return the same
+   schedule bit-for-bit. *)
+let consider best ~cost ~ti ~rank ~tiles ~order =
+  match !best with
+  | Some ((bc : Nest.cost), bti, brank, _)
+    when (bc.Nest.total, bti, brank) <= (cost.Nest.total, ti, rank) ->
+    ()
+  | _ ->
+    best :=
+      Some (cost, ti, rank, { Nest.tiles = Array.copy tiles; order })
+
+let eval_tiling sp ~idxs ~tiles best =
+  let nest = sp.nest in
+  let n = Nest.rank nest in
+  let ti = tiling_index sp idxs in
+  let trips =
+    Array.init n (fun i -> Arith.ceil_div nest.Nest.extents.(i) tiles.(i))
+  in
+  let evaluated = ref 0 in
+  List.iteri
+    (fun rank order ->
+      let s = { Nest.tiles; order } in
+      if Nest.valid nest s then begin
+        incr evaluated;
+        let cost = Nest.eval nest s in
+        consider best ~cost ~ti ~rank ~tiles ~order
+      end)
+    (orders sp ~trips);
+  !evaluated
+
+let exhaustive_in sp =
+  let nest = sp.nest in
+  let n = Nest.rank nest in
+  let tiles = Array.make n 1 in
+  let idxs = Array.make n 0 in
+  let best = ref None in
+  let explored = ref 0 and evaluated = ref 0 in
+  let rec go axis =
+    if axis = n then begin
+      incr explored;
+      evaluated := !evaluated + eval_tiling sp ~idxs ~tiles best
+    end
+    else begin
+      let a = sp.cands.(axis) in
+      let j = ref 0 and live = ref true in
+      while !live && !j < Array.length a do
+        tiles.(axis) <- a.(!j);
+        idxs.(axis) <- !j;
+        (* axes beyond [axis] still sit at tile 1, so this is the
+           minimal-completion footprint — monotone in the candidate,
+           hence the first infeasible value rules out its larger
+           siblings (the Space.fold_tiling_range block-skip). *)
+        if Nest.footprint_tiles nest tiles > sp.capacity then live := false
+        else go (axis + 1);
+        incr j
+      done;
+      tiles.(axis) <- 1;
+      idxs.(axis) <- 0
+    end
+  in
+  go 0;
+  Option.map
+    (fun (cost, ti, rank, schedule) ->
+      { schedule;
+        cost;
+        tiling_index = ti;
+        order_rank = rank;
+        explored = !explored;
+        evaluated = !evaluated })
+    !best
+
+let exhaustive ?lattice nest ~capacity =
+  exhaustive_in (compile ?lattice nest ~capacity)

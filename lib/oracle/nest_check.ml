@@ -1,0 +1,557 @@
+open Fusecu_tensor
+open Fusecu_loopnest
+open Fusecu_nest
+
+(* Differential conformance oracle for the projective loop-nest IR —
+   the `check --nests` leg. Per problem (a nest kind plus a buffer):
+
+   - branch-and-bound vs exhaustive: Dse.Nest_bnb must reproduce
+     Search.exhaustive bit-for-bit (feasibility, cost, tiling index,
+     order rank, schedule);
+   - analytic vs simulated: Nest.eval must equal Nsim.eval per tensor
+     on the winner and on random ragged lattice schedules;
+   - bounds: the winner never beats Bound.ideal, and Bound.penalized
+     at the winner's actual trip counts stays admissible;
+   - matmul problems additionally cross-check the winner against the
+     legacy Dse.Exhaustive optimum (total and tiles);
+   - conv problems pin the iteration count to Conv.macs and the
+     halo-exact input ideal at or below the im2col-inflated one.
+
+   Ground truth uses the Divisors lattice — the service hot path's
+   lattice — so the soak exercises exactly what production searches. *)
+
+type kind =
+  | Mm of { m : int; k : int; l : int }
+  | Conv of Conv.t
+  | Bmm of { b : int; m : int; k : int; l : int }
+  | Gmm of { g : int; hd : int; m : int; k : int; l : int }
+  | Attn of { q : int; n : int; d : int; dv : int }
+
+type problem = { kind : kind; bs : int }
+
+let lattice = Search.Divisors
+
+let kind_name = function
+  | Mm _ -> "mm"
+  | Conv _ -> "conv"
+  | Bmm _ -> "bmm"
+  | Gmm _ -> "gmm"
+  | Attn _ -> "attn"
+
+let to_nest p =
+  match p.kind with
+  | Mm { m; k; l } -> Lower.of_matmul (Matmul.make ~name:"mm" ~m ~k ~l ())
+  | Conv cv -> Lower.of_conv cv
+  | Bmm { b; m; k; l } -> Lower.batched_mm ~b ~m ~k ~l ()
+  | Gmm { g; hd; m; k; l } -> Lower.grouped_mm ~groups:g ~heads:hd ~m ~k ~l ()
+  | Attn { q; n; d; dv } -> Lower.attention_pair ~seq_q:q ~seq_k:n ~d ~dv ()
+
+let to_spec p =
+  let fields =
+    match p.kind with
+    | Mm { m; k; l } -> [ ("m", m); ("k", k); ("l", l) ]
+    | Conv cv ->
+      [ ("n", cv.Conv.n); ("c", cv.Conv.c); ("h", cv.Conv.h); ("w", cv.Conv.w);
+        ("k", cv.Conv.k); ("r", cv.Conv.r); ("s", cv.Conv.s);
+        ("st", cv.Conv.stride); ("di", cv.Conv.dilation);
+        ("pa", cv.Conv.padding) ]
+    | Bmm { b; m; k; l } -> [ ("b", b); ("m", m); ("k", k); ("l", l) ]
+    | Gmm { g; hd; m; k; l } ->
+      [ ("g", g); ("hd", hd); ("m", m); ("k", k); ("l", l) ]
+    | Attn { q; n; d; dv } -> [ ("q", q); ("n", n); ("d", d); ("dv", dv) ]
+  in
+  String.concat ","
+    (Printf.sprintf "kind=%s" (kind_name p.kind)
+     :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fields
+    @ [ Printf.sprintf "bs=%d" p.bs ])
+
+let of_spec s =
+  let ( let* ) = Result.bind in
+  let* fields =
+    List.fold_left
+      (fun acc part ->
+        let* acc = acc in
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "bad field %S" part)
+        | Some i ->
+          Ok
+            ((String.sub part 0 i,
+              String.sub part (i + 1) (String.length part - i - 1))
+            :: acc))
+      (Ok [])
+      (String.split_on_char ',' (String.trim s))
+  in
+  let str name =
+    match List.assoc_opt name fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %s" name)
+  in
+  let int name =
+    let* v = str name in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %s=%S is not an integer" name v)
+  in
+  let int_default name d =
+    match List.assoc_opt name fields with
+    | None -> Ok d
+    | Some _ -> int name
+  in
+  let* kind_s = str "kind" in
+  let* bs = int "bs" in
+  if bs < 1 then Error "bs must be >= 1"
+  else
+    let* kind =
+      match kind_s with
+      | "mm" ->
+        let* m = int "m" in
+        let* k = int "k" in
+        let* l = int "l" in
+        if m < 1 || k < 1 || l < 1 then Error "mm dims must be >= 1"
+        else Ok (Mm { m; k; l })
+      | "conv" ->
+        let* n = int "n" in
+        let* c = int "c" in
+        let* h = int "h" in
+        let* w = int "w" in
+        let* k = int "k" in
+        let* r = int "r" in
+        let* s = int "s" in
+        let* stride = int_default "st" 1 in
+        let* dilation = int_default "di" 1 in
+        let* padding = int_default "pa" 0 in
+        let* cv =
+          Result.map_error
+            (fun e -> "conv: " ^ e)
+            (Conv.validate ~stride ~padding ~dilation ~n ~c ~h ~w ~k ~r ~s ())
+        in
+        Ok (Conv cv)
+      | "bmm" ->
+        let* b = int "b" in
+        let* m = int "m" in
+        let* k = int "k" in
+        let* l = int "l" in
+        if b < 1 || m < 1 || k < 1 || l < 1 then Error "bmm dims must be >= 1"
+        else Ok (Bmm { b; m; k; l })
+      | "gmm" ->
+        let* g = int "g" in
+        let* hd = int "hd" in
+        let* m = int "m" in
+        let* k = int "k" in
+        let* l = int "l" in
+        if g < 1 || hd < 1 || m < 1 || k < 1 || l < 1 then
+          Error "gmm dims must be >= 1"
+        else Ok (Gmm { g; hd; m; k; l })
+      | "attn" ->
+        let* q = int "q" in
+        let* n = int "n" in
+        let* d = int "d" in
+        let* dv = int_default "dv" 0 in
+        let dv = if dv = 0 then d else dv in
+        if q < 1 || n < 1 || d < 1 || dv < 1 then
+          Error "attn dims must be >= 1"
+        else Ok (Attn { q; n; d; dv })
+      | other -> Error (Printf.sprintf "unknown kind %S" other)
+    in
+    Ok { kind; bs }
+
+let equal a b = to_spec a = to_spec b
+
+let pp fmt p = Format.pp_print_string fmt (to_spec p)
+
+(* Shrinking order: dimension sum, then buffer. *)
+let size p =
+  let dims =
+    match p.kind with
+    | Mm { m; k; l } -> m + k + l
+    | Conv cv ->
+      cv.Conv.n + cv.Conv.c + cv.Conv.h + cv.Conv.w + cv.Conv.k + cv.Conv.r
+      + cv.Conv.s + cv.Conv.stride + cv.Conv.dilation + cv.Conv.padding
+    | Bmm { b; m; k; l } -> b + m + k + l
+    | Gmm { g; hd; m; k; l } -> g + hd + m + k + l
+    | Attn { q; n; d; dv } -> q + n + d + dv
+  in
+  (dims, p.bs)
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+
+type failure = { check : string; detail : string }
+
+type outcome = { checks : int; failures : failure list }
+
+let failure_names (o : outcome) =
+  List.sort_uniq compare (List.map (fun f -> f.check) o.failures)
+
+type ctx = { mutable checks : int; mutable failures : failure list }
+
+let check ctx name ok detail =
+  ctx.checks <- ctx.checks + 1;
+  if not ok then
+    ctx.failures <- { check = name; detail = detail () } :: ctx.failures
+
+(* Deterministic per-problem stream: FNV-1a over the spec, so a
+   problem's verdict is independent of its position in a run. *)
+let seed_of p =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int)
+    (to_spec p);
+  !h
+
+let sim_points_cap = 1 lsl 17
+
+let random_schedule rng nest =
+  let n = Nest.rank nest in
+  let tiles =
+    Array.init n (fun i ->
+        Rng.choose rng (Fusecu_util.Arith.divisors nest.Nest.extents.(i)))
+  in
+  let order = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  Nest.schedule_make nest ~tiles ~order
+
+let per_equal (a : Nest.per_tensor) (b : Nest.per_tensor) =
+  a.Nest.traffic = b.Nest.traffic
+  && a.Nest.fetches = b.Nest.fetches
+  && a.Nest.revisit = b.Nest.revisit
+
+let sim_vs_analytic ctx ~name nest s =
+  if Nest.points nest <= sim_points_cap then begin
+    let analytic = Nest.eval nest s in
+    let simulated = Nsim.eval nest s in
+    check ctx name
+      (analytic.Nest.total = simulated.Nest.total
+      && Array.for_all2 per_equal analytic.Nest.per simulated.Nest.per)
+      (fun () ->
+        Printf.sprintf "schedule %s: analytic=%d sim=%d"
+          (Nest.schedule_to_string nest s)
+          analytic.Nest.total simulated.Nest.total)
+  end
+
+let run p =
+  let ctx = { checks = 0; failures = [] } in
+  let nest = to_nest p in
+  let buf = Buffer.make p.bs in
+  let capacity = Buffer.elements buf in
+  let exh = Search.exhaustive ~lattice nest ~capacity in
+  let bnb = Fusecu_dse.Nest_bnb.search ~lattice nest buf in
+  (match (exh, bnb) with
+  | None, None -> check ctx "nest/bnb-exact" true (fun () -> "")
+  | Some e, Some g ->
+    check ctx "nest/bnb-exact"
+      (e.Search.cost.Nest.total = g.Search.cost.Nest.total
+      && e.Search.tiling_index = g.Search.tiling_index
+      && e.Search.order_rank = g.Search.order_rank
+      && e.Search.schedule.Nest.tiles = g.Search.schedule.Nest.tiles
+      && e.Search.schedule.Nest.order = g.Search.schedule.Nest.order)
+      (fun () ->
+        Printf.sprintf "exhaustive %s total=%d ti=%d rk=%d; bnb %s total=%d ti=%d rk=%d"
+          (Nest.schedule_to_string nest e.Search.schedule)
+          e.Search.cost.Nest.total e.Search.tiling_index e.Search.order_rank
+          (Nest.schedule_to_string nest g.Search.schedule)
+          g.Search.cost.Nest.total g.Search.tiling_index g.Search.order_rank)
+  | Some e, None ->
+    check ctx "nest/bnb-exact" false (fun () ->
+        Printf.sprintf "bnb missed feasible %s"
+          (Nest.schedule_to_string nest e.Search.schedule))
+  | None, Some g ->
+    check ctx "nest/bnb-exact" false (fun () ->
+        Printf.sprintf "bnb invented %s on an infeasible space"
+          (Nest.schedule_to_string nest g.Search.schedule)));
+  (match exh with
+  | None -> ()
+  | Some e ->
+    let s = e.Search.schedule in
+    check ctx "nest/winner-valid" (Nest.valid nest s) (fun () ->
+        Nest.schedule_to_string nest s);
+    check ctx "nest/winner-fits"
+      (Buffer.fits buf (Nest.footprint nest s))
+      (fun () ->
+        Printf.sprintf "footprint %d > capacity %d" (Nest.footprint nest s)
+          capacity);
+    check ctx "nest/bound-ideal"
+      (e.Search.cost.Nest.total >= Bound.ideal nest)
+      (fun () ->
+        Printf.sprintf "total %d < ideal %d" e.Search.cost.Nest.total
+          (Bound.ideal nest));
+    let trips = Array.init (Nest.rank nest) (fun i -> Nest.trips nest s i) in
+    check ctx "nest/bound-admissible"
+      (Bound.penalized nest ~trips <= e.Search.cost.Nest.total)
+      (fun () ->
+        Printf.sprintf "penalized %d > total %d"
+          (Bound.penalized nest ~trips)
+          e.Search.cost.Nest.total);
+    sim_vs_analytic ctx ~name:"nest/analytic-sim" nest s);
+  (* ragged random schedules need no feasibility: the cost contract
+     holds on the whole lattice *)
+  let rng = Rng.make (seed_of p) in
+  for _ = 1 to 4 do
+    sim_vs_analytic ctx ~name:"nest/analytic-sim" nest
+      (random_schedule rng nest)
+  done;
+  (match p.kind with
+  | Mm { m; k; l } ->
+    let op = Matmul.make ~name:"mm" ~m ~k ~l () in
+    let legacy =
+      Fusecu_dse.Exhaustive.search ~lattice:Fusecu_dse.Space.Divisors
+        ~pool:Fusecu_util.Pool.sequential op buf
+    in
+    (match (exh, legacy) with
+    | None, None -> check ctx "nest/legacy-exact" true (fun () -> "")
+    | Some e, Some lr ->
+      let lt = lr.Fusecu_dse.Exhaustive.schedule.Schedule.tiling in
+      check ctx "nest/legacy-exact"
+        (e.Search.cost.Nest.total = lr.Fusecu_dse.Exhaustive.cost.Cost.total
+        && e.Search.schedule.Nest.tiles
+           = [| Tiling.get lt Dim.M; Tiling.get lt Dim.K; Tiling.get lt Dim.L |])
+        (fun () ->
+          Printf.sprintf "nest total=%d tiles=%s; legacy total=%d %s"
+            e.Search.cost.Nest.total
+            (Nest.schedule_to_string nest e.Search.schedule)
+            lr.Fusecu_dse.Exhaustive.cost.Cost.total
+            (Schedule.to_string lr.Fusecu_dse.Exhaustive.schedule))
+    | Some _, None ->
+      check ctx "nest/legacy-exact" false (fun () ->
+          "nest feasible where legacy space is empty")
+    | None, Some _ ->
+      check ctx "nest/legacy-exact" false (fun () ->
+          "legacy feasible where nest space is empty"))
+  | Conv cv ->
+    check ctx "nest/conv-macs"
+      (Nest.points nest = Conv.macs cv)
+      (fun () ->
+        Printf.sprintf "points %d <> macs %d" (Nest.points nest) (Conv.macs cv));
+    (* im2col materializes one A row per output position, so its A is
+       at least the input positions actually read — but only when no
+       input is skipped (stride within the dilated kernel span) and
+       there is no padding (im2col stores real elements; the direct
+       nest models the padded activation window) *)
+    if
+      cv.Conv.padding = 0
+      && cv.Conv.stride <= Conv.effective_r cv
+      && cv.Conv.stride <= Conv.effective_s cv
+    then
+      check ctx "nest/conv-im2col-ideal"
+        (Bound.ideal nest <= Bound.ideal (Lower.of_conv_im2col cv))
+        (fun () ->
+          Printf.sprintf "direct ideal %d > im2col ideal %d" (Bound.ideal nest)
+            (Bound.ideal (Lower.of_conv_im2col cv)))
+  | Bmm _ | Gmm _ | Attn _ -> ());
+  ({ checks = ctx.checks; failures = List.rev ctx.failures } : outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+
+(* Dimensions biased small (ragged-edge territory, cheap exhaustive
+   ground truth). Conv parameters are drawn avoid-but-test style: the
+   raw draw may violate the output-shape constraints; invalid combos
+   are discarded through Conv.validate — the boundary tests pin that
+   they are rejected, the oracle only soaks valid operators. *)
+let gen rng ~max_dim =
+  let dim () = Rng.range rng ~lo:1 ~hi:max_dim in
+  let small cap = Rng.range rng ~lo:1 ~hi:(min cap max_dim) in
+  let rec conv tries =
+    if tries = 0 then
+      Conv (Conv.make ~n:1 ~c:1 ~h:3 ~w:3 ~k:1 ~r:1 ~s:1 ())
+    else
+      let h = Rng.range rng ~lo:2 ~hi:(max 4 max_dim) in
+      let w = Rng.range rng ~lo:2 ~hi:(max 4 max_dim) in
+      match
+        Conv.validate ~n:(small 3) ~c:(small 3) ~h ~w ~k:(small 3)
+          ~r:(small 3) ~s:(small 3)
+          ~stride:(Rng.range rng ~lo:1 ~hi:2)
+          ~dilation:(Rng.range rng ~lo:1 ~hi:2)
+          ~padding:(Rng.int rng 2) ()
+      with
+      | Ok cv -> Conv cv
+      | Error _ -> conv (tries - 1)
+  in
+  let kind =
+    match Rng.int rng 5 with
+    | 0 -> Mm { m = dim (); k = dim (); l = dim () }
+    | 1 -> conv 64
+    | 2 -> Bmm { b = small 3; m = dim (); k = dim (); l = dim () }
+    | 3 -> Gmm { g = small 3; hd = small 3; m = small 5; k = small 5; l = small 5 }
+    | _ ->
+      Attn
+        { q = dim (); n = dim (); d = small 6;
+          dv = (if Rng.bool rng then small 6 else 0) }
+  in
+  let kind =
+    match kind with
+    | Attn a -> Attn { a with dv = (if a.dv = 0 then a.d else a.dv) }
+    | k -> k
+  in
+  let skeleton = { kind; bs = 1 } in
+  let nest = to_nest skeleton in
+  let ideal = Bound.ideal nest in
+  let min_fp = List.length nest.Nest.tensors in
+  let bs =
+    match Rng.int rng 6 with
+    | 0 -> min_fp
+    | 1 -> max 1 (min_fp - 1) (* often infeasible: the None x None leg *)
+    | 2 -> max min_fp (ideal / 4)
+    | 3 -> max min_fp (ideal / 2)
+    | 4 -> ideal + 8
+    | _ -> Rng.range rng ~lo:min_fp ~hi:(max (min_fp + 1) ideal)
+  in
+  { kind; bs }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+let smaller v = List.filter (fun x -> x >= 1 && x < v) [ 1; v / 2; v - 1 ]
+
+let proposals p =
+  let with_kind kind = { p with kind } in
+  let dims =
+    match p.kind with
+    | Mm { m; k; l } ->
+      List.concat
+        [ List.map (fun m -> with_kind (Mm { m; k; l })) (smaller m);
+          List.map (fun k -> with_kind (Mm { m; k; l })) (smaller k);
+          List.map (fun l -> with_kind (Mm { m; k; l })) (smaller l) ]
+    | Conv cv ->
+      let rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding =
+        match
+          Conv.validate ~stride ~padding ~dilation ~n ~c ~h ~w ~k ~r ~s ()
+        with
+        | Ok cv -> Some (with_kind (Conv cv))
+        | Error _ -> None
+      in
+      let { Conv.n; c; h; w; k; r; s; stride; padding; dilation; _ } = cv in
+      List.filter_map Fun.id
+        (List.concat
+           [ List.map (fun n -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller n);
+             List.map (fun c -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller c);
+             List.map (fun h -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller h);
+             List.map (fun w -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller w);
+             List.map (fun k -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller k);
+             List.map (fun r -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller r);
+             List.map (fun s -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller s);
+             List.map (fun stride -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller stride);
+             List.map (fun dilation -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding) (smaller dilation);
+             List.map (fun padding -> rebuild ~n ~c ~h ~w ~k ~r ~s ~stride ~dilation ~padding)
+               (List.filter (fun x -> x >= 0 && x < padding) [ 0; padding - 1 ]) ])
+    | Bmm { b; m; k; l } ->
+      List.concat
+        [ List.map (fun b -> with_kind (Bmm { b; m; k; l })) (smaller b);
+          List.map (fun m -> with_kind (Bmm { b; m; k; l })) (smaller m);
+          List.map (fun k -> with_kind (Bmm { b; m; k; l })) (smaller k);
+          List.map (fun l -> with_kind (Bmm { b; m; k; l })) (smaller l) ]
+    | Gmm { g; hd; m; k; l } ->
+      List.concat
+        [ List.map (fun g -> with_kind (Gmm { g; hd; m; k; l })) (smaller g);
+          List.map (fun hd -> with_kind (Gmm { g; hd; m; k; l })) (smaller hd);
+          List.map (fun m -> with_kind (Gmm { g; hd; m; k; l })) (smaller m);
+          List.map (fun k -> with_kind (Gmm { g; hd; m; k; l })) (smaller k);
+          List.map (fun l -> with_kind (Gmm { g; hd; m; k; l })) (smaller l) ]
+    | Attn { q; n; d; dv } ->
+      List.concat
+        [ List.map (fun q -> with_kind (Attn { q; n; d; dv })) (smaller q);
+          List.map (fun n -> with_kind (Attn { q; n; d; dv })) (smaller n);
+          List.map (fun d -> with_kind (Attn { q; n; d; dv })) (smaller d);
+          List.map (fun dv -> with_kind (Attn { q; n; d; dv })) (smaller dv) ]
+  in
+  let bufs = List.map (fun bs -> { p with bs }) (smaller p.bs) in
+  List.sort (fun a b -> compare (size a) (size b)) (dims @ bufs)
+
+let minimize ?(budget = 200) p ~still_fails =
+  let budget = ref budget in
+  let test q =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      still_fails q
+    end
+  in
+  let rec go p =
+    match List.find_opt test (proposals p) with
+    | Some q -> go q
+    | None -> p
+  in
+  go p
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+
+type counterexample = {
+  index : int;
+  original : problem;
+  shrunk : problem;
+  failures : failure list;
+}
+
+type report = {
+  cases : int;
+  checks : int;
+  counterexamples : counterexample list;
+  by_kind : (string * int) list;
+}
+
+let ok r = r.counterexamples = []
+
+let shrink_failure index p (o : outcome) =
+  let names = failure_names o in
+  let still_fails q =
+    List.exists (fun n -> List.mem n names) (failure_names (run q))
+  in
+  let shrunk = minimize p ~still_fails in
+  let failures =
+    let final = run shrunk in
+    if final.failures = [] then o.failures else final.failures
+  in
+  { index; original = p; shrunk; failures }
+
+let soak ?(log = ignore) ~cases ~seed ?(max_dim = 8) () =
+  let rng = Rng.make seed in
+  let kinds = Hashtbl.create 7 in
+  let checks = ref 0 in
+  let counterexamples = ref [] in
+  for index = 1 to cases do
+    let p = gen rng ~max_dim in
+    Hashtbl.replace kinds (kind_name p.kind)
+      (1 + Option.value ~default:0 (Hashtbl.find_opt kinds (kind_name p.kind)));
+    let o = run p in
+    checks := !checks + o.checks;
+    if o.failures <> [] then begin
+      let ce = shrink_failure index p o in
+      counterexamples := ce :: !counterexamples;
+      log
+        (Printf.sprintf "nest case %d diverged: %s (shrunk to %s; checks: %s)"
+           index (to_spec p) (to_spec ce.shrunk)
+           (String.concat ", " (failure_names o)))
+    end
+  done;
+  {
+    cases;
+    checks = !checks;
+    counterexamples = List.rev !counterexamples;
+    by_kind =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
+  }
+
+let check_spec s =
+  Result.map (fun p -> (p, run p)) (of_spec s)
+
+let pp_counterexample fmt ce =
+  Format.fprintf fmt "@[<v2>case %d: %s@ shrunk: %s@ repro: fusecu_opt check --nest-repro %s@ %a@]"
+    ce.index (to_spec ce.original) (to_spec ce.shrunk) (to_spec ce.shrunk)
+    (Format.pp_print_list (fun fmt f ->
+         Format.fprintf fmt "%s: %s" f.check f.detail))
+    ce.failures
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>nest oracle: %d cases, %d checks, %d divergences@ by kind: %s@ %a@]"
+    r.cases r.checks
+    (List.length r.counterexamples)
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.by_kind))
+    (Format.pp_print_list pp_counterexample)
+    r.counterexamples

@@ -296,6 +296,49 @@ let rec compute t (call : Protocol.call) :
       Ok
         (Protocol.R_chain
            (Protocol.Pairwise { traffic = plan.Planner.traffic; segments })))
+  | Nest { kind; buffer; mode } -> (
+    let nest =
+      let module Lower = Fusecu_nest.Lower in
+      match kind with
+      | Protocol.N_matmul { m; k; l } ->
+        Lower.of_matmul (Matmul.make ~name:"nest" ~m ~k ~l ())
+      | Protocol.N_conv2d cv -> Lower.of_conv cv
+      | Protocol.N_batched_mm { b; m; k; l } -> Lower.batched_mm ~b ~m ~k ~l ()
+      | Protocol.N_grouped_mm { groups; heads; m; k; l } ->
+        Lower.grouped_mm ~groups ~heads ~m ~k ~l ()
+      | Protocol.N_attention { seq_q; seq_k; d; dv } ->
+        Lower.attention_pair ~seq_q ~seq_k ~d ~dv ()
+    in
+    let lattice =
+      match mode with
+      | Mode.Exact -> Fusecu_nest.Search.All
+      | Mode.Divisors -> Fusecu_nest.Search.Divisors
+      | Mode.Pow2 -> Fusecu_nest.Search.Pow2
+    in
+    match Fusecu_dse.Nest_bnb.search ~lattice nest buffer with
+    | None ->
+      Error
+        ( Protocol.Infeasible,
+          Printf.sprintf
+            "no feasible schedule: buffer (%d elements) cannot hold one tile \
+             per tensor"
+            (Buffer.elements buffer) )
+    | Some r ->
+      let module Nest = Fusecu_nest.Nest in
+      let s = r.Fusecu_nest.Search.schedule in
+      let axes = Array.to_list nest.Nest.axes in
+      Ok
+        (Protocol.R_nest
+           { Protocol.n_axes = axes;
+             n_extents = Array.to_list nest.Nest.extents;
+             n_tiles = Array.to_list s.Nest.tiles;
+             n_order =
+               List.map (fun i -> nest.Nest.axes.(i)) (Array.to_list s.Nest.order);
+             n_traffic = r.Fusecu_nest.Search.cost.Nest.total;
+             n_ideal = Fusecu_nest.Bound.ideal nest;
+             n_footprint = Nest.footprint nest s;
+             n_points = Nest.points nest;
+             n_evaluated = r.Fusecu_nest.Search.evaluated }))
   | Plan_model _ ->
     (* reachable only through direct [compute] callers (benchmarks);
        [run] intercepts plan_model before batching so the cache-backed

@@ -6,6 +6,13 @@ module Units = Fusecu_util.Units
 
 let version = 1
 
+type nest_kind =
+  | N_matmul of { m : int; k : int; l : int }
+  | N_conv2d of Conv.t
+  | N_batched_mm of { b : int; m : int; k : int; l : int }
+  | N_grouped_mm of { groups : int; heads : int; m : int; k : int; l : int }
+  | N_attention of { seq_q : int; seq_k : int; d : int; dv : int }
+
 type call =
   | Intra of { op : Matmul.t; buffer : Buffer.t; mode : Mode.t }
   | Fuse of { op : Matmul.t; l2 : int; buffer : Buffer.t; mode : Mode.t }
@@ -19,6 +26,7 @@ type call =
       elt_bytes : int;
       mode : Mode.t;
     }
+  | Nest of { kind : nest_kind; buffer : Buffer.t; mode : Mode.t }
 
 type request =
   | Call of call
@@ -51,6 +59,7 @@ let op_name = function
   | Eval _ -> "eval"
   | Chain _ -> "chain"
   | Plan_model _ -> "plan_model"
+  | Nest _ -> "nest"
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
@@ -188,6 +197,67 @@ let parse_call obj op =
     in
     let buffer, elt_bytes = buffer_field obj in
     Ok (Call (Plan_model { model; layers; buffer; elt_bytes; mode = mode_field obj }))
+  | "nest" ->
+    let kind_s =
+      match Json.member "kind" obj with
+      | None -> fail "missing required field %S" "kind"
+      | Some v -> (
+        match Json.to_string_v v with
+        | Ok s -> String.lowercase_ascii s
+        | Error e -> fail "field \"kind\": %s" e)
+    in
+    let opt_dim name default =
+      match Json.member name obj with
+      | None -> default
+      | Some _ -> dim_field obj name
+    in
+    let kind =
+      match kind_s with
+      | "matmul" ->
+        N_matmul
+          { m = dim_field obj "m"; k = dim_field obj "k"; l = dim_field obj "l" }
+      | "conv2d" -> (
+        let padding =
+          match Json.member "padding" obj with
+          | None -> 0
+          | Some v -> (
+            match Json.to_int v with
+            | Ok n when n >= 0 -> n
+            | Ok n -> fail "field \"padding\" must be >= 0, got %d" n
+            | Error e -> fail "field \"padding\": %s" e)
+        in
+        match
+          Conv.validate
+            ~stride:(opt_dim "stride" 1)
+            ~dilation:(opt_dim "dilation" 1)
+            ~padding ~n:(dim_field obj "n") ~c:(dim_field obj "c")
+            ~h:(dim_field obj "h") ~w:(dim_field obj "w") ~k:(dim_field obj "k")
+            ~r:(dim_field obj "r") ~s:(dim_field obj "s") ()
+        with
+        | Ok cv -> N_conv2d cv
+        | Error e -> fail "invalid conv2d: %s" e)
+      | "batched_mm" ->
+        N_batched_mm
+          { b = dim_field obj "b"; m = dim_field obj "m"; k = dim_field obj "k";
+            l = dim_field obj "l" }
+      | "grouped_mm" ->
+        let groups = dim_field obj "groups" and heads = dim_field obj "heads" in
+        N_grouped_mm
+          { groups; heads; m = dim_field obj "m"; k = dim_field obj "k";
+            l = dim_field obj "l" }
+      | "attention" ->
+        let d = dim_field obj "d" in
+        N_attention
+          { seq_q = dim_field obj "seq_q"; seq_k = dim_field obj "seq_k"; d;
+            dv = opt_dim "dv" d }
+      | other ->
+        fail
+          "unknown nest kind %S (matmul, conv2d, batched_mm, grouped_mm, \
+           attention)"
+          other
+    in
+    let buffer, _ = buffer_field obj in
+    Ok (Call (Nest { kind; buffer; mode = mode_field obj }))
   | "stats" -> Ok Stats
   | "metrics" ->
     let quiet =
@@ -205,7 +275,7 @@ let parse_call obj op =
         message =
           Printf.sprintf
             "unknown op %S (intra, fuse, regime, eval, chain, plan_model, \
-             stats, metrics, shutdown)"
+             nest, stats, metrics, shutdown)"
             other }
 
 let parse_line line =
@@ -255,6 +325,28 @@ let canonicalize call =
     (Regime { op = Matmul.transpose op; buffer }, Transpose_ml)
   | _ -> (call, Identity)
 
+let nest_kind_name = function
+  | N_matmul _ -> "matmul"
+  | N_conv2d _ -> "conv2d"
+  | N_batched_mm _ -> "batched_mm"
+  | N_grouped_mm _ -> "grouped_mm"
+  | N_attention _ -> "attention"
+
+(* Field order is fixed: it is both the cache-key digit order and the
+   response echo order. *)
+let nest_kind_dims = function
+  | N_matmul { m; k; l } -> [ ("m", m); ("k", k); ("l", l) ]
+  | N_conv2d cv ->
+    [ ("n", cv.Conv.n); ("c", cv.Conv.c); ("h", cv.Conv.h); ("w", cv.Conv.w);
+      ("k", cv.Conv.k); ("r", cv.Conv.r); ("s", cv.Conv.s);
+      ("stride", cv.Conv.stride); ("padding", cv.Conv.padding);
+      ("dilation", cv.Conv.dilation) ]
+  | N_batched_mm { b; m; k; l } -> [ ("b", b); ("m", m); ("k", k); ("l", l) ]
+  | N_grouped_mm { groups; heads; m; k; l } ->
+    [ ("groups", groups); ("heads", heads); ("m", m); ("k", k); ("l", l) ]
+  | N_attention { seq_q; seq_k; d; dv } ->
+    [ ("seq_q", seq_q); ("seq_k", seq_k); ("d", d); ("dv", dv) ]
+
 let cache_key call =
   match call with
   | Intra { op; buffer; mode } ->
@@ -276,6 +368,11 @@ let cache_key call =
   | Plan_model { model; layers; buffer; elt_bytes; mode } ->
     Printf.sprintf "pm|%s|%s|%d|%d|%d" (mode_to_string mode) model layers
       buffer.Buffer.bytes elt_bytes
+  | Nest { kind; buffer; mode } ->
+    Printf.sprintf "n|%s|%s|%s|%d" (mode_to_string mode) (nest_kind_name kind)
+      (String.concat ","
+         (List.map (fun (_, v) -> string_of_int v) (nest_kind_dims kind)))
+      (Buffer.elements buffer)
 
 (* ------------------------------------------------------------------ *)
 (* Outcomes                                                            *)
@@ -361,6 +458,18 @@ type plan_model_result = {
   bnb_pruned : int;
 }
 
+type nest_result = {
+  n_axes : string list;  (** axis names, rank order *)
+  n_extents : int list;
+  n_tiles : int list;  (** winning tile per axis, rank order *)
+  n_order : string list;  (** axis names, outermost first *)
+  n_traffic : int;
+  n_ideal : int;  (** unbounded-buffer communication lower bound *)
+  n_footprint : int;
+  n_points : int;
+  n_evaluated : int;  (** schedules cost-evaluated by the mapper *)
+}
+
 type outcome =
   | R_intra of intra_result
   | R_fuse of fuse_result
@@ -368,6 +477,7 @@ type outcome =
   | R_eval of eval_row list
   | R_chain of chain_result
   | R_plan_model of plan_model_result
+  | R_nest of nest_result
 
 (* Relabel canonical-frame results for the original (transposed)
    request: the canonical computation ran on [transpose op], whose A is
@@ -435,6 +545,22 @@ let problem_fields call =
     [ ("model", Json.String model); ("layers", Json.Int layers) ]
     @ buffer_fields buffer
     @ [ ("mode", Json.String (mode_to_string mode)) ]
+  | Nest { kind; buffer; mode } ->
+    (("kind", Json.String (nest_kind_name kind))
+    :: List.map (fun (n, v) -> (n, Json.Int v)) (nest_kind_dims kind))
+    @ buffer_fields buffer
+    @ [ ("mode", Json.String (mode_to_string mode)) ]
+
+let nest_outcome_fields r =
+  [ ("axes", Json.List (List.map (fun a -> Json.String a) r.n_axes));
+    ("extents", Json.List (List.map (fun e -> Json.Int e) r.n_extents));
+    ("tiles", Json.List (List.map (fun t -> Json.Int t) r.n_tiles));
+    ("order", Json.List (List.map (fun a -> Json.String a) r.n_order));
+    ("traffic", Json.Int r.n_traffic);
+    ("ideal", Json.Int r.n_ideal);
+    ("footprint", Json.Int r.n_footprint);
+    ("points", Json.Int r.n_points);
+    ("evaluated", Json.Int r.n_evaluated) ]
 
 let outcome_fields = function
   | R_intra r ->
@@ -539,6 +665,7 @@ let outcome_fields = function
            ("dp_states", Json.Int r.dp_states);
            ("bnb_nodes", Json.Int r.bnb_nodes);
            ("bnb_pruned", Json.Int r.bnb_pruned) ]) ]
+  | R_nest r -> nest_outcome_fields r
 
 let response_ok ~id ~call outcome =
   Json.print
@@ -784,6 +911,18 @@ let outcome_to_json = function
         ("dp_states", Json.Int r.dp_states);
         ("bnb_nodes", Json.Int r.bnb_nodes);
         ("bnb_pruned", Json.Int r.bnb_pruned) ]
+  | R_nest r ->
+    Json.Obj
+      [ ("t", Json.String "nest");
+        ("axes", Json.List (List.map (fun a -> Json.String a) r.n_axes));
+        ("extents", Json.List (List.map (fun e -> Json.Int e) r.n_extents));
+        ("tiles", Json.List (List.map (fun x -> Json.Int x) r.n_tiles));
+        ("order", Json.List (List.map (fun a -> Json.String a) r.n_order));
+        ("traffic", Json.Int r.n_traffic);
+        ("ideal", Json.Int r.n_ideal);
+        ("footprint", Json.Int r.n_footprint);
+        ("points", Json.Int r.n_points);
+        ("evaluated", Json.Int r.n_evaluated) ]
 
 let outcome_of_json j =
   let* tag = string_field "t" j in
@@ -905,4 +1044,24 @@ let outcome_of_json j =
          { nodes; plan_groups; fused_edges; traffic; hidden; effective;
            unfused_traffic; unfused_effective; candidate_edges; components;
            dp_states; bnb_nodes; bnb_pruned })
+  | "nest" ->
+    let* n_axes =
+      Result.bind (list_field "axes" j) (map_result Json.to_string_v)
+    in
+    let* n_extents =
+      Result.bind (list_field "extents" j) (map_result Json.to_int)
+    in
+    let* n_tiles = Result.bind (list_field "tiles" j) (map_result Json.to_int) in
+    let* n_order =
+      Result.bind (list_field "order" j) (map_result Json.to_string_v)
+    in
+    let* n_traffic = int_field "traffic" j in
+    let* n_ideal = int_field "ideal" j in
+    let* n_footprint = int_field "footprint" j in
+    let* n_points = int_field "points" j in
+    let* n_evaluated = int_field "evaluated" j in
+    Ok
+      (R_nest
+         { n_axes; n_extents; n_tiles; n_order; n_traffic; n_ideal;
+           n_footprint; n_points; n_evaluated })
   | t -> Error (Printf.sprintf "store: unknown outcome tag %S" t)

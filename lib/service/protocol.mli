@@ -47,6 +47,15 @@ val version : int
 
 (** {1 Requests} *)
 
+type nest_kind =
+  | N_matmul of { m : int; k : int; l : int }
+  | N_conv2d of Conv.t
+  | N_batched_mm of { b : int; m : int; k : int; l : int }
+  | N_grouped_mm of { groups : int; heads : int; m : int; k : int; l : int }
+  | N_attention of { seq_q : int; seq_k : int; d : int; dv : int }
+      (** fused score x value pair: Q(seq_q,d) K(seq_k,d) V(seq_k,dv),
+          scores internal (Principle-4 fused) *)
+
 type call =
   | Intra of { op : Matmul.t; buffer : Buffer.t; mode : Mode.t }
   | Fuse of { op : Matmul.t; l2 : int; buffer : Buffer.t; mode : Mode.t }
@@ -68,6 +77,13 @@ type call =
           through the shared plan cache under its ordinary [intra] /
           [chain] key, so the model-level answer both reuses and seeds
           the per-operator entries. *)
+  | Nest of { kind : nest_kind; buffer : Buffer.t; mode : Mode.t }
+      (** exact schedule search over the projective loop-nest IR
+          (wire op ["nest"], field ["kind"] one of [matmul],
+          [conv2d], [batched_mm], [grouped_mm], [attention]); ["mode"]
+          selects the tiling lattice as for the matmul ops. conv2d
+          shapes are validated with {!Fusecu_tensor.Conv.validate}
+          and rejected as [bad_request] before reaching the engine. *)
 
 type request =
   | Call of call
@@ -103,6 +119,11 @@ val parse_line : string -> (Json.t * string option * request, reject) result
     possible. *)
 
 val op_name : call -> string
+
+val nest_kind_name : nest_kind -> string
+
+val nest_kind_dims : nest_kind -> (string * int) list
+(** Wire/cache field order of a kind's dimensions (fixed). *)
 
 (** {1 Canonicalization and cache keys} *)
 
@@ -187,6 +208,18 @@ type plan_model_result = {
   bnb_pruned : int;
 }
 
+type nest_result = {
+  n_axes : string list;  (** axis names, rank order *)
+  n_extents : int list;
+  n_tiles : int list;  (** winning tile per axis, rank order *)
+  n_order : string list;  (** axis names, outermost first *)
+  n_traffic : int;
+  n_ideal : int;  (** unbounded-buffer communication lower bound *)
+  n_footprint : int;
+  n_points : int;
+  n_evaluated : int;  (** schedules cost-evaluated by the mapper *)
+}
+
 type outcome =
   | R_intra of intra_result
   | R_fuse of fuse_result
@@ -194,6 +227,7 @@ type outcome =
   | R_eval of eval_row list
   | R_chain of chain_result
   | R_plan_model of plan_model_result
+  | R_nest of nest_result
 
 val outcome_to_json : outcome -> Json.t
 (** Structural encoding for the persistent plan store ({!Store}): every

@@ -245,18 +245,46 @@ let appended t =
   Mutex.unlock t.mutex;
   n
 
+(* fsync a directory so a rename inside it survives a crash; best
+   effort where directories cannot be opened/synced (some filesystems
+   return EINVAL) *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+    (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+    Unix.close dfd
+
 let compact t entries =
   flush t;
   let tmp = t.path ^ ".tmp" in
+  (* a stale temp file from a compact that crashed mid-write must not
+     poison this one: truncate it via open_out_bin, never append *)
   match
     let oc = open_out_bin tmp in
     List.iter (fun (k, o) -> output_string oc (frame k o)) entries;
+    (* durability order: temp contents on disk before the rename
+       publishes them, parent directory entry on disk after — without
+       the first fsync a crash soon after the rename can leave the log
+       pointing at zero-length or partial data; without the second the
+       rename itself can vanish (the old log is gone either way on
+       journalled-metadata filesystems) *)
+    Stdlib.flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc);
     close_out oc;
-    Sys.rename tmp t.path
+    Sys.rename tmp t.path;
+    fsync_dir (Filename.dirname t.path)
   with
-  | exception Sys_error e ->
+  | exception (Sys_error _ | Unix.Unix_error _ as exn) ->
     (try Sys.remove tmp with Sys_error _ -> ());
-    Error (Printf.sprintf "store compact %s: %s" t.path e)
+    let msg =
+      match exn with
+      | Sys_error e -> e
+      | Unix.Unix_error (err, fn, _) ->
+        Printf.sprintf "%s: %s" fn (Unix.error_message err)
+      | _ -> assert false
+    in
+    Error (Printf.sprintf "store compact %s: %s" t.path msg)
   | () ->
     (* the append fd still points at the old inode; reopen on the new *)
     Unix.close t.fd;

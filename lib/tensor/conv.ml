@@ -9,20 +9,42 @@ type t = {
   s : int;
   stride : int;
   padding : int;
+  dilation : int;
 }
 
-let make ?(name = "conv") ?(stride = 1) ?(padding = 0) ~n ~c ~h ~w ~k ~r ~s () =
+let effective_r t = ((t.r - 1) * t.dilation) + 1
+
+let effective_s t = ((t.s - 1) * t.dilation) + 1
+
+let output_height t = ((t.h + (2 * t.padding) - effective_r t) / t.stride) + 1
+
+let output_width t = ((t.w + (2 * t.padding) - effective_s t) / t.stride) + 1
+
+let validate ?(name = "conv") ?(stride = 1) ?(padding = 0) ?(dilation = 1) ~n
+    ~c ~h ~w ~k ~r ~s () =
   if n < 1 || c < 1 || h < 1 || w < 1 || k < 1 || r < 1 || s < 1 then
-    invalid_arg "Conv.make: extents must be >= 1";
-  if stride < 1 then invalid_arg "Conv.make: stride must be >= 1";
-  if padding < 0 then invalid_arg "Conv.make: padding must be >= 0";
-  if r > h + (2 * padding) || s > w + (2 * padding) then
-    invalid_arg "Conv.make: kernel larger than the padded input";
-  { name; n; c; h; w; k; r; s; stride; padding }
+    Error "extents must be >= 1"
+  else if stride < 1 then Error "stride must be >= 1"
+  else if padding < 0 then Error "padding must be >= 0"
+  else if dilation < 1 then Error "dilation must be >= 1"
+  else begin
+    let t = { name; n; c; h; w; k; r; s; stride; padding; dilation } in
+    (* OCaml integer division truncates toward zero, so a dilated
+       kernel overflowing the padded input would silently yield
+       output_height = (negative)/stride + 1 = 1 for small overflows
+       instead of going non-positive — check the span, not the
+       quotient. *)
+    if effective_r t > h + (2 * padding) || effective_s t > w + (2 * padding)
+    then Error "kernel larger than the padded input"
+    else if output_height t < 1 || output_width t < 1 then
+      Error "output has no positions"
+    else Ok t
+  end
 
-let output_height t = ((t.h + (2 * t.padding) - t.r) / t.stride) + 1
-
-let output_width t = ((t.w + (2 * t.padding) - t.s) / t.stride) + 1
+let make ?name ?stride ?padding ?dilation ~n ~c ~h ~w ~k ~r ~s () =
+  match validate ?name ?stride ?padding ?dilation ~n ~c ~h ~w ~k ~r ~s () with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Conv.make: " ^ e)
 
 let to_matmul t =
   Matmul.make ~name:(t.name ^ ".im2col")
@@ -40,4 +62,5 @@ let im2col_inflation t =
 
 let pp fmt t =
   Format.fprintf fmt "%s: n=%d c=%d %dx%d -> k=%d %dx%d kernel stride=%d pad=%d"
-    t.name t.n t.c t.h t.w t.k t.r t.s t.stride t.padding
+    t.name t.n t.c t.h t.w t.k t.r t.s t.stride t.padding;
+  if t.dilation <> 1 then Format.fprintf fmt " dil=%d" t.dilation

@@ -25,12 +25,27 @@ type t = private {
   s : int;  (** kernel width *)
   stride : int;
   padding : int;
+  dilation : int;
 }
 
-val make : ?name:string -> ?stride:int -> ?padding:int -> n:int -> c:int ->
-  h:int -> w:int -> k:int -> r:int -> s:int -> unit -> t
-(** All extents [>= 1]; [stride >= 1]; [padding >= 0]; the kernel (after
-    padding) must fit inside the input. *)
+val validate : ?name:string -> ?stride:int -> ?padding:int -> ?dilation:int ->
+  n:int -> c:int -> h:int -> w:int -> k:int -> r:int -> s:int -> unit ->
+  (t, string) result
+(** All extents [>= 1]; [stride >= 1]; [padding >= 0]; [dilation >= 1];
+    the dilated kernel span [(r-1)*dilation + 1] must fit inside the
+    padded input and both output extents must be [>= 1]. The span check
+    is explicit because OCaml's truncating division would otherwise
+    round a slightly-too-large kernel to a bogus 1-position output
+    instead of a non-positive one. *)
+
+val make : ?name:string -> ?stride:int -> ?padding:int -> ?dilation:int ->
+  n:int -> c:int -> h:int -> w:int -> k:int -> r:int -> s:int -> unit -> t
+(** {!validate}, raising [Invalid_argument] on [Error]. *)
+
+val effective_r : t -> int
+(** Dilated kernel height span [(r-1)*dilation + 1]. *)
+
+val effective_s : t -> int
 
 val output_height : t -> int
 

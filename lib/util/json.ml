@@ -265,18 +265,22 @@ let parse s =
       digits ()
     | _ -> ());
     let text = String.sub s start (!pos - start) in
-    if !is_float then
+    (* Overflowing literals ("1e999", 400-digit integers) widen to
+       infinity, which [print] cannot represent — accepting them would
+       break the parse/print round-trip, so they are malformed input. *)
+    let finite_float () =
       match float_of_string_opt text with
-      | Some f -> Float f
+      | Some f when Float.is_finite f -> Float f
+      | Some _ -> fail (Printf.sprintf "number %S overflows" text)
       | None -> fail (Printf.sprintf "invalid number %S" text)
+    in
+    if !is_float then finite_float ()
     else
       match int_of_string_opt text with
       | Some i -> Int i
-      | None -> (
+      | None ->
         (* magnitude beyond the 63-bit int range: widen *)
-        match float_of_string_opt text with
-        | Some f -> Float f
-        | None -> fail (Printf.sprintf "invalid number %S" text))
+        finite_float ()
   in
   let rec parse_value () =
     skip_ws ();

@@ -22,3 +22,27 @@ let find name =
   List.find_opt
     (fun (m : Model.t) -> String.lowercase_ascii m.name = target)
     all
+
+(* Beyond-matmul cases priced through the projective nest IR. Shapes
+   are scaled-down but structurally faithful (ResNet-style conv
+   blocks, per-head attention batches, LLaMA2-70B's 8-group GQA, one
+   flash-style fused score x value pair); sized so the Divisors-lattice
+   exhaustive ground truth stays enumerable in benches and tests. *)
+let nest_cases =
+  let open Fusecu_nest in
+  let conv = Fusecu_tensor.Conv.make in
+  [ ("conv3x3", Lower.of_conv (conv ~n:1 ~c:16 ~h:14 ~w:14 ~k:16 ~r:3 ~s:3 ()));
+    ("conv3x3-strided",
+     Lower.of_conv
+       (conv ~stride:2 ~padding:1 ~n:1 ~c:8 ~h:14 ~w:14 ~k:16 ~r:3 ~s:3 ()));
+    ("conv1x1", Lower.of_conv (conv ~n:1 ~c:64 ~h:7 ~w:7 ~k:16 ~r:1 ~s:1 ()));
+    ("bmm-heads", Lower.batched_mm ~name:"bmm-heads" ~b:12 ~m:64 ~k:64 ~l:64 ());
+    ("gqa-scores",
+     Lower.grouped_mm ~name:"gqa-scores" ~groups:8 ~heads:8 ~m:64 ~k:64 ~l:64 ());
+    ("attn-pair",
+     Lower.attention_pair ~name:"attn-pair" ~seq_q:64 ~seq_k:64 ~d:64 ()) ]
+
+let find_nest name =
+  let target = String.lowercase_ascii name in
+  Option.map snd
+    (List.find_opt (fun (n, _) -> String.lowercase_ascii n = target) nest_cases)

@@ -18,3 +18,13 @@ val all : Model.t list
 
 val find : string -> Model.t option
 (** Case-insensitive lookup by name. *)
+
+val nest_cases : (string * Fusecu_nest.Nest.t) list
+(** Beyond-matmul workloads as projective nests: conv2d (plain,
+    strided, pointwise), per-head batched MM, grouped-query-attention
+    scores, and a fused attention score x value pair. Scaled-down
+    shapes, sized so the exhaustive Divisors-lattice ground truth
+    stays enumerable in benches and tests. *)
+
+val find_nest : string -> Fusecu_nest.Nest.t option
+(** Case-insensitive lookup in {!nest_cases}. *)

@@ -556,6 +556,84 @@ let bnb_qcheck_prop =
         [ Space.All; Space.Divisors; Space.Pow2 ];
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Nest branch-and-bound: bit-identical to the nest exhaustive scan     *)
+
+module NSearch = Fusecu_nest.Search
+module NNest = Fusecu_nest.Nest
+module NLower = Fusecu_nest.Lower
+
+let nest_zoo () =
+  [
+    ("mm", NLower.of_matmul (Matmul.make ~m:12 ~k:8 ~l:10 ()), [ 40; 120; 400 ]);
+    ( "conv",
+      NLower.of_conv (Conv.make ~n:1 ~c:2 ~h:6 ~w:6 ~k:3 ~r:3 ~s:3 ()),
+      [ 64; 200 ] );
+    ("bmm", NLower.batched_mm ~b:3 ~m:4 ~k:5 ~l:6 (), [ 50; 150 ]);
+    ("gmm", NLower.grouped_mm ~groups:2 ~heads:3 ~m:4 ~k:5 ~l:4 (), [ 60; 200 ]);
+    ("attn", NLower.attention_pair ~seq_q:6 ~seq_k:8 ~d:4 (), [ 64; 160 ]);
+    ("chain", NLower.of_chain (Chain.of_dims ~m:6 [ 4; 5; 3 ]), [ 40; 100 ]);
+  ]
+
+let check_nest_bnb_matches name lattice nest buf ?seed () =
+  let exp =
+    NSearch.exhaustive ~lattice nest ~capacity:(Buffer.elements buf)
+  in
+  let got = Nest_bnb.search ~lattice ?seed nest buf in
+  match (exp, got) with
+  | None, None -> ()
+  | Some e, Some g ->
+    check_int (name ^ " total") e.NSearch.cost.NNest.total
+      g.NSearch.cost.NNest.total;
+    check_int (name ^ " tiling idx") e.NSearch.tiling_index g.NSearch.tiling_index;
+    check_int (name ^ " order rank") e.NSearch.order_rank g.NSearch.order_rank;
+    Alcotest.(check (array int))
+      (name ^ " tiles") e.NSearch.schedule.NNest.tiles
+      g.NSearch.schedule.NNest.tiles;
+    Alcotest.(check (array int))
+      (name ^ " order") e.NSearch.schedule.NNest.order
+      g.NSearch.schedule.NNest.order;
+    check_bool (name ^ " no extra evals") true
+      (g.NSearch.evaluated <= e.NSearch.evaluated)
+  | Some _, None -> Alcotest.fail (name ^ ": nest bnb found nothing")
+  | None, Some _ -> Alcotest.fail (name ^ ": nest bnb invented a result")
+
+let test_nest_bnb_matches_exhaustive () =
+  List.iter
+    (fun (name, nest, sizes) ->
+      List.iter
+        (fun bytes ->
+          let buf = Buffer.make bytes in
+          List.iter
+            (fun lattice ->
+              check_nest_bnb_matches
+                (Printf.sprintf "%s/%d" name bytes)
+                lattice nest buf ())
+            [ NSearch.All; NSearch.Divisors; NSearch.Pow2 ])
+        sizes)
+    (nest_zoo ())
+
+let test_nest_bnb_seeds () =
+  let nest = NLower.of_matmul (Matmul.make ~m:12 ~k:8 ~l:10 ()) in
+  let buf = Buffer.make 64 in
+  (match NSearch.exhaustive ~lattice:NSearch.Divisors nest ~capacity:64 with
+  | None -> Alcotest.fail "expected a feasible schedule"
+  | Some e ->
+    check_nest_bnb_matches "in-space seed" NSearch.Divisors nest buf
+      ~seed:e.NSearch.schedule ();
+    let _, stats =
+      Nest_bnb.search_with_stats ~lattice:NSearch.Divisors
+        ~seed:e.NSearch.schedule nest buf
+    in
+    check_bool "seed prunes" true (stats.Bnb.pruned_bound > 0));
+  (* 5 is off the divisor lattice of 12: the seed must be discarded,
+     not trusted, and the result unchanged *)
+  let off =
+    NNest.schedule_make nest ~tiles:[| 5; 1; 1 |] ~order:[| 0; 1; 2 |]
+  in
+  check_nest_bnb_matches "off-lattice seed" NSearch.Divisors nest buf ~seed:off
+    ()
+
 let () =
   Alcotest.run "dse"
     [ ( "space",
@@ -605,6 +683,10 @@ let () =
           Alcotest.test_case "PR 5 counterexamples" `Quick
             test_bnb_pr5_counterexamples;
           QCheck_alcotest.to_alcotest bnb_qcheck_prop ] );
+      ( "nest-bnb",
+        [ Alcotest.test_case "matches nest exhaustive" `Quick
+            test_nest_bnb_matches_exhaustive;
+          Alcotest.test_case "seed handling" `Quick test_nest_bnb_seeds ] );
       ( "fused",
         [ Alcotest.test_case "exhaustive valid" `Quick test_fused_exhaustive_valid;
           Alcotest.test_case "fusion wins on attention" `Quick

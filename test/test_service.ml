@@ -1144,6 +1144,147 @@ let test_plan_model_unknown_model () =
   | _ -> Alcotest.fail "expected one response"
 
 (* ------------------------------------------------------------------ *)
+(* nest                                                                *)
+
+let test_nest_parse () =
+  (match
+     parse_ok "{\"op\":\"nest\",\"kind\":\"MatMul\",\"m\":4,\"k\":5,\"l\":6}"
+   with
+  | _, Protocol.Call (Protocol.Nest { kind = Protocol.N_matmul { m; k; l }; _ })
+    ->
+    check_int "m" 4 m;
+    check_int "k" 5 k;
+    check_int "l" 6 l
+  | _ -> Alcotest.fail "bad nest matmul parse");
+  (match
+     parse_ok
+       "{\"op\":\"nest\",\"kind\":\"conv2d\",\"n\":1,\"c\":2,\"h\":6,\"w\":6,\
+        \"k\":3,\"r\":3,\"s\":3}"
+   with
+  | _, Protocol.Call (Protocol.Nest { kind = Protocol.N_conv2d cv; _ }) ->
+    check_int "stride defaults to 1" 1 cv.Fusecu_tensor.Conv.stride;
+    check_int "padding defaults to 0" 0 cv.Fusecu_tensor.Conv.padding;
+    check_int "dilation defaults to 1" 1 cv.Fusecu_tensor.Conv.dilation
+  | _ -> Alcotest.fail "bad nest conv2d parse");
+  (match
+     parse_ok
+       "{\"op\":\"nest\",\"kind\":\"attention\",\"seq_q\":8,\"seq_k\":8,\"d\":4}"
+   with
+  | _, Protocol.Call (Protocol.Nest { kind = Protocol.N_attention { d; dv; _ }; _ })
+    ->
+    check_int "dv defaults to d" d dv
+  | _ -> Alcotest.fail "bad nest attention parse");
+  let code line = (parse_reject line).Protocol.code in
+  check_bool "missing kind" true
+    (code "{\"op\":\"nest\",\"m\":4,\"k\":4,\"l\":4}" = Protocol.Bad_request);
+  check_bool "unknown kind" true
+    (code "{\"op\":\"nest\",\"kind\":\"warp\",\"m\":4}" = Protocol.Bad_request);
+  check_bool "invalid conv rejected at parse" true
+    (code
+       "{\"op\":\"nest\",\"kind\":\"conv2d\",\"n\":1,\"c\":1,\"h\":3,\"w\":3,\
+        \"k\":1,\"r\":5,\"s\":5}"
+    = Protocol.Bad_request);
+  check_bool "missing dims" true
+    (code "{\"op\":\"nest\",\"kind\":\"batched_mm\",\"b\":2}"
+    = Protocol.Bad_request)
+
+(* The service's nest matmul answer must carry exactly the legacy
+   exhaustive optimum (the nest mapper's MM-instance conformance,
+   end to end through the wire). *)
+let test_nest_matmul_matches_legacy () =
+  let out =
+    Engine.handle_lines
+      (Engine.create (Engine.default_config ()))
+      [ "{\"op\":\"nest\",\"id\":1,\"kind\":\"matmul\",\"m\":12,\"k\":8,\
+         \"l\":10,\"buffer\":64}" ]
+  in
+  let legacy =
+    match
+      Fusecu_dse.Exhaustive.search ~pool:Fusecu_util.Pool.sequential
+        (Fusecu_tensor.Matmul.make ~m:12 ~k:8 ~l:10 ())
+        (Fusecu_loopnest.Buffer.make 64)
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "legacy search infeasible"
+  in
+  match out with
+  | [ line ] -> (
+    match Json.parse line with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+      let result = Option.get (Json.member "result" r) in
+      check_bool "ok" true (Json.member "ok" r = Some (Json.Bool true));
+      check_bool "traffic = legacy exhaustive" true
+        (Json.member "traffic" result
+        = Some
+            (Json.Int legacy.Fusecu_dse.Exhaustive.cost.Fusecu_loopnest.Cost.total));
+      let tiles d =
+        Fusecu_loopnest.Tiling.get
+          legacy.Fusecu_dse.Exhaustive.schedule.Fusecu_loopnest.Schedule.tiling d
+      in
+      check_bool "tiles = legacy tiles" true
+        (Json.member "tiles" result
+        = Some
+            (Json.List
+               [ Json.Int (tiles Fusecu_tensor.Dim.M);
+                 Json.Int (tiles Fusecu_tensor.Dim.K);
+                 Json.Int (tiles Fusecu_tensor.Dim.L) ])))
+  | _ -> Alcotest.fail "expected one response"
+
+let nest_line =
+  "{\"op\":\"nest\",\"id\":9,\"kind\":\"conv2d\",\"n\":1,\"c\":2,\"h\":6,\
+   \"w\":6,\"k\":3,\"r\":3,\"s\":3,\"buffer\":64}"
+
+let test_nest_cache_reuse () =
+  let engine = Engine.create (Engine.default_config ()) in
+  let first = Engine.handle_lines engine [ nest_line ] in
+  let st1 = Engine.cache_stats engine in
+  let second = Engine.handle_lines engine [ nest_line ] in
+  let st2 = Engine.cache_stats engine in
+  check_bool "responses identical" true (first = second);
+  check_int "repeat adds no misses" st1.Cache.misses st2.Cache.misses;
+  check_bool "repeat hits" true (st2.Cache.hits > st1.Cache.hits);
+  check_int "requests_nest" 2 (Metrics.get (Engine.metrics engine) "requests_nest")
+
+let test_nest_outcome_codec () =
+  let r =
+    Protocol.R_nest
+      { Protocol.n_axes = [ "m"; "k"; "l" ];
+        n_extents = [ 12; 8; 10 ];
+        n_tiles = [ 6; 8; 1 ];
+        n_order = [ "m"; "l"; "k" ];
+        n_traffic = 376;
+        n_ideal = 296;
+        n_footprint = 62;
+        n_points = 960;
+        n_evaluated = 44 }
+  in
+  match Protocol.outcome_of_json (Protocol.outcome_to_json r) with
+  | Ok r' -> check_bool "store codec round-trips R_nest" true (r = r')
+  | Error e -> Alcotest.fail e
+
+let test_nest_infeasible () =
+  let out =
+    Engine.handle_lines
+      (Engine.create (Engine.default_config ()))
+      [ "{\"op\":\"nest\",\"id\":3,\"kind\":\"matmul\",\"m\":64,\"k\":64,\
+         \"l\":64,\"buffer\":2}" ]
+  in
+  match out with
+  | [ line ] -> (
+    match Json.parse line with
+    | Ok r -> (
+      check_bool "error response" true
+        (Json.member "ok" r = Some (Json.Bool false));
+      match Json.member "error" r with
+      | Some e ->
+        check_bool "infeasible code" true
+          (Json.member "code" e = Some (Json.String "infeasible"))
+      | None -> Alcotest.fail "missing error object")
+    | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected one response"
+
+(* ------------------------------------------------------------------ *)
 (* Trace-context envelope: splice, strip, parse                        *)
 
 let test_tc_envelope () =
@@ -1548,6 +1689,13 @@ let () =
             test_plan_model_counters;
           Alcotest.test_case "plan_model unknown model" `Quick
             test_plan_model_unknown_model;
+          Alcotest.test_case "nest parse" `Quick test_nest_parse;
+          Alcotest.test_case "nest matmul matches legacy" `Quick
+            test_nest_matmul_matches_legacy;
+          Alcotest.test_case "nest cache reuse" `Quick test_nest_cache_reuse;
+          Alcotest.test_case "nest outcome codec" `Quick
+            test_nest_outcome_codec;
+          Alcotest.test_case "nest infeasible" `Quick test_nest_infeasible;
           Alcotest.test_case "shutdown barrier" `Quick
             test_shutdown_stops_processing ] );
       ( "server",

@@ -199,6 +199,38 @@ let test_compact_atomic_and_equivalent () =
         r.Store.records;
       check_int "no damage" 0 r.Store.dropped_bytes)
 
+(* crash-window durability: a compact that died before its rename
+   leaves a stale .tmp behind; the next open must recover the original
+   log untouched, and the next compact must truncate (not trust, not
+   append to) the leftover before publishing *)
+let test_compact_crash_window () =
+  let samples = Lazy.force sample_outcomes in
+  with_tmp (fun path ->
+      let s = open_exn path in
+      List.iter (fun (k, o) -> Store.append s k o) samples;
+      Store.flush s;
+      Store.close s;
+      let original = file_contents path in
+      (* simulated crash mid-compact: a partial, torn temp file *)
+      Out_channel.with_open_bin (path ^ ".tmp") (fun oc ->
+          Out_channel.output_string oc "deadbeef {\"k\":\"torn");
+      let s = open_exn path in
+      let r = Store.recovered s in
+      check_int "stale tmp invisible to recovery" (List.length samples)
+        r.Store.records;
+      check_int "log undamaged" 0 r.Store.dropped_bytes;
+      check_bool "log bytes untouched" true (file_contents path = original);
+      (match Store.compact s samples with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Store.close s;
+      check_bool "tmp cleaned up" false (Sys.file_exists (path ^ ".tmp"));
+      let s = open_exn path in
+      let r = Store.recovered s in
+      Store.close s;
+      check_int "compact output clean" (List.length samples) r.Store.records;
+      check_int "no torn bytes leaked in" 0 r.Store.dropped_bytes)
+
 (* the end-to-end bar: an engine warm-loaded from a store (even one
    with a torn tail) must replay the fixture byte-identically to the
    cold golden on every planning line *)
@@ -381,7 +413,9 @@ let () =
             test_bad_hex_and_short_frames ] );
       ( "compaction",
         [ Alcotest.test_case "atomic rename, appends continue" `Quick
-            test_compact_atomic_and_equivalent ] );
+            test_compact_atomic_and_equivalent;
+          Alcotest.test_case "crash window: stale tmp, durable publish"
+            `Quick test_compact_crash_window ] );
       ( "instrumentation",
         [ Alcotest.test_case "flusher gauges and histograms" `Quick
             test_flusher_instrumentation;

@@ -413,12 +413,74 @@ let test_log_level_of_string () =
   check_bool "unknown rejected" true
     (match Log.level_of_string "loud" with Error _ -> true | Ok _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Json numeric round-trips                                            *)
+
+let json_roundtrip v =
+  match Json.parse (Json.print v) with
+  | Ok v' -> Json.equal v v'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_numeric_corners () =
+  (* negative zero survives (sign bit included) *)
+  check_bool "-0.0" true (json_roundtrip (Json.Float (-0.0)));
+  (match Json.parse (Json.print (Json.Float (-0.0))) with
+  | Ok (Json.Float f) ->
+    check_bool "-0.0 sign bit" true (1. /. f = Float.neg_infinity)
+  | _ -> Alcotest.fail "-0.0 did not reparse as a float");
+  (* beyond-53-bit magnitudes and the int/float boundary *)
+  List.iter
+    (fun f -> check_bool (string_of_float f) true (json_roundtrip (Json.Float f)))
+    [ 1e22; 1.0000000000000002e22; 9007199254740992.0 (* 2^53 *);
+      9007199254740994.0; Float.max_float; Float.min_float; 4.5e-300 ];
+  List.iter
+    (fun i -> check_bool (string_of_int i) true (json_roundtrip (Json.Int i)))
+    [ max_int; min_int; 9007199254740993 (* not float-representable *) ];
+  (* int overflow in the text widens to float... *)
+  (match Json.parse "4611686018427387904" with
+  | Ok (Json.Float f) -> check_bool "widened" true (f = 4.611686018427388e18)
+  | _ -> Alcotest.fail "int overflow did not widen");
+  (* ...but a widening that overflows to infinity is malformed, not
+     silently accepted as an unprintable value (the round-trip bug) *)
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Error _ -> ()
+      | Ok v ->
+        Alcotest.failf "overflowing literal %s accepted as %s" text
+          (Json.print v))
+    [ "1e999"; "-1e999"; "1" ^ String.make 400 '0';
+      "[1, 2, 1e400]"; "{\"x\": -1e999}" ];
+  (* NaN/infinity are not printable either way *)
+  List.iter
+    (fun f ->
+      match Json.print (Json.Float f) with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "non-finite printed as %s" s)
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"json float round-trip"
+    QCheck.(float)
+    (fun f ->
+      if Float.is_finite f then json_roundtrip (Json.Float f)
+      else
+        match Json.print (Json.Float f) with
+        | exception Invalid_argument _ -> true
+        | _ -> false)
+
+let prop_json_int_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"json int round-trip"
+    QCheck.(frequency [ (4, int); (1, oneofl [ max_int; min_int; 0; -1 ]) ])
+    (fun i -> json_roundtrip (Json.Int i))
+
 let qsuite = List.map
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20250704 |]))
   [ prop_isqrt; prop_gcd_total; prop_divisors; prop_divisors_pair_up;
     prop_geomean_le_mean;
     prop_units_roundtrip; prop_units_pp_parse_roundtrip;
-    prop_units_parse_non_negative ]
+    prop_units_parse_non_negative; prop_json_float_roundtrip;
+    prop_json_int_roundtrip ]
 
 (* Pinned vectors: the store's record framing (CRC-32) and the cache /
    router placement hash (63-bit FNV-1a) are on-disk and cross-process
@@ -481,6 +543,9 @@ let () =
       ( "csv",
         [ Alcotest.test_case "render" `Quick test_csv_render;
           Alcotest.test_case "escape" `Quick test_csv_escape ] );
+      ( "json",
+        [ Alcotest.test_case "numeric corners" `Quick
+            test_json_numeric_corners ] );
       ( "log",
         [ Alcotest.test_case "level filtering" `Quick test_log_levels;
           Alcotest.test_case "record shape" `Quick test_log_record_shape;
